@@ -1,0 +1,244 @@
+//! Digitized voice and video sources (paper §1, §2.5).
+//!
+//! "Future distributed systems ... will support a range of
+//! communication-intensive applications", with digitized audio and video as
+//! the canonical "interactive high-bandwidth traffic" needing real-time
+//! guarantees (§1). §2.5 prescribes their RMS parameters: "digitized voice
+//! should use a high capacity, low delay RMS, perhaps with a statistical
+//! delay bound; a high bit error rate may be acceptable."
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dash_net::ids::HostId;
+use dash_sim::engine::Sim;
+use dash_sim::rng::Rng;
+use dash_sim::stats::Histogram;
+use dash_sim::time::{SimDuration, SimTime};
+use dash_transport::stack::Stack;
+use dash_transport::stream::{self, StreamProfile};
+use rms_core::message::Message;
+
+use crate::taps::{Dispatcher, SessionEvent};
+
+/// A constant-bit-rate or bursty media source specification.
+#[derive(Debug, Clone)]
+pub struct MediaSpec {
+    /// Frame payload bytes (mean, for bursty sources).
+    pub frame_bytes: u64,
+    /// Frame interval (e.g. 20 ms voice frames, 33 ms video frames).
+    pub interval: SimDuration,
+    /// Jitter in frame size: frames are `frame_bytes ± jitter` uniformly
+    /// (0 = constant bit rate).
+    pub size_jitter: u64,
+    /// One-way delay budget; deliveries beyond it count as late.
+    pub delay_budget: SimDuration,
+    /// How long the source runs.
+    pub duration: SimDuration,
+    /// The stream profile to open.
+    pub profile: StreamProfile,
+}
+
+impl MediaSpec {
+    /// 64 kb/s telephone-quality voice: 160-byte frames every 20 ms with a
+    /// 40 ms mouth-to-ear budget.
+    pub fn voice(duration: SimDuration) -> Self {
+        MediaSpec {
+            frame_bytes: 160,
+            interval: SimDuration::from_millis(20),
+            size_jitter: 0,
+            delay_budget: SimDuration::from_millis(40),
+            duration,
+            profile: StreamProfile::voice(),
+        }
+    }
+
+    /// ~2 Mb/s video: ~8 KB frames at 30 fps, bursty sizes, 100 ms budget.
+    pub fn video(duration: SimDuration) -> Self {
+        let mut profile = StreamProfile::default();
+        profile.capacity = 64 * 1024;
+        profile.max_message = 16 * 1024;
+        profile.delay = rms_core::DelayBound::best_effort_with(
+            SimDuration::from_millis(100),
+            SimDuration::from_micros(10),
+        );
+        MediaSpec {
+            frame_bytes: 8 * 1024,
+            interval: SimDuration::from_millis(33),
+            size_jitter: 4 * 1024,
+            delay_budget: SimDuration::from_millis(100),
+            duration,
+            profile,
+        }
+    }
+}
+
+/// Results of a media session.
+#[derive(Debug, Default)]
+pub struct MediaStats {
+    /// Frames offered by the source.
+    pub sent: u64,
+    /// Frames refused by sender flow control.
+    pub refused: u64,
+    /// Frames delivered.
+    pub received: u64,
+    /// Deliveries beyond the delay budget.
+    pub late: u64,
+    /// One-way delays, seconds.
+    pub delays: Histogram,
+    /// Set when the stream could not be opened.
+    pub failed: bool,
+}
+
+impl MediaStats {
+    /// Fraction of sent frames that arrived within the budget.
+    pub fn on_time_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            (self.received - self.late.min(self.received)) as f64 / self.sent as f64
+        }
+    }
+
+    /// Fraction of sent frames lost outright.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            1.0 - self.received as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Start a media source from `src` to `dst`, registering its receive-side
+/// measurements with `taps` (a [`Dispatcher`] installed on `dst`). Frames
+/// flow for `spec.duration`; statistics accumulate in the returned handle.
+pub fn start_media(
+    sim: &mut Sim<Stack>,
+    taps: &Dispatcher,
+    src: HostId,
+    dst: HostId,
+    spec: MediaSpec,
+    seed: u64,
+) -> Rc<RefCell<MediaStats>> {
+    let stats = Rc::new(RefCell::new(MediaStats::default()));
+    let session = match stream::open(sim, src, dst, spec.profile.clone()) {
+        Ok(s) => s,
+        Err(_) => {
+            stats.borrow_mut().failed = true;
+            return stats;
+        }
+    };
+    let st2 = Rc::clone(&stats);
+    let budget = spec.delay_budget;
+    taps.register(session, move |_sim, ev| {
+        if let SessionEvent::Delivered { delay, .. } = ev {
+            let mut s = st2.borrow_mut();
+            s.received += 1;
+            s.delays.record(delay.as_secs_f64());
+            if delay > budget {
+                s.late += 1;
+            }
+        }
+    });
+
+    // Sender: periodic frames until the deadline.
+    let end = sim.now().saturating_add(spec.duration);
+    let rng = Rng::new(seed);
+    schedule_frame(sim, src, session, spec, end, rng, Rc::clone(&stats));
+    stats
+}
+
+fn schedule_frame(
+    sim: &mut Sim<Stack>,
+    src: HostId,
+    session: u64,
+    spec: MediaSpec,
+    end: SimTime,
+    mut rng: Rng,
+    stats: Rc<RefCell<MediaStats>>,
+) {
+    if sim.now() >= end {
+        return;
+    }
+    let interval = spec.interval;
+    sim.schedule_in(interval, move |sim| {
+        let size = if spec.size_jitter == 0 {
+            spec.frame_bytes
+        } else {
+            let lo = spec.frame_bytes.saturating_sub(spec.size_jitter).max(1);
+            let hi = spec.frame_bytes + spec.size_jitter;
+            rng.range(lo, hi)
+        };
+        {
+            let mut s = stats.borrow_mut();
+            s.sent += 1;
+            if stream::send(sim, src, session, Message::zeroes(size as usize)).is_err() {
+                s.refused += 1;
+            }
+        }
+        schedule_frame(sim, src, session, spec, end, rng, stats);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_net::topology::two_hosts_ethernet;
+    use dash_subtransport::st::StConfig;
+
+    #[test]
+    fn voice_on_quiet_lan_is_on_time() {
+        let (net, a, b) = two_hosts_ethernet();
+        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let taps = Dispatcher::install(&mut sim, &[a, b]);
+        let stats = start_media(
+            &mut sim,
+            &taps,
+            a,
+            b,
+            MediaSpec::voice(SimDuration::from_secs(2)),
+            7,
+        );
+        sim.run();
+        let s = stats.borrow();
+        assert!(!s.failed);
+        // 2 s of 20 ms frames ≈ 100 frames.
+        assert!(s.sent >= 95, "sent {}", s.sent);
+        assert!(s.received as f64 >= s.sent as f64 * 0.98);
+        assert_eq!(s.late, 0, "quiet LAN must meet the 40 ms budget");
+        assert!(s.on_time_fraction() > 0.97);
+    }
+
+    #[test]
+    fn video_carries_meaningful_bandwidth() {
+        let (net, a, b) = two_hosts_ethernet();
+        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let taps = Dispatcher::install(&mut sim, &[a, b]);
+        let stats = start_media(
+            &mut sim,
+            &taps,
+            a,
+            b,
+            MediaSpec::video(SimDuration::from_secs(1)),
+            11,
+        );
+        sim.run();
+        let s = stats.borrow();
+        assert!(!s.failed);
+        assert!(s.sent >= 28, "sent {}", s.sent);
+        assert!(s.received >= s.sent * 9 / 10);
+        assert!(s.delays.mean() > 0.0);
+    }
+
+    #[test]
+    fn media_stats_fractions() {
+        let mut s = MediaStats::default();
+        assert_eq!(s.on_time_fraction(), 0.0);
+        s.sent = 10;
+        s.received = 8;
+        s.late = 2;
+        assert!((s.on_time_fraction() - 0.6).abs() < 1e-9);
+        assert!((s.loss_fraction() - 0.2).abs() < 1e-9);
+    }
+}

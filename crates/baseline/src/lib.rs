@@ -1,0 +1,19 @@
+//! # dash-baseline — the protocols the paper argues against
+//!
+//! §1 of the paper describes existing systems as building reliable streams
+//! and request/reply on top of "a simple abstraction such as unreliable,
+//! insecure datagrams", and §4.4 contrasts RMS capacity with TCP's window
+//! flow control and ICMP source quench. This crate supplies those
+//! comparators over the same simulated network substrate:
+//!
+//! - [`tcp`]: a TCP-like byte stream (handshake, cumulative ACKs, sliding
+//!   window, slow start + AIMD, RTO with backoff, source-quench reaction).
+//! - Raw datagrams come straight from
+//!   [`dash_net::pipeline::send_datagram`].
+//!
+//! The benchmark harness (`dash-bench`) races these against RKOM and RMS
+//! streams in experiments `e7_rkom` and `e8_congestion`.
+
+pub mod tcp;
+
+pub use tcp::{TcpConfig, TcpEvent, TcpState, TcpWorld, TCP_PROTO};

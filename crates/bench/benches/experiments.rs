@@ -1,0 +1,73 @@
+//! Criterion wrappers around whole-simulation kernels, one per paper
+//! experiment family. These measure harness wall-time (how fast the
+//! simulator reproduces each scenario), complementing the result tables
+//! printed by the `run_experiments` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dash_apps::bulk::{run_until_complete, start_bulk};
+use dash_apps::media::{start_media, MediaSpec};
+use dash_apps::taps::Dispatcher;
+use dash_net::topology::two_hosts_ethernet;
+use dash_sim::time::SimDuration;
+use dash_sim::Sim;
+use dash_subtransport::st::StConfig;
+use dash_transport::stack::Stack;
+use dash_transport::stream::StreamProfile;
+
+fn bench_voice_second(c: &mut Criterion) {
+    c.bench_function("sim/voice-1s-lan", |b| {
+        b.iter(|| {
+            let (net, a, hb) = two_hosts_ethernet();
+            let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+            let taps = Dispatcher::install(&mut sim, &[a, hb]);
+            let stats = start_media(
+                &mut sim,
+                &taps,
+                a,
+                hb,
+                MediaSpec::voice(SimDuration::from_secs(1)),
+                7,
+            );
+            sim.run();
+            let received = stats.borrow().received;
+            black_box(received)
+        })
+    });
+}
+
+fn bench_bulk_quarter_mb(c: &mut Criterion) {
+    c.bench_function("sim/bulk-256KB-lan", |b| {
+        b.iter(|| {
+            let (net, a, hb) = two_hosts_ethernet();
+            let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+            let taps = Dispatcher::install(&mut sim, &[a, hb]);
+            let stats = start_bulk(
+                &mut sim,
+                &taps,
+                a,
+                hb,
+                256 * 1024,
+                4 * 1024,
+                StreamProfile::bulk(),
+            );
+            let done = run_until_complete(&mut sim, &stats, SimDuration::from_secs(30));
+            black_box(done)
+        })
+    });
+}
+
+fn bench_experiment_tables(c: &mut Criterion) {
+    // The cheapest experiment end to end, as a regression canary for the
+    // whole harness path.
+    c.bench_function("sim/e5-capacity-table", |b| {
+        b.iter(|| black_box(dash_bench::e_capacity::e5_capacity().rows.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_voice_second, bench_bulk_quarter_mb, bench_experiment_tables
+}
+criterion_main!(benches);

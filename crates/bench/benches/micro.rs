@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks of the hot kernels: checksums, cipher, MAC,
+//! the piggyback queue, the deadline-ordered interface queue, admission
+//! math, and the ST wire codec.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use dash_net::iface::{Iface, QueueDiscipline};
+use dash_net::ids::{HostId, NetRmsId, NetworkId};
+use dash_net::packet::{DataPacket, Packet, PacketKind};
+use dash_security::checksum::Algorithm;
+use dash_security::cipher::{encrypt, Key};
+use dash_security::mac;
+use dash_sim::time::SimTime;
+use dash_subtransport::ids::StRmsId;
+use dash_subtransport::piggyback::{PendingEntry, PiggybackQueue};
+use dash_subtransport::wire::{data_frame_len, decode, encode, DataFrame, Frame};
+use rms_core::admission::ResourceLedger;
+use rms_core::delay::DelayBound;
+use rms_core::params::RmsParams;
+use dash_sim::time::SimDuration;
+
+fn bench_checksums(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1500];
+    let mut g = c.benchmark_group("checksum-1500B");
+    g.throughput(Throughput::Bytes(1500));
+    for alg in Algorithm::ALL {
+        g.bench_function(format!("{alg:?}"), |b| {
+            b.iter(|| black_box(alg.compute(black_box(&data))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = vec![0x5au8; 1500];
+    let key = Key(42);
+    let mut g = c.benchmark_group("crypto-1500B");
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("stream-cipher", |b| {
+        b.iter(|| black_box(encrypt(key, 7, black_box(&data))))
+    });
+    g.bench_function("mac-sign", |b| {
+        b.iter(|| black_box(mac::sign(key, 7, black_box(&data))))
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let frame = Frame::Data(DataFrame {
+        st_rms: StRmsId(3),
+        seq: 9,
+        frag: None,
+        sent_at: SimTime::from_nanos(123),
+        fast_ack: true,
+        source: None,
+        target: None,
+        payload: Bytes::from(vec![1u8; 512]),
+    });
+    let encoded = encode(&frame);
+    let mut g = c.benchmark_group("st-wire-512B");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| black_box(encode(black_box(&frame)))));
+    g.bench_function("decode", |b| b.iter(|| black_box(decode(black_box(&encoded)).unwrap())));
+    g.finish();
+}
+
+fn bench_piggyback(c: &mut Criterion) {
+    c.bench_function("piggyback-push-flush-16", |b| {
+        b.iter(|| {
+            let mut q = PiggybackQueue::new();
+            for i in 0..16u64 {
+                let frame = DataFrame {
+                    st_rms: StRmsId(i % 4),
+                    seq: i,
+                    frag: None,
+                    sent_at: SimTime::ZERO,
+                    fast_ack: false,
+                    source: None,
+                    target: None,
+                    payload: Bytes::from_static(&[0u8; 64]),
+                };
+                let e = PendingEntry {
+                    encoded_len: data_frame_len(64, false, false, false),
+                    frame,
+                    min_deadline: SimTime::ZERO,
+                    max_deadline: SimTime::from_nanos(1_000_000),
+                };
+                let _ = q.try_push(e, 64 * 1024);
+            }
+            black_box(q.flush())
+        })
+    });
+}
+
+fn bench_iface_queue(c: &mut Criterion) {
+    c.bench_function("iface-deadline-queue-64", |b| {
+        b.iter(|| {
+            let ledger = ResourceLedger::new(1e6, 1 << 20);
+            let mut iface = Iface::new(NetworkId(0), QueueDiscipline::Deadline, ledger, None);
+            for i in 0..64u64 {
+                let p = Packet {
+                    src: HostId(0),
+                    dst: HostId(1),
+                    kind: PacketKind::Data(DataPacket {
+                        rms: NetRmsId(1),
+                        seq: i,
+                        payload: Bytes::from_static(&[0u8; 128]),
+                        source: None,
+                        target: None,
+                        mac: None,
+                        checksum: None,
+                    }),
+                    deadline: SimTime::from_nanos((i * 7919) % 1_000_000),
+                    sent_at: SimTime::ZERO,
+                    corrupted: false,
+                    hops: 0,
+                    reliable: false,
+                    next_plan: None,
+                };
+                iface.enqueue(SimTime::ZERO, p);
+            }
+            while iface.dequeue(SimTime::ZERO).is_some() {}
+            black_box(iface.queued_packets())
+        })
+    });
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let params = RmsParams::builder(100_000, 1_000)
+        .delay(DelayBound::deterministic(
+            SimDuration::from_millis(100),
+            SimDuration::from_micros(1),
+        ))
+        .build()
+        .unwrap();
+    c.bench_function("admission-admit-release", |b| {
+        b.iter(|| {
+            let mut ledger = ResourceLedger::new(1.25e6, 1 << 20);
+            for _ in 0..8 {
+                black_box(ledger.admit(black_box(&params)));
+            }
+            for _ in 0..8 {
+                ledger.release(&params);
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_checksums,
+    bench_crypto,
+    bench_wire,
+    bench_piggyback,
+    bench_iface_queue,
+    bench_admission
+);
+criterion_main!(benches);

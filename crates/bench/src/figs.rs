@@ -1,0 +1,395 @@
+//! Experiments regenerating the paper's five figures (all architecture
+//! diagrams) as executable evidence: each runs the subsystem the figure
+//! depicts and quantifies the claim attached to it. See DESIGN.md's
+//! experiment index.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dash_apps::bulk::{run_until_complete, start_bulk};
+use dash_apps::media::{start_media, MediaSpec};
+use dash_apps::taps::Dispatcher;
+use dash_net::topology::{dumbbell, TopologyBuilder};
+use dash_net::NetworkSpec;
+use dash_sim::time::SimDuration;
+use dash_sim::Sim;
+use dash_subtransport::st::StConfig;
+use dash_transport::flow::CapacityEnforcement;
+use dash_transport::stack::Stack;
+use dash_transport::stream::{self, StreamProfile};
+use dash_transport::rkom;
+use rms_core::delay::DelayBound;
+use rms_core::message::Message;
+
+use crate::table::{f, pct, secs, Table};
+
+fn lan_stack() -> (Sim<Stack>, dash_net::HostId, dash_net::HostId) {
+    let mut b = TopologyBuilder::new();
+    let n = b.network(NetworkSpec::ethernet("lan"));
+    let a = b.host_on(n);
+    let c = b.host_on(n);
+    (Sim::new(Stack::new(b.build(), StConfig::default())), a, c)
+}
+
+/// fig1_layering — the same upper stack runs unchanged over different
+/// network types (Figure 1's network-independent / network-dependent
+/// split).
+pub fn fig1_layering() -> Table {
+    let mut t = Table::new(
+        "fig1_layering",
+        "network-independent stack over interchangeable network-dependent parts",
+        "the same RMS/ST/transport code runs over any network module; only performance differs",
+    );
+    t.columns(&[
+        "network",
+        "voice on-time",
+        "voice mean delay",
+        "bulk goodput",
+        "bulk done",
+    ]);
+    for (name, which) in [
+        ("ethernet-10M", 0),
+        ("fast-lan-100M", 1),
+        ("internet-dumbbell", 2),
+    ] {
+        let (mut sim, a, b) = match which {
+            0 => lan_stack(),
+            1 => {
+                let mut tb = TopologyBuilder::new();
+                let n = tb.network(NetworkSpec::fast_lan("fast"));
+                let a = tb.host_on(n);
+                let c = tb.host_on(n);
+                (Sim::new(Stack::new(tb.build(), StConfig::default())), a, c)
+            }
+            _ => {
+                let (net, a, b, _, _) = dumbbell();
+                (Sim::new(Stack::new(net, StConfig::default())), a, b)
+            }
+        };
+        let taps = Dispatcher::install(&mut sim, &[a, b]);
+        // Relax the voice budget for the WAN case; the point here is that
+        // the code runs, not that a WAN meets LAN deadlines.
+        let mut vspec = MediaSpec::voice(SimDuration::from_secs(1));
+        if which == 2 {
+            vspec.delay_budget = SimDuration::from_millis(120);
+            vspec.profile.delay = DelayBound::best_effort_with(
+                SimDuration::from_millis(120),
+                SimDuration::from_micros(10),
+            );
+        }
+        let voice = start_media(&mut sim, &taps, a, b, vspec, 41);
+        let bulk = start_bulk(&mut sim, &taps, a, b, 128 * 1024, 4 * 1024, StreamProfile::bulk());
+        let done = run_until_complete(&mut sim, &bulk, SimDuration::from_secs(20));
+        sim.run();
+        let v = voice.borrow();
+        let g = bulk.borrow().goodput().unwrap_or(0.0);
+        t.row(vec![
+            name.into(),
+            pct(v.on_time_fraction()),
+            secs(v.delays.mean()),
+            format!("{} B/s", f(g)),
+            done.to_string(),
+        ]);
+    }
+    t.note("voice budget: 40 ms on LANs, 120 ms on the internet path");
+    t
+}
+
+/// fig2_architecture — walk the whole Figure 2 stack once and account for
+/// every layer's activity.
+pub fn fig2_architecture() -> Table {
+    let (net, a, b, _, _) = dumbbell();
+    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let taps = Dispatcher::install(&mut sim, &[a, b]);
+    // One RKOM call.
+    let latency = Rc::new(RefCell::new(0.0f64));
+    let l2 = Rc::clone(&latency);
+    rkom::register_service(&mut sim.state, b, 9, |_s, _c, req| req);
+    let t0 = sim.now();
+    rkom::call(&mut sim, a, b, 9, bytes::Bytes::from_static(b"walk"), move |sim, res| {
+        assert!(res.is_ok());
+        *l2.borrow_mut() = sim.now().saturating_since(t0).as_secs_f64();
+    });
+    sim.run();
+    // One stream message.
+    let session = stream::open(&mut sim, a, b, StreamProfile::default()).unwrap();
+    let got = Rc::new(RefCell::new(0u64));
+    let g2 = Rc::clone(&got);
+    taps.register(session, move |_s, ev| {
+        if matches!(ev, dash_apps::SessionEvent::Delivered { .. }) {
+            *g2.borrow_mut() += 1;
+        }
+    });
+    sim.run();
+    stream::send(&mut sim, a, session, Message::zeroes(512)).unwrap();
+    sim.run();
+
+    let mut t = Table::new(
+        "fig2_architecture",
+        "one pass through the DASH communication architecture (Figure 2)",
+        "stream protocols and RKOM ride on ST RMSs; the ST multiplexes onto network RMSs over a control channel",
+    );
+    t.columns(&["layer", "activity", "count"]);
+    let sta = &sim.state.st.host(a).stats;
+    t.row(vec!["transport/RKOM".into(), "call round-trip latency".into(), secs(*latency.borrow())]);
+    t.row(vec!["transport/stream".into(), "messages delivered".into(), got.borrow().to_string()]);
+    t.row(vec!["subtransport".into(), "control channels created".into(), sta.control_created.get().to_string()]);
+    t.row(vec!["subtransport".into(), "hello handshakes sent".into(), sta.hellos_sent.get().to_string()]);
+    t.row(vec!["subtransport".into(), "ST RMS creates requested".into(), sta.creates_requested.get().to_string()]);
+    t.row(vec!["subtransport".into(), "data network RMSs created".into(), sta.cache_misses.get().to_string()]);
+    t.row(vec!["subtransport".into(), "net messages sent".into(), sta.net_msgs_sent.get().to_string()]);
+    t.row(vec!["network".into(), "packets sent".into(), sim.state.net.stats.packets_sent.get().to_string()]);
+    t.row(vec!["network".into(), "packets delivered".into(), sim.state.net.stats.packets_delivered.get().to_string()]);
+    t
+}
+
+/// fig3_rms_levels — the delay bound of a high-level RMS decomposes into
+/// per-stage budgets (Figure 3, §3.4, §4.1).
+pub fn fig3_rms_levels() -> Table {
+    // Piggybacking off: bundles would skew the per-stage delay attribution
+    // (a bundle's network delay is measured from its oldest component).
+    let mut config = StConfig::default();
+    config.piggyback = false;
+    let mut tb = TopologyBuilder::new();
+    let n = tb.network(NetworkSpec::ethernet("lan"));
+    let a = tb.host_on(n);
+    let b = tb.host_on(n);
+    let mut sim = Sim::new(Stack::new(tb.build(), config));
+    let taps = Dispatcher::install(&mut sim, &[a, b]);
+    let mut profile = StreamProfile::default();
+    profile.max_message = 512;
+    profile.delay = DelayBound::best_effort_with(
+        SimDuration::from_millis(50),
+        SimDuration::from_micros(10),
+    );
+    let session = stream::open(&mut sim, a, b, profile).unwrap();
+    let delays = Rc::new(RefCell::new(Vec::new()));
+    let d2 = Rc::clone(&delays);
+    taps.register(session, move |_s, ev| {
+        if let dash_apps::SessionEvent::Delivered { delay, .. } = ev {
+            d2.borrow_mut().push(delay.as_secs_f64());
+        }
+    });
+    sim.run();
+    for _ in 0..200 {
+        let _ = stream::send(&mut sim, a, session, Message::zeroes(400));
+        sim.run_until(sim.now() + SimDuration::from_millis(2));
+    }
+    sim.run();
+
+    // Stage budgets: the ST negotiated bound vs the network RMS bound.
+    let st_stream_id = dash_subtransport::ids::StRmsId(1);
+    let st_bound = sim
+        .state
+        .st
+        .host(a)
+        .streams
+        .values()
+        .find(|s| s.role == dash_subtransport::StRole::Sender)
+        .map(|s| s.params.delay.bound_for(430))
+        .unwrap_or(SimDuration::ZERO);
+    let _ = st_stream_id;
+    let net_bound = sim
+        .state
+        .st
+        .host(a)
+        .peers
+        .get(&b)
+        .and_then(|p| p.data.values().next())
+        .map(|d| d.params.delay.bound_for(460))
+        .unwrap_or(SimDuration::ZERO);
+    // Measured: network-level delays on the data RMS at b, ST-level
+    // delivery delays at b's ST stream, and the client-observed delays.
+    let net_mean = sim
+        .state
+        .net
+        .host(b)
+        .rms
+        .values()
+        .filter(|r| r.stats.delivered.get() > 10)
+        .map(|r| r.stats.delays.mean())
+        .fold(0.0f64, f64::max);
+    let st_delays: Vec<f64> = sim
+        .state
+        .st
+        .host(b)
+        .streams
+        .values()
+        .filter(|s| s.delivered.get() > 10)
+        .map(|s| s.delays.mean())
+        .collect();
+    let st_mean = st_delays.iter().copied().fold(0.0f64, f64::max);
+    let ds = delays.borrow();
+    let app_mean = ds.iter().sum::<f64>() / ds.len().max(1) as f64;
+
+    let mut t = Table::new(
+        "fig3_rms_levels",
+        "delay decomposition across RMS levels (Figure 3)",
+        "an upper-level RMS's delay bound is divided among stages; each stage's measured delay fits its budget",
+    );
+    t.columns(&["stage", "budget (bound)", "measured mean"]);
+    t.row(vec!["network RMS".into(), secs(net_bound.as_secs_f64()), secs(net_mean)]);
+    t.row(vec!["ST RMS (adds queueing+cpu)".into(), secs(st_bound.as_secs_f64()), secs(st_mean)]);
+    t.row(vec!["client-observed".into(), secs(st_bound.as_secs_f64()), secs(app_mean)]);
+    t.note(format!("messages delivered: {}", ds.len()));
+    t.note("invariant: measured(network) <= measured(ST) <= ST bound");
+    t
+}
+
+/// fig4_multiplexing — piggybacking and upward multiplexing (Figure 4,
+/// §4.2, §4.3.1).
+pub fn fig4_multiplexing() -> Table {
+    let mut t = Table::new(
+        "fig4_multiplexing",
+        "ST RMSs multiplexed onto one network RMS, with piggybacking",
+        "piggybacking combines messages from multiplexed ST RMSs into single network messages, cutting per-message overhead",
+    );
+    t.columns(&[
+        "piggyback",
+        "msg interval",
+        "client msgs",
+        "net msgs",
+        "net msgs/client msg",
+        "bundled",
+        "mean delay",
+    ]);
+    for piggyback in [false, true] {
+        for interval_us in [200u64, 1_000, 5_000] {
+            let mut config = StConfig::default();
+            config.piggyback = piggyback;
+            config.piggyback_slack = SimDuration::from_millis(2);
+            let mut b = TopologyBuilder::new();
+            let n = b.network(NetworkSpec::ethernet("lan"));
+            let ha = b.host_on(n);
+            let hb = b.host_on(n);
+            let mut sim = Sim::new(Stack::new(b.build(), StConfig { ..config }));
+            let taps = Dispatcher::install(&mut sim, &[ha, hb]);
+            // Three ST streams multiplexed onto one data network RMS.
+            let mut profile = StreamProfile::default();
+            profile.capacity = 8 * 1024;
+            profile.max_message = 128;
+            profile.delay = DelayBound::best_effort_with(
+                SimDuration::from_millis(50),
+                SimDuration::from_micros(10),
+            );
+            let sessions: Vec<u64> = (0..3)
+                .map(|_| stream::open(&mut sim, ha, hb, profile.clone()).unwrap())
+                .collect();
+            let delays = Rc::new(RefCell::new(Vec::new()));
+            for &s in &sessions {
+                let d2 = Rc::clone(&delays);
+                taps.register(s, move |_s, ev| {
+                    if let dash_apps::SessionEvent::Delivered { delay, .. } = ev {
+                        d2.borrow_mut().push(delay.as_secs_f64());
+                    }
+                });
+            }
+            sim.run();
+            let base_msgs = sim.state.st.host(ha).stats.net_msgs_sent.get();
+            let n_msgs = 300usize;
+            for i in 0..n_msgs {
+                let s = sessions[i % 3];
+                let _ = stream::send(&mut sim, ha, s, Message::zeroes(64));
+                sim.run_until(sim.now() + SimDuration::from_nanos(interval_us * 1_000));
+            }
+            sim.run();
+            let sta = &sim.state.st.host(ha).stats;
+            let net_msgs = sta.net_msgs_sent.get() - base_msgs;
+            let ds = delays.borrow();
+            let mean = ds.iter().sum::<f64>() / ds.len().max(1) as f64;
+            t.row(vec![
+                piggyback.to_string(),
+                format!("{}us", interval_us),
+                n_msgs.to_string(),
+                net_msgs.to_string(),
+                f(net_msgs as f64 / n_msgs as f64),
+                sta.msgs_bundled.get().to_string(),
+                secs(mean),
+            ]);
+        }
+    }
+    t.note("same 3 ST RMSs share one network RMS in every row (cache hits = 2)");
+    t.note("expected shape: piggybacking cuts net msgs/client msg at high rates, at a small delay cost");
+    t
+}
+
+/// fig5_flow_control — the cost of each flow-control option (Figure 5,
+/// §4.4).
+pub fn fig5_flow_control() -> Table {
+    let mut t = Table::new(
+        "fig5_flow_control",
+        "flow-control options and what each one costs",
+        "mechanisms are separable; unnecessary ones can be omitted, saving reverse traffic and latency",
+    );
+    t.columns(&[
+        "mechanisms",
+        "done",
+        "transfer time",
+        "goodput",
+        "reverse msgs",
+        "sender blocked",
+        "delivered",
+    ]);
+    let cases: Vec<(&str, StreamProfile)> = vec![
+        ("none", {
+            let mut p = StreamProfile::default();
+            p.max_message = 1024;
+            p.capacity = 32 * 1024;
+            p
+        }),
+        ("rate-based capacity", {
+            let mut p = StreamProfile::default();
+            p.max_message = 1024;
+            p.capacity = 32 * 1024;
+            p.enforcement = CapacityEnforcement::RateBased;
+            p
+        }),
+        ("ack-based capacity (fast acks)", {
+            let mut p = StreamProfile::default();
+            p.max_message = 1024;
+            p.capacity = 32 * 1024;
+            p.enforcement = CapacityEnforcement::AckBased;
+            p
+        }),
+        ("capacity+receiver-fc+reliable (end-to-end)", {
+            let mut p = StreamProfile::bulk();
+            p.max_message = 1024;
+            p.capacity = 32 * 1024;
+            p
+        }),
+    ];
+    for (name, profile) in cases {
+        let (mut sim, a, b) = lan_stack();
+        let taps = Dispatcher::install(&mut sim, &[a, b]);
+        let total = 256 * 1024u64;
+        let stats = start_bulk(&mut sim, &taps, a, b, total, 1024, profile);
+        let done = run_until_complete(&mut sim, &stats, SimDuration::from_secs(30));
+        sim.run();
+        let s = stats.borrow();
+        let (reverse, blocked, delivered) = {
+            let tx = sim.state.stream.session(a, 1);
+            let rx = sim.state.stream.session(b, 1);
+            let acks = rx.map(|r| r.stats.acks_sent.get()).unwrap_or(0);
+            let fast = sim.state.st.host(b).stats.fast_acks_sent.get();
+            let blocked = tx.map(|x| x.stats.sender_blocked.get()).unwrap_or(0);
+            let delivered = rx.map(|r| r.stats.delivered.get()).unwrap_or(0);
+            (acks + fast, blocked, delivered)
+        };
+        let time = s
+            .finished
+            .map(|f2| f2.saturating_since(s.started).as_secs_f64())
+            .unwrap_or(f64::NAN);
+        t.row(vec![
+            name.into(),
+            done.to_string(),
+            secs(time),
+            format!("{} B/s", f(s.goodput().unwrap_or(0.0))),
+            reverse.to_string(),
+            blocked.to_string(),
+            delivered.to_string(),
+        ]);
+    }
+    t.note("'reverse msgs' counts transport acks + ST fast acknowledgements");
+    t.note("expected shape: 'none' is fastest on a clean LAN but offers no guarantees; each mechanism adds reverse traffic or pacing delay");
+    t
+}

@@ -1,0 +1,169 @@
+//! Result tables: the harness's output format.
+//!
+//! Every experiment returns a [`Table`]; binaries print it. The format is
+//! fixed-width text so EXPERIMENTS.md can embed results verbatim.
+
+/// A formatted result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `fig4_multiplexing`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper claims; printed above the data.
+    pub claim: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed below.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, claim: &str) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            claim: claim.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn columns(&mut self, cols: &[&str]) -> &mut Self {
+        self.columns = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Render as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.title));
+        out.push_str(&format!("   claim: {}\n", self.claim));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&format!("   {}\n", header.join("  ")));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("   {}\n", rule.join("  ")));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&format!("   {}\n", cells.join("  ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("   note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format a float with engineering-style precision.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Format a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format seconds as the most readable unit.
+pub fn secs(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.2}s")
+    } else if x >= 1e-3 {
+        format!("{:.2}ms", x * 1e3)
+    } else if x >= 1e-6 {
+        format!("{:.1}us", x * 1e6)
+    } else if x > 0.0 {
+        format!("{:.0}ns", x * 1e9)
+    } else {
+        "0".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t1", "Title", "claim text");
+        t.columns(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "22".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("t1"));
+        assert!(s.contains("longer-name"));
+        assert!(s.contains("note: a note"));
+        // Header and rows align.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "t", "c");
+        t.columns(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.6), "1235");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(0.5), "0.500");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(secs(1.5), "1.50s");
+        assert_eq!(secs(0.0015), "1.50ms");
+        assert_eq!(secs(1.5e-6), "1.5us");
+        assert_eq!(secs(5e-9), "5ns");
+    }
+}

@@ -1,0 +1,321 @@
+//! Admission-control mathematics (paper §2.3).
+//!
+//! Pure decision functions used by the network layer when a new RMS is
+//! requested:
+//!
+//! - **Deterministic** bounds reserve worst-case bandwidth (`C/D`, see
+//!   [`crate::bandwidth`]) and buffer space (`C` bytes); a request is
+//!   rejected "if its worst-case demands cannot be met with free resources".
+//! - **Statistical** bounds are tested against an M/M/1 approximation of the
+//!   queueing delay at the bottleneck: the request is rejected if the
+//!   probability of exceeding the delay bound is higher than the requested
+//!   `delay_probability` allows, or if expected loss exceeds the error-rate
+//!   budget.
+//! - **Best-effort** requests are never rejected.
+//!
+//! The statistical model is our parameterization of an open question the
+//! paper lists in §5 (see DESIGN.md interpretation note 3).
+
+use crate::bandwidth::implied_bandwidth;
+use crate::delay::{DelayBoundKind, StatisticalSpec};
+use crate::params::RmsParams;
+
+/// A resource ledger for one scheduled resource (an outbound link/interface).
+///
+/// Tracks deterministic reservations and statistical loads separately;
+/// best-effort traffic is not accounted.
+#[derive(Debug, Clone)]
+pub struct ResourceLedger {
+    /// Usable bandwidth of the resource, bytes per second.
+    capacity_bps: f64,
+    /// Buffer space available for reservation, bytes.
+    buffer_bytes: u64,
+    /// Fraction of bandwidth that deterministic reservations may consume
+    /// (the rest is head-room for statistical and best-effort traffic).
+    deterministic_share: f64,
+    reserved_bps: f64,
+    reserved_buffer: u64,
+    statistical_load_bps: f64,
+}
+
+/// Outcome of an admission test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// The request fits; resources were reserved (deterministic) or the
+    /// load was recorded (statistical).
+    Admitted,
+    /// The request does not fit.
+    Denied {
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+impl Admission {
+    /// True for [`Admission::Admitted`].
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted)
+    }
+}
+
+impl ResourceLedger {
+    /// A ledger for a resource with the given bandwidth and buffer pool.
+    /// `deterministic_share` defaults to 0.9 via [`ResourceLedger::new`].
+    pub fn with_share(capacity_bps: f64, buffer_bytes: u64, deterministic_share: f64) -> Self {
+        assert!(capacity_bps > 0.0, "resource bandwidth must be positive");
+        assert!(
+            (0.0..=1.0).contains(&deterministic_share),
+            "share must be in [0,1]"
+        );
+        ResourceLedger {
+            capacity_bps,
+            buffer_bytes,
+            deterministic_share,
+            reserved_bps: 0.0,
+            reserved_buffer: 0,
+            statistical_load_bps: 0.0,
+        }
+    }
+
+    /// A ledger reserving at most 90% of bandwidth deterministically.
+    pub fn new(capacity_bps: f64, buffer_bytes: u64) -> Self {
+        ResourceLedger::with_share(capacity_bps, buffer_bytes, 0.9)
+    }
+
+    /// Bandwidth currently reserved by deterministic RMSs, bytes/s.
+    pub fn reserved_bps(&self) -> f64 {
+        self.reserved_bps
+    }
+
+    /// Buffer bytes currently reserved.
+    pub fn reserved_buffer(&self) -> u64 {
+        self.reserved_buffer
+    }
+
+    /// Statistical average load currently admitted, bytes/s.
+    pub fn statistical_load_bps(&self) -> f64 {
+        self.statistical_load_bps
+    }
+
+    /// Total average utilization (deterministic + statistical) in `[0, ∞)`.
+    pub fn utilization(&self) -> f64 {
+        (self.reserved_bps + self.statistical_load_bps) / self.capacity_bps
+    }
+
+    /// Test (and on success record) a new RMS against this resource.
+    pub fn admit(&mut self, params: &RmsParams) -> Admission {
+        match &params.delay.kind {
+            DelayBoundKind::Deterministic => self.admit_deterministic(params),
+            DelayBoundKind::Statistical(spec) => self.admit_statistical(params, *spec),
+            DelayBoundKind::BestEffort => Admission::Admitted,
+        }
+    }
+
+    /// Release the resources of a previously admitted RMS. Callers must
+    /// pass the same parameters that were admitted.
+    pub fn release(&mut self, params: &RmsParams) {
+        match &params.delay.kind {
+            DelayBoundKind::Deterministic => {
+                self.reserved_bps = (self.reserved_bps - implied_bandwidth(params)).max(0.0);
+                self.reserved_buffer = self.reserved_buffer.saturating_sub(params.capacity);
+            }
+            DelayBoundKind::Statistical(spec) => {
+                self.statistical_load_bps =
+                    (self.statistical_load_bps - spec.average_load).max(0.0);
+            }
+            DelayBoundKind::BestEffort => {}
+        }
+    }
+
+    fn admit_deterministic(&mut self, params: &RmsParams) -> Admission {
+        let demand = implied_bandwidth(params);
+        let budget = self.capacity_bps * self.deterministic_share;
+        if self.reserved_bps + demand > budget {
+            return Admission::Denied {
+                detail: format!(
+                    "deterministic bandwidth exhausted: reserved {:.0} + demand {:.0} > budget {:.0} B/s",
+                    self.reserved_bps, demand, budget
+                ),
+            };
+        }
+        if self.reserved_buffer + params.capacity > self.buffer_bytes {
+            return Admission::Denied {
+                detail: format!(
+                    "buffer space exhausted: reserved {} + demand {} > {} bytes",
+                    self.reserved_buffer, params.capacity, self.buffer_bytes
+                ),
+            };
+        }
+        self.reserved_bps += demand;
+        self.reserved_buffer += params.capacity;
+        Admission::Admitted
+    }
+
+    fn admit_statistical(&mut self, params: &RmsParams, spec: StatisticalSpec) -> Admission {
+        // Free average bandwidth after deterministic reservations.
+        let mu = self.capacity_bps - self.reserved_bps;
+        let lambda = self.statistical_load_bps + spec.average_load;
+        if lambda >= mu {
+            return Admission::Denied {
+                detail: format!(
+                    "statistical load {lambda:.0} B/s would saturate free bandwidth {mu:.0} B/s"
+                ),
+            };
+        }
+        // M/M/1 tail approximation with "customers" of mean size one
+        // maximum-length message: P(delay > t) ≈ ρ·exp(-(μ-λ)·t / m).
+        let m = params.max_message_size.max(1) as f64;
+        let rho = lambda / mu;
+        let t = params.delay.bound_for(params.max_message_size).as_secs_f64();
+        let p_exceed = rho * (-(mu - lambda) * t / m).exp();
+        let p_allowed = 1.0 - spec.delay_probability;
+        if p_exceed > p_allowed {
+            return Admission::Denied {
+                detail: format!(
+                    "expected P(delay > bound) = {p_exceed:.3e} exceeds allowance {p_allowed:.3e}"
+                ),
+            };
+        }
+        // Expected overflow loss: probability the queue exceeds the buffer,
+        // ρ^(buffer/m) under the same approximation; must fit the
+        // error-rate budget expressed per message.
+        let buffer_msgs = (self.buffer_bytes.saturating_sub(self.reserved_buffer)) as f64 / m;
+        let p_loss = rho.powf(buffer_msgs.max(1.0));
+        let loss_budget = params
+            .error_rate
+            .message_error_probability(params.max_message_size)
+            .max(1e-12);
+        if p_loss > loss_budget {
+            return Admission::Denied {
+                detail: format!(
+                    "expected overflow loss {p_loss:.3e} exceeds error-rate budget {loss_budget:.3e}"
+                ),
+            };
+        }
+        self.statistical_load_bps += spec.average_load;
+        Admission::Admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayBound;
+    use crate::params::{BitErrorRate, RmsParams};
+    use dash_sim::SimDuration;
+
+    fn det_params(capacity: u64, mms: u64, delay_ms: u64) -> RmsParams {
+        RmsParams::builder(capacity, mms)
+            .delay(DelayBound::deterministic(
+                SimDuration::from_millis(delay_ms),
+                SimDuration::ZERO,
+            ))
+            .build()
+            .unwrap()
+    }
+
+    fn stat_params(load: f64, delay_ms: u64, prob: f64) -> RmsParams {
+        RmsParams::builder(100_000, 1_000)
+            .delay(DelayBound::statistical(
+                SimDuration::from_millis(delay_ms),
+                SimDuration::ZERO,
+                StatisticalSpec::new(load, 2.0, prob),
+            ))
+            .error_rate(BitErrorRate::new(1e-5).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn best_effort_always_admitted() {
+        let mut ledger = ResourceLedger::new(1e6, 10_000);
+        let p = RmsParams::builder(1 << 30, 1 << 20).build().unwrap();
+        for _ in 0..100 {
+            assert!(ledger.admit(&p).is_admitted());
+        }
+        assert_eq!(ledger.reserved_bps(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_reserves_and_exhausts_bandwidth() {
+        // 1 MB/s link, 90% reservable. Each RMS: C = 100_000, D = 1s -> 1e5 B/s.
+        let mut ledger = ResourceLedger::new(1e6, u64::MAX);
+        let p = det_params(100_000, 1_000, 1_000);
+        let mut admitted = 0;
+        loop {
+            if !ledger.admit(&p).is_admitted() {
+                break;
+            }
+            admitted += 1;
+            assert!(admitted < 100, "never denied");
+        }
+        assert_eq!(admitted, 9); // 9 * 1e5 = 9e5 = 90% of 1e6
+        match ledger.admit(&p) {
+            Admission::Denied { detail } => assert!(detail.contains("bandwidth")),
+            Admission::Admitted => panic!("should deny"),
+        }
+    }
+
+    #[test]
+    fn deterministic_buffer_exhaustion() {
+        let mut ledger = ResourceLedger::new(1e9, 150_000);
+        let p = det_params(100_000, 1_000, 1_000);
+        assert!(ledger.admit(&p).is_admitted());
+        match ledger.admit(&p) {
+            Admission::Denied { detail } => assert!(detail.contains("buffer")),
+            Admission::Admitted => panic!("should deny on buffers"),
+        }
+    }
+
+    #[test]
+    fn release_frees_deterministic_resources() {
+        let mut ledger = ResourceLedger::new(1e6, 200_000);
+        let p = det_params(100_000, 1_000, 1_000);
+        assert!(ledger.admit(&p).is_admitted());
+        let before = ledger.reserved_bps();
+        ledger.release(&p);
+        assert_eq!(ledger.reserved_bps(), before - implied_bandwidth(&p));
+        assert_eq!(ledger.reserved_buffer(), 0);
+    }
+
+    #[test]
+    fn statistical_rejects_saturation() {
+        let mut ledger = ResourceLedger::new(1e6, 1_000_000);
+        // 600 KB/s average load twice would exceed 1 MB/s.
+        let p = stat_params(6e5, 100, 0.9);
+        assert!(ledger.admit(&p).is_admitted());
+        assert!(!ledger.admit(&p).is_admitted());
+        ledger.release(&p);
+        assert!(ledger.admit(&p).is_admitted());
+    }
+
+    #[test]
+    fn statistical_rejects_tight_probability_at_high_load() {
+        let mut ledger = ResourceLedger::new(1e6, 1_000_000);
+        // Fill to 80% load.
+        assert!(ledger.admit(&stat_params(8e5, 100, 0.5)).is_admitted());
+        // Now ask for a nearly-sure 1ms bound at high utilization: the tail
+        // ρ·exp(-(μ-λ)t/m) is ~0.8·exp(-0.2) ≈ 0.65 > 0.001 allowed.
+        let tight = stat_params(1e5, 1, 0.999);
+        assert!(!ledger.admit(&tight).is_admitted());
+    }
+
+    #[test]
+    fn statistical_admits_loose_probability() {
+        let mut ledger = ResourceLedger::new(1e6, 1_000_000);
+        // Low load, generous bound, weak probability -> admit.
+        let loose = stat_params(1e4, 500, 0.5);
+        assert!(ledger.admit(&loose).is_admitted());
+        assert!(ledger.utilization() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_and_statistical_interact() {
+        let mut ledger = ResourceLedger::new(1e6, 10_000_000);
+        // Deterministic traffic takes 5e5 B/s...
+        assert!(ledger.admit(&det_params(500_000, 1_000, 1_000)).is_admitted());
+        // ...leaving 5e5 of μ; 6e5 statistical load must now be refused.
+        assert!(!ledger.admit(&stat_params(6e5, 100, 0.9)).is_admitted());
+        assert!(ledger.admit(&stat_params(3e5, 100, 0.5)).is_admitted());
+    }
+}

@@ -1,0 +1,179 @@
+//! Error types shared across RMS providers.
+
+use std::fmt;
+
+use crate::compat::NegotiationError;
+use crate::params::ParamError;
+
+/// Why an RMS failed after creation (§2: "clients are notified of an RMS
+/// failure").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// The underlying network or link went down.
+    NetworkDown,
+    /// The peer host stopped responding.
+    PeerUnreachable,
+    /// The provider had to revoke resources (e.g. buffer sizes changed;
+    /// §4.4: "the RMS provider must delete the RMS, and the clients must
+    /// establish a new RMS").
+    ResourcesRevoked,
+    /// The peer closed the stream.
+    ClosedByPeer,
+    /// The provider could no longer honour a guaranteed property (e.g. a
+    /// reliable stream lost data despite link-level recovery).
+    GuaranteeViolated,
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailReason::NetworkDown => "network down",
+            FailReason::PeerUnreachable => "peer unreachable",
+            FailReason::ResourcesRevoked => "provider revoked resources",
+            FailReason::ClosedByPeer => "closed by peer",
+            FailReason::GuaranteeViolated => "guarantee violated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors surfaced by RMS operations at any level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RmsError {
+    /// Creation was rejected during negotiation or admission control.
+    CreationRejected(RejectReason),
+    /// A message exceeded the stream's maximum message size (§2.2; enforced
+    /// by the sender side of the provider).
+    MessageTooLarge {
+        /// Size of the offending message.
+        size: u64,
+        /// The stream's maximum message size.
+        limit: u64,
+    },
+    /// The parameters given to an operation were invalid.
+    InvalidParams(ParamError),
+    /// The stream has failed (client was or will be notified with the same
+    /// reason).
+    Failed(FailReason),
+    /// The stream identifier is unknown or already closed.
+    UnknownStream,
+    /// The operation is not valid in the stream's current direction (an RMS
+    /// is simplex, §2).
+    WrongDirection,
+}
+
+/// Why creation was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// Parameter negotiation failed (§2.4).
+    Negotiation(NegotiationError),
+    /// Admission control refused the worst-case or statistical demands
+    /// (§2.3).
+    AdmissionDenied {
+        /// Human-readable explanation from the admission controller.
+        detail: String,
+    },
+    /// No route to the requested peer.
+    NoRoute,
+    /// The peer's subtransport or network layer rejected the request.
+    PeerRejected,
+    /// The creation handshake timed out after all retries.
+    Timeout,
+    /// Authentication of the peer failed during control-channel setup.
+    AuthenticationFailed,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Negotiation(e) => write!(f, "negotiation failed: {e}"),
+            RejectReason::AdmissionDenied { detail } => {
+                write!(f, "admission control denied: {detail}")
+            }
+            RejectReason::NoRoute => write!(f, "no route to peer"),
+            RejectReason::PeerRejected => write!(f, "peer rejected the request"),
+            RejectReason::Timeout => write!(f, "creation handshake timed out"),
+            RejectReason::AuthenticationFailed => write!(f, "peer authentication failed"),
+        }
+    }
+}
+
+impl fmt::Display for RmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmsError::CreationRejected(r) => write!(f, "RMS creation rejected: {r}"),
+            RmsError::MessageTooLarge { size, limit } => {
+                write!(f, "message of {size} bytes exceeds maximum message size {limit}")
+            }
+            RmsError::InvalidParams(e) => write!(f, "invalid parameters: {e}"),
+            RmsError::Failed(r) => write!(f, "RMS failed: {r}"),
+            RmsError::UnknownStream => write!(f, "unknown or closed RMS"),
+            RmsError::WrongDirection => write!(f, "operation invalid for this RMS direction"),
+        }
+    }
+}
+
+impl std::error::Error for RmsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RmsError::InvalidParams(e) => Some(e),
+            RmsError::CreationRejected(RejectReason::Negotiation(e)) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamError> for RmsError {
+    fn from(e: ParamError) -> Self {
+        RmsError::InvalidParams(e)
+    }
+}
+
+impl From<NegotiationError> for RmsError {
+    fn from(e: NegotiationError) -> Self {
+        RmsError::CreationRejected(RejectReason::Negotiation(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = RmsError::MessageTooLarge {
+            size: 2000,
+            limit: 1500,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2000") && s.contains("1500"));
+
+        let r = RmsError::CreationRejected(RejectReason::AdmissionDenied {
+            detail: "bandwidth exhausted".into(),
+        });
+        assert!(r.to_string().contains("bandwidth exhausted"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e: RmsError = NegotiationError::UnsupportedCombination.into();
+        assert!(e.source().is_some());
+        let e2: RmsError = ParamError::ZeroCapacity.into();
+        assert!(e2.source().is_some());
+        assert!(RmsError::UnknownStream.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RmsError>();
+        assert_send_sync::<FailReason>();
+    }
+
+    #[test]
+    fn fail_reasons_display() {
+        assert_eq!(FailReason::NetworkDown.to_string(), "network down");
+        assert_eq!(FailReason::ClosedByPeer.to_string(), "closed by peer");
+    }
+}

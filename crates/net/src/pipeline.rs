@@ -1,0 +1,1294 @@
+//! The network-layer protocol engine: RMS creation with hop-by-hop
+//! admission, deadline-queued transmission, forwarding, and delivery.
+//!
+//! All functions are generic over the world `W: NetWorld`, so the
+//! subtransport layer (and test harnesses) stack on top without this crate
+//! knowing their shape.
+
+use bytes::Bytes;
+use dash_security::cipher::{decrypt, encrypt, Key};
+use dash_security::mac;
+use dash_security::suite::{select_mechanisms, MechanismPlan, NetworkCapabilities};
+use dash_sim::engine::Sim;
+use dash_sim::time::{SimDuration, SimTime};
+use rms_core::compat::{negotiate, RmsRequest, ServiceTable};
+use rms_core::error::{FailReason, RejectReason, RmsError};
+use rms_core::message::Message;
+use rms_core::params::{BitErrorRate, Reliability};
+use rms_core::port::DeliveryInfo;
+
+use crate::ids::{CreateToken, HostId, NetRmsId, NetworkId};
+use crate::network::WireOutcome;
+use crate::packet::{DataPacket, NakReason, Packet, PacketKind};
+use crate::rms::{Buffered, NetRms, RmsRole, REORDER_FAIL_THRESHOLD};
+use crate::state::{NetRmsEvent, NetWorld, PendingCreate, PendingInvite};
+
+// ---------------------------------------------------------------------------
+// Path-wide negotiation helpers
+// ---------------------------------------------------------------------------
+
+/// Combine the service tables of every network along `path` (store-and-
+/// forward: fixed and per-byte delays add, capacities take the minimum,
+/// error rates accumulate, the weakest kind wins). Only combinations
+/// supported by *every* hop survive.
+pub fn combined_service_table<W: NetWorld>(
+    state: &W,
+    path: &[(HostId, usize, NetworkId, HostId)],
+) -> ServiceTable {
+    let net = state.net_ref();
+    let mut out = ServiceTable::new();
+    if path.is_empty() {
+        return out;
+    }
+    let tables: Vec<ServiceTable> = path
+        .iter()
+        .map(|(_, _, n, _)| net.network(*n).spec.service_table())
+        .collect();
+    for (rel, sec, first) in tables[0].iter() {
+        let mut acc = *first;
+        let mut ok = true;
+        for t in &tables[1..] {
+            match t.limits(*rel, *sec) {
+                Some(l) => {
+                    acc.min_fixed_delay = acc.min_fixed_delay.saturating_add(l.min_fixed_delay);
+                    acc.min_per_byte_delay =
+                        acc.min_per_byte_delay.saturating_add(l.min_per_byte_delay);
+                    acc.max_capacity = acc.max_capacity.min(l.max_capacity);
+                    acc.max_message_size = acc.max_message_size.min(l.max_message_size);
+                    let combined_ber =
+                        (acc.min_error_rate.rate() + l.min_error_rate.rate()).clamp(0.0, 1.0);
+                    acc.min_error_rate =
+                        BitErrorRate::new(combined_ber).expect("valid combined rate");
+                    acc.max_kind_strength = acc.max_kind_strength.min(l.max_kind_strength);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            out.support(*rel, *sec, acc);
+        }
+    }
+    out
+}
+
+/// Combine the security capabilities seen along `path`: the conservative
+/// intersection (everything must be trusted for the path to be trusted; the
+/// raw error rates accumulate).
+pub fn combined_capabilities<W: NetWorld>(
+    state: &W,
+    path: &[(HostId, usize, NetworkId, HostId)],
+) -> NetworkCapabilities {
+    let net = state.net_ref();
+    let mut caps = NetworkCapabilities {
+        trusted: true,
+        link_encryption: true,
+        hardware_checksum: true,
+        physical_broadcast: true,
+        raw_ber: 0.0,
+    };
+    for (_, _, n, _) in path {
+        let c = net.network(*n).spec.caps;
+        caps.trusted &= c.trusted;
+        caps.link_encryption &= c.link_encryption;
+        caps.hardware_checksum &= c.hardware_checksum;
+        caps.physical_broadcast &= c.physical_broadcast;
+        caps.raw_ber = (caps.raw_ber + c.raw_ber).clamp(0.0, 1.0);
+    }
+    caps
+}
+
+fn nak_to_reject(reason: NakReason) -> RejectReason {
+    match reason {
+        NakReason::Admission => RejectReason::AdmissionDenied {
+            detail: "a hop's admission control refused the reservation".into(),
+        },
+        NakReason::PeerRefused => RejectReason::PeerRejected,
+        NakReason::NoRoute => RejectReason::NoRoute,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RMS creation (sender side)
+// ---------------------------------------------------------------------------
+
+/// Create a network RMS from `creator` (the data **sender**) to `peer` (the
+/// data receiver). Negotiation runs against the combined service table of
+/// the routed path (§2.4); admission control then reserves hop by hop as
+/// the `CreateReq` travels (§2.3). The result arrives asynchronously as a
+/// [`NetRmsEvent::Created`] / [`NetRmsEvent::CreateFailed`] carrying the
+/// returned token.
+///
+/// # Errors
+///
+/// Fails synchronously if there is no route or negotiation cannot succeed.
+pub fn create_rms<W: NetWorld>(
+    sim: &mut Sim<W>,
+    creator: HostId,
+    peer: HostId,
+    request: &RmsRequest,
+) -> Result<CreateToken, RmsError> {
+    if creator == peer {
+        return Err(RmsError::CreationRejected(RejectReason::NoRoute));
+    }
+    let path = sim
+        .state
+        .net_ref()
+        .path(creator, peer)
+        .ok_or(RmsError::CreationRejected(RejectReason::NoRoute))?;
+    let table = combined_service_table(&sim.state, &path);
+    let params = negotiate(&table, request)?;
+    let caps = combined_capabilities(&sim.state, &path);
+    let (plan, _effective_ber) = select_mechanisms(&params, &caps);
+
+    let net = sim.state.net();
+    let token = net.alloc_token();
+    let rms = net.alloc_rms_id();
+    let key = Key(net.rng.next_u64());
+    net.host_mut(creator).pending.insert(
+        token,
+        PendingCreate {
+            rms,
+            peer,
+            params: params.clone(),
+            attempts: 0,
+            timer: None,
+            invite: None,
+            plan,
+            key,
+        },
+    );
+    // Deferred so the caller records the returned token before any
+    // failure/success event can fire.
+    sim.schedule_in(SimDuration::ZERO, move |sim| {
+        start_create_attempt(sim, creator, token);
+    });
+    Ok(token)
+}
+
+/// Create a network RMS with `creator` as the data **receiver** (§2.4: the
+/// creator may act as either end). Sends an `Invite`; the peer initiates
+/// the reserving `CreateReq` back toward us. Completion surfaces as
+/// [`NetRmsEvent::InboundCreated`] with `invite = Some(token)` (or
+/// [`NetRmsEvent::InviteFailed`]).
+///
+/// # Errors
+///
+/// Fails synchronously if there is no route or negotiation cannot succeed.
+pub fn create_rms_as_receiver<W: NetWorld>(
+    sim: &mut Sim<W>,
+    creator: HostId,
+    peer: HostId,
+    request: &RmsRequest,
+) -> Result<CreateToken, RmsError> {
+    if creator == peer {
+        return Err(RmsError::CreationRejected(RejectReason::NoRoute));
+    }
+    // Data flows peer -> creator; negotiate along that direction.
+    let path = sim
+        .state
+        .net_ref()
+        .path(peer, creator)
+        .ok_or(RmsError::CreationRejected(RejectReason::NoRoute))?;
+    let table = combined_service_table(&sim.state, &path);
+    let params = negotiate(&table, request)?;
+
+    let token = sim.state.net().alloc_token();
+    sim.state.net().host_mut(creator).invites.insert(
+        token,
+        PendingInvite {
+            peer,
+            params: params.clone(),
+            timer: None,
+            attempts: 0,
+        },
+    );
+    sim.schedule_in(SimDuration::ZERO, move |sim| {
+        start_invite_attempt(sim, creator, token);
+    });
+    Ok(token)
+}
+
+fn start_invite_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: CreateToken) {
+    let now = sim.now();
+    let (peer, params, attempts, timeout, retries) = {
+        let net = sim.state.net();
+        let timeout = net.config.create_timeout;
+        let retries = net.config.create_retries;
+        let inv = match net.host_mut(creator).invites.get_mut(&token) {
+            Some(i) => i,
+            None => return,
+        };
+        inv.attempts += 1;
+        (inv.peer, inv.params.clone(), inv.attempts, timeout, retries)
+    };
+    if attempts > retries {
+        sim.state.net().host_mut(creator).invites.remove(&token);
+        W::rms_event(
+            sim,
+            creator,
+            NetRmsEvent::InviteFailed {
+                token,
+                reason: RejectReason::Timeout,
+            },
+        );
+        return;
+    }
+    let packet = Packet {
+        src: creator,
+        dst: peer,
+        kind: PacketKind::Invite { token, params },
+        deadline: now,
+        sent_at: now,
+        corrupted: false,
+        hops: 0,
+        reliable: true,
+        next_plan: None,
+    };
+    route_and_enqueue(sim, creator, packet);
+    let timer = sim.schedule_timer(timeout, move |sim| {
+        // Retry while the invite is still pending (the CreateReq arriving
+        // at us removes it).
+        start_invite_attempt(sim, creator, token);
+    });
+    if let Some(inv) = sim.state.net().host_mut(creator).invites.get_mut(&token) {
+        inv.timer = Some(timer);
+    } else {
+        timer.cancel();
+    }
+}
+
+fn start_create_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: CreateToken) {
+    let now = sim.now();
+    let (rms, peer, params, invite, attempts, timeout, retries, plan, key) = {
+        let net = sim.state.net();
+        let timeout = net.config.create_timeout;
+        let retries = net.config.create_retries;
+        let p = match net.host_mut(creator).pending.get_mut(&token) {
+            Some(p) => p,
+            None => return,
+        };
+        p.attempts += 1;
+        (
+            p.rms,
+            p.peer,
+            p.params.clone(),
+            p.invite,
+            p.attempts,
+            timeout,
+            retries,
+            p.plan,
+            p.key,
+        )
+    };
+    if attempts > retries {
+        // Give up: clean any partial reservations and report.
+        sim.state.net().host_mut(creator).pending.remove(&token);
+        release_local_and_send_release(sim, creator, rms, peer);
+        W::rms_event(
+            sim,
+            creator,
+            NetRmsEvent::CreateFailed {
+                token,
+                reason: RejectReason::Timeout,
+            },
+        );
+        return;
+    }
+
+    // Reserve on our own outbound interface (hop 0), idempotently.
+    let first_net = {
+        let net = sim.state.net();
+        let route = match net.host(creator).routes.get(&peer).copied() {
+            Some(r) => r,
+            None => {
+                net.host_mut(creator).pending.remove(&token);
+                W::rms_event(
+                    sim,
+                    creator,
+                    NetRmsEvent::CreateFailed {
+                        token,
+                        reason: RejectReason::NoRoute,
+                    },
+                );
+                return;
+            }
+        };
+        let host = net.host_mut(creator);
+        if !host.reservations.contains_key(&rms) {
+            let admitted = host.ifaces[route.iface].ledger.admit(&params);
+            if !admitted.is_admitted() {
+                host.pending.remove(&token);
+                let detail = match admitted {
+                    rms_core::admission::Admission::Denied { detail } => detail,
+                    rms_core::admission::Admission::Admitted => unreachable!(),
+                };
+                W::rms_event(
+                    sim,
+                    creator,
+                    NetRmsEvent::CreateFailed {
+                        token,
+                        reason: RejectReason::AdmissionDenied { detail },
+                    },
+                );
+                return;
+            }
+            let net = sim.state.net();
+            net.host_mut(creator)
+                .reservations
+                .insert(rms, (route.iface, params.clone()));
+        }
+        sim.state.net().host(creator).ifaces[route.iface].network
+    };
+
+    let packet = Packet {
+        src: creator,
+        dst: peer,
+        kind: PacketKind::CreateReq {
+            token,
+            rms,
+            params,
+            path: vec![first_net],
+            invite,
+        },
+        deadline: now,
+        sent_at: now,
+        corrupted: false,
+        hops: 0,
+        reliable: true,
+        next_plan: Some((plan, key)),
+    };
+    route_and_enqueue(sim, creator, packet);
+    let timer = sim.schedule_timer(timeout, move |sim| {
+        start_create_attempt(sim, creator, token);
+    });
+    if let Some(p) = sim.state.net().host_mut(creator).pending.get_mut(&token) {
+        p.timer = Some(timer);
+    } else {
+        timer.cancel();
+    }
+}
+
+fn release_local_and_send_release<W: NetWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    rms: NetRmsId,
+    peer: HostId,
+) {
+    let now = sim.now();
+    {
+        let net = sim.state.net();
+        if let Some((iface, params)) = net.host_mut(host).reservations.remove(&rms) {
+            net.host_mut(host).ifaces[iface].ledger.release(&params);
+        }
+    }
+    let packet = Packet {
+        src: host,
+        dst: peer,
+        kind: PacketKind::Release { rms },
+        deadline: now,
+        sent_at: now,
+        corrupted: false,
+        hops: 0,
+        reliable: true,
+        next_plan: None,
+    };
+    route_and_enqueue(sim, host, packet);
+}
+
+/// Close an RMS from its sender side: releases reservations along the path
+/// and notifies the receiver ([`NetRmsEvent::Closed`] at the peer).
+pub fn close_rms<W: NetWorld>(sim: &mut Sim<W>, host: HostId, rms: NetRmsId) -> Result<(), RmsError> {
+    let peer = {
+        let net = sim.state.net();
+        let state = net
+            .host_mut(host)
+            .rms
+            .remove(&rms)
+            .ok_or(RmsError::UnknownStream)?;
+        state.peer
+    };
+    release_local_and_send_release(sim, host, rms, peer);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+/// Send a message on a sending RMS endpoint.
+///
+/// `tx_deadline` is the transmission deadline used for queueing at every
+/// hop (§4.1); it defaults to "now" (maximally urgent) and is clamped to be
+/// monotone per stream, preserving in-order delivery (§4.3.1). `sent_at`
+/// lets a higher layer date the delay clock from the original client send
+/// operation; it defaults to now.
+///
+/// # Errors
+///
+/// [`RmsError`] if the stream is unknown, failed, not a sender endpoint, or
+/// the message exceeds the maximum message size.
+pub fn send_on_rms<W: NetWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    rms: NetRmsId,
+    msg: Message,
+    tx_deadline: Option<SimTime>,
+    sent_at: Option<SimTime>,
+) -> Result<(), RmsError> {
+    let now = sim.now();
+    let (seq, params, plan, key, peer, deadline) = {
+        let net = sim.state.net();
+        let state = net
+            .host_mut(host)
+            .rms
+            .get_mut(&rms)
+            .ok_or(RmsError::UnknownStream)?;
+        if state.role != RmsRole::Sender {
+            return Err(RmsError::WrongDirection);
+        }
+        if state.failed {
+            return Err(RmsError::Failed(FailReason::NetworkDown));
+        }
+        if msg.len() as u64 > state.params.max_message_size {
+            return Err(RmsError::MessageTooLarge {
+                size: msg.len() as u64,
+                limit: state.params.max_message_size,
+            });
+        }
+        let mut deadline = tx_deadline.unwrap_or(now);
+        // §4.3.1: per-stream transmission deadlines must be monotone so the
+        // network's deadline-ordered delivery preserves message order.
+        if deadline < state.last_tx_deadline {
+            deadline = state.last_tx_deadline;
+        }
+        state.last_tx_deadline = deadline;
+        // Interfaces order packets by *delivery* deadline — the handoff
+        // deadline plus this stream's own bound. This is what makes §2.5's
+        // example work: a low-delay stream's packets overtake high-delay
+        // packets "that would otherwise cause it to be delivered late",
+        // even when both were handed over equally promptly. The offset is
+        // evaluated at the maximum message size so it is constant per
+        // stream, preserving the §4.3.1 ordering guarantee.
+        let queue_deadline =
+            deadline.saturating_add(state.params.delay.bound_for(state.params.max_message_size));
+        (
+            state.alloc_seq(),
+            state.params.clone(),
+            state.plan,
+            state.key,
+            state.peer,
+            queue_deadline,
+        )
+    };
+    let sent_at = sent_at.unwrap_or(now);
+    let len = msg.len() as u64;
+    let cost = sim
+        .state
+        .net_ref()
+        .config
+        .per_packet_cpu
+        .plus(plan.cost())
+        .cost_for(len);
+    // §4.1: a stage's deadline is the *current* real time plus the delay
+    // allocated to the stage (not the origin time plus the total bound —
+    // retransmissions would otherwise carry overdue deadlines and starve
+    // everything else under EDF). Clamped monotone per stream so a short
+    // message cannot overtake its predecessors.
+    let cpu_deadline = {
+        let d = now.saturating_add(params.delay.bound_for(len));
+        let state = sim
+            .state
+            .net()
+            .host_mut(host)
+            .rms
+            .get_mut(&rms)
+            .expect("checked above");
+        let d = d.max(state.last_send_job_deadline);
+        state.last_send_job_deadline = d;
+        d
+    };
+    W::charge_cpu(
+        sim,
+        host,
+        cost,
+        cpu_deadline,
+        rms.0,
+        Box::new(move |sim| {
+            // The stream may have failed while the CPU job waited.
+            {
+                let net = sim.state.net();
+                match net.host(host).rms.get(&rms) {
+                    Some(s) if !s.failed => {}
+                    _ => return,
+                }
+            }
+            let payload = if plan.encrypt {
+                encrypt(key, seq, msg.payload())
+            } else {
+                msg.payload().clone()
+            };
+            let tag = plan.mac.then(|| {
+                let context = seq ^ msg.source.map(|l| l.0).unwrap_or(0).rotate_left(17);
+                mac::sign(key, context, &payload).0
+            });
+            let checksum = plan.checksum.map(|alg| alg.compute(&payload));
+            let packet = Packet {
+                src: host,
+                dst: peer,
+                kind: PacketKind::Data(DataPacket {
+                    rms,
+                    seq,
+                    payload,
+                    source: msg.source,
+                    target: msg.target,
+                    mac: tag,
+                    checksum,
+                }),
+                deadline,
+                sent_at,
+                corrupted: false,
+                hops: 0,
+                reliable: params.reliability == Reliability::Reliable,
+                next_plan: None,
+            };
+            route_and_enqueue(sim, host, packet);
+        }),
+    );
+    Ok(())
+}
+
+/// Send a raw datagram outside any RMS (the baseline primitive, §1).
+/// Queued FIFO-equivalent (deadline = now) and never reserved for.
+pub fn send_datagram<W: NetWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    dst: HostId,
+    proto: u16,
+    payload: Bytes,
+) {
+    let now = sim.now();
+    let packet = Packet {
+        src: host,
+        dst,
+        kind: PacketKind::Raw { proto, payload },
+        deadline: now,
+        sent_at: now,
+        corrupted: false,
+        hops: 0,
+        reliable: false,
+        next_plan: None,
+    };
+    route_and_enqueue(sim, host, packet);
+}
+
+// ---------------------------------------------------------------------------
+// Transmission machinery
+// ---------------------------------------------------------------------------
+
+/// Route `packet` out of `host` and enqueue it on the proper interface,
+/// starting the transmitter if idle. Loopback destinations deliver
+/// immediately. Returns `false` if the packet was dropped (no route or
+/// queue overflow).
+pub fn route_and_enqueue<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) -> bool {
+    let now = sim.now();
+    if packet.dst == host {
+        // Loopback: no wire involved.
+        sim.schedule_in(SimDuration::ZERO, move |sim| on_arrival(sim, host, packet));
+        return true;
+    }
+    let (accepted, iface_idx, quench) = {
+        let net = sim.state.net();
+        let route = match net.host(host).routes.get(&packet.dst).copied() {
+            Some(r) => r,
+            None => {
+                net.stats.no_route_drops.incr();
+                return false;
+            }
+        };
+        net.stats.packets_sent.incr();
+        let is_raw = matches!(packet.kind, PacketKind::Raw { .. });
+        let src = packet.src;
+        let proto = match &packet.kind {
+            PacketKind::Raw { proto, .. } => *proto,
+            _ => 0,
+        };
+        let dst = packet.dst;
+        let ok = net.host_mut(host).ifaces[route.iface].enqueue(now, packet);
+        if !ok {
+            net.stats.overflow_drops.incr();
+            let quench = (is_raw && net.config.quench_enabled && src != host)
+                .then_some((src, proto, dst));
+            (false, route.iface, quench)
+        } else {
+            (true, route.iface, None)
+        }
+    };
+    if let Some((to, proto, dropped_dst)) = quench {
+        send_quench(sim, host, to, proto, dropped_dst);
+    }
+    if accepted {
+        start_tx(sim, host, iface_idx);
+    }
+    accepted
+}
+
+fn send_quench<W: NetWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    to: HostId,
+    proto: u16,
+    dropped_dst: HostId,
+) {
+    let now = sim.now();
+    sim.state.net().stats.quenches_sent.incr();
+    let packet = Packet {
+        src: host,
+        dst: to,
+        kind: PacketKind::Quench { proto, dropped_dst },
+        deadline: now,
+        sent_at: now,
+        corrupted: false,
+        hops: 0,
+        reliable: false,
+        next_plan: None,
+    };
+    route_and_enqueue(sim, host, packet);
+}
+
+/// Start transmitting from `host`'s interface `iface_idx` if it is idle and
+/// has queued packets.
+pub fn start_tx<W: NetWorld>(sim: &mut Sim<W>, host: HostId, iface_idx: usize) {
+    let now = sim.now();
+    let (packet, network_id, tx_time) = {
+        let net = sim.state.net();
+        let iface = &mut net.host_mut(host).ifaces[iface_idx];
+        if iface.is_busy() {
+            return;
+        }
+        let packet = match iface.dequeue(now) {
+            Some(p) => p,
+            None => return,
+        };
+        iface.set_busy(true);
+        let network_id = iface.network;
+        let bytes = packet.wire_bytes();
+        iface.stats.tx_packets.incr();
+        iface.stats.tx_bytes.add(bytes);
+        let rate = net.network(network_id).spec.rate_bps;
+        let tx_time = SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate);
+        (packet, network_id, tx_time)
+    };
+    sim.schedule_in(tx_time, move |sim| {
+        finish_tx(sim, host, iface_idx, network_id, packet);
+    });
+}
+
+fn finish_tx<W: NetWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    iface_idx: usize,
+    network_id: NetworkId,
+    mut packet: Packet,
+) {
+    // Wire effects.
+    let (outcome, next_hop) = {
+        let net = sim.state.net();
+        let next_hop = net.host(host).routes.get(&packet.dst).map(|r| r.next_hop);
+        // Record what an eavesdropper on this network sees.
+        if let PacketKind::Data(d) = &packet.kind {
+            let payload = d.payload.clone();
+            if let Some(tap) = net.network_mut(network_id).wiretap.as_mut() {
+                tap.push(payload);
+            }
+        }
+        let bytes = packet.wire_bytes();
+        let reliable = packet.reliable;
+        // Disjoint field borrows: the network is read while the RNG mutates.
+        let rng = &mut net.rng;
+        let outcome =
+            net.networks[network_id.0 as usize].sample_traversal(rng, bytes, reliable);
+        (outcome, next_hop)
+    };
+    match (outcome, next_hop) {
+        (WireOutcome::Lost, _) | (_, None) => {
+            sim.state.net().stats.wire_drops.incr();
+        }
+        (WireOutcome::Delivered { delay }, Some(next)) => {
+            sim.schedule_in(delay, move |sim| on_arrival(sim, next, packet));
+        }
+        (WireOutcome::Corrupted { delay }, Some(next)) => {
+            packet.corrupted = true;
+            sim.schedule_in(delay, move |sim| on_arrival(sim, next, packet));
+        }
+    }
+    // Free the transmitter and continue with the queue.
+    sim.state.net().host_mut(host).ifaces[iface_idx].set_busy(false);
+    start_tx(sim, host, iface_idx);
+}
+
+// ---------------------------------------------------------------------------
+// Arrival / forwarding / per-kind handlers
+// ---------------------------------------------------------------------------
+
+/// A packet arrived at `host` (off the wire or via loopback).
+pub fn on_arrival<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
+    match &packet.kind {
+        PacketKind::CreateReq { .. } => handle_create_req(sim, host, packet),
+        PacketKind::CreateNak { .. } => handle_create_nak(sim, host, packet),
+        PacketKind::Release { .. } => handle_release(sim, host, packet),
+        _ if packet.dst != host => forward(sim, host, packet),
+        PacketKind::Data(_) => handle_data(sim, host, packet),
+        PacketKind::CreateAck { .. } => handle_create_ack(sim, host, packet),
+        PacketKind::Invite { .. } => handle_invite(sim, host, packet),
+        PacketKind::Raw { .. } => {
+            sim.state.net().stats.packets_delivered.incr();
+            let (proto, payload) = match packet.kind {
+                PacketKind::Raw { proto, payload } => (proto, payload),
+                _ => unreachable!(),
+            };
+            W::deliver_datagram(sim, host, packet.src, proto, payload, packet.sent_at);
+        }
+        PacketKind::Quench { .. } => {
+            let (proto, dropped_dst) = match packet.kind {
+                PacketKind::Quench { proto, dropped_dst } => (proto, dropped_dst),
+                _ => unreachable!(),
+            };
+            W::deliver_quench(sim, host, proto, dropped_dst);
+        }
+    }
+}
+
+fn forward<W: NetWorld>(sim: &mut Sim<W>, host: HostId, mut packet: Packet) {
+    packet.hops += 1;
+    let ttl = sim.state.net_ref().config.ttl;
+    if packet.hops > ttl {
+        sim.state.net().stats.ttl_drops.incr();
+        return;
+    }
+    route_and_enqueue(sim, host, packet);
+}
+
+fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
+    let (token, rms, params, mut path, invite) = match packet.kind.clone() {
+        PacketKind::CreateReq {
+            token,
+            rms,
+            params,
+            path,
+            invite,
+        } => (token, rms, params, path, invite),
+        _ => unreachable!(),
+    };
+    let (plan, key) = packet.next_plan.unwrap_or((MechanismPlan::NONE, Key(0)));
+
+    if packet.dst == host {
+        // Receiver endpoint. Idempotent: a retry of an already-accepted
+        // request just re-acks.
+        let is_new = !sim.state.net_ref().host(host).rms.contains_key(&rms);
+        if is_new {
+            let endpoint = NetRms::new(
+                rms,
+                RmsRole::Receiver,
+                packet.src,
+                params.clone(),
+                plan,
+                key,
+                path.clone(),
+            );
+            sim.state.net().host_mut(host).rms.insert(rms, endpoint);
+        }
+        let now = sim.now();
+        let ack = Packet {
+            src: host,
+            dst: packet.src,
+            kind: PacketKind::CreateAck {
+                token,
+                rms,
+                path: path.clone(),
+                invite,
+            },
+            deadline: now,
+            sent_at: now,
+            corrupted: false,
+            hops: 0,
+            reliable: true,
+            next_plan: None,
+        };
+        route_and_enqueue(sim, host, ack);
+        if is_new {
+            // If this answers our invite, resolve it.
+            if let Some(inv_token) = invite {
+                if let Some(inv) = sim.state.net().host_mut(host).invites.remove(&inv_token) {
+                    if let Some(t) = inv.timer {
+                        t.cancel();
+                    }
+                }
+            }
+            W::rms_event(
+                sim,
+                host,
+                NetRmsEvent::InboundCreated {
+                    rms,
+                    peer: packet.src,
+                    params,
+                    invite,
+                },
+            );
+        }
+        return;
+    }
+
+    // Intermediate hop: reserve on the outbound interface and forward.
+    let now = sim.now();
+    let verdict = {
+        let net = sim.state.net();
+        match net.host(host).routes.get(&packet.dst).copied() {
+            None => Err(NakReason::NoRoute),
+            Some(route) => {
+                let h = net.host_mut(host);
+                if h.reservations.contains_key(&rms) {
+                    Ok(route)
+                } else {
+                    let admitted = h.ifaces[route.iface].ledger.admit(&params);
+                    if admitted.is_admitted() {
+                        h.reservations.insert(rms, (route.iface, params.clone()));
+                        Ok(route)
+                    } else {
+                        Err(NakReason::Admission)
+                    }
+                }
+            }
+        }
+    };
+    match verdict {
+        Ok(route) => {
+            let network = sim.state.net_ref().host(host).ifaces[route.iface].network;
+            path.push(network);
+            let mut fwd = packet;
+            fwd.hops += 1;
+            fwd.kind = PacketKind::CreateReq {
+                token,
+                rms,
+                params,
+                path,
+                invite,
+            };
+            fwd.next_plan = Some((plan, key));
+            if fwd.hops <= sim.state.net_ref().config.ttl {
+                route_and_enqueue(sim, host, fwd);
+            } else {
+                sim.state.net().stats.ttl_drops.incr();
+            }
+        }
+        Err(reason) => {
+            let nak = Packet {
+                src: host,
+                dst: packet.src,
+                kind: PacketKind::CreateNak {
+                    token,
+                    rms,
+                    reason,
+                    invite,
+                },
+                deadline: now,
+                sent_at: now,
+                corrupted: false,
+                hops: 0,
+                reliable: true,
+                next_plan: None,
+            };
+            route_and_enqueue(sim, host, nak);
+        }
+    }
+}
+
+fn handle_create_nak<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
+    let (token, rms, reason, _invite) = match packet.kind.clone() {
+        PacketKind::CreateNak {
+            token,
+            rms,
+            reason,
+            invite,
+        } => (token, rms, reason, invite),
+        _ => unreachable!(),
+    };
+    // Every hop holding a reservation for this stream releases it.
+    {
+        let net = sim.state.net();
+        if let Some((iface, params)) = net.host_mut(host).reservations.remove(&rms) {
+            net.host_mut(host).ifaces[iface].ledger.release(&params);
+        }
+    }
+    if packet.dst != host {
+        forward(sim, host, packet);
+        return;
+    }
+    // At the creator: report failure.
+    if let Some(p) = sim.state.net().host_mut(host).pending.remove(&token) {
+        if let Some(t) = p.timer {
+            t.cancel();
+        }
+        W::rms_event(
+            sim,
+            host,
+            NetRmsEvent::CreateFailed {
+                token,
+                reason: nak_to_reject(reason),
+            },
+        );
+    }
+}
+
+fn handle_release<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
+    let rms = match packet.kind {
+        PacketKind::Release { rms } => rms,
+        _ => unreachable!(),
+    };
+    {
+        let net = sim.state.net();
+        if let Some((iface, params)) = net.host_mut(host).reservations.remove(&rms) {
+            net.host_mut(host).ifaces[iface].ledger.release(&params);
+        }
+    }
+    if packet.dst != host {
+        forward(sim, host, packet);
+        return;
+    }
+    if sim.state.net().host_mut(host).rms.remove(&rms).is_some() {
+        W::rms_event(sim, host, NetRmsEvent::Closed { rms });
+    }
+}
+
+fn handle_create_ack<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
+    let (token, rms, path, _invite) = match packet.kind.clone() {
+        PacketKind::CreateAck {
+            token,
+            rms,
+            path,
+            invite,
+        } => (token, rms, path, invite),
+        _ => unreachable!(),
+    };
+    let pending = match sim.state.net().host_mut(host).pending.remove(&token) {
+        Some(p) => p,
+        None => return, // duplicate ack
+    };
+    if let Some(t) = pending.timer {
+        t.cancel();
+    }
+    // The plan and key were chosen at request time and carried to the
+    // receiver; adopt the same ones here.
+    let endpoint = NetRms::new(
+        rms,
+        RmsRole::Sender,
+        pending.peer,
+        pending.params.clone(),
+        pending.plan,
+        pending.key,
+        path,
+    );
+    sim.state.net().host_mut(host).rms.insert(rms, endpoint);
+    let event = if pending.invite.is_some() {
+        NetRmsEvent::SenderCreatedByInvite {
+            rms,
+            peer: pending.peer,
+            params: pending.params,
+        }
+    } else {
+        NetRmsEvent::Created {
+            token,
+            rms,
+            params: pending.params,
+        }
+    };
+    W::rms_event(sim, host, event);
+}
+
+fn handle_invite<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
+    let (token, params) = match packet.kind.clone() {
+        PacketKind::Invite { token, params } => (token, params),
+        _ => unreachable!(),
+    };
+    // Already answering this invite? Then this is a retransmitted invite.
+    let already = sim
+        .state
+        .net_ref()
+        .host(host)
+        .pending
+        .values()
+        .any(|p| p.invite == Some(token));
+    if already {
+        return;
+    }
+    let inviter = packet.src;
+    let Some(path) = sim.state.net_ref().path(host, inviter) else {
+        return;
+    };
+    let caps = combined_capabilities(&sim.state, &path);
+    let (plan, _) = select_mechanisms(&params, &caps);
+    let net = sim.state.net();
+    let local_token = net.alloc_token();
+    let rms = net.alloc_rms_id();
+    let key = Key(net.rng.next_u64());
+    net.host_mut(host).pending.insert(
+        local_token,
+        PendingCreate {
+            rms,
+            peer: inviter,
+            params,
+            attempts: 0,
+            timer: None,
+            invite: Some(token),
+            plan,
+            key,
+        },
+    );
+    start_create_attempt(sim, host, local_token);
+    // (Invite-answering creates have no caller waiting on the token, so a
+    // synchronous first attempt is fine here.)
+}
+
+fn handle_data<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
+    let data = match packet.kind {
+        PacketKind::Data(d) => d,
+        _ => unreachable!(),
+    };
+    let corrupted = packet.corrupted;
+    let sent_at = packet.sent_at;
+    let rms = data.rms;
+    let (plan, params) = {
+        let net = sim.state.net();
+        match net.host(host).rms.get(&rms) {
+            Some(s) if s.role == RmsRole::Receiver && !s.failed => (s.plan, s.params.clone()),
+            _ => return, // unknown/failed/wrong-role: silently dropped
+        }
+    };
+    let len = data.payload.len() as u64;
+    let cost = sim
+        .state
+        .net_ref()
+        .config
+        .per_packet_cpu
+        .plus(plan.cost())
+        .cost_for(len);
+    let cpu_deadline = {
+        let now = sim.now();
+        let d = now.saturating_add(params.delay.bound_for(len));
+        let state = sim
+            .state
+            .net()
+            .host_mut(host)
+            .rms
+            .get_mut(&rms)
+            .expect("checked above");
+        let d = d.max(state.last_recv_job_deadline);
+        state.last_recv_job_deadline = d;
+        d
+    };
+    W::charge_cpu(
+        sim,
+        host,
+        cost,
+        cpu_deadline,
+        rms.0,
+        Box::new(move |sim| {
+            deliver_data(sim, host, rms, data, corrupted, sent_at);
+        }),
+    );
+}
+
+fn deliver_data<W: NetWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    rms_id: NetRmsId,
+    data: DataPacket,
+    corrupted: bool,
+    sent_at: SimTime,
+) {
+    let now = sim.now();
+    // Stage 1: verification + ordering, against the endpoint state.
+    let mut deliveries: Vec<(u64, Message, SimTime)> = Vec::new();
+    let mut failed_stream = false;
+    {
+        let net = sim.state.net();
+        let Some(state) = net.host_mut(host).rms.get_mut(&rms_id) else {
+            return;
+        };
+        if state.failed {
+            return;
+        }
+        let plan = state.plan;
+        let key = state.key;
+
+        // Integrity: a corrupted packet is caught by checksum or MAC when
+        // present; otherwise it is delivered corrupted (§2.2's error-rate
+        // contract covers this case).
+        let mut payload = data.payload.clone();
+        if corrupted {
+            if plan.checksum.is_some() || plan.mac {
+                state.stats.corrupt_dropped.incr();
+                state.stats.lost.incr();
+                return;
+            }
+            // Visible, deterministic corruption of the delivered bytes.
+            let mut v = payload.to_vec();
+            if let Some(b) = v.first_mut() {
+                *b ^= 0xff;
+            }
+            payload = Bytes::from(v);
+            state.stats.corrupt_delivered.incr();
+        } else {
+            // Authentication: verify tag and source label (§2.1).
+            if plan.mac {
+                let context = data.seq ^ data.source.map(|l| l.0).unwrap_or(0).rotate_left(17);
+                let ok = data
+                    .mac
+                    .map(|m| mac::verify(key, context, &payload, mac::Tag(m)))
+                    .unwrap_or(false);
+                if !ok {
+                    state.stats.corrupt_dropped.incr();
+                    return;
+                }
+            }
+            if let (Some(alg), Some(sum)) = (plan.checksum, data.checksum) {
+                if !alg.verify(&payload, sum) {
+                    state.stats.corrupt_dropped.incr();
+                    state.stats.lost.incr();
+                    return;
+                }
+            }
+        }
+        if plan.encrypt {
+            payload = decrypt(key, data.seq, &payload);
+        }
+
+        // Ordering (§2 property 2: delivered in sequence).
+        let reliable = state.params.reliability == Reliability::Reliable;
+        if state.is_stale(data.seq) {
+            state.stats.stale_dropped.incr();
+            return;
+        }
+        let expected = state.last_delivered.map_or(0, |l| l + 1);
+        let mk_msg = |payload: Bytes| {
+            let mut m = Message::new(payload);
+            m.source = data.source;
+            m.target = data.target;
+            m
+        };
+        if reliable {
+            if data.seq == expected {
+                deliveries.push((data.seq, mk_msg(payload), sent_at));
+                state.last_delivered = Some(data.seq);
+                // Drain the reorder buffer.
+                while let Some(next) = state.last_delivered.map(|l| l + 1) {
+                    match state.reorder.remove(&next) {
+                        Some(b) => {
+                            let mut m = Message::new(b.payload);
+                            m.source = b.source;
+                            m.target = b.target;
+                            deliveries.push((next, m, b.sent_at));
+                            state.last_delivered = Some(next);
+                        }
+                        None => break,
+                    }
+                }
+            } else {
+                state.reorder.insert(
+                    data.seq,
+                    Buffered {
+                        payload,
+                        source: data.source,
+                        target: data.target,
+                        sent_at,
+                    },
+                );
+                if state.reorder.len() > REORDER_FAIL_THRESHOLD {
+                    state.failed = true;
+                    failed_stream = true;
+                }
+            }
+        } else {
+            // Unreliable: deliver newest-in-order; count the gap as loss.
+            let gap = data.seq.saturating_sub(expected);
+            state.stats.lost.add(gap);
+            state.last_delivered = Some(data.seq);
+            deliveries.push((data.seq, mk_msg(payload), sent_at));
+        }
+
+        // Per-delivery stats.
+        for (_, msg, s_at) in &deliveries {
+            state.stats.delivered.incr();
+            state.stats.bytes.add(msg.len() as u64);
+            let delay = now.saturating_since(*s_at);
+            state.stats.delays.record(delay.as_secs_f64());
+            if delay > state.params.delay.bound_for(msg.len() as u64) {
+                state.stats.late.incr();
+            }
+        }
+    }
+    if failed_stream {
+        W::rms_event(
+            sim,
+            host,
+            NetRmsEvent::Failed {
+                rms: rms_id,
+                reason: FailReason::GuaranteeViolated,
+            },
+        );
+        return;
+    }
+    // Stage 2: hand off to the world.
+    for (seq, msg, s_at) in deliveries {
+        sim.state.net().stats.packets_delivered.incr();
+        let info = DeliveryInfo {
+            sent_at: s_at,
+            delivered_at: now,
+            stream: rms_id.0,
+            seq,
+        };
+        W::deliver_up(sim, host, rms_id, msg, info);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------------
+
+/// Bring a network down: in-flight and future packets on it are lost, and
+/// every RMS whose path traverses it fails with
+/// [`FailReason::NetworkDown`] (§2 property 3: "clients are notified of an
+/// RMS failure").
+pub fn fail_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
+    let mut failures: Vec<(HostId, NetRmsId)> = Vec::new();
+    {
+        let net = sim.state.net();
+        net.network_mut(network).down = true;
+        for host in &mut net.hosts {
+            for (id, state) in host.rms.iter_mut() {
+                if !state.failed && state.path.contains(&network) {
+                    state.failed = true;
+                    failures.push((host.id, *id));
+                }
+            }
+        }
+    }
+    for (host, rms) in failures {
+        W::rms_event(
+            sim,
+            host,
+            NetRmsEvent::Failed {
+                rms,
+                reason: FailReason::NetworkDown,
+            },
+        );
+    }
+}
+
+/// Restore a failed network. Existing RMSs stay failed (clients must create
+/// new ones, §4.4); new creations will succeed again.
+pub fn restore_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
+    sim.state.net().network_mut(network).down = false;
+}

@@ -1,0 +1,431 @@
+//! The network layer's world state and the [`NetWorld`] trait that upper
+//! layers implement to receive deliveries and events.
+//!
+//! `NetState` is deliberately non-generic: event closures capture only ids
+//! and reach it through `W::net()`. Upward calls (deliveries, RMS events)
+//! go through the `NetWorld` trait, so the subtransport crate can stack on
+//! top without this crate knowing about it (paper Figure 1's
+//! network-independent / network-dependent interface).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use dash_sim::engine::{Sim, TimerHandle};
+use dash_sim::rng::Rng;
+use dash_sim::stats::Counter;
+use dash_sim::time::{SimDuration, SimTime};
+use dash_sim::trace::Trace;
+use rms_core::error::{FailReason, RejectReason};
+use rms_core::message::Message;
+use rms_core::params::RmsParams;
+use rms_core::port::DeliveryInfo;
+
+use dash_security::cipher::Key;
+use dash_security::cost::CostModel;
+use dash_security::suite::MechanismPlan;
+
+use crate::iface::{Iface, QueueDiscipline};
+use crate::ids::{CreateToken, HostId, NetRmsId, NetworkId};
+use crate::network::Network;
+use crate::rms::NetRms;
+
+/// Global configuration of the network layer.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Creation handshake retry timeout.
+    pub create_timeout: SimDuration,
+    /// Creation handshake retry budget.
+    pub create_retries: u32,
+    /// Queue ordering for interfaces (deadline vs. FIFO baseline).
+    pub discipline: QueueDiscipline,
+    /// Hop budget before a packet is discarded.
+    pub ttl: u8,
+    /// Fixed per-packet protocol CPU cost (send and receive sides), on top
+    /// of security mechanism costs.
+    pub per_packet_cpu: CostModel,
+    /// When true, gateways send source-quench packets on datagram overflow
+    /// drops (the RFC 792/896 baseline behaviour, §4.4).
+    pub quench_enabled: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            create_timeout: SimDuration::from_millis(250),
+            create_retries: 3,
+            discipline: QueueDiscipline::Deadline,
+            ttl: 16,
+            per_packet_cpu: CostModel::new(
+                SimDuration::from_micros(5),
+                SimDuration::from_nanos(1),
+            ),
+            quench_enabled: true,
+        }
+    }
+}
+
+/// Network-layer-wide statistics.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Packets handed to interfaces.
+    pub packets_sent: Counter,
+    /// Packets delivered to their destination host.
+    pub packets_delivered: Counter,
+    /// Packets lost on the wire (drop or down network).
+    pub wire_drops: Counter,
+    /// Packets dropped at gateways/interfaces due to queue overflow.
+    pub overflow_drops: Counter,
+    /// Packets dropped because their hop budget ran out.
+    pub ttl_drops: Counter,
+    /// Packets dropped for lack of a route.
+    pub no_route_drops: Counter,
+    /// Source-quench packets emitted.
+    pub quenches_sent: Counter,
+}
+
+/// A route table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Index into the host's interface list.
+    pub iface: usize,
+    /// The neighbour the packet is handed to next.
+    pub next_hop: HostId,
+}
+
+/// An in-flight creation attempt at its creator.
+#[derive(Debug)]
+pub struct PendingCreate {
+    /// The RMS id allocated for the stream.
+    pub rms: NetRmsId,
+    /// Data-receiver host (peer of the sender).
+    pub peer: HostId,
+    /// Negotiated parameters being requested along the path.
+    pub params: RmsParams,
+    /// Attempts so far.
+    pub attempts: u32,
+    /// Retry timer.
+    pub timer: Option<TimerHandle>,
+    /// Set if this create answers a peer's invite.
+    pub invite: Option<CreateToken>,
+    /// Security mechanisms selected for the stream (§2.5).
+    pub plan: MechanismPlan,
+    /// Stream key the receiver was given on the request.
+    pub key: Key,
+}
+
+/// An invite (receiver-side create) awaiting the peer's sender-side create.
+#[derive(Debug)]
+pub struct PendingInvite {
+    /// The data-sender host being invited.
+    pub peer: HostId,
+    /// Parameters requested.
+    pub params: RmsParams,
+    /// Retry timer.
+    pub timer: Option<TimerHandle>,
+    /// Attempts so far.
+    pub attempts: u32,
+}
+
+/// Per-host network-layer state.
+#[derive(Debug)]
+pub struct NetHost {
+    /// This host's id.
+    pub id: HostId,
+    /// Attached interfaces.
+    pub ifaces: Vec<Iface>,
+    /// Static routes: destination → (interface, next hop).
+    pub routes: HashMap<HostId, Route>,
+    /// Live RMS endpoints (both roles).
+    pub rms: HashMap<NetRmsId, NetRms>,
+    /// Reservations held at this host for streams passing through it:
+    /// RMS → (outbound interface index, reserved parameters).
+    pub reservations: HashMap<NetRmsId, (usize, RmsParams)>,
+    /// Creation attempts initiated here.
+    pub pending: HashMap<CreateToken, PendingCreate>,
+    /// Invites initiated here (receiver-side creates).
+    pub invites: HashMap<CreateToken, PendingInvite>,
+    /// When this host's CPU becomes free (used by the default FIFO CPU
+    /// model of [`NetWorld::charge_cpu`]).
+    pub cpu_free_at: SimTime,
+}
+
+impl NetHost {
+    /// Index of the interface attached to `network`, if any.
+    pub fn iface_on(&self, network: NetworkId) -> Option<usize> {
+        self.ifaces.iter().position(|i| i.network == network)
+    }
+}
+
+/// The complete state of the network layer.
+#[derive(Debug)]
+pub struct NetState {
+    /// Configuration.
+    pub config: NetConfig,
+    /// All networks, indexed by [`NetworkId`].
+    pub networks: Vec<Network>,
+    /// All hosts, indexed by [`HostId`].
+    pub hosts: Vec<NetHost>,
+    /// Deterministic randomness for the wire.
+    pub rng: Rng,
+    /// Debug trace.
+    pub trace: Trace,
+    /// Global statistics.
+    pub stats: NetStats,
+    next_rms: u64,
+    next_token: u64,
+}
+
+impl NetState {
+    /// Create an empty state (normally built via
+    /// [`crate::topology::TopologyBuilder`]).
+    pub fn new(config: NetConfig, seed: u64) -> Self {
+        NetState {
+            config,
+            networks: Vec::new(),
+            hosts: Vec::new(),
+            rng: Rng::new(seed),
+            trace: Trace::default(),
+            stats: NetStats::default(),
+            next_rms: 1,
+            next_token: 1,
+        }
+    }
+
+    /// Shared access to a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn host(&self, id: HostId) -> &NetHost {
+        &self.hosts[id.0 as usize]
+    }
+
+    /// Mutable access to a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn host_mut(&mut self, id: HostId) -> &mut NetHost {
+        &mut self.hosts[id.0 as usize]
+    }
+
+    /// Shared access to a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn network(&self, id: NetworkId) -> &Network {
+        &self.networks[id.0 as usize]
+    }
+
+    /// Mutable access to a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn network_mut(&mut self, id: NetworkId) -> &mut Network {
+        &mut self.networks[id.0 as usize]
+    }
+
+    /// Allocate a fresh, globally unique RMS id.
+    pub fn alloc_rms_id(&mut self) -> NetRmsId {
+        let id = NetRmsId(self.next_rms);
+        self.next_rms += 1;
+        id
+    }
+
+    /// Allocate a fresh creation token.
+    pub fn alloc_token(&mut self) -> CreateToken {
+        let t = CreateToken(self.next_token);
+        self.next_token += 1;
+        t
+    }
+
+    /// The hop-by-hop path from `src` to `dst` as `(hop host, iface index,
+    /// network, next hop)` tuples, or `None` if unroutable.
+    pub fn path(&self, src: HostId, dst: HostId) -> Option<Vec<(HostId, usize, NetworkId, HostId)>> {
+        let mut here = src;
+        let mut out = Vec::new();
+        let mut hops = 0;
+        while here != dst {
+            let route = *self.host(here).routes.get(&dst)?;
+            let network = self.host(here).ifaces[route.iface].network;
+            out.push((here, route.iface, network, route.next_hop));
+            here = route.next_hop;
+            hops += 1;
+            if hops > self.config.ttl {
+                return None;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Events the network layer reports upward about RMS lifecycle.
+#[derive(Debug)]
+pub enum NetRmsEvent {
+    /// A creation initiated here (sender side, or sender side on behalf of
+    /// a peer invite) finished successfully.
+    Created {
+        /// The creator's token.
+        token: CreateToken,
+        /// The new stream.
+        rms: NetRmsId,
+        /// Its negotiated parameters.
+        params: RmsParams,
+    },
+    /// A creation initiated here failed.
+    CreateFailed {
+        /// The creator's token.
+        token: CreateToken,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// A receiving endpoint appeared at this host (a peer created a stream
+    /// toward us). If `invite` is set, it answers our earlier invite.
+    InboundCreated {
+        /// The new stream.
+        rms: NetRmsId,
+        /// The sending peer.
+        peer: HostId,
+        /// Negotiated parameters.
+        params: RmsParams,
+        /// Our invite token, when this answers a receiver-side create.
+        invite: Option<CreateToken>,
+    },
+    /// This host now owns the *sending* end of a stream it did not ask for:
+    /// it accepted a peer's invite (§2.4 receiver-side creation).
+    SenderCreatedByInvite {
+        /// The new stream.
+        rms: NetRmsId,
+        /// The receiving peer (the inviter).
+        peer: HostId,
+        /// Negotiated parameters.
+        params: RmsParams,
+    },
+    /// An invite we sent was refused or timed out.
+    InviteFailed {
+        /// Our invite token.
+        token: CreateToken,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// An RMS endpoint at this host failed (§2 property 3).
+    Failed {
+        /// The stream.
+        rms: NetRmsId,
+        /// Why.
+        reason: FailReason,
+    },
+    /// The peer closed the stream.
+    Closed {
+        /// The stream.
+        rms: NetRmsId,
+    },
+}
+
+/// The world-state contract between the network layer and whatever runs
+/// above it.
+pub trait NetWorld: Sized + 'static {
+    /// The embedded network state.
+    fn net(&mut self) -> &mut NetState;
+    /// Shared access to the embedded network state.
+    fn net_ref(&self) -> &NetState;
+
+    /// Charge protocol CPU time at `host`, then run `cont`.
+    ///
+    /// The default implementation models a single CPU per host with FIFO
+    /// (run-to-completion) scheduling: jobs execute in submission order, so
+    /// protocol processing never reorders a stream's packets. Worlds with a
+    /// real [`dash_sim::cpu::Cpu`] override this to get deadline-based
+    /// short-term scheduling (§4.1); `deadline` and `stream` exist for
+    /// those overrides.
+    fn charge_cpu(
+        sim: &mut Sim<Self>,
+        host: HostId,
+        cost: SimDuration,
+        deadline: SimTime,
+        stream: u64,
+        cont: Box<dyn FnOnce(&mut Sim<Self>)>,
+    ) {
+        let _ = (deadline, stream);
+        fifo_charge_cpu(sim, host, cost, cont);
+    }
+
+    /// A message arrived on a receiving RMS endpoint at `host`.
+    fn deliver_up(
+        sim: &mut Sim<Self>,
+        host: HostId,
+        rms: NetRmsId,
+        msg: Message,
+        info: DeliveryInfo,
+    );
+
+    /// An RMS lifecycle event occurred at `host`.
+    fn rms_event(sim: &mut Sim<Self>, host: HostId, event: NetRmsEvent);
+
+    /// A raw datagram arrived (baseline traffic). Default: discarded.
+    fn deliver_datagram(
+        sim: &mut Sim<Self>,
+        host: HostId,
+        src: HostId,
+        proto: u16,
+        payload: Bytes,
+        sent_at: SimTime,
+    ) {
+        let _ = (sim, host, src, proto, payload, sent_at);
+    }
+
+    /// A source-quench arrived (baseline congestion signal). Default:
+    /// ignored — which is exactly the failure mode the paper ascribes to
+    /// ad-hoc congestion control.
+    fn deliver_quench(sim: &mut Sim<Self>, host: HostId, proto: u16, dropped_dst: HostId) {
+        let _ = (sim, host, proto, dropped_dst);
+    }
+}
+
+/// The default CPU model shared by [`NetWorld::charge_cpu`] implementations:
+/// one CPU per host, FIFO run-to-completion. Worlds that override
+/// `charge_cpu` (e.g. to use an EDF [`dash_sim::cpu::Cpu`]) can fall back to
+/// this for hosts without a modelled CPU.
+pub fn fifo_charge_cpu<W: NetWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    cost: SimDuration,
+    cont: Box<dyn FnOnce(&mut Sim<W>)>,
+) {
+    let now = sim.now();
+    let h = sim.state.net().host_mut(host);
+    let start = if h.cpu_free_at > now { h.cpu_free_at } else { now };
+    let finish = start.saturating_add(cost);
+    h.cpu_free_at = finish;
+    if finish <= now {
+        cont(sim);
+    } else {
+        sim.schedule_at(finish, cont);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_allocation_is_unique() {
+        let mut s = NetState::new(NetConfig::default(), 1);
+        let a = s.alloc_rms_id();
+        let b = s.alloc_rms_id();
+        assert_ne!(a, b);
+        let t1 = s.alloc_token();
+        let t2 = s.alloc_token();
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = NetConfig::default();
+        assert!(c.create_retries > 0);
+        assert!(c.ttl > 1);
+        assert_eq!(c.discipline, QueueDiscipline::Deadline);
+    }
+}

@@ -1,0 +1,541 @@
+//! End-to-end tests of the network layer: creation handshake, sequenced
+//! delivery, admission control, security mechanisms, failure notification.
+
+use bytes::Bytes;
+use dash_net::ids::{CreateToken, HostId, NetRmsId};
+use dash_net::network::NetworkSpec;
+use dash_net::pipeline::{
+    close_rms, create_rms, create_rms_as_receiver, fail_network, send_datagram, send_on_rms,
+};
+use dash_net::state::{NetRmsEvent, NetState, NetWorld};
+use dash_net::topology::{dumbbell, two_hosts_ethernet, TopologyBuilder};
+use dash_net::NetworkId;
+use dash_sim::time::{SimDuration, SimTime};
+use dash_sim::Sim;
+use rms_core::delay::DelayBound;
+use rms_core::error::FailReason;
+use rms_core::message::{Label, Message};
+use rms_core::params::{BitErrorRate, Reliability, RmsParams, SecurityParams};
+use rms_core::port::DeliveryInfo;
+use rms_core::RmsRequest;
+
+/// A recording world: every delivery and event is logged.
+struct World {
+    net: NetState,
+    deliveries: Vec<(HostId, NetRmsId, Message, DeliveryInfo)>,
+    events: Vec<(HostId, String)>,
+    created: Vec<(HostId, CreateToken, NetRmsId)>,
+    inbound: Vec<(HostId, NetRmsId)>,
+    failed: Vec<(HostId, NetRmsId, FailReason)>,
+    datagrams: Vec<(HostId, u16, Bytes)>,
+    quenches: Vec<HostId>,
+}
+
+impl World {
+    fn new(net: NetState) -> Self {
+        World {
+            net,
+            deliveries: Vec::new(),
+            events: Vec::new(),
+            created: Vec::new(),
+            inbound: Vec::new(),
+            failed: Vec::new(),
+            datagrams: Vec::new(),
+            quenches: Vec::new(),
+        }
+    }
+}
+
+impl NetWorld for World {
+    fn net(&mut self) -> &mut NetState {
+        &mut self.net
+    }
+    fn net_ref(&self) -> &NetState {
+        &self.net
+    }
+    fn deliver_up(
+        sim: &mut Sim<Self>,
+        host: HostId,
+        rms: NetRmsId,
+        msg: Message,
+        info: DeliveryInfo,
+    ) {
+        sim.state.deliveries.push((host, rms, msg, info));
+    }
+    fn rms_event(sim: &mut Sim<Self>, host: HostId, event: NetRmsEvent) {
+        sim.state.events.push((host, format!("{event:?}")));
+        match event {
+            NetRmsEvent::Created { token, rms, .. } => sim.state.created.push((host, token, rms)),
+            NetRmsEvent::InboundCreated { rms, .. } => sim.state.inbound.push((host, rms)),
+            NetRmsEvent::Failed { rms, reason } => sim.state.failed.push((host, rms, reason)),
+            _ => {}
+        }
+    }
+    fn deliver_datagram(
+        sim: &mut Sim<Self>,
+        host: HostId,
+        _src: HostId,
+        proto: u16,
+        payload: Bytes,
+        _sent_at: SimTime,
+    ) {
+        sim.state.datagrams.push((host, proto, payload));
+    }
+    fn deliver_quench(sim: &mut Sim<Self>, host: HostId, _proto: u16, _dst: HostId) {
+        sim.state.quenches.push(host);
+    }
+}
+
+fn basic_params() -> RmsParams {
+    RmsParams::builder(64 * 1024, 1024).build().unwrap()
+}
+
+fn settle(sim: &mut Sim<World>) {
+    sim.run();
+}
+
+/// Create an RMS and return its id once the handshake completes.
+fn establish(sim: &mut Sim<World>, a: HostId, b: HostId, params: RmsParams) -> NetRmsId {
+    let token = create_rms(sim, a, b, &RmsRequest::exact(params)).expect("create accepted");
+    settle(sim);
+    let (_, _, rms) = *sim
+        .state
+        .created
+        .iter()
+        .find(|(h, t, _)| *h == a && *t == token)
+        .expect("creation completed");
+    rms
+}
+
+#[test]
+fn handshake_creates_both_endpoints() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    let rms = establish(&mut sim, a, b, basic_params());
+    assert_eq!(sim.state.inbound, vec![(b, rms)]);
+    assert!(sim.state.net.host(a).rms.contains_key(&rms));
+    assert!(sim.state.net.host(b).rms.contains_key(&rms));
+}
+
+#[test]
+fn data_flows_and_is_delivered_in_order() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    let rms = establish(&mut sim, a, b, basic_params());
+    for i in 0..20u8 {
+        send_on_rms(&mut sim, a, rms, Message::new(vec![i; 100]), None, None).unwrap();
+    }
+    settle(&mut sim);
+    assert_eq!(sim.state.deliveries.len(), 20);
+    for (i, (host, r, msg, info)) in sim.state.deliveries.iter().enumerate() {
+        assert_eq!(*host, b);
+        assert_eq!(*r, rms);
+        assert_eq!(msg.payload()[0], i as u8);
+        assert_eq!(info.seq, i as u64);
+        assert!(info.delay() > SimDuration::ZERO);
+    }
+}
+
+#[test]
+fn oversized_message_is_rejected() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    let rms = establish(&mut sim, a, b, basic_params());
+    let err = send_on_rms(&mut sim, a, rms, Message::zeroes(2000), None, None).unwrap_err();
+    assert!(matches!(
+        err,
+        rms_core::RmsError::MessageTooLarge { size: 2000, limit: 1024 }
+    ));
+}
+
+#[test]
+fn receiver_cannot_send() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    let rms = establish(&mut sim, a, b, basic_params());
+    let err = send_on_rms(&mut sim, b, rms, Message::zeroes(10), None, None).unwrap_err();
+    assert!(matches!(err, rms_core::RmsError::WrongDirection));
+}
+
+#[test]
+fn multihop_delivery_through_gateways() {
+    let (net, a, b, _g1, _g2) = dumbbell();
+    let mut sim = Sim::new(World::new(net));
+    let rms = establish(&mut sim, a, b, basic_params());
+    send_on_rms(&mut sim, a, rms, Message::zeroes(500), None, None).unwrap();
+    settle(&mut sim);
+    assert_eq!(sim.state.deliveries.len(), 1);
+    // The path crosses three networks.
+    assert_eq!(sim.state.net.host(a).rms[&rms].path.len(), 3);
+    // End-to-end delay exceeds the WAN propagation alone.
+    let (_, _, _, info) = &sim.state.deliveries[0];
+    assert!(info.delay() >= SimDuration::from_millis(30));
+}
+
+#[test]
+fn deterministic_admission_exhausts_and_releases() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    // Ethernet: 10 Mb/s = 1.25e6 B/s, 90% reservable. Each stream below
+    // implies C/D = 100_000/0.2s = 500 KB/s -> only 2 fit.
+    let params = RmsParams::builder(100_000, 1_000)
+        .delay(DelayBound::deterministic(
+            SimDuration::from_millis(200),
+            SimDuration::from_micros(2),
+        ))
+        .error_rate(BitErrorRate::new(1e-4).unwrap())
+        .build()
+        .unwrap();
+    let r1 = establish(&mut sim, a, b, params.clone());
+    let _r2 = establish(&mut sim, a, b, params.clone());
+    // Third is denied at the creator's own interface.
+    let t3 = create_rms(&mut sim, a, b, &RmsRequest::exact(params.clone())).unwrap();
+    settle(&mut sim);
+    let failed = sim
+        .state
+        .events
+        .iter()
+        .any(|(h, e)| *h == a && e.contains("CreateFailed") && e.contains(&format!("{t3:?}").replace("CreateToken", "")) || e.contains("AdmissionDenied"));
+    assert!(failed, "third stream should be denied: {:?}", sim.state.events);
+    // Closing one frees capacity for a new stream.
+    close_rms(&mut sim, a, r1).unwrap();
+    settle(&mut sim);
+    let _r4 = establish(&mut sim, a, b, params);
+}
+
+#[test]
+fn best_effort_never_rejected() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    for _ in 0..50 {
+        let _ = establish(&mut sim, a, b, basic_params());
+    }
+    assert_eq!(sim.state.created.len(), 50);
+}
+
+#[test]
+fn close_notifies_receiver() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    let rms = establish(&mut sim, a, b, basic_params());
+    close_rms(&mut sim, a, rms).unwrap();
+    settle(&mut sim);
+    assert!(sim
+        .state
+        .events
+        .iter()
+        .any(|(h, e)| *h == b && e.contains("Closed")));
+    assert!(!sim.state.net.host(b).rms.contains_key(&rms));
+}
+
+#[test]
+fn network_failure_notifies_clients() {
+    let (net, a, b, _g1, _g2) = dumbbell();
+    let mut sim = Sim::new(World::new(net));
+    let rms = establish(&mut sim, a, b, basic_params());
+    fail_network(&mut sim, NetworkId(1)); // the WAN
+    settle(&mut sim);
+    let failed_hosts: Vec<HostId> = sim.state.failed.iter().map(|(h, _, _)| *h).collect();
+    assert!(failed_hosts.contains(&a));
+    assert!(failed_hosts.contains(&b));
+    assert!(sim
+        .state
+        .failed
+        .iter()
+        .all(|(_, r, reason)| *r == rms && *reason == FailReason::NetworkDown));
+    // Sends now fail.
+    let err = send_on_rms(&mut sim, a, rms, Message::zeroes(10), None, None).unwrap_err();
+    assert!(matches!(err, rms_core::RmsError::Failed(_)));
+}
+
+#[test]
+fn unroutable_peer_rejected_synchronously() {
+    let mut b = TopologyBuilder::new();
+    let n1 = b.network(NetworkSpec::ethernet("x"));
+    let n2 = b.network(NetworkSpec::ethernet("y"));
+    let a = b.host_on(n1);
+    let c = b.host_on(n2);
+    let mut sim = Sim::new(World::new(b.build()));
+    let err = create_rms(&mut sim, a, c, &RmsRequest::exact(basic_params())).unwrap_err();
+    assert!(matches!(
+        err,
+        rms_core::RmsError::CreationRejected(rms_core::RejectReason::NoRoute)
+    ));
+}
+
+#[test]
+fn receiver_side_creation_via_invite() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    // b wants to *receive* from a.
+    let token = create_rms_as_receiver(&mut sim, b, a, &RmsRequest::exact(basic_params())).unwrap();
+    settle(&mut sim);
+    // b got an inbound endpoint answering the invite.
+    assert!(sim
+        .state
+        .events
+        .iter()
+        .any(|(h, e)| *h == b && e.contains("InboundCreated") && e.contains(&format!("{token:?}"))));
+    // a got a sender endpoint by invite.
+    assert!(sim
+        .state
+        .events
+        .iter()
+        .any(|(h, e)| *h == a && e.contains("SenderCreatedByInvite")));
+    // And a can now send to b.
+    let rms = sim.state.inbound.last().unwrap().1;
+    send_on_rms(&mut sim, a, rms, Message::zeroes(64), None, None).unwrap();
+    settle(&mut sim);
+    assert_eq!(sim.state.deliveries.len(), 1);
+}
+
+#[test]
+fn private_stream_is_encrypted_on_the_wire() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    sim.state.net.network_mut(NetworkId(0)).wiretap = Some(Vec::new());
+    let params = RmsParams::builder(64 * 1024, 1024)
+        .security(SecurityParams::FULL)
+        .build()
+        .unwrap();
+    let rms = establish(&mut sim, a, b, params);
+    let secret = b"attack at dawn, bring snacks".to_vec();
+    send_on_rms(&mut sim, a, rms, Message::new(secret.clone()), None, None).unwrap();
+    settle(&mut sim);
+    // Delivered plaintext intact...
+    assert_eq!(sim.state.deliveries.len(), 1);
+    assert_eq!(sim.state.deliveries[0].2.payload().as_ref(), &secret[..]);
+    // ...but the wire saw only ciphertext.
+    let taps = sim
+        .state
+        .net
+        .network(NetworkId(0))
+        .wiretap
+        .as_ref()
+        .unwrap();
+    assert!(!taps.is_empty());
+    assert!(taps.iter().all(|t| t.as_ref() != &secret[..]));
+}
+
+#[test]
+fn open_stream_is_cleartext_on_the_wire() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    sim.state.net.network_mut(NetworkId(0)).wiretap = Some(Vec::new());
+    let rms = establish(&mut sim, a, b, basic_params());
+    let text = b"postcard contents".to_vec();
+    send_on_rms(&mut sim, a, rms, Message::new(text.clone()), None, None).unwrap();
+    settle(&mut sim);
+    let taps = sim
+        .state
+        .net
+        .network(NetworkId(0))
+        .wiretap
+        .as_ref()
+        .unwrap();
+    assert!(taps.iter().any(|t| t.as_ref() == &text[..]));
+}
+
+#[test]
+fn authenticated_stream_preserves_source_label() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    let params = RmsParams::builder(64 * 1024, 1024)
+        .security(SecurityParams {
+            authentication: rms_core::Authentication::Authenticated,
+            privacy: rms_core::Privacy::Open,
+        })
+        .build()
+        .unwrap();
+    let rms = establish(&mut sim, a, b, params);
+    let msg = Message::labelled(Label(77), Label(88), vec![1, 2, 3]);
+    send_on_rms(&mut sim, a, rms, msg, None, None).unwrap();
+    settle(&mut sim);
+    assert_eq!(sim.state.deliveries.len(), 1);
+    assert_eq!(sim.state.deliveries[0].2.source, Some(Label(77)));
+    assert_eq!(sim.state.deliveries[0].2.target, Some(Label(88)));
+}
+
+#[test]
+fn datagrams_flow_without_any_rms() {
+    let (net, a, b, _, _) = dumbbell();
+    let mut sim = Sim::new(World::new(net));
+    send_datagram(&mut sim, a, b, 42, Bytes::from_static(b"hello"));
+    settle(&mut sim);
+    assert_eq!(sim.state.datagrams.len(), 1);
+    assert_eq!(sim.state.datagrams[0].1, 42);
+    assert_eq!(sim.state.datagrams[0].2.as_ref(), b"hello");
+}
+
+#[test]
+fn gateway_overflow_triggers_source_quench() {
+    // Tiny gateway queues + a flood of datagrams.
+    let mut b = TopologyBuilder::new();
+    let lan_a = b.network(NetworkSpec::ethernet("lan-a"));
+    let mut wan_spec = NetworkSpec::long_haul("wan");
+    wan_spec.rate_bps = 64_000.0; // slow bottleneck
+    wan_spec.drop_prob = 0.0;
+    let wan = b.network(wan_spec);
+    let lan_b = b.network(NetworkSpec::ethernet("lan-b"));
+    let a = b.host_on(lan_a);
+    let _g1 = b.gateway(lan_a, wan);
+    let _g2 = b.gateway(wan, lan_b);
+    let c = b.host_on(lan_b);
+    b.iface_queue_limit(Some(4_000));
+    let mut sim = Sim::new(World::new(b.build()));
+    // Pace sends at 1 ms so the sender's own 10 Mb/s interface drains, and
+    // the 64 kb/s WAN hop at the gateway becomes the overflowing bottleneck.
+    for i in 0..100u64 {
+        sim.schedule_in(SimDuration::from_millis(i), move |sim| {
+            send_datagram(sim, a, c, 7, Bytes::from(vec![0u8; 1_000]));
+        });
+    }
+    sim.run();
+    assert!(
+        !sim.state.quenches.is_empty(),
+        "overloaded gateway should quench"
+    );
+    assert!(sim.state.quenches.iter().all(|h| *h == a));
+    assert!(sim.state.datagrams.len() < 100, "some datagrams dropped");
+}
+
+#[test]
+fn reliable_stream_survives_lossy_wire() {
+    let mut b = TopologyBuilder::new();
+    let mut spec = NetworkSpec::ethernet("lossy");
+    spec.drop_prob = 0.05;
+    spec.caps.raw_ber = 1e-6;
+    let n = b.network(spec);
+    let a = b.host_on(n);
+    let c = b.host_on(n);
+    let mut sim = Sim::new(World::new(b.build()));
+    let params = RmsParams::builder(64 * 1024, 1024)
+        .reliability(Reliability::Reliable)
+        .error_rate(BitErrorRate::ZERO)
+        .build()
+        .unwrap();
+    let rms = establish(&mut sim, a, c, params);
+    for i in 0..200u8 {
+        send_on_rms(&mut sim, a, rms, Message::new(vec![i; 200]), None, None).unwrap();
+    }
+    sim.run();
+    assert_eq!(sim.state.deliveries.len(), 200, "reliable: nothing lost");
+    for (i, d) in sim.state.deliveries.iter().enumerate() {
+        assert_eq!(d.3.seq, i as u64, "reliable: in order");
+    }
+}
+
+#[test]
+fn unreliable_stream_drops_but_preserves_order() {
+    let mut b = TopologyBuilder::new();
+    let mut spec = NetworkSpec::ethernet("lossy");
+    spec.drop_prob = 0.2;
+    spec.caps.raw_ber = 0.0;
+    let n = b.network(spec);
+    let a = b.host_on(n);
+    let c = b.host_on(n);
+    let mut sim = Sim::new(World::new(b.build()));
+    let rms = establish(&mut sim, a, c, basic_params());
+    for i in 0..200u8 {
+        send_on_rms(&mut sim, a, rms, Message::new(vec![i; 200]), None, None).unwrap();
+    }
+    sim.run();
+    let n_delivered = sim.state.deliveries.len();
+    assert!(n_delivered < 200, "some loss expected");
+    assert!(n_delivered > 100, "most should arrive");
+    // Sequence numbers strictly increase (in-sequence delivery, §2).
+    let seqs: Vec<u64> = sim.state.deliveries.iter().map(|d| d.3.seq).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    // Receiver counted the gaps as losses.
+    let stats = &sim.state.net.host(c).rms[&rms].stats;
+    assert_eq!(stats.delivered.get() as usize, n_delivered);
+    assert!(stats.lost.get() > 0);
+}
+
+#[test]
+fn corruption_detected_when_error_rate_needs_checksum() {
+    let mut b = TopologyBuilder::new();
+    let mut spec = NetworkSpec::ethernet("noisy");
+    spec.drop_prob = 0.0;
+    spec.caps.raw_ber = 1e-4; // very noisy medium
+    let n = b.network(spec);
+    let a = b.host_on(n);
+    let c = b.host_on(n);
+    let mut sim = Sim::new(World::new(b.build()));
+    // Request a BER far below the raw medium: forces a checksum.
+    let params = RmsParams::builder(64 * 1024, 1024)
+        .error_rate(BitErrorRate::new(1e-7).unwrap())
+        .build()
+        .unwrap();
+    let rms = establish(&mut sim, a, c, params);
+    for i in 0..300u32 {
+        send_on_rms(&mut sim, a, rms, Message::new(vec![(i % 256) as u8; 500]), None, None)
+            .unwrap();
+    }
+    sim.run();
+    let stats = &sim.state.net.host(c).rms[&rms].stats;
+    assert!(
+        stats.corrupt_dropped.get() > 0,
+        "noisy wire must corrupt some packets; checksum catches them"
+    );
+    assert_eq!(stats.corrupt_delivered.get(), 0);
+    // No corrupted payload reached the client.
+    for (i, d) in sim.state.deliveries.iter().enumerate() {
+        let _ = i;
+        let first = d.2.payload()[0];
+        assert!(d.2.payload().iter().all(|&b| b == first));
+    }
+}
+
+#[test]
+fn corruption_delivered_when_client_tolerates_errors() {
+    let mut b = TopologyBuilder::new();
+    let mut spec = NetworkSpec::ethernet("noisy");
+    spec.drop_prob = 0.0;
+    spec.caps.raw_ber = 1e-4;
+    let n = b.network(spec);
+    let a = b.host_on(n);
+    let c = b.host_on(n);
+    let mut sim = Sim::new(World::new(b.build()));
+    // Client tolerates a BER as high as the raw medium: no checksum runs
+    // ("a high bit error rate may be acceptable" for voice, §2.5).
+    let params = RmsParams::builder(64 * 1024, 1024)
+        .error_rate(BitErrorRate::new(1e-3).unwrap())
+        .build()
+        .unwrap();
+    let rms = establish(&mut sim, a, c, params);
+    for _ in 0..300 {
+        send_on_rms(&mut sim, a, rms, Message::new(vec![0xAAu8; 500]), None, None).unwrap();
+    }
+    sim.run();
+    let stats = &sim.state.net.host(c).rms[&rms].stats;
+    assert!(stats.corrupt_delivered.get() > 0, "no checksum -> corrupt bytes delivered");
+    assert_eq!(stats.corrupt_dropped.get(), 0);
+}
+
+#[test]
+fn deadline_clamping_keeps_transmission_order() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(World::new(net));
+    let rms = establish(&mut sim, a, b, basic_params());
+    let now = sim.now();
+    // Deliberately send with *decreasing* deadlines; §4.3.1 clamping must
+    // keep delivery in send order anyway.
+    for i in (0..10u8).rev() {
+        let d = now + SimDuration::from_millis(1 + i as u64);
+        send_on_rms(
+            &mut sim,
+            a,
+            rms,
+            Message::new(vec![9 - i; 50]),
+            Some(d),
+            None,
+        )
+        .unwrap();
+    }
+    sim.run();
+    // With clamping, all ten arrive (none judged stale) and in seq order.
+    assert_eq!(sim.state.deliveries.len(), 10);
+    let seqs: Vec<u64> = sim.state.deliveries.iter().map(|d| d.3.seq).collect();
+    assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+}

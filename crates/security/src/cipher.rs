@@ -1,0 +1,92 @@
+//! Simulated encryption.
+//!
+//! **Not real cryptography.** The reproduction needs a cipher that (a)
+//! actually transforms the bytes, so tests can verify that an eavesdropping
+//! host cannot read a private RMS's payload, and (b) has a realistic,
+//! tunable CPU cost, so the e1 experiment can measure the benefit of
+//! skipping redundant encryption. A keyed xoshiro-style keystream XOR
+//! satisfies both; a production system would use a real AEAD here.
+
+use bytes::Bytes;
+
+/// A symmetric key for the simulated stream cipher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// Derive a per-stream subkey from a key and stream nonce.
+    pub fn derive(self, nonce: u64) -> Key {
+        let mut z = self.0 ^ nonce.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Key(z ^ (z >> 31))
+    }
+}
+
+fn keystream_byte(state: &mut u64) -> u8 {
+    // SplitMix64 step per byte block; cheap and deterministic.
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) as u8
+}
+
+/// Encrypt `data` under `key` with message nonce `nonce`.
+///
+/// Symmetric: applying it twice with the same key/nonce returns the
+/// original bytes ([`decrypt`] is an alias).
+pub fn encrypt(key: Key, nonce: u64, data: &[u8]) -> Bytes {
+    let mut state = key.derive(nonce).0;
+    let out: Vec<u8> = data.iter().map(|&b| b ^ keystream_byte(&mut state)).collect();
+    Bytes::from(out)
+}
+
+/// Decrypt `data` under `key` with message nonce `nonce`.
+pub fn decrypt(key: Key, nonce: u64, data: &[u8]) -> Bytes {
+    encrypt(key, nonce, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let key = Key(0xdead_beef);
+        let plain = b"attack at dawn".to_vec();
+        let ct = encrypt(key, 7, &plain);
+        assert_ne!(ct.as_ref(), plain.as_slice());
+        let pt = decrypt(key, 7, &ct);
+        assert_eq!(pt.as_ref(), plain.as_slice());
+    }
+
+    #[test]
+    fn wrong_key_or_nonce_garbles() {
+        let key = Key(1);
+        let plain = b"hello world hello world".to_vec();
+        let ct = encrypt(key, 1, &plain);
+        assert_ne!(decrypt(Key(2), 1, &ct).as_ref(), plain.as_slice());
+        assert_ne!(decrypt(key, 2, &ct).as_ref(), plain.as_slice());
+    }
+
+    #[test]
+    fn ciphertext_differs_across_nonces() {
+        let key = Key(42);
+        let plain = vec![0u8; 64];
+        assert_ne!(encrypt(key, 1, &plain), encrypt(key, 2, &plain));
+    }
+
+    #[test]
+    fn empty_message() {
+        let ct = encrypt(Key(5), 0, &[]);
+        assert!(ct.is_empty());
+    }
+
+    #[test]
+    fn key_derivation_spreads() {
+        let k = Key(0);
+        assert_ne!(k.derive(0), k.derive(1));
+        assert_ne!(k.derive(1), k.derive(2));
+    }
+}

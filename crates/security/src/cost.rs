@@ -1,0 +1,106 @@
+//! CPU cost models for security mechanisms.
+//!
+//! The e1 experiment measures how much work RMS parameter negotiation
+//! saves. That requires an explicit model of what each mechanism costs the
+//! host CPU; these affine `fixed + per_byte·len` models are calibrated to
+//! the rough relative costs of the real algorithms (a CRC costs more than
+//! an Internet checksum; a software cipher costs several times a CRC).
+
+use dash_sim::time::SimDuration;
+
+use crate::checksum::Algorithm;
+
+/// An affine CPU cost: `fixed + per_byte · len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Fixed per-invocation overhead.
+    pub fixed: SimDuration,
+    /// Marginal cost per payload byte.
+    pub per_byte: SimDuration,
+}
+
+impl CostModel {
+    /// A zero-cost model (hardware offload or mechanism skipped).
+    pub const FREE: CostModel = CostModel {
+        fixed: SimDuration::ZERO,
+        per_byte: SimDuration::ZERO,
+    };
+
+    /// Construct a model.
+    pub const fn new(fixed: SimDuration, per_byte: SimDuration) -> Self {
+        CostModel { fixed, per_byte }
+    }
+
+    /// The CPU time to process `len` bytes.
+    pub fn cost_for(&self, len: u64) -> SimDuration {
+        self.fixed.saturating_add(self.per_byte.saturating_mul(len))
+    }
+
+    /// Sum of two models (mechanisms applied back to back).
+    pub fn plus(&self, other: CostModel) -> CostModel {
+        CostModel {
+            fixed: self.fixed.saturating_add(other.fixed),
+            per_byte: self.per_byte.saturating_add(other.per_byte),
+        }
+    }
+}
+
+/// Default cost of the software stream cipher (per direction).
+pub fn cipher_cost() -> CostModel {
+    CostModel::new(SimDuration::from_nanos(500), SimDuration::from_nanos(50))
+}
+
+/// Default cost of computing or verifying a MAC.
+pub fn mac_cost() -> CostModel {
+    CostModel::new(SimDuration::from_nanos(300), SimDuration::from_nanos(15))
+}
+
+/// Default cost of a checksum algorithm.
+pub fn checksum_cost(alg: Algorithm) -> CostModel {
+    match alg {
+        Algorithm::Internet => {
+            CostModel::new(SimDuration::from_nanos(100), SimDuration::from_nanos(2))
+        }
+        Algorithm::Fletcher32 => {
+            CostModel::new(SimDuration::from_nanos(120), SimDuration::from_nanos(4))
+        }
+        Algorithm::Crc32 => {
+            CostModel::new(SimDuration::from_nanos(150), SimDuration::from_nanos(8))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_cost() {
+        let m = CostModel::new(SimDuration::from_nanos(100), SimDuration::from_nanos(2));
+        assert_eq!(m.cost_for(0), SimDuration::from_nanos(100));
+        assert_eq!(m.cost_for(1000), SimDuration::from_nanos(2100));
+    }
+
+    #[test]
+    fn free_is_zero() {
+        assert_eq!(CostModel::FREE.cost_for(1_000_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn plus_sums_components() {
+        let a = CostModel::new(SimDuration::from_nanos(10), SimDuration::from_nanos(1));
+        let b = CostModel::new(SimDuration::from_nanos(20), SimDuration::from_nanos(3));
+        let c = a.plus(b);
+        assert_eq!(c.cost_for(10), SimDuration::from_nanos(30 + 40));
+    }
+
+    #[test]
+    fn relative_costs_ordered() {
+        let n = 1500;
+        let internet = checksum_cost(Algorithm::Internet).cost_for(n);
+        let fletcher = checksum_cost(Algorithm::Fletcher32).cost_for(n);
+        let crc = checksum_cost(Algorithm::Crc32).cost_for(n);
+        let cipher = cipher_cost().cost_for(n);
+        assert!(internet < fletcher && fletcher < crc && crc < cipher);
+    }
+}

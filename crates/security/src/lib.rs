@@ -1,0 +1,45 @@
+//! # dash-security — integrity and secrecy mechanisms with cost models
+//!
+//! The paper's security story (§2.1, §2.5) is that privacy, authentication
+//! and integrity are *negotiated RMS parameters*, and the provider selects
+//! the cheapest mechanism that satisfies them — including no mechanism at
+//! all when the network is trusted or has hardware support. This crate
+//! supplies:
+//!
+//! - [`checksum`]: Internet / Fletcher-32 / CRC-32 with detection-strength
+//!   estimates.
+//! - [`cipher`]: a simulated stream cipher (real byte transformation,
+//!   simulated strength — see the module docs).
+//! - [`mac`]: simulated message authentication tags.
+//! - [`cost`]: affine CPU cost models for each mechanism.
+//! - [`suite`]: [`suite::select_mechanisms`], the §2.5 decision procedure
+//!   mapping (RMS parameters × network capabilities) to the cheapest
+//!   sufficient [`suite::MechanismPlan`].
+//!
+//! ```
+//! use dash_security::suite::{select_mechanisms, NetworkCapabilities};
+//! use rms_core::params::{BitErrorRate, RmsParams, SecurityParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = RmsParams::builder(10_000, 1_000)
+//!     .security(SecurityParams::FULL)
+//!     .error_rate(BitErrorRate::new(1e-6).expect("valid"))
+//!     .build()?;
+//! // On a trusted network, full security costs nothing.
+//! let trusted = NetworkCapabilities { trusted: true, ..Default::default() };
+//! let (plan, _) = select_mechanisms(&params, &trusted);
+//! assert!(!plan.encrypt && !plan.mac);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod checksum;
+pub mod cipher;
+pub mod cost;
+pub mod mac;
+pub mod suite;
+
+pub use checksum::Algorithm;
+pub use cipher::Key;
+pub use cost::CostModel;
+pub use suite::{select_mechanisms, MechanismPlan, NetworkCapabilities};

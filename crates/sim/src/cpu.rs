@@ -1,0 +1,377 @@
+//! Host CPU model with deadline-based short-term scheduling (paper §4.1).
+//!
+//! When an upper-level RMS is created, its total delay bound is divided among
+//! stages; protocol processing at each end is one such stage, and the paper
+//! requires the short-term scheduler to order protocol (and user) processes
+//! by those deadlines. This module models one CPU per host: protocol work is
+//! submitted as a [`Job`] with a cost and a deadline, and a pluggable
+//! [`SchedPolicy`] picks the execution order. A context-switch cost is
+//! charged whenever the CPU switches between job *streams* (the stand-in for
+//! protocol process identity), which is what experiment `e4_fragmentation`
+//! sweeps.
+//!
+//! Scheduling is non-preemptive: protocol jobs are short relative to delay
+//! bounds, and non-preemptive EDF keeps the model (and its analysis) simple.
+//! This choice is recorded in `DESIGN.md`.
+//!
+//! The CPU lives inside the simulation world `S`; completion events reach it
+//! through a [`CpuAccessor`] function pointer so event closures stay
+//! `'static` without borrowing the world.
+
+use crate::engine::Sim;
+use crate::stats::{Counter, Histogram};
+use crate::time::{SimDuration, SimTime};
+
+/// How the CPU picks the next ready job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedPolicy {
+    /// Earliest-deadline-first: the policy the paper prescribes (§4.1).
+    #[default]
+    Edf,
+    /// First-in-first-out arrival order: the "no information" baseline.
+    Fifo,
+    /// Static priority (lower number = more urgent), the "priorities only"
+    /// baseline the conclusion contrasts with.
+    Priority,
+}
+
+/// A unit of protocol or user processing to run on a host CPU.
+pub struct Job<S> {
+    /// Deadline by which this work should complete (drives EDF).
+    pub deadline: SimTime,
+    /// Static priority (drives [`SchedPolicy::Priority`]); lower is sooner.
+    pub priority: u8,
+    /// Identity of the process/stream this job belongs to; switching streams
+    /// costs a context switch.
+    pub stream: u64,
+    /// CPU time the job consumes.
+    pub cost: SimDuration,
+    /// Continuation run when the job completes.
+    pub cont: Box<dyn FnOnce(&mut Sim<S>)>,
+}
+
+impl<S> std::fmt::Debug for Job<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("deadline", &self.deadline)
+            .field("priority", &self.priority)
+            .field("stream", &self.stream)
+            .field("cost", &self.cost)
+            .finish()
+    }
+}
+
+struct ReadyJob<S> {
+    arrival: SimTime,
+    seq: u64,
+    job: Job<S>,
+}
+
+struct Running<S> {
+    cont: Option<Box<dyn FnOnce(&mut Sim<S>)>>,
+    deadline: SimTime,
+    finish_at: SimTime,
+}
+
+/// Function pointer that locates a host's CPU inside the world state.
+///
+/// Using a plain `fn` keeps completion events `Copy + 'static`.
+pub type CpuAccessor<S> = fn(&mut S, u64) -> &mut Cpu<S>;
+
+/// Counters exported by a [`Cpu`] for the scheduling experiments.
+#[derive(Debug, Clone, Default)]
+pub struct CpuStats {
+    /// Jobs completed.
+    pub completed: Counter,
+    /// Jobs that finished after their deadline.
+    pub deadline_misses: Counter,
+    /// Context switches charged.
+    pub context_switches: Counter,
+    /// Total busy time (including context-switch overhead).
+    pub busy: SimDuration,
+    /// Lateness of completed jobs in seconds (0 for on-time jobs).
+    pub lateness: Histogram,
+}
+
+/// A simulated single-core CPU with a ready queue and scheduling policy.
+pub struct Cpu<S> {
+    policy: SchedPolicy,
+    context_switch: SimDuration,
+    ready: Vec<ReadyJob<S>>,
+    running: Option<Running<S>>,
+    current_stream: Option<u64>,
+    seq: u64,
+    /// Measurement counters; reset with [`Cpu::take_stats`].
+    pub stats: CpuStats,
+}
+
+impl<S> std::fmt::Debug for Cpu<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("policy", &self.policy)
+            .field("ready", &self.ready.len())
+            .field("busy", &self.running.is_some())
+            .finish()
+    }
+}
+
+impl<S: 'static> Cpu<S> {
+    /// Create a CPU with the given policy and per-switch overhead.
+    pub fn new(policy: SchedPolicy, context_switch: SimDuration) -> Self {
+        Cpu {
+            policy,
+            context_switch,
+            ready: Vec::new(),
+            running: None,
+            current_stream: None,
+            seq: 0,
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// The scheduling policy in force.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Number of jobs waiting (not counting the running one).
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// True if a job is currently executing.
+    pub fn is_busy(&self) -> bool {
+        self.running.is_some()
+    }
+
+    /// Take and reset the accumulated statistics.
+    pub fn take_stats(&mut self) -> CpuStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    fn pick_next(&mut self) -> Option<ReadyJob<S>> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let idx = match self.policy {
+            SchedPolicy::Edf => self
+                .ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| (r.job.deadline, r.seq))
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            SchedPolicy::Fifo => self
+                .ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.seq)
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            SchedPolicy::Priority => self
+                .ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| (r.job.priority, r.seq))
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+        };
+        Some(self.ready.swap_remove(idx))
+    }
+}
+
+/// Submit a job to the CPU of host `key`, starting it immediately if idle.
+///
+/// `acc` must return the same [`Cpu`] for the same `key` for the lifetime of
+/// the simulation.
+pub fn submit<S: 'static>(sim: &mut Sim<S>, acc: CpuAccessor<S>, key: u64, job: Job<S>) {
+    let now = sim.now();
+    let cpu = acc(&mut sim.state, key);
+    let seq = cpu.seq;
+    cpu.seq += 1;
+    cpu.ready.push(ReadyJob {
+        arrival: now,
+        seq,
+        job,
+    });
+    if cpu.running.is_none() {
+        start_next(sim, acc, key);
+    }
+}
+
+fn start_next<S: 'static>(sim: &mut Sim<S>, acc: CpuAccessor<S>, key: u64) {
+    let now = sim.now();
+    let cpu = acc(&mut sim.state, key);
+    debug_assert!(cpu.running.is_none());
+    let Some(ready) = cpu.pick_next() else {
+        return;
+    };
+    let _ = ready.arrival;
+    let switch = if cpu.current_stream == Some(ready.job.stream) {
+        SimDuration::ZERO
+    } else {
+        if cpu.current_stream.is_some() || !cpu.context_switch.is_zero() {
+            cpu.stats.context_switches.incr();
+        }
+        cpu.context_switch
+    };
+    cpu.current_stream = Some(ready.job.stream);
+    let service = switch.saturating_add(ready.job.cost);
+    let finish_at = now.saturating_add(service);
+    cpu.stats.busy = cpu.stats.busy.saturating_add(service);
+    cpu.running = Some(Running {
+        cont: Some(ready.job.cont),
+        deadline: ready.job.deadline,
+        finish_at,
+    });
+    sim.schedule_at(finish_at, move |sim| complete(sim, acc, key));
+}
+
+fn complete<S: 'static>(sim: &mut Sim<S>, acc: CpuAccessor<S>, key: u64) {
+    let now = sim.now();
+    let cont = {
+        let cpu = acc(&mut sim.state, key);
+        let running = cpu.running.as_mut().expect("completion without a job");
+        debug_assert_eq!(running.finish_at, now);
+        cpu.stats.completed.incr();
+        let lateness = now.saturating_since(running.deadline);
+        if !lateness.is_zero() {
+            cpu.stats.deadline_misses.incr();
+        }
+        cpu.stats.lateness.record(lateness.as_secs_f64());
+        running.cont.take().expect("continuation already taken")
+    };
+    // Run the continuation while `running` is still `Some`, so jobs it
+    // submits are queued rather than started re-entrantly.
+    cont(sim);
+    let cpu = acc(&mut sim.state, key);
+    cpu.running = None;
+    start_next(sim, acc, key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct World {
+        cpu: Cpu<World>,
+        order: Vec<u32>,
+    }
+
+    fn acc(w: &mut World, _key: u64) -> &mut Cpu<World> {
+        &mut w.cpu
+    }
+
+    fn world(policy: SchedPolicy, ctx: SimDuration) -> Sim<World> {
+        Sim::new(World {
+            cpu: Cpu::new(policy, ctx),
+            order: Vec::new(),
+        })
+    }
+
+    fn job(
+        tag: u32,
+        deadline_ms: u64,
+        priority: u8,
+        stream: u64,
+        cost_us: u64,
+    ) -> Job<World> {
+        Job {
+            deadline: SimTime::from_nanos(deadline_ms * 1_000_000),
+            priority,
+            stream,
+            cost: SimDuration::from_micros(cost_us),
+            cont: Box::new(move |sim| sim.state.order.push(tag)),
+        }
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        let mut sim = world(SchedPolicy::Edf, SimDuration::ZERO);
+        // First job starts immediately (FIFO head), the rest sort by deadline.
+        submit(&mut sim, acc, 0, job(0, 100, 0, 0, 10));
+        submit(&mut sim, acc, 0, job(3, 30, 0, 0, 10));
+        submit(&mut sim, acc, 0, job(1, 10, 0, 0, 10));
+        submit(&mut sim, acc, 0, job(2, 20, 0, 0, 10));
+        sim.run();
+        assert_eq!(sim.state.order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let mut sim = world(SchedPolicy::Fifo, SimDuration::ZERO);
+        submit(&mut sim, acc, 0, job(0, 100, 0, 0, 10));
+        submit(&mut sim, acc, 0, job(1, 1, 0, 0, 10));
+        submit(&mut sim, acc, 0, job(2, 50, 0, 0, 10));
+        sim.run();
+        assert_eq!(sim.state.order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn priority_orders_by_priority() {
+        let mut sim = world(SchedPolicy::Priority, SimDuration::ZERO);
+        submit(&mut sim, acc, 0, job(0, 1, 5, 0, 10));
+        submit(&mut sim, acc, 0, job(2, 1, 9, 0, 10));
+        submit(&mut sim, acc, 0, job(1, 1, 1, 0, 10));
+        sim.run();
+        assert_eq!(sim.state.order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn context_switch_charged_on_stream_change_only() {
+        let mut sim = world(SchedPolicy::Fifo, SimDuration::from_micros(5));
+        submit(&mut sim, acc, 0, job(0, 100, 0, 1, 10)); // switch (first)
+        submit(&mut sim, acc, 0, job(1, 100, 0, 1, 10)); // same stream
+        submit(&mut sim, acc, 0, job(2, 100, 0, 2, 10)); // switch
+        sim.run();
+        // 3 jobs * 10us + 2 switches * 5us = 40us.
+        assert_eq!(sim.now(), SimTime::from_nanos(40_000));
+        assert_eq!(sim.state.cpu.stats.context_switches.get(), 2);
+        assert_eq!(sim.state.cpu.stats.completed.get(), 3);
+    }
+
+    #[test]
+    fn deadline_misses_counted() {
+        let mut sim = world(SchedPolicy::Fifo, SimDuration::ZERO);
+        // Deadline at 1us, cost 10us -> must miss.
+        submit(&mut sim, acc, 0, job(0, 0, 0, 0, 10));
+        sim.run();
+        assert_eq!(sim.state.cpu.stats.deadline_misses.get(), 1);
+        assert!(sim.state.cpu.stats.lateness.mean() > 0.0);
+    }
+
+    #[test]
+    fn continuation_can_submit_more_work() {
+        let mut sim = world(SchedPolicy::Edf, SimDuration::ZERO);
+        submit(
+            &mut sim,
+            acc,
+            0,
+            Job {
+                deadline: SimTime::MAX,
+                priority: 0,
+                stream: 0,
+                cost: SimDuration::from_micros(1),
+                cont: Box::new(|sim| {
+                    sim.state.order.push(1);
+                    submit(sim, acc, 0, job(2, 1, 0, 0, 1));
+                }),
+            },
+        );
+        sim.run();
+        assert_eq!(sim.state.order, vec![1, 2]);
+        assert!(!sim.state.cpu.is_busy());
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut sim = world(SchedPolicy::Edf, SimDuration::ZERO);
+        submit(&mut sim, acc, 0, job(0, 100, 0, 0, 25));
+        submit(&mut sim, acc, 0, job(1, 100, 0, 0, 25));
+        sim.run();
+        assert_eq!(sim.state.cpu.stats.busy, SimDuration::from_micros(50));
+        let taken = sim.state.cpu.take_stats();
+        assert_eq!(taken.completed.get(), 2);
+        assert_eq!(sim.state.cpu.stats.completed.get(), 0);
+    }
+}

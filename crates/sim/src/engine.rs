@@ -1,0 +1,300 @@
+//! The discrete-event engine.
+//!
+//! [`Sim<S>`] owns a virtual clock, a priority queue of pending events, and
+//! an application-defined world state `S`. Events are boxed closures that
+//! receive `&mut Sim<S>` — they can mutate the world, read the clock, and
+//! schedule further events. Ties in time are broken by submission order, so
+//! a run is fully deterministic.
+//!
+//! ```
+//! use dash_sim::engine::Sim;
+//! use dash_sim::time::SimDuration;
+//!
+//! let mut sim = Sim::new(0u32);
+//! sim.schedule_in(SimDuration::from_millis(1), |sim| sim.state += 1);
+//! sim.schedule_in(SimDuration::from_millis(2), |sim| sim.state += 10);
+//! sim.run();
+//! assert_eq!(sim.state, 11);
+//! assert_eq!(sim.now().as_nanos(), 2_000_000);
+//! ```
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled action: a one-shot closure run at its scheduled instant.
+pub type Event<S> = Box<dyn FnOnce(&mut Sim<S>)>;
+
+struct Entry<S> {
+    time: SimTime,
+    seq: u64,
+    action: Event<S>,
+}
+
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Entry<S> {}
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Entry<S> {
+    // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Handle to a scheduled event that may be cancelled before it fires.
+///
+/// Cancellation is cooperative: the entry stays in the queue but becomes a
+/// no-op when popped. Dropping the handle does *not* cancel the event.
+#[derive(Debug, Clone)]
+pub struct TimerHandle {
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl TimerHandle {
+    /// Cancel the associated event. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// True if [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+/// A discrete-event simulator with world state `S`.
+pub struct Sim<S> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry<S>>,
+    processed: u64,
+    /// The simulated world. Public by design: event closures and the layer
+    /// crates built on this engine address the world through accessor traits
+    /// on `S`.
+    pub state: S,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Sim<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl<S> Sim<S> {
+    /// Create a simulator at time zero wrapping `state`.
+    pub fn new(state: S) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processed: 0,
+            state,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// Schedule `action` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time (events cannot run in
+    /// the past).
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim<S>) + 'static) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            time: at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedule `action` to run `after` from now.
+    pub fn schedule_in(&mut self, after: SimDuration, action: impl FnOnce(&mut Sim<S>) + 'static) {
+        self.schedule_at(self.now.saturating_add(after), action);
+    }
+
+    /// Schedule a cancellable event; returns a [`TimerHandle`].
+    pub fn schedule_timer(
+        &mut self,
+        after: SimDuration,
+        action: impl FnOnce(&mut Sim<S>) + 'static,
+    ) -> TimerHandle {
+        let cancelled = Rc::new(Cell::new(false));
+        let flag = Rc::clone(&cancelled);
+        self.schedule_in(after, move |sim| {
+            if !flag.get() {
+                action(sim);
+            }
+        });
+        TimerHandle { cancelled }
+    }
+
+    /// Run the next event, if any. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(entry) => {
+                debug_assert!(entry.time >= self.now);
+                self.now = entry.time;
+                self.processed += 1;
+                (entry.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run every event scheduled at or before `until`, then set the clock to
+    /// `until` (even if no event fired exactly then).
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        if until > self.now {
+            self.now = until;
+        }
+    }
+
+    /// Run at most `max_events` events; returns how many actually ran.
+    pub fn run_bounded(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_in(SimDuration::from_millis(3), |s| s.state.push(3));
+        sim.schedule_in(SimDuration::from_millis(1), |s| s.state.push(1));
+        sim.schedule_in(SimDuration::from_millis(2), |s| s.state.push(2));
+        sim.run();
+        assert_eq!(sim.state, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_submission_order() {
+        let mut sim = Sim::new(Vec::new());
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_nanos(100), move |s| s.state.push(i));
+        }
+        sim.run();
+        assert_eq!(sim.state, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(0u64);
+        sim.schedule_in(SimDuration::from_nanos(1), |sim| {
+            sim.state += 1;
+            sim.schedule_in(SimDuration::from_nanos(1), |sim| {
+                sim.state += 10;
+            });
+        });
+        sim.run();
+        assert_eq!(sim.state, 11);
+        assert_eq!(sim.now(), SimTime::from_nanos(2));
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Sim::new(0u64);
+        sim.schedule_in(SimDuration::from_millis(1), |s| s.state += 1);
+        sim.schedule_in(SimDuration::from_millis(10), |s| s.state += 100);
+        sim.run_until(SimTime::from_nanos(5_000_000));
+        assert_eq!(sim.state, 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(5_000_000));
+        assert_eq!(sim.events_pending(), 1);
+        sim.run();
+        assert_eq!(sim.state, 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new(());
+        sim.schedule_in(SimDuration::from_millis(1), |sim| {
+            sim.schedule_at(SimTime::ZERO, |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut sim = Sim::new(0u64);
+        let h = sim.schedule_timer(SimDuration::from_millis(1), |s| s.state += 1);
+        let h2 = sim.schedule_timer(SimDuration::from_millis(1), |s| s.state += 10);
+        h.cancel();
+        assert!(h.is_cancelled());
+        assert!(!h2.is_cancelled());
+        sim.run();
+        assert_eq!(sim.state, 10);
+    }
+
+    #[test]
+    fn run_bounded_counts_events() {
+        let mut sim = Sim::new(0u64);
+        for _ in 0..5 {
+            sim.schedule_in(SimDuration::from_nanos(1), |s| s.state += 1);
+        }
+        assert_eq!(sim.run_bounded(3), 3);
+        assert_eq!(sim.state, 3);
+        assert_eq!(sim.run_bounded(100), 2);
+    }
+}

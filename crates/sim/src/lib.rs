@@ -1,0 +1,42 @@
+//! # dash-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate beneath the DASH / Real-Time Message Stream (RMS)
+//! reproduction. The paper's claims are about *policy* — deadline-based
+//! packet and process scheduling, parameter negotiation, selective flow
+//! control — so every layer above runs on this deterministic virtual-time
+//! engine where those policies are observable and reproducible.
+//!
+//! Components:
+//!
+//! - [`time`]: nanosecond [`time::SimTime`] / [`time::SimDuration`] newtypes.
+//! - [`engine`]: the event loop, [`engine::Sim<S>`], with closures as events
+//!   and deterministic tie-breaking.
+//! - [`cpu`]: per-host CPU model with EDF / FIFO / priority short-term
+//!   scheduling and context-switch costs (paper §4.1).
+//! - [`rng`]: self-contained xoshiro256++ PRNG with forkable sub-streams.
+//! - [`stats`]: counters, online moments, exact-quantile histograms, rate
+//!   meters.
+//! - [`trace`]: bounded ring-buffer tracing.
+//!
+//! ## Example
+//!
+//! ```
+//! use dash_sim::{Sim, SimDuration};
+//!
+//! let mut sim = Sim::new(Vec::new());
+//! sim.schedule_in(SimDuration::from_millis(2), |s| s.state.push("b"));
+//! sim.schedule_in(SimDuration::from_millis(1), |s| s.state.push("a"));
+//! sim.run();
+//! assert_eq!(sim.state, ["a", "b"]);
+//! ```
+
+pub mod cpu;
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Event, Sim, TimerHandle};
+pub use rng::Rng;
+pub use time::{SimDuration, SimTime};

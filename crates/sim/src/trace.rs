@@ -1,0 +1,157 @@
+//! Lightweight event tracing for debugging simulation runs.
+//!
+//! A [`Trace`] is a bounded ring of `(time, subsystem, message)` records.
+//! Tracing is off by default so hot paths pay only a branch; the integration
+//! tests switch it on to diagnose protocol interleavings.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Short subsystem tag, e.g. `"st"`, `"net"`, `"rkom"`.
+    pub subsystem: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.time, self.subsystem, self.message)
+    }
+}
+
+/// A bounded in-memory trace buffer.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(4096)
+    }
+}
+
+impl Trace {
+    /// Create a disabled trace that keeps at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            enabled: false,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True if recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event if tracing is enabled. The message closure is only
+    /// evaluated when recording, keeping disabled tracing nearly free.
+    pub fn record(&mut self, time: SimTime, subsystem: &'static str, message: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            time,
+            subsystem,
+            message: message(),
+        });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained events, one per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Discard all retained events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(8);
+        t.record(SimTime::ZERO, "x", || "hello".into());
+        assert_eq!(t.events().count(), 0);
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = Trace::new(8);
+        t.set_enabled(true);
+        t.record(SimTime::from_nanos(5), "st", || "send".into());
+        let events: Vec<_> = t.events().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].subsystem, "st");
+        assert_eq!(events[0].message, "send");
+        assert!(t.dump().contains("send"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::new(3);
+        t.set_enabled(true);
+        for i in 0..5 {
+            t.record(SimTime::from_nanos(i), "x", || format!("e{i}"));
+        }
+        let msgs: Vec<_> = t.events().map(|e| e.message.clone()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+        assert_eq!(t.dropped(), 2);
+        t.clear();
+        assert_eq!(t.events().count(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn message_closure_lazy_when_disabled() {
+        let mut t = Trace::new(3);
+        let mut called = false;
+        t.record(SimTime::ZERO, "x", || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+    }
+}

@@ -1,0 +1,1561 @@
+//! The subtransport engine: control channel, ST RMS creation, multiplexed
+//! sends with piggybacking and fragmentation, delivery, fast acks, and
+//! network-RMS caching (paper §3.2, §4.2, §4.3).
+//!
+//! All functions are generic over `W:`[`StWorld`]. The world's
+//! [`dash_net::state::NetWorld`] implementation must forward network
+//! deliveries and events here via [`on_net_deliver`] / [`on_net_event`].
+
+use bytes::Bytes;
+use dash_net::ids::{HostId, NetRmsId};
+use dash_net::pipeline as net;
+use dash_net::state::NetRmsEvent;
+use dash_sim::engine::Sim;
+use dash_sim::time::{SimDuration, SimTime};
+use rms_core::compat::{negotiate, RmsRequest, ServiceTable};
+use rms_core::delay::DelayBoundKind;
+use rms_core::error::{FailReason, RejectReason, RmsError};
+use rms_core::message::Message;
+use rms_core::params::RmsParams;
+use rms_core::port::DeliveryInfo;
+
+use dash_security::mac;
+
+use crate::frag::{fragment, Reassembly};
+use crate::ids::{StRmsId, StToken};
+use crate::piggyback::{PendingEntry, PiggybackQueue, PushOutcome};
+use crate::st::{
+    DataOut, NetPurpose, NetUse, PeerState, StEvent, StPending, StRole, StStream, StWorld,
+};
+use crate::wire::{
+    data_frame_len, decode, encode, ControlMsg, DataFrame, Frame,
+};
+
+const NAK_REASON_LIMITS: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Negotiation
+// ---------------------------------------------------------------------------
+
+/// Total delay the ST stage adds on top of the network stage: piggyback
+/// queueing slack plus send+receive ST processing (§4.1: the upper-level
+/// delay is divided among the stages).
+fn stage_slack<W: StWorld>(state: &W) -> (SimDuration, SimDuration) {
+    let cfg = &state.st_ref().config;
+    let fixed = cfg
+        .piggyback_slack
+        .saturating_add(cfg.st_cpu.fixed.saturating_mul(2));
+    let per_byte = cfg.st_cpu.per_byte.saturating_mul(2);
+    (fixed, per_byte)
+}
+
+/// Negotiate ST-level parameters for a stream from `host` to `peer`: the
+/// network path's combined service table, shifted by the ST stage's own
+/// delay contribution, with the maximum message size raised to the ST's
+/// fragmentation-backed offer (§4.3).
+///
+/// # Errors
+///
+/// [`RmsError`] if there is no route or no combination satisfies the
+/// request.
+pub fn st_negotiate<W: StWorld>(
+    sim: &Sim<W>,
+    host: HostId,
+    peer: HostId,
+    request: &RmsRequest,
+) -> Result<RmsParams, RmsError> {
+    let path = sim
+        .state
+        .net_ref()
+        .path(host, peer)
+        .ok_or(RmsError::CreationRejected(RejectReason::NoRoute))?;
+    let net_table = net::combined_service_table(&sim.state, &path);
+    let (slack_fixed, slack_per_byte) = stage_slack(&sim.state);
+    let st_mms = sim.state.st_ref().config.st_max_message_size;
+    let mut shifted = ServiceTable::new();
+    for (rel, sec, limits) in net_table.iter() {
+        let mut l = *limits;
+        l.min_fixed_delay = l.min_fixed_delay.saturating_add(slack_fixed);
+        l.min_per_byte_delay = l.min_per_byte_delay.saturating_add(slack_per_byte);
+        l.max_message_size = l.max_message_size.max(st_mms).min(l.max_capacity);
+        shifted.support(*rel, *sec, l);
+    }
+    Ok(negotiate(&shifted, request)?)
+}
+
+// ---------------------------------------------------------------------------
+// Creation
+// ---------------------------------------------------------------------------
+
+/// Create an ST RMS from `host` (sender) to `peer` (receiver).
+///
+/// Triggers control-channel establishment and authentication on first
+/// contact (§3.2). Completion is reported as [`StEvent::Created`] /
+/// [`StEvent::CreateFailed`] with the returned token.
+///
+/// # Errors
+///
+/// Fails synchronously when there is no route, negotiation cannot succeed,
+/// or authentication is required but no pair key is provisioned.
+pub fn create<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    peer: HostId,
+    request: &RmsRequest,
+    fast_ack: bool,
+) -> Result<StToken, RmsError> {
+    let params = st_negotiate(sim, host, peer, request)?;
+    let st = sim.state.st();
+    if st.config.require_auth && st.pair_key(host, peer).is_none() {
+        return Err(RmsError::CreationRejected(
+            RejectReason::AuthenticationFailed,
+        ));
+    }
+    let token = st.alloc_token();
+    st.host_mut(host).pending.insert(
+        token,
+        StPending {
+            peer,
+            params: params.clone(),
+            fast_ack,
+        },
+    );
+    st.host_mut(host).stats.creates_requested.incr();
+    send_ctrl(
+        sim,
+        host,
+        peer,
+        ControlMsg::StCreateReq {
+            token,
+            params,
+            fast_ack,
+        },
+    );
+    Ok(token)
+}
+
+/// Close an ST RMS from its sender side. The underlying data network RMS
+/// stays cached for reuse (§4.2).
+///
+/// # Errors
+///
+/// [`RmsError::UnknownStream`] if the stream does not exist here, or
+/// [`RmsError::WrongDirection`] if this host is the receiver.
+pub fn close<W: StWorld>(sim: &mut Sim<W>, host: HostId, st_rms: StRmsId) -> Result<(), RmsError> {
+    let (peer, slot) = {
+        let sth = sim.state.st().host_mut(host);
+        let stream = sth.streams.get(&st_rms).ok_or(RmsError::UnknownStream)?;
+        if stream.role != StRole::Sender {
+            return Err(RmsError::WrongDirection);
+        }
+        (stream.peer, stream.slot)
+    };
+    // Flush any queued frames of this stream before it disappears.
+    if let Some(slot) = slot {
+        flush_slot(sim, host, peer, slot, FlushCause::Close);
+    }
+    {
+        let sth = sim.state.st().host_mut(host);
+        sth.streams.remove(&st_rms);
+        if let (Some(slot), Some(p)) = (slot, sth.peers.get_mut(&peer)) {
+            if let Some(d) = p.data.get_mut(&slot) {
+                d.assigned.retain(|s| *s != st_rms);
+            }
+        }
+    }
+    recompute_slot_capacity(sim, host, peer, slot);
+    send_ctrl(sim, host, peer, ControlMsg::StClose { st_rms });
+    evict_idle_cache(sim, host, peer);
+    Ok(())
+}
+
+fn recompute_slot_capacity<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    peer: HostId,
+    slot: Option<u32>,
+) {
+    let Some(slot) = slot else { return };
+    let st = sim.state.st();
+    let assigned: Vec<StRmsId> = match st
+        .host(host)
+        .peers
+        .get(&peer)
+        .and_then(|p| p.data.get(&slot))
+    {
+        Some(d) => d.assigned.clone(),
+        None => return,
+    };
+    let total: u64 = assigned
+        .iter()
+        .filter_map(|s| st.host(host).streams.get(s))
+        .map(|s| s.params.capacity)
+        .sum();
+    if let Some(d) = st
+        .host_mut(host)
+        .peers
+        .get_mut(&peer)
+        .and_then(|p| p.data.get_mut(&slot))
+    {
+        d.assigned_capacity = total;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control channel (§3.2)
+// ---------------------------------------------------------------------------
+
+fn peer_state<'a, W: StWorld>(sim: &'a mut Sim<W>, host: HostId, peer: HostId) -> &'a mut PeerState {
+    sim.state
+        .st()
+        .host_mut(host)
+        .peers
+        .entry(peer)
+        .or_default()
+}
+
+fn ensure_control<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId) {
+    let need_create = {
+        let p = peer_state(sim, host, peer);
+        p.control_out.is_none() && !p.control_creating
+    };
+    if !need_create {
+        return;
+    }
+    peer_state(sim, host, peer).control_creating = true;
+    let ctrl_params = sim.state.st_ref().config.control_params.clone();
+    match net::create_rms(sim, host, peer, &RmsRequest::exact(ctrl_params)) {
+        Ok(token) => {
+            sim.state
+                .st()
+                .host_mut(host)
+                .net_pending
+                .insert(token, NetPurpose::ControlOut(peer));
+        }
+        Err(e) => {
+            peer_state(sim, host, peer).control_creating = false;
+            fail_queued_creates(sim, host, peer, reject_of(&e));
+        }
+    }
+}
+
+fn reject_of(e: &RmsError) -> RejectReason {
+    match e {
+        RmsError::CreationRejected(r) => r.clone(),
+        _ => RejectReason::PeerRejected,
+    }
+}
+
+/// Queue (or emit) a control message toward `peer`, establishing and
+/// authenticating the control channel first if needed.
+fn send_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, msg: ControlMsg) {
+    ensure_control(sim, host, peer);
+    let ready = {
+        let require_auth = sim.state.st_ref().config.require_auth;
+        let p = peer_state(sim, host, peer);
+        p.control_out.is_some() && (p.authed || !require_auth)
+    };
+    if ready {
+        emit_ctrl(sim, host, peer, msg);
+    } else {
+        peer_state(sim, host, peer).queued_ctrl.push(msg);
+        arm_auth_timer(sim, host, peer);
+    }
+}
+
+fn arm_auth_timer<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId) {
+    let timeout = sim.state.st_ref().config.auth_timeout;
+    let already = peer_state(sim, host, peer).auth_timer.is_some();
+    if already {
+        return;
+    }
+    let handle = sim.schedule_timer(timeout, move |sim| {
+        let authed = peer_state(sim, host, peer).authed;
+        peer_state(sim, host, peer).auth_timer = None;
+        if !authed {
+            fail_queued_creates(sim, host, peer, RejectReason::AuthenticationFailed);
+        }
+    });
+    peer_state(sim, host, peer).auth_timer = Some(handle);
+}
+
+fn fail_queued_creates<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    peer: HostId,
+    reason: RejectReason,
+) {
+    let queued = std::mem::take(&mut peer_state(sim, host, peer).queued_ctrl);
+    for msg in queued {
+        if let ControlMsg::StCreateReq { token, .. } = msg {
+            sim.state.st().host_mut(host).pending.remove(&token);
+            W::st_event(sim, host, StEvent::CreateFailed {
+                token,
+                reason: reason.clone(),
+            });
+        }
+    }
+}
+
+/// Actually put a control message on the wire (control channel must exist).
+fn emit_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, msg: ControlMsg) {
+    let Some(rms) = peer_state(sim, host, peer).control_out else {
+        // Channel vanished; requeue.
+        peer_state(sim, host, peer).queued_ctrl.push(msg);
+        return;
+    };
+    let payload = encode(&Frame::Ctrl(msg));
+    let now = sim.now();
+    let _ = net::send_on_rms(sim, host, rms, Message::new(payload), Some(now), None);
+}
+
+/// Emit a pre-authentication frame (Hello/HelloAck) if the channel exists,
+/// else hold it.
+fn emit_pre_auth<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, msg: ControlMsg) {
+    if peer_state(sim, host, peer).control_out.is_some() {
+        emit_ctrl(sim, host, peer, msg);
+    } else {
+        peer_state(sim, host, peer).pre_auth.push(msg);
+        ensure_control(sim, host, peer);
+    }
+}
+
+fn send_hello<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId) {
+    let key = sim.state.st_ref().pair_key(host, peer);
+    let nonce = sim.state.st().alloc_nonce();
+    peer_state(sim, host, peer).my_nonce = nonce;
+    let tag = key
+        .map(|k| mac::sign(k, nonce, b"hello").0)
+        .unwrap_or(0);
+    sim.state.st().host_mut(host).stats.hellos_sent.incr();
+    emit_ctrl(
+        sim,
+        host,
+        peer,
+        ControlMsg::Hello {
+            host: host.0,
+            nonce,
+            tag,
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Sending (§4.2, §4.3)
+// ---------------------------------------------------------------------------
+
+/// Send a message on an ST RMS. Per §2.2 the ST (as provider) enforces the
+/// maximum message size; capacity is the *client's* responsibility (§4.4).
+///
+/// Returns the message's per-stream sequence number — the value the ST's
+/// fast acknowledgement service (§3.2) will echo back to the sender, so
+/// transports can clock windows off it.
+///
+/// # Errors
+///
+/// [`RmsError`] if the stream is unknown, not ready, failed, not a sender
+/// endpoint, or the message is too large.
+pub fn send<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    st_rms: StRmsId,
+    msg: Message,
+) -> Result<u64, RmsError> {
+    let now = sim.now();
+    let (peer, slot, st_params, fast_ack, seq) = {
+        let sth = sim.state.st().host_mut(host);
+        let stream = sth.streams.get_mut(&st_rms).ok_or(RmsError::UnknownStream)?;
+        if stream.role != StRole::Sender {
+            return Err(RmsError::WrongDirection);
+        }
+        if stream.failed {
+            return Err(RmsError::Failed(FailReason::NetworkDown));
+        }
+        let slot = stream.slot.ok_or(RmsError::UnknownStream)?;
+        if msg.len() as u64 > stream.params.max_message_size {
+            return Err(RmsError::MessageTooLarge {
+                size: msg.len() as u64,
+                limit: stream.params.max_message_size,
+            });
+        }
+        let seq = stream.alloc_seq();
+        (
+            stream.peer,
+            slot,
+            stream.params.clone(),
+            stream.fast_ack,
+            seq,
+        )
+    };
+    sim.state.st().host_mut(host).stats.msgs_sent.incr();
+    let len = msg.len() as u64;
+    let cost = sim.state.st_ref().config.st_cpu.cost_for(len);
+    let cpu_deadline = {
+        let d = now.saturating_add(st_params.delay.bound_for(len));
+        let sth = sim.state.st().host_mut(host);
+        match sth.streams.get_mut(&st_rms) {
+            Some(s) => {
+                let d = d.max(s.last_send_job_deadline);
+                s.last_send_job_deadline = d;
+                d
+            }
+            None => d,
+        }
+    };
+    W::charge_cpu(
+        sim,
+        host,
+        cost,
+        cpu_deadline,
+        st_rms.0,
+        Box::new(move |sim| {
+            dispatch_send(sim, host, peer, slot, st_rms, st_params, fast_ack, seq, msg, now);
+        }),
+    );
+    Ok(seq)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_send<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    peer: HostId,
+    slot: u32,
+    st_rms: StRmsId,
+    st_params: RmsParams,
+    fast_ack: bool,
+    seq: u64,
+    msg: Message,
+    sent_at: SimTime,
+) {
+    let now = sim.now();
+    // The slot (and its network parameters) may have vanished meanwhile.
+    let (net_params, net_rms) = {
+        let st = sim.state.st();
+        match st
+            .host(host)
+            .peers
+            .get(&peer)
+            .and_then(|p| p.data.get(&slot))
+        {
+            Some(d) => match d.net_rms {
+                Some(r) => (d.params.clone(), r),
+                None => return,
+            },
+            None => return,
+        }
+    };
+    let len = msg.len() as u64;
+    let has_src = msg.source.is_some();
+    let has_tgt = msg.target.is_some();
+    let frame_len = data_frame_len(len, false, has_src, has_tgt);
+    let net_mms = net_params.max_message_size;
+
+    if frame_len > net_mms {
+        // Fragmentation path (§4.3): never piggybacked; flush the queue
+        // first so per-stream ordering survives.
+        flush_slot(sim, host, peer, slot, FlushCause::Fragment);
+        let header = data_frame_len(0, true, has_src, has_tgt);
+        let chunk = (net_mms.saturating_sub(header)).max(1) as usize;
+        let frames = fragment(
+            st_rms,
+            seq,
+            msg.payload(),
+            chunk,
+            sent_at,
+            fast_ack,
+            msg.source,
+            msg.target,
+        );
+        let max_deadline = tx_max_deadline(now, &st_params, &net_params, len);
+        let deadline = clamp_stream_deadline(sim, host, st_rms, max_deadline);
+        {
+            let stats = &mut sim.state.st().host_mut(host).stats;
+            stats.msgs_fragmented.incr();
+            stats.fragments_sent.add(frames.len() as u64);
+        }
+        for f in frames {
+            let payload = encode(&Frame::Data(f));
+            send_net(sim, host, net_rms, payload, deadline, sent_at);
+        }
+        touch_slot(sim, host, peer, slot, now);
+        return;
+    }
+
+    let frame = DataFrame {
+        st_rms,
+        seq,
+        frag: None,
+        sent_at,
+        fast_ack,
+        source: msg.source,
+        target: msg.target,
+        payload: msg.payload().clone(),
+    };
+    let max_deadline = tx_max_deadline(now, &st_params, &net_params, len);
+    let piggyback = sim.state.st_ref().config.piggyback;
+    if !piggyback {
+        let deadline = clamp_stream_deadline(sim, host, st_rms, max_deadline);
+        sim.state.st().host_mut(host).stats.msgs_alone.incr();
+        let payload = encode(&Frame::Data(frame));
+        send_net(sim, host, net_rms, payload, deadline, sent_at);
+        touch_slot(sim, host, peer, slot, now);
+        return;
+    }
+
+    // Piggyback path (§4.3.1).
+    let min_deadline = sim
+        .state
+        .st_ref()
+        .host(host)
+        .streams
+        .get(&st_rms)
+        .map(|s| s.last_tx_deadline)
+        .unwrap_or(SimTime::ZERO);
+    let entry = PendingEntry {
+        encoded_len: data_frame_len(len, false, has_src, has_tgt),
+        frame,
+        min_deadline,
+        max_deadline,
+    };
+    push_with_flush(sim, host, peer, slot, entry, net_mms);
+    touch_slot(sim, host, peer, slot, now);
+}
+
+/// §4.3.1: maximum transmission deadline = arrival + (ST bound − network
+/// bound), clamped to "now" at minimum.
+fn tx_max_deadline(
+    now: SimTime,
+    st_params: &RmsParams,
+    net_params: &RmsParams,
+    len: u64,
+) -> SimTime {
+    let st_bound = st_params.delay.bound_for(len);
+    let net_bound = net_params.delay.bound_for(len);
+    now.saturating_add(st_bound.saturating_sub(net_bound))
+}
+
+/// Enforce per-stream monotone deadlines (§4.3.1 minimum rule) and record
+/// the actual deadline used.
+fn clamp_stream_deadline<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    st_rms: StRmsId,
+    deadline: SimTime,
+) -> SimTime {
+    let sth = sim.state.st().host_mut(host);
+    if let Some(stream) = sth.streams.get_mut(&st_rms) {
+        let d = deadline.max(stream.last_tx_deadline);
+        stream.last_tx_deadline = d;
+        d
+    } else {
+        deadline
+    }
+}
+
+fn push_with_flush<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    peer: HostId,
+    slot: u32,
+    entry: PendingEntry,
+    net_mms: u64,
+) {
+    let now = sim.now();
+    let outcome = with_slot_queue(sim, host, peer, slot, |q| q.try_push(entry.clone(), net_mms));
+    match outcome {
+        Some(PushOutcome::Queued { flush_at }) => {
+            if flush_at <= now {
+                flush_slot(sim, host, peer, slot, FlushCause::Timer);
+            } else {
+                arm_flush_timer(sim, host, peer, slot, flush_at);
+            }
+        }
+        Some(PushOutcome::WouldOverflow) => {
+            flush_slot(sim, host, peer, slot, FlushCause::Overflow);
+            let retry = with_slot_queue(sim, host, peer, slot, |q| q.try_push(entry, net_mms));
+            match retry {
+                Some(PushOutcome::Queued { flush_at }) => {
+                    if flush_at <= now {
+                        flush_slot(sim, host, peer, slot, FlushCause::Timer);
+                    } else {
+                        arm_flush_timer(sim, host, peer, slot, flush_at);
+                    }
+                }
+                _ => debug_assert!(false, "entry must fit an empty queue"),
+            }
+        }
+        Some(PushOutcome::DeadlineConflict) => {
+            flush_slot(sim, host, peer, slot, FlushCause::Conflict);
+            let retry = with_slot_queue(sim, host, peer, slot, |q| q.try_push(entry, net_mms));
+            match retry {
+                Some(PushOutcome::Queued { flush_at }) => {
+                    if flush_at <= now {
+                        flush_slot(sim, host, peer, slot, FlushCause::Timer);
+                    } else {
+                        arm_flush_timer(sim, host, peer, slot, flush_at);
+                    }
+                }
+                _ => debug_assert!(false, "entry must fit an empty queue"),
+            }
+        }
+        None => {}
+    }
+}
+
+fn with_slot_queue<W: StWorld, T>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    peer: HostId,
+    slot: u32,
+    f: impl FnOnce(&mut PiggybackQueue) -> T,
+) -> Option<T> {
+    sim.state
+        .st()
+        .host_mut(host)
+        .peers
+        .get_mut(&peer)
+        .and_then(|p| p.data.get_mut(&slot))
+        .map(|d| f(&mut d.queue))
+}
+
+fn arm_flush_timer<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    peer: HostId,
+    slot: u32,
+    flush_at: SimTime,
+) {
+    let now = sim.now();
+    let rearm = {
+        let st = sim.state.st();
+        match st
+            .host(host)
+            .peers
+            .get(&peer)
+            .and_then(|p| p.data.get(&slot))
+            .and_then(|d| d.flush_timer.as_ref())
+        {
+            Some((_, at)) => flush_at < *at,
+            None => true,
+        }
+    };
+    if !rearm {
+        return;
+    }
+    // Cancel any existing timer.
+    if let Some(d) = sim
+        .state
+        .st()
+        .host_mut(host)
+        .peers
+        .get_mut(&peer)
+        .and_then(|p| p.data.get_mut(&slot))
+    {
+        if let Some((t, _)) = d.flush_timer.take() {
+            t.cancel();
+        }
+    }
+    let delay = flush_at.saturating_since(now);
+    let handle = sim.schedule_timer(delay, move |sim| {
+        if let Some(d) = sim
+            .state
+            .st()
+            .host_mut(host)
+            .peers
+            .get_mut(&peer)
+            .and_then(|p| p.data.get_mut(&slot))
+        {
+            d.flush_timer = None;
+        }
+        flush_slot(sim, host, peer, slot, FlushCause::Timer);
+    });
+    if let Some(d) = sim
+        .state
+        .st()
+        .host_mut(host)
+        .peers
+        .get_mut(&peer)
+        .and_then(|p| p.data.get_mut(&slot))
+    {
+        d.flush_timer = Some((handle, flush_at));
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushCause {
+    Timer,
+    Overflow,
+    Conflict,
+    Fragment,
+    Close,
+}
+
+fn flush_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, slot: u32, cause: FlushCause) {
+    let (bundle, net_rms) = {
+        let st = sim.state.st();
+        let Some(d) = st
+            .host_mut(host)
+            .peers
+            .get_mut(&peer)
+            .and_then(|p| p.data.get_mut(&slot))
+        else {
+            return;
+        };
+        if let Some((t, _)) = d.flush_timer.take() {
+            t.cancel();
+        }
+        let Some(bundle) = d.queue.flush() else {
+            return;
+        };
+        let Some(net_rms) = d.net_rms else { return };
+        (bundle, net_rms)
+    };
+    {
+        let stats = &mut sim.state.st().host_mut(host).stats;
+        match cause {
+            FlushCause::Timer => stats.flushes_timer.incr(),
+            FlushCause::Overflow => stats.flushes_overflow.incr(),
+            FlushCause::Conflict => stats.flushes_conflict.incr(),
+            FlushCause::Fragment | FlushCause::Close => {}
+        }
+        if bundle.frames.len() > 1 {
+            stats.bundles_sent.incr();
+            stats.msgs_bundled.add(bundle.frames.len() as u64);
+        } else {
+            stats.msgs_alone.incr();
+        }
+    }
+    let deadline = bundle.deadline;
+    // The bundle's deadline becomes each component stream's actual
+    // transmission deadline (ordering floor for their next messages).
+    let streams: Vec<StRmsId> = bundle.frames.iter().map(|f| f.st_rms).collect();
+    let earliest_sent = bundle
+        .frames
+        .iter()
+        .map(|f| f.sent_at)
+        .min()
+        .unwrap_or_else(|| sim.now());
+    {
+        let sth = sim.state.st().host_mut(host);
+        for s in streams {
+            if let Some(stream) = sth.streams.get_mut(&s) {
+                stream.last_tx_deadline = stream.last_tx_deadline.max(deadline);
+            }
+        }
+    }
+    let payload = bundle.encode();
+    send_net(sim, host, net_rms, payload, deadline, earliest_sent);
+}
+
+fn send_net<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    net_rms: NetRmsId,
+    payload: Bytes,
+    deadline: SimTime,
+    sent_at: SimTime,
+) {
+    {
+        let stats = &mut sim.state.st().host_mut(host).stats;
+        stats.net_msgs_sent.incr();
+        stats.net_bytes_sent.add(payload.len() as u64);
+    }
+    let _ = net::send_on_rms(
+        sim,
+        host,
+        net_rms,
+        Message::new(payload),
+        Some(deadline),
+        Some(sent_at),
+    );
+}
+
+fn touch_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, slot: u32, now: SimTime) {
+    if let Some(d) = sim
+        .state
+        .st()
+        .host_mut(host)
+        .peers
+        .get_mut(&peer)
+        .and_then(|p| p.data.get_mut(&slot))
+    {
+        d.last_used = now;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexing and caching (§4.2)
+// ---------------------------------------------------------------------------
+
+/// §4.2 multiplexing rules: can an ST RMS with `st` parameters ride on a
+/// network RMS with `net` parameters that already carries
+/// `assigned_capacity` of ST capacity?
+pub fn can_multiplex(st: &RmsParams, net: &RmsParams, assigned_capacity: u64) -> bool {
+    let kind_ok = match st.delay.kind {
+        // "A deterministic ST RMS can be multiplexed only onto a
+        // deterministic network RMS."
+        DelayBoundKind::Deterministic => {
+            matches!(net.delay.kind, DelayBoundKind::Deterministic)
+        }
+        // "A statistical ST RMS can be multiplexed only onto a
+        // deterministic or statistical network RMS."
+        DelayBoundKind::Statistical(_) => !matches!(net.delay.kind, DelayBoundKind::BestEffort),
+        DelayBoundKind::BestEffort => true,
+    };
+    kind_ok
+        // "The delay bound parameters of the ST RMS's must be at least
+        // those of the network RMS."
+        && net.delay.fixed <= st.delay.fixed
+        && net.delay.per_byte <= st.delay.per_byte
+        // Security/reliability/error-rate must be covered by the carrier.
+        && net.security.includes(st.security)
+        && net.reliability.includes(st.reliability)
+        && net.error_rate <= st.error_rate
+        // "The capacity of the network RMS must be at least the sum of the
+        // capacities of the ST RMS's."
+        && assigned_capacity + st.capacity <= net.capacity
+}
+
+/// Find or create a data network RMS for a new sender stream; returns true
+/// if the stream is immediately ready (cache hit on a ready slot).
+fn assign_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, st_rms: StRmsId) -> bool {
+    let (peer, st_params) = {
+        let stream = &sim.state.st_ref().host(host).streams[&st_rms];
+        (stream.peer, stream.params.clone())
+    };
+    // Try existing slots (ready first, then creating).
+    let candidate = {
+        let st = sim.state.st_ref();
+        let empty = Default::default();
+        let p = st.host(host).peers.get(&peer).unwrap_or(&empty);
+        let mut best: Option<(u32, bool)> = None;
+        for (slot, d) in &p.data {
+            if can_multiplex(&st_params, &d.params, d.assigned_capacity) {
+                let ready = d.net_rms.is_some();
+                match best {
+                    Some((_, best_ready)) if best_ready || !ready => {}
+                    _ => best = Some((*slot, ready)),
+                }
+            }
+        }
+        best
+    };
+    if let Some((slot, ready)) = candidate {
+        let sth = sim.state.st().host_mut(host);
+        sth.stats.cache_hits.incr();
+        if let Some(d) = sth.peers.get_mut(&peer).and_then(|p| p.data.get_mut(&slot)) {
+            d.assigned.push(st_rms);
+            d.assigned_capacity += st_params.capacity;
+        }
+        if let Some(s) = sth.streams.get_mut(&st_rms) {
+            s.slot = Some(slot);
+        }
+        return ready;
+    }
+
+    // Create a new network RMS (§4.2: "it is slow and costly to create
+    // network RMS's" — this is the miss path).
+    sim.state.st().host_mut(host).stats.cache_misses.incr();
+    let (slack_fixed, slack_per_byte) = stage_slack(&sim.state);
+    let cfg_capacity = sim.state.st_ref().config.data_capacity_default;
+    let mut net_desired = st_params.clone();
+    // Capacity headroom invites future multiplexing (§4.2) — but for
+    // deterministic streams headroom is a real bandwidth reservation, so
+    // request exactly what the stream needs.
+    net_desired.capacity = match st_params.delay.kind {
+        DelayBoundKind::Deterministic => st_params.capacity,
+        _ => st_params.capacity.max(cfg_capacity),
+    };
+    net_desired.max_message_size = net_desired.capacity.min(64 * 1024);
+    net_desired.delay.fixed = st_params.delay.fixed.saturating_sub(slack_fixed);
+    net_desired.delay.per_byte = st_params.delay.per_byte.saturating_sub(slack_per_byte);
+    let mut net_floor = net_desired.clone();
+    net_floor.capacity = st_params.capacity;
+    net_floor.max_message_size = 256.min(net_floor.capacity);
+    let request = RmsRequest {
+        desired: net_desired,
+        acceptable: net_floor,
+    };
+    match net::create_rms(sim, host, peer, &request) {
+        Ok(token) => {
+            let sth = sim.state.st().host_mut(host);
+            let p = sth.peers.entry(peer).or_default();
+            let slot = p.next_slot;
+            p.next_slot += 1;
+            p.data.insert(
+                slot,
+                DataOut {
+                    net_rms: None,
+                    token: Some(token),
+                    // While creating, advertise the *desired* parameters for
+                    // multiplex matching; Created{params} replaces them with
+                    // the negotiated actuals and spills streams if the
+                    // grant came back smaller.
+                    params: request.desired.clone(),
+                    assigned: vec![st_rms],
+                    assigned_capacity: st_params.capacity,
+                    queue: PiggybackQueue::new(),
+                    flush_timer: None,
+                    last_used: SimTime::ZERO,
+                },
+            );
+            sth.net_pending.insert(token, NetPurpose::DataOut(peer, slot));
+            if let Some(s) = sth.streams.get_mut(&st_rms) {
+                s.slot = Some(slot);
+            }
+            false
+        }
+        Err(e) => {
+            // Report failure through the pending token.
+            let token = sim
+                .state
+                .st()
+                .host_mut(host)
+                .streams
+                .get_mut(&st_rms)
+                .and_then(|s| s.pending_token.take());
+            sim.state.st().host_mut(host).streams.remove(&st_rms);
+            if let Some(token) = token {
+                let reason = reject_of(&e);
+                W::st_event(sim, host, StEvent::CreateFailed { token, reason });
+            }
+            send_ctrl(sim, host, peer, ControlMsg::StClose { st_rms });
+            false
+        }
+    }
+}
+
+/// Evict least-recently-used idle cached network RMSs beyond the limit.
+fn evict_idle_cache<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId) {
+    let limit = sim.state.st_ref().config.cache_idle_limit;
+    let mut idle: Vec<(u32, SimTime, NetRmsId)> = {
+        let st = sim.state.st_ref();
+        match st.host(host).peers.get(&peer) {
+            Some(p) => p
+                .data
+                .iter()
+                .filter(|(_, d)| d.assigned.is_empty() && d.net_rms.is_some() && d.queue.is_empty())
+                .map(|(slot, d)| (*slot, d.last_used, d.net_rms.expect("checked")))
+                .collect(),
+            None => return,
+        }
+    };
+    if idle.len() <= limit {
+        return;
+    }
+    idle.sort_by_key(|(_, used, _)| *used);
+    let excess = idle.len() - limit;
+    for (slot, _, net_rms) in idle.into_iter().take(excess) {
+        {
+            let sth = sim.state.st().host_mut(host);
+            sth.stats.cache_evictions.incr();
+            sth.by_net.remove(&net_rms);
+            if let Some(p) = sth.peers.get_mut(&peer) {
+                p.data.remove(&slot);
+            }
+        }
+        let _ = net::close_rms(sim, host, net_rms);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Upcalls from the network layer
+// ---------------------------------------------------------------------------
+
+/// The world's `NetWorld::deliver_up` must forward here.
+pub fn on_net_deliver<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    net_rms: NetRmsId,
+    msg: Message,
+    _info: DeliveryInfo,
+) {
+    let frame = match decode(msg.payload()) {
+        Ok(f) => f,
+        Err(_) => {
+            sim.state.st().host_mut(host).stats.garbage_frames.incr();
+            return;
+        }
+    };
+    match frame {
+        Frame::Ctrl(c) => handle_ctrl(sim, host, net_rms, c),
+        Frame::Data(d) => handle_data(sim, host, net_rms, d),
+        Frame::Bundle(frames) => {
+            for d in frames {
+                handle_data(sim, host, net_rms, d);
+            }
+        }
+        Frame::FastAck { st_rms, seq } => {
+            sim.state.st().host_mut(host).stats.fast_acks_received.incr();
+            let known = sim
+                .state
+                .st_ref()
+                .host(host)
+                .streams
+                .get(&st_rms)
+                .map(|s| s.role == StRole::Sender)
+                .unwrap_or(false);
+            if known {
+                W::st_event(sim, host, StEvent::FastAck { st_rms, seq });
+            }
+        }
+    }
+}
+
+fn net_peer_of<W: StWorld>(sim: &Sim<W>, host: HostId, net_rms: NetRmsId) -> Option<HostId> {
+    sim.state
+        .net_ref()
+        .host(host)
+        .rms
+        .get(&net_rms)
+        .map(|r| r.peer)
+}
+
+fn handle_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, net_rms: NetRmsId, msg: ControlMsg) {
+    let Some(peer) = net_peer_of(sim, host, net_rms) else {
+        return;
+    };
+    // Lazily register this network RMS as the peer's control-in half.
+    sim.state
+        .st()
+        .host_mut(host)
+        .by_net
+        .entry(net_rms)
+        .or_insert(NetUse::ControlIn(peer));
+    match msg {
+        ControlMsg::Hello { host: claimed, nonce, tag } => {
+            let require_auth = sim.state.st_ref().config.require_auth;
+            let key = sim.state.st_ref().pair_key(host, peer);
+            let ok = if require_auth {
+                claimed == peer.0
+                    && key
+                        .map(|k| mac::verify(k, nonce, b"hello", mac::Tag(tag)))
+                        .unwrap_or(false)
+            } else {
+                claimed == peer.0
+            };
+            if !ok {
+                sim.state.st().host_mut(host).stats.auth_failures.incr();
+                return;
+            }
+            peer_state(sim, host, peer).control_in = Some(net_rms);
+            let ack_tag = key
+                .map(|k| mac::sign(k, nonce.wrapping_add(1), b"hello-ack").0)
+                .unwrap_or(0);
+            emit_pre_auth(
+                sim,
+                host,
+                peer,
+                ControlMsg::HelloAck {
+                    host: host.0,
+                    nonce,
+                    tag: ack_tag,
+                },
+            );
+        }
+        ControlMsg::HelloAck { host: claimed, nonce, tag } => {
+            let require_auth = sim.state.st_ref().config.require_auth;
+            let key = sim.state.st_ref().pair_key(host, peer);
+            let my_nonce = peer_state(sim, host, peer).my_nonce;
+            let ok = if require_auth {
+                claimed == peer.0
+                    && nonce == my_nonce
+                    && key
+                        .map(|k| {
+                            mac::verify(k, nonce.wrapping_add(1), b"hello-ack", mac::Tag(tag))
+                        })
+                        .unwrap_or(false)
+            } else {
+                claimed == peer.0
+            };
+            if !ok {
+                sim.state.st().host_mut(host).stats.auth_failures.incr();
+                return;
+            }
+            let queued = {
+                let p = peer_state(sim, host, peer);
+                p.authed = true;
+                if let Some(t) = p.auth_timer.take() {
+                    t.cancel();
+                }
+                std::mem::take(&mut p.queued_ctrl)
+            };
+            for m in queued {
+                emit_ctrl(sim, host, peer, m);
+            }
+        }
+        ControlMsg::StCreateReq {
+            token,
+            params,
+            fast_ack,
+        } => {
+            // Receiver-side accept policy: parameters were negotiated by
+            // the sender against the real path; we only enforce our own
+            // client-facing limits.
+            if params.max_message_size > sim.state.st_ref().config.st_max_message_size {
+                send_ctrl(
+                    sim,
+                    host,
+                    peer,
+                    ControlMsg::StCreateNak {
+                        token,
+                        reason: NAK_REASON_LIMITS,
+                    },
+                );
+                return;
+            }
+            let st_rms = sim.state.st().alloc_st_rms();
+            let stream = new_stream(st_rms, peer, StRole::Receiver, params.clone(), fast_ack);
+            sim.state.st().host_mut(host).streams.insert(st_rms, stream);
+            send_ctrl(sim, host, peer, ControlMsg::StCreateAck { token, st_rms });
+            W::st_event(
+                sim,
+                host,
+                StEvent::InboundCreated {
+                    st_rms,
+                    peer,
+                    params,
+                    fast_ack,
+                },
+            );
+        }
+        ControlMsg::StCreateAck { token, st_rms } => {
+            let Some(pending) = sim.state.st().host_mut(host).pending.remove(&token) else {
+                return;
+            };
+            let mut stream = new_stream(
+                st_rms,
+                pending.peer,
+                StRole::Sender,
+                pending.params.clone(),
+                pending.fast_ack,
+            );
+            stream.pending_token = Some(token);
+            sim.state.st().host_mut(host).streams.insert(st_rms, stream);
+            let ready = assign_slot(sim, host, st_rms);
+            if ready {
+                if let Some(s) = sim.state.st().host_mut(host).streams.get_mut(&st_rms) {
+                    s.pending_token = None;
+                }
+                sim.state.st().host_mut(host).stats.creates_completed.incr();
+                W::st_event(
+                    sim,
+                    host,
+                    StEvent::Created {
+                        token,
+                        st_rms,
+                        params: pending.params,
+                    },
+                );
+            }
+        }
+        ControlMsg::StCreateNak { token, reason: _ } => {
+            if sim.state.st().host_mut(host).pending.remove(&token).is_some() {
+                W::st_event(
+                    sim,
+                    host,
+                    StEvent::CreateFailed {
+                        token,
+                        reason: RejectReason::PeerRejected,
+                    },
+                );
+            }
+        }
+        ControlMsg::StClose { st_rms } => {
+            let existed = sim.state.st().host_mut(host).streams.remove(&st_rms);
+            if existed.is_some() {
+                W::st_event(sim, host, StEvent::Closed { st_rms });
+            }
+        }
+    }
+}
+
+fn new_stream(id: StRmsId, peer: HostId, role: StRole, params: RmsParams, fast_ack: bool) -> StStream {
+    StStream {
+        id,
+        peer,
+        role,
+        params,
+        fast_ack,
+        slot: None,
+        pending_token: None,
+        next_seq: 0,
+        last_tx_deadline: SimTime::ZERO,
+        last_send_job_deadline: SimTime::ZERO,
+        last_recv_job_deadline: SimTime::ZERO,
+        reassembly: Reassembly::new(),
+        in_net: None,
+        failed: false,
+        delivered: Default::default(),
+        bytes: Default::default(),
+        late: Default::default(),
+        delays: Default::default(),
+    }
+}
+
+fn handle_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, net_rms: NetRmsId, d: DataFrame) {
+    let Some(peer) = net_peer_of(sim, host, net_rms) else {
+        return;
+    };
+    sim.state
+        .st()
+        .host_mut(host)
+        .by_net
+        .entry(net_rms)
+        .or_insert(NetUse::DataIn(peer));
+    let st_rms = d.st_rms;
+    let exists = {
+        let sth = sim.state.st().host_mut(host);
+        match sth.streams.get_mut(&st_rms) {
+            Some(s) if s.role == StRole::Receiver && !s.failed => {
+                s.in_net = Some(net_rms);
+                true
+            }
+            _ => false,
+        }
+    };
+    if !exists {
+        return;
+    }
+    let len = d.payload.len() as u64;
+    let cost = sim.state.st_ref().config.st_cpu.cost_for(len);
+    // §4.1: stage deadline = current time + stage allocation (monotone per
+    // stream; see the send path for why).
+    let cpu_deadline = {
+        let now = sim.now();
+        let sth = sim.state.st().host_mut(host);
+        match sth.streams.get_mut(&st_rms) {
+            Some(s) => {
+                let dl = now
+                    .saturating_add(s.params.delay.bound_for(len))
+                    .max(s.last_recv_job_deadline);
+                s.last_recv_job_deadline = dl;
+                dl
+            }
+            None => now.saturating_add(SimDuration::ZERO),
+        }
+    };
+    W::charge_cpu(
+        sim,
+        host,
+        cost,
+        cpu_deadline,
+        st_rms.0,
+        Box::new(move |sim| deliver_data(sim, host, peer, d)),
+    );
+}
+
+fn deliver_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, d: DataFrame) {
+    let now = sim.now();
+    let st_rms = d.st_rms;
+    // Reassemble if fragmented.
+    let complete = {
+        let sth = sim.state.st().host_mut(host);
+        let Some(stream) = sth.streams.get_mut(&st_rms) else {
+            return;
+        };
+        if d.frag.is_some() {
+            stream.reassembly.push(d).map(|r| {
+                let mut m = Message::new(r.payload);
+                m.source = r.source;
+                m.target = r.target;
+                (m, r.seq, r.sent_at, r.fast_ack)
+            })
+        } else {
+            let mut m = Message::new(d.payload);
+            m.source = d.source;
+            m.target = d.target;
+            Some((m, d.seq, d.sent_at, d.fast_ack))
+        }
+    };
+    let Some((msg, seq, sent_at, fast_ack)) = complete else {
+        return;
+    };
+    // Stats + lateness.
+    {
+        let sth = sim.state.st().host_mut(host);
+        if let Some(stream) = sth.streams.get_mut(&st_rms) {
+            stream.delivered.incr();
+            stream.bytes.add(msg.len() as u64);
+            let delay = now.saturating_since(sent_at);
+            stream.delays.record(delay.as_secs_f64());
+            if delay > stream.params.delay.bound_for(msg.len() as u64) {
+                stream.late.incr();
+            }
+        }
+    }
+    // Fast acknowledgement (§3.2): a small frame on the control channel.
+    if fast_ack {
+        let ctrl_out = peer_state(sim, host, peer).control_out;
+        if let Some(rms) = ctrl_out {
+            sim.state.st().host_mut(host).stats.fast_acks_sent.incr();
+            let payload = encode(&Frame::FastAck { st_rms, seq });
+            let now = sim.now();
+            let _ = net::send_on_rms(sim, host, rms, Message::new(payload), Some(now), None);
+        }
+    }
+    let info = DeliveryInfo {
+        sent_at,
+        delivered_at: now,
+        stream: st_rms.0,
+        seq,
+    };
+    W::st_deliver(sim, host, st_rms, msg, info);
+}
+
+/// The world's `NetWorld::rms_event` must forward here.
+pub fn on_net_event<W: StWorld>(sim: &mut Sim<W>, host: HostId, event: &NetRmsEvent) {
+    match event {
+        NetRmsEvent::Created { token, rms, params } => {
+            let purpose = sim.state.st().host_mut(host).net_pending.remove(token);
+            match purpose {
+                Some(NetPurpose::ControlOut(peer)) => {
+                    {
+                        let sth = sim.state.st().host_mut(host);
+                        sth.stats.control_created.incr();
+                        sth.by_net.insert(*rms, NetUse::ControlOut(peer));
+                    }
+                    {
+                        let p = peer_state(sim, host, peer);
+                        p.control_out = Some(*rms);
+                        p.control_creating = false;
+                    }
+                    // Authenticate (§3.2), then flush any pre-auth frames.
+                    let require_auth = sim.state.st_ref().config.require_auth;
+                    if require_auth {
+                        send_hello(sim, host, peer);
+                    } else {
+                        peer_state(sim, host, peer).authed = true;
+                    }
+                    let pre = std::mem::take(&mut peer_state(sim, host, peer).pre_auth);
+                    for m in pre {
+                        emit_ctrl(sim, host, peer, m);
+                    }
+                    if !require_auth {
+                        let queued = std::mem::take(&mut peer_state(sim, host, peer).queued_ctrl);
+                        for m in queued {
+                            emit_ctrl(sim, host, peer, m);
+                        }
+                    }
+                }
+                Some(NetPurpose::DataOut(peer, slot)) => {
+                    // Adopt the actual parameters; if the grant is smaller
+                    // than the multiplexed demand (§4.2 capacity rule),
+                    // spill the newest streams to other slots.
+                    let (ready_streams, spilled) = {
+                        let sth = sim.state.st().host_mut(host);
+                        sth.by_net.insert(*rms, NetUse::DataOut(peer, slot));
+                        let mut assigned = match sth
+                            .peers
+                            .get_mut(&peer)
+                            .and_then(|p| p.data.get_mut(&slot))
+                        {
+                            Some(d) => {
+                                d.net_rms = Some(*rms);
+                                d.token = None;
+                                d.params = params.clone();
+                                d.assigned.clone()
+                            }
+                            None => Vec::new(),
+                        };
+                        let cap_of = |sth: &crate::st::StHost, sid: &StRmsId| {
+                            sth.streams
+                                .get(sid)
+                                .map(|s| s.params.capacity)
+                                .unwrap_or(0)
+                        };
+                        let mut sum: u64 = assigned.iter().map(|sid| cap_of(sth, sid)).sum();
+                        let mut spilled = Vec::new();
+                        while sum > params.capacity && assigned.len() > 1 {
+                            let victim = assigned.pop().expect("len > 1");
+                            sum -= cap_of(sth, &victim);
+                            spilled.push(victim);
+                        }
+                        if let Some(d) = sth
+                            .peers
+                            .get_mut(&peer)
+                            .and_then(|p| p.data.get_mut(&slot))
+                        {
+                            d.assigned = assigned.clone();
+                            d.assigned_capacity = sum;
+                        }
+                        let mut out = Vec::new();
+                        for sid in &assigned {
+                            if let Some(s) = sth.streams.get_mut(sid) {
+                                out.push((s.id, s.pending_token.take(), s.params.clone()));
+                            }
+                        }
+                        (out, spilled)
+                    };
+                    for (st_rms, token, st_params) in ready_streams {
+                        if let Some(token) = token {
+                            sim.state.st().host_mut(host).stats.creates_completed.incr();
+                            W::st_event(
+                                sim,
+                                host,
+                                StEvent::Created {
+                                    token,
+                                    st_rms,
+                                    params: st_params,
+                                },
+                            );
+                        }
+                    }
+                    for st_rms in spilled {
+                        if let Some(s) = sim.state.st().host_mut(host).streams.get_mut(&st_rms) {
+                            s.slot = None;
+                        }
+                        let ready = assign_slot(sim, host, st_rms);
+                        if ready {
+                            let (token, st_params) = {
+                                let sth = sim.state.st().host_mut(host);
+                                match sth.streams.get_mut(&st_rms) {
+                                    Some(s) => (s.pending_token.take(), s.params.clone()),
+                                    None => (None, RmsParams::builder(1, 1).build().expect("valid")),
+                                }
+                            };
+                            if let Some(token) = token {
+                                sim.state.st().host_mut(host).stats.creates_completed.incr();
+                                W::st_event(
+                                    sim,
+                                    host,
+                                    StEvent::Created {
+                                        token,
+                                        st_rms,
+                                        params: st_params,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+        NetRmsEvent::CreateFailed { token, reason } => {
+            let purpose = sim.state.st().host_mut(host).net_pending.remove(token);
+            match purpose {
+                Some(NetPurpose::ControlOut(peer)) => {
+                    peer_state(sim, host, peer).control_creating = false;
+                    fail_queued_creates(sim, host, peer, reason.clone());
+                }
+                Some(NetPurpose::DataOut(peer, slot)) => {
+                    let victims: Vec<(StRmsId, Option<StToken>)> = {
+                        let sth = sim.state.st().host_mut(host);
+                        let assigned = sth
+                            .peers
+                            .get_mut(&peer)
+                            .and_then(|p| p.data.remove(&slot))
+                            .map(|d| d.assigned)
+                            .unwrap_or_default();
+                        assigned
+                            .iter()
+                            .filter_map(|s| sth.streams.remove(s))
+                            .map(|mut s| (s.id, s.pending_token.take()))
+                            .collect()
+                    };
+                    for (st_rms, tok) in victims {
+                        send_ctrl(sim, host, peer, ControlMsg::StClose { st_rms });
+                        if let Some(tok) = tok {
+                            W::st_event(
+                                sim,
+                                host,
+                                StEvent::CreateFailed {
+                                    token: tok,
+                                    reason: reason.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+        NetRmsEvent::Failed { rms, reason } => {
+            handle_net_failure(sim, host, *rms, *reason);
+        }
+        NetRmsEvent::Closed { rms } => {
+            let use_ = sim.state.st().host_mut(host).by_net.remove(rms);
+            if let Some(NetUse::ControlIn(peer)) = use_ {
+                peer_state(sim, host, peer).control_in = None;
+            }
+        }
+        // The ST does not use invites or raw inbound notifications.
+        NetRmsEvent::InboundCreated { .. }
+        | NetRmsEvent::SenderCreatedByInvite { .. }
+        | NetRmsEvent::InviteFailed { .. } => {}
+    }
+}
+
+fn handle_net_failure<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    rms: NetRmsId,
+    reason: FailReason,
+) {
+    let use_ = sim.state.st().host_mut(host).by_net.remove(&rms);
+    match use_ {
+        Some(NetUse::ControlOut(peer)) => {
+            {
+                let p = peer_state(sim, host, peer);
+                p.control_out = None;
+                p.authed = false;
+            }
+            fail_queued_creates(sim, host, peer, RejectReason::Timeout);
+        }
+        Some(NetUse::ControlIn(peer)) => {
+            peer_state(sim, host, peer).control_in = None;
+        }
+        Some(NetUse::DataOut(peer, slot)) => {
+            let victims: Vec<(StRmsId, Option<StToken>)> = {
+                let sth = sim.state.st().host_mut(host);
+                let assigned = sth
+                    .peers
+                    .get_mut(&peer)
+                    .and_then(|p| p.data.remove(&slot))
+                    .map(|d| d.assigned)
+                    .unwrap_or_default();
+                let mut out = Vec::new();
+                for sid in &assigned {
+                    if let Some(s) = sth.streams.get_mut(sid) {
+                        s.failed = true;
+                        out.push((s.id, s.pending_token.take()));
+                    }
+                }
+                out
+            };
+            for (st_rms, tok) in victims {
+                if let Some(tok) = tok {
+                    W::st_event(
+                        sim,
+                        host,
+                        StEvent::CreateFailed {
+                            token: tok,
+                            reason: RejectReason::Timeout,
+                        },
+                    );
+                } else {
+                    W::st_event(sim, host, StEvent::Failed { st_rms, reason });
+                }
+            }
+        }
+        Some(NetUse::DataIn(_peer)) => {
+            let victims: Vec<StRmsId> = {
+                let sth = sim.state.st().host_mut(host);
+                sth.streams
+                    .values_mut()
+                    .filter(|s| s.role == StRole::Receiver && s.in_net == Some(rms) && !s.failed)
+                    .map(|s| {
+                        s.failed = true;
+                        s.id
+                    })
+                    .collect()
+            };
+            for st_rms in victims {
+                W::st_event(sim, host, StEvent::Failed { st_rms, reason });
+            }
+        }
+        None => {}
+    }
+}

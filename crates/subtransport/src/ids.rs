@@ -1,0 +1,34 @@
+//! Identifier newtypes for the subtransport layer.
+
+use std::fmt;
+
+/// An ST-level RMS (assigned by the receiving ST at creation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StRmsId(pub u64);
+
+impl fmt::Display for StRmsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "strms{}", self.0)
+    }
+}
+
+/// Correlation token for asynchronous ST RMS creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StToken(pub u64);
+
+impl fmt::Display for StToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sttok{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(StRmsId(4).to_string(), "strms4");
+        assert_eq!(StToken(9).to_string(), "sttok9");
+    }
+}

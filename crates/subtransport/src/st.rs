@@ -1,0 +1,463 @@
+//! Subtransport-layer state and the [`StWorld`] trait (paper §3.2).
+//!
+//! "The subtransport layer (ST) provides a variety of host-to-host
+//! functions. All upper-level network communication in DASH passes through
+//! the ST. ... The basic functions of the ST are to provide security, to do
+//! deadline-based message queueing, to multiplex ST RMS's onto network
+//! RMS's, and to arrange for 'fast acknowledgement' of messages sent on ST
+//! RMS's."
+
+use std::collections::HashMap;
+
+use dash_net::ids::{CreateToken, HostId, NetRmsId};
+use dash_security::cipher::Key;
+use dash_security::cost::CostModel;
+use dash_sim::engine::{Sim, TimerHandle};
+use dash_sim::stats::Counter;
+use dash_sim::time::{SimDuration, SimTime};
+use rms_core::delay::DelayBound;
+use rms_core::error::{FailReason, RejectReason};
+use rms_core::message::Message;
+use rms_core::params::{Reliability, RmsParams};
+use rms_core::port::DeliveryInfo;
+
+use crate::frag::Reassembly;
+use crate::ids::{StRmsId, StToken};
+use crate::piggyback::PiggybackQueue;
+use crate::wire::ControlMsg;
+
+/// Subtransport configuration.
+#[derive(Debug, Clone)]
+pub struct StConfig {
+    /// Parameters requested for each direction of a peer control channel
+    /// (§3.2: "two low capacity, low delay network RMS's, one per
+    /// direction").
+    pub control_params: RmsParams,
+    /// Default capacity requested for new data network RMSs (headroom for
+    /// multiplexing more ST RMSs later, §4.2).
+    pub data_capacity_default: u64,
+    /// Maximum message size offered to ST clients; larger than the network
+    /// layer's, supported by fragmentation (§4.3).
+    pub st_max_message_size: u64,
+    /// Enable piggyback queueing (§4.3.1). Off = immediate sends.
+    pub piggyback: bool,
+    /// Delay budget the ST keeps for piggyback queueing: the difference
+    /// between ST and network delay bounds (§4.2).
+    pub piggyback_slack: SimDuration,
+    /// CPU cost of ST processing per message, per side.
+    pub st_cpu: CostModel,
+    /// Require the Hello/HelloAck authentication handshake before control
+    /// traffic flows.
+    pub require_auth: bool,
+    /// Maximum *idle* cached data network RMSs per peer before LRU eviction
+    /// (§4.2 caching).
+    pub cache_idle_limit: usize,
+    /// How long to wait for control-channel authentication before failing
+    /// queued creates.
+    pub auth_timeout: SimDuration,
+}
+
+impl Default for StConfig {
+    fn default() -> Self {
+        StConfig {
+            control_params: RmsParams {
+                reliability: Reliability::Reliable,
+                security: rms_core::params::SecurityParams::NONE,
+                capacity: 4096,
+                max_message_size: 512,
+                // Generous floors: the control channel must be creatable on
+                // any network the stack runs over (its urgency comes from
+                // per-message transmission deadlines, not from this bound).
+                delay: DelayBound::best_effort_with(
+                    SimDuration::from_secs(2),
+                    SimDuration::from_micros(100),
+                ),
+                error_rate: rms_core::params::BitErrorRate::new(1e-3).expect("valid"),
+            },
+            data_capacity_default: 64 * 1024,
+            st_max_message_size: 64 * 1024,
+            piggyback: true,
+            piggyback_slack: SimDuration::from_millis(2),
+            st_cpu: CostModel::new(SimDuration::from_micros(10), SimDuration::from_nanos(2)),
+            require_auth: true,
+            cache_idle_limit: 4,
+            auth_timeout: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// What a network RMS create (initiated by the ST) was for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetPurpose {
+    /// Our half of the control channel to `peer`.
+    ControlOut(HostId),
+    /// A data stream toward `peer`; the value is the local data-RMS slot.
+    DataOut(HostId, u32),
+}
+
+/// What a known network RMS is used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetUse {
+    /// Our outgoing control half toward the peer.
+    ControlOut(HostId),
+    /// The peer's control half toward us.
+    ControlIn(HostId),
+    /// An outgoing data stream (value = local slot).
+    DataOut(HostId, u32),
+    /// An incoming data stream from the peer.
+    DataIn(HostId),
+}
+
+/// An outgoing data network RMS slot: creating or ready, with its assigned
+/// ST RMSs and piggyback queue.
+#[derive(Debug)]
+pub struct DataOut {
+    /// The network RMS once created.
+    pub net_rms: Option<NetRmsId>,
+    /// The network create token while creating.
+    pub token: Option<CreateToken>,
+    /// Network-level parameters (requested while creating; actual once
+    /// ready).
+    pub params: RmsParams,
+    /// ST RMSs multiplexed onto this network RMS (§4.2).
+    pub assigned: Vec<StRmsId>,
+    /// Sum of assigned ST RMS capacities (must stay ≤ `params.capacity`).
+    pub assigned_capacity: u64,
+    /// The piggyback queue (§4.3.1).
+    pub queue: PiggybackQueue,
+    /// Armed flush timer, with its deadline.
+    pub flush_timer: Option<(TimerHandle, SimTime)>,
+    /// Last time a message was sent (cache LRU).
+    pub last_used: SimTime,
+}
+
+/// Authentication/connection state for one peer.
+#[derive(Debug, Default)]
+pub struct PeerState {
+    /// Our outgoing control-channel network RMS.
+    pub control_out: Option<NetRmsId>,
+    /// True while the control-out create is in flight.
+    pub control_creating: bool,
+    /// The peer's incoming control-channel network RMS.
+    pub control_in: Option<NetRmsId>,
+    /// Nonce of our outstanding Hello.
+    pub my_nonce: u64,
+    /// True once the peer answered our Hello correctly.
+    pub authed: bool,
+    /// Control messages awaiting authentication.
+    pub queued_ctrl: Vec<ControlMsg>,
+    /// Hello/HelloAck frames awaiting the control-out RMS (pre-auth).
+    pub pre_auth: Vec<ControlMsg>,
+    /// Timer failing queued creates if authentication stalls.
+    pub auth_timer: Option<TimerHandle>,
+    /// Data slots (keyed by slot id).
+    pub data: HashMap<u32, DataOut>,
+    /// Next data slot id.
+    pub next_slot: u32,
+}
+
+/// One ST RMS endpoint.
+#[derive(Debug)]
+pub struct StStream {
+    /// Stream id (assigned by the receiving ST).
+    pub id: StRmsId,
+    /// The other host.
+    pub peer: HostId,
+    /// Our role.
+    pub role: StRole,
+    /// ST-level parameters.
+    pub params: RmsParams,
+    /// Whether data frames request fast acknowledgements (§3.2).
+    pub fast_ack: bool,
+    /// Sender: the data slot this stream is multiplexed onto.
+    pub slot: Option<u32>,
+    /// Sender: creation token to report once the slot is ready.
+    pub pending_token: Option<StToken>,
+    /// Sender: next message sequence number.
+    pub next_seq: u64,
+    /// Sender: ordering floor — the previous message's actual transmission
+    /// deadline (§4.3.1).
+    pub last_tx_deadline: SimTime,
+    /// Monotone floor for send-side CPU-job deadlines (§4.1).
+    pub last_send_job_deadline: SimTime,
+    /// Monotone floor for receive-side CPU-job deadlines.
+    pub last_recv_job_deadline: SimTime,
+    /// Receiver: reassembly state (§4.3).
+    pub reassembly: Reassembly,
+    /// Receiver: the inbound network RMS (learned from the first frame).
+    pub in_net: Option<NetRmsId>,
+    /// Set when the stream failed.
+    pub failed: bool,
+    /// Receiver-side delivery statistics.
+    pub delivered: Counter,
+    /// Receiver-side payload bytes delivered.
+    pub bytes: Counter,
+    /// Receiver-side deliveries beyond the ST delay bound.
+    pub late: Counter,
+    /// Receiver-side end-to-end delays (client send → ST delivery), secs.
+    pub delays: dash_sim::stats::Histogram,
+}
+
+impl StStream {
+    /// Allocate the next message sequence number (sender side).
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+}
+
+/// An ST RMS creation in flight at its creator.
+#[derive(Debug)]
+pub struct StPending {
+    /// Data receiver.
+    pub peer: HostId,
+    /// Negotiated ST-level parameters.
+    pub params: RmsParams,
+    /// Fast-ack option.
+    pub fast_ack: bool,
+}
+
+/// Host-level ST statistics (feeding experiments e1/e3/e4/e9).
+#[derive(Debug, Default)]
+pub struct StStats {
+    /// Control channels established (outgoing halves).
+    pub control_created: Counter,
+    /// Hello messages sent.
+    pub hellos_sent: Counter,
+    /// Authentication failures observed.
+    pub auth_failures: Counter,
+    /// ST RMS creations requested here.
+    pub creates_requested: Counter,
+    /// ST RMS creations completed here.
+    pub creates_completed: Counter,
+    /// A cached data network RMS satisfied an assignment (§4.2).
+    pub cache_hits: Counter,
+    /// A new data network RMS had to be created.
+    pub cache_misses: Counter,
+    /// Idle cached network RMSs evicted (LRU).
+    pub cache_evictions: Counter,
+    /// Client messages sent on ST RMSs.
+    pub msgs_sent: Counter,
+    /// Network messages that carried a piggybacked bundle.
+    pub bundles_sent: Counter,
+    /// Client messages that travelled inside bundles.
+    pub msgs_bundled: Counter,
+    /// Client messages sent alone.
+    pub msgs_alone: Counter,
+    /// Queue flushes forced by the flush timer.
+    pub flushes_timer: Counter,
+    /// Queue flushes forced by overflow.
+    pub flushes_overflow: Counter,
+    /// Queue flushes forced by a deadline conflict.
+    pub flushes_conflict: Counter,
+    /// Messages that required fragmentation.
+    pub msgs_fragmented: Counter,
+    /// Fragments sent.
+    pub fragments_sent: Counter,
+    /// Fast acknowledgements sent (receiver side).
+    pub fast_acks_sent: Counter,
+    /// Fast acknowledgements delivered to clients (sender side).
+    pub fast_acks_received: Counter,
+    /// Frames that failed to decode.
+    pub garbage_frames: Counter,
+    /// Network bytes handed down (payloads only).
+    pub net_bytes_sent: Counter,
+    /// Network messages handed down.
+    pub net_msgs_sent: Counter,
+}
+
+/// Per-host ST state.
+#[derive(Debug, Default)]
+pub struct StHost {
+    /// Peer connection state.
+    pub peers: HashMap<HostId, PeerState>,
+    /// Live streams, both roles.
+    pub streams: HashMap<StRmsId, StStream>,
+    /// Purpose of in-flight network creates.
+    pub net_pending: HashMap<CreateToken, NetPurpose>,
+    /// Known network RMS usages.
+    pub by_net: HashMap<NetRmsId, NetUse>,
+    /// ST creations in flight.
+    pub pending: HashMap<StToken, StPending>,
+    /// Statistics.
+    pub stats: StStats,
+}
+
+/// The subtransport layer's world state.
+#[derive(Debug)]
+pub struct StState {
+    /// Configuration.
+    pub config: StConfig,
+    /// Per-host state, indexed by [`HostId`].
+    pub hosts: Vec<StHost>,
+    /// Out-of-band pair keys for control-channel authentication (a stand-in
+    /// for the key-distribution protocol of Anderson et al. 1987, ref \[2\]).
+    pub auth_keys: HashMap<(u32, u32), Key>,
+    next_st_rms: u64,
+    next_token: u64,
+    nonce_seed: u64,
+}
+
+impl StState {
+    /// ST state for `n_hosts` hosts.
+    pub fn new(config: StConfig, n_hosts: usize) -> Self {
+        StState {
+            config,
+            hosts: (0..n_hosts).map(|_| StHost::default()).collect(),
+            auth_keys: HashMap::new(),
+            next_st_rms: 1,
+            next_token: 1,
+            nonce_seed: 0x5eed,
+        }
+    }
+
+    /// Provision a shared authentication key for a host pair.
+    pub fn provision_key(&mut self, a: HostId, b: HostId, key: Key) {
+        self.auth_keys.insert(Self::pair(a, b), key);
+    }
+
+    /// Provision keys for every pair among `hosts` (test/bench setup).
+    pub fn provision_all_keys(&mut self, n_hosts: u32) {
+        for a in 0..n_hosts {
+            for b in (a + 1)..n_hosts {
+                let key = Key(0x1000_0000u64 | (u64::from(a) << 20) | u64::from(b));
+                self.auth_keys.insert((a, b), key);
+            }
+        }
+    }
+
+    fn pair(a: HostId, b: HostId) -> (u32, u32) {
+        if a.0 <= b.0 {
+            (a.0, b.0)
+        } else {
+            (b.0, a.0)
+        }
+    }
+
+    /// The shared key for a host pair, if provisioned.
+    pub fn pair_key(&self, a: HostId, b: HostId) -> Option<Key> {
+        self.auth_keys.get(&Self::pair(a, b)).copied()
+    }
+
+    /// Access a host's ST state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn host(&self, id: HostId) -> &StHost {
+        &self.hosts[id.0 as usize]
+    }
+
+    /// Mutable access to a host's ST state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn host_mut(&mut self, id: HostId) -> &mut StHost {
+        &mut self.hosts[id.0 as usize]
+    }
+
+    /// Allocate a globally unique ST RMS id.
+    pub fn alloc_st_rms(&mut self) -> StRmsId {
+        let id = StRmsId(self.next_st_rms);
+        self.next_st_rms += 1;
+        id
+    }
+
+    /// Allocate an ST creation token.
+    pub fn alloc_token(&mut self) -> StToken {
+        let t = StToken(self.next_token);
+        self.next_token += 1;
+        t
+    }
+
+    /// A fresh Hello nonce.
+    pub fn alloc_nonce(&mut self) -> u64 {
+        self.nonce_seed = self
+            .nonce_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.nonce_seed
+    }
+}
+
+/// Which end of an ST RMS this host holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StRole {
+    /// This host sends.
+    Sender,
+    /// This host receives.
+    Receiver,
+}
+
+/// ST lifecycle events reported to clients.
+#[derive(Debug)]
+pub enum StEvent {
+    /// A creation initiated here completed; the stream is ready to send on.
+    Created {
+        /// The creator's token.
+        token: StToken,
+        /// The new stream.
+        st_rms: StRmsId,
+        /// Its ST-level parameters.
+        params: RmsParams,
+    },
+    /// A creation initiated here failed.
+    CreateFailed {
+        /// The creator's token.
+        token: StToken,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// A receiving stream appeared at this host.
+    InboundCreated {
+        /// The new stream.
+        st_rms: StRmsId,
+        /// The sending peer.
+        peer: HostId,
+        /// ST-level parameters.
+        params: RmsParams,
+        /// Whether its frames will request fast acks.
+        fast_ack: bool,
+    },
+    /// A stream failed.
+    Failed {
+        /// The stream.
+        st_rms: StRmsId,
+        /// Why.
+        reason: FailReason,
+    },
+    /// The peer closed a stream we were receiving on (or the provider
+    /// confirmed our own close).
+    Closed {
+        /// The stream.
+        st_rms: StRmsId,
+    },
+    /// A fast acknowledgement arrived for a message we sent (§3.2).
+    FastAck {
+        /// The stream.
+        st_rms: StRmsId,
+        /// The acknowledged message sequence number.
+        seq: u64,
+    },
+}
+
+/// The world contract for layers above the ST.
+pub trait StWorld: dash_net::state::NetWorld {
+    /// The embedded ST state.
+    fn st(&mut self) -> &mut StState;
+    /// Shared access to the embedded ST state.
+    fn st_ref(&self) -> &StState;
+    /// A message arrived on a receiving ST RMS.
+    fn st_deliver(
+        sim: &mut Sim<Self>,
+        host: HostId,
+        st_rms: StRmsId,
+        msg: Message,
+        info: DeliveryInfo,
+    );
+    /// An ST lifecycle event occurred.
+    fn st_event(sim: &mut Sim<Self>, host: HostId, event: StEvent);
+}
+

@@ -1,0 +1,679 @@
+//! ST wire format.
+//!
+//! Everything the subtransport layer sends rides inside network-RMS message
+//! payloads as serialized *frames*. Real byte-level encoding keeps the
+//! layering honest: piggybacked bundles (§4.2) really are one network
+//! message whose size is the sum of its parts, and fragment headers (§4.3)
+//! really cost bytes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dash_sim::time::{SimDuration, SimTime};
+use rms_core::delay::{DelayBound, DelayBoundKind, StatisticalSpec};
+use rms_core::message::Label;
+use rms_core::params::{
+    Authentication, BitErrorRate, Privacy, Reliability, RmsParams, SecurityParams,
+};
+
+use crate::ids::{StRmsId, StToken};
+
+/// Why decoding failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes mid-field.
+    Truncated,
+    /// Unknown frame or control tag.
+    BadTag(u8),
+    /// A decoded value was structurally invalid.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadTag(t) => write!(f, "unknown tag {t}"),
+            WireError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Fragment position within a fragmented ST message (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragInfo {
+    /// Zero-based fragment index.
+    pub index: u32,
+    /// Total fragments in the message.
+    pub count: u32,
+}
+
+/// A data frame: one ST message or fragment thereof.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataFrame {
+    /// The ST RMS this belongs to.
+    pub st_rms: StRmsId,
+    /// Per-ST-RMS sequence number of the *message* (fragments share it).
+    pub seq: u64,
+    /// Fragmentation info, if this is a fragment.
+    pub frag: Option<FragInfo>,
+    /// When the client's send operation started (delay clock origin, §2.2).
+    pub sent_at: SimTime,
+    /// The receiver ST should send a fast acknowledgement (§3.2).
+    pub fast_ack: bool,
+    /// Optional source label.
+    pub source: Option<Label>,
+    /// Optional target label.
+    pub target: Option<Label>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Control messages carried on the per-peer control channel (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMsg {
+    /// Authentication challenge: "I am `host`; prove you share our key".
+    Hello {
+        /// Sender's host id.
+        host: u32,
+        /// Fresh nonce.
+        nonce: u64,
+        /// MAC over the nonce under the pair key.
+        tag: u64,
+    },
+    /// Authentication response: MAC over `nonce + 1` under the pair key.
+    HelloAck {
+        /// The responder's host id.
+        host: u32,
+        /// Echo of the challenge nonce.
+        nonce: u64,
+        /// MAC over `nonce + 1`.
+        tag: u64,
+    },
+    /// Request to create an ST RMS toward the receiver (the requester is
+    /// the data sender).
+    StCreateReq {
+        /// Requester's correlation token.
+        token: StToken,
+        /// The negotiated ST-level parameters.
+        params: RmsParams,
+        /// Whether data frames will request fast acknowledgements.
+        fast_ack: bool,
+    },
+    /// Positive reply carrying the receiver-assigned stream id.
+    StCreateAck {
+        /// Echo of the request token.
+        token: StToken,
+        /// The new stream id.
+        st_rms: StRmsId,
+    },
+    /// Negative reply.
+    StCreateNak {
+        /// Echo of the request token.
+        token: StToken,
+        /// Coarse reason code.
+        reason: u8,
+    },
+    /// Close an ST RMS (sent by its sender side).
+    StClose {
+        /// The stream being closed.
+        st_rms: StRmsId,
+    },
+}
+
+/// Any ST frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A single data frame.
+    Data(DataFrame),
+    /// Several data frames piggybacked into one network message (§4.2).
+    Bundle(Vec<DataFrame>),
+    /// A control message.
+    Ctrl(ControlMsg),
+    /// Fast acknowledgement for `(st_rms, seq)` (§3.2).
+    FastAck {
+        /// Acknowledged stream.
+        st_rms: StRmsId,
+        /// Acknowledged message sequence number.
+        seq: u64,
+    },
+}
+
+const TAG_DATA: u8 = 1;
+const TAG_BUNDLE: u8 = 2;
+const TAG_CTRL: u8 = 3;
+const TAG_FASTACK: u8 = 4;
+
+const CTRL_HELLO: u8 = 1;
+const CTRL_HELLO_ACK: u8 = 2;
+const CTRL_CREATE_REQ: u8 = 3;
+const CTRL_CREATE_ACK: u8 = 4;
+const CTRL_CREATE_NAK: u8 = 5;
+const CTRL_CLOSE: u8 = 6;
+
+const FLAG_FRAG: u8 = 1;
+const FLAG_FAST_ACK: u8 = 2;
+const FLAG_SOURCE: u8 = 4;
+const FLAG_TARGET: u8 = 8;
+
+/// Bytes of header a plain (unlabelled, unfragmented) data frame adds on
+/// top of its payload.
+pub const DATA_FRAME_HEADER: u64 = 1 + 8 + 8 + 1 + 8 + 4;
+
+/// Size in bytes of `frame` once encoded.
+pub fn encoded_len(frame: &Frame) -> u64 {
+    encode(frame).len() as u64
+}
+
+/// Size a [`DataFrame`] will occupy, computed without encoding.
+pub fn data_frame_len(payload_len: u64, frag: bool, source: bool, target: bool) -> u64 {
+    DATA_FRAME_HEADER
+        + payload_len
+        + if frag { 8 } else { 0 }
+        + if source { 8 } else { 0 }
+        + if target { 8 } else { 0 }
+}
+
+fn put_data(buf: &mut BytesMut, d: &DataFrame) {
+    buf.put_u8(TAG_DATA);
+    buf.put_u64(d.st_rms.0);
+    buf.put_u64(d.seq);
+    let mut flags = 0u8;
+    if d.frag.is_some() {
+        flags |= FLAG_FRAG;
+    }
+    if d.fast_ack {
+        flags |= FLAG_FAST_ACK;
+    }
+    if d.source.is_some() {
+        flags |= FLAG_SOURCE;
+    }
+    if d.target.is_some() {
+        flags |= FLAG_TARGET;
+    }
+    buf.put_u8(flags);
+    if let Some(f) = d.frag {
+        buf.put_u32(f.index);
+        buf.put_u32(f.count);
+    }
+    buf.put_u64(d.sent_at.as_nanos());
+    if let Some(s) = d.source {
+        buf.put_u64(s.0);
+    }
+    if let Some(t) = d.target {
+        buf.put_u64(t.0);
+    }
+    buf.put_u32(d.payload.len() as u32);
+    buf.put_slice(&d.payload);
+}
+
+fn put_params(buf: &mut BytesMut, p: &RmsParams) {
+    buf.put_u8(match p.reliability {
+        Reliability::Unreliable => 0,
+        Reliability::Reliable => 1,
+    });
+    buf.put_u8(match p.security.authentication {
+        Authentication::Unauthenticated => 0,
+        Authentication::Authenticated => 1,
+    });
+    buf.put_u8(match p.security.privacy {
+        Privacy::Open => 0,
+        Privacy::Private => 1,
+    });
+    buf.put_u64(p.capacity);
+    buf.put_u64(p.max_message_size);
+    buf.put_u64(p.delay.fixed.as_nanos());
+    buf.put_u64(p.delay.per_byte.as_nanos());
+    match p.delay.kind {
+        DelayBoundKind::BestEffort => buf.put_u8(0),
+        DelayBoundKind::Statistical(s) => {
+            buf.put_u8(1);
+            buf.put_f64(s.average_load);
+            buf.put_f64(s.burstiness);
+            buf.put_f64(s.delay_probability);
+        }
+        DelayBoundKind::Deterministic => buf.put_u8(2),
+    }
+    buf.put_f64(p.error_rate.rate());
+}
+
+fn put_ctrl(buf: &mut BytesMut, c: &ControlMsg) {
+    buf.put_u8(TAG_CTRL);
+    match c {
+        ControlMsg::Hello { host, nonce, tag } => {
+            buf.put_u8(CTRL_HELLO);
+            buf.put_u32(*host);
+            buf.put_u64(*nonce);
+            buf.put_u64(*tag);
+        }
+        ControlMsg::HelloAck { host, nonce, tag } => {
+            buf.put_u8(CTRL_HELLO_ACK);
+            buf.put_u32(*host);
+            buf.put_u64(*nonce);
+            buf.put_u64(*tag);
+        }
+        ControlMsg::StCreateReq {
+            token,
+            params,
+            fast_ack,
+        } => {
+            buf.put_u8(CTRL_CREATE_REQ);
+            buf.put_u64(token.0);
+            buf.put_u8(u8::from(*fast_ack));
+            put_params(buf, params);
+        }
+        ControlMsg::StCreateAck { token, st_rms } => {
+            buf.put_u8(CTRL_CREATE_ACK);
+            buf.put_u64(token.0);
+            buf.put_u64(st_rms.0);
+        }
+        ControlMsg::StCreateNak { token, reason } => {
+            buf.put_u8(CTRL_CREATE_NAK);
+            buf.put_u64(token.0);
+            buf.put_u8(*reason);
+        }
+        ControlMsg::StClose { st_rms } => {
+            buf.put_u8(CTRL_CLOSE);
+            buf.put_u64(st_rms.0);
+        }
+    }
+}
+
+/// Encode a frame to bytes.
+pub fn encode(frame: &Frame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match frame {
+        Frame::Data(d) => put_data(&mut buf, d),
+        Frame::Bundle(frames) => {
+            buf.put_u8(TAG_BUNDLE);
+            buf.put_u16(frames.len() as u16);
+            for d in frames {
+                put_data(&mut buf, d);
+            }
+        }
+        Frame::Ctrl(c) => put_ctrl(&mut buf, c),
+        Frame::FastAck { st_rms, seq } => {
+            buf.put_u8(TAG_FASTACK);
+            buf.put_u64(st_rms.0);
+            buf.put_u64(*seq);
+        }
+    }
+    buf.freeze()
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_data(buf: &mut Bytes) -> Result<DataFrame, WireError> {
+    need(buf, 8 + 8 + 1)?;
+    let st_rms = StRmsId(buf.get_u64());
+    let seq = buf.get_u64();
+    let flags = buf.get_u8();
+    let frag = if flags & FLAG_FRAG != 0 {
+        need(buf, 8)?;
+        let index = buf.get_u32();
+        let count = buf.get_u32();
+        if count == 0 || index >= count {
+            return Err(WireError::Invalid("fragment index/count"));
+        }
+        Some(FragInfo { index, count })
+    } else {
+        None
+    };
+    need(buf, 8)?;
+    let sent_at = SimTime::from_nanos(buf.get_u64());
+    let source = if flags & FLAG_SOURCE != 0 {
+        need(buf, 8)?;
+        Some(Label(buf.get_u64()))
+    } else {
+        None
+    };
+    let target = if flags & FLAG_TARGET != 0 {
+        need(buf, 8)?;
+        Some(Label(buf.get_u64()))
+    } else {
+        None
+    };
+    need(buf, 4)?;
+    let len = buf.get_u32() as usize;
+    need(buf, len)?;
+    let payload = buf.split_to(len);
+    Ok(DataFrame {
+        st_rms,
+        seq,
+        frag,
+        sent_at,
+        fast_ack: flags & FLAG_FAST_ACK != 0,
+        source,
+        target,
+        payload,
+    })
+}
+
+fn get_params(buf: &mut Bytes) -> Result<RmsParams, WireError> {
+    need(buf, 3 + 8 + 8 + 8 + 8 + 1)?;
+    let reliability = match buf.get_u8() {
+        0 => Reliability::Unreliable,
+        1 => Reliability::Reliable,
+        t => return Err(WireError::BadTag(t)),
+    };
+    let authentication = match buf.get_u8() {
+        0 => Authentication::Unauthenticated,
+        1 => Authentication::Authenticated,
+        t => return Err(WireError::BadTag(t)),
+    };
+    let privacy = match buf.get_u8() {
+        0 => Privacy::Open,
+        1 => Privacy::Private,
+        t => return Err(WireError::BadTag(t)),
+    };
+    let capacity = buf.get_u64();
+    let max_message_size = buf.get_u64();
+    let fixed = SimDuration::from_nanos(buf.get_u64());
+    let per_byte = SimDuration::from_nanos(buf.get_u64());
+    let kind = match buf.get_u8() {
+        0 => DelayBoundKind::BestEffort,
+        1 => {
+            need(buf, 24)?;
+            let average_load = buf.get_f64();
+            let burstiness = buf.get_f64();
+            let delay_probability = buf.get_f64();
+            if !(average_load >= 0.0 && burstiness >= 1.0 && (0.0..=1.0).contains(&delay_probability))
+            {
+                return Err(WireError::Invalid("statistical spec"));
+            }
+            DelayBoundKind::Statistical(StatisticalSpec::new(
+                average_load,
+                burstiness,
+                delay_probability,
+            ))
+        }
+        2 => DelayBoundKind::Deterministic,
+        t => return Err(WireError::BadTag(t)),
+    };
+    need(buf, 8)?;
+    let error_rate =
+        BitErrorRate::new(buf.get_f64()).ok_or(WireError::Invalid("error rate"))?;
+    let params = RmsParams {
+        reliability,
+        security: SecurityParams {
+            authentication,
+            privacy,
+        },
+        capacity,
+        max_message_size,
+        delay: DelayBound {
+            fixed,
+            per_byte,
+            kind,
+        },
+        error_rate,
+    };
+    params
+        .validate()
+        .map_err(|_| WireError::Invalid("parameter invariants"))?;
+    Ok(params)
+}
+
+fn get_ctrl(buf: &mut Bytes) -> Result<ControlMsg, WireError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        CTRL_HELLO => {
+            need(buf, 4 + 8 + 8)?;
+            Ok(ControlMsg::Hello {
+                host: buf.get_u32(),
+                nonce: buf.get_u64(),
+                tag: buf.get_u64(),
+            })
+        }
+        CTRL_HELLO_ACK => {
+            need(buf, 4 + 8 + 8)?;
+            Ok(ControlMsg::HelloAck {
+                host: buf.get_u32(),
+                nonce: buf.get_u64(),
+                tag: buf.get_u64(),
+            })
+        }
+        CTRL_CREATE_REQ => {
+            need(buf, 9)?;
+            let token = StToken(buf.get_u64());
+            let fast_ack = buf.get_u8() != 0;
+            let params = get_params(buf)?;
+            Ok(ControlMsg::StCreateReq {
+                token,
+                params,
+                fast_ack,
+            })
+        }
+        CTRL_CREATE_ACK => {
+            need(buf, 16)?;
+            Ok(ControlMsg::StCreateAck {
+                token: StToken(buf.get_u64()),
+                st_rms: StRmsId(buf.get_u64()),
+            })
+        }
+        CTRL_CREATE_NAK => {
+            need(buf, 9)?;
+            Ok(ControlMsg::StCreateNak {
+                token: StToken(buf.get_u64()),
+                reason: buf.get_u8(),
+            })
+        }
+        CTRL_CLOSE => {
+            need(buf, 8)?;
+            Ok(ControlMsg::StClose {
+                st_rms: StRmsId(buf.get_u64()),
+            })
+        }
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+/// Decode one frame from `bytes`.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation, unknown tags, or invalid fields.
+pub fn decode(bytes: &Bytes) -> Result<Frame, WireError> {
+    let mut buf = bytes.clone();
+    need(&buf, 1)?;
+    match buf.get_u8() {
+        TAG_DATA => Ok(Frame::Data(get_data(&mut buf)?)),
+        TAG_BUNDLE => {
+            need(&buf, 2)?;
+            let count = buf.get_u16() as usize;
+            let mut frames = Vec::with_capacity(count);
+            for _ in 0..count {
+                need(&buf, 1)?;
+                let tag = buf.get_u8();
+                if tag != TAG_DATA {
+                    return Err(WireError::BadTag(tag));
+                }
+                frames.push(get_data(&mut buf)?);
+            }
+            Ok(Frame::Bundle(frames))
+        }
+        TAG_CTRL => Ok(Frame::Ctrl(get_ctrl(&mut buf)?)),
+        TAG_FASTACK => {
+            need(&buf, 16)?;
+            Ok(Frame::FastAck {
+                st_rms: StRmsId(buf.get_u64()),
+                seq: buf.get_u64(),
+            })
+        }
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(seq: u64, len: usize) -> DataFrame {
+        DataFrame {
+            st_rms: StRmsId(42),
+            seq,
+            frag: None,
+            sent_at: SimTime::from_nanos(123_456),
+            fast_ack: false,
+            source: None,
+            target: None,
+            payload: Bytes::from(vec![7u8; len]),
+        }
+    }
+
+    fn sample_params() -> RmsParams {
+        RmsParams::builder(10_000, 1_000)
+            .reliability(Reliability::Reliable)
+            .security(SecurityParams::FULL)
+            .delay(DelayBound::deterministic(
+                SimDuration::from_millis(5),
+                SimDuration::from_nanos(800),
+            ))
+            .error_rate(BitErrorRate::new(1e-7).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let f = Frame::Data(sample_data(9, 100));
+        assert_eq!(decode(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn data_with_everything_round_trip() {
+        let mut d = sample_data(1, 10);
+        d.frag = Some(FragInfo { index: 2, count: 5 });
+        d.fast_ack = true;
+        d.source = Some(Label(11));
+        d.target = Some(Label(22));
+        let f = Frame::Data(d);
+        assert_eq!(decode(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn bundle_round_trip() {
+        let f = Frame::Bundle(vec![sample_data(0, 5), sample_data(1, 0), sample_data(2, 300)]);
+        assert_eq!(decode(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn ctrl_round_trips() {
+        let msgs = vec![
+            ControlMsg::Hello {
+                host: 3,
+                nonce: 99,
+                tag: 0xabcd,
+            },
+            ControlMsg::HelloAck {
+                host: 4,
+                nonce: 99,
+                tag: 0xef01,
+            },
+            ControlMsg::StCreateReq {
+                token: StToken(7),
+                params: sample_params(),
+                fast_ack: true,
+            },
+            ControlMsg::StCreateAck {
+                token: StToken(7),
+                st_rms: StRmsId(12),
+            },
+            ControlMsg::StCreateNak {
+                token: StToken(7),
+                reason: 2,
+            },
+            ControlMsg::StClose { st_rms: StRmsId(12) },
+        ];
+        for m in msgs {
+            let f = Frame::Ctrl(m.clone());
+            assert_eq!(decode(&encode(&f)).unwrap(), f, "failed for {m:?}");
+        }
+    }
+
+    #[test]
+    fn statistical_params_round_trip() {
+        let mut p = sample_params();
+        p.delay.kind = DelayBoundKind::Statistical(StatisticalSpec::new(5e5, 3.0, 0.95));
+        let f = Frame::Ctrl(ControlMsg::StCreateReq {
+            token: StToken(1),
+            params: p,
+            fast_ack: false,
+        });
+        assert_eq!(decode(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn fast_ack_round_trip() {
+        let f = Frame::FastAck {
+            st_rms: StRmsId(5),
+            seq: 77,
+        };
+        assert_eq!(decode(&encode(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let f = Frame::Data(sample_data(1, 50));
+        let enc = encode(&f);
+        for cut in [0, 1, 5, enc.len() - 1] {
+            let partial = enc.slice(0..cut);
+            assert!(decode(&partial).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_tag_fails() {
+        let b = Bytes::from_static(&[200, 0, 0]);
+        assert_eq!(decode(&b), Err(WireError::BadTag(200)));
+    }
+
+    #[test]
+    fn invalid_frag_fails() {
+        let mut d = sample_data(1, 4);
+        d.frag = Some(FragInfo { index: 5, count: 5 }); // index >= count
+        let enc = encode(&Frame::Data(d));
+        assert!(matches!(decode(&enc), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn data_frame_len_matches_encoding() {
+        for (len, frag, src, tgt) in [
+            (0usize, false, false, false),
+            (100, true, false, false),
+            (5, false, true, true),
+            (1000, true, true, true),
+        ] {
+            let mut d = sample_data(3, len);
+            if frag {
+                d.frag = Some(FragInfo { index: 0, count: 2 });
+            }
+            if src {
+                d.source = Some(Label(1));
+            }
+            if tgt {
+                d.target = Some(Label(2));
+            }
+            let enc = encode(&Frame::Data(d));
+            assert_eq!(
+                enc.len() as u64,
+                data_frame_len(len as u64, frag, src, tgt),
+                "mismatch for len={len} frag={frag} src={src} tgt={tgt}"
+            );
+        }
+    }
+
+    #[test]
+    fn bundle_overhead_is_three_bytes() {
+        let d = sample_data(0, 10);
+        let single = encode(&Frame::Data(d.clone())).len();
+        let bundle = encode(&Frame::Bundle(vec![d.clone(), d])).len();
+        assert_eq!(bundle, 3 + 2 * single);
+    }
+}

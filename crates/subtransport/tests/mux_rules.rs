@@ -1,0 +1,109 @@
+//! The §4.2 multiplexing rules, checked case by case:
+//!
+//! - "A deterministic ST RMS can be multiplexed only onto a deterministic
+//!   network RMS."
+//! - "A statistical ST RMS can be multiplexed only onto a deterministic or
+//!   statistical network RMS."
+//! - "The delay bound parameters of the ST RMS's must be at least those of
+//!   the network RMS."
+//! - "The capacity of the network RMS must be at least the sum of the
+//!   capacities of the ST RMS's."
+
+use dash_sim::time::SimDuration;
+use dash_subtransport::can_multiplex;
+use rms_core::delay::{DelayBound, DelayBoundKind, StatisticalSpec};
+use rms_core::params::{BitErrorRate, Reliability, RmsParams, SecurityParams};
+
+fn params(kind: DelayBoundKind, fixed_ms: u64, capacity: u64) -> RmsParams {
+    RmsParams {
+        reliability: Reliability::Unreliable,
+        security: SecurityParams::NONE,
+        capacity,
+        max_message_size: capacity.min(1024),
+        delay: DelayBound {
+            fixed: SimDuration::from_millis(fixed_ms),
+            per_byte: SimDuration::from_micros(10),
+            kind,
+        },
+        error_rate: BitErrorRate::new(1e-4).unwrap(),
+    }
+}
+
+const DET: DelayBoundKind = DelayBoundKind::Deterministic;
+const BE: DelayBoundKind = DelayBoundKind::BestEffort;
+fn stat() -> DelayBoundKind {
+    DelayBoundKind::Statistical(StatisticalSpec::new(1e5, 2.0, 0.9))
+}
+
+#[test]
+fn deterministic_st_requires_deterministic_net() {
+    let st = params(DET, 100, 1_000);
+    assert!(can_multiplex(&st, &params(DET, 50, 10_000), 0));
+    assert!(!can_multiplex(&st, &params(stat(), 50, 10_000), 0));
+    assert!(!can_multiplex(&st, &params(BE, 50, 10_000), 0));
+}
+
+#[test]
+fn statistical_st_rides_deterministic_or_statistical() {
+    let st = params(stat(), 100, 1_000);
+    assert!(can_multiplex(&st, &params(DET, 50, 10_000), 0));
+    assert!(can_multiplex(&st, &params(stat(), 50, 10_000), 0));
+    assert!(!can_multiplex(&st, &params(BE, 50, 10_000), 0));
+}
+
+#[test]
+fn best_effort_st_rides_anything() {
+    let st = params(BE, 100, 1_000);
+    for net_kind in [DET, stat(), BE] {
+        assert!(can_multiplex(&st, &params(net_kind, 50, 10_000), 0));
+    }
+}
+
+#[test]
+fn st_delay_bounds_must_cover_net_bounds() {
+    // ST bound 100 ms over a 50 ms net: the 50 ms difference is the
+    // piggybacking budget. The reverse is illegal.
+    let loose_st = params(BE, 100, 1_000);
+    let tight_st = params(BE, 20, 1_000);
+    let net = params(BE, 50, 10_000);
+    assert!(can_multiplex(&loose_st, &net, 0));
+    assert!(!can_multiplex(&tight_st, &net, 0));
+}
+
+#[test]
+fn capacities_must_sum_within_the_carrier() {
+    let st = params(BE, 100, 4_000);
+    let net = params(BE, 50, 10_000);
+    assert!(can_multiplex(&st, &net, 0));
+    assert!(can_multiplex(&st, &net, 6_000)); // 6000 + 4000 = 10000, exact fit
+    assert!(!can_multiplex(&st, &net, 6_001));
+}
+
+#[test]
+fn security_and_reliability_must_be_covered() {
+    let mut st = params(BE, 100, 1_000);
+    st.security = SecurityParams::FULL;
+    let open_net = params(BE, 50, 10_000);
+    assert!(!can_multiplex(&st, &open_net, 0), "private ST on open net");
+    let mut secure_net = open_net.clone();
+    secure_net.security = SecurityParams::FULL;
+    assert!(can_multiplex(&st, &secure_net, 0));
+
+    let mut reliable_st = params(BE, 100, 1_000);
+    reliable_st.reliability = Reliability::Reliable;
+    assert!(!can_multiplex(&reliable_st, &secure_net, 0));
+    let mut reliable_net = secure_net.clone();
+    reliable_net.reliability = Reliability::Reliable;
+    assert!(can_multiplex(&reliable_st, &reliable_net, 0));
+}
+
+#[test]
+fn error_rate_must_be_covered() {
+    let mut st = params(BE, 100, 1_000);
+    st.error_rate = BitErrorRate::new(1e-9).unwrap(); // wants a clean channel
+    let noisy_net = params(BE, 50, 10_000); // guarantees only 1e-4
+    assert!(!can_multiplex(&st, &noisy_net, 0));
+    let mut clean_net = noisy_net.clone();
+    clean_net.error_rate = BitErrorRate::new(1e-12).unwrap();
+    assert!(can_multiplex(&st, &clean_net, 0));
+}

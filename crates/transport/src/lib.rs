@@ -1,0 +1,25 @@
+//! # dash-transport — DASH transport protocols on the assembled stack
+//!
+//! The top of the DASH communication architecture (paper §3.3, §4.4):
+//!
+//! - [`stack`]: [`stack::Stack`], the concrete world wiring network +
+//!   subtransport + transports, with optional per-host EDF CPUs (§4.1).
+//! - [`rkom`]: the Remote Kernel Operation Mechanism — request/reply over
+//!   four ST RMSs per peer (low-delay initial traffic, high-delay
+//!   retransmissions and acknowledgements), at-most-once execution.
+//! - [`stream`]: stream sessions with the §4.4 flow-control suite, each
+//!   mechanism optional: rate-based / ack-based capacity enforcement,
+//!   receiver flow control, sender flow control via a bounded IPC port.
+//! - [`flow`]: the mechanisms themselves, independently testable.
+//! - [`sendport`]: the bounded sender-side IPC port.
+
+pub mod flow;
+pub mod rkom;
+pub mod sendport;
+pub mod stack;
+pub mod stream;
+
+pub use flow::{AckWindow, CapacityEnforcement, RateLimiter, ReceiverWindow};
+pub use sendport::{SendPort, WouldBlock};
+pub use stack::{AppEvent, Stack};
+pub use stream::{StreamEvent, StreamProfile};

@@ -1,0 +1,797 @@
+//! RKOM — the Remote Kernel Operation Mechanism (paper §3.3).
+//!
+//! "All request/reply communication uses the DASH Remote Kernel Operation
+//! Mechanism (RKOM). ... The RKOM module maintains an RKOM channel to each
+//! active peer. Such a channel consists of four ST RMS's, one low-delay and
+//! one high-delay RMS in each direction. The low-delay RMS's are used for
+//! initial request and reply messages, and the high-delay RMS's are used
+//! for retransmissions and acknowledgements."
+//!
+//! Semantics: at-most-once execution via a per-(client, call) duplicate
+//! cache at the server, released by a reply acknowledgement on the
+//! high-delay RMS.
+
+use std::collections::HashMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dash_net::ids::HostId;
+use dash_sim::engine::{Sim, TimerHandle};
+use dash_sim::stats::{Counter, Histogram};
+use dash_sim::time::{SimDuration, SimTime};
+use dash_subtransport::engine as st_engine;
+use dash_subtransport::ids::{StRmsId, StToken};
+use dash_subtransport::st::{StEvent, StWorld as _};
+use rms_core::delay::DelayBound;
+use rms_core::message::Message;
+use rms_core::params::RmsParams;
+use rms_core::port::DeliveryInfo;
+use rms_core::{RmsError, RmsRequest};
+
+use crate::stack::{Stack, MAGIC_RKOM};
+
+/// Why a call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RkomError {
+    /// No reply after every retransmission.
+    Timeout,
+    /// The server has no handler for the service.
+    NoSuchService,
+    /// The RKOM channel could not be established.
+    ChannelFailed(RmsError),
+}
+
+impl std::fmt::Display for RkomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RkomError::Timeout => write!(f, "call timed out"),
+            RkomError::NoSuchService => write!(f, "no such service"),
+            RkomError::ChannelFailed(e) => write!(f, "channel failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RkomError {}
+
+/// RKOM configuration.
+#[derive(Debug, Clone)]
+pub struct RkomConfig {
+    /// Retransmission timeout for outstanding calls.
+    pub retry_timeout: SimDuration,
+    /// Retransmissions before giving up.
+    pub max_retries: u32,
+    /// Delay bound requested for the low-delay (initial) RMSs.
+    pub low_delay: SimDuration,
+    /// Delay bound requested for the high-delay (retransmission/ack) RMSs.
+    pub high_delay: SimDuration,
+    /// Capacity of each channel RMS ("may be large, unless it is known
+    /// that request or reply messages will be small and infrequent", §2.5).
+    pub capacity: u64,
+    /// Maximum request/reply payload size.
+    pub max_message: u64,
+}
+
+impl Default for RkomConfig {
+    fn default() -> Self {
+        RkomConfig {
+            retry_timeout: SimDuration::from_millis(200),
+            max_retries: 4,
+            low_delay: SimDuration::from_millis(20),
+            high_delay: SimDuration::from_millis(200),
+            capacity: 64 * 1024,
+            max_message: 16 * 1024,
+        }
+    }
+}
+
+const KIND_REQUEST: u8 = 1;
+const KIND_REPLY: u8 = 2;
+const KIND_REPLY_ACK: u8 = 3;
+
+const STATUS_OK: u8 = 0;
+const STATUS_NO_SERVICE: u8 = 1;
+
+#[derive(Debug, Clone, PartialEq)]
+enum RkomMsg {
+    Request {
+        call: u64,
+        service: u16,
+        payload: Bytes,
+    },
+    Reply {
+        call: u64,
+        status: u8,
+        payload: Bytes,
+    },
+    ReplyAck {
+        call: u64,
+    },
+}
+
+fn encode_msg(m: &RkomMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(32);
+    b.put_u8(MAGIC_RKOM);
+    match m {
+        RkomMsg::Request {
+            call,
+            service,
+            payload,
+        } => {
+            b.put_u8(KIND_REQUEST);
+            b.put_u64(*call);
+            b.put_u16(*service);
+            b.put_u32(payload.len() as u32);
+            b.put_slice(payload);
+        }
+        RkomMsg::Reply {
+            call,
+            status,
+            payload,
+        } => {
+            b.put_u8(KIND_REPLY);
+            b.put_u64(*call);
+            b.put_u8(*status);
+            b.put_u32(payload.len() as u32);
+            b.put_slice(payload);
+        }
+        RkomMsg::ReplyAck { call } => {
+            b.put_u8(KIND_REPLY_ACK);
+            b.put_u64(*call);
+        }
+    }
+    b.freeze()
+}
+
+fn decode_msg(bytes: &Bytes) -> Option<RkomMsg> {
+    let mut b = bytes.clone();
+    if b.remaining() < 2 || b.get_u8() != MAGIC_RKOM {
+        return None;
+    }
+    match b.get_u8() {
+        KIND_REQUEST => {
+            if b.remaining() < 14 {
+                return None;
+            }
+            let call = b.get_u64();
+            let service = b.get_u16();
+            let len = b.get_u32() as usize;
+            if b.remaining() < len {
+                return None;
+            }
+            Some(RkomMsg::Request {
+                call,
+                service,
+                payload: b.split_to(len),
+            })
+        }
+        KIND_REPLY => {
+            if b.remaining() < 13 {
+                return None;
+            }
+            let call = b.get_u64();
+            let status = b.get_u8();
+            let len = b.get_u32() as usize;
+            if b.remaining() < len {
+                return None;
+            }
+            Some(RkomMsg::Reply {
+                call,
+                status,
+                payload: b.split_to(len),
+            })
+        }
+        KIND_REPLY_ACK => {
+            if b.remaining() < 8 {
+                return None;
+            }
+            Some(RkomMsg::ReplyAck { call: b.get_u64() })
+        }
+        _ => None,
+    }
+}
+
+/// Which half of a channel an ST RMS implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    Low,
+    High,
+}
+
+/// The outgoing half of an RKOM channel to one peer.
+#[derive(Debug, Default)]
+struct Channel {
+    low_out: Option<StRmsId>,
+    high_out: Option<StRmsId>,
+    creating: bool,
+    /// Encoded messages waiting for the channel (lane, bytes).
+    waiting: Vec<(Lane, Bytes)>,
+}
+
+impl Channel {
+    fn ready(&self) -> bool {
+        self.low_out.is_some() && self.high_out.is_some()
+    }
+}
+
+/// A service handler: consumes the request payload, returns the reply.
+pub type Handler = Box<dyn FnMut(&mut Sim<Stack>, HostId, Bytes) -> Bytes>;
+
+/// Completion callback of a call.
+pub type CallCallback = Box<dyn FnOnce(&mut Sim<Stack>, Result<Bytes, RkomError>)>;
+
+struct Call {
+    peer: HostId,
+    service: u16,
+    payload: Bytes,
+    attempts: u32,
+    timer: Option<TimerHandle>,
+    started: SimTime,
+}
+
+/// RKOM statistics (per host).
+#[derive(Debug, Default)]
+pub struct RkomStats {
+    /// Calls issued.
+    pub calls: Counter,
+    /// Calls completed successfully.
+    pub completed: Counter,
+    /// Calls failed.
+    pub failed: Counter,
+    /// Request retransmissions (on the high-delay RMS).
+    pub retransmissions: Counter,
+    /// Duplicate requests served from the reply cache.
+    pub duplicates_served: Counter,
+    /// Requests handled by services.
+    pub served: Counter,
+    /// Round-trip latencies of completed calls, seconds.
+    pub latency: Histogram,
+}
+
+/// Per-host RKOM state.
+pub struct RkomHost {
+    channels: HashMap<HostId, Channel>,
+    services: HashMap<u16, Option<Handler>>,
+    calls: HashMap<u64, Call>,
+    call_cbs: HashMap<u64, CallCallback>,
+    reply_cache: HashMap<(HostId, u64), Bytes>,
+    owned: HashMap<StRmsId, HostId>,
+    tokens: HashMap<StToken, (HostId, Lane)>,
+    /// Statistics.
+    pub stats: RkomStats,
+}
+
+impl std::fmt::Debug for RkomHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RkomHost")
+            .field("channels", &self.channels.len())
+            .field("calls", &self.calls.len())
+            .finish()
+    }
+}
+
+impl Default for RkomHost {
+    fn default() -> Self {
+        RkomHost {
+            channels: HashMap::new(),
+            services: HashMap::new(),
+            calls: HashMap::new(),
+            call_cbs: HashMap::new(),
+            reply_cache: HashMap::new(),
+            owned: HashMap::new(),
+            tokens: HashMap::new(),
+            stats: RkomStats::default(),
+        }
+    }
+}
+
+/// The RKOM module's state.
+#[derive(Debug)]
+pub struct RkomState {
+    /// Configuration.
+    pub config: RkomConfig,
+    hosts: Vec<RkomHost>,
+    next_call: u64,
+}
+
+impl RkomState {
+    /// State for `n` hosts with default configuration.
+    pub fn new(n: usize) -> Self {
+        RkomState {
+            config: RkomConfig::default(),
+            hosts: (0..n).map(|_| RkomHost::default()).collect(),
+            next_call: 1,
+        }
+    }
+
+    /// Access a host's RKOM state.
+    pub fn host(&self, id: HostId) -> &RkomHost {
+        &self.hosts[id.0 as usize]
+    }
+
+    /// Mutable access to a host's RKOM state.
+    pub fn host_mut(&mut self, id: HostId) -> &mut RkomHost {
+        &mut self.hosts[id.0 as usize]
+    }
+}
+
+/// Register a service handler at `host` under `service`.
+pub fn register_service(
+    stack: &mut Stack,
+    host: HostId,
+    service: u16,
+    handler: impl FnMut(&mut Sim<Stack>, HostId, Bytes) -> Bytes + 'static,
+) {
+    stack
+        .rkom
+        .host_mut(host)
+        .services
+        .insert(service, Some(Box::new(handler)));
+}
+
+/// Issue a request/reply call from `host` to `service` at `peer`. The
+/// completion callback receives the reply payload or an [`RkomError`].
+pub fn call(
+    sim: &mut Sim<Stack>,
+    host: HostId,
+    peer: HostId,
+    service: u16,
+    payload: Bytes,
+    cb: impl FnOnce(&mut Sim<Stack>, Result<Bytes, RkomError>) + 'static,
+) -> u64 {
+    let call_id = {
+        let r = &mut sim.state.rkom;
+        let id = r.next_call;
+        r.next_call += 1;
+        id
+    };
+    let now = sim.now();
+    {
+        let rh = sim.state.rkom.host_mut(host);
+        rh.stats.calls.incr();
+        rh.calls.insert(
+            call_id,
+            Call {
+                peer,
+                service,
+                payload: payload.clone(),
+                attempts: 0,
+                timer: None,
+                started: now,
+            },
+        );
+        rh.call_cbs.insert(call_id, Box::new(cb));
+    }
+    let msg = encode_msg(&RkomMsg::Request {
+        call: call_id,
+        service,
+        payload,
+    });
+    send_on_channel(sim, host, peer, Lane::Low, msg);
+    arm_call_timer(sim, host, call_id);
+    call_id
+}
+
+fn arm_call_timer(sim: &mut Sim<Stack>, host: HostId, call_id: u64) {
+    let timeout = sim.state.rkom.config.retry_timeout;
+    let handle = sim.schedule_timer(timeout, move |sim| on_call_timeout(sim, host, call_id));
+    if let Some(c) = sim.state.rkom.host_mut(host).calls.get_mut(&call_id) {
+        if let Some(t) = c.timer.take() {
+            t.cancel();
+        }
+        c.timer = Some(handle);
+    } else {
+        handle.cancel();
+    }
+}
+
+fn on_call_timeout(sim: &mut Sim<Stack>, host: HostId, call_id: u64) {
+    let (peer, msg, give_up) = {
+        let config_max = sim.state.rkom.config.max_retries;
+        let rh = sim.state.rkom.host_mut(host);
+        let Some(c) = rh.calls.get_mut(&call_id) else {
+            return;
+        };
+        c.attempts += 1;
+        if c.attempts > config_max {
+            (c.peer, None, true)
+        } else {
+            rh.stats.retransmissions.incr();
+            (
+                c.peer,
+                Some(encode_msg(&RkomMsg::Request {
+                    call: call_id,
+                    service: c.service,
+                    payload: c.payload.clone(),
+                })),
+                false,
+            )
+        }
+    };
+    if give_up {
+        fail_call(sim, host, call_id, RkomError::Timeout);
+        return;
+    }
+    if let Some(msg) = msg {
+        // Retransmissions travel on the high-delay RMS (§3.3).
+        send_on_channel(sim, host, peer, Lane::High, msg);
+        arm_call_timer(sim, host, call_id);
+    }
+}
+
+fn fail_call(sim: &mut Sim<Stack>, host: HostId, call_id: u64, err: RkomError) {
+    let cb = {
+        let rh = sim.state.rkom.host_mut(host);
+        if let Some(c) = rh.calls.remove(&call_id) {
+            if let Some(t) = c.timer {
+                t.cancel();
+            }
+        }
+        rh.stats.failed.incr();
+        rh.call_cbs.remove(&call_id)
+    };
+    if let Some(cb) = cb {
+        cb(sim, Err(err));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channel maintenance
+// ---------------------------------------------------------------------------
+
+/// Bytes of RKOM header on a request/reply (magic + kind + call + service +
+/// length).
+const RKOM_HEADER: u64 = 16;
+
+fn channel_request(config: &RkomConfig, fixed: SimDuration) -> RmsRequest {
+    let mms = config.max_message + RKOM_HEADER;
+    let desired = RmsParams {
+        reliability: rms_core::Reliability::Unreliable,
+        security: rms_core::SecurityParams::NONE,
+        capacity: config.capacity.max(mms),
+        max_message_size: mms,
+        delay: DelayBound::best_effort_with(fixed, SimDuration::from_micros(10)),
+        error_rate: rms_core::BitErrorRate::new(1e-4).expect("valid"),
+    };
+    let mut acceptable = desired.clone();
+    acceptable.capacity = mms;
+    // The desired delay is aspirational ("low delay"); accept whatever the
+    // path can actually do, up to the high-delay budget (§2.4: the provider
+    // matches the desired parameters as closely as possible).
+    acceptable.delay = DelayBound::best_effort_with(
+        config.high_delay.max(fixed),
+        SimDuration::from_micros(20),
+    );
+    RmsRequest::new(desired, acceptable).expect("desired covers floor")
+}
+
+fn send_on_channel(sim: &mut Sim<Stack>, host: HostId, peer: HostId, lane: Lane, bytes: Bytes) {
+    ensure_channel(sim, host, peer);
+    let target = {
+        let ch = sim
+            .state
+            .rkom
+            .host_mut(host)
+            .channels
+            .entry(peer)
+            .or_default();
+        if ch.ready() {
+            match lane {
+                Lane::Low => ch.low_out,
+                Lane::High => ch.high_out,
+            }
+        } else {
+            ch.waiting.push((lane, bytes));
+            return;
+        }
+    };
+    if let Some(st_rms) = target {
+        let _ = st_engine::send(sim, host, st_rms, Message::new(bytes));
+    }
+}
+
+fn ensure_channel(sim: &mut Sim<Stack>, host: HostId, peer: HostId) {
+    let need = {
+        let ch = sim
+            .state
+            .rkom
+            .host_mut(host)
+            .channels
+            .entry(peer)
+            .or_default();
+        !ch.ready() && !ch.creating
+    };
+    if !need {
+        return;
+    }
+    sim.state
+        .rkom
+        .host_mut(host)
+        .channels
+        .get_mut(&peer)
+        .expect("just inserted")
+        .creating = true;
+    let config = sim.state.rkom.config.clone();
+    for (lane, fixed) in [(Lane::Low, config.low_delay), (Lane::High, config.high_delay)] {
+        match st_engine::create(sim, host, peer, &channel_request(&config, fixed), false) {
+            Ok(token) => {
+                sim.state
+                    .rkom
+                    .host_mut(host)
+                    .tokens
+                    .insert(token, (peer, lane));
+            }
+            Err(e) => {
+                fail_channel(sim, host, peer, RkomError::ChannelFailed(e));
+                return;
+            }
+        }
+    }
+}
+
+fn fail_channel(sim: &mut Sim<Stack>, host: HostId, peer: HostId, err: RkomError) {
+    let victim_calls: Vec<u64> = {
+        let rh = sim.state.rkom.host_mut(host);
+        rh.channels.remove(&peer);
+        rh.calls
+            .iter()
+            .filter(|(_, c)| c.peer == peer)
+            .map(|(id, _)| *id)
+            .collect()
+    };
+    for id in victim_calls {
+        fail_call(sim, host, id, err.clone());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing hooks used by `Stack`
+// ---------------------------------------------------------------------------
+
+/// Does RKOM own this (receiving or sending) ST RMS at `host`?
+pub fn owns(stack: &Stack, host: HostId, st_rms: StRmsId) -> bool {
+    stack.rkom.host(host).owned.contains_key(&st_rms)
+}
+
+/// Does RKOM await this ST creation token at `host`?
+pub fn claims_token(stack: &Stack, host: HostId, token: StToken) -> bool {
+    stack.rkom.host(host).tokens.contains_key(&token)
+}
+
+/// Handle an ST lifecycle event addressed to RKOM.
+pub fn on_st_event(sim: &mut Sim<Stack>, host: HostId, event: StEvent) {
+    match event {
+        StEvent::Created { token, st_rms, .. } => {
+            let Some((peer, lane)) = sim.state.rkom.host_mut(host).tokens.remove(&token) else {
+                return;
+            };
+            let flush = {
+                let rh = sim.state.rkom.host_mut(host);
+                rh.owned.insert(st_rms, peer);
+                let ch = rh.channels.entry(peer).or_default();
+                match lane {
+                    Lane::Low => ch.low_out = Some(st_rms),
+                    Lane::High => ch.high_out = Some(st_rms),
+                }
+                if ch.ready() {
+                    ch.creating = false;
+                    std::mem::take(&mut ch.waiting)
+                } else {
+                    Vec::new()
+                }
+            };
+            for (lane, bytes) in flush {
+                send_on_channel(sim, host, peer, lane, bytes);
+            }
+        }
+        StEvent::CreateFailed { token, reason } => {
+            let Some((peer, _)) = sim.state.rkom.host_mut(host).tokens.remove(&token) else {
+                return;
+            };
+            fail_channel(
+                sim,
+                host,
+                peer,
+                RkomError::ChannelFailed(RmsError::CreationRejected(reason)),
+            );
+        }
+        StEvent::Failed { st_rms, .. } | StEvent::Closed { st_rms } => {
+            let peer = sim.state.rkom.host_mut(host).owned.remove(&st_rms);
+            if let Some(peer) = peer {
+                fail_channel(sim, host, peer, RkomError::Timeout);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Handle an ST delivery addressed to RKOM.
+pub fn on_delivery(
+    sim: &mut Sim<Stack>,
+    host: HostId,
+    st_rms: StRmsId,
+    msg: Message,
+    _info: DeliveryInfo,
+) {
+    let Some(decoded) = decode_msg(msg.payload()) else {
+        return;
+    };
+    // Claim the inbound stream and learn the peer from the ST layer.
+    let peer = {
+        match sim.state.rkom.host(host).owned.get(&st_rms).copied() {
+            Some(p) => p,
+            None => {
+                let Some(p) = sim
+                    .state
+                    .st_ref()
+                    .host(host)
+                    .streams
+                    .get(&st_rms)
+                    .map(|s| s.peer)
+                else {
+                    return;
+                };
+                sim.state.rkom.host_mut(host).owned.insert(st_rms, p);
+                p
+            }
+        }
+    };
+    match decoded {
+        RkomMsg::Request {
+            call,
+            service,
+            payload,
+        } => handle_request(sim, host, peer, call, service, payload),
+        RkomMsg::Reply {
+            call,
+            status,
+            payload,
+        } => handle_reply(sim, host, peer, call, status, payload),
+        RkomMsg::ReplyAck { call } => {
+            sim.state
+                .rkom
+                .host_mut(host)
+                .reply_cache
+                .remove(&(peer, call));
+        }
+    }
+}
+
+fn handle_request(
+    sim: &mut Sim<Stack>,
+    host: HostId,
+    client: HostId,
+    call: u64,
+    service: u16,
+    payload: Bytes,
+) {
+    // Duplicate? Serve from the cache (at-most-once execution).
+    if let Some(cached) = sim
+        .state
+        .rkom
+        .host(host)
+        .reply_cache
+        .get(&(client, call))
+        .cloned()
+    {
+        sim.state.rkom.host_mut(host).stats.duplicates_served.incr();
+        // Cached replies are retransmissions: high-delay lane (§3.3).
+        send_on_channel(sim, host, client, Lane::High, cached);
+        return;
+    }
+    // Take the handler out while it runs (it may issue nested calls).
+    let handler = sim
+        .state
+        .rkom
+        .host_mut(host)
+        .services
+        .get_mut(&service)
+        .and_then(|h| h.take());
+    let (status, reply_payload) = match handler {
+        Some(mut h) => {
+            let out = h(sim, client, payload);
+            // Put the handler back unless it was replaced meanwhile.
+            if let Some(slot) = sim.state.rkom.host_mut(host).services.get_mut(&service) {
+                if slot.is_none() {
+                    *slot = Some(h);
+                }
+            }
+            sim.state.rkom.host_mut(host).stats.served.incr();
+            (STATUS_OK, out)
+        }
+        None => (STATUS_NO_SERVICE, Bytes::new()),
+    };
+    let reply = encode_msg(&RkomMsg::Reply {
+        call,
+        status,
+        payload: reply_payload,
+    });
+    sim.state
+        .rkom
+        .host_mut(host)
+        .reply_cache
+        .insert((client, call), reply.clone());
+    // Initial replies travel on the low-delay RMS (§3.3).
+    send_on_channel(sim, host, client, Lane::Low, reply);
+}
+
+fn handle_reply(
+    sim: &mut Sim<Stack>,
+    host: HostId,
+    server: HostId,
+    call: u64,
+    status: u8,
+    payload: Bytes,
+) {
+    let (cb, started) = {
+        let rh = sim.state.rkom.host_mut(host);
+        let Some(c) = rh.calls.remove(&call) else {
+            // Duplicate reply; ack it again so the server can clean up.
+            let ack = encode_msg(&RkomMsg::ReplyAck { call });
+            let _ = rh;
+            send_on_channel(sim, host, server, Lane::High, ack);
+            return;
+        };
+        if let Some(t) = c.timer {
+            t.cancel();
+        }
+        (rh.call_cbs.remove(&call), c.started)
+    };
+    let now = sim.now();
+    {
+        let stats = &mut sim.state.rkom.host_mut(host).stats;
+        stats.completed.incr();
+        stats
+            .latency
+            .record(now.saturating_since(started).as_secs_f64());
+    }
+    // Acknowledge on the high-delay RMS so the server drops its cache.
+    let ack = encode_msg(&RkomMsg::ReplyAck { call });
+    send_on_channel(sim, host, server, Lane::High, ack);
+    if let Some(cb) = cb {
+        let result = if status == STATUS_OK {
+            Ok(payload)
+        } else {
+            Err(RkomError::NoSuchService)
+        };
+        cb(sim, result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trips() {
+        let msgs = [
+            RkomMsg::Request {
+                call: 7,
+                service: 3,
+                payload: Bytes::from_static(b"ping"),
+            },
+            RkomMsg::Reply {
+                call: 7,
+                status: 0,
+                payload: Bytes::from_static(b"pong"),
+            },
+            RkomMsg::ReplyAck { call: 7 },
+        ];
+        for m in msgs {
+            assert_eq!(decode_msg(&encode_msg(&m)), Some(m));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode_msg(&Bytes::from_static(b"")), None);
+        assert_eq!(decode_msg(&Bytes::from_static(b"\x00\x01")), None);
+        assert_eq!(decode_msg(&Bytes::from_static(&[MAGIC_RKOM, 99])), None);
+        // Truncated payload length.
+        let mut b = BytesMut::new();
+        b.put_u8(MAGIC_RKOM);
+        b.put_u8(KIND_REQUEST);
+        b.put_u64(1);
+        b.put_u16(1);
+        b.put_u32(100); // claims 100 bytes, none follow
+        assert_eq!(decode_msg(&b.freeze()), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Sender flow control via a bounded local IPC port (paper §4.4).
+//!
+//! "This is done in the DASH kernel using a flow controlled local IPC port
+//! for message-passing between the sender and the send protocol. A sender
+//! blocks when a port queue size limit is reached. The sending transport
+//! protocol stops reading messages from the port while it is prevented from
+//! sending because of RMS capacity enforcement or receiver flow control."
+//!
+//! [`SendPort`] is that port: the application offers messages; the
+//! transport drains them as its capacity/receiver windows permit. A refused
+//! offer is the "blocked sender" condition.
+
+use std::collections::VecDeque;
+
+use rms_core::message::Message;
+
+/// Why an offer was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WouldBlock {
+    /// Bytes currently queued.
+    pub queued_bytes: u64,
+    /// The configured limit.
+    pub limit_bytes: u64,
+}
+
+impl std::fmt::Display for WouldBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "send port full ({} of {} bytes queued)",
+            self.queued_bytes, self.limit_bytes
+        )
+    }
+}
+
+impl std::error::Error for WouldBlock {}
+
+/// A bounded queue between an application sender and its send protocol.
+#[derive(Debug)]
+pub struct SendPort {
+    queue: VecDeque<Message>,
+    limit_bytes: u64,
+    queued_bytes: u64,
+    /// Offers refused because the port was full (the sender "blocked").
+    pub blocked_count: u64,
+    /// Messages accepted.
+    pub accepted: u64,
+}
+
+impl SendPort {
+    /// A port holding at most `limit_bytes` of queued payload.
+    pub fn new(limit_bytes: u64) -> Self {
+        SendPort {
+            queue: VecDeque::new(),
+            limit_bytes,
+            queued_bytes: 0,
+            blocked_count: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Offer a message from the application.
+    ///
+    /// # Errors
+    ///
+    /// [`WouldBlock`] when the queue limit would be exceeded (the sender
+    /// must retry after the port drains).
+    pub fn offer(&mut self, msg: Message) -> Result<(), WouldBlock> {
+        let len = msg.len() as u64;
+        if self.queued_bytes + len > self.limit_bytes && !self.queue.is_empty() {
+            self.blocked_count += 1;
+            return Err(WouldBlock {
+                queued_bytes: self.queued_bytes,
+                limit_bytes: self.limit_bytes,
+            });
+        }
+        // An oversized message on an empty queue is admitted so a message
+        // larger than the limit can still ever be sent.
+        if self.queued_bytes + len > self.limit_bytes && self.queue.is_empty() {
+            // admitted as the sole occupant
+        }
+        self.queued_bytes += len;
+        self.queue.push_back(msg);
+        self.accepted += 1;
+        Ok(())
+    }
+
+    /// Peek at the next message without removing it.
+    pub fn peek(&self) -> Option<&Message> {
+        self.queue.front()
+    }
+
+    /// Take the next message (the transport drained it).
+    pub fn pop(&mut self) -> Option<Message> {
+        let msg = self.queue.pop_front()?;
+        self.queued_bytes -= msg.len() as u64;
+        Some(msg)
+    }
+
+    /// Messages waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no messages wait.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Bytes waiting.
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// True if a message of `len` bytes would currently be accepted.
+    pub fn has_space(&self, len: u64) -> bool {
+        self.queue.is_empty() || self.queued_bytes + len <= self.limit_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_until_limit() {
+        let mut p = SendPort::new(250);
+        assert!(p.offer(Message::zeroes(100)).is_ok());
+        assert!(p.offer(Message::zeroes(100)).is_ok());
+        let err = p.offer(Message::zeroes(100)).unwrap_err();
+        assert_eq!(err.queued_bytes, 200);
+        assert_eq!(p.blocked_count, 1);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn draining_frees_space() {
+        let mut p = SendPort::new(100);
+        p.offer(Message::zeroes(100)).unwrap();
+        assert!(p.offer(Message::zeroes(1)).is_err());
+        assert_eq!(p.pop().unwrap().len(), 100);
+        assert!(p.offer(Message::zeroes(1)).is_ok());
+        assert_eq!(p.queued_bytes(), 1);
+    }
+
+    #[test]
+    fn oversized_message_admitted_when_empty() {
+        let mut p = SendPort::new(10);
+        assert!(p.offer(Message::zeroes(50)).is_ok());
+        assert!(p.offer(Message::zeroes(1)).is_err());
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut p = SendPort::new(1000);
+        p.offer(Message::new(vec![1])).unwrap();
+        p.offer(Message::new(vec![2])).unwrap();
+        assert_eq!(p.peek().unwrap().payload()[0], 1);
+        assert_eq!(p.pop().unwrap().payload()[0], 1);
+        assert_eq!(p.pop().unwrap().payload()[0], 2);
+        assert!(p.pop().is_none());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn has_space_matches_offer() {
+        let mut p = SendPort::new(100);
+        assert!(p.has_space(100));
+        p.offer(Message::zeroes(60)).unwrap();
+        assert!(p.has_space(40));
+        assert!(!p.has_space(41));
+    }
+}

@@ -1,0 +1,1330 @@
+//! Stream transport protocols over ST RMSs (paper §2.5, §3.3, §4.4).
+//!
+//! A stream session couples:
+//!
+//! - a **data ST RMS** (high capacity, profile-chosen delay bound),
+//! - optionally a reverse **acknowledgement ST RMS** ("reliability
+//!   acknowledgements should use low capacity, high delay RMS's; flow
+//!   control acknowledgements should use a low delay, low capacity RMS" —
+//!   when both are needed we carry them on one low-delay stream), and
+//! - the §4.4 flow-control suite, each mechanism present only when the
+//!   profile asks for it: rate-based or acknowledgement-based RMS capacity
+//!   enforcement, receiver flow control with a finite receive buffer, and
+//!   sender flow control through a bounded [`SendPort`].
+//!
+//! Acknowledgement-based capacity enforcement is clocked by the ST's *fast
+//! acknowledgement* service (§3.2), exercising the paper's claim that it
+//! reduces response time and RMS establishment overhead (no reverse RMS
+//! needed just for capacity clocking).
+//!
+//! Reliability is go-back-N: the receiver accepts only in-order sequence
+//! numbers; the sender retransmits everything unacknowledged on timeout.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dash_net::ids::HostId;
+use dash_sim::engine::{Sim, TimerHandle};
+use dash_sim::stats::{Counter, Histogram};
+use dash_sim::time::{SimDuration, SimTime};
+use dash_subtransport::engine as st_engine;
+use dash_subtransport::ids::{StRmsId, StToken};
+use dash_subtransport::st::{StEvent, StWorld as _};
+use rms_core::delay::DelayBound;
+use rms_core::error::RmsError;
+use rms_core::message::Message;
+use rms_core::params::RmsParams;
+use rms_core::port::DeliveryInfo;
+use rms_core::RmsRequest;
+
+use crate::flow::{AckWindow, CapacityEnforcement, RateLimiter, ReceiverWindow};
+use crate::sendport::{SendPort, WouldBlock};
+use crate::stack::{Stack, MAGIC_STREAM};
+
+/// Stream session profile: which mechanisms to instantiate (§4.4's point is
+/// that every field here is optional machinery).
+#[derive(Debug, Clone)]
+pub struct StreamProfile {
+    /// RMS capacity of the data stream, bytes.
+    pub capacity: u64,
+    /// Maximum message size on the data stream.
+    pub max_message: u64,
+    /// Delay bound requested for the data stream.
+    pub delay: DelayBound,
+    /// Capacity-enforcement mechanism.
+    pub enforcement: CapacityEnforcement,
+    /// Retransmit lost messages (adds the reverse ack stream).
+    pub reliable: bool,
+    /// Receiver flow control (adds the reverse ack stream and a finite
+    /// receive buffer).
+    pub receiver_fc: bool,
+    /// Receive buffer size when `receiver_fc` is on.
+    pub receive_buffer: u64,
+    /// Sender-side IPC port limit (§4.4 sender flow control).
+    pub send_port_limit: u64,
+    /// Send a cumulative ack every this many in-order deliveries.
+    pub ack_every: u32,
+    /// Flush pending acks after this long.
+    pub ack_delay: SimDuration,
+    /// Retransmission timeout (reliable streams).
+    pub rto: SimDuration,
+}
+
+impl Default for StreamProfile {
+    fn default() -> Self {
+        StreamProfile {
+            capacity: 32 * 1024,
+            max_message: 1024,
+            delay: DelayBound::best_effort_with(
+                SimDuration::from_millis(100),
+                SimDuration::from_micros(10),
+            ),
+            enforcement: CapacityEnforcement::None,
+            reliable: false,
+            receiver_fc: false,
+            receive_buffer: 64 * 1024,
+            send_port_limit: 64 * 1024,
+            ack_every: 4,
+            ack_delay: SimDuration::from_millis(5),
+            rto: SimDuration::from_millis(300),
+        }
+    }
+}
+
+impl StreamProfile {
+    /// Does this profile need the reverse acknowledgement stream?
+    pub fn needs_ack_stream(&self) -> bool {
+        self.reliable || self.receiver_fc
+    }
+
+    /// Bulk-transfer profile (§2.5): high capacity/delay data stream,
+    /// reliable, ack-based capacity enforcement.
+    pub fn bulk() -> Self {
+        StreamProfile {
+            capacity: 128 * 1024,
+            max_message: 8 * 1024,
+            delay: DelayBound::best_effort_with(
+                SimDuration::from_millis(500),
+                SimDuration::from_micros(10),
+            ),
+            enforcement: CapacityEnforcement::AckBased,
+            reliable: true,
+            receiver_fc: true,
+            receive_buffer: 256 * 1024,
+            ..StreamProfile::default()
+        }
+    }
+
+    /// Digitized-voice profile (§2.5): high capacity, low delay, loss
+    /// tolerated, no reliability machinery at all.
+    pub fn voice() -> Self {
+        StreamProfile {
+            capacity: 16 * 1024,
+            max_message: 256,
+            delay: DelayBound::best_effort_with(
+                SimDuration::from_millis(40),
+                SimDuration::from_micros(10),
+            ),
+            enforcement: CapacityEnforcement::RateBased,
+            reliable: false,
+            receiver_fc: false,
+            ..StreamProfile::default()
+        }
+    }
+}
+
+/// Events surfaced to the application via the per-host stream tap.
+#[derive(Debug)]
+pub enum StreamEvent {
+    /// A session we opened is ready to send.
+    Opened {
+        /// The session.
+        session: u64,
+    },
+    /// A session we opened could not be established.
+    OpenFailed {
+        /// The session.
+        session: u64,
+        /// Why.
+        reason: RmsError,
+    },
+    /// A peer opened a session toward us.
+    Incoming {
+        /// The session.
+        session: u64,
+        /// The sending peer.
+        peer: HostId,
+    },
+    /// An in-order message arrived (receiver side).
+    Delivered {
+        /// The session.
+        session: u64,
+        /// The message.
+        msg: Message,
+        /// Its sequence number.
+        seq: u64,
+        /// End-to-end delay from the sender's `send` call.
+        delay: SimDuration,
+    },
+    /// The send port has space again after refusing an offer.
+    Drained {
+        /// The session.
+        session: u64,
+    },
+    /// The session failed or the peer closed it.
+    Ended {
+        /// The session.
+        session: u64,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_DATA: u8 = 2;
+const KIND_ACK: u8 = 3;
+
+#[derive(Debug, PartialEq)]
+enum StreamMsg {
+    Hello {
+        session: u64,
+        needs_ack_stream: bool,
+        receive_buffer: u64,
+        ack_is_for: Option<u64>,
+    },
+    Data {
+        session: u64,
+        seq: u64,
+        sent_at: SimTime,
+        payload: Bytes,
+    },
+    Ack {
+        session: u64,
+        cum_seq: Option<u64>,
+        consumed: u64,
+    },
+}
+
+fn encode_msg(m: &StreamMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(32);
+    b.put_u8(MAGIC_STREAM);
+    match m {
+        StreamMsg::Hello {
+            session,
+            needs_ack_stream,
+            receive_buffer,
+            ack_is_for,
+        } => {
+            b.put_u8(KIND_HELLO);
+            b.put_u64(*session);
+            b.put_u8(u8::from(*needs_ack_stream));
+            b.put_u64(*receive_buffer);
+            b.put_u64(ack_is_for.map_or(u64::MAX, |s| s));
+        }
+        StreamMsg::Data {
+            session,
+            seq,
+            sent_at,
+            payload,
+        } => {
+            b.put_u8(KIND_DATA);
+            b.put_u64(*session);
+            b.put_u64(*seq);
+            b.put_u64(sent_at.as_nanos());
+            b.put_u32(payload.len() as u32);
+            b.put_slice(payload);
+        }
+        StreamMsg::Ack {
+            session,
+            cum_seq,
+            consumed,
+        } => {
+            b.put_u8(KIND_ACK);
+            b.put_u64(*session);
+            b.put_u64(cum_seq.map_or(u64::MAX, |s| s));
+            b.put_u64(*consumed);
+        }
+    }
+    b.freeze()
+}
+
+fn decode_msg(bytes: &Bytes) -> Option<StreamMsg> {
+    let mut b = bytes.clone();
+    if b.remaining() < 2 || b.get_u8() != MAGIC_STREAM {
+        return None;
+    }
+    match b.get_u8() {
+        KIND_HELLO => {
+            if b.remaining() < 25 {
+                return None;
+            }
+            let session = b.get_u64();
+            let needs_ack_stream = b.get_u8() != 0;
+            let receive_buffer = b.get_u64();
+            let raw = b.get_u64();
+            Some(StreamMsg::Hello {
+                session,
+                needs_ack_stream,
+                receive_buffer,
+                ack_is_for: (raw != u64::MAX).then_some(raw),
+            })
+        }
+        KIND_DATA => {
+            if b.remaining() < 28 {
+                return None;
+            }
+            let session = b.get_u64();
+            let seq = b.get_u64();
+            let sent_at = SimTime::from_nanos(b.get_u64());
+            let len = b.get_u32() as usize;
+            if b.remaining() < len {
+                return None;
+            }
+            Some(StreamMsg::Data {
+                session,
+                seq,
+                sent_at,
+                payload: b.split_to(len),
+            })
+        }
+        KIND_ACK => {
+            if b.remaining() < 24 {
+                return None;
+            }
+            let session = b.get_u64();
+            let raw = b.get_u64();
+            let consumed = b.get_u64();
+            Some(StreamMsg::Ack {
+                session,
+                cum_seq: (raw != u64::MAX).then_some(raw),
+                consumed,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Which end of the session this host holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamRole {
+    /// We send data.
+    Tx,
+    /// We receive data.
+    Rx,
+}
+
+/// Per-session statistics.
+#[derive(Debug, Default)]
+pub struct SessionStats {
+    /// Data messages sent (first transmissions).
+    pub sent: Counter,
+    /// Retransmissions.
+    pub retransmitted: Counter,
+    /// Messages delivered in order to the application.
+    pub delivered: Counter,
+    /// Payload bytes delivered.
+    pub bytes_delivered: Counter,
+    /// Cumulative acks sent.
+    pub acks_sent: Counter,
+    /// Offers refused by the send port (sender blocked).
+    pub sender_blocked: Counter,
+    /// Messages dropped at the receiver for buffer overflow.
+    pub buffer_drops: Counter,
+    /// Gaps detected (messages lost upstream).
+    pub gaps: Counter,
+    /// End-to-end delays of delivered messages, seconds.
+    pub delays: Histogram,
+}
+
+/// One stream session endpoint.
+pub struct Session {
+    /// Globally unique session id (shared by both ends).
+    pub id: u64,
+    /// The other host.
+    pub peer: HostId,
+    /// Our role.
+    pub role: StreamRole,
+    /// The profile in force.
+    pub profile: StreamProfile,
+    /// Statistics.
+    pub stats: SessionStats,
+    /// Set once the session failed/ended.
+    pub failed: bool,
+
+    // Tx side.
+    data_out: Option<StRmsId>,
+    port: SendPort,
+    next_seq: u64,
+    unacked: VecDeque<(u64, Message, SimTime)>,
+    rate: Option<RateLimiter>,
+    ackwin: Option<AckWindow>,
+    rwin: Option<ReceiverWindow>,
+    rto_timer: Option<TimerHandle>,
+    rto_backoff: u32,
+    rate_timer_armed: bool,
+    was_blocked: bool,
+
+    // Rx side.
+    data_in: Option<StRmsId>,
+    ack_out: Option<StRmsId>,
+    next_expected: u64,
+    pending_buffer_bytes: u64,
+    consumed_total: u64,
+    since_last_ack: u32,
+    ack_timer: Option<TimerHandle>,
+    pending_acks: Vec<Bytes>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("role", &self.role)
+            .field("peer", &self.peer)
+            .finish()
+    }
+}
+
+impl Session {
+    fn new(id: u64, peer: HostId, role: StreamRole, profile: StreamProfile) -> Self {
+        let port = SendPort::new(profile.send_port_limit);
+        Session {
+            id,
+            peer,
+            role,
+            port,
+            profile,
+            stats: SessionStats::default(),
+            failed: false,
+            data_out: None,
+            next_seq: 0,
+            unacked: VecDeque::new(),
+            rate: None,
+            ackwin: None,
+            rwin: None,
+            rto_timer: None,
+            rto_backoff: 0,
+            rate_timer_armed: false,
+            was_blocked: false,
+            data_in: None,
+            ack_out: None,
+            next_expected: 0,
+            pending_buffer_bytes: 0,
+            consumed_total: 0,
+            since_last_ack: 0,
+            ack_timer: None,
+            pending_acks: Vec::new(),
+        }
+    }
+
+    /// Bytes queued in the send port.
+    pub fn send_port_queued(&self) -> u64 {
+        self.port.queued_bytes()
+    }
+
+    /// Bytes occupying the receive buffer (delivered, not yet consumed).
+    pub fn receive_buffer_pending(&self) -> u64 {
+        self.pending_buffer_bytes
+    }
+}
+
+type StreamTap = Box<dyn FnMut(&mut Sim<Stack>, StreamEvent)>;
+
+/// Per-host stream-protocol state.
+#[derive(Default)]
+pub struct StreamHost {
+    sessions: HashMap<u64, Session>,
+    by_st: HashMap<StRmsId, u64>,
+    tokens: HashMap<StToken, (u64, StreamLane)>,
+    tap: Option<StreamTap>,
+}
+
+impl std::fmt::Debug for StreamHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamHost")
+            .field("sessions", &self.sessions.len())
+            .finish()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamLane {
+    Data,
+    Ack,
+}
+
+/// The stream module's state.
+#[derive(Debug)]
+pub struct StreamState {
+    hosts: Vec<StreamHost>,
+    next_session: u64,
+}
+
+impl StreamState {
+    /// State for `n` hosts.
+    pub fn new(n: usize) -> Self {
+        StreamState {
+            hosts: (0..n).map(|_| StreamHost::default()).collect(),
+            next_session: 1,
+        }
+    }
+
+    /// Access a host's sessions.
+    pub fn host(&self, id: HostId) -> &StreamHost {
+        &self.hosts[id.0 as usize]
+    }
+
+    /// Mutable access to a host's sessions.
+    pub fn host_mut(&mut self, id: HostId) -> &mut StreamHost {
+        &mut self.hosts[id.0 as usize]
+    }
+
+    /// A session by id at `host`.
+    pub fn session(&self, host: HostId, session: u64) -> Option<&Session> {
+        self.host(host).sessions.get(&session)
+    }
+
+    /// Mutable session access.
+    pub fn session_mut(&mut self, host: HostId, session: u64) -> Option<&mut Session> {
+        self.host_mut(host).sessions.get_mut(&session)
+    }
+}
+
+/// Install the per-host tap receiving [`StreamEvent`]s.
+pub fn set_tap(
+    stack: &mut Stack,
+    host: HostId,
+    tap: impl FnMut(&mut Sim<Stack>, StreamEvent) + 'static,
+) {
+    stack.stream.host_mut(host).tap = Some(Box::new(tap));
+}
+
+fn fire(sim: &mut Sim<Stack>, host: HostId, event: StreamEvent) {
+    if let Some(mut tap) = sim.state.stream.host_mut(host).tap.take() {
+        tap(sim, event);
+        let slot = &mut sim.state.stream.host_mut(host).tap;
+        if slot.is_none() {
+            *slot = Some(tap);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Opening
+// ---------------------------------------------------------------------------
+
+/// Open a stream session from `host` to `peer`. The result arrives at the
+/// host's stream tap as [`StreamEvent::Opened`] / [`StreamEvent::OpenFailed`].
+///
+/// # Errors
+///
+/// Fails synchronously when the underlying ST creation does.
+pub fn open(
+    sim: &mut Sim<Stack>,
+    host: HostId,
+    peer: HostId,
+    profile: StreamProfile,
+) -> Result<u64, RmsError> {
+    let session_id = {
+        let s = &mut sim.state.stream;
+        let id = s.next_session;
+        s.next_session += 1;
+        id
+    };
+    let mut session = Session::new(session_id, peer, StreamRole::Tx, profile.clone());
+    // Capacity-dependent mechanisms are instantiated once the ST layer
+    // reports the *negotiated* parameters (the provider may grant less
+    // capacity than desired).
+    if profile.receiver_fc {
+        session.rwin = Some(ReceiverWindow::new(profile.receive_buffer));
+    }
+    sim.state
+        .stream
+        .host_mut(host)
+        .sessions
+        .insert(session_id, session);
+    let fast_ack = profile.enforcement == CapacityEnforcement::AckBased;
+    let token = st_engine::create(sim, host, peer, &data_request(&profile), fast_ack)
+        .inspect_err(|_| {
+            sim.state.stream.host_mut(host).sessions.remove(&session_id);
+        })?;
+    sim.state
+        .stream
+        .host_mut(host)
+        .tokens
+        .insert(token, (session_id, StreamLane::Data));
+    Ok(session_id)
+}
+
+/// Bytes of stream-protocol header on a data message (magic + kind +
+/// session + seq + sent_at + length).
+pub const DATA_HEADER: u64 = 30;
+
+fn data_params(profile: &StreamProfile) -> RmsParams {
+    let mms = profile.max_message + DATA_HEADER;
+    // A reliable stream asks the provider for a tight error rate so
+    // corruption is caught by checksums and surfaces as clean loss the
+    // retransmission machinery can repair; a lossy stream tolerates errors
+    // and skips the checksum work (§2.5).
+    let ber = if profile.reliable { 1e-9 } else { 1e-4 };
+    RmsParams {
+        reliability: rms_core::Reliability::Unreliable,
+        security: rms_core::SecurityParams::NONE,
+        capacity: profile.capacity.max(mms),
+        max_message_size: mms,
+        delay: profile.delay,
+        error_rate: rms_core::BitErrorRate::new(ber).expect("valid"),
+    }
+}
+
+fn data_request(profile: &StreamProfile) -> RmsRequest {
+    let desired = data_params(profile);
+    // Floor: the full message size is non-negotiable, but less in-flight
+    // capacity is survivable — the flow-control windows adapt to whatever
+    // was actually granted.
+    let mut acceptable = desired.clone();
+    acceptable.capacity = desired.max_message_size;
+    RmsRequest::new(desired, acceptable).expect("desired covers floor")
+}
+
+fn ack_params() -> RmsParams {
+    // Low capacity, low delay: serves flow-control acks; reliability acks
+    // tolerate it ("low capacity, high delay" would also do, §2.5).
+    RmsParams {
+        reliability: rms_core::Reliability::Unreliable,
+        security: rms_core::SecurityParams::NONE,
+        capacity: 8 * 1024,
+        max_message_size: 256,
+        delay: DelayBound::best_effort_with(
+            SimDuration::from_millis(50),
+            SimDuration::from_micros(10),
+        ),
+        error_rate: rms_core::BitErrorRate::new(1e-4).expect("valid"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sending
+// ---------------------------------------------------------------------------
+
+/// Offer a message on a Tx session. Refusal ([`WouldBlock`]) is the §4.4
+/// sender-flow-control condition; the tap gets [`StreamEvent::Drained`]
+/// when space is available again.
+///
+/// # Errors
+///
+/// [`WouldBlock`] when the send port is full.
+pub fn send(
+    sim: &mut Sim<Stack>,
+    host: HostId,
+    session: u64,
+    msg: Message,
+) -> Result<(), WouldBlock> {
+    {
+        let Some(s) = sim.state.stream.session_mut(host, session) else {
+            return Ok(()); // unknown/closed session: drop silently
+        };
+        if s.failed {
+            return Ok(());
+        }
+        match s.port.offer(msg) {
+            Ok(()) => {}
+            Err(e) => {
+                s.was_blocked = true;
+                s.stats.sender_blocked.incr();
+                return Err(e);
+            }
+        }
+    }
+    pump(sim, host, session);
+    Ok(())
+}
+
+/// Try to move messages from the send port onto the data stream, honouring
+/// every active flow-control gate.
+fn pump(sim: &mut Sim<Stack>, host: HostId, session: u64) {
+    let now = sim.now();
+    loop {
+        // Gate check + dequeue under one borrow.
+        let (st_rms, seq, msg) = {
+            let Some(s) = sim.state.stream.session_mut(host, session) else {
+                return;
+            };
+            if s.failed {
+                return;
+            }
+            let Some(st_rms) = s.data_out else { return };
+            let Some(next) = s.port.peek() else {
+                // Port drained: wake a blocked sender.
+                if s.was_blocked {
+                    s.was_blocked = false;
+                    fire(sim, host, StreamEvent::Drained { session });
+                }
+                return;
+            };
+            let len = next.len() as u64;
+            let mut blocked_by_rate = false;
+            if let Some(rate) = &mut s.rate {
+                if !rate.may_send(now, len) {
+                    blocked_by_rate = true;
+                }
+            }
+            if blocked_by_rate {
+                // Re-try when budget returns.
+                let at = s
+                    .rate
+                    .as_ref()
+                    .and_then(|r| r.next_release(now))
+                    .unwrap_or(now + SimDuration::from_millis(1));
+                if !s.rate_timer_armed {
+                    s.rate_timer_armed = true;
+                    let delay = at.saturating_since(now).max(SimDuration::from_nanos(1));
+                    sim.schedule_in(delay, move |sim| {
+                        if let Some(s) = sim.state.stream.session_mut(host, session) {
+                            s.rate_timer_armed = false;
+                        }
+                        pump(sim, host, session);
+                    });
+                }
+                return;
+            }
+            if let Some(w) = &s.ackwin {
+                if !w.may_send(len) {
+                    return; // unblocked by future acks
+                }
+            }
+            if let Some(w) = &s.rwin {
+                if !w.may_send(len) {
+                    return; // unblocked by window updates
+                }
+            }
+            let msg = s.port.pop().expect("peeked");
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            if let Some(rate) = &mut s.rate {
+                rate.record_send(now, len);
+            }
+            if let Some(w) = &mut s.rwin {
+                w.record_send(len);
+            }
+            s.stats.sent.incr();
+            if s.profile.reliable {
+                s.unacked.push_back((seq, msg.clone(), now));
+            }
+            (st_rms, seq, msg)
+        };
+        let bytes = encode_msg(&StreamMsg::Data {
+            session,
+            seq,
+            sent_at: now,
+            payload: msg.payload().clone(),
+        });
+        let len = msg.len() as u64;
+        match st_engine::send(sim, host, st_rms, Message::new(bytes)) {
+            Ok(st_seq) => {
+                // Ack-based capacity enforcement is clocked by ST fast
+                // acknowledgements, which echo the ST sequence number.
+                if let Some(s) = sim.state.stream.session_mut(host, session) {
+                    if let Some(w) = &mut s.ackwin {
+                        w.record_send(st_seq, len);
+                    }
+                }
+            }
+            Err(_) => {
+                // Should not happen (sizes validated); count as a gap.
+                if let Some(s) = sim.state.stream.session_mut(host, session) {
+                    s.stats.gaps.incr();
+                }
+            }
+        }
+        ensure_rto(sim, host, session);
+    }
+}
+
+fn ensure_rto(sim: &mut Sim<Stack>, host: HostId, session: u64) {
+    let need = {
+        let Some(s) = sim.state.stream.session_mut(host, session) else {
+            return;
+        };
+        s.profile.reliable && !s.unacked.is_empty() && s.rto_timer.is_none()
+    };
+    if !need {
+        return;
+    }
+    let rto = sim
+        .state
+        .stream
+        .session(host, session)
+        .map(|s| {
+            // Exponential backoff keeps spurious retransmissions from
+            // melting down a slow path.
+            s.profile.rto.saturating_mul(1u64 << s.rto_backoff.min(6))
+        })
+        .unwrap_or(SimDuration::from_millis(300));
+    let handle = sim.schedule_timer(rto, move |sim| on_rto(sim, host, session));
+    if let Some(s) = sim.state.stream.session_mut(host, session) {
+        s.rto_timer = Some(handle);
+    } else {
+        handle.cancel();
+    }
+}
+
+fn on_rto(sim: &mut Sim<Stack>, host: HostId, session: u64) {
+    // Timeout recovery retransmits only the *oldest* unacknowledged
+    // message. Blasting the whole window on every timeout floods a slow
+    // bottleneck with duplicate bursts faster than it drains (the classic
+    // go-back-N congestion spiral); the rest of the window is resent
+    // ack-clocked as the receiver's cumulative acks advance.
+    let (st_rms, frame) = {
+        let Some(s) = sim.state.stream.session_mut(host, session) else {
+            return;
+        };
+        s.rto_timer = None;
+        if s.failed || s.unacked.is_empty() {
+            return;
+        }
+        let Some(st_rms) = s.data_out else { return };
+        let head = s.unacked.front().cloned().expect("non-empty");
+        s.stats.retransmitted.incr();
+        s.rto_backoff = (s.rto_backoff + 1).min(8);
+        (st_rms, head)
+    };
+    let (seq, msg, sent_at) = frame;
+    let bytes = encode_msg(&StreamMsg::Data {
+        session,
+        seq,
+        sent_at,
+        payload: msg.payload().clone(),
+    });
+    let _ = st_engine::send(sim, host, st_rms, Message::new(bytes));
+    ensure_rto(sim, host, session);
+}
+
+/// Ack-clocked retransmission: after cumulative progress, resend the new
+/// head of the unacked queue (the receiver dropped everything past the
+/// original gap, so it needs them in order anyway).
+fn retransmit_head(sim: &mut Sim<Stack>, host: HostId, session: u64) {
+    let item = {
+        let Some(s) = sim.state.stream.session_mut(host, session) else {
+            return;
+        };
+        if s.failed {
+            return;
+        }
+        match (s.data_out, s.unacked.front().cloned()) {
+            (Some(st_rms), Some(head)) => {
+                s.stats.retransmitted.incr();
+                Some((st_rms, head))
+            }
+            _ => None,
+        }
+    };
+    if let Some((st_rms, (seq, msg, sent_at))) = item {
+        let bytes = encode_msg(&StreamMsg::Data {
+            session,
+            seq,
+            sent_at,
+            payload: msg.payload().clone(),
+        });
+        let _ = st_engine::send(sim, host, st_rms, Message::new(bytes));
+    }
+    ensure_rto(sim, host, session);
+}
+
+/// Receiver side: the application consumed `bytes` from the session's
+/// buffer, opening the receiver-flow-control window.
+pub fn consume(sim: &mut Sim<Stack>, host: HostId, session: u64, bytes: u64) {
+    let update = {
+        let Some(s) = sim.state.stream.session_mut(host, session) else {
+            return;
+        };
+        s.pending_buffer_bytes = s.pending_buffer_bytes.saturating_sub(bytes);
+        s.consumed_total += bytes;
+        s.profile.receiver_fc
+    };
+    if update {
+        send_ack(sim, host, session, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receiving
+// ---------------------------------------------------------------------------
+
+/// Does the stream module own this ST RMS at `host`?
+pub fn owns(stack: &Stack, host: HostId, st_rms: StRmsId) -> bool {
+    stack.stream.host(host).by_st.contains_key(&st_rms)
+}
+
+/// Does the stream module await this ST creation token?
+pub fn claims_token(stack: &Stack, host: HostId, token: StToken) -> bool {
+    stack.stream.host(host).tokens.contains_key(&token)
+}
+
+/// Handle an ST lifecycle event addressed to the stream module.
+pub fn on_st_event(sim: &mut Sim<Stack>, host: HostId, event: StEvent) {
+    match event {
+        StEvent::Created { token, st_rms, params } => {
+            let Some((session, lane)) = sim.state.stream.host_mut(host).tokens.remove(&token)
+            else {
+                return;
+            };
+            sim.state.stream.host_mut(host).by_st.insert(st_rms, session);
+            match lane {
+                StreamLane::Data => {
+                    let (peer_buffer, needs_ack) = {
+                        let Some(s) = sim.state.stream.session_mut(host, session) else {
+                            return;
+                        };
+                        s.data_out = Some(st_rms);
+                        // Build capacity enforcement from the *actual*
+                        // negotiated parameters (§4.4).
+                        match s.profile.enforcement {
+                            CapacityEnforcement::None => {}
+                            CapacityEnforcement::RateBased => {
+                                s.rate = Some(RateLimiter::new(&params));
+                            }
+                            CapacityEnforcement::AckBased => {
+                                s.ackwin = Some(AckWindow::new(params.capacity));
+                            }
+                        }
+                        (s.profile.receive_buffer, s.profile.needs_ack_stream())
+                    };
+                    let hello = encode_msg(&StreamMsg::Hello {
+                        session,
+                        needs_ack_stream: needs_ack,
+                        receive_buffer: peer_buffer,
+                        ack_is_for: None,
+                    });
+                    let _ = st_engine::send(sim, host, st_rms, Message::new(hello));
+                    fire(sim, host, StreamEvent::Opened { session });
+                    pump(sim, host, session);
+                }
+                StreamLane::Ack => {
+                    let pending = {
+                        let Some(s) = sim.state.stream.session_mut(host, session) else {
+                            return;
+                        };
+                        s.ack_out = Some(st_rms);
+                        std::mem::take(&mut s.pending_acks)
+                    };
+                    for bytes in pending {
+                        let _ = st_engine::send(sim, host, st_rms, Message::new(bytes));
+                    }
+                }
+            }
+        }
+        StEvent::CreateFailed { token, reason } => {
+            let Some((session, lane)) = sim.state.stream.host_mut(host).tokens.remove(&token)
+            else {
+                return;
+            };
+            if lane == StreamLane::Data {
+                if std::env::var_os("DASH_DEBUG").is_some() {
+                    eprintln!("stream open failed host={host:?} session={session}: {reason:?}");
+                }
+                sim.state.stream.host_mut(host).sessions.remove(&session);
+                fire(
+                    sim,
+                    host,
+                    StreamEvent::OpenFailed {
+                        session,
+                        reason: RmsError::CreationRejected(reason),
+                    },
+                );
+            }
+        }
+        StEvent::Failed { st_rms, .. } | StEvent::Closed { st_rms } => {
+            let Some(session) = sim.state.stream.host_mut(host).by_st.remove(&st_rms) else {
+                return;
+            };
+            let existed = {
+                match sim.state.stream.session_mut(host, session) {
+                    Some(s) if !s.failed => {
+                        s.failed = true;
+                        if let Some(t) = s.rto_timer.take() {
+                            t.cancel();
+                        }
+                        if let Some(t) = s.ack_timer.take() {
+                            t.cancel();
+                        }
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if existed {
+                fire(sim, host, StreamEvent::Ended { session });
+            }
+        }
+        StEvent::FastAck { st_rms, seq } => {
+            let Some(session) = sim.state.stream.host(host).by_st.get(&st_rms).copied() else {
+                return;
+            };
+            if let Some(s) = sim.state.stream.session_mut(host, session) {
+                if let Some(w) = &mut s.ackwin {
+                    w.ack_through(seq);
+                }
+            }
+            pump(sim, host, session);
+        }
+        _ => {}
+    }
+}
+
+/// Handle an ST delivery addressed to the stream module.
+pub fn on_delivery(
+    sim: &mut Sim<Stack>,
+    host: HostId,
+    st_rms: StRmsId,
+    msg: Message,
+    _info: DeliveryInfo,
+) {
+    let Some(decoded) = decode_msg(msg.payload()) else {
+        return;
+    };
+    match decoded {
+        StreamMsg::Hello {
+            session,
+            needs_ack_stream,
+            receive_buffer,
+            ack_is_for,
+        } => {
+            if let Some(tx_session) = ack_is_for {
+                // This is the peer's ack stream announcing itself.
+                sim.state
+                    .stream
+                    .host_mut(host)
+                    .by_st
+                    .insert(st_rms, tx_session);
+                return;
+            }
+            // A new incoming data session.
+            let peer = match sim.state.st_ref().host(host).streams.get(&st_rms) {
+                Some(s) => s.peer,
+                None => return,
+            };
+            if sim.state.stream.host(host).sessions.contains_key(&session) {
+                return; // duplicate hello
+            }
+            let mut profile = StreamProfile::default();
+            profile.receive_buffer = receive_buffer;
+            profile.receiver_fc = needs_ack_stream;
+            profile.reliable = needs_ack_stream;
+            let mut s = Session::new(session, peer, StreamRole::Rx, profile);
+            s.data_in = Some(st_rms);
+            sim.state.stream.host_mut(host).sessions.insert(session, s);
+            sim.state.stream.host_mut(host).by_st.insert(st_rms, session);
+            if needs_ack_stream {
+                // Create the reverse acknowledgement stream (§2.5).
+                if let Ok(token) =
+                    st_engine::create(sim, host, peer, &RmsRequest::exact(ack_params()), false)
+                {
+                    sim.state
+                        .stream
+                        .host_mut(host)
+                        .tokens
+                        .insert(token, (session, StreamLane::Ack));
+                }
+            }
+            fire(sim, host, StreamEvent::Incoming { session, peer });
+        }
+        StreamMsg::Data {
+            session,
+            seq,
+            sent_at,
+            payload,
+        } => {
+            sim.state.stream.host_mut(host).by_st.insert(st_rms, session);
+            handle_data(sim, host, session, seq, sent_at, payload);
+        }
+        StreamMsg::Ack {
+            session,
+            cum_seq,
+            consumed,
+        } => {
+            sim.state.stream.host_mut(host).by_st.insert(st_rms, session);
+            {
+                let Some(s) = sim.state.stream.session_mut(host, session) else {
+                    return;
+                };
+                if let Some(cum) = cum_seq {
+                    let mut progressed = false;
+                    while let Some(&(sq, _, _)) = s.unacked.front() {
+                        if sq <= cum {
+                            s.unacked.pop_front();
+                            progressed = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    if progressed {
+                        s.rto_backoff = 0;
+                        // Restart the clock for the remaining tail.
+                        if let Some(t) = s.rto_timer.take() {
+                            t.cancel();
+                        }
+                    }
+                    if let Some(w) = &mut s.rwin {
+                        w.update_consumed(consumed);
+                    }
+                    let recovering = progressed && !s.unacked.is_empty();
+                    if recovering {
+                        retransmit_head(sim, host, session);
+                    }
+                    pump(sim, host, session);
+                    return;
+                }
+                if let Some(w) = &mut s.rwin {
+                    w.update_consumed(consumed);
+                }
+            }
+            pump(sim, host, session);
+        }
+    }
+}
+
+fn handle_data(
+    sim: &mut Sim<Stack>,
+    host: HostId,
+    session: u64,
+    seq: u64,
+    sent_at: SimTime,
+    payload: Bytes,
+) {
+    let now = sim.now();
+    let deliver = {
+        let Some(s) = sim.state.stream.session_mut(host, session) else {
+            return;
+        };
+        if s.failed {
+            return;
+        }
+        let len = payload.len() as u64;
+        if seq != s.next_expected {
+            if seq > s.next_expected {
+                // Gap: upstream loss (go-back-N: wait for retransmission
+                // if reliable; count and skip if not).
+                if s.profile.reliable {
+                    s.stats.gaps.incr();
+                    // Re-ack to hint the sender.
+                    None
+                } else {
+                    s.stats.gaps.add(seq - s.next_expected);
+                    s.next_expected = seq + 1;
+                    Some((len, true))
+                }
+            } else {
+                // Duplicate of something already delivered.
+                None
+            }
+        } else if s.profile.receiver_fc
+            && s.pending_buffer_bytes + len > s.profile.receive_buffer
+        {
+            // Receive buffer full: drop; the sender's window should have
+            // prevented this (counted to make violations visible).
+            s.stats.buffer_drops.incr();
+            None
+        } else {
+            s.next_expected = seq + 1;
+            Some((len, false))
+        }
+    };
+    match deliver {
+        Some((len, _lossy_skip)) => {
+            {
+                let s = sim
+                    .state
+                    .stream
+                    .session_mut(host, session)
+                    .expect("session checked");
+                s.stats.delivered.incr();
+                s.stats.bytes_delivered.add(len);
+                s.stats
+                    .delays
+                    .record(now.saturating_since(sent_at).as_secs_f64());
+                if s.profile.receiver_fc {
+                    s.pending_buffer_bytes += len;
+                } else {
+                    s.consumed_total += len;
+                }
+                s.since_last_ack += 1;
+            }
+            let msg = Message::new(payload);
+            fire(
+                sim,
+                host,
+                StreamEvent::Delivered {
+                    session,
+                    msg,
+                    seq,
+                    delay: now.saturating_since(sent_at),
+                },
+            );
+            maybe_ack(sim, host, session);
+        }
+        None => {
+            // Duplicate or gap: re-send the cumulative ack immediately so a
+            // retransmitting sender converges even when its last ack was
+            // lost (classic go-back-N requirement).
+            let needs = sim
+                .state
+                .stream
+                .session(host, session)
+                .map(|s| s.profile.needs_ack_stream())
+                .unwrap_or(false);
+            if needs {
+                send_ack(sim, host, session, true);
+            }
+        }
+    }
+}
+
+fn maybe_ack(sim: &mut Sim<Stack>, host: HostId, session: u64) {
+    let decision = {
+        let Some(s) = sim.state.stream.session_mut(host, session) else {
+            return;
+        };
+        if !s.profile.needs_ack_stream() {
+            return;
+        }
+        if s.since_last_ack >= s.profile.ack_every {
+            AckDecision::Now
+        } else if s.since_last_ack > 0 && s.ack_timer.is_none() {
+            AckDecision::Delayed(s.profile.ack_delay)
+        } else {
+            AckDecision::No
+        }
+    };
+    match decision {
+        AckDecision::Now => send_ack(sim, host, session, false),
+        AckDecision::Delayed(d) => {
+            let handle = sim.schedule_timer(d, move |sim| {
+                if let Some(s) = sim.state.stream.session_mut(host, session) {
+                    s.ack_timer = None;
+                }
+                send_ack(sim, host, session, false);
+            });
+            if let Some(s) = sim.state.stream.session_mut(host, session) {
+                s.ack_timer = Some(handle);
+            }
+        }
+        AckDecision::No => {}
+    }
+}
+
+enum AckDecision {
+    Now,
+    Delayed(SimDuration),
+    No,
+}
+
+fn send_ack(sim: &mut Sim<Stack>, host: HostId, session: u64, force: bool) {
+    let (bytes, target, tx_session) = {
+        let Some(s) = sim.state.stream.session_mut(host, session) else {
+            return;
+        };
+        if !force && s.since_last_ack == 0 {
+            return;
+        }
+        s.since_last_ack = 0;
+        if let Some(t) = s.ack_timer.take() {
+            t.cancel();
+        }
+        s.stats.acks_sent.incr();
+        let cum = s.next_expected.checked_sub(1);
+        let bytes = encode_msg(&StreamMsg::Ack {
+            session,
+            cum_seq: cum,
+            consumed: s.consumed_total,
+        });
+        (bytes, s.ack_out, session)
+    };
+    match target {
+        Some(st_rms) => {
+            // First message on the ack stream announces its purpose.
+            let announced = sim
+                .state
+                .stream
+                .session(host, session)
+                .map(|s| s.stats.acks_sent.get() > 1)
+                .unwrap_or(true);
+            if !announced {
+                let hello = encode_msg(&StreamMsg::Hello {
+                    session: tx_session,
+                    needs_ack_stream: false,
+                    receive_buffer: 0,
+                    ack_is_for: Some(tx_session),
+                });
+                let _ = st_engine::send(sim, host, st_rms, Message::new(hello));
+            }
+            let _ = st_engine::send(sim, host, st_rms, Message::new(bytes));
+        }
+        None => {
+            // Ack stream not ready yet: hold the ack.
+            if let Some(s) = sim.state.stream.session_mut(host, session) {
+                s.pending_acks.push(bytes);
+                if s.pending_acks.len() > 16 {
+                    s.pending_acks.remove(0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trips() {
+        let msgs = [
+            StreamMsg::Hello {
+                session: 5,
+                needs_ack_stream: true,
+                receive_buffer: 4096,
+                ack_is_for: None,
+            },
+            StreamMsg::Hello {
+                session: 6,
+                needs_ack_stream: false,
+                receive_buffer: 0,
+                ack_is_for: Some(5),
+            },
+            StreamMsg::Data {
+                session: 5,
+                seq: 9,
+                sent_at: SimTime::from_nanos(77),
+                payload: Bytes::from_static(b"body"),
+            },
+            StreamMsg::Ack {
+                session: 5,
+                cum_seq: Some(8),
+                consumed: 1000,
+            },
+            StreamMsg::Ack {
+                session: 5,
+                cum_seq: None,
+                consumed: 0,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(decode_msg(&encode_msg(&m)), Some(m));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode_msg(&Bytes::from_static(b"xy")), None);
+        assert_eq!(decode_msg(&Bytes::from_static(&[MAGIC_STREAM, 9])), None);
+    }
+
+    #[test]
+    fn profiles_reflect_paper_table() {
+        let bulk = StreamProfile::bulk();
+        assert!(bulk.reliable && bulk.receiver_fc);
+        assert!(bulk.needs_ack_stream());
+        let voice = StreamProfile::voice();
+        assert!(!voice.reliable && !voice.needs_ack_stream());
+        assert_eq!(voice.enforcement, CapacityEnforcement::RateBased);
+        assert!(voice.delay.fixed < bulk.delay.fixed);
+    }
+}

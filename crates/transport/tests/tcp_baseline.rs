@@ -1,0 +1,146 @@
+//! Baseline TCP-like transport tests on the assembled stack.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dash_baseline::tcp::{self, TcpEvent};
+use dash_net::topology::{two_hosts_ethernet, TopologyBuilder};
+use dash_net::NetworkSpec;
+use dash_sim::time::SimDuration;
+use dash_sim::Sim;
+use dash_subtransport::st::StConfig;
+use dash_transport::stack::Stack;
+
+#[derive(Default)]
+struct Log {
+    connected: Vec<u64>,
+    accepted: Vec<(u64, dash_net::HostId)>,
+    data: Vec<(dash_net::HostId, u64, u64)>,
+    closed: Vec<u64>,
+}
+
+fn tap(sim: &mut Sim<Stack>) -> Rc<RefCell<Log>> {
+    let log = Rc::new(RefCell::new(Log::default()));
+    let l = Rc::clone(&log);
+    sim.state.set_tcp_tap(move |_sim, host, ev| match ev {
+        TcpEvent::Connected { conn } => l.borrow_mut().connected.push(conn),
+        TcpEvent::Accepted { conn, peer } => l.borrow_mut().accepted.push((conn, peer)),
+        TcpEvent::Data { conn, bytes } => l.borrow_mut().data.push((host, conn, bytes)),
+        TcpEvent::Closed { conn } => l.borrow_mut().closed.push(conn),
+    });
+    log
+}
+
+#[test]
+fn handshake_and_transfer() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let log = tap(&mut sim);
+    tcp::listen(&mut sim, b, 80);
+    let conn = tcp::connect(&mut sim, a, b, 80);
+    sim.run();
+    assert_eq!(log.borrow().connected, vec![conn]);
+    assert_eq!(log.borrow().accepted.len(), 1);
+
+    let body: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+    tcp::send(&mut sim, a, conn, &body);
+    sim.run();
+    // The server's connection received everything, in order.
+    let (server_conn, _) = log.borrow().accepted[0];
+    let got = sim
+        .state
+        .tcp
+        .conn_mut(b, server_conn)
+        .unwrap()
+        .read();
+    assert_eq!(got.as_ref(), &body[..]);
+    let stats = &sim.state.tcp.conn(b, server_conn).unwrap().stats;
+    assert_eq!(stats.bytes_delivered.get(), 10_000);
+}
+
+#[test]
+fn transfer_survives_loss() {
+    let mut builder = TopologyBuilder::new();
+    let mut spec = NetworkSpec::ethernet("lossy");
+    spec.drop_prob = 0.05;
+    let n = builder.network(spec);
+    let a = builder.host_on(n);
+    let b = builder.host_on(n);
+    let mut sim = Sim::new(Stack::new(builder.build(), StConfig::default()));
+    let log = tap(&mut sim);
+    tcp::listen(&mut sim, b, 80);
+    let conn = tcp::connect(&mut sim, a, b, 80);
+    sim.run();
+    let body: Vec<u8> = (0..30_000u32).map(|i| (i % 251) as u8).collect();
+    tcp::send(&mut sim, a, conn, &body);
+    sim.run();
+    let (server_conn, _) = log.borrow().accepted[0];
+    let got = sim.state.tcp.conn_mut(b, server_conn).unwrap().read();
+    assert_eq!(got.len(), body.len(), "reliable transfer must complete");
+    assert_eq!(got.as_ref(), &body[..]);
+    let stats = &sim.state.tcp.conn(a, conn).unwrap().stats;
+    assert!(stats.retransmitted.get() > 0, "loss forces retransmission");
+}
+
+#[test]
+fn slow_start_grows_cwnd() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let _log = tap(&mut sim);
+    tcp::listen(&mut sim, b, 80);
+    let conn = tcp::connect(&mut sim, a, b, 80);
+    sim.run();
+    let initial = sim.state.tcp.conn(a, conn).unwrap().cwnd();
+    tcp::send(&mut sim, a, conn, &vec![0u8; 50_000]);
+    sim.run();
+    let grown = sim.state.tcp.conn(a, conn).unwrap().cwnd();
+    assert!(grown > initial * 4, "cwnd {initial} -> {grown}");
+}
+
+#[test]
+fn quench_collapses_window() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let _log = tap(&mut sim);
+    tcp::listen(&mut sim, b, 80);
+    let conn = tcp::connect(&mut sim, a, b, 80);
+    sim.run();
+    tcp::send(&mut sim, a, conn, &vec![0u8; 50_000]);
+    sim.run();
+    let before = sim.state.tcp.conn(a, conn).unwrap().cwnd();
+    assert!(before > 1024);
+    // Inject a quench as the gateway would.
+    tcp::on_quench(&mut sim, a, b);
+    let after = sim.state.tcp.conn(a, conn).unwrap().cwnd();
+    assert_eq!(after, 1024, "cwnd collapses to one MSS");
+    assert_eq!(sim.state.tcp.conn(a, conn).unwrap().stats.quenches.get(), 1);
+}
+
+#[test]
+fn close_notifies_peer() {
+    let (net, a, b) = two_hosts_ethernet();
+    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let log = tap(&mut sim);
+    tcp::listen(&mut sim, b, 80);
+    let conn = tcp::connect(&mut sim, a, b, 80);
+    sim.run();
+    tcp::close(&mut sim, a, conn);
+    sim.run();
+    assert!(!log.borrow().closed.is_empty());
+}
+
+#[test]
+fn connect_to_dead_host_times_out() {
+    // Partitioned networks: the SYN goes nowhere.
+    let mut builder = TopologyBuilder::new();
+    let n1 = builder.network(NetworkSpec::ethernet("x"));
+    let n2 = builder.network(NetworkSpec::ethernet("y"));
+    let a = builder.host_on(n1);
+    let b = builder.host_on(n2);
+    let mut sim = Sim::new(Stack::new(builder.build(), StConfig::default()));
+    let log = tap(&mut sim);
+    let conn = tcp::connect(&mut sim, a, b, 80);
+    sim.run_until(dash_sim::SimTime::ZERO + SimDuration::from_secs(60));
+    assert!(log.borrow().connected.is_empty());
+    assert_eq!(log.borrow().closed, vec![conn]);
+}

@@ -1,0 +1,13 @@
+//! Facade crate for the DASH / Real-Time Message Stream (RMS) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use dash::...`. See `README.md` for the map.
+
+pub use dash_apps as apps;
+pub use dash_baseline as baseline;
+pub use dash_net as net;
+pub use dash_security as security;
+pub use dash_sim as sim;
+pub use dash_subtransport as subtransport;
+pub use dash_transport as transport;
+pub use rms_core as core;
