@@ -190,13 +190,14 @@ pub fn run_until_complete(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
     use dash_subtransport::st::StConfig;
 
     #[test]
     fn bulk_completes_on_lan() {
         let (net, a, b) = two_hosts_ethernet();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let taps = Dispatcher::install(&mut sim, &[a, b]);
         let stats = start_bulk(
             &mut sim,

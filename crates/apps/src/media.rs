@@ -55,13 +55,15 @@ impl MediaSpec {
 
     /// ~2 Mb/s video: ~8 KB frames at 30 fps, bursty sizes, 100 ms budget.
     pub fn video(duration: SimDuration) -> Self {
-        let mut profile = StreamProfile::default();
-        profile.capacity = 64 * 1024;
-        profile.max_message = 16 * 1024;
-        profile.delay = rms_core::DelayBound::best_effort_with(
-            SimDuration::from_millis(100),
-            SimDuration::from_micros(10),
-        );
+        let profile = StreamProfile {
+            capacity: 64 * 1024,
+            max_message: 16 * 1024,
+            delay: rms_core::DelayBound::best_effort_with(
+                SimDuration::from_millis(100),
+                SimDuration::from_micros(10),
+            ),
+            ..StreamProfile::default()
+        };
         MediaSpec {
             frame_bytes: 8 * 1024,
             interval: SimDuration::from_millis(33),
@@ -184,13 +186,14 @@ fn schedule_frame(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
     use dash_subtransport::st::StConfig;
 
     #[test]
     fn voice_on_quiet_lan_is_on_time() {
         let (net, a, b) = two_hosts_ethernet();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let taps = Dispatcher::install(&mut sim, &[a, b]);
         let stats = start_media(
             &mut sim,
@@ -213,7 +216,7 @@ mod tests {
     #[test]
     fn video_carries_meaningful_bandwidth() {
         let (net, a, b) = two_hosts_ethernet();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let taps = Dispatcher::install(&mut sim, &[a, b]);
         let stats = start_media(
             &mut sim,

@@ -135,7 +135,7 @@ pub fn run_tcp_rpc(
     let st = Rc::clone(&stats);
     let state = Rc::new(RefCell::new((0u32, SimTime::ZERO, 0usize))); // (done, call_start, bytes_seen)
     let drive = Rc::clone(&state);
-    sim.state.set_tcp_tap(move |sim, host, ev| {
+    sim.state.on_tcp(move |sim, host, ev| {
         match ev {
             tcp::TcpEvent::Connected { conn: c } if c == conn => {
                 // First call.
@@ -188,13 +188,14 @@ pub fn run_tcp_rpc(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
     use dash_subtransport::st::StConfig;
 
     #[test]
     fn rkom_rpc_workload_completes() {
         let (net, a, b) = two_hosts_ethernet();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let stats = start_rkom_rpc(&mut sim, a, b, RpcSpec::default(), 3);
         sim.run();
         let s = stats.borrow();
@@ -208,7 +209,7 @@ mod tests {
     #[test]
     fn tcp_rpc_sequential_calls_complete() {
         let (net, a, b) = two_hosts_ethernet();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let stats = run_tcp_rpc(&mut sim, a, b, 80, 20, 64, 256);
         sim.run();
         let s = stats.borrow();

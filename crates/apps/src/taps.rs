@@ -12,7 +12,7 @@ use dash_net::ids::HostId;
 use dash_sim::engine::Sim;
 use dash_sim::time::SimDuration;
 use dash_transport::stack::Stack;
-use dash_transport::stream::{self, StreamEvent};
+use dash_transport::stream::StreamEvent;
 use rms_core::message::Message;
 
 /// What a session handler receives.
@@ -57,7 +57,7 @@ impl Dispatcher {
         let d = Dispatcher::default();
         for &h in hosts {
             let handlers = Rc::clone(&d.handlers);
-            stream::set_tap(&mut sim.state, h, move |sim, ev| {
+            sim.state.on_stream(h, move |sim, ev| {
                 let (session, translated) = match ev {
                     StreamEvent::Delivered {
                         session,
@@ -112,6 +112,8 @@ impl Dispatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dash_transport::stack::StackBuilder;
+    use dash_transport::stream;
     use dash_net::topology::two_hosts_ethernet;
     use dash_subtransport::st::StConfig;
     use dash_transport::stream::StreamProfile;
@@ -119,7 +121,7 @@ mod tests {
     #[test]
     fn dispatcher_routes_by_session() {
         let (net, a, b) = two_hosts_ethernet();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let d = Dispatcher::install(&mut sim, &[a, b]);
         let s1 = stream::open(&mut sim, a, b, StreamProfile::default()).unwrap();
         let s2 = stream::open(&mut sim, a, b, StreamProfile::default()).unwrap();

@@ -79,21 +79,25 @@ pub fn start_window_system(
     let stats = Rc::new(RefCell::new(WindowStats::default()));
 
     // §2.5 parameter choices: events = low capacity, moderate delay.
-    let mut event_profile = StreamProfile::default();
-    event_profile.capacity = 4 * 1024;
-    event_profile.max_message = 256;
-    event_profile.delay = DelayBound::best_effort_with(
-        SimDuration::from_millis(30),
-        SimDuration::from_micros(10),
-    );
+    let event_profile = StreamProfile {
+        capacity: 4 * 1024,
+        max_message: 256,
+        delay: DelayBound::best_effort_with(
+            SimDuration::from_millis(30),
+            SimDuration::from_micros(10),
+        ),
+        ..StreamProfile::default()
+    };
     // Graphics = higher capacity.
-    let mut gfx_profile = StreamProfile::default();
-    gfx_profile.capacity = 64 * 1024;
-    gfx_profile.max_message = 16 * 1024;
-    gfx_profile.delay = DelayBound::best_effort_with(
-        SimDuration::from_millis(60),
-        SimDuration::from_micros(10),
-    );
+    let gfx_profile = StreamProfile {
+        capacity: 64 * 1024,
+        max_message: 16 * 1024,
+        delay: DelayBound::best_effort_with(
+            SimDuration::from_millis(60),
+            SimDuration::from_micros(10),
+        ),
+        ..StreamProfile::default()
+    };
 
     let Ok(event_stream) = stream::open(sim, user, app, event_profile) else {
         stats.borrow_mut().failed = true;
@@ -174,13 +178,14 @@ fn schedule_event(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
     use dash_subtransport::st::StConfig;
 
     #[test]
     fn interactive_loop_on_lan_is_snappy() {
         let (net, user, app) = two_hosts_ethernet();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let taps = Dispatcher::install(&mut sim, &[user, app]);
         let stats = start_window_system(
             &mut sim,

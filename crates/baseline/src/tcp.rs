@@ -23,6 +23,7 @@ use dash_net::ids::HostId;
 use dash_net::pipeline as net;
 use dash_net::state::NetWorld;
 use dash_sim::engine::{Sim, TimerHandle};
+use dash_sim::obs::ObsEvent;
 use dash_sim::stats::{Counter, Histogram};
 use dash_sim::time::{SimDuration, SimTime};
 
@@ -410,8 +411,7 @@ fn send_segment<W: TcpWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, seg: 
 
 fn pump<W: TcpWorld>(sim: &mut Sim<W>, host: HostId, conn: u64) {
     let now = sim.now();
-    loop {
-        let Some((peer, seg)) = ({
+    while let Some((peer, seg)) = {
             let config_mss = sim.state.tcp_ref().config.mss;
             let st = sim.state.tcp();
             let Some(c) = st.conn_mut(host, conn) else {
@@ -447,9 +447,7 @@ fn pump<W: TcpWorld>(sim: &mut Sim<W>, host: HostId, conn: u64) {
                     ))
                 }
             }
-        }) else {
-            break;
-        };
+    } {
         send_segment(sim, host, peer, seg);
     }
     ensure_rto(sim, host, conn);
@@ -575,7 +573,7 @@ fn rewind_and_retransmit<W: TcpWorld>(sim: &mut Sim<W>, host: HostId, conn: u64,
         };
         let in_flight = c.in_flight();
         if in_flight == 0 {
-            false
+            None
         } else {
             // Reconstruct the unacked bytes from the retransmission copy.
             let copy = c
@@ -590,11 +588,24 @@ fn rewind_and_retransmit<W: TcpWorld>(sim: &mut Sim<W>, host: HostId, conn: u64,
             c.retx_copy.clear();
             c.snd_nxt = c.snd_una;
             c.sent_at.clear();
-            c.stats.retransmitted.add(copy.len().div_ceil(1024) as u64);
-            true
+            let segments = copy.len().div_ceil(1024) as u64;
+            c.stats.retransmitted.add(segments);
+            Some(segments)
         }
     };
-    if rewound {
+    if let Some(segments) = rewound {
+        let now = sim.now();
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::TcpRetransmit {
+                    host: host.0,
+                    conn,
+                    segments,
+                },
+            );
+        }
         pump(sim, host, conn);
     }
 }

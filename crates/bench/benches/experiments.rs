@@ -12,14 +12,14 @@ use dash_net::topology::two_hosts_ethernet;
 use dash_sim::time::SimDuration;
 use dash_sim::Sim;
 use dash_subtransport::st::StConfig;
-use dash_transport::stack::Stack;
+use dash_transport::stack::StackBuilder;
 use dash_transport::stream::StreamProfile;
 
 fn bench_voice_second(c: &mut Criterion) {
     c.bench_function("sim/voice-1s-lan", |b| {
         b.iter(|| {
             let (net, a, hb) = two_hosts_ethernet();
-            let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+            let mut sim = Sim::new(StackBuilder::new(net).build());
             let taps = Dispatcher::install(&mut sim, &[a, hb]);
             let stats = start_media(
                 &mut sim,
@@ -40,7 +40,7 @@ fn bench_bulk_quarter_mb(c: &mut Criterion) {
     c.bench_function("sim/bulk-256KB-lan", |b| {
         b.iter(|| {
             let (net, a, hb) = two_hosts_ethernet();
-            let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+            let mut sim = Sim::new(StackBuilder::new(net).build());
             let taps = Dispatcher::install(&mut sim, &[a, hb]);
             let stats = start_bulk(
                 &mut sim,

@@ -55,6 +55,7 @@ fn bench_wire(c: &mut Criterion) {
         fast_ack: true,
         source: None,
         target: None,
+        span: None,
         payload: Bytes::from(vec![1u8; 512]),
     });
     let encoded = encode(&frame);
@@ -78,10 +79,11 @@ fn bench_piggyback(c: &mut Criterion) {
                     fast_ack: false,
                     source: None,
                     target: None,
+                    span: None,
                     payload: Bytes::from_static(&[0u8; 64]),
                 };
                 let e = PendingEntry {
-                    encoded_len: data_frame_len(64, false, false, false),
+                    encoded_len: data_frame_len(64, false, false, false, false),
                     frame,
                     min_deadline: SimTime::ZERO,
                     max_deadline: SimTime::from_nanos(1_000_000),
@@ -110,6 +112,7 @@ fn bench_iface_queue(c: &mut Criterion) {
                         target: None,
                         mac: None,
                         checksum: None,
+                        span: None,
                     }),
                     deadline: SimTime::from_nanos((i * 7919) % 1_000_000),
                     sent_at: SimTime::ZERO,

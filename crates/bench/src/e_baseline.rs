@@ -13,9 +13,8 @@ use dash_net::topology::{dumbbell, TopologyBuilder};
 use dash_net::{HostId, NetworkSpec};
 use dash_sim::time::SimDuration;
 use dash_sim::Sim;
-use dash_subtransport::st::StConfig;
 use dash_transport::flow::CapacityEnforcement;
-use dash_transport::stack::Stack;
+use dash_transport::stack::{Stack, StackBuilder};
 use dash_transport::stream::StreamProfile;
 use rms_core::delay::DelayBound;
 
@@ -34,7 +33,7 @@ pub fn e7_rkom() -> Table {
     // --- RPC latency ---
     {
         let (net, a, b, _, _) = dumbbell();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let stats = start_rkom_rpc(
             &mut sim,
             a,
@@ -58,7 +57,7 @@ pub fn e7_rkom() -> Table {
     }
     {
         let (net, a, b, _, _) = dumbbell();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let stats = run_tcp_rpc(&mut sim, a, b, 80, 50, 64, 256);
         sim.run();
         let s = stats.borrow();
@@ -74,7 +73,7 @@ pub fn e7_rkom() -> Table {
     // --- Bulk throughput on the long-fat path ---
     {
         let (net, a, b, _, _) = dumbbell();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let taps = Dispatcher::install(&mut sim, &[a, b]);
         let mut profile = StreamProfile::bulk();
         profile.rto = SimDuration::from_millis(800);
@@ -90,10 +89,10 @@ pub fn e7_rkom() -> Table {
     }
     {
         let (net, a, b, _, _) = dumbbell();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let done_bytes = Rc::new(RefCell::new(0u64));
         let d2 = Rc::clone(&done_bytes);
-        sim.state.set_tcp_tap(move |sim, host, ev| {
+        sim.state.on_tcp(move |sim, host, ev| {
             if let tcp::TcpEvent::Data { conn, bytes } = ev {
                 *d2.borrow_mut() += bytes;
                 if let Some(c) = sim.state.tcp.conn_mut(host, conn) {
@@ -159,7 +158,7 @@ pub fn e8_congestion() -> Table {
         let receivers: Vec<HostId> = (0..3).map(|_| b.host_on(lan_b)).collect();
         b.iface_queue_limit(Some(16 * 1024));
         (
-            Sim::new(Stack::new(b.build(), StConfig::default())),
+            Sim::new(StackBuilder::new(b.build()).build()),
             senders,
             receivers,
             g1,
@@ -174,20 +173,22 @@ pub fn e8_congestion() -> Table {
         let taps = Dispatcher::install(&mut sim, &all);
         let mut flows = Vec::new();
         for (s, r) in senders.iter().zip(receivers.iter()) {
-            let mut profile = StreamProfile::default();
-            // The capacity is each flow's burst allowance (§2.2): sized so
-            // the three flows' worst-case bursts fit the gateway's 16 KB
-            // buffer — exactly the reservation a deterministic RMS would
-            // have made.
-            profile.capacity = 4 * 1024;
-            profile.max_message = 512;
-            profile.delay = DelayBound::best_effort_with(
-                SimDuration::from_millis(1200),
-                // The 400 kb/s bottleneck costs 20 us/B alone; leave head
-                // room for the LAN hops and ST stage.
-                SimDuration::from_micros(40),
-            );
-            profile.enforcement = CapacityEnforcement::RateBased;
+            let profile = StreamProfile {
+                // The capacity is each flow's burst allowance (§2.2): sized
+                // so the three flows' worst-case bursts fit the gateway's
+                // 16 KB buffer — exactly the reservation a deterministic RMS
+                // would have made.
+                capacity: 4 * 1024,
+                max_message: 512,
+                delay: DelayBound::best_effort_with(
+                    SimDuration::from_millis(1200),
+                    // The 400 kb/s bottleneck costs 20 us/B alone; leave
+                    // head room for the LAN hops and ST stage.
+                    SimDuration::from_micros(40),
+                ),
+                enforcement: CapacityEnforcement::RateBased,
+                ..StreamProfile::default()
+            };
             let stats = start_bulk(&mut sim, &taps, *s, *r, 24 * 1024, 512, profile);
             flows.push(stats);
         }
@@ -225,7 +226,7 @@ pub fn e8_congestion() -> Table {
         {
             let delivered = Rc::clone(&delivered);
             let conn_index = Rc::clone(&conn_index);
-            sim.state.set_tcp_tap(move |sim, host, ev| {
+            sim.state.on_tcp(move |sim, host, ev| {
                 if let tcp::TcpEvent::Data { conn, bytes } = ev {
                     if let Some(&i) = conn_index.borrow().get(&conn) {
                         delivered.borrow_mut()[i] += bytes;

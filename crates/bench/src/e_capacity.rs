@@ -13,9 +13,8 @@ use dash_net::topology::TopologyBuilder;
 use dash_net::NetworkSpec;
 use dash_sim::time::SimDuration;
 use dash_sim::Sim;
-use dash_subtransport::st::StConfig;
 use dash_transport::flow::CapacityEnforcement;
-use dash_transport::stack::Stack;
+use dash_transport::stack::StackBuilder;
 use dash_transport::stream::{self, StreamProfile};
 use rms_core::bandwidth::implied_bandwidth;
 use rms_core::delay::{DelayBound, DelayBoundKind, StatisticalSpec};
@@ -46,17 +45,19 @@ pub fn e5_capacity() -> Table {
         let n = b.network(NetworkSpec::ethernet("lan"));
         let ha = b.host_on(n);
         let hb = b.host_on(n);
-        let mut sim = Sim::new(Stack::new(b.build(), StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(b.build()).build());
         let taps = Dispatcher::install(&mut sim, &[ha, hb]);
-        let mut profile = StreamProfile::default();
-        profile.capacity = capacity;
-        profile.max_message = 1024;
-        profile.delay = DelayBound::best_effort_with(
-            SimDuration::from_millis(fixed_ms),
-            SimDuration::from_micros(10),
-        );
-        profile.enforcement = CapacityEnforcement::RateBased;
-        profile.send_port_limit = 4 * capacity;
+        let profile = StreamProfile {
+            capacity,
+            max_message: 1024,
+            delay: DelayBound::best_effort_with(
+                SimDuration::from_millis(fixed_ms),
+                SimDuration::from_micros(10),
+            ),
+            enforcement: CapacityEnforcement::RateBased,
+            send_port_limit: 4 * capacity,
+            ..StreamProfile::default()
+        };
         let session = stream::open(&mut sim, ha, hb, profile.clone()).unwrap();
         let bytes = Rc::new(RefCell::new(0u64));
         let b2 = Rc::clone(&bytes);

@@ -15,7 +15,7 @@ use dash_sim::cpu::SchedPolicy;
 use dash_sim::time::SimDuration;
 use dash_sim::Sim;
 use dash_subtransport::st::StConfig;
-use dash_transport::stack::Stack;
+use dash_transport::stack::StackBuilder;
 use dash_transport::stream::StreamProfile;
 use rms_core::params::{BitErrorRate, RmsParams, SecurityParams};
 
@@ -70,15 +70,18 @@ pub fn e1_security() -> Table {
             let n = b.network(make_net(kind));
             let ha = b.host_on(n);
             let hb = b.host_on(n);
-            let stack = Stack::new(b.build(), StConfig::default())
-                .with_cpus(SchedPolicy::Edf, SimDuration::from_micros(5));
+            let stack = StackBuilder::new(b.build())
+                .cpus(SchedPolicy::Edf, SimDuration::from_micros(5))
+                .build();
             let mut sim = Sim::new(stack);
             let taps = Dispatcher::install(&mut sim, &[ha, hb]);
             // Transfer 256 KB over a stream whose data RMS requests the
             // security/BER combination under test.
-            let mut profile = StreamProfile::default();
-            profile.max_message = 1024;
-            profile.capacity = 64 * 1024;
+            let profile = StreamProfile {
+                max_message: 1024,
+                capacity: 64 * 1024,
+                ..StreamProfile::default()
+            };
             let stats = start_bulk(&mut sim, &taps, ha, hb, 256 * 1024, 1024, profile);
             // Patch the data RMS's security by requesting it at the ST
             // level: the stream profile has no security knob, so we instead
@@ -148,24 +151,30 @@ pub fn e2_scheduling() -> Table {
         let n = b.network(NetworkSpec::ethernet("lan"));
         let ha = b.host_on(n);
         let hb = b.host_on(n);
-        let mut net_config = NetConfig::default();
-        net_config.discipline = discipline;
-        // Make protocol processing expensive enough that CPU scheduling
-        // matters: 40 us fixed + 150 ns/byte per packet (the CPU, not the
-        // wire, is the contended resource, as in §4.1's protocol-process
-        // scheduling discussion).
-        net_config.per_packet_cpu = CostModel::new(
-            SimDuration::from_micros(40),
-            SimDuration::from_nanos(150),
-        );
+        let net_config = NetConfig {
+            discipline,
+            // Make protocol processing expensive enough that CPU scheduling
+            // matters: 40 us fixed + 150 ns/byte per packet (the CPU, not
+            // the wire, is the contended resource, as in §4.1's
+            // protocol-process scheduling discussion).
+            per_packet_cpu: CostModel::new(
+                SimDuration::from_micros(40),
+                SimDuration::from_nanos(150),
+            ),
+            ..NetConfig::default()
+        };
         b.config(net_config);
-        let mut st_config = StConfig::default();
-        st_config.st_cpu = CostModel::new(
-            SimDuration::from_micros(40),
-            SimDuration::from_nanos(150),
-        );
-        let stack = Stack::new(b.build(), st_config)
-            .with_cpus(policy, SimDuration::from_micros(10));
+        let st_config = StConfig {
+            st_cpu: CostModel::new(
+                SimDuration::from_micros(40),
+                SimDuration::from_nanos(150),
+            ),
+            ..StConfig::default()
+        };
+        let stack = StackBuilder::new(b.build())
+            .st_config(st_config)
+            .cpus(policy, SimDuration::from_micros(10))
+            .build();
         let mut sim = Sim::new(stack);
         let taps = Dispatcher::install(&mut sim, &[ha, hb]);
 

@@ -14,7 +14,7 @@ use dash_sim::time::{SimDuration, SimTime};
 use dash_sim::Sim;
 use dash_subtransport::engine as st_engine;
 use dash_subtransport::st::{StConfig, StEvent};
-use dash_transport::stack::{AppEvent, Stack};
+use dash_transport::stack::{AppEvent, StackBuilder};
 use dash_transport::stream::{self, StreamProfile};
 use rms_core::delay::DelayBound;
 use rms_core::message::Message;
@@ -44,9 +44,11 @@ pub fn e3_caching() -> Table {
         let n = b.network(NetworkSpec::ethernet("lan"));
         let client = b.host_on(n);
         let peers: Vec<_> = (0..3).map(|_| b.host_on(n)).collect();
-        let mut config = StConfig::default();
-        config.cache_idle_limit = idle_limit;
-        let mut sim = Sim::new(Stack::new(b.build(), config));
+        let config = StConfig {
+            cache_idle_limit: idle_limit,
+            ..StConfig::default()
+        };
+        let mut sim = Sim::new(StackBuilder::new(b.build()).st_config(config).obs(true).build());
 
         // Track creation latency through the app tap (tokens of direct ST
         // creates are unclaimed by transports and reach the tap).
@@ -58,7 +60,7 @@ pub fn e3_caching() -> Table {
             let pending = Rc::clone(&pending);
             let latencies = Rc::clone(&latencies);
             let created = Rc::clone(&created);
-            sim.state.set_app_tap(move |sim, ev| {
+            sim.state.on_app(move |sim, ev| {
                 if let AppEvent::StEvent {
                     event: StEvent::Created { token, st_rms, .. },
                     ..
@@ -90,7 +92,7 @@ pub fn e3_caching() -> Table {
             }
             sim.run();
         }
-        let stats = &sim.state.st.host(client).stats;
+        let reg = &sim.state.net.obs.registry;
         let mut l = dash_sim::stats::Histogram::new();
         for x in latencies.borrow().iter() {
             l.record(*x);
@@ -98,9 +100,9 @@ pub fn e3_caching() -> Table {
         t.row(vec![
             label.into(),
             n_creates.to_string(),
-            stats.cache_misses.get().to_string(),
-            stats.cache_hits.get().to_string(),
-            stats.cache_evictions.get().to_string(),
+            reg.counter_value("st.cache_miss").to_string(),
+            reg.counter_value("st.cache_hit").to_string(),
+            reg.counter_value("st.cache_eviction").to_string(),
             secs(l.mean()),
             secs(l.quantile(0.99)),
         ]);
@@ -137,19 +139,23 @@ pub fn e4_fragmentation() -> Table {
         let ha = b.host_on(n);
         let hb = b.host_on(n);
         // Heavy context switches make small messages expensive.
-        let stack = Stack::new(b.build(), StConfig::default())
-            .with_cpus(SchedPolicy::Edf, SimDuration::from_micros(100));
+        let stack = StackBuilder::new(b.build())
+            .cpus(SchedPolicy::Edf, SimDuration::from_micros(100))
+            .obs(true)
+            .build();
         let mut sim = Sim::new(stack);
         let taps = Dispatcher::install(&mut sim, &[ha, hb]);
-        let mut profile = StreamProfile::default();
-        profile.max_message = msg_size;
-        profile.capacity = (4 * msg_size).max(32 * 1024);
-        // Checksums on: corrupted fragments become losses.
-        profile.reliable = false;
-        profile.delay = DelayBound::best_effort_with(
-            SimDuration::from_millis(200),
-            SimDuration::from_micros(10),
-        );
+        let profile = StreamProfile {
+            max_message: msg_size,
+            capacity: (4 * msg_size).max(32 * 1024),
+            // Checksums on: corrupted fragments become losses.
+            reliable: false,
+            delay: DelayBound::best_effort_with(
+                SimDuration::from_millis(200),
+                SimDuration::from_micros(10),
+            ),
+            ..StreamProfile::default()
+        };
         let session = stream::open(&mut sim, ha, hb, profile).unwrap();
         let delivered = Rc::new(RefCell::new((0u64, 0u64))); // (msgs, bytes)
         let d2 = Rc::clone(&delivered);
@@ -173,9 +179,10 @@ pub fn e4_fragmentation() -> Table {
         let elapsed = sim.now().saturating_since(t0).as_secs_f64();
         let (msgs, bytes) = *delivered.borrow();
         let frags = {
-            let sta = &sim.state.st.host(ha).stats;
-            if sta.msgs_fragmented.get() > 0 {
-                sta.fragments_sent.get() as f64 / sta.msgs_fragmented.get() as f64
+            let reg = &sim.state.net.obs.registry;
+            let fragmented = reg.counter_value("st.msg_fragmented");
+            if fragmented > 0 {
+                reg.counter_value("st.fragment_sent") as f64 / fragmented as f64
             } else {
                 1.0
             }
@@ -227,22 +234,26 @@ pub fn e9_piggyback() -> Table {
         ("on", true, 4),
         ("on", true, 16),
     ] {
-        let mut config = StConfig::default();
-        config.piggyback = piggyback;
-        config.piggyback_slack = SimDuration::from_millis(slack_ms);
+        let config = StConfig {
+            piggyback,
+            piggyback_slack: SimDuration::from_millis(slack_ms),
+            ..StConfig::default()
+        };
         let mut b = TopologyBuilder::new();
         let n = b.network(NetworkSpec::ethernet("lan"));
         let ha = b.host_on(n);
         let hb = b.host_on(n);
-        let mut sim = Sim::new(Stack::new(b.build(), config));
+        let mut sim = Sim::new(StackBuilder::new(b.build()).st_config(config).obs(true).build());
         let taps = Dispatcher::install(&mut sim, &[ha, hb]);
-        let mut profile = StreamProfile::default();
-        profile.capacity = 8 * 1024;
-        profile.max_message = 128;
-        profile.delay = DelayBound::best_effort_with(
-            SimDuration::from_millis(60),
-            SimDuration::from_micros(10),
-        );
+        let profile = StreamProfile {
+            capacity: 8 * 1024,
+            max_message: 128,
+            delay: DelayBound::best_effort_with(
+                SimDuration::from_millis(60),
+                SimDuration::from_micros(10),
+            ),
+            ..StreamProfile::default()
+        };
         let sessions: Vec<u64> = (0..4)
             .map(|_| stream::open(&mut sim, ha, hb, profile.clone()).unwrap())
             .collect();
@@ -267,7 +278,7 @@ pub fn e9_piggyback() -> Table {
             });
         }
         sim.run();
-        let base = sim.state.st.host(ha).stats.net_msgs_sent.get();
+        let base = sim.state.net.obs.registry.counter_value("st.net_msg_sent");
         let n_msgs = 400usize;
         let mut rng = dash_sim::rng::Rng::new(77);
         for i in 0..n_msgs {
@@ -277,24 +288,24 @@ pub fn e9_piggyback() -> Table {
             sim.run_until(sim.now() + SimDuration::from_secs_f64(gap));
         }
         sim.run();
-        let sta = &sim.state.st.host(ha).stats;
-        let net_msgs = sta.net_msgs_sent.get() - base;
+        let reg = &sim.state.net.obs.registry;
+        let net_msgs = reg.counter_value("st.net_msg_sent") - base;
+        let bundled = reg.counter_value("st.msg_bundled");
+        // Late deliveries per receiving stream: the registry keys them as
+        // "st.late.<st_rms>", so sum every per-stream counter.
+        let late: u64 = reg
+            .counters()
+            .filter(|(name, _)| name.starts_with("st.late."))
+            .map(|(_, v)| v)
+            .sum();
         let ds = delays.borrow();
         let mean = ds.iter().sum::<f64>() / ds.len().max(1) as f64;
-        let late: u64 = sim
-            .state
-            .st
-            .host(hb)
-            .streams
-            .values()
-            .map(|s| s.late.get())
-            .sum();
         t.row(vec![
             label.into(),
             format!("{slack_ms}ms"),
             net_msgs.to_string(),
-            sta.msgs_bundled.get().to_string(),
-            pct(sta.msgs_bundled.get() as f64 / n_msgs as f64),
+            bundled.to_string(),
+            pct(bundled as f64 / n_msgs as f64),
             secs(mean),
             order_ok.borrow().to_string(),
             late.to_string(),

@@ -15,7 +15,7 @@ use dash_sim::time::SimDuration;
 use dash_sim::Sim;
 use dash_subtransport::st::StConfig;
 use dash_transport::flow::CapacityEnforcement;
-use dash_transport::stack::Stack;
+use dash_transport::stack::{Stack, StackBuilder};
 use dash_transport::stream::{self, StreamProfile};
 use dash_transport::rkom;
 use rms_core::delay::DelayBound;
@@ -28,7 +28,7 @@ fn lan_stack() -> (Sim<Stack>, dash_net::HostId, dash_net::HostId) {
     let n = b.network(NetworkSpec::ethernet("lan"));
     let a = b.host_on(n);
     let c = b.host_on(n);
-    (Sim::new(Stack::new(b.build(), StConfig::default())), a, c)
+    (Sim::new(StackBuilder::new(b.build()).obs(true).build()), a, c)
 }
 
 /// fig1_layering — the same upper stack runs unchanged over different
@@ -59,11 +59,11 @@ pub fn fig1_layering() -> Table {
                 let n = tb.network(NetworkSpec::fast_lan("fast"));
                 let a = tb.host_on(n);
                 let c = tb.host_on(n);
-                (Sim::new(Stack::new(tb.build(), StConfig::default())), a, c)
+                (Sim::new(StackBuilder::new(tb.build()).build()), a, c)
             }
             _ => {
                 let (net, a, b, _, _) = dumbbell();
-                (Sim::new(Stack::new(net, StConfig::default())), a, b)
+                (Sim::new(StackBuilder::new(net).build()), a, b)
             }
         };
         let taps = Dispatcher::install(&mut sim, &[a, b]);
@@ -99,7 +99,7 @@ pub fn fig1_layering() -> Table {
 /// every layer's activity.
 pub fn fig2_architecture() -> Table {
     let (net, a, b, _, _) = dumbbell();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).obs(true).build());
     let taps = Dispatcher::install(&mut sim, &[a, b]);
     // One RKOM call.
     let latency = Rc::new(RefCell::new(0.0f64));
@@ -130,38 +130,60 @@ pub fn fig2_architecture() -> Table {
         "stream protocols and RKOM ride on ST RMSs; the ST multiplexes onto network RMSs over a control channel",
     );
     t.columns(&["layer", "activity", "count"]);
-    let sta = &sim.state.st.host(a).stats;
+    // Every count below comes from the cross-layer metric registry fed by
+    // typed ObsEvents (dash_sim::obs), not from layer-private counters.
+    let reg = &sim.state.net.obs.registry;
     t.row(vec!["transport/RKOM".into(), "call round-trip latency".into(), secs(*latency.borrow())]);
     t.row(vec!["transport/stream".into(), "messages delivered".into(), got.borrow().to_string()]);
-    t.row(vec!["subtransport".into(), "control channels created".into(), sta.control_created.get().to_string()]);
-    t.row(vec!["subtransport".into(), "hello handshakes sent".into(), sta.hellos_sent.get().to_string()]);
-    t.row(vec!["subtransport".into(), "ST RMS creates requested".into(), sta.creates_requested.get().to_string()]);
-    t.row(vec!["subtransport".into(), "data network RMSs created".into(), sta.cache_misses.get().to_string()]);
-    t.row(vec!["subtransport".into(), "net messages sent".into(), sta.net_msgs_sent.get().to_string()]);
-    t.row(vec!["network".into(), "packets sent".into(), sim.state.net.stats.packets_sent.get().to_string()]);
-    t.row(vec!["network".into(), "packets delivered".into(), sim.state.net.stats.packets_delivered.get().to_string()]);
+    t.row(vec!["subtransport".into(), "control channels created".into(), reg.counter_value("st.control_created").to_string()]);
+    t.row(vec!["subtransport".into(), "hello handshakes sent".into(), reg.counter_value("st.hello_sent").to_string()]);
+    t.row(vec!["subtransport".into(), "ST RMS creates requested".into(), reg.counter_value("st.create_requested").to_string()]);
+    t.row(vec!["subtransport".into(), "data network RMSs created".into(), reg.counter_value("st.cache_miss").to_string()]);
+    t.row(vec!["subtransport".into(), "net messages sent".into(), reg.counter_value("st.net_msg_sent").to_string()]);
+    t.row(vec!["network".into(), "packets sent".into(), reg.counter_value("net.packet_sent").to_string()]);
+    t.row(vec!["network".into(), "packets delivered".into(), reg.counter_value("net.packet_delivered").to_string()]);
     t
 }
 
 /// fig3_rms_levels — the delay bound of a high-level RMS decomposes into
 /// per-stage budgets (Figure 3, §3.4, §4.1).
 pub fn fig3_rms_levels() -> Table {
+    fig3_run().0
+}
+
+/// [`fig3_rms_levels`] plus the full metric registry as JSON Lines (one
+/// object per counter/gauge/histogram) for machine consumption.
+pub fn fig3_rms_levels_json() -> (Table, String) {
+    fig3_run()
+}
+
+fn fig3_run() -> (Table, String) {
     // Piggybacking off: bundles would skew the per-stage delay attribution
     // (a bundle's network delay is measured from its oldest component).
-    let mut config = StConfig::default();
-    config.piggyback = false;
+    let config = StConfig {
+        piggyback: false,
+        ..StConfig::default()
+    };
     let mut tb = TopologyBuilder::new();
     let n = tb.network(NetworkSpec::ethernet("lan"));
     let a = tb.host_on(n);
     let b = tb.host_on(n);
-    let mut sim = Sim::new(Stack::new(tb.build(), config));
-    let taps = Dispatcher::install(&mut sim, &[a, b]);
-    let mut profile = StreamProfile::default();
-    profile.max_message = 512;
-    profile.delay = DelayBound::best_effort_with(
-        SimDuration::from_millis(50),
-        SimDuration::from_micros(10),
+    let mut sim = Sim::new(
+        StackBuilder::new(tb.build())
+            .st_config(config)
+            .obs(true)
+            .retain_spans(true)
+            .build(),
     );
+    let taps = Dispatcher::install(&mut sim, &[a, b]);
+    let profile = StreamProfile {
+        max_message: 512,
+        delay: DelayBound::best_effort_with(
+            SimDuration::from_millis(50),
+            SimDuration::from_micros(10),
+        ),
+        ..StreamProfile::default()
+    };
     let session = stream::open(&mut sim, a, b, profile).unwrap();
     let delays = Rc::new(RefCell::new(Vec::new()));
     let d2 = Rc::clone(&delays);
@@ -178,7 +200,6 @@ pub fn fig3_rms_levels() -> Table {
     sim.run();
 
     // Stage budgets: the ST negotiated bound vs the network RMS bound.
-    let st_stream_id = dash_subtransport::ids::StRmsId(1);
     let st_bound = sim
         .state
         .st
@@ -188,7 +209,6 @@ pub fn fig3_rms_levels() -> Table {
         .find(|s| s.role == dash_subtransport::StRole::Sender)
         .map(|s| s.params.delay.bound_for(430))
         .unwrap_or(SimDuration::ZERO);
-    let _ = st_stream_id;
     let net_bound = sim
         .state
         .st
@@ -198,29 +218,17 @@ pub fn fig3_rms_levels() -> Table {
         .and_then(|p| p.data.values().next())
         .map(|d| d.params.delay.bound_for(460))
         .unwrap_or(SimDuration::ZERO);
-    // Measured: network-level delays on the data RMS at b, ST-level
-    // delivery delays at b's ST stream, and the client-observed delays.
-    let net_mean = sim
-        .state
-        .net
-        .host(b)
-        .rms
-        .values()
-        .filter(|r| r.stats.delivered.get() > 10)
-        .map(|r| r.stats.delays.mean())
-        .fold(0.0f64, f64::max);
-    let st_delays: Vec<f64> = sim
-        .state
-        .st
-        .host(b)
-        .streams
-        .values()
-        .filter(|s| s.delivered.get() > 10)
-        .map(|s| s.delays.mean())
-        .collect();
-    let st_mean = st_delays.iter().copied().fold(0.0f64, f64::max);
+    // Measured: every latency below comes from message lifecycle spans
+    // (dash_sim::obs) — each delivered message carried a span id from the
+    // transport send through ST, the interface queue, and the wire to port
+    // delivery, and the registry aggregated the per-stage intervals.
+    let spans_completed = sim.state.net.obs.spans().len();
     let ds = delays.borrow();
     let app_mean = ds.iter().sum::<f64>() / ds.len().max(1) as f64;
+    let reg = &mut sim.state.net.obs.registry;
+    let net_mean = reg.histogram("span.net").mean();
+    let st_mean = reg.histogram("span.st").mean();
+    let e2e_mean = reg.histogram("span.e2e").mean();
 
     let mut t = Table::new(
         "fig3_rms_levels",
@@ -230,10 +238,31 @@ pub fn fig3_rms_levels() -> Table {
     t.columns(&["stage", "budget (bound)", "measured mean"]);
     t.row(vec!["network RMS".into(), secs(net_bound.as_secs_f64()), secs(net_mean)]);
     t.row(vec!["ST RMS (adds queueing+cpu)".into(), secs(st_bound.as_secs_f64()), secs(st_mean)]);
+    t.row(vec!["span end-to-end".into(), secs(st_bound.as_secs_f64()), secs(e2e_mean)]);
     t.row(vec!["client-observed".into(), secs(st_bound.as_secs_f64()), secs(app_mean)]);
-    t.note(format!("messages delivered: {}", ds.len()));
+    // Per-stage budget table: consecutive span intervals. Stage names come
+    // from Stage::interval(); each row is the latency from that stage to
+    // the next one the message passed through.
+    for (interval, label) in [
+        ("transport", "  transport send -> ST send"),
+        ("st_tx", "  ST send -> net send"),
+        ("net_tx", "  net send -> iface enqueue"),
+        ("queue", "  iface queue wait"),
+        ("wire", "  wire + propagation"),
+        ("st_rx", "  net recv -> port delivery"),
+    ] {
+        let name = format!("span.stage.{interval}");
+        if reg.has_histogram(&name) {
+            t.row(vec![label.into(), "-".into(), secs(reg.histogram(&name).mean())]);
+        }
+    }
+    t.note(format!(
+        "messages delivered: {} (lifecycle spans completed: {spans_completed})",
+        ds.len()
+    ));
     t.note("invariant: measured(network) <= measured(ST) <= ST bound");
-    t
+    let json = reg.to_json_lines();
+    (t, json)
 }
 
 /// fig4_multiplexing — piggybacking and upward multiplexing (Figure 4,
@@ -255,23 +284,32 @@ pub fn fig4_multiplexing() -> Table {
     ]);
     for piggyback in [false, true] {
         for interval_us in [200u64, 1_000, 5_000] {
-            let mut config = StConfig::default();
-            config.piggyback = piggyback;
-            config.piggyback_slack = SimDuration::from_millis(2);
+            let config = StConfig {
+                piggyback,
+                piggyback_slack: SimDuration::from_millis(2),
+                ..StConfig::default()
+            };
             let mut b = TopologyBuilder::new();
             let n = b.network(NetworkSpec::ethernet("lan"));
             let ha = b.host_on(n);
             let hb = b.host_on(n);
-            let mut sim = Sim::new(Stack::new(b.build(), StConfig { ..config }));
+            let mut sim = Sim::new(
+                StackBuilder::new(b.build())
+                    .st_config(StConfig { ..config })
+                    .obs(true)
+                    .build(),
+            );
             let taps = Dispatcher::install(&mut sim, &[ha, hb]);
             // Three ST streams multiplexed onto one data network RMS.
-            let mut profile = StreamProfile::default();
-            profile.capacity = 8 * 1024;
-            profile.max_message = 128;
-            profile.delay = DelayBound::best_effort_with(
-                SimDuration::from_millis(50),
-                SimDuration::from_micros(10),
-            );
+            let profile = StreamProfile {
+                capacity: 8 * 1024,
+                max_message: 128,
+                delay: DelayBound::best_effort_with(
+                    SimDuration::from_millis(50),
+                    SimDuration::from_micros(10),
+                ),
+                ..StreamProfile::default()
+            };
             let sessions: Vec<u64> = (0..3)
                 .map(|_| stream::open(&mut sim, ha, hb, profile.clone()).unwrap())
                 .collect();
@@ -285,7 +323,7 @@ pub fn fig4_multiplexing() -> Table {
                 });
             }
             sim.run();
-            let base_msgs = sim.state.st.host(ha).stats.net_msgs_sent.get();
+            let base_msgs = sim.state.net.obs.registry.counter_value("st.net_msg_sent");
             let n_msgs = 300usize;
             for i in 0..n_msgs {
                 let s = sessions[i % 3];
@@ -293,8 +331,9 @@ pub fn fig4_multiplexing() -> Table {
                 sim.run_until(sim.now() + SimDuration::from_nanos(interval_us * 1_000));
             }
             sim.run();
-            let sta = &sim.state.st.host(ha).stats;
-            let net_msgs = sta.net_msgs_sent.get() - base_msgs;
+            let reg = &sim.state.net.obs.registry;
+            let net_msgs = reg.counter_value("st.net_msg_sent") - base_msgs;
+            let bundled = reg.counter_value("st.msg_bundled");
             let ds = delays.borrow();
             let mean = ds.iter().sum::<f64>() / ds.len().max(1) as f64;
             t.row(vec![
@@ -303,7 +342,7 @@ pub fn fig4_multiplexing() -> Table {
                 n_msgs.to_string(),
                 net_msgs.to_string(),
                 f(net_msgs as f64 / n_msgs as f64),
-                sta.msgs_bundled.get().to_string(),
+                bundled.to_string(),
                 secs(mean),
             ]);
         }
@@ -332,24 +371,27 @@ pub fn fig5_flow_control() -> Table {
     ]);
     let cases: Vec<(&str, StreamProfile)> = vec![
         ("none", {
-            let mut p = StreamProfile::default();
-            p.max_message = 1024;
-            p.capacity = 32 * 1024;
-            p
+            StreamProfile {
+                max_message: 1024,
+                capacity: 32 * 1024,
+                ..StreamProfile::default()
+            }
         }),
         ("rate-based capacity", {
-            let mut p = StreamProfile::default();
-            p.max_message = 1024;
-            p.capacity = 32 * 1024;
-            p.enforcement = CapacityEnforcement::RateBased;
-            p
+            StreamProfile {
+                max_message: 1024,
+                capacity: 32 * 1024,
+                enforcement: CapacityEnforcement::RateBased,
+                ..StreamProfile::default()
+            }
         }),
         ("ack-based capacity (fast acks)", {
-            let mut p = StreamProfile::default();
-            p.max_message = 1024;
-            p.capacity = 32 * 1024;
-            p.enforcement = CapacityEnforcement::AckBased;
-            p
+            StreamProfile {
+                max_message: 1024,
+                capacity: 32 * 1024,
+                enforcement: CapacityEnforcement::AckBased,
+                ..StreamProfile::default()
+            }
         }),
         ("capacity+receiver-fc+reliable (end-to-end)", {
             let mut p = StreamProfile::bulk();
@@ -367,12 +409,11 @@ pub fn fig5_flow_control() -> Table {
         sim.run();
         let s = stats.borrow();
         let (reverse, blocked, delivered) = {
-            let tx = sim.state.stream.session(a, 1);
-            let rx = sim.state.stream.session(b, 1);
-            let acks = rx.map(|r| r.stats.acks_sent.get()).unwrap_or(0);
-            let fast = sim.state.st.host(b).stats.fast_acks_sent.get();
-            let blocked = tx.map(|x| x.stats.sender_blocked.get()).unwrap_or(0);
-            let delivered = rx.map(|r| r.stats.delivered.get()).unwrap_or(0);
+            let reg = &sim.state.net.obs.registry;
+            let acks = reg.counter_value("stream.ack_sent");
+            let fast = reg.counter_value("st.fast_ack_sent");
+            let blocked = reg.counter_value("stream.sender_blocked");
+            let delivered = reg.counter_value("stream.deliver");
             (acks + fast, blocked, delivered)
         };
         let time = s

@@ -19,8 +19,11 @@ pub mod table;
 
 pub use table::Table;
 
+/// An experiment entry point: runs the scenario and renders its table.
+pub type Experiment = fn() -> Table;
+
 /// Every experiment, in DESIGN.md order.
-pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
+pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
     vec![
         ("fig1_layering", figs::fig1_layering as fn() -> Table),
         ("fig2_architecture", figs::fig2_architecture),

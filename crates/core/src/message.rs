@@ -22,7 +22,7 @@ impl fmt::Display for Label {
 ///
 /// Payloads are reference-counted ([`Bytes`]) so retransmission and
 /// piggybacking never copy message bodies.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Message {
     /// Optional label identifying the sender (verified when the RMS is
     /// authenticated).
@@ -30,8 +30,21 @@ pub struct Message {
     /// Optional label identifying the intended receiver (enforced when the
     /// RMS is private).
     pub target: Option<Label>,
+    /// Optional observability span id threading this message through the
+    /// stack's lifecycle stages (see `dash_sim::obs`). `None` unless an
+    /// observability sink is active. Excluded from equality: a delivered
+    /// copy compares equal to the original even though it acquired a span.
+    pub span: Option<u64>,
     payload: Bytes,
 }
+
+impl PartialEq for Message {
+    fn eq(&self, other: &Self) -> bool {
+        self.source == other.source && self.target == other.target && self.payload == other.payload
+    }
+}
+
+impl Eq for Message {}
 
 impl Message {
     /// A message with the given payload and no labels.
@@ -39,6 +52,7 @@ impl Message {
         Message {
             source: None,
             target: None,
+            span: None,
             payload: payload.into(),
         }
     }
@@ -48,8 +62,15 @@ impl Message {
         Message {
             source: Some(source),
             target: Some(target),
+            span: None,
             payload: payload.into(),
         }
+    }
+
+    /// Attach a lifecycle span id (builder style).
+    pub fn with_span(mut self, span: u64) -> Self {
+        self.span = Some(span);
+        self
     }
 
     /// A zero-filled message of `len` bytes — the standard synthetic
@@ -94,6 +115,7 @@ impl Message {
             out.push(Message {
                 source: self.source,
                 target: self.target,
+                span: self.span,
                 payload: part,
             });
         }

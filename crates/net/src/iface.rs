@@ -209,6 +209,7 @@ mod tests {
                 target: None,
                 mac: None,
                 checksum: None,
+                span: None,
             }),
             deadline: SimTime::from_nanos(deadline_ns),
             sent_at: SimTime::ZERO,

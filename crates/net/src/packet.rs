@@ -41,6 +41,10 @@ pub struct DataPacket {
     pub mac: Option<u64>,
     /// Software checksum value, when the plan includes one.
     pub checksum: Option<u32>,
+    /// Observability span id riding with the payload (`dash_sim::obs`).
+    /// Carried only while a sink is active; treated as metadata, not
+    /// wire bytes, so enabling observability never perturbs timing.
+    pub span: Option<u64>,
 }
 
 /// Packet kinds.
@@ -184,6 +188,14 @@ impl Packet {
     pub fn is_control(&self) -> bool {
         !matches!(self.kind, PacketKind::Data(_) | PacketKind::Raw { .. })
     }
+
+    /// Observability span id, when this is a data packet carrying one.
+    pub fn span(&self) -> Option<u64> {
+        match &self.kind {
+            PacketKind::Data(d) => d.span,
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +214,7 @@ mod tests {
                 target: None,
                 mac: None,
                 checksum: None,
+                span: None,
             }),
             deadline: SimTime::ZERO,
             sent_at: SimTime::ZERO,

@@ -10,6 +10,7 @@ use dash_security::cipher::{decrypt, encrypt, Key};
 use dash_security::mac;
 use dash_security::suite::{select_mechanisms, MechanismPlan, NetworkCapabilities};
 use dash_sim::engine::Sim;
+use dash_sim::obs::ObsEvent;
 use dash_sim::time::{SimDuration, SimTime};
 use rms_core::compat::{negotiate, RmsRequest, ServiceTable};
 use rms_core::error::{FailReason, RejectReason, RmsError};
@@ -325,6 +326,16 @@ fn start_create_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: C
                     rms_core::admission::Admission::Denied { detail } => detail,
                     rms_core::admission::Admission::Admitted => unreachable!(),
                 };
+                let net = sim.state.net();
+                if net.obs.is_active() {
+                    net.obs.emit(
+                        now,
+                        ObsEvent::AdmissionDecision {
+                            host: creator.0,
+                            admitted: false,
+                        },
+                    );
+                }
                 W::rms_event(
                     sim,
                     creator,
@@ -336,6 +347,15 @@ fn start_create_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: C
                 return;
             }
             let net = sim.state.net();
+            if net.obs.is_active() {
+                net.obs.emit(
+                    now,
+                    ObsEvent::AdmissionDecision {
+                        host: creator.0,
+                        admitted: true,
+                    },
+                );
+            }
             net.host_mut(creator)
                 .reservations
                 .insert(rms, (route.iface, params.clone()));
@@ -485,6 +505,20 @@ pub fn send_on_rms<W: NetWorld>(
     };
     let sent_at = sent_at.unwrap_or(now);
     let len = msg.len() as u64;
+    {
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::NetSend {
+                    host: host.0,
+                    rms: rms.0,
+                    bytes: len,
+                    span: msg.span,
+                },
+            );
+        }
+    }
     let cost = sim
         .state
         .net_ref()
@@ -546,6 +580,7 @@ pub fn send_on_rms<W: NetWorld>(
                     target: msg.target,
                     mac: tag,
                     checksum,
+                    span: msg.span,
                 }),
                 deadline,
                 sent_at,
@@ -616,7 +651,33 @@ pub fn route_and_enqueue<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Pa
             _ => 0,
         };
         let dst = packet.dst;
+        let span = packet.span();
         let ok = net.host_mut(host).ifaces[route.iface].enqueue(now, packet);
+        if net.obs.is_active() {
+            net.obs.emit(now, ObsEvent::NetPacketSent { host: host.0 });
+            if ok {
+                let iface = &net.host(host).ifaces[route.iface];
+                let (queued_packets, queued_bytes) = (iface.queued_packets(), iface.queued_bytes());
+                net.obs.emit(
+                    now,
+                    ObsEvent::IfaceEnqueue {
+                        host: host.0,
+                        iface: route.iface,
+                        span,
+                        queued_packets,
+                        queued_bytes,
+                    },
+                );
+            } else {
+                net.obs.emit(
+                    now,
+                    ObsEvent::IfaceDrop {
+                        host: host.0,
+                        iface: route.iface,
+                    },
+                );
+            }
+        }
         if !ok {
             net.stats.overflow_drops.incr();
             let quench = (is_raw && net.config.quench_enabled && src != host)
@@ -677,8 +738,21 @@ pub fn start_tx<W: NetWorld>(sim: &mut Sim<W>, host: HostId, iface_idx: usize) {
         let bytes = packet.wire_bytes();
         iface.stats.tx_packets.incr();
         iface.stats.tx_bytes.add(bytes);
+        let (queued_packets, queued_bytes) = (iface.queued_packets(), iface.queued_bytes());
         let rate = net.network(network_id).spec.rate_bps;
         let tx_time = SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate);
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::IfaceDequeue {
+                    host: host.0,
+                    iface: iface_idx,
+                    span: packet.span(),
+                    queued_packets,
+                    queued_bytes,
+                },
+            );
+        }
         (packet, network_id, tx_time)
     };
     sim.schedule_in(tx_time, move |sim| {
@@ -853,12 +927,23 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
                     Ok(route)
                 } else {
                     let admitted = h.ifaces[route.iface].ledger.admit(&params);
-                    if admitted.is_admitted() {
+                    let ok = admitted.is_admitted();
+                    let verdict = if ok {
                         h.reservations.insert(rms, (route.iface, params.clone()));
                         Ok(route)
                     } else {
                         Err(NakReason::Admission)
+                    };
+                    if net.obs.is_active() {
+                        net.obs.emit(
+                            now,
+                            ObsEvent::AdmissionDecision {
+                                host: host.0,
+                                admitted: ok,
+                            },
+                        );
                     }
+                    verdict
                 }
             }
         }
@@ -1067,6 +1152,21 @@ fn handle_data<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
         }
     };
     let len = data.payload.len() as u64;
+    {
+        let now = sim.now();
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::NetRecv {
+                    host: host.0,
+                    rms: rms.0,
+                    seq: data.seq,
+                    span: data.span,
+                },
+            );
+        }
+    }
     let cost = sim
         .state
         .net_ref()
@@ -1176,6 +1276,7 @@ fn deliver_data<W: NetWorld>(
             let mut m = Message::new(payload);
             m.source = data.source;
             m.target = data.target;
+            m.span = data.span;
             m
         };
         if reliable {
@@ -1189,6 +1290,7 @@ fn deliver_data<W: NetWorld>(
                             let mut m = Message::new(b.payload);
                             m.source = b.source;
                             m.target = b.target;
+                            m.span = b.span;
                             deliveries.push((next, m, b.sent_at));
                             state.last_delivered = Some(next);
                         }
@@ -1203,6 +1305,7 @@ fn deliver_data<W: NetWorld>(
                         source: data.source,
                         target: data.target,
                         sent_at,
+                        span: data.span,
                     },
                 );
                 if state.reorder.len() > REORDER_FAIL_THRESHOLD {
@@ -1242,7 +1345,19 @@ fn deliver_data<W: NetWorld>(
     }
     // Stage 2: hand off to the world.
     for (seq, msg, s_at) in deliveries {
-        sim.state.net().stats.packets_delivered.incr();
+        let net = sim.state.net();
+        net.stats.packets_delivered.incr();
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::NetPacketDelivered {
+                    host: host.0,
+                    rms: rms_id.0,
+                    seq,
+                    span: msg.span,
+                },
+            );
+        }
         let info = DeliveryInfo {
             sent_at: s_at,
             delivered_at: now,

@@ -55,6 +55,8 @@ pub struct Buffered {
     pub target: Option<Label>,
     /// Original send time.
     pub sent_at: SimTime,
+    /// Observability span id riding with the message.
+    pub span: Option<u64>,
 }
 
 /// When a reliable stream's reorder buffer exceeds this many messages the

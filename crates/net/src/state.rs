@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use dash_sim::engine::{Sim, TimerHandle};
+use dash_sim::obs::Obs;
 use dash_sim::rng::Rng;
 use dash_sim::stats::Counter;
 use dash_sim::time::{SimDuration, SimTime};
@@ -169,6 +170,10 @@ pub struct NetState {
     pub rng: Rng,
     /// Debug trace.
     pub trace: Trace,
+    /// Cross-layer observability: typed events, metric registry, and
+    /// message lifecycle spans (see [`dash_sim::obs`]). Inert until
+    /// [`Obs::enable`] or a sink is installed.
+    pub obs: Obs,
     /// Global statistics.
     pub stats: NetStats,
     next_rms: u64,
@@ -185,6 +190,7 @@ impl NetState {
             hosts: Vec::new(),
             rng: Rng::new(seed),
             trace: Trace::default(),
+            obs: Obs::new(),
             stats: NetStats::default(),
             next_rms: 1,
             next_token: 1,
@@ -324,6 +330,10 @@ pub enum NetRmsEvent {
     },
 }
 
+/// Continuation run when a charged CPU job completes
+/// (see [`NetWorld::charge_cpu`]).
+pub type CpuCont<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
 /// The world-state contract between the network layer and whatever runs
 /// above it.
 pub trait NetWorld: Sized + 'static {
@@ -346,7 +356,7 @@ pub trait NetWorld: Sized + 'static {
         cost: SimDuration,
         deadline: SimTime,
         stream: u64,
-        cont: Box<dyn FnOnce(&mut Sim<Self>)>,
+        cont: CpuCont<Self>,
     ) {
         let _ = (deadline, stream);
         fifo_charge_cpu(sim, host, cost, cont);
@@ -392,7 +402,7 @@ pub fn fifo_charge_cpu<W: NetWorld>(
     sim: &mut Sim<W>,
     host: HostId,
     cost: SimDuration,
-    cont: Box<dyn FnOnce(&mut Sim<W>)>,
+    cont: CpuCont<W>,
 ) {
     let now = sim.now();
     let h = sim.state.net().host_mut(host);

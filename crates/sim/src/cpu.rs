@@ -47,8 +47,11 @@ pub struct Job<S> {
     /// CPU time the job consumes.
     pub cost: SimDuration,
     /// Continuation run when the job completes.
-    pub cont: Box<dyn FnOnce(&mut Sim<S>)>,
+    pub cont: JobCont<S>,
 }
+
+/// Continuation run when a [`Job`] completes.
+pub type JobCont<S> = Box<dyn FnOnce(&mut Sim<S>)>;
 
 impl<S> std::fmt::Debug for Job<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -68,7 +71,7 @@ struct ReadyJob<S> {
 }
 
 struct Running<S> {
-    cont: Option<Box<dyn FnOnce(&mut Sim<S>)>>,
+    cont: Option<JobCont<S>>,
     deadline: SimTime,
     finish_at: SimTime,
 }

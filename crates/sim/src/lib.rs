@@ -32,11 +32,13 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Event, Sim, TimerHandle};
+pub use obs::{JsonLinesSink, MetricRegistry, Obs, ObsEvent, ObsSink, SpanRecord, Stage};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,1153 @@
+//! Cross-layer observability: typed events, a metric registry, and message
+//! lifecycle spans.
+//!
+//! The paper's central quantitative claims are about *where time goes
+//! inside the stack* (per-layer delay budgets, Fig. 3 / §3.4 / §4.1), so
+//! measurement cannot be an afterthought bolted onto each experiment.
+//! This module is the measurement plane every layer reports into:
+//!
+//! - [`ObsEvent`]: one typed event enum with a variant per interesting
+//!   occurrence in every layer (admission decisions, interface queueing,
+//!   fragmentation, piggybacking, caching, ST/stream/RKOM sends and
+//!   deliveries, TCP retransmissions).
+//! - [`MetricRegistry`]: named counters, gauges, and histograms fed
+//!   automatically from events, replacing per-experiment private counter
+//!   plumbing.
+//! - Lifecycle spans: a message allocated a span id at transport `send`
+//!   carries it through ST, fragmentation, the interface queue, the wire,
+//!   and reassembly to port delivery. Each [`Stage`] is timestamped on
+//!   first occurrence, yielding a per-stage latency breakdown
+//!   ([`SpanRecord`]) that regenerates the Fig. 2/Fig. 3 budget tables.
+//!
+//! Emission is zero-cost when observability is off: every hook site guards
+//! on [`Obs::is_active`] — a single boolean load, matching the existing
+//! [`crate::trace::Trace`] discipline — and span ids are only allocated
+//! while active, so wire images and timing are bit-identical to an
+//! uninstrumented run. When active, frames carrying a span id grow by
+//! 8 bytes: an honest, visible instrumentation cost.
+//!
+//! Sinks ([`ObsSink`]) observe the raw stream: [`JsonLinesSink`] exports
+//! JSON-Lines for offline analysis, and [`TraceSink`] adapts events into
+//! the old stringly [`crate::trace::Trace`] ring buffer.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use crate::stats::{Counter, Histogram};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Open spans are capped at this many; beyond it the oldest (smallest id)
+/// is discarded. Messages lost on the wire never complete their span, and
+/// a bounded tracker keeps long lossy runs from accumulating state.
+const MAX_OPEN_SPANS: usize = 1 << 16;
+
+// ---------------------------------------------------------------------------
+// Stages and events
+// ---------------------------------------------------------------------------
+
+/// A named instant in a message's lifecycle, ordered top-of-stack to
+/// delivery. Each stage is recorded at most once per span (the first
+/// occurrence wins, so fragments and retransmissions do not distort the
+/// breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// The stream transport accepted the message (`stream::send` pump).
+    TransportSend,
+    /// The ST engine accepted the message (`engine::send`); this instant is
+    /// also the frame's `sent_at`, the delay-clock origin of §2.2.
+    StSend,
+    /// The network layer accepted the carrying message (`send_on_rms`).
+    NetSend,
+    /// The packet joined an interface transmit queue.
+    IfaceEnqueue,
+    /// The packet left the queue and started serializing onto the wire.
+    WireTx,
+    /// The packet reached the destination host's network layer.
+    NetRecv,
+    /// The ST engine delivered the (reassembled) message to its port; this
+    /// instant equals `DeliveryInfo::delivered_at`.
+    StDeliver,
+}
+
+impl Stage {
+    /// Short stable identifier (used in JSON export and metric names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::TransportSend => "transport_send",
+            Stage::StSend => "st_send",
+            Stage::NetSend => "net_send",
+            Stage::IfaceEnqueue => "iface_enqueue",
+            Stage::WireTx => "wire_tx",
+            Stage::NetRecv => "net_recv",
+            Stage::StDeliver => "st_deliver",
+        }
+    }
+
+    /// Name of the latency interval that *starts* at this stage, e.g. the
+    /// queueing delay starts at [`Stage::IfaceEnqueue`]. Used as the
+    /// registry histogram name `span.stage.<interval>`.
+    pub fn interval(self) -> &'static str {
+        match self {
+            Stage::TransportSend => "transport",
+            Stage::StSend => "st_tx",
+            Stage::NetSend => "net_tx",
+            Stage::IfaceEnqueue => "queue",
+            Stage::WireTx => "wire",
+            Stage::NetRecv => "st_rx",
+            Stage::StDeliver => "delivered",
+        }
+    }
+}
+
+/// Why a piggyback slot was flushed (public mirror of the engine's
+/// internal cause).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The coalescing timer expired (§4.2 deadline-driven flush).
+    Timer,
+    /// The pending bundle would exceed the network message size.
+    Overflow,
+    /// An incompatible frame (deadline/parameter conflict) forced it out.
+    Conflict,
+    /// A fragmented message required exclusive use of the channel.
+    Fragment,
+    /// The slot was closing.
+    Close,
+}
+
+impl FlushReason {
+    /// Short stable identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushReason::Timer => "timer",
+            FlushReason::Overflow => "overflow",
+            FlushReason::Conflict => "conflict",
+            FlushReason::Fragment => "fragment",
+            FlushReason::Close => "close",
+        }
+    }
+}
+
+/// One typed observability event. Variants carry raw ids (`u32` hosts,
+/// `u64` streams/sequences) because this crate sits below the layers that
+/// define the id newtypes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// An admission-control decision at a hop's interface ledger (§2.3).
+    AdmissionDecision {
+        /// Deciding host.
+        host: u32,
+        /// Whether the reservation was admitted.
+        admitted: bool,
+    },
+    /// A packet joined an interface transmit queue.
+    IfaceEnqueue {
+        /// Queueing host.
+        host: u32,
+        /// Interface index at that host.
+        iface: usize,
+        /// Span of the carried data, if any.
+        span: Option<u64>,
+        /// Packets waiting after the enqueue.
+        queued_packets: usize,
+        /// Bytes waiting after the enqueue.
+        queued_bytes: u64,
+    },
+    /// A packet left the queue and started transmitting ([`Stage::WireTx`]).
+    IfaceDequeue {
+        /// Transmitting host.
+        host: u32,
+        /// Interface index at that host.
+        iface: usize,
+        /// Span of the carried data, if any.
+        span: Option<u64>,
+        /// Packets still waiting after the dequeue.
+        queued_packets: usize,
+        /// Bytes still waiting after the dequeue.
+        queued_bytes: u64,
+    },
+    /// A packet was dropped at an interface for queue overflow.
+    IfaceDrop {
+        /// Dropping host.
+        host: u32,
+        /// Interface index at that host.
+        iface: usize,
+    },
+    /// The network layer accepted a message for transmission.
+    NetSend {
+        /// Sending host.
+        host: u32,
+        /// Network RMS id.
+        rms: u64,
+        /// Payload bytes.
+        bytes: u64,
+        /// Span of the message, if any.
+        span: Option<u64>,
+    },
+    /// A data packet reached the destination host's network layer.
+    NetRecv {
+        /// Receiving host.
+        host: u32,
+        /// Network RMS id.
+        rms: u64,
+        /// Packet sequence number.
+        seq: u64,
+        /// Span of the message, if any.
+        span: Option<u64>,
+    },
+    /// A packet was handed to an interface (counted once at the source).
+    NetPacketSent {
+        /// Sending host.
+        host: u32,
+    },
+    /// A packet was delivered in sequence to a receiving RMS endpoint.
+    NetPacketDelivered {
+        /// Receiving host.
+        host: u32,
+        /// Network RMS id.
+        rms: u64,
+        /// Packet sequence number.
+        seq: u64,
+        /// Span of the message, if any.
+        span: Option<u64>,
+    },
+    /// The ST engine accepted a client message ([`Stage::StSend`]).
+    StSend {
+        /// Sending host.
+        host: u32,
+        /// ST RMS id.
+        st_rms: u64,
+        /// Message sequence number.
+        seq: u64,
+        /// Payload bytes.
+        bytes: u64,
+        /// The message's span.
+        span: Option<u64>,
+    },
+    /// The ST engine delivered a message to its port
+    /// ([`Stage::StDeliver`], completing the span).
+    StDeliver {
+        /// Receiving host.
+        host: u32,
+        /// ST RMS id.
+        st_rms: u64,
+        /// Message sequence number.
+        seq: u64,
+        /// Payload bytes.
+        bytes: u64,
+        /// Whether delivery exceeded the negotiated delay bound.
+        late: bool,
+        /// The message's span.
+        span: Option<u64>,
+    },
+    /// A message was split into fragments (§4.3).
+    Fragment {
+        /// Fragmenting host.
+        host: u32,
+        /// ST RMS id.
+        st_rms: u64,
+        /// Message sequence number.
+        seq: u64,
+        /// Number of fragments produced.
+        count: u32,
+        /// The message's span.
+        span: Option<u64>,
+    },
+    /// Fragments were reassembled into a complete message (§4.3).
+    Reassemble {
+        /// Reassembling host.
+        host: u32,
+        /// ST RMS id.
+        st_rms: u64,
+        /// Message sequence number.
+        seq: u64,
+        /// The message's span.
+        span: Option<u64>,
+    },
+    /// A frame was coalesced into a pending piggyback bundle (§4.2).
+    PiggybackCoalesce {
+        /// Coalescing host.
+        host: u32,
+        /// Carrying network RMS id.
+        net_rms: u64,
+        /// Frames pending after the coalesce.
+        pending: usize,
+    },
+    /// A piggyback slot was flushed to the network (§4.2).
+    PiggybackFlush {
+        /// Flushing host.
+        host: u32,
+        /// Carrying network RMS id.
+        net_rms: u64,
+        /// Frames in the flushed bundle.
+        frames: usize,
+        /// Why the flush happened.
+        reason: FlushReason,
+    },
+    /// An ST channel-cache lookup hit (§3.2 connection caching).
+    CacheHit {
+        /// Host performing the lookup.
+        host: u32,
+    },
+    /// An ST channel-cache lookup missed.
+    CacheMiss {
+        /// Host performing the lookup.
+        host: u32,
+    },
+    /// An idle cached channel was evicted.
+    CacheEvict {
+        /// Evicting host.
+        host: u32,
+    },
+    /// The ST engine handed one network message (frame or bundle) down.
+    StNetMsg {
+        /// Sending host.
+        host: u32,
+        /// Carrying network RMS id.
+        net_rms: u64,
+        /// Encoded bytes.
+        bytes: u64,
+        /// Span carried, if any.
+        span: Option<u64>,
+    },
+    /// A fast acknowledgement was sent (§3.2).
+    FastAckSent {
+        /// Acknowledging host.
+        host: u32,
+        /// Acknowledged ST RMS id.
+        st_rms: u64,
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
+    /// A per-peer control channel finished creation (§3.2).
+    ControlCreated {
+        /// Local host.
+        host: u32,
+        /// Peer host.
+        peer: u32,
+    },
+    /// An authentication hello was sent (§3.2).
+    HelloSent {
+        /// Sending host.
+        host: u32,
+        /// Peer host.
+        peer: u32,
+    },
+    /// An ST RMS creation was requested (§2.4).
+    CreateRequested {
+        /// Requesting host.
+        host: u32,
+        /// Peer host.
+        peer: u32,
+    },
+    /// The stream transport sent a message ([`Stage::TransportSend`]).
+    TransportSend {
+        /// Sending host.
+        host: u32,
+        /// Stream session id.
+        session: u64,
+        /// Stream sequence number.
+        seq: u64,
+        /// Payload bytes.
+        bytes: u64,
+        /// The span allocated for the message.
+        span: Option<u64>,
+    },
+    /// The stream transport delivered a message in order.
+    StreamDeliver {
+        /// Receiving host.
+        host: u32,
+        /// Stream session id.
+        session: u64,
+        /// Stream sequence number.
+        seq: u64,
+    },
+    /// The stream transport sent a window acknowledgement.
+    StreamAck {
+        /// Acknowledging host.
+        host: u32,
+        /// Stream session id.
+        session: u64,
+    },
+    /// A stream sender was blocked by flow control.
+    StreamBlocked {
+        /// Blocked host.
+        host: u32,
+        /// Stream session id.
+        session: u64,
+    },
+    /// An RKOM call was issued (§3.3).
+    RkomSend {
+        /// Calling host.
+        host: u32,
+        /// Callee host.
+        peer: u32,
+        /// Call id.
+        call: u64,
+    },
+    /// An RKOM call completed with a reply (§3.3).
+    RkomDeliver {
+        /// Calling host.
+        host: u32,
+        /// Call id.
+        call: u64,
+    },
+    /// A TCP baseline connection retransmitted segments.
+    TcpRetransmit {
+        /// Retransmitting host.
+        host: u32,
+        /// Connection id.
+        conn: u64,
+        /// Segments resent.
+        segments: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The registry counter this event increments (also the JSON `name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObsEvent::AdmissionDecision { admitted: true, .. } => "net.admission_admitted",
+            ObsEvent::AdmissionDecision { admitted: false, .. } => "net.admission_rejected",
+            ObsEvent::IfaceEnqueue { .. } => "net.iface_enqueue",
+            ObsEvent::IfaceDequeue { .. } => "net.iface_dequeue",
+            ObsEvent::IfaceDrop { .. } => "net.iface_drop",
+            ObsEvent::NetSend { .. } => "net.send",
+            ObsEvent::NetRecv { .. } => "net.recv",
+            ObsEvent::NetPacketSent { .. } => "net.packet_sent",
+            ObsEvent::NetPacketDelivered { .. } => "net.packet_delivered",
+            ObsEvent::StSend { .. } => "st.send",
+            ObsEvent::StDeliver { .. } => "st.deliver",
+            ObsEvent::Fragment { .. } => "st.msg_fragmented",
+            ObsEvent::Reassemble { .. } => "st.reassembled",
+            ObsEvent::PiggybackCoalesce { .. } => "st.coalesced",
+            ObsEvent::PiggybackFlush { .. } => "st.flush",
+            ObsEvent::CacheHit { .. } => "st.cache_hit",
+            ObsEvent::CacheMiss { .. } => "st.cache_miss",
+            ObsEvent::CacheEvict { .. } => "st.cache_eviction",
+            ObsEvent::StNetMsg { .. } => "st.net_msg_sent",
+            ObsEvent::FastAckSent { .. } => "st.fast_ack_sent",
+            ObsEvent::ControlCreated { .. } => "st.control_created",
+            ObsEvent::HelloSent { .. } => "st.hello_sent",
+            ObsEvent::CreateRequested { .. } => "st.create_requested",
+            ObsEvent::TransportSend { .. } => "stream.send",
+            ObsEvent::StreamDeliver { .. } => "stream.deliver",
+            ObsEvent::StreamAck { .. } => "stream.ack_sent",
+            ObsEvent::StreamBlocked { .. } => "stream.sender_blocked",
+            ObsEvent::RkomSend { .. } => "rkom.call",
+            ObsEvent::RkomDeliver { .. } => "rkom.completed",
+            ObsEvent::TcpRetransmit { .. } => "tcp.retransmit",
+        }
+    }
+
+    /// The lifecycle stage this event timestamps, when it carries a span.
+    pub fn span_stage(&self) -> Option<(u64, Stage)> {
+        match self {
+            ObsEvent::TransportSend { span, .. } => span.map(|s| (s, Stage::TransportSend)),
+            ObsEvent::StSend { span, .. } => span.map(|s| (s, Stage::StSend)),
+            ObsEvent::NetSend { span, .. } => span.map(|s| (s, Stage::NetSend)),
+            ObsEvent::IfaceEnqueue { span, .. } => span.map(|s| (s, Stage::IfaceEnqueue)),
+            // Dequeue and transmission start are the same instant.
+            ObsEvent::IfaceDequeue { span, .. } => span.map(|s| (s, Stage::WireTx)),
+            ObsEvent::NetRecv { span, .. } => span.map(|s| (s, Stage::NetRecv)),
+            ObsEvent::StDeliver { span, .. } => span.map(|s| (s, Stage::StDeliver)),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric registry
+// ---------------------------------------------------------------------------
+
+/// Named counters, gauges, and histograms. Keys are `String` so callers may
+/// register dynamic per-stream metrics; iteration order is deterministic
+/// (sorted by name) for stable export.
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        if !self.counters.contains_key(name) {
+            self.counters.insert(name.to_string(), Counter::default());
+        }
+        self.counters.get_mut(name).expect("just inserted")
+    }
+
+    /// Current value of a counter (0 if it was never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Set the gauge named `name`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram named `name`, created on first use. Mutable access
+    /// also serves reads: quantiles sort the backing sample in place.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        if !self.histograms.contains_key(name) {
+            self.histograms.insert(name.to_string(), Histogram::default());
+        }
+        self.histograms.get_mut(name).expect("just inserted")
+    }
+
+    /// True if a histogram named `name` has recorded samples.
+    pub fn has_histogram(&self, name: &str) -> bool {
+        self.histograms.get(name).map(|h| h.count() > 0).unwrap_or(false)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Names of all histograms, sorted.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(|k| k.as_str())
+    }
+
+    /// Dump every metric as one JSON object per line (counters, gauges,
+    /// then histogram summaries with quantiles).
+    pub fn to_json_lines(&mut self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters.iter() {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{}}}\n",
+                v.get()
+            ));
+        }
+        for (name, v) in self.gauges.iter() {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{v}}}\n"
+            ));
+        }
+        for (name, h) in self.histograms.iter_mut() {
+            if h.count() == 0 {
+                continue;
+            }
+            let (mean, p50, p99) = (h.mean(), h.median(), h.quantile(0.99));
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":\"{name}\",\"count\":{},\
+                 \"mean\":{mean},\"p50\":{p50},\"p99\":{p99}}}\n",
+                h.count()
+            ));
+        }
+        out
+    }
+
+    /// Record the registry-side effects of one event.
+    fn apply(&mut self, event: &ObsEvent) {
+        self.counter(event.name()).incr();
+        match event {
+            ObsEvent::IfaceEnqueue {
+                queued_packets,
+                queued_bytes,
+                ..
+            } => {
+                self.gauge_set("net.iface_queue_packets", *queued_packets as f64);
+                self.gauge_set("net.iface_queue_bytes", *queued_bytes as f64);
+                self.histogram("net.iface_queue_depth").record(*queued_packets as f64);
+            }
+            ObsEvent::Fragment { count, .. } => {
+                self.counter("st.fragment_sent").add(*count as u64);
+            }
+            ObsEvent::PiggybackFlush { frames, reason, .. } => {
+                match reason {
+                    FlushReason::Timer => self.counter("st.flush_timer").incr(),
+                    FlushReason::Overflow => self.counter("st.flush_overflow").incr(),
+                    FlushReason::Conflict => self.counter("st.flush_conflict").incr(),
+                    FlushReason::Fragment => self.counter("st.flush_fragment").incr(),
+                    FlushReason::Close => self.counter("st.flush_close").incr(),
+                }
+                if *frames > 1 {
+                    self.counter("st.bundle_sent").incr();
+                    self.counter("st.msg_bundled").add(*frames as u64);
+                } else {
+                    self.counter("st.msg_alone").incr();
+                }
+            }
+            ObsEvent::StNetMsg { bytes, .. } => {
+                self.counter("st.net_bytes_sent").add(*bytes);
+            }
+            ObsEvent::StDeliver { late, st_rms, .. } if *late => {
+                self.counter("st.late_delivery").incr();
+                self.counter(&format!("st.late.{st_rms}")).incr();
+            }
+            ObsEvent::TcpRetransmit { segments, .. } => {
+                self.counter("tcp.segments_retransmitted").add(*segments);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// A completed message lifecycle: the stages it passed through, in the
+/// order they were first observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The span id.
+    pub span: u64,
+    /// The ST RMS it was delivered on.
+    pub stream: u64,
+    /// The delivered message's ST sequence number.
+    pub seq: u64,
+    /// `(stage, first occurrence)` pairs in observation order.
+    pub stages: Vec<(Stage, SimTime)>,
+}
+
+impl SpanRecord {
+    /// When `stage` was first observed, if it was.
+    pub fn stage_time(&self, stage: Stage) -> Option<SimTime> {
+        self.stages.iter().find(|(s, _)| *s == stage).map(|(_, t)| *t)
+    }
+
+    /// Elapsed time between two observed stages (`None` if either is
+    /// missing, saturating at zero).
+    pub fn between(&self, from: Stage, to: Stage) -> Option<SimDuration> {
+        let a = self.stage_time(from)?;
+        let b = self.stage_time(to)?;
+        Some(b.saturating_since(a))
+    }
+
+    /// End-to-end latency: first observed stage to last.
+    pub fn e2e(&self) -> SimDuration {
+        match (self.stages.first(), self.stages.last()) {
+            (Some((_, a)), Some((_, b))) => b.saturating_since(*a),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    stages: Vec<(Stage, SimTime)>,
+}
+
+/// Tracks open spans and closes them on [`Stage::StDeliver`].
+#[derive(Debug, Default)]
+struct SpanTracker {
+    open: BTreeMap<u64, OpenSpan>,
+    /// Open spans discarded because the tracker was full.
+    dropped: u64,
+}
+
+impl SpanTracker {
+    /// Record `stage` for `span` (first occurrence only). Returns the
+    /// completed record when the stage closes the span.
+    fn record(
+        &mut self,
+        span: u64,
+        stage: Stage,
+        time: SimTime,
+        stream: u64,
+        seq: u64,
+    ) -> Option<SpanRecord> {
+        let entry = self.open.entry(span).or_insert_with(|| OpenSpan { stages: Vec::new() });
+        if !entry.stages.iter().any(|(s, _)| *s == stage) {
+            entry.stages.push((stage, time));
+        }
+        if stage == Stage::StDeliver {
+            let done = self.open.remove(&span).expect("span just touched");
+            return Some(SpanRecord {
+                span,
+                stream,
+                seq,
+                stages: done.stages,
+            });
+        }
+        if self.open.len() > MAX_OPEN_SPANS {
+            self.open.pop_first();
+            self.dropped += 1;
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// A consumer of the raw observability stream. Installed via
+/// `Obs::set_sink`; both hooks default to no-ops so a sink may care about
+/// only events or only spans.
+pub trait ObsSink {
+    /// An event was emitted at `time`.
+    fn on_event(&mut self, time: SimTime, event: &ObsEvent) {
+        let _ = (time, event);
+    }
+
+    /// A message lifecycle completed.
+    fn on_span(&mut self, record: &SpanRecord) {
+        let _ = record;
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes the stream as JSON-Lines: one `{"type":"span",...}` object per
+/// delivered message and, when enabled, one `{"type":"event",...}` object
+/// per event. Hand-rolled serialization — the workspace carries no JSON
+/// dependency.
+pub struct JsonLinesSink {
+    out: Box<dyn Write>,
+    events: bool,
+}
+
+impl JsonLinesSink {
+    /// Span records only (one line per delivered message).
+    pub fn new(out: impl Write + 'static) -> Self {
+        JsonLinesSink {
+            out: Box::new(out),
+            events: false,
+        }
+    }
+
+    /// Also export every raw event (verbose).
+    pub fn with_events(mut self, on: bool) -> Self {
+        self.events = on;
+        self
+    }
+}
+
+impl ObsSink for JsonLinesSink {
+    fn on_event(&mut self, time: SimTime, event: &ObsEvent) {
+        if !self.events {
+            return;
+        }
+        let _ = writeln!(
+            self.out,
+            "{{\"type\":\"event\",\"t_ns\":{},\"name\":\"{}\",\"detail\":\"{}\"}}",
+            time.as_nanos(),
+            event.name(),
+            json_escape(&format!("{event:?}")),
+        );
+    }
+
+    fn on_span(&mut self, record: &SpanRecord) {
+        let stages: Vec<String> = record
+            .stages
+            .iter()
+            .map(|(s, t)| format!("{{\"stage\":\"{}\",\"t_ns\":{}}}", s.name(), t.as_nanos()))
+            .collect();
+        let _ = writeln!(
+            self.out,
+            "{{\"type\":\"span\",\"span\":{},\"stream\":{},\"seq\":{},\"e2e_ns\":{},\"stages\":[{}]}}",
+            record.span,
+            record.stream,
+            record.seq,
+            record.e2e().as_nanos(),
+            stages.join(","),
+        );
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Adapts typed events onto the old stringly [`Trace`] ring buffer, making
+/// `Trace` a thin sink over [`ObsEvent`] instead of a parallel mechanism.
+#[derive(Debug)]
+pub struct TraceSink {
+    /// The backing trace (read it after the run).
+    pub trace: Trace,
+}
+
+impl TraceSink {
+    /// A trace sink retaining up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        let mut trace = Trace::new(capacity);
+        trace.set_enabled(true);
+        TraceSink { trace }
+    }
+}
+
+impl ObsSink for TraceSink {
+    fn on_event(&mut self, time: SimTime, event: &ObsEvent) {
+        self.trace.record(time, event.name(), || format!("{event:?}"));
+    }
+
+    fn on_span(&mut self, record: &SpanRecord) {
+        let time = record
+            .stages
+            .last()
+            .map(|(_, t)| *t)
+            .unwrap_or(SimTime::ZERO);
+        self.trace.record(time, "span", || format!("{record:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The observability hub
+// ---------------------------------------------------------------------------
+
+/// The per-world observability hub: holds the activation flag, the metric
+/// registry, the span tracker, and the optional sink. Lives in the network
+/// layer's state so every layer reaches it through `W::net()`.
+pub struct Obs {
+    active: bool,
+    sink: Option<Box<dyn ObsSink>>,
+    /// The metric registry (readable while inactive; it is simply empty).
+    pub registry: MetricRegistry,
+    tracker: SpanTracker,
+    retain: bool,
+    completed: Vec<SpanRecord>,
+    next_span: u64,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("active", &self.active)
+            .field("sink", &self.sink.is_some())
+            .field("open_spans", &self.tracker.open.len())
+            .field("completed_spans", &self.completed.len())
+            .finish()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs {
+            active: false,
+            sink: None,
+            registry: MetricRegistry::new(),
+            tracker: SpanTracker::default(),
+            retain: false,
+            completed: Vec::new(),
+            next_span: 1,
+        }
+    }
+}
+
+impl Obs {
+    /// Inactive hub (the default embedded in every world).
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// Turn emission on without installing a sink (registry + spans only).
+    pub fn enable(&mut self) {
+        self.active = true;
+    }
+
+    /// Install a sink and activate emission.
+    pub fn set_sink(&mut self, sink: impl ObsSink + 'static) {
+        self.set_boxed_sink(Box::new(sink));
+    }
+
+    /// Install an already-boxed sink and activate emission (used by
+    /// builders that collect the sink before the world exists).
+    pub fn set_boxed_sink(&mut self, sink: Box<dyn ObsSink>) {
+        self.sink = Some(sink);
+        self.active = true;
+    }
+
+    /// Remove the sink (emission stays on if it was on).
+    pub fn take_sink(&mut self) -> Option<Box<dyn ObsSink>> {
+        self.sink.take()
+    }
+
+    /// True when hook sites should emit. This is the single cheap check on
+    /// every fast path; when false, instrumented code is a no-op.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Keep completed [`SpanRecord`]s in memory (off by default; sinks see
+    /// them either way).
+    pub fn retain_spans(&mut self, on: bool) {
+        self.retain = on;
+    }
+
+    /// Completed spans retained so far (see [`Obs::retain_spans`]).
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.completed
+    }
+
+    /// Open spans discarded because the tracker was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.tracker.dropped
+    }
+
+    /// Allocate a fresh span id, or `None` while inactive — so an idle run
+    /// never pays for (or wire-encodes) span ids.
+    pub fn start_span(&mut self) -> Option<u64> {
+        if !self.active {
+            return None;
+        }
+        let id = self.next_span;
+        self.next_span += 1;
+        Some(id)
+    }
+
+    /// Emit one event: updates the registry, advances the event's span
+    /// stage (closing the span on [`Stage::StDeliver`]), and forwards to
+    /// the sink.
+    pub fn emit(&mut self, time: SimTime, event: ObsEvent) {
+        if !self.active {
+            return;
+        }
+        self.registry.apply(&event);
+        if let Some((span, stage)) = event.span_stage() {
+            let (stream, seq) = match &event {
+                ObsEvent::StDeliver { st_rms, seq, .. } => (*st_rms, *seq),
+                _ => (0, 0),
+            };
+            if let Some(record) = self.tracker.record(span, stage, time, stream, seq) {
+                self.finish_span(&record);
+                if self.retain {
+                    self.completed.push(record);
+                }
+            }
+        }
+        if let Some(sink) = self.sink.as_mut() {
+            sink.on_event(time, &event);
+        }
+    }
+
+    /// Feed a completed span into the latency histograms and the sink.
+    fn finish_span(&mut self, record: &SpanRecord) {
+        let reg = &mut self.registry;
+        reg.histogram("span.e2e").record(record.e2e().as_secs_f64());
+        if let Some(d) = record.between(Stage::StSend, Stage::StDeliver) {
+            reg.histogram("span.st").record(d.as_secs_f64());
+        }
+        if let Some(d) = record.between(Stage::NetSend, Stage::NetRecv) {
+            reg.histogram("span.net").record(d.as_secs_f64());
+        }
+        for pair in record.stages.windows(2) {
+            let (stage, t0) = pair[0];
+            let (_, t1) = pair[1];
+            reg.histogram(&format!("span.stage.{}", stage.interval()))
+                .record(t1.saturating_since(t0).as_secs_f64());
+        }
+        if let Some(sink) = self.sink.as_mut() {
+            sink.on_span(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver_event(span: u64) -> ObsEvent {
+        ObsEvent::StDeliver {
+            host: 1,
+            st_rms: 9,
+            seq: 4,
+            bytes: 10,
+            late: false,
+            span: Some(span),
+        }
+    }
+
+    #[test]
+    fn inactive_obs_is_inert() {
+        let mut obs = Obs::new();
+        assert!(!obs.is_active());
+        assert_eq!(obs.start_span(), None);
+        obs.emit(SimTime::ZERO, ObsEvent::CacheHit { host: 0 });
+        assert_eq!(obs.registry.counter_value("st.cache_hit"), 0);
+    }
+
+    #[test]
+    fn events_feed_counters() {
+        let mut obs = Obs::new();
+        obs.enable();
+        obs.emit(SimTime::ZERO, ObsEvent::CacheHit { host: 0 });
+        obs.emit(SimTime::ZERO, ObsEvent::CacheHit { host: 0 });
+        obs.emit(
+            SimTime::ZERO,
+            ObsEvent::Fragment {
+                host: 0,
+                st_rms: 1,
+                seq: 0,
+                count: 5,
+                span: None,
+            },
+        );
+        assert_eq!(obs.registry.counter_value("st.cache_hit"), 2);
+        assert_eq!(obs.registry.counter_value("st.msg_fragmented"), 1);
+        assert_eq!(obs.registry.counter_value("st.fragment_sent"), 5);
+    }
+
+    #[test]
+    fn span_life_cycle_records_stages_in_order() {
+        let mut obs = Obs::new();
+        obs.enable();
+        obs.retain_spans(true);
+        let span = obs.start_span().unwrap();
+        let t = |ns| SimTime::from_nanos(ns);
+        obs.emit(
+            t(10),
+            ObsEvent::StSend {
+                host: 0,
+                st_rms: 9,
+                seq: 4,
+                bytes: 10,
+                span: Some(span),
+            },
+        );
+        obs.emit(
+            t(20),
+            ObsEvent::NetSend {
+                host: 0,
+                rms: 1,
+                bytes: 40,
+                span: Some(span),
+            },
+        );
+        // A second fragment hitting the same stage must not overwrite.
+        obs.emit(
+            t(25),
+            ObsEvent::NetSend {
+                host: 0,
+                rms: 1,
+                bytes: 40,
+                span: Some(span),
+            },
+        );
+        obs.emit(t(60), deliver_event(span));
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 1);
+        let rec = &spans[0];
+        assert_eq!(rec.stream, 9);
+        assert_eq!(rec.seq, 4);
+        assert_eq!(rec.stage_time(Stage::NetSend), Some(t(20)));
+        assert_eq!(rec.e2e(), SimDuration::from_nanos(50));
+        assert_eq!(
+            rec.between(Stage::StSend, Stage::StDeliver),
+            Some(SimDuration::from_nanos(50))
+        );
+        assert!(obs.registry.has_histogram("span.e2e"));
+        assert!(obs.registry.has_histogram("span.st"));
+    }
+
+    #[test]
+    fn json_lines_sink_emits_one_span_line_per_delivery() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Clone, Default)]
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared::default();
+        let mut obs = Obs::new();
+        obs.set_sink(JsonLinesSink::new(shared.clone()));
+        for _ in 0..3 {
+            let span = obs.start_span().unwrap();
+            obs.emit(
+                SimTime::from_nanos(1),
+                ObsEvent::StSend {
+                    host: 0,
+                    st_rms: 9,
+                    seq: 0,
+                    bytes: 1,
+                    span: Some(span),
+                },
+            );
+            obs.emit(SimTime::from_nanos(2), deliver_event(span));
+        }
+        let buf = shared.0.borrow();
+        let text = std::str::from_utf8(&buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            assert!(line.starts_with("{\"type\":\"span\""), "bad line: {line}");
+            assert!(line.contains("\"stage\":\"st_send\""));
+        }
+    }
+
+    #[test]
+    fn trace_sink_adapts_events() {
+        let mut obs = Obs::new();
+        obs.set_sink(TraceSink::new(16));
+        obs.emit(SimTime::from_nanos(5), ObsEvent::CacheMiss { host: 2 });
+        let sink = obs.take_sink().unwrap();
+        // The sink is opaque as a trait object; re-emit through a fresh one
+        // to check the formatting contract instead.
+        drop(sink);
+        let mut ts = TraceSink::new(16);
+        ts.on_event(SimTime::from_nanos(5), &ObsEvent::CacheMiss { host: 2 });
+        let events: Vec<_> = ts.trace.events().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].subsystem, "st.cache_miss");
+    }
+
+    #[test]
+    fn tracker_caps_open_spans() {
+        let mut obs = Obs::new();
+        obs.enable();
+        for _ in 0..(MAX_OPEN_SPANS + 10) {
+            let span = obs.start_span().unwrap();
+            obs.emit(
+                SimTime::ZERO,
+                ObsEvent::StSend {
+                    host: 0,
+                    st_rms: 1,
+                    seq: 0,
+                    bytes: 1,
+                    span: Some(span),
+                },
+            );
+        }
+        assert!(obs.spans_dropped() > 0);
+    }
+
+    #[test]
+    fn registry_json_dump_is_line_per_metric() {
+        let mut reg = MetricRegistry::new();
+        reg.counter("a.b").add(3);
+        reg.gauge_set("g", 1.5);
+        reg.histogram("h").record(0.25);
+        let dump = reg.to_json_lines();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"counter\""));
+        assert!(lines[1].contains("\"gauge\""));
+        assert!(lines[2].contains("\"histogram\""));
+    }
+}

@@ -11,6 +11,7 @@ use dash_net::ids::{HostId, NetRmsId};
 use dash_net::pipeline as net;
 use dash_net::state::NetRmsEvent;
 use dash_sim::engine::Sim;
+use dash_sim::obs::{FlushReason, ObsEvent};
 use dash_sim::time::{SimDuration, SimTime};
 use rms_core::compat::{negotiate, RmsRequest, ServiceTable};
 use rms_core::delay::DelayBoundKind;
@@ -121,6 +122,19 @@ pub fn create<W: StWorld>(
         },
     );
     st.host_mut(host).stats.creates_requested.incr();
+    {
+        let now = sim.now();
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::CreateRequested {
+                    host: host.0,
+                    peer: peer.0,
+                },
+            );
+        }
+    }
     send_ctrl(
         sim,
         host,
@@ -205,7 +219,7 @@ fn recompute_slot_capacity<W: StWorld>(
 // Control channel (§3.2)
 // ---------------------------------------------------------------------------
 
-fn peer_state<'a, W: StWorld>(sim: &'a mut Sim<W>, host: HostId, peer: HostId) -> &'a mut PeerState {
+fn peer_state<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId) -> &mut PeerState {
     sim.state
         .st()
         .host_mut(host)
@@ -328,6 +342,19 @@ fn send_hello<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId) {
         .map(|k| mac::sign(k, nonce, b"hello").0)
         .unwrap_or(0);
     sim.state.st().host_mut(host).stats.hellos_sent.incr();
+    {
+        let now = sim.now();
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::HelloSent {
+                    host: host.0,
+                    peer: peer.0,
+                },
+            );
+        }
+    }
     emit_ctrl(
         sim,
         host,
@@ -359,7 +386,7 @@ pub fn send<W: StWorld>(
     sim: &mut Sim<W>,
     host: HostId,
     st_rms: StRmsId,
-    msg: Message,
+    mut msg: Message,
 ) -> Result<u64, RmsError> {
     let now = sim.now();
     let (peer, slot, st_params, fast_ack, seq) = {
@@ -389,6 +416,27 @@ pub fn send<W: StWorld>(
     };
     sim.state.st().host_mut(host).stats.msgs_sent.incr();
     let len = msg.len() as u64;
+    {
+        // Open (or adopt) the message's lifecycle span. `now` here equals
+        // the frame's `sent_at`, so the StSend→StDeliver span interval
+        // matches `DeliveryInfo::delay` exactly.
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            if msg.span.is_none() {
+                msg.span = net.obs.start_span();
+            }
+            net.obs.emit(
+                now,
+                ObsEvent::StSend {
+                    host: host.0,
+                    st_rms: st_rms.0,
+                    seq,
+                    bytes: len,
+                    span: msg.span,
+                },
+            );
+        }
+    }
     let cost = sim.state.st_ref().config.st_cpu.cost_for(len);
     let cpu_deadline = {
         let d = now.saturating_add(st_params.delay.bound_for(len));
@@ -448,14 +496,15 @@ fn dispatch_send<W: StWorld>(
     let len = msg.len() as u64;
     let has_src = msg.source.is_some();
     let has_tgt = msg.target.is_some();
-    let frame_len = data_frame_len(len, false, has_src, has_tgt);
+    let has_span = msg.span.is_some();
+    let frame_len = data_frame_len(len, false, has_src, has_tgt, has_span);
     let net_mms = net_params.max_message_size;
 
     if frame_len > net_mms {
         // Fragmentation path (§4.3): never piggybacked; flush the queue
         // first so per-stream ordering survives.
         flush_slot(sim, host, peer, slot, FlushCause::Fragment);
-        let header = data_frame_len(0, true, has_src, has_tgt);
+        let header = data_frame_len(0, true, has_src, has_tgt, has_span);
         let chunk = (net_mms.saturating_sub(header)).max(1) as usize;
         let frames = fragment(
             st_rms,
@@ -466,6 +515,7 @@ fn dispatch_send<W: StWorld>(
             fast_ack,
             msg.source,
             msg.target,
+            msg.span,
         );
         let max_deadline = tx_max_deadline(now, &st_params, &net_params, len);
         let deadline = clamp_stream_deadline(sim, host, st_rms, max_deadline);
@@ -474,9 +524,25 @@ fn dispatch_send<W: StWorld>(
             stats.msgs_fragmented.incr();
             stats.fragments_sent.add(frames.len() as u64);
         }
+        {
+            let count = frames.len() as u32;
+            let net = sim.state.net();
+            if net.obs.is_active() {
+                net.obs.emit(
+                    now,
+                    ObsEvent::Fragment {
+                        host: host.0,
+                        st_rms: st_rms.0,
+                        seq,
+                        count,
+                        span: msg.span,
+                    },
+                );
+            }
+        }
         for f in frames {
             let payload = encode(&Frame::Data(f));
-            send_net(sim, host, net_rms, payload, deadline, sent_at);
+            send_net(sim, host, net_rms, payload, deadline, sent_at, msg.span);
         }
         touch_slot(sim, host, peer, slot, now);
         return;
@@ -490,6 +556,7 @@ fn dispatch_send<W: StWorld>(
         fast_ack,
         source: msg.source,
         target: msg.target,
+        span: msg.span,
         payload: msg.payload().clone(),
     };
     let max_deadline = tx_max_deadline(now, &st_params, &net_params, len);
@@ -498,7 +565,7 @@ fn dispatch_send<W: StWorld>(
         let deadline = clamp_stream_deadline(sim, host, st_rms, max_deadline);
         sim.state.st().host_mut(host).stats.msgs_alone.incr();
         let payload = encode(&Frame::Data(frame));
-        send_net(sim, host, net_rms, payload, deadline, sent_at);
+        send_net(sim, host, net_rms, payload, deadline, sent_at, msg.span);
         touch_slot(sim, host, peer, slot, now);
         return;
     }
@@ -513,12 +580,27 @@ fn dispatch_send<W: StWorld>(
         .map(|s| s.last_tx_deadline)
         .unwrap_or(SimTime::ZERO);
     let entry = PendingEntry {
-        encoded_len: data_frame_len(len, false, has_src, has_tgt),
+        encoded_len: data_frame_len(len, false, has_src, has_tgt, has_span),
         frame,
         min_deadline,
         max_deadline,
     };
     push_with_flush(sim, host, peer, slot, entry, net_mms);
+    {
+        let pending =
+            with_slot_queue(sim, host, peer, slot, |q| q.len()).unwrap_or(0);
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::PiggybackCoalesce {
+                    host: host.0,
+                    net_rms: net_rms.0,
+                    pending,
+                },
+            );
+        }
+    }
     touch_slot(sim, host, peer, slot, now);
 }
 
@@ -736,6 +818,14 @@ fn flush_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, slot: u3
         .map(|f| f.sent_at)
         .min()
         .unwrap_or_else(|| sim.now());
+    // The network-layer leg of a bundle is attributed to the span of its
+    // oldest frame; the other frames' spans skip the net stages and close
+    // at delivery.
+    let bundle_span = bundle
+        .frames
+        .iter()
+        .min_by_key(|f| f.sent_at)
+        .and_then(|f| f.span);
     {
         let sth = sim.state.st().host_mut(host);
         for s in streams {
@@ -744,8 +834,31 @@ fn flush_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, slot: u3
             }
         }
     }
+    {
+        let frames = bundle.frames.len();
+        let now = sim.now();
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            let reason = match cause {
+                FlushCause::Timer => FlushReason::Timer,
+                FlushCause::Overflow => FlushReason::Overflow,
+                FlushCause::Conflict => FlushReason::Conflict,
+                FlushCause::Fragment => FlushReason::Fragment,
+                FlushCause::Close => FlushReason::Close,
+            };
+            net.obs.emit(
+                now,
+                ObsEvent::PiggybackFlush {
+                    host: host.0,
+                    net_rms: net_rms.0,
+                    frames,
+                    reason,
+                },
+            );
+        }
+    }
     let payload = bundle.encode();
-    send_net(sim, host, net_rms, payload, deadline, earliest_sent);
+    send_net(sim, host, net_rms, payload, deadline, earliest_sent, bundle_span);
 }
 
 fn send_net<W: StWorld>(
@@ -755,20 +868,32 @@ fn send_net<W: StWorld>(
     payload: Bytes,
     deadline: SimTime,
     sent_at: SimTime,
+    span: Option<u64>,
 ) {
+    let bytes = payload.len() as u64;
     {
         let stats = &mut sim.state.st().host_mut(host).stats;
         stats.net_msgs_sent.incr();
-        stats.net_bytes_sent.add(payload.len() as u64);
+        stats.net_bytes_sent.add(bytes);
     }
-    let _ = net::send_on_rms(
-        sim,
-        host,
-        net_rms,
-        Message::new(payload),
-        Some(deadline),
-        Some(sent_at),
-    );
+    {
+        let now = sim.now();
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::StNetMsg {
+                    host: host.0,
+                    net_rms: net_rms.0,
+                    bytes,
+                    span,
+                },
+            );
+        }
+    }
+    let mut msg = Message::new(payload);
+    msg.span = span;
+    let _ = net::send_on_rms(sim, host, net_rms, msg, Some(deadline), Some(sent_at));
 }
 
 fn touch_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, slot: u32, now: SimTime) {
@@ -842,6 +967,13 @@ fn assign_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, st_rms: StRmsId) -> b
         best
     };
     if let Some((slot, ready)) = candidate {
+        {
+            let now = sim.now();
+            let net = sim.state.net();
+            if net.obs.is_active() {
+                net.obs.emit(now, ObsEvent::CacheHit { host: host.0 });
+            }
+        }
         let sth = sim.state.st().host_mut(host);
         sth.stats.cache_hits.incr();
         if let Some(d) = sth.peers.get_mut(&peer).and_then(|p| p.data.get_mut(&slot)) {
@@ -857,6 +989,13 @@ fn assign_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, st_rms: StRmsId) -> b
     // Create a new network RMS (§4.2: "it is slow and costly to create
     // network RMS's" — this is the miss path).
     sim.state.st().host_mut(host).stats.cache_misses.incr();
+    {
+        let now = sim.now();
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            net.obs.emit(now, ObsEvent::CacheMiss { host: host.0 });
+        }
+    }
     let (slack_fixed, slack_per_byte) = stage_slack(&sim.state);
     let cfg_capacity = sim.state.st_ref().config.data_capacity_default;
     let mut net_desired = st_params.clone();
@@ -948,6 +1087,11 @@ fn evict_idle_cache<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId) {
     let excess = idle.len() - limit;
     for (slot, _, net_rms) in idle.into_iter().take(excess) {
         {
+            let now = sim.now();
+            let net = sim.state.net();
+            if net.obs.is_active() {
+                net.obs.emit(now, ObsEvent::CacheEvict { host: host.0 });
+            }
             let sth = sim.state.st().host_mut(host);
             sth.stats.cache_evictions.incr();
             sth.by_net.remove(&net_rms);
@@ -1249,23 +1393,26 @@ fn handle_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, net_rms: NetRmsId, d:
 fn deliver_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, d: DataFrame) {
     let now = sim.now();
     let st_rms = d.st_rms;
+    let was_frag = d.frag.is_some();
     // Reassemble if fragmented.
     let complete = {
         let sth = sim.state.st().host_mut(host);
         let Some(stream) = sth.streams.get_mut(&st_rms) else {
             return;
         };
-        if d.frag.is_some() {
+        if was_frag {
             stream.reassembly.push(d).map(|r| {
                 let mut m = Message::new(r.payload);
                 m.source = r.source;
                 m.target = r.target;
+                m.span = r.span;
                 (m, r.seq, r.sent_at, r.fast_ack)
             })
         } else {
             let mut m = Message::new(d.payload);
             m.source = d.source;
             m.target = d.target;
+            m.span = d.span;
             Some((m, d.seq, d.sent_at, d.fast_ack))
         }
     };
@@ -1273,16 +1420,49 @@ fn deliver_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, d: Dat
         return;
     };
     // Stats + lateness.
-    {
+    let late = {
         let sth = sim.state.st().host_mut(host);
         if let Some(stream) = sth.streams.get_mut(&st_rms) {
             stream.delivered.incr();
             stream.bytes.add(msg.len() as u64);
             let delay = now.saturating_since(sent_at);
             stream.delays.record(delay.as_secs_f64());
-            if delay > stream.params.delay.bound_for(msg.len() as u64) {
+            let late = delay > stream.params.delay.bound_for(msg.len() as u64);
+            if late {
                 stream.late.incr();
             }
+            late
+        } else {
+            false
+        }
+    };
+    {
+        // `now` here equals `DeliveryInfo::delivered_at`, closing the span
+        // exactly at the delay clock's end.
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            if was_frag {
+                net.obs.emit(
+                    now,
+                    ObsEvent::Reassemble {
+                        host: host.0,
+                        st_rms: st_rms.0,
+                        seq,
+                        span: msg.span,
+                    },
+                );
+            }
+            net.obs.emit(
+                now,
+                ObsEvent::StDeliver {
+                    host: host.0,
+                    st_rms: st_rms.0,
+                    seq,
+                    bytes: msg.len() as u64,
+                    late,
+                    span: msg.span,
+                },
+            );
         }
     }
     // Fast acknowledgement (§3.2): a small frame on the control channel.
@@ -1290,6 +1470,19 @@ fn deliver_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, d: Dat
         let ctrl_out = peer_state(sim, host, peer).control_out;
         if let Some(rms) = ctrl_out {
             sim.state.st().host_mut(host).stats.fast_acks_sent.incr();
+            {
+                let net = sim.state.net();
+                if net.obs.is_active() {
+                    net.obs.emit(
+                        now,
+                        ObsEvent::FastAckSent {
+                            host: host.0,
+                            st_rms: st_rms.0,
+                            seq,
+                        },
+                    );
+                }
+            }
             let payload = encode(&Frame::FastAck { st_rms, seq });
             let now = sim.now();
             let _ = net::send_on_rms(sim, host, rms, Message::new(payload), Some(now), None);
@@ -1315,6 +1508,19 @@ pub fn on_net_event<W: StWorld>(sim: &mut Sim<W>, host: HostId, event: &NetRmsEv
                         let sth = sim.state.st().host_mut(host);
                         sth.stats.control_created.incr();
                         sth.by_net.insert(*rms, NetUse::ControlOut(peer));
+                    }
+                    {
+                        let now = sim.now();
+                        let net = sim.state.net();
+                        if net.obs.is_active() {
+                            net.obs.emit(
+                                now,
+                                ObsEvent::ControlCreated {
+                                    host: host.0,
+                                    peer: peer.0,
+                                },
+                            );
+                        }
                     }
                     {
                         let p = peer_state(sim, host, peer);

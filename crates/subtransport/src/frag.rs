@@ -30,6 +30,8 @@ pub struct Reassembled {
     pub target: Option<Label>,
     /// Whether a fast acknowledgement was requested.
     pub fast_ack: bool,
+    /// Observability span id adopted from any fragment carrying one.
+    pub span: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -42,6 +44,7 @@ struct Partial {
     source: Option<Label>,
     target: Option<Label>,
     fast_ack: bool,
+    span: Option<u64>,
 }
 
 /// Per-ST-RMS reassembly state.
@@ -99,6 +102,7 @@ impl Reassembly {
                         source: frame.source,
                         target: frame.target,
                         fast_ack: frame.fast_ack,
+                        span: frame.span,
                     });
                 }
                 self.partial = Some(Partial {
@@ -110,6 +114,7 @@ impl Reassembly {
                     source: frame.source,
                     target: frame.target,
                     fast_ack: frame.fast_ack,
+                    span: frame.span,
                 });
                 None
             }
@@ -126,6 +131,7 @@ impl Reassembly {
                 // The fast-ack request rides on the last fragment (§3.2);
                 // adopt it whenever any fragment carries it.
                 p.fast_ack |= frame.fast_ack;
+                p.span = p.span.or(frame.span);
                 p.next_index += 1;
                 if p.next_index == p.count {
                     let done = self.partial.take().expect("just matched");
@@ -136,6 +142,7 @@ impl Reassembly {
                         source: done.source,
                         target: done.target,
                         fast_ack: done.fast_ack,
+                        span: done.span,
                     });
                 }
                 None
@@ -149,6 +156,7 @@ impl Reassembly {
 /// # Panics
 ///
 /// Panics if `chunk == 0`.
+#[allow(clippy::too_many_arguments)] // mirrors the DataFrame field set
 pub fn fragment(
     st_rms: crate::ids::StRmsId,
     seq: u64,
@@ -158,6 +166,7 @@ pub fn fragment(
     fast_ack: bool,
     source: Option<Label>,
     target: Option<Label>,
+    span: Option<u64>,
 ) -> Vec<DataFrame> {
     assert!(chunk > 0, "fragment chunk must be positive");
     let count = payload.len().div_ceil(chunk).max(1) as u32;
@@ -175,6 +184,7 @@ pub fn fragment(
             fast_ack: fast_ack && i + 1 == count,
             source,
             target,
+            span,
             payload: payload.slice(start..end),
         });
     }
@@ -197,6 +207,7 @@ mod tests {
             false,
             None,
             None,
+            None,
         )
     }
 
@@ -215,7 +226,7 @@ mod tests {
     #[test]
     fn fragment_uneven_tail() {
         let payload = Bytes::from(vec![1u8; 250]);
-        let fs = fragment(StRmsId(1), 0, &payload, 100, SimTime::ZERO, false, None, None);
+        let fs = fragment(StRmsId(1), 0, &payload, 100, SimTime::ZERO, false, None, None, None);
         assert_eq!(fs.len(), 3);
         assert_eq!(fs[2].payload.len(), 50);
     }
@@ -238,7 +249,7 @@ mod tests {
     #[test]
     fn single_fragment_message_completes_immediately() {
         let payload = Bytes::from(vec![9u8; 10]);
-        let fs = fragment(StRmsId(1), 3, &payload, 100, SimTime::ZERO, true, None, None);
+        let fs = fragment(StRmsId(1), 3, &payload, 100, SimTime::ZERO, true, None, None, None);
         assert_eq!(fs.len(), 1);
         let mut r = Reassembly::new();
         let done = r.push(fs[0].clone()).unwrap();
@@ -285,7 +296,7 @@ mod tests {
     #[test]
     fn fast_ack_only_on_last_fragment() {
         let payload = Bytes::from(vec![0u8; 300]);
-        let fs = fragment(StRmsId(1), 0, &payload, 100, SimTime::ZERO, true, None, None);
+        let fs = fragment(StRmsId(1), 0, &payload, 100, SimTime::ZERO, true, None, None, None);
         assert_eq!(fs.len(), 3);
         assert!(!fs[0].fast_ack && !fs[1].fast_ack && fs[2].fast_ack);
     }
@@ -302,6 +313,7 @@ mod tests {
             false,
             Some(Label(5)),
             Some(Label(6)),
+            None,
         );
         let mut r = Reassembly::new();
         r.push(fs[0].clone());
@@ -313,7 +325,7 @@ mod tests {
 
     #[test]
     fn empty_payload_fragments_to_one() {
-        let fs = fragment(StRmsId(1), 0, &Bytes::new(), 100, SimTime::ZERO, false, None, None);
+        let fs = fragment(StRmsId(1), 0, &Bytes::new(), 100, SimTime::ZERO, false, None, None, None);
         assert_eq!(fs.len(), 1);
         assert_eq!(fs[0].frag.unwrap().count, 1);
     }

@@ -186,10 +186,11 @@ mod tests {
             fast_ack: false,
             source: None,
             target: None,
+            span: None,
             payload: Bytes::from(vec![0u8; len]),
         };
         PendingEntry {
-            encoded_len: data_frame_len(len as u64, false, false, false),
+            encoded_len: data_frame_len(len as u64, false, false, false, false),
             frame,
             min_deadline: SimTime::from_nanos(min_ns),
             max_deadline: SimTime::from_nanos(max_ns),

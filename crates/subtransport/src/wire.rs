@@ -65,6 +65,11 @@ pub struct DataFrame {
     pub source: Option<Label>,
     /// Optional target label.
     pub target: Option<Label>,
+    /// Optional observability span id, carried end-to-end so the receiver
+    /// can close the message's lifecycle span (`dash_sim::obs`). Present
+    /// on the wire only when set (adds 8 bytes); `None` whenever
+    /// observability is off, keeping the baseline wire format unchanged.
+    pub span: Option<u64>,
     /// Payload bytes.
     pub payload: Bytes,
 }
@@ -155,6 +160,7 @@ const FLAG_FRAG: u8 = 1;
 const FLAG_FAST_ACK: u8 = 2;
 const FLAG_SOURCE: u8 = 4;
 const FLAG_TARGET: u8 = 8;
+const FLAG_SPAN: u8 = 16;
 
 /// Bytes of header a plain (unlabelled, unfragmented) data frame adds on
 /// top of its payload.
@@ -166,12 +172,13 @@ pub fn encoded_len(frame: &Frame) -> u64 {
 }
 
 /// Size a [`DataFrame`] will occupy, computed without encoding.
-pub fn data_frame_len(payload_len: u64, frag: bool, source: bool, target: bool) -> u64 {
+pub fn data_frame_len(payload_len: u64, frag: bool, source: bool, target: bool, span: bool) -> u64 {
     DATA_FRAME_HEADER
         + payload_len
         + if frag { 8 } else { 0 }
         + if source { 8 } else { 0 }
         + if target { 8 } else { 0 }
+        + if span { 8 } else { 0 }
 }
 
 fn put_data(buf: &mut BytesMut, d: &DataFrame) {
@@ -191,6 +198,9 @@ fn put_data(buf: &mut BytesMut, d: &DataFrame) {
     if d.target.is_some() {
         flags |= FLAG_TARGET;
     }
+    if d.span.is_some() {
+        flags |= FLAG_SPAN;
+    }
     buf.put_u8(flags);
     if let Some(f) = d.frag {
         buf.put_u32(f.index);
@@ -202,6 +212,9 @@ fn put_data(buf: &mut BytesMut, d: &DataFrame) {
     }
     if let Some(t) = d.target {
         buf.put_u64(t.0);
+    }
+    if let Some(sp) = d.span {
+        buf.put_u64(sp);
     }
     buf.put_u32(d.payload.len() as u32);
     buf.put_slice(&d.payload);
@@ -339,6 +352,12 @@ fn get_data(buf: &mut Bytes) -> Result<DataFrame, WireError> {
     } else {
         None
     };
+    let span = if flags & FLAG_SPAN != 0 {
+        need(buf, 8)?;
+        Some(buf.get_u64())
+    } else {
+        None
+    };
     need(buf, 4)?;
     let len = buf.get_u32() as usize;
     need(buf, len)?;
@@ -351,6 +370,7 @@ fn get_data(buf: &mut Bytes) -> Result<DataFrame, WireError> {
         fast_ack: flags & FLAG_FAST_ACK != 0,
         source,
         target,
+        span,
         payload,
     })
 }
@@ -523,6 +543,7 @@ mod tests {
             fast_ack: false,
             source: None,
             target: None,
+            span: None,
             payload: Bytes::from(vec![7u8; len]),
         }
     }
@@ -553,6 +574,7 @@ mod tests {
         d.fast_ack = true;
         d.source = Some(Label(11));
         d.target = Some(Label(22));
+        d.span = Some(0xdead_beef);
         let f = Frame::Data(d);
         assert_eq!(decode(&encode(&f)).unwrap(), f);
     }
@@ -644,11 +666,12 @@ mod tests {
 
     #[test]
     fn data_frame_len_matches_encoding() {
-        for (len, frag, src, tgt) in [
-            (0usize, false, false, false),
-            (100, true, false, false),
-            (5, false, true, true),
-            (1000, true, true, true),
+        for (len, frag, src, tgt, span) in [
+            (0usize, false, false, false, false),
+            (100, true, false, false, false),
+            (5, false, true, true, false),
+            (7, false, false, false, true),
+            (1000, true, true, true, true),
         ] {
             let mut d = sample_data(3, len);
             if frag {
@@ -660,11 +683,14 @@ mod tests {
             if tgt {
                 d.target = Some(Label(2));
             }
+            if span {
+                d.span = Some(9);
+            }
             let enc = encode(&Frame::Data(d));
             assert_eq!(
                 enc.len() as u64,
-                data_frame_len(len as u64, frag, src, tgt),
-                "mismatch for len={len} frag={frag} src={src} tgt={tgt}"
+                data_frame_len(len as u64, frag, src, tgt, span),
+                "mismatch for len={len} frag={frag} src={src} tgt={tgt} span={span}"
             );
         }
     }

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dash_net::ids::HostId;
 use dash_sim::engine::{Sim, TimerHandle};
+use dash_sim::obs::ObsEvent;
 use dash_sim::stats::{Counter, Histogram};
 use dash_sim::time::{SimDuration, SimTime};
 use dash_subtransport::engine as st_engine;
@@ -247,6 +248,7 @@ pub struct RkomStats {
 }
 
 /// Per-host RKOM state.
+#[derive(Default)]
 pub struct RkomHost {
     channels: HashMap<HostId, Channel>,
     services: HashMap<u16, Option<Handler>>,
@@ -268,20 +270,6 @@ impl std::fmt::Debug for RkomHost {
     }
 }
 
-impl Default for RkomHost {
-    fn default() -> Self {
-        RkomHost {
-            channels: HashMap::new(),
-            services: HashMap::new(),
-            calls: HashMap::new(),
-            call_cbs: HashMap::new(),
-            reply_cache: HashMap::new(),
-            owned: HashMap::new(),
-            tokens: HashMap::new(),
-            stats: RkomStats::default(),
-        }
-    }
-}
 
 /// The RKOM module's state.
 #[derive(Debug)]
@@ -359,6 +347,19 @@ pub fn call(
             },
         );
         rh.call_cbs.insert(call_id, Box::new(cb));
+    }
+    {
+        let net = &mut sim.state.net;
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::RkomSend {
+                    host: host.0,
+                    peer: peer.0,
+                    call: call_id,
+                },
+            );
+        }
     }
     let msg = encode_msg(&RkomMsg::Request {
         call: call_id,
@@ -742,6 +743,13 @@ fn handle_reply(
         stats
             .latency
             .record(now.saturating_since(started).as_secs_f64());
+    }
+    {
+        let net = &mut sim.state.net;
+        if net.obs.is_active() {
+            net.obs
+                .emit(now, ObsEvent::RkomDeliver { host: host.0, call });
+        }
     }
     // Acknowledge on the high-delay RMS so the server drops its cache.
     let ack = encode_msg(&RkomMsg::ReplyAck { call });

@@ -24,8 +24,10 @@ use dash_subtransport::st::{StConfig, StEvent, StState, StWorld};
 use rms_core::message::Message;
 use rms_core::port::DeliveryInfo;
 
+use dash_sim::obs::ObsSink;
+
 use crate::rkom::{self, RkomState};
-use crate::stream::{self, StreamState};
+use crate::stream::{self, StreamEvent, StreamState};
 
 /// Reserved first byte of RKOM ST messages.
 pub const MAGIC_RKOM: u8 = 0xD5;
@@ -89,27 +91,117 @@ impl std::fmt::Debug for Stack {
     }
 }
 
-impl Stack {
-    /// Assemble a stack over a built network state.
-    pub fn new(net: NetState, st_config: StConfig) -> Self {
-        let n = net.hosts.len();
-        let mut st = StState::new(st_config, n);
-        st.provision_all_keys(n as u32);
-        Stack {
+/// Builder assembling a [`Stack`] in one expression: network state, ST
+/// configuration, optional modelled CPUs, and observability wiring.
+///
+/// ```
+/// use dash_net::topology::two_hosts_ethernet;
+/// use dash_subtransport::st::StConfig;
+/// use dash_transport::stack::StackBuilder;
+///
+/// let (net, _a, _b) = two_hosts_ethernet();
+/// let stack = StackBuilder::new(net)
+///     .st_config(StConfig::default())
+///     .build();
+/// assert!(stack.cpus.is_none());
+/// ```
+pub struct StackBuilder {
+    net: NetState,
+    st_config: StConfig,
+    cpus: Option<(SchedPolicy, SimDuration)>,
+    sink: Option<Box<dyn ObsSink>>,
+    obs_enabled: bool,
+    retain_spans: bool,
+}
+
+impl StackBuilder {
+    /// Start building a stack over a built network state.
+    pub fn new(net: NetState) -> Self {
+        StackBuilder {
             net,
+            st_config: StConfig::default(),
+            cpus: None,
+            sink: None,
+            obs_enabled: false,
+            retain_spans: false,
+        }
+    }
+
+    /// Subtransport configuration (defaults to [`StConfig::default`]).
+    pub fn st_config(mut self, config: StConfig) -> Self {
+        self.st_config = config;
+        self
+    }
+
+    /// Model real per-host CPUs with the given scheduling policy and
+    /// context-switch cost (§4.1).
+    pub fn cpus(mut self, policy: SchedPolicy, context_switch: SimDuration) -> Self {
+        self.cpus = Some((policy, context_switch));
+        self
+    }
+
+    /// Install an observability sink (activates event emission; see
+    /// [`dash_sim::obs`]).
+    pub fn obs_sink(mut self, sink: impl ObsSink + 'static) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Activate observability without a sink: events feed the metric
+    /// registry and span tracker only.
+    pub fn obs(mut self, enabled: bool) -> Self {
+        self.obs_enabled = enabled;
+        self
+    }
+
+    /// Keep completed span records in memory for later inspection via
+    /// [`dash_sim::obs::Obs::spans`].
+    pub fn retain_spans(mut self, retain: bool) -> Self {
+        self.retain_spans = retain;
+        self
+    }
+
+    /// Assemble the stack.
+    pub fn build(self) -> Stack {
+        let n = self.net.hosts.len();
+        let mut st = StState::new(self.st_config, n);
+        st.provision_all_keys(n as u32);
+        let mut stack = Stack {
+            net: self.net,
             st,
             rkom: RkomState::new(n),
             stream: StreamState::new(n),
             tcp: TcpState::new(n),
-            cpus: None,
+            cpus: self
+                .cpus
+                .map(|(policy, cs)| (0..n).map(|_| Cpu::new(policy, cs)).collect()),
             app_tap: None,
             tcp_tap: None,
+        };
+        if self.obs_enabled {
+            stack.net.obs.enable();
         }
+        if self.retain_spans {
+            stack.net.obs.retain_spans(true);
+        }
+        if let Some(sink) = self.sink {
+            stack.net.obs.set_boxed_sink(sink);
+        }
+        stack
+    }
+}
+
+impl Stack {
+    /// Assemble a stack over a built network state.
+    #[deprecated(note = "use `StackBuilder::new(net).st_config(..).build()`")]
+    pub fn new(net: NetState, st_config: StConfig) -> Self {
+        StackBuilder::new(net).st_config(st_config).build()
     }
 
     /// Model real per-host CPUs with the given scheduling policy and
     /// context-switch cost (§4.1). Must be called before the simulation
     /// starts.
+    #[deprecated(note = "use `StackBuilder::cpus` when assembling the stack")]
     pub fn with_cpus(mut self, policy: SchedPolicy, context_switch: SimDuration) -> Self {
         let n = self.net.hosts.len();
         self.cpus = Some((0..n).map(|_| Cpu::new(policy, context_switch)).collect());
@@ -117,13 +209,44 @@ impl Stack {
     }
 
     /// Install the application tap receiving unclaimed deliveries/events.
-    pub fn set_app_tap(&mut self, tap: impl FnMut(&mut Sim<Stack>, AppEvent) + 'static) {
+    ///
+    /// Part of the uniform tap family: [`Stack::on_app`],
+    /// [`Stack::on_tcp`], [`Stack::on_stream`].
+    pub fn on_app(&mut self, tap: impl FnMut(&mut Sim<Stack>, AppEvent) + 'static) {
         self.app_tap = Some(Box::new(tap));
     }
 
     /// Install the tap receiving baseline TCP events.
-    pub fn set_tcp_tap(&mut self, tap: impl FnMut(&mut Sim<Stack>, HostId, TcpEvent) + 'static) {
+    ///
+    /// Part of the uniform tap family: [`Stack::on_app`],
+    /// [`Stack::on_tcp`], [`Stack::on_stream`].
+    pub fn on_tcp(&mut self, tap: impl FnMut(&mut Sim<Stack>, HostId, TcpEvent) + 'static) {
         self.tcp_tap = Some(Box::new(tap));
+    }
+
+    /// Install `host`'s tap receiving [`StreamEvent`]s from the stream
+    /// protocol.
+    ///
+    /// Part of the uniform tap family: [`Stack::on_app`],
+    /// [`Stack::on_tcp`], [`Stack::on_stream`].
+    pub fn on_stream(
+        &mut self,
+        host: HostId,
+        tap: impl FnMut(&mut Sim<Stack>, StreamEvent) + 'static,
+    ) {
+        self.stream.host_mut(host).install_tap(Box::new(tap));
+    }
+
+    /// Install the application tap receiving unclaimed deliveries/events.
+    #[deprecated(note = "use `Stack::on_app`")]
+    pub fn set_app_tap(&mut self, tap: impl FnMut(&mut Sim<Stack>, AppEvent) + 'static) {
+        self.on_app(tap);
+    }
+
+    /// Install the tap receiving baseline TCP events.
+    #[deprecated(note = "use `Stack::on_tcp`")]
+    pub fn set_tcp_tap(&mut self, tap: impl FnMut(&mut Sim<Stack>, HostId, TcpEvent) + 'static) {
+        self.on_tcp(tap);
     }
 
     /// Deliver an [`AppEvent`] through the tap (reentrancy-safe).
@@ -310,19 +433,35 @@ mod tests {
     use dash_net::topology::two_hosts_ethernet;
 
     #[test]
-    fn stack_assembles() {
+    fn builder_assembles() {
         let (net, _a, _b) = two_hosts_ethernet();
-        let stack = Stack::new(net, StConfig::default());
+        let stack = StackBuilder::new(net).st_config(StConfig::default()).build();
         assert!(stack.cpus.is_none());
-        let stack = stack.with_cpus(SchedPolicy::Edf, SimDuration::from_micros(5));
+        let (net, _a, _b) = two_hosts_ethernet();
+        let stack = StackBuilder::new(net)
+            .cpus(SchedPolicy::Edf, SimDuration::from_micros(5))
+            .obs(true)
+            .retain_spans(true)
+            .build();
         assert_eq!(stack.cpus.as_ref().unwrap().len(), 2);
+        assert!(stack.net.obs.is_active());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constructor_still_works() {
+        let (net, _a, _b) = two_hosts_ethernet();
+        let stack = Stack::new(net, StConfig::default())
+            .with_cpus(SchedPolicy::Edf, SimDuration::from_micros(5));
+        assert_eq!(stack.cpus.as_ref().unwrap().len(), 2);
+        assert!(!stack.net.obs.is_active());
     }
 
     #[test]
     fn app_tap_fires() {
         let (net, a, _b) = two_hosts_ethernet();
-        let mut stack = Stack::new(net, StConfig::default());
-        stack.set_app_tap(|_sim, _ev| {});
+        let mut stack = StackBuilder::new(net).build();
+        stack.on_app(|_sim, _ev| {});
         let mut sim = Sim::new(stack);
         // A synthetic unclaimed event reaches the tap without panicking.
         Stack::fire_app_event(

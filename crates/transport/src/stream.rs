@@ -25,6 +25,7 @@ use std::collections::{HashMap, VecDeque};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dash_net::ids::HostId;
 use dash_sim::engine::{Sim, TimerHandle};
+use dash_sim::obs::ObsEvent;
 use dash_sim::stats::{Counter, Histogram};
 use dash_sim::time::{SimDuration, SimTime};
 use dash_subtransport::engine as st_engine;
@@ -426,7 +427,7 @@ impl Session {
     }
 }
 
-type StreamTap = Box<dyn FnMut(&mut Sim<Stack>, StreamEvent)>;
+pub(crate) type StreamTap = Box<dyn FnMut(&mut Sim<Stack>, StreamEvent)>;
 
 /// Per-host stream-protocol state.
 #[derive(Default)]
@@ -488,13 +489,21 @@ impl StreamState {
     }
 }
 
+impl StreamHost {
+    /// Slot setter shared by the tap-installation APIs.
+    pub(crate) fn install_tap(&mut self, tap: StreamTap) {
+        self.tap = Some(tap);
+    }
+}
+
 /// Install the per-host tap receiving [`StreamEvent`]s.
+#[deprecated(note = "use `Stack::on_stream`")]
 pub fn set_tap(
     stack: &mut Stack,
     host: HostId,
     tap: impl FnMut(&mut Sim<Stack>, StreamEvent) + 'static,
 ) {
-    stack.stream.host_mut(host).tap = Some(Box::new(tap));
+    stack.on_stream(host, tap);
 }
 
 fn fire(sim: &mut Sim<Stack>, host: HostId, event: StreamEvent) {
@@ -618,7 +627,7 @@ pub fn send(
     session: u64,
     msg: Message,
 ) -> Result<(), WouldBlock> {
-    {
+    let blocked = {
         let Some(s) = sim.state.stream.session_mut(host, session) else {
             return Ok(()); // unknown/closed session: drop silently
         };
@@ -626,13 +635,22 @@ pub fn send(
             return Ok(());
         }
         match s.port.offer(msg) {
-            Ok(()) => {}
+            Ok(()) => None,
             Err(e) => {
                 s.was_blocked = true;
                 s.stats.sender_blocked.incr();
-                return Err(e);
+                Some(e)
             }
         }
+    };
+    if let Some(e) = blocked {
+        let now = sim.now();
+        let net = &mut sim.state.net;
+        if net.obs.is_active() {
+            net.obs
+                .emit(now, ObsEvent::StreamBlocked { host: host.0, session });
+        }
+        return Err(e);
     }
     pump(sim, host, session);
     Ok(())
@@ -718,7 +736,27 @@ fn pump(sim: &mut Sim<Stack>, host: HostId, session: u64) {
             payload: msg.payload().clone(),
         });
         let len = msg.len() as u64;
-        match st_engine::send(sim, host, st_rms, Message::new(bytes)) {
+        let mut wire = Message::new(bytes);
+        {
+            // Open the lifecycle span here so it records the TransportSend
+            // stage ahead of StSend (the ST engine adopts an existing span
+            // instead of opening its own).
+            let net = &mut sim.state.net;
+            if net.obs.is_active() {
+                wire.span = net.obs.start_span();
+                net.obs.emit(
+                    now,
+                    ObsEvent::TransportSend {
+                        host: host.0,
+                        session,
+                        seq,
+                        bytes: len,
+                        span: wire.span,
+                    },
+                );
+            }
+        }
+        match st_engine::send(sim, host, st_rms, wire) {
             Ok(st_seq) => {
                 // Ack-based capacity enforcement is clocked by ST fast
                 // acknowledgements, which echo the ST sequence number.
@@ -1005,10 +1043,12 @@ pub fn on_delivery(
             if sim.state.stream.host(host).sessions.contains_key(&session) {
                 return; // duplicate hello
             }
-            let mut profile = StreamProfile::default();
-            profile.receive_buffer = receive_buffer;
-            profile.receiver_fc = needs_ack_stream;
-            profile.reliable = needs_ack_stream;
+            let profile = StreamProfile {
+                receive_buffer,
+                receiver_fc: needs_ack_stream,
+                reliable: needs_ack_stream,
+                ..StreamProfile::default()
+            };
             let mut s = Session::new(session, peer, StreamRole::Rx, profile);
             s.data_in = Some(st_rms);
             sim.state.stream.host_mut(host).sessions.insert(session, s);
@@ -1148,6 +1188,12 @@ fn handle_data(
                 }
                 s.since_last_ack += 1;
             }
+            if sim.state.net.obs.is_active() {
+                sim.state
+                    .net
+                    .obs
+                    .emit(now, ObsEvent::StreamDeliver { host: host.0, session, seq });
+            }
             let msg = Message::new(payload);
             fire(
                 sim,
@@ -1238,6 +1284,14 @@ fn send_ack(sim: &mut Sim<Stack>, host: HostId, session: u64, force: bool) {
         });
         (bytes, s.ack_out, session)
     };
+    {
+        let now = sim.now();
+        let net = &mut sim.state.net;
+        if net.obs.is_active() {
+            net.obs
+                .emit(now, ObsEvent::StreamAck { host: host.0, session });
+        }
+    }
     match target {
         Some(st_rms) => {
             // First message on the ack stream announces its purpose.

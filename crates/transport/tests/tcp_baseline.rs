@@ -9,7 +9,7 @@ use dash_net::NetworkSpec;
 use dash_sim::time::SimDuration;
 use dash_sim::Sim;
 use dash_subtransport::st::StConfig;
-use dash_transport::stack::Stack;
+use dash_transport::stack::{Stack, StackBuilder};
 
 #[derive(Default)]
 struct Log {
@@ -22,7 +22,7 @@ struct Log {
 fn tap(sim: &mut Sim<Stack>) -> Rc<RefCell<Log>> {
     let log = Rc::new(RefCell::new(Log::default()));
     let l = Rc::clone(&log);
-    sim.state.set_tcp_tap(move |_sim, host, ev| match ev {
+    sim.state.on_tcp(move |_sim, host, ev| match ev {
         TcpEvent::Connected { conn } => l.borrow_mut().connected.push(conn),
         TcpEvent::Accepted { conn, peer } => l.borrow_mut().accepted.push((conn, peer)),
         TcpEvent::Data { conn, bytes } => l.borrow_mut().data.push((host, conn, bytes)),
@@ -34,7 +34,7 @@ fn tap(sim: &mut Sim<Stack>) -> Rc<RefCell<Log>> {
 #[test]
 fn handshake_and_transfer() {
     let (net, a, b) = two_hosts_ethernet();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     let log = tap(&mut sim);
     tcp::listen(&mut sim, b, 80);
     let conn = tcp::connect(&mut sim, a, b, 80);
@@ -66,7 +66,7 @@ fn transfer_survives_loss() {
     let n = builder.network(spec);
     let a = builder.host_on(n);
     let b = builder.host_on(n);
-    let mut sim = Sim::new(Stack::new(builder.build(), StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(builder.build()).build());
     let log = tap(&mut sim);
     tcp::listen(&mut sim, b, 80);
     let conn = tcp::connect(&mut sim, a, b, 80);
@@ -85,7 +85,7 @@ fn transfer_survives_loss() {
 #[test]
 fn slow_start_grows_cwnd() {
     let (net, a, b) = two_hosts_ethernet();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     let _log = tap(&mut sim);
     tcp::listen(&mut sim, b, 80);
     let conn = tcp::connect(&mut sim, a, b, 80);
@@ -100,7 +100,7 @@ fn slow_start_grows_cwnd() {
 #[test]
 fn quench_collapses_window() {
     let (net, a, b) = two_hosts_ethernet();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     let _log = tap(&mut sim);
     tcp::listen(&mut sim, b, 80);
     let conn = tcp::connect(&mut sim, a, b, 80);
@@ -119,7 +119,7 @@ fn quench_collapses_window() {
 #[test]
 fn close_notifies_peer() {
     let (net, a, b) = two_hosts_ethernet();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     let log = tap(&mut sim);
     tcp::listen(&mut sim, b, 80);
     let conn = tcp::connect(&mut sim, a, b, 80);
@@ -137,7 +137,7 @@ fn connect_to_dead_host_times_out() {
     let n2 = builder.network(NetworkSpec::ethernet("y"));
     let a = builder.host_on(n1);
     let b = builder.host_on(n2);
-    let mut sim = Sim::new(Stack::new(builder.build(), StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(builder.build()).build());
     let log = tap(&mut sim);
     let conn = tcp::connect(&mut sim, a, b, 80);
     sim.run_until(dash_sim::SimTime::ZERO + SimDuration::from_secs(60));

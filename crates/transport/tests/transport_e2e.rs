@@ -14,13 +14,13 @@ use dash_sim::Sim;
 use dash_subtransport::st::StConfig;
 use dash_transport::flow::CapacityEnforcement;
 use dash_transport::rkom::{self, RkomError};
-use dash_transport::stack::Stack;
+use dash_transport::stack::{Stack, StackBuilder};
 use dash_transport::stream::{self, StreamEvent, StreamProfile};
 use rms_core::message::Message;
 
 fn stack2() -> (Sim<Stack>, dash_net::HostId, dash_net::HostId) {
     let (net, a, b) = two_hosts_ethernet();
-    (Sim::new(Stack::new(net, StConfig::default())), a, b)
+    (Sim::new(StackBuilder::new(net).build()), a, b)
 }
 
 // ---------------------------------------------------------------------------
@@ -100,7 +100,7 @@ fn rkom_retransmits_over_lossy_network() {
     let n = b.network(spec);
     let h_a = b.host_on(n);
     let h_b = b.host_on(n);
-    let mut sim = Sim::new(Stack::new(b.build(), StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(b.build()).build());
     rkom::register_service(&mut sim.state, h_b, 1, |_s, _c, _req| {
         Bytes::from_static(b"pong")
     });
@@ -128,7 +128,7 @@ fn rkom_at_most_once_under_duplicates() {
     // Force retransmissions with a short timeout on a slow path: the
     // server must execute each call once even when requests duplicate.
     let (net, a, b, _, _) = dumbbell();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     // Shorter than the WAN round trip (~70 ms) so the initial request gets
     // retransmitted, but generous retries so the call still completes.
     sim.state.rkom.config.retry_timeout = SimDuration::from_millis(80);
@@ -170,7 +170,7 @@ fn collect_taps(sim: &mut Sim<Stack>, hosts: &[dash_net::HostId]) -> Rc<RefCell<
     }));
     for &h in hosts {
         let st = Rc::clone(&state);
-        stream::set_tap(&mut sim.state, h, move |_sim, ev| match ev {
+        sim.state.on_stream(h, move |_sim, ev| match ev {
             StreamEvent::Delivered { session, msg, seq, .. } => {
                 st.borrow_mut().delivered.push((session, seq, msg.len()));
             }
@@ -210,7 +210,7 @@ fn reliable_stream_survives_loss() {
     let n = builder.network(spec);
     let a = builder.host_on(n);
     let b = builder.host_on(n);
-    let mut sim = Sim::new(Stack::new(builder.build(), StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(builder.build()).build());
     let events = collect_taps(&mut sim, &[a, b]);
     let mut profile = StreamProfile::default();
     profile.reliable = true;
@@ -239,7 +239,7 @@ fn unreliable_stream_skips_losses_in_order() {
     let n = builder.network(spec);
     let a = builder.host_on(n);
     let b = builder.host_on(n);
-    let mut sim = Sim::new(Stack::new(builder.build(), StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(builder.build()).build());
     let events = collect_taps(&mut sim, &[a, b]);
     let session = stream::open(&mut sim, a, b, StreamProfile::default()).unwrap();
     sim.run();
@@ -370,7 +370,7 @@ fn sender_flow_control_blocks_and_drains() {
 #[test]
 fn bulk_profile_end_to_end_over_wan() {
     let (net, a, b, _, _) = dumbbell();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     let events = collect_taps(&mut sim, &[a, b]);
     let session = stream::open(&mut sim, a, b, StreamProfile::bulk()).unwrap();
     sim.run();
@@ -417,8 +417,9 @@ fn bulk_profile_end_to_end_over_wan() {
 #[test]
 fn stack_with_edf_cpus_runs_end_to_end() {
     let (net, a, b) = two_hosts_ethernet();
-    let stack = Stack::new(net, StConfig::default())
-        .with_cpus(SchedPolicy::Edf, SimDuration::from_micros(5));
+    let stack = StackBuilder::new(net)
+        .cpus(SchedPolicy::Edf, SimDuration::from_micros(5))
+        .build();
     let mut sim = Sim::new(stack);
     let events = collect_taps(&mut sim, &[a, b]);
     let session = stream::open(&mut sim, a, b, StreamProfile::default()).unwrap();
@@ -443,10 +444,10 @@ fn stack_with_edf_cpus_runs_end_to_end() {
 #[test]
 fn stream_failure_surfaces_ended_event() {
     let (net, a, b, _, _) = dumbbell();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     let ended = Rc::new(RefCell::new(Vec::new()));
     let e2 = Rc::clone(&ended);
-    stream::set_tap(&mut sim.state, a, move |_s, ev| {
+    sim.state.on_stream(a, move |_s, ev| {
         if let StreamEvent::Ended { session } = ev {
             e2.borrow_mut().push(session);
         }
@@ -463,12 +464,12 @@ fn timestamps_monotone_on_delivery() {
     let (mut sim, a, b) = stack2();
     let times = Rc::new(RefCell::new(Vec::<SimTime>::new()));
     let t2 = Rc::clone(&times);
-    stream::set_tap(&mut sim.state, b, move |sim, ev| {
+    sim.state.on_stream(b, move |sim, ev| {
         if matches!(ev, StreamEvent::Delivered { .. }) {
             t2.borrow_mut().push(sim.now());
         }
     });
-    stream::set_tap(&mut sim.state, a, |_s, _e| {});
+    sim.state.on_stream(a, |_s, _e| {});
     let session = stream::open(&mut sim, a, b, StreamProfile::default()).unwrap();
     sim.run();
     for _ in 0..5 {

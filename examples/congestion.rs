@@ -15,11 +15,10 @@ use dash::baseline::tcp;
 use dash::net::topology::TopologyBuilder;
 use dash::net::{HostId, NetworkSpec};
 use dash::sim::{Sim, SimDuration};
-use dash::subtransport::st::StConfig;
 use dash::transport::flow::CapacityEnforcement;
-use dash::transport::stack::Stack;
+use dash::transport::stack::{Stack, StackBuilder};
 use dash::transport::stream::StreamProfile;
-use rms_core::delay::DelayBound;
+use dash::core::delay::DelayBound;
 
 fn build() -> (Sim<Stack>, Vec<HostId>, Vec<HostId>, HostId) {
     let mut b = TopologyBuilder::new();
@@ -36,7 +35,7 @@ fn build() -> (Sim<Stack>, Vec<HostId>, Vec<HostId>, HostId) {
     let receivers: Vec<HostId> = (0..3).map(|_| b.host_on(lan_b)).collect();
     b.iface_queue_limit(Some(16 * 1024));
     (
-        Sim::new(Stack::new(b.build(), StConfig::default())),
+        Sim::new(StackBuilder::new(b.build()).build()),
         senders,
         receivers,
         g1,

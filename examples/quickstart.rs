@@ -12,29 +12,26 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dash::net::topology::two_hosts_ethernet;
-use dash::sim::{Sim, SimDuration};
-use dash::subtransport::st::StConfig;
-use dash::transport::stack::Stack;
-use dash::transport::stream::{self, StreamEvent, StreamProfile};
-use rms_core::message::Message;
+use dash::prelude::*;
+use dash::transport::stream;
 
 fn main() {
     // 1. A network: two hosts on a 10 Mb/s Ethernet.
     let (net, alice, bob) = two_hosts_ethernet();
 
     // 2. The DASH stack on top of it.
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
 
     // 3. Watch what Bob receives.
     let received = Rc::new(RefCell::new(Vec::new()));
     let r2 = Rc::clone(&received);
-    stream::set_tap(&mut sim.state, bob, move |_sim, ev| {
+    sim.state.on_stream(bob, move |_sim, ev| {
         if let StreamEvent::Delivered { msg, seq, delay, .. } = ev {
             println!("bob: message #{seq} ({} bytes) after {delay}", msg.len());
             r2.borrow_mut().push(msg);
         }
     });
-    stream::set_tap(&mut sim.state, alice, |_sim, ev| {
+    sim.state.on_stream(alice, |_sim, ev| {
         if let StreamEvent::Opened { session } = ev {
             println!("alice: session {session} open — RMS parameters negotiated");
         }

@@ -16,15 +16,14 @@ use std::rc::Rc;
 use bytes::Bytes;
 use dash::net::topology::dumbbell;
 use dash::sim::Sim;
-use dash::subtransport::st::StConfig;
 use dash::transport::rkom;
-use dash::transport::stack::Stack;
+use dash::transport::stack::StackBuilder;
 
 const KV_SERVICE: u16 = 7;
 
 fn main() {
     let (net, client, server, _, _) = dumbbell();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
 
     // A toy key-value store: "set k v" / "get k".
     let store: Rc<RefCell<HashMap<String, String>>> = Rc::new(RefCell::new(HashMap::new()));

@@ -15,13 +15,12 @@ use dash::apps::media::{start_media, MediaSpec};
 use dash::apps::taps::Dispatcher;
 use dash::net::topology::two_hosts_ethernet;
 use dash::sim::{Sim, SimDuration};
-use dash::subtransport::st::StConfig;
-use dash::transport::stack::Stack;
+use dash::transport::stack::StackBuilder;
 use dash::transport::stream::StreamProfile;
 
 fn main() {
     let (net, a, b) = two_hosts_ethernet();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     let taps = Dispatcher::install(&mut sim, &[a, b]);
 
     // A two-second call...

@@ -12,12 +12,11 @@ use dash::apps::taps::Dispatcher;
 use dash::apps::window::{start_window_system, WindowSpec};
 use dash::net::topology::two_hosts_ethernet;
 use dash::sim::{Sim, SimDuration};
-use dash::subtransport::st::StConfig;
-use dash::transport::stack::Stack;
+use dash::transport::stack::StackBuilder;
 
 fn main() {
     let (net, user, app) = two_hosts_ethernet();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     let taps = Dispatcher::install(&mut sim, &[user, app]);
 
     let spec = WindowSpec {

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification: release build, workspace tests, and clippy with
+# warnings promoted to errors. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace -- -D warnings
+
+echo "verify: OK"

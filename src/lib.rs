@@ -11,3 +11,29 @@ pub use dash_sim as sim;
 pub use dash_subtransport as subtransport;
 pub use dash_transport as transport;
 pub use rms_core as core;
+
+/// The types nearly every program built on the stack touches: the
+/// simulator, the assembled stack and its builder, messages, stream
+/// profiles, ids, and the observability surface.
+///
+/// ```
+/// use dash::prelude::*;
+///
+/// let (net, _a, _b) = dash::net::topology::two_hosts_ethernet();
+/// let stack = StackBuilder::new(net).st_config(StConfig::default()).build();
+/// let sim = Sim::new(stack);
+/// assert_eq!(sim.now(), SimTime::ZERO);
+/// ```
+pub mod prelude {
+    pub use dash_net::ids::{HostId, NetRmsId, NetworkId};
+    pub use dash_sim::engine::Sim;
+    pub use dash_sim::obs::{
+        JsonLinesSink, MetricRegistry, Obs, ObsEvent, ObsSink, SpanRecord, Stage,
+    };
+    pub use dash_sim::time::{SimDuration, SimTime};
+    pub use dash_subtransport::ids::{StRmsId, StToken};
+    pub use dash_subtransport::st::StConfig;
+    pub use dash_transport::stack::{AppEvent, Stack, StackBuilder};
+    pub use dash_transport::stream::{StreamEvent, StreamProfile};
+    pub use rms_core::message::{Label, Message};
+}

@@ -16,14 +16,16 @@ use dash::sim::cpu::SchedPolicy;
 use dash::sim::{Sim, SimDuration};
 use dash::subtransport::st::StConfig;
 use dash::transport::rkom;
-use dash::transport::stack::Stack;
+use dash::transport::stack::StackBuilder;
 use dash::transport::stream::StreamProfile;
 
 #[test]
 fn every_workload_coexists_on_one_lan() {
     let (net, a, b) = two_hosts_ethernet();
     let stack =
-        Stack::new(net, StConfig::default()).with_cpus(SchedPolicy::Edf, SimDuration::from_micros(5));
+        StackBuilder::new(net)
+        .cpus(SchedPolicy::Edf, SimDuration::from_micros(5))
+        .build();
     let mut sim = Sim::new(stack);
     let taps = Dispatcher::install(&mut sim, &[a, b]);
 
@@ -54,7 +56,7 @@ fn every_workload_coexists_on_one_lan() {
 #[test]
 fn stack_survives_network_failure_and_reestablishes() {
     let (net, a, b, _, _) = dumbbell();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     let taps = Dispatcher::install(&mut sim, &[a, b]);
 
     let bulk = start_bulk(&mut sim, &taps, a, b, 64 * 1024, 2 * 1024, StreamProfile::bulk());
@@ -76,7 +78,7 @@ fn stack_survives_network_failure_and_reestablishes() {
 fn deterministic_runs_are_reproducible() {
     let run = || -> (u64, u64, u64) {
         let (net, a, b) = two_hosts_ethernet();
-        let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+        let mut sim = Sim::new(StackBuilder::new(net).build());
         let taps = Dispatcher::install(&mut sim, &[a, b]);
         let voice = start_media(&mut sim, &taps, a, b, MediaSpec::voice(SimDuration::from_secs(1)), 9);
         sim.run();
@@ -96,7 +98,7 @@ fn secure_stream_on_untrusted_internetwork() {
     let lan = b.network(NetworkSpec::ethernet("lan"));
     let a = b.host_on(lan);
     let c = b.host_on(lan);
-    let mut sim = Sim::new(Stack::new(b.build(), StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(b.build()).build());
     sim.state.net.network_mut(NetworkId(0)).wiretap = Some(Vec::new());
 
     use dash::subtransport::engine as st;
@@ -107,7 +109,7 @@ fn secure_stream_on_untrusted_internetwork() {
         .unwrap();
     let got = Rc::new(RefCell::new(Vec::new()));
     let g = Rc::clone(&got);
-    sim.state.set_app_tap(move |_sim, ev| {
+    sim.state.on_app(move |_sim, ev| {
         if let dash::transport::stack::AppEvent::StDeliver { msg, .. } = ev {
             g.borrow_mut().push(msg);
         }
@@ -137,7 +139,7 @@ fn admission_control_limits_deterministic_load_end_to_end() {
     use rms_core::{DelayBound, RmsParams, RmsRequest};
 
     let (net, a, b) = two_hosts_ethernet();
-    let mut sim = Sim::new(Stack::new(net, StConfig::default()));
+    let mut sim = Sim::new(StackBuilder::new(net).build());
     let params = RmsParams::builder(100_000, 1_000)
         .delay(DelayBound::deterministic(
             SimDuration::from_millis(200),

@@ -119,6 +119,7 @@ proptest! {
             fast_ack,
             source: None,
             target: None,
+            span: None,
             payload: Bytes::from(payload),
         });
         let decoded = wire::decode(&wire::encode(&frame)).expect("round trip");
@@ -139,6 +140,7 @@ proptest! {
             fast_ack: false,
             source: None,
             target: None,
+            span: None,
             payload: Bytes::from(payload),
         });
         let enc = wire::encode(&frame);
@@ -155,7 +157,7 @@ proptest! {
         chunk in 1usize..2048,
     ) {
         let bytes = Bytes::from(payload.clone());
-        let frames = fragment(StRmsId(1), 3, &bytes, chunk, SimTime::ZERO, false, None, None);
+        let frames = fragment(StRmsId(1), 3, &bytes, chunk, SimTime::ZERO, false, None, None, None);
         let mut r = Reassembly::new();
         let mut out = None;
         for f in frames {
@@ -185,10 +187,11 @@ proptest! {
                 fast_ack: false,
                 source: None,
                 target: None,
+                span: None,
                 payload: Bytes::from(vec![0u8; *len as usize]),
             };
             let entry = PendingEntry {
-                encoded_len: wire::data_frame_len(*len, false, false, false),
+                encoded_len: wire::data_frame_len(*len, false, false, false, false),
                 frame,
                 min_deadline: SimTime::ZERO,
                 max_deadline: SimTime::from_nanos(1_000_000),

@@ -1,0 +1,196 @@
+//! Offline vendored minimal benchmark harness.
+//!
+//! The build container cannot reach crates.io, so this crate provides the
+//! slice of the `criterion` API the workspace's benches use: [`Criterion`],
+//! benchmark groups, [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. It times a fixed number of iterations with
+//! `std::time::Instant` and prints mean per-iteration wall time — enough
+//! for relative comparisons; swap the path dependency back to crates.io
+//! for statistically rigorous runs.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier to keep the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded for display only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-function timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warm-up round, untimed.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn report(name: &str, iters: u64, elapsed: Duration, throughput: Option<Throughput>) {
+    let per_iter = elapsed.as_secs_f64() / iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
+            format!("  {:>10.1} MiB/s", b as f64 / per_iter / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>10.1} elem/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<40} {:>12.3} us/iter{rate}", per_iter * 1e6);
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&name.to_string(), b.iters, b.elapsed, None);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Finalize (kept for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.criterion.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{name}", self.name),
+            b.iters,
+            b.elapsed,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("inner", |b| b.iter(|| black_box(vec![0u8; 64].len())));
+        g.finish();
+    }
+
+    criterion_group!(simple, sample_bench);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn groups_run() {
+        simple();
+        configured();
+    }
+}
