@@ -192,7 +192,6 @@ mod tests {
     use super::*;
     use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
-    use dash_subtransport::st::StConfig;
 
     #[test]
     fn bulk_completes_on_lan() {

@@ -188,7 +188,6 @@ mod tests {
     use super::*;
     use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
-    use dash_subtransport::st::StConfig;
 
     #[test]
     fn voice_on_quiet_lan_is_on_time() {

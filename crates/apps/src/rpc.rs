@@ -190,7 +190,6 @@ mod tests {
     use super::*;
     use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
-    use dash_subtransport::st::StConfig;
 
     #[test]
     fn rkom_rpc_workload_completes() {

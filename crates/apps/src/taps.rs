@@ -67,7 +67,7 @@ impl Dispatcher {
                     } => (session, SessionEvent::Delivered { msg, seq, delay }),
                     StreamEvent::Opened { session } => (session, SessionEvent::Opened),
                     StreamEvent::Drained { session } => (session, SessionEvent::Drained),
-                    StreamEvent::Ended { session } => (session, SessionEvent::Ended),
+                    StreamEvent::Ended { session, .. } => (session, SessionEvent::Ended),
                     StreamEvent::OpenFailed { session, .. } => (session, SessionEvent::Ended),
                     StreamEvent::Incoming { .. } => return,
                 };
@@ -115,7 +115,6 @@ mod tests {
     use dash_transport::stack::StackBuilder;
     use dash_transport::stream;
     use dash_net::topology::two_hosts_ethernet;
-    use dash_subtransport::st::StConfig;
     use dash_transport::stream::StreamProfile;
 
     #[test]

@@ -180,7 +180,6 @@ mod tests {
     use super::*;
     use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
-    use dash_subtransport::st::StConfig;
 
     #[test]
     fn interactive_loop_on_lan_is_snappy() {

@@ -11,7 +11,6 @@ use dash_apps::taps::Dispatcher;
 use dash_net::topology::two_hosts_ethernet;
 use dash_sim::time::SimDuration;
 use dash_sim::Sim;
-use dash_subtransport::st::StConfig;
 use dash_transport::stack::StackBuilder;
 use dash_transport::stream::StreamProfile;
 

@@ -83,6 +83,9 @@ pub struct Iface {
     queue_limit_bytes: Option<u64>,
     next_seq: u64,
     busy: bool,
+    /// Transmitter frozen until this instant (fault injection): queued
+    /// packets wait, nothing is dropped by the stall itself.
+    pub stalled_until: SimTime,
     /// Admission-control ledger for streams reserved through this
     /// interface.
     pub ledger: ResourceLedger,
@@ -107,9 +110,15 @@ impl Iface {
             queue_limit_bytes,
             next_seq: 0,
             busy: false,
+            stalled_until: SimTime::ZERO,
             ledger,
             stats: IfaceStats::default(),
         }
+    }
+
+    /// True while the transmitter is frozen by an injected stall.
+    pub fn is_stalled(&self, now: SimTime) -> bool {
+        now < self.stalled_until
     }
 
     /// The queue ordering in force.
@@ -183,6 +192,15 @@ impl Iface {
             .queue_delay
             .record(now.saturating_since(q.enqueued_at).as_secs_f64());
         Some(q.packet)
+    }
+
+    /// Drop everything queued (host crash), returning how many packets
+    /// were discarded.
+    pub fn clear(&mut self) -> usize {
+        let n = self.queue.len();
+        self.queue.clear();
+        self.queued_bytes = 0;
+        n
     }
 }
 

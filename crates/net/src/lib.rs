@@ -51,6 +51,7 @@
 //! sim.run(); // handshake completes; sends may follow
 //! ```
 
+pub mod fault;
 pub mod iface;
 pub mod ids;
 pub mod network;
@@ -62,6 +63,7 @@ pub mod topology;
 
 /// Convenient re-exports for worlds built on this crate.
 pub mod prelude {
+    pub use crate::fault::{apply_fault, crash_host, restart_host, schedule_fault_plan};
     pub use crate::ids::{CreateToken, HostId, NetRmsId, NetworkId};
     pub use crate::network::NetworkSpec;
     pub use crate::pipeline::{

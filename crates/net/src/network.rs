@@ -13,6 +13,7 @@
 
 use dash_security::checksum::Algorithm;
 use dash_security::suite::NetworkCapabilities;
+use dash_sim::fault::GilbertElliott;
 use dash_sim::rng::Rng;
 use dash_sim::time::SimDuration;
 use rms_core::compat::{PerfLimits, ServiceTable};
@@ -134,9 +135,20 @@ impl NetworkSpec {
     }
 
     /// Probability a whole packet of `wire_bytes` is lost in one traversal
-    /// (drop + corruption beyond checksum repair is handled separately).
-    pub fn packet_loss_probability(&self, _wire_bytes: u64) -> f64 {
-        self.drop_prob
+    /// (corruption beyond checksum repair is handled separately).
+    ///
+    /// `drop_prob` is calibrated to a [`REF_LOSS_BYTES`]-byte packet; loss
+    /// is modelled as independent per byte, so larger packets are
+    /// proportionally more exposed and smaller ones less.
+    pub fn packet_loss_probability(&self, wire_bytes: u64) -> f64 {
+        if self.drop_prob <= 0.0 {
+            return 0.0;
+        }
+        if self.drop_prob >= 1.0 {
+            return 1.0;
+        }
+        let scale = wire_bytes as f64 / REF_LOSS_BYTES as f64;
+        1.0 - (1.0 - self.drop_prob).powf(scale)
     }
 
     /// Derive the §3.1 service table: performance limits per reliability ×
@@ -180,6 +192,11 @@ impl NetworkSpec {
 /// Maximum ARQ retries assumed when budgeting reliable delay bounds.
 pub const ARQ_RETRY_BUDGET: u32 = 4;
 
+/// Reference packet size `NetworkSpec::drop_prob` is calibrated to: a
+/// packet of exactly this many wire bytes is lost with probability
+/// `drop_prob`.
+pub const REF_LOSS_BYTES: u64 = 1024;
+
 /// A live network instance: spec + attachments + wire behaviour + optional
 /// wiretap used by the security tests.
 #[derive(Debug)]
@@ -192,6 +209,9 @@ pub struct Network {
     pub attached: Vec<HostId>,
     /// True once [`crate::pipeline::fail_network`] brought it down.
     pub down: bool,
+    /// When set (fault injection), the loss process is this Gilbert–Elliott
+    /// burst channel instead of the spec's i.i.d. drop probability.
+    pub burst: Option<GilbertElliott>,
     /// When enabled, every data payload traversing the network is recorded
     /// (what an eavesdropper would capture).
     pub wiretap: Option<Vec<bytes::Bytes>>,
@@ -222,6 +242,7 @@ impl Network {
             spec,
             attached: Vec::new(),
             down: false,
+            burst: None,
             wiretap: None,
         }
     }
@@ -229,8 +250,14 @@ impl Network {
     /// Sample what happens to a packet of `wire_bytes` bytes crossing this
     /// network. `reliable` selects link-level ARQ: losses/corruption turn
     /// into bounded extra delay instead (up to [`ARQ_RETRY_BUDGET`] tries,
-    /// after which the packet is lost anyway).
-    pub fn sample_traversal(&self, rng: &mut Rng, wire_bytes: u64, reliable: bool) -> WireOutcome {
+    /// after which the packet is lost anyway). Takes `&mut self` because an
+    /// active Gilbert–Elliott burst channel advances one step per attempt.
+    pub fn sample_traversal(
+        &mut self,
+        rng: &mut Rng,
+        wire_bytes: u64,
+        reliable: bool,
+    ) -> WireOutcome {
         let base = self.spec.propagation;
         if self.down {
             return WireOutcome::Lost;
@@ -239,13 +266,18 @@ impl Network {
         let p_corrupt = BitErrorRate::new(self.spec.caps.raw_ber.clamp(0.0, 1.0))
             .expect("valid raw ber")
             .message_error_probability(wire_bytes);
+        let burst = &mut self.burst;
+        let mut lost_once = |rng: &mut Rng| match burst {
+            Some(ge) => ge.sample_loss(rng),
+            None => rng.chance(p_drop),
+        };
         if reliable {
             // Link-level ARQ: losses and corruption become bounded extra
             // delay. After the retry budget the packet is delivered anyway
             // (ARQ eventually succeeds); only a down network loses it.
             let mut delay = base;
             for _ in 0..ARQ_RETRY_BUDGET {
-                let lost = rng.chance(p_drop);
+                let lost = lost_once(rng);
                 let corrupted = rng.chance(p_corrupt);
                 if !lost && !corrupted {
                     break;
@@ -254,7 +286,7 @@ impl Network {
             }
             WireOutcome::Delivered { delay }
         } else {
-            if rng.chance(p_drop) {
+            if lost_once(rng) {
                 return WireOutcome::Lost;
             }
             if rng.chance(p_corrupt) {
@@ -339,7 +371,7 @@ mod tests {
         let mut spec = NetworkSpec::ethernet("e");
         spec.drop_prob = 0.0;
         spec.caps.raw_ber = 0.0;
-        let net = Network::new(NetworkId(0), spec);
+        let mut net = Network::new(NetworkId(0), spec);
         let mut rng = Rng::new(1);
         for _ in 0..100 {
             match net.sample_traversal(&mut rng, 1500, false) {
@@ -356,14 +388,59 @@ mod tests {
         let mut spec = NetworkSpec::ethernet("e");
         spec.drop_prob = 0.2;
         spec.caps.raw_ber = 0.0;
-        let net = Network::new(NetworkId(0), spec);
+        let mut net = Network::new(NetworkId(0), spec);
         let mut rng = Rng::new(2);
         let n = 20_000;
+        // drop_prob is calibrated at the reference packet size.
         let lost = (0..n)
-            .filter(|_| matches!(net.sample_traversal(&mut rng, 100, false), WireOutcome::Lost))
+            .filter(|_| {
+                matches!(
+                    net.sample_traversal(&mut rng, REF_LOSS_BYTES, false),
+                    WireOutcome::Lost
+                )
+            })
             .count();
         let rate = lost as f64 / n as f64;
         assert!((rate - 0.2).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn loss_probability_scales_with_packet_size() {
+        let mut spec = NetworkSpec::ethernet("e");
+        spec.drop_prob = 0.1;
+        let p_ref = spec.packet_loss_probability(REF_LOSS_BYTES);
+        let p_small = spec.packet_loss_probability(REF_LOSS_BYTES / 4);
+        let p_large = spec.packet_loss_probability(REF_LOSS_BYTES * 4);
+        assert!((p_ref - 0.1).abs() < 1e-12, "reference calibration {p_ref}");
+        assert!(p_small < p_ref && p_ref < p_large, "{p_small} {p_ref} {p_large}");
+        // Independent per-byte loss: quadrupling the size compounds the
+        // survival probability, not the loss probability.
+        assert!((1.0 - p_large - (1.0 - p_ref).powi(4)).abs() < 1e-12);
+        // Degenerate cases stay clamped.
+        spec.drop_prob = 0.0;
+        assert_eq!(spec.packet_loss_probability(u64::MAX), 0.0);
+        spec.drop_prob = 1.0;
+        assert_eq!(spec.packet_loss_probability(1), 1.0);
+    }
+
+    #[test]
+    fn burst_channel_overrides_iid_drops() {
+        let mut spec = NetworkSpec::ethernet("e");
+        spec.drop_prob = 0.0;
+        spec.caps.raw_ber = 0.0;
+        let mut net = Network::new(NetworkId(0), spec);
+        // A channel pinned to the bad state losing everything.
+        net.burst = Some(GilbertElliott::new(1.0, 0.0, 0.0, 1.0));
+        let mut rng = Rng::new(11);
+        for _ in 0..50 {
+            assert_eq!(net.sample_traversal(&mut rng, 512, false), WireOutcome::Lost);
+        }
+        // Clearing the burst restores the (perfect) i.i.d. process.
+        net.burst = None;
+        assert!(matches!(
+            net.sample_traversal(&mut rng, 512, false),
+            WireOutcome::Delivered { .. }
+        ));
     }
 
     #[test]
@@ -371,7 +448,7 @@ mod tests {
         let mut spec = NetworkSpec::ethernet("e");
         spec.drop_prob = 0.3;
         spec.caps.raw_ber = 0.0;
-        let net = Network::new(NetworkId(0), spec);
+        let mut net = Network::new(NetworkId(0), spec);
         let mut rng = Rng::new(3);
         let mut delays = Vec::new();
         for _ in 0..5_000 {
@@ -404,9 +481,9 @@ mod tests {
         let mut spec = NetworkSpec::ethernet("e");
         spec.drop_prob = 0.0;
         spec.caps.raw_ber = 1e-5;
-        let net = Network::new(NetworkId(0), spec);
+        let mut net = Network::new(NetworkId(0), spec);
         let mut rng = Rng::new(5);
-        let count = |bytes: u64, rng: &mut Rng| {
+        let mut count = |bytes: u64, rng: &mut Rng| {
             (0..4_000)
                 .filter(|_| {
                     matches!(

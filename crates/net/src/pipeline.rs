@@ -22,7 +22,8 @@ use crate::ids::{CreateToken, HostId, NetRmsId, NetworkId};
 use crate::network::WireOutcome;
 use crate::packet::{DataPacket, NakReason, Packet, PacketKind};
 use crate::rms::{Buffered, NetRms, RmsRole, REORDER_FAIL_THRESHOLD};
-use crate::state::{NetRmsEvent, NetWorld, PendingCreate, PendingInvite};
+use crate::state::{NetRmsEvent, NetState, NetWorld, PendingCreate, PendingInvite};
+use crate::topology::compute_routes;
 
 // ---------------------------------------------------------------------------
 // Path-wide negotiation helpers
@@ -317,6 +318,22 @@ fn start_create_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: C
                 return;
             }
         };
+        // Routes are recomputed on network failure, but a retry timer may
+        // still fire with a route over a network that died meanwhile:
+        // admission refuses new RMSs on down media outright.
+        let first_net_id = net.host(creator).ifaces[route.iface].network;
+        if net.network(first_net_id).down {
+            net.host_mut(creator).pending.remove(&token);
+            W::rms_event(
+                sim,
+                creator,
+                NetRmsEvent::CreateFailed {
+                    token,
+                    reason: RejectReason::NoRoute,
+                },
+            );
+            return;
+        }
         let host = net.host_mut(creator);
         if !host.reservations.contains_key(&rms) {
             let admitted = host.ifaces[route.iface].ledger.admit(&params);
@@ -629,6 +646,11 @@ pub fn send_datagram<W: NetWorld>(
 /// queue overflow).
 pub fn route_and_enqueue<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) -> bool {
     let now = sim.now();
+    if !sim.state.net_ref().host(host).up {
+        // A crashed host originates and forwards nothing.
+        sim.state.net().stats.wire_drops.incr();
+        return false;
+    }
     if packet.dst == host {
         // Loopback: no wire involved.
         sim.schedule_in(SimDuration::ZERO, move |sim| on_arrival(sim, host, packet));
@@ -726,7 +748,9 @@ pub fn start_tx<W: NetWorld>(sim: &mut Sim<W>, host: HostId, iface_idx: usize) {
     let (packet, network_id, tx_time) = {
         let net = sim.state.net();
         let iface = &mut net.host_mut(host).ifaces[iface_idx];
-        if iface.is_busy() {
+        if iface.is_busy() || iface.is_stalled(now) {
+            // A stalled transmitter holds its queue; `stall_iface` schedules
+            // the restart kick when the stall expires.
             return;
         }
         let packet = match iface.dequeue(now) {
@@ -780,10 +804,22 @@ fn finish_tx<W: NetWorld>(
         }
         let bytes = packet.wire_bytes();
         let reliable = packet.reliable;
-        // Disjoint field borrows: the network is read while the RNG mutates.
-        let rng = &mut net.rng;
-        let outcome =
-            net.networks[network_id.0 as usize].sample_traversal(rng, bytes, reliable);
+        let crashed = !net.host(host).up;
+        let partitioned = next_hop.is_some_and(|next| net.is_partitioned(host, next));
+        let outcome = if crashed || partitioned {
+            // The sender died mid-transmission, or a partition filter sits
+            // between the two hosts: the packet never makes it across.
+            WireOutcome::Lost
+        } else {
+            // Disjoint field borrows: the network (burst channel state)
+            // mutates alongside the RNG.
+            let NetState {
+                ref mut rng,
+                ref mut networks,
+                ..
+            } = *net;
+            networks[network_id.0 as usize].sample_traversal(rng, bytes, reliable)
+        };
         (outcome, next_hop)
     };
     match (outcome, next_hop) {
@@ -809,6 +845,11 @@ fn finish_tx<W: NetWorld>(
 
 /// A packet arrived at `host` (off the wire or via loopback).
 pub fn on_arrival<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
+    if !sim.state.net_ref().host(host).up {
+        // Packets addressed to (or through) a crashed host die on arrival.
+        sim.state.net().stats.wire_drops.incr();
+        return;
+    }
     match &packet.kind {
         PacketKind::CreateReq { .. } => handle_create_req(sim, host, packet),
         PacketKind::CreateNak { .. } => handle_create_nak(sim, host, packet),
@@ -1377,9 +1418,13 @@ fn deliver_data<W: NetWorld>(
 /// [`FailReason::NetworkDown`] (§2 property 3: "clients are notified of an
 /// RMS failure").
 pub fn fail_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
+    let now = sim.now();
     let mut failures: Vec<(HostId, NetRmsId)> = Vec::new();
     {
         let net = sim.state.net();
+        if net.network(network).down {
+            return;
+        }
         net.network_mut(network).down = true;
         for host in &mut net.hosts {
             for (id, state) in host.rms.iter_mut() {
@@ -1388,6 +1433,14 @@ pub fn fail_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
                     failures.push((host.id, *id));
                 }
             }
+        }
+        // `NetHost::rms` is a HashMap: sort so notification order (and thus
+        // everything downstream of it) is identical across runs of a seed.
+        failures.sort_by_key(|(h, r)| (h.0, r.0));
+        compute_routes(net);
+        if net.obs.is_active() {
+            net.obs
+                .emit(now, ObsEvent::NetworkFailed { network: network.0 });
         }
     }
     for (host, rms) in failures {
@@ -1400,10 +1453,25 @@ pub fn fail_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
             },
         );
     }
+    W::network_event(sim, network, false);
 }
 
 /// Restore a failed network. Existing RMSs stay failed (clients must create
-/// new ones, §4.4); new creations will succeed again.
+/// new ones, §4.4); new creations will succeed again. Upper layers hear
+/// about the recovery through [`NetWorld::network_event`].
 pub fn restore_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
-    sim.state.net().network_mut(network).down = false;
+    let now = sim.now();
+    {
+        let net = sim.state.net();
+        if !net.network(network).down {
+            return;
+        }
+        net.network_mut(network).down = false;
+        compute_routes(net);
+        if net.obs.is_active() {
+            net.obs
+                .emit(now, ObsEvent::NetworkRestored { network: network.0 });
+        }
+    }
+    W::network_event(sim, network, true);
 }

@@ -148,6 +148,9 @@ pub struct NetHost {
     /// When this host's CPU becomes free (used by the default FIFO CPU
     /// model of [`NetWorld::charge_cpu`]).
     pub cpu_free_at: SimTime,
+    /// False while the host is crashed (fault injection): it neither sends,
+    /// forwards, nor receives, and its packets die on arrival.
+    pub up: bool,
 }
 
 impl NetHost {
@@ -176,6 +179,10 @@ pub struct NetState {
     pub obs: Obs,
     /// Global statistics.
     pub stats: NetStats,
+    /// Partitioned host pairs (fault injection): traffic between the two
+    /// hosts is silently dropped on every network hop. Keys are normalized
+    /// `(min, max)` id pairs; a `BTreeSet` keeps iteration deterministic.
+    pub partitions: std::collections::BTreeSet<(u32, u32)>,
     next_rms: u64,
     next_token: u64,
 }
@@ -192,8 +199,32 @@ impl NetState {
             trace: Trace::default(),
             obs: Obs::new(),
             stats: NetStats::default(),
+            partitions: std::collections::BTreeSet::new(),
             next_rms: 1,
             next_token: 1,
+        }
+    }
+
+    /// Whether traffic between `a` and `b` is currently partitioned.
+    pub fn is_partitioned(&self, a: HostId, b: HostId) -> bool {
+        self.partitions.contains(&Self::pair(a, b))
+    }
+
+    /// Install a partition between `a` and `b` (idempotent).
+    pub fn partition(&mut self, a: HostId, b: HostId) {
+        self.partitions.insert(Self::pair(a, b));
+    }
+
+    /// Remove the partition between `a` and `b` (idempotent).
+    pub fn heal_partition(&mut self, a: HostId, b: HostId) {
+        self.partitions.remove(&Self::pair(a, b));
+    }
+
+    fn pair(a: HostId, b: HostId) -> (u32, u32) {
+        if a.0 <= b.0 {
+            (a.0, b.0)
+        } else {
+            (b.0, a.0)
         }
     }
 
@@ -391,6 +422,15 @@ pub trait NetWorld: Sized + 'static {
     /// ad-hoc congestion control.
     fn deliver_quench(sim: &mut Sim<Self>, host: HostId, proto: u16, dropped_dst: HostId) {
         let _ = (sim, host, proto, dropped_dst);
+    }
+
+    /// A network changed availability: `up = false` after
+    /// [`crate::pipeline::fail_network`], `up = true` after
+    /// [`crate::pipeline::restore_network`]. Layers that cache network
+    /// resources (the ST, §4.2) hook this to fail over or re-establish.
+    /// Default: ignored.
+    fn network_event(sim: &mut Sim<Self>, network: NetworkId, up: bool) {
+        let _ = (sim, network, up);
     }
 }
 

@@ -131,6 +131,7 @@ impl TopologyBuilder {
                 pending: HashMap::new(),
                 invites: HashMap::new(),
                 cpu_free_at: dash_sim::time::SimTime::ZERO,
+                up: true,
             });
         }
         compute_routes(&mut state);
@@ -139,13 +140,23 @@ impl TopologyBuilder {
 }
 
 /// (Re)compute all-pairs shortest-hop routes.
+///
+/// Fault-aware: down networks carry no edges, and crashed hosts are never
+/// used as transit (they can still be a destination — packets addressed to
+/// them die on arrival instead). Called again by
+/// [`crate::pipeline::fail_network`] / [`crate::pipeline::restore_network`]
+/// so later creates route around dead media.
 pub fn compute_routes(state: &mut NetState) {
     let n_hosts = state.hosts.len();
     // neighbours[h] = [(neighbour, iface index of h used to reach it)]
     let mut neighbours: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_hosts];
     for (h, host) in state.hosts.iter().enumerate() {
         for (idx, iface) in host.ifaces.iter().enumerate() {
-            for peer in &state.networks[iface.network.0 as usize].attached {
+            let network = &state.networks[iface.network.0 as usize];
+            if network.down {
+                continue;
+            }
+            for peer in &network.attached {
                 if peer.0 as usize != h {
                     neighbours[h].push((peer.0 as usize, idx));
                 }
@@ -162,6 +173,11 @@ pub fn compute_routes(state: &mut NetState) {
         visited[src] = true;
         queue.push_back(src);
         while let Some(u) = queue.pop_front() {
+            // Crashed hosts do not forward (or originate): reachable as a
+            // destination, but never expanded.
+            if !state.hosts[u].up {
+                continue;
+            }
             for &(v, iface) in &neighbours[u] {
                 if !visited[v] {
                     visited[v] = true;
@@ -227,7 +243,7 @@ mod tests {
         let r = state.host(a).routes.get(&c).unwrap();
         assert_eq!(r.next_hop, c);
         assert_eq!(r.iface, 0);
-        assert!(state.host(a).routes.get(&a).is_none());
+        assert!(!state.host(a).routes.contains_key(&a));
     }
 
     #[test]
@@ -255,7 +271,7 @@ mod tests {
         let a = b.host_on(n1);
         let c = b.host_on(n2);
         let state = b.build();
-        assert!(state.host(a).routes.get(&c).is_none());
+        assert!(!state.host(a).routes.contains_key(&c));
         assert!(state.path(a, c).is_none());
     }
 

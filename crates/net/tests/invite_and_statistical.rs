@@ -47,10 +47,10 @@ impl NetWorld for World {
     fn rms_event(sim: &mut Sim<Self>, _host: HostId, event: NetRmsEvent) {
         match event {
             NetRmsEvent::Created { .. } => sim.state.ev.created += 1,
-            NetRmsEvent::InboundCreated { invite, .. } => {
-                if invite.is_some() {
-                    sim.state.ev.inbound_with_invite += 1;
-                }
+            NetRmsEvent::InboundCreated {
+                invite: Some(_), ..
+            } => {
+                sim.state.ev.inbound_with_invite += 1;
             }
             NetRmsEvent::SenderCreatedByInvite { .. } => sim.state.ev.sender_by_invite += 1,
             NetRmsEvent::CreateFailed { .. } | NetRmsEvent::InviteFailed { .. } => {

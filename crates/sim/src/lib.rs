@@ -14,6 +14,8 @@
 //! - [`cpu`]: per-host CPU model with EDF / FIFO / priority short-term
 //!   scheduling and context-switch costs (paper §4.1).
 //! - [`rng`]: self-contained xoshiro256++ PRNG with forkable sub-streams.
+//! - [`fault`]: fault-injection plans (scripted and seeded-random schedules
+//!   of network failure, partitions, burst loss, stalls, crashes).
 //! - [`stats`]: counters, online moments, exact-quantile histograms, rate
 //!   meters.
 //! - [`trace`]: bounded ring-buffer tracing.
@@ -32,6 +34,7 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod fault;
 pub mod obs;
 pub mod rng;
 pub mod stats;
@@ -39,6 +42,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Event, Sim, TimerHandle};
+pub use fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, GilbertElliott};
 pub use obs::{JsonLinesSink, MetricRegistry, Obs, ObsEvent, ObsSink, SpanRecord, Stage};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

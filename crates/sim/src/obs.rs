@@ -377,6 +377,13 @@ pub enum ObsEvent {
         /// Stream session id.
         session: u64,
     },
+    /// A reliable stream sender gave up after its retry budget.
+    StreamRetriesExhausted {
+        /// Sending host.
+        host: u32,
+        /// Stream session id.
+        session: u64,
+    },
     /// An RKOM call was issued (§3.3).
     RkomSend {
         /// Calling host.
@@ -401,6 +408,50 @@ pub enum ObsEvent {
         conn: u64,
         /// Segments resent.
         segments: u64,
+    },
+    /// A fault was injected (fault-injection subsystem, `dash_sim::fault`).
+    FaultInjected {
+        /// The fault kind's short name ([`crate::fault::FaultKind::name`]);
+        /// also increments a per-kind `fault.<kind>` counter.
+        kind: &'static str,
+    },
+    /// A network went down; RMSs over it failed.
+    NetworkFailed {
+        /// The network.
+        network: u32,
+    },
+    /// A network came back up; routes over it are usable again.
+    NetworkRestored {
+        /// The network.
+        network: u32,
+    },
+    /// A host crashed, losing its protocol state.
+    HostCrashed {
+        /// The host.
+        host: u32,
+    },
+    /// A crashed host restarted with empty protocol state.
+    HostRestarted {
+        /// The host.
+        host: u32,
+    },
+    /// The ST began failing streams over to a new network RMS after their
+    /// network RMS died.
+    FailoverStarted {
+        /// The host performing failover.
+        host: u32,
+        /// How many ST streams are being moved.
+        streams: u32,
+    },
+    /// One ST stream completed failover onto a replacement network RMS.
+    FailoverCompleted {
+        /// The host.
+        host: u32,
+        /// The recovered ST stream.
+        st_rms: u64,
+        /// Failure-to-recovery latency in seconds (also recorded in the
+        /// `fault.recovery_latency` histogram).
+        latency_s: f64,
     },
 }
 
@@ -435,9 +486,17 @@ impl ObsEvent {
             ObsEvent::StreamDeliver { .. } => "stream.deliver",
             ObsEvent::StreamAck { .. } => "stream.ack_sent",
             ObsEvent::StreamBlocked { .. } => "stream.sender_blocked",
+            ObsEvent::StreamRetriesExhausted { .. } => "stream.retries_exhausted",
             ObsEvent::RkomSend { .. } => "rkom.call",
             ObsEvent::RkomDeliver { .. } => "rkom.completed",
             ObsEvent::TcpRetransmit { .. } => "tcp.retransmit",
+            ObsEvent::FaultInjected { .. } => "fault.injected",
+            ObsEvent::NetworkFailed { .. } => "net.network_failed",
+            ObsEvent::NetworkRestored { .. } => "net.network_restored",
+            ObsEvent::HostCrashed { .. } => "net.host_crashed",
+            ObsEvent::HostRestarted { .. } => "net.host_restarted",
+            ObsEvent::FailoverStarted { .. } => "st.failover_started",
+            ObsEvent::FailoverCompleted { .. } => "st.failover_completed",
         }
     }
 
@@ -598,6 +657,15 @@ impl MetricRegistry {
             }
             ObsEvent::TcpRetransmit { segments, .. } => {
                 self.counter("tcp.segments_retransmitted").add(*segments);
+            }
+            ObsEvent::FaultInjected { kind } => {
+                self.counter(&format!("fault.{kind}")).incr();
+            }
+            ObsEvent::FailoverStarted { streams, .. } => {
+                self.counter("st.failover_streams").add(u64::from(*streams));
+            }
+            ObsEvent::FailoverCompleted { latency_s, .. } => {
+                self.histogram("fault.recovery_latency").record(*latency_s);
             }
             _ => {}
         }

@@ -7,7 +7,7 @@
 //! deliveries and events here via [`on_net_deliver`] / [`on_net_event`].
 
 use bytes::Bytes;
-use dash_net::ids::{HostId, NetRmsId};
+use dash_net::ids::{HostId, NetRmsId, NetworkId};
 use dash_net::pipeline as net;
 use dash_net::state::NetRmsEvent;
 use dash_sim::engine::Sim;
@@ -1046,7 +1046,10 @@ fn assign_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, st_rms: StRmsId) -> b
             false
         }
         Err(e) => {
-            // Report failure through the pending token.
+            // Report failure through the pending token; an established
+            // stream (re-admitting after its carrier died) has none, so it
+            // stays behind marked failed — later sends return a typed
+            // [`RmsError::Failed`] — and the client hears a typed event.
             let token = sim
                 .state
                 .st()
@@ -1054,10 +1057,23 @@ fn assign_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, st_rms: StRmsId) -> b
                 .streams
                 .get_mut(&st_rms)
                 .and_then(|s| s.pending_token.take());
-            sim.state.st().host_mut(host).streams.remove(&st_rms);
             if let Some(token) = token {
+                sim.state.st().host_mut(host).streams.remove(&st_rms);
                 let reason = reject_of(&e);
                 W::st_event(sim, host, StEvent::CreateFailed { token, reason });
+            } else {
+                if let Some(s) = sim.state.st().host_mut(host).streams.get_mut(&st_rms) {
+                    s.failed = true;
+                    s.failover_since = None;
+                }
+                W::st_event(
+                    sim,
+                    host,
+                    StEvent::Failed {
+                        st_rms,
+                        reason: FailReason::NetworkDown,
+                    },
+                );
             }
             send_ctrl(sim, host, peer, ControlMsg::StClose { st_rms });
             false
@@ -1331,6 +1347,7 @@ fn new_stream(id: StRmsId, peer: HostId, role: StRole, params: RmsParams, fast_a
         reassembly: Reassembly::new(),
         in_net: None,
         failed: false,
+        failover_since: None,
         delivered: Default::default(),
         bytes: Default::default(),
         late: Default::default(),
@@ -1607,6 +1624,7 @@ pub fn on_net_event<W: StWorld>(sim: &mut Sim<W>, host: HostId, event: &NetRmsEv
                                 },
                             );
                         }
+                        complete_failover_if_pending(sim, host, st_rms);
                     }
                     for st_rms in spilled {
                         if let Some(s) = sim.state.st().host_mut(host).streams.get_mut(&st_rms) {
@@ -1633,6 +1651,7 @@ pub fn on_net_event<W: StWorld>(sim: &mut Sim<W>, host: HostId, event: &NetRmsEv
                                     },
                                 );
                             }
+                            complete_failover_if_pending(sim, host, st_rms);
                         }
                     }
                 }
@@ -1655,11 +1674,29 @@ pub fn on_net_event<W: StWorld>(sim: &mut Sim<W>, host: HostId, event: &NetRmsEv
                             .and_then(|p| p.data.remove(&slot))
                             .map(|d| d.assigned)
                             .unwrap_or_default();
-                        assigned
-                            .iter()
-                            .filter_map(|s| sth.streams.remove(s))
-                            .map(|mut s| (s.id, s.pending_token.take()))
-                            .collect()
+                        let mut out = Vec::new();
+                        for sid in assigned {
+                            if !sth.streams.contains_key(&sid) {
+                                continue;
+                            }
+                            let tok = sth
+                                .streams
+                                .get_mut(&sid)
+                                .and_then(|s| s.pending_token.take());
+                            if tok.is_some() {
+                                // Never-established create: forget it.
+                                sth.streams.remove(&sid);
+                            } else if let Some(s) = sth.streams.get_mut(&sid) {
+                                // Established stream whose failover carrier
+                                // could not be created: keep it marked
+                                // failed so sends return a typed error.
+                                s.failed = true;
+                                s.failover_since = None;
+                                s.slot = None;
+                            }
+                            out.push((sid, tok));
+                        }
+                        out
                     };
                     for (st_rms, tok) in victims {
                         send_ctrl(sim, host, peer, ControlMsg::StClose { st_rms });
@@ -1670,6 +1707,15 @@ pub fn on_net_event<W: StWorld>(sim: &mut Sim<W>, host: HostId, event: &NetRmsEv
                                 StEvent::CreateFailed {
                                     token: tok,
                                     reason: reason.clone(),
+                                },
+                            );
+                        } else {
+                            W::st_event(
+                                sim,
+                                host,
+                                StEvent::Failed {
+                                    st_rms,
+                                    reason: FailReason::NetworkDown,
                                 },
                             );
                         }
@@ -1698,7 +1744,7 @@ fn handle_net_failure<W: StWorld>(
     sim: &mut Sim<W>,
     host: HostId,
     rms: NetRmsId,
-    reason: FailReason,
+    _reason: FailReason,
 ) {
     let use_ = sim.state.st().host_mut(host).by_net.remove(&rms);
     match use_ {
@@ -1709,12 +1755,22 @@ fn handle_net_failure<W: StWorld>(
                 p.authed = false;
             }
             fail_queued_creates(sim, host, peer, RejectReason::Timeout);
+            // An alternate network may still connect the two hosts:
+            // re-establish eagerly so later creates don't pay the setup.
+            ensure_control(sim, host, peer);
         }
         Some(NetUse::ControlIn(peer)) => {
             peer_state(sim, host, peer).control_in = None;
         }
         Some(NetUse::DataOut(peer, slot)) => {
-            let victims: Vec<(StRmsId, Option<StToken>)> = {
+            // Failover (§4.2): the carrier died, but the ST streams on it
+            // are still live contracts with their clients. Detach them and
+            // re-run admission over whatever routes remain — a cached or
+            // fresh network RMS on an alternate network keeps the stream
+            // alive, and only when re-admission fails does the client see
+            // a typed failure (via assign_slot / CreateFailed).
+            let now = sim.now();
+            let victims: Vec<StRmsId> = {
                 let sth = sim.state.st().host_mut(host);
                 let assigned = sth
                     .peers
@@ -1725,43 +1781,118 @@ fn handle_net_failure<W: StWorld>(
                 let mut out = Vec::new();
                 for sid in &assigned {
                     if let Some(s) = sth.streams.get_mut(sid) {
-                        s.failed = true;
-                        out.push((s.id, s.pending_token.take()));
+                        s.slot = None;
+                        if s.failover_since.is_none() {
+                            s.failover_since = Some(now);
+                        }
+                        out.push(s.id);
                     }
                 }
                 out
             };
-            for (st_rms, tok) in victims {
-                if let Some(tok) = tok {
-                    W::st_event(
-                        sim,
-                        host,
-                        StEvent::CreateFailed {
-                            token: tok,
-                            reason: RejectReason::Timeout,
+            if !victims.is_empty() {
+                let net = sim.state.net();
+                if net.obs.is_active() {
+                    net.obs.emit(
+                        now,
+                        ObsEvent::FailoverStarted {
+                            host: host.0,
+                            streams: victims.len() as u32,
                         },
                     );
-                } else {
-                    W::st_event(sim, host, StEvent::Failed { st_rms, reason });
+                }
+            }
+            for st_rms in victims {
+                if assign_slot(sim, host, st_rms) {
+                    complete_failover_if_pending(sim, host, st_rms);
                 }
             }
         }
         Some(NetUse::DataIn(_peer)) => {
-            let victims: Vec<StRmsId> = {
-                let sth = sim.state.st().host_mut(host);
-                sth.streams
-                    .values_mut()
-                    .filter(|s| s.role == StRole::Receiver && s.in_net == Some(rms) && !s.failed)
-                    .map(|s| {
-                        s.failed = true;
-                        s.id
-                    })
-                    .collect()
-            };
-            for st_rms in victims {
-                W::st_event(sim, host, StEvent::Failed { st_rms, reason });
+            // Receiver side: the inbound carrier died, but the sender may
+            // fail over to a replacement; the binding is re-learned from
+            // the first frame on the new carrier (handle_data). Forget it.
+            let sth = sim.state.st().host_mut(host);
+            for s in sth.streams.values_mut() {
+                if s.role == StRole::Receiver && s.in_net == Some(rms) {
+                    s.in_net = None;
+                }
             }
         }
         None => {}
+    }
+}
+
+/// If `st_rms` was failing over, close the failover span: record the
+/// recovery latency and emit [`ObsEvent::FailoverCompleted`].
+fn complete_failover_if_pending<W: StWorld>(sim: &mut Sim<W>, host: HostId, st_rms: StRmsId) {
+    let since = sim
+        .state
+        .st()
+        .host_mut(host)
+        .streams
+        .get_mut(&st_rms)
+        .and_then(|s| s.failover_since.take());
+    let Some(since) = since else {
+        return;
+    };
+    let now = sim.now();
+    let latency_s = now.saturating_since(since).as_secs_f64();
+    let net = sim.state.net();
+    if net.obs.is_active() {
+        net.obs.emit(
+            now,
+            ObsEvent::FailoverCompleted {
+                host: host.0,
+                st_rms: st_rms.0,
+                latency_s,
+            },
+        );
+    }
+}
+
+/// The world's `NetWorld::network_event` must forward here.
+///
+/// On recovery (`up = true`) every host re-establishes control channels the
+/// failure tore down, so stream creation toward those peers works again
+/// without waiting for client traffic. Failure (`up = false`) needs no
+/// extra work: [`on_net_event`] already saw `Failed` for every RMS on the
+/// dead network.
+pub fn on_network_event<W: StWorld>(sim: &mut Sim<W>, network: NetworkId, up: bool) {
+    let _ = network;
+    if !up {
+        return;
+    }
+    let work: Vec<(HostId, HostId)> = {
+        let state = &sim.state;
+        let st = state.st_ref();
+        let mut out = Vec::new();
+        for (h, sth) in st.hosts.iter().enumerate() {
+            let host = HostId(h as u32);
+            if !state.net_ref().host(host).up {
+                continue;
+            }
+            let mut peers: Vec<HostId> = sth
+                .peers
+                .iter()
+                .filter(|(peer, p)| {
+                    p.control_out.is_none()
+                        && !p.control_creating
+                        && (!p.data.is_empty()
+                            || !p.queued_ctrl.is_empty()
+                            || sth.streams.values().any(|s| s.peer == **peer))
+                })
+                .map(|(peer, _)| *peer)
+                .collect();
+            // `peers` is a HashMap: sort for deterministic replay.
+            peers.sort();
+            for peer in peers {
+                out.push((host, peer));
+            }
+        }
+        out
+    };
+    for (host, peer) in work {
+        ensure_control(sim, host, peer);
     }
 }

@@ -188,6 +188,10 @@ pub struct StStream {
     pub in_net: Option<NetRmsId>,
     /// Set when the stream failed.
     pub failed: bool,
+    /// Sender: instant the stream lost its carrier to a network failure and
+    /// began failing over; cleared (with a recovery-latency observation)
+    /// when a replacement slot is ready.
+    pub failover_since: Option<SimTime>,
     /// Receiver-side delivery statistics.
     pub delivered: Counter,
     /// Receiver-side payload bytes delivered.

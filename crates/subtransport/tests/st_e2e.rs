@@ -6,7 +6,7 @@ use bytes::Bytes;
 use dash_net::ids::{HostId, NetRmsId};
 use dash_net::state::{NetRmsEvent, NetState, NetWorld};
 use dash_net::topology::{dumbbell, two_hosts_ethernet};
-use dash_sim::time::{SimDuration, SimTime};
+use dash_sim::time::SimDuration;
 use dash_sim::Sim;
 use dash_subtransport::engine;
 use dash_subtransport::ids::{StRmsId, StToken};
@@ -181,9 +181,11 @@ fn closed_stream_leaves_cached_network_rms() {
 #[test]
 fn piggybacking_bundles_messages() {
     let (net, a, b) = two_hosts_ethernet();
-    let mut config = StConfig::default();
-    config.piggyback = true;
-    config.piggyback_slack = SimDuration::from_millis(5);
+    let config = StConfig {
+        piggyback: true,
+        piggyback_slack: SimDuration::from_millis(5),
+        ..StConfig::default()
+    };
     let mut sim = Sim::new(World::new(net, config));
     // A loose delay bound leaves room for queueing.
     let params = RmsParams::builder(32 * 1024, 1024)
@@ -213,8 +215,10 @@ fn piggybacking_bundles_messages() {
 #[test]
 fn piggyback_disabled_sends_alone() {
     let (net, a, b) = two_hosts_ethernet();
-    let mut config = StConfig::default();
-    config.piggyback = false;
+    let config = StConfig {
+        piggyback: false,
+        ..StConfig::default()
+    };
     let mut sim = Sim::new(World::new(net, config));
     let st_rms = establish(&mut sim, a, b, &basic_request(), false);
     for i in 0..5u8 {
@@ -383,8 +387,10 @@ fn send_datagram_payload_roundtrip_not_affected_by_st() {
 #[test]
 fn idle_cache_evicts_beyond_limit() {
     let (net, a, b) = two_hosts_ethernet();
-    let mut config = StConfig::default();
-    config.cache_idle_limit = 1;
+    let config = StConfig {
+        cache_idle_limit: 1,
+        ..StConfig::default()
+    };
     let mut sim = Sim::new(World::new(net, config));
     // Two *incompatible* streams force two data network RMSs.
     let req1 = RmsRequest::exact(RmsParams::builder(8 * 1024, 1024).build().unwrap());

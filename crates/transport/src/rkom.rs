@@ -594,7 +594,20 @@ pub fn on_st_event(sim: &mut Sim<Stack>, host: HostId, event: StEvent) {
                 RkomError::ChannelFailed(RmsError::CreationRejected(reason)),
             );
         }
-        StEvent::Failed { st_rms, .. } | StEvent::Closed { st_rms } => {
+        StEvent::Failed { st_rms, reason } => {
+            // Typed channel failure (e.g. the network died with no
+            // alternate), not a generic timeout.
+            let peer = sim.state.rkom.host_mut(host).owned.remove(&st_rms);
+            if let Some(peer) = peer {
+                fail_channel(
+                    sim,
+                    host,
+                    peer,
+                    RkomError::ChannelFailed(RmsError::Failed(reason)),
+                );
+            }
+        }
+        StEvent::Closed { st_rms } => {
             let peer = sim.state.rkom.host_mut(host).owned.remove(&st_rms);
             if let Some(peer) = peer {
                 fail_channel(sim, host, peer, RkomError::Timeout);

@@ -13,7 +13,7 @@
 
 use bytes::Bytes;
 use dash_baseline::tcp::{self, TcpEvent, TcpState, TcpWorld, TCP_PROTO};
-use dash_net::ids::{HostId, NetRmsId};
+use dash_net::ids::{HostId, NetRmsId, NetworkId};
 use dash_net::state::{fifo_charge_cpu, NetRmsEvent, NetState, NetWorld};
 use dash_sim::cpu::{self, Cpu, SchedPolicy};
 use dash_sim::engine::Sim;
@@ -314,6 +314,10 @@ impl NetWorld for Stack {
 
     fn rms_event(sim: &mut Sim<Self>, host: HostId, event: NetRmsEvent) {
         st_engine::on_net_event(sim, host, &event);
+    }
+
+    fn network_event(sim: &mut Sim<Self>, network: NetworkId, up: bool) {
+        st_engine::on_network_event(sim, network, up);
     }
 
     fn deliver_datagram(

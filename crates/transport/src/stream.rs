@@ -32,7 +32,7 @@ use dash_subtransport::engine as st_engine;
 use dash_subtransport::ids::{StRmsId, StToken};
 use dash_subtransport::st::{StEvent, StWorld as _};
 use rms_core::delay::DelayBound;
-use rms_core::error::RmsError;
+use rms_core::error::{FailReason, RmsError};
 use rms_core::message::Message;
 use rms_core::params::RmsParams;
 use rms_core::port::DeliveryInfo;
@@ -69,6 +69,11 @@ pub struct StreamProfile {
     pub ack_delay: SimDuration,
     /// Retransmission timeout (reliable streams).
     pub rto: SimDuration,
+    /// Consecutive retransmission timeouts (no ack progress) before a
+    /// reliable sender gives up and ends the session with
+    /// [`EndReason::RetriesExhausted`] — a typed outcome instead of an
+    /// unbounded stall when the peer is gone.
+    pub max_retries: u32,
 }
 
 impl Default for StreamProfile {
@@ -88,6 +93,7 @@ impl Default for StreamProfile {
             ack_every: 4,
             ack_delay: SimDuration::from_millis(5),
             rto: SimDuration::from_millis(300),
+            max_retries: 8,
         }
     }
 }
@@ -176,7 +182,22 @@ pub enum StreamEvent {
     Ended {
         /// The session.
         session: u64,
+        /// Why.
+        reason: EndReason,
     },
+}
+
+/// Why a session ended ([`StreamEvent::Ended`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndReason {
+    /// The peer closed the stream.
+    Closed,
+    /// The carrying ST stream failed (e.g. its network died with no
+    /// alternate to fail over to).
+    ChannelFailed(FailReason),
+    /// A reliable sender hit [`StreamProfile::max_retries`] consecutive
+    /// retransmission timeouts without acknowledgement progress.
+    RetriesExhausted,
 }
 
 const KIND_HELLO: u8 = 1;
@@ -811,7 +832,7 @@ fn on_rto(sim: &mut Sim<Stack>, host: HostId, session: u64) {
     // bottleneck with duplicate bursts faster than it drains (the classic
     // go-back-N congestion spiral); the rest of the window is resent
     // ack-clocked as the receiver's cumulative acks advance.
-    let (st_rms, frame) = {
+    let verdict = {
         let Some(s) = sim.state.stream.session_mut(host, session) else {
             return;
         };
@@ -819,11 +840,42 @@ fn on_rto(sim: &mut Sim<Stack>, host: HostId, session: u64) {
         if s.failed || s.unacked.is_empty() {
             return;
         }
-        let Some(st_rms) = s.data_out else { return };
-        let head = s.unacked.front().cloned().expect("non-empty");
-        s.stats.retransmitted.incr();
-        s.rto_backoff = (s.rto_backoff + 1).min(8);
-        (st_rms, head)
+        if s.rto_backoff >= s.profile.max_retries {
+            // Bounded retry: the peer (or the path) is gone — surface a
+            // typed outcome instead of backing off forever.
+            s.failed = true;
+            if let Some(t) = s.ack_timer.take() {
+                t.cancel();
+            }
+            None
+        } else {
+            let Some(st_rms) = s.data_out else { return };
+            let head = s.unacked.front().cloned().expect("non-empty");
+            s.stats.retransmitted.incr();
+            s.rto_backoff = (s.rto_backoff + 1).min(8);
+            Some((st_rms, head))
+        }
+    };
+    let Some((st_rms, frame)) = verdict else {
+        {
+            let now = sim.now();
+            let net = &mut sim.state.net;
+            if net.obs.is_active() {
+                net.obs.emit(
+                    now,
+                    ObsEvent::StreamRetriesExhausted { host: host.0, session },
+                );
+            }
+        }
+        fire(
+            sim,
+            host,
+            StreamEvent::Ended {
+                session,
+                reason: EndReason::RetriesExhausted,
+            },
+        );
+        return;
     };
     let (seq, msg, sent_at) = frame;
     let bytes = encode_msg(&StreamMsg::Data {
@@ -970,28 +1022,11 @@ pub fn on_st_event(sim: &mut Sim<Stack>, host: HostId, event: StEvent) {
                 );
             }
         }
-        StEvent::Failed { st_rms, .. } | StEvent::Closed { st_rms } => {
-            let Some(session) = sim.state.stream.host_mut(host).by_st.remove(&st_rms) else {
-                return;
-            };
-            let existed = {
-                match sim.state.stream.session_mut(host, session) {
-                    Some(s) if !s.failed => {
-                        s.failed = true;
-                        if let Some(t) = s.rto_timer.take() {
-                            t.cancel();
-                        }
-                        if let Some(t) = s.ack_timer.take() {
-                            t.cancel();
-                        }
-                        true
-                    }
-                    _ => false,
-                }
-            };
-            if existed {
-                fire(sim, host, StreamEvent::Ended { session });
-            }
+        StEvent::Failed { st_rms, reason } => {
+            end_by_st(sim, host, st_rms, EndReason::ChannelFailed(reason));
+        }
+        StEvent::Closed { st_rms } => {
+            end_by_st(sim, host, st_rms, EndReason::Closed);
         }
         StEvent::FastAck { st_rms, seq } => {
             let Some(session) = sim.state.stream.host(host).by_st.get(&st_rms).copied() else {
@@ -1005,6 +1040,32 @@ pub fn on_st_event(sim: &mut Sim<Stack>, host: HostId, event: StEvent) {
             pump(sim, host, session);
         }
         _ => {}
+    }
+}
+
+/// Tear down the session carried by `st_rms` (if any) and surface a typed
+/// [`StreamEvent::Ended`] to the application.
+fn end_by_st(sim: &mut Sim<Stack>, host: HostId, st_rms: StRmsId, reason: EndReason) {
+    let Some(session) = sim.state.stream.host_mut(host).by_st.remove(&st_rms) else {
+        return;
+    };
+    let existed = {
+        match sim.state.stream.session_mut(host, session) {
+            Some(s) if !s.failed => {
+                s.failed = true;
+                if let Some(t) = s.rto_timer.take() {
+                    t.cancel();
+                }
+                if let Some(t) = s.ack_timer.take() {
+                    t.cancel();
+                }
+                true
+            }
+            _ => false,
+        }
+    };
+    if existed {
+        fire(sim, host, StreamEvent::Ended { session, reason });
     }
 }
 

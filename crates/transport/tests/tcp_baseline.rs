@@ -8,7 +8,6 @@ use dash_net::topology::{two_hosts_ethernet, TopologyBuilder};
 use dash_net::NetworkSpec;
 use dash_sim::time::SimDuration;
 use dash_sim::Sim;
-use dash_subtransport::st::StConfig;
 use dash_transport::stack::{Stack, StackBuilder};
 
 #[derive(Default)]

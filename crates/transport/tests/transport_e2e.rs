@@ -11,7 +11,6 @@ use dash_net::NetworkSpec;
 use dash_sim::cpu::SchedPolicy;
 use dash_sim::time::{SimDuration, SimTime};
 use dash_sim::Sim;
-use dash_subtransport::st::StConfig;
 use dash_transport::flow::CapacityEnforcement;
 use dash_transport::rkom::{self, RkomError};
 use dash_transport::stack::{Stack, StackBuilder};
@@ -212,9 +211,11 @@ fn reliable_stream_survives_loss() {
     let b = builder.host_on(n);
     let mut sim = Sim::new(StackBuilder::new(builder.build()).build());
     let events = collect_taps(&mut sim, &[a, b]);
-    let mut profile = StreamProfile::default();
-    profile.reliable = true;
-    profile.rto = SimDuration::from_millis(50);
+    let profile = StreamProfile {
+        reliable: true,
+        rto: SimDuration::from_millis(50),
+        ..StreamProfile::default()
+    };
     let session = stream::open(&mut sim, a, b, profile).unwrap();
     sim.run();
     for i in 0..50u8 {
@@ -260,10 +261,12 @@ fn unreliable_stream_skips_losses_in_order() {
 fn ack_based_capacity_enforcement_bounds_outstanding() {
     let (mut sim, a, b) = stack2();
     let events = collect_taps(&mut sim, &[a, b]);
-    let mut profile = StreamProfile::default();
-    profile.enforcement = CapacityEnforcement::AckBased;
-    profile.capacity = 2_000; // only ~2 messages of 1000B outstanding
-    profile.max_message = 1_000;
+    let profile = StreamProfile {
+        enforcement: CapacityEnforcement::AckBased,
+        capacity: 2_000, // only ~2 messages of 1000B outstanding
+        max_message: 1_000,
+        ..StreamProfile::default()
+    };
     let session = stream::open(&mut sim, a, b, profile).unwrap();
     sim.run();
     for i in 0..10u8 {
@@ -280,14 +283,16 @@ fn ack_based_capacity_enforcement_bounds_outstanding() {
 fn rate_based_capacity_enforcement_paces_sends() {
     let (mut sim, a, b) = stack2();
     let events = collect_taps(&mut sim, &[a, b]);
-    let mut profile = StreamProfile::default();
-    profile.enforcement = CapacityEnforcement::RateBased;
-    profile.capacity = 1_000;
-    profile.max_message = 500;
-    profile.delay = rms_core::DelayBound::best_effort_with(
-        SimDuration::from_millis(50),
-        SimDuration::from_micros(10),
-    );
+    let profile = StreamProfile {
+        enforcement: CapacityEnforcement::RateBased,
+        capacity: 1_000,
+        max_message: 500,
+        delay: rms_core::DelayBound::best_effort_with(
+            SimDuration::from_millis(50),
+            SimDuration::from_micros(10),
+        ),
+        ..StreamProfile::default()
+    };
     let session = stream::open(&mut sim, a, b, profile).unwrap();
     sim.run();
     let start = sim.now();
@@ -308,12 +313,14 @@ fn rate_based_capacity_enforcement_paces_sends() {
 fn receiver_flow_control_stalls_sender_until_consume() {
     let (mut sim, a, b) = stack2();
     let events = collect_taps(&mut sim, &[a, b]);
-    let mut profile = StreamProfile::default();
-    profile.reliable = true;
-    profile.receiver_fc = true;
-    profile.receive_buffer = 2_000;
-    profile.max_message = 1_000;
-    profile.ack_every = 1;
+    let profile = StreamProfile {
+        reliable: true,
+        receiver_fc: true,
+        receive_buffer: 2_000,
+        max_message: 1_000,
+        ack_every: 1,
+        ..StreamProfile::default()
+    };
     let session = stream::open(&mut sim, a, b, profile).unwrap();
     sim.run();
     for i in 0..6u8 {
@@ -344,11 +351,13 @@ fn receiver_flow_control_stalls_sender_until_consume() {
 fn sender_flow_control_blocks_and_drains() {
     let (mut sim, a, b) = stack2();
     let events = collect_taps(&mut sim, &[a, b]);
-    let mut profile = StreamProfile::default();
-    profile.send_port_limit = 2_000;
-    profile.enforcement = CapacityEnforcement::RateBased;
-    profile.capacity = 1_000;
-    profile.max_message = 1_000;
+    let profile = StreamProfile {
+        send_port_limit: 2_000,
+        enforcement: CapacityEnforcement::RateBased,
+        capacity: 1_000,
+        max_message: 1_000,
+        ..StreamProfile::default()
+    };
     let session = stream::open(&mut sim, a, b, profile).unwrap();
     sim.run();
     // Flood synchronously: the rate limiter stalls the pump, so the port
@@ -448,15 +457,23 @@ fn stream_failure_surfaces_ended_event() {
     let ended = Rc::new(RefCell::new(Vec::new()));
     let e2 = Rc::clone(&ended);
     sim.state.on_stream(a, move |_s, ev| {
-        if let StreamEvent::Ended { session } = ev {
-            e2.borrow_mut().push(session);
+        if let StreamEvent::Ended { session, reason } = ev {
+            e2.borrow_mut().push((session, reason));
         }
     });
     let session = stream::open(&mut sim, a, b, StreamProfile::default()).unwrap();
     sim.run();
     dash_net::pipeline::fail_network(&mut sim, dash_net::NetworkId(1));
     sim.run();
-    assert_eq!(*ended.borrow(), vec![session]);
+    // The dumbbell has no alternate path around the WAN, so failover is
+    // impossible and the session ends with a typed channel failure.
+    assert_eq!(
+        *ended.borrow(),
+        vec![(
+            session,
+            stream::EndReason::ChannelFailed(rms_core::error::FailReason::NetworkDown)
+        )]
+    );
 }
 
 #[test]

@@ -49,13 +49,17 @@ fn main() {
     let taps = Dispatcher::install(&mut sim, &all);
     let mut flows = Vec::new();
     for (s, r) in senders.iter().zip(receivers.iter()) {
-        let mut profile = StreamProfile::default();
         // Burst allowance sized so three flows fit the 16 KB gateway buffer.
-        profile.capacity = 4 * 1024;
-        profile.max_message = 512;
-        profile.delay =
-            DelayBound::best_effort_with(SimDuration::from_millis(1200), SimDuration::from_micros(40));
-        profile.enforcement = CapacityEnforcement::RateBased;
+        let profile = StreamProfile {
+            capacity: 4 * 1024,
+            max_message: 512,
+            delay: DelayBound::best_effort_with(
+                SimDuration::from_millis(1200),
+                SimDuration::from_micros(40),
+            ),
+            enforcement: CapacityEnforcement::RateBased,
+            ..StreamProfile::default()
+        };
         flows.push(start_bulk(&mut sim, &taps, *s, *r, 24 * 1024, 512, profile));
     }
     let end = sim.now() + SimDuration::from_secs(20);

@@ -43,8 +43,10 @@ fn main() {
     // frame and its span shows the full stage breakdown (a bundled message
     // books the network stages against the bundle's oldest component).
     let buf = SharedBuf::default();
-    let mut config = StConfig::default();
-    config.piggyback = false;
+    let config = StConfig {
+        piggyback: false,
+        ..StConfig::default()
+    };
     let mut sim = Sim::new(
         StackBuilder::new(net)
             .st_config(config)

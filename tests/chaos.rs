@@ -1,0 +1,360 @@
+//! Seeded chaos harness: random fault schedules against the full stack.
+//!
+//! Every run must uphold three invariants regardless of what the fault
+//! plan does to the world underneath it:
+//!
+//! 1. **Exactly-once, in-order, or typed failure.** Each reliable stream
+//!    either delivers every accepted message to the receiver exactly once
+//!    and in order, or the sender observes a typed terminal outcome
+//!    ([`EndReason::ChannelFailed`], [`EndReason::RetriesExhausted`], or a
+//!    typed send error) — never a silent stall.
+//! 2. **No wedge.** The event queue always drains: the simulation reaches
+//!    quiescence within a generous event bound.
+//! 3. **Deterministic replay.** The same seed produces the identical
+//!    event trace, byte for byte.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use dash::net::fault::schedule_fault_plan;
+use dash::net::pipeline::fail_network;
+use dash::net::state::NetState;
+use dash::net::topology::TopologyBuilder;
+use dash::net::NetworkSpec;
+use dash::prelude::*;
+use dash::sim::{ChaosConfig, FaultPlan, Rng};
+use dash::transport::stream::{self, EndReason};
+
+/// Two hosts, each attached to two independent ethernets — the alternate
+/// network is what makes ST-level failover possible.
+fn dual_homed(seed: u64) -> (NetState, HostId, HostId) {
+    let mut b = TopologyBuilder::new();
+    let n0 = b.network(NetworkSpec::ethernet("primary"));
+    let n1 = b.network(NetworkSpec::ethernet("backup"));
+    let a = b.host();
+    let c = b.host();
+    b.attach(a, n0).attach(a, n1).attach(c, n0).attach(c, n1);
+    b.seed(seed);
+    (b.build(), a, c)
+}
+
+/// Everything one chaos run produced.
+struct ChaosRun {
+    /// Canonical event trace (for replay comparison).
+    trace: Vec<String>,
+    /// Per-session sequence numbers delivered at the receiver, in order.
+    delivered: BTreeMap<u64, Vec<u64>>,
+    /// Per-session count of sends the stream layer accepted.
+    accepted: BTreeMap<u64, u64>,
+    /// Sessions that saw a typed terminal outcome (failed end or a typed
+    /// send/open error).
+    failed_typed: BTreeMap<u64, String>,
+    /// Events processed before quiescence.
+    processed: u64,
+    /// True if the run hit the event bound with work still queued.
+    wedged: bool,
+}
+
+const STREAMS: u64 = 3;
+const MSGS_PER_STREAM: u64 = 30;
+const EVENT_BOUND: u64 = 2_000_000;
+
+/// Drive `STREAMS` reliable streams through a seeded random fault plan.
+fn run_chaos(seed: u64) -> ChaosRun {
+    let (net, a, b) = dual_homed(seed);
+    let mut sim = Sim::new(StackBuilder::new(net).obs(true).build());
+
+    let trace: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    let delivered: Rc<RefCell<BTreeMap<u64, Vec<u64>>>> = Rc::new(RefCell::new(BTreeMap::new()));
+    let failed_typed: Rc<RefCell<BTreeMap<u64, String>>> =
+        Rc::new(RefCell::new(BTreeMap::new()));
+    for host in [a, b] {
+        let trace = Rc::clone(&trace);
+        let delivered = Rc::clone(&delivered);
+        let failed = Rc::clone(&failed_typed);
+        sim.state.on_stream(host, move |sim, ev| {
+            let now = sim.now().as_nanos();
+            match ev {
+                StreamEvent::Opened { session } => {
+                    trace.borrow_mut().push(format!("{now} h{} open {session}", host.0));
+                }
+                StreamEvent::Delivered {
+                    session, msg, seq, delay,
+                } => {
+                    trace.borrow_mut().push(format!(
+                        "{now} h{} dlv {session} #{seq} {}B {:?}",
+                        host.0,
+                        msg.len(),
+                        delay
+                    ));
+                    delivered.borrow_mut().entry(session).or_default().push(seq);
+                }
+                StreamEvent::Ended { session, reason } => {
+                    trace
+                        .borrow_mut()
+                        .push(format!("{now} h{} end {session} {reason:?}", host.0));
+                    if reason != EndReason::Closed {
+                        failed.borrow_mut().insert(session, format!("{reason:?}"));
+                    }
+                }
+                StreamEvent::OpenFailed { session, .. } => {
+                    trace.borrow_mut().push(format!("{now} h{} openfail {session}", host.0));
+                    failed.borrow_mut().insert(session, "open failed".into());
+                }
+                StreamEvent::Drained { .. } | StreamEvent::Incoming { .. } => {}
+            }
+        });
+    }
+
+    // Reliable streams with a short enough RTO that the retry budget plays
+    // out inside the run when a peer is unreachable for good.
+    let profile = StreamProfile {
+        reliable: true,
+        rto: SimDuration::from_millis(100),
+        max_retries: 8,
+        ..StreamProfile::default()
+    };
+    let accepted: Rc<RefCell<BTreeMap<u64, u64>>> = Rc::new(RefCell::new(BTreeMap::new()));
+    let mut sessions = Vec::new();
+    for _ in 0..STREAMS {
+        let session = stream::open(&mut sim, a, b, profile.clone()).expect("open accepted");
+        accepted.borrow_mut().insert(session, 0);
+        sessions.push(session);
+    }
+    for (k, &session) in sessions.iter().enumerate() {
+        for i in 0..MSGS_PER_STREAM {
+            let accepted = Rc::clone(&accepted);
+            let trace = Rc::clone(&trace);
+            let failed = Rc::clone(&failed_typed);
+            // Stagger streams so sends interleave with the fault window.
+            let at = SimTime::ZERO.saturating_add(SimDuration::from_millis(
+                20 + k as u64 * 7 + i * 40,
+            ));
+            sim.schedule_at(at, move |sim| {
+                match stream::send(sim, a, session, Message::zeroes(256)) {
+                    Ok(()) => *accepted.borrow_mut().get_mut(&session).unwrap() += 1,
+                    Err(e) => {
+                        trace
+                            .borrow_mut()
+                            .push(format!("{} send_err {session} {e:?}", sim.now().as_nanos()));
+                        failed.borrow_mut().insert(session, format!("{e:?}"));
+                    }
+                }
+            });
+        }
+    }
+
+    // The fault schedule: network outages, partitions, burst loss,
+    // interface stalls, and receiver crashes, all drawn from the seed.
+    let cfg = ChaosConfig {
+        horizon: SimDuration::from_secs(2),
+        networks: vec![0, 1],
+        host_pairs: vec![(a.0, b.0)],
+        stall_targets: vec![(a.0, 0), (b.0, 1)],
+        crash_hosts: vec![b.0],
+        min_faults: 2,
+        max_faults: 6,
+        ..ChaosConfig::default()
+    };
+    let plan = FaultPlan::random(&mut Rng::new(seed), &cfg);
+    schedule_fault_plan(&mut sim, &plan);
+
+    let processed = sim.run_bounded(EVENT_BOUND);
+    let wedged = sim.events_pending() > 0;
+
+    let run = ChaosRun {
+        trace: trace.borrow().clone(),
+        delivered: delivered.borrow().clone(),
+        accepted: accepted.borrow().clone(),
+        failed_typed: failed_typed.borrow().clone(),
+        processed,
+        wedged,
+    };
+    run
+}
+
+/// Invariants 1 and 2 on one finished run.
+fn check_invariants(seed: u64, run: &ChaosRun) {
+    assert!(
+        !run.wedged,
+        "seed {seed}: event queue wedged after {} events",
+        run.processed
+    );
+    for (&session, &sent) in &run.accepted {
+        let empty = Vec::new();
+        let seqs = run.delivered.get(&session).unwrap_or(&empty);
+        // Exactly-once, in-order: the receiver saw the contiguous prefix
+        // 0..n with no duplicates or reordering.
+        for (i, &seq) in seqs.iter().enumerate() {
+            assert_eq!(
+                seq, i as u64,
+                "seed {seed} session {session}: delivery gap/dup/reorder in {seqs:?}"
+            );
+        }
+        // Completeness or a typed failure — never a silent shortfall.
+        if (seqs.len() as u64) < sent {
+            assert!(
+                run.failed_typed.contains_key(&session),
+                "seed {seed} session {session}: {} of {sent} delivered yet no typed \
+                 failure was reported",
+                seqs.len(),
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_fails_over_to_alternate_network_mid_transfer() {
+    let (net, a, b) = dual_homed(7);
+    let mut sim = Sim::new(
+        StackBuilder::new(net)
+            .obs(true)
+            .retain_spans(true)
+            .build(),
+    );
+    let got: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let ended: Rc<RefCell<Vec<EndReason>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let got = Rc::clone(&got);
+        let ended = Rc::clone(&ended);
+        sim.state.on_stream(b, move |_sim, ev| match ev {
+            StreamEvent::Delivered { seq, .. } => got.borrow_mut().push(seq),
+            StreamEvent::Ended { reason, .. } => ended.borrow_mut().push(reason),
+            _ => {}
+        });
+    }
+    let profile = StreamProfile {
+        reliable: true,
+        rto: SimDuration::from_millis(50),
+        ..StreamProfile::default()
+    };
+    let session = stream::open(&mut sim, a, b, profile).unwrap();
+    sim.run();
+
+    // Which network carries the established stream? Fail exactly that one.
+    let carrier = sim.state.net.host(a).rms.values().next().expect("rms up").path[0];
+
+    let n = 30u64;
+    let base = sim.now();
+    for i in 0..n {
+        let at = base.saturating_add(SimDuration::from_millis(5 + i * 10));
+        sim.schedule_at(at, move |sim| {
+            stream::send(sim, a, session, Message::zeroes(512)).expect("send accepted");
+        });
+    }
+    // Kill the carrier mid-transfer; the stream must move to the backup.
+    sim.schedule_at(
+        base.saturating_add(SimDuration::from_millis(120)),
+        move |sim| fail_network(sim, carrier),
+    );
+    sim.run();
+
+    // Every message arrived exactly once, in order, despite the dead net.
+    assert_eq!(*got.borrow(), (0..n).collect::<Vec<_>>());
+    assert!(ended.borrow().is_empty(), "stream must survive: {:?}", ended.borrow());
+
+    // The failover is visible in the metric registry.
+    let reg = &mut sim.state.net.obs.registry;
+    assert!(reg.counter_value("st.failover_started") >= 1);
+    assert!(reg.counter_value("st.failover_completed") >= 1);
+    let lat = reg.histogram("fault.recovery_latency");
+    assert!(lat.count() >= 1, "recovery latency must be recorded");
+    assert!(lat.mean() >= 0.0);
+    assert_eq!(reg.counter_value("net.network_failed"), 1);
+
+    // Span accounting stays consistent across the failover: stages in
+    // pipeline order, time never running backwards, telescoping e2e.
+    let spans = sim.state.net.obs.spans();
+    assert!(!spans.is_empty(), "spans must be retained");
+    for span in spans {
+        for pair in span.stages.windows(2) {
+            let ((_, t0), (_, t1)) = (pair[0], pair[1]);
+            assert!(t1 >= t0, "span {}: time went backwards", span.span);
+        }
+        let sum: SimDuration = span
+            .stages
+            .windows(2)
+            .map(|p| p[1].1.saturating_since(p[0].1))
+            .fold(SimDuration::ZERO, |acc, d| acc + d);
+        assert_eq!(sum, span.e2e(), "span {}: stage latencies telescope", span.span);
+    }
+}
+
+#[test]
+fn host_crash_yields_typed_end_not_a_stall() {
+    let (net, a, b) = dual_homed(11);
+    let mut sim = Sim::new(StackBuilder::new(net).obs(true).build());
+    let ends: Rc<RefCell<Vec<EndReason>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let ends = Rc::clone(&ends);
+        sim.state.on_stream(a, move |_sim, ev| {
+            if let StreamEvent::Ended { reason, .. } = ev {
+                ends.borrow_mut().push(reason);
+            }
+        });
+    }
+    let profile = StreamProfile {
+        reliable: true,
+        rto: SimDuration::from_millis(50),
+        max_retries: 4,
+        ..StreamProfile::default()
+    };
+    let session = stream::open(&mut sim, a, b, profile).unwrap();
+    sim.run();
+    stream::send(&mut sim, a, session, Message::zeroes(256)).unwrap();
+    sim.run();
+    // The receiver dies for good: no alternate network can help.
+    dash::net::fault::crash_host(&mut sim, b);
+    stream::send(&mut sim, a, session, Message::zeroes(256)).ok();
+    let processed = sim.run_bounded(EVENT_BOUND);
+    assert_eq!(sim.events_pending(), 0, "crash must not wedge the queue");
+    assert!(processed < EVENT_BOUND);
+    let ends = ends.borrow();
+    assert!(
+        ends.iter().any(|r| matches!(
+            r,
+            EndReason::ChannelFailed(_) | EndReason::RetriesExhausted
+        )),
+        "sender must see a typed end, got {ends:?}"
+    );
+}
+
+#[test]
+fn seeded_chaos_upholds_invariants_and_replays_identically() {
+    // 28 seeds, each run twice: invariants on every run, and the two
+    // traces of a seed must match byte for byte.
+    let mut delivered_total = 0usize;
+    let mut failed_total = 0usize;
+    for seed in 0..28u64 {
+        let first = run_chaos(seed);
+        check_invariants(seed, &first);
+        let second = run_chaos(seed);
+        assert_eq!(
+            first.trace, second.trace,
+            "seed {seed}: replay diverged (processed {} vs {})",
+            first.processed, second.processed
+        );
+        assert_eq!(first.processed, second.processed);
+        delivered_total += first.delivered.values().map(Vec::len).sum::<usize>();
+        failed_total += first.failed_typed.len();
+    }
+    // The suite as a whole exercised both outcomes: plenty of deliveries,
+    // and at least some typed failures (otherwise the plans were toothless).
+    assert!(delivered_total > 100, "only {delivered_total} deliveries");
+    assert!(failed_total > 0, "no run produced a typed failure");
+}
+
+mod chaos_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any seed in a wide range upholds the chaos invariants.
+        #[test]
+        fn any_seed_upholds_invariants(seed in 0u64..10_000) {
+            let run = run_chaos(seed);
+            check_invariants(seed, &run);
+        }
+    }
+}

@@ -14,7 +14,6 @@ use dash::net::topology::{dumbbell, two_hosts_ethernet, TopologyBuilder};
 use dash::net::{NetworkId, NetworkSpec};
 use dash::sim::cpu::SchedPolicy;
 use dash::sim::{Sim, SimDuration};
-use dash::subtransport::st::StConfig;
 use dash::transport::rkom;
 use dash::transport::stack::StackBuilder;
 use dash::transport::stream::StreamProfile;

@@ -34,8 +34,10 @@ fn spans_are_ordered_nonnegative_and_sum_to_delivery_delay() {
     let (net, a, b) = two_hosts_ethernet();
     // Piggybacking off so every message takes the full per-stage path (a
     // bundle attributes its network stages to the oldest component only).
-    let mut config = StConfig::default();
-    config.piggyback = false;
+    let config = StConfig {
+        piggyback: false,
+        ..StConfig::default()
+    };
     let mut sim = Sim::new(
         StackBuilder::new(net)
             .st_config(config)
@@ -46,8 +48,8 @@ fn spans_are_ordered_nonnegative_and_sum_to_delivery_delay() {
 
     // Direct ST sends so the port's DeliveryInfo is observable at the tap.
     let st_rms: Rc<RefCell<Option<StRmsId>>> = Rc::new(RefCell::new(None));
-    let deliveries: Rc<RefCell<HashMap<(u64, u64), (SimTime, SimTime)>>> =
-        Rc::new(RefCell::new(HashMap::new()));
+    type DeliveryTimes = HashMap<(u64, u64), (SimTime, SimTime)>;
+    let deliveries: Rc<RefCell<DeliveryTimes>> = Rc::new(RefCell::new(HashMap::new()));
     {
         let st_rms = Rc::clone(&st_rms);
         let deliveries = Rc::clone(&deliveries);
