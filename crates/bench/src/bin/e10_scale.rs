@@ -1,0 +1,77 @@
+//! Run the e10 scale macro-workload and emit throughput numbers.
+//!
+//! ```text
+//! cargo run -p dash-bench --release --bin e10_scale                 # full size
+//! cargo run -p dash-bench --release --bin e10_scale -- --bench     # gate size
+//! cargo run -p dash-bench --release --bin e10_scale -- --ci        # CI size
+//! cargo run -p dash-bench --release --bin e10_scale -- --json out.json --label after
+//! ```
+//!
+//! The human-readable summary goes to stderr; with `--json PATH` one JSON
+//! object (the shape `BENCH_scale.json` stores and `check_bench.sh`
+//! compares) is written to PATH, otherwise to stdout.
+
+use dash_bench::e_scale::{run_scale, ScaleParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = "full";
+    let mut label = String::from("run");
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ci" => config = "ci",
+            "--bench" => config = "bench",
+            "--full" => config = "full",
+            "--label" => {
+                i += 1;
+                label = args.get(i).cloned().unwrap_or_default();
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mut params = match config {
+        "ci" => ScaleParams::ci(),
+        "bench" => ScaleParams::bench(),
+        _ => ScaleParams::full(),
+    };
+    params.record_trace = false;
+
+    eprintln!(
+        "e10_scale [{config}]: {} hosts, ~{} long-lived streams, {} s virtual ...",
+        params.total_hosts(),
+        params.lans * (params.voice_per_lan + params.bulk_per_lan),
+        params.duration.as_secs_f64(),
+    );
+    let o = run_scale(&params);
+    eprintln!(
+        "e10_scale [{config}]: {} events in {:.2} s wall ({:.0} events/s, {:.0} msgs/s), \
+         {} streams opened, {} refused, {} msgs, peak queue {} B, {} cache misses",
+        o.events,
+        o.wall_secs,
+        o.events_per_sec(),
+        o.msgs_per_sec(),
+        o.streams_opened,
+        o.open_failed,
+        o.messages,
+        o.peak_queue_bytes,
+        o.cache_misses,
+    );
+    let json = o.to_json(&label, config);
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write json");
+            eprintln!("e10_scale: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -1,0 +1,618 @@
+//! e10_scale — the macro-workload that opens the scale regime.
+//!
+//! The ROADMAP's north star is a stack that "serves heavy traffic"; every
+//! other experiment runs a handful of streams. e10 builds an internetwork
+//! of many LANs joined by a WAN backbone, loads it with a mixed
+//! voice/bulk/RPC population (thousands of concurrent ST streams at the
+//! `full` size), churns the subtransport's RMS cache with short-lived
+//! cross-site sessions, and runs a mid-run fault drill — then reports the
+//! engine-level throughput numbers (`events/sec`, `messages/sec`,
+//! wall-clock, peak interface queue depth) that `BENCH_scale.json` tracks
+//! across PRs.
+//!
+//! The same scenario serves three masters:
+//! - `ScaleParams::full()` — the benchmark size, driven by the
+//!   `e10_scale` binary, which writes the JSON consumed by
+//!   `scripts/check_bench.sh`;
+//! - `ScaleParams::bench()` — a mid-size run for the regression gate;
+//! - `ScaleParams::ci()` — a scaled-down, trace-recording size that
+//!   `tests/determinism.rs` runs twice and compares byte for byte.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use dash_apps::bulk::{start_bulk, BulkStats};
+use dash_apps::media::{start_media, MediaSpec, MediaStats};
+use dash_apps::rpc::{start_rkom_rpc, RpcSpec, RpcStats};
+use dash_apps::taps::Dispatcher;
+use dash_net::fault::schedule_fault_plan;
+use dash_net::topology::TopologyBuilder;
+use dash_net::{HostId, NetworkSpec};
+use dash_sim::cpu::SchedPolicy;
+use dash_sim::fault::{FaultKind, FaultPlan};
+use dash_sim::time::{SimDuration, SimTime};
+use dash_sim::Sim;
+use dash_transport::stack::{Stack, StackBuilder};
+use dash_transport::stream::StreamProfile;
+use rms_core::delay::DelayBound;
+
+use crate::table::{f, pct, Table};
+
+/// Knobs for one scale run. All sizes are deterministic functions of the
+/// parameters and `seed`; wall-clock is the only non-reproducible output.
+#[derive(Debug, Clone)]
+pub struct ScaleParams {
+    /// Edge LANs hanging off the WAN backbone.
+    pub lans: usize,
+    /// Hosts per LAN (the LAN's gateway is extra).
+    pub hosts_per_lan: usize,
+    /// Every k-th LAN is a 100 Mb/s fast LAN instead of 10 Mb/s Ethernet.
+    pub fast_every: usize,
+    /// Long-lived voice sessions originating per LAN.
+    pub voice_per_lan: usize,
+    /// Bulk transfers per LAN.
+    pub bulk_per_lan: usize,
+    /// RPC client/server pairs per LAN (cross-LAN over the WAN).
+    pub rpc_per_lan: usize,
+    /// Fraction of voice sessions that cross the WAN (admission pressure).
+    pub cross_fraction: f64,
+    /// Short-lived sessions opened per churn wave (RMS cache churn).
+    pub churn_per_wave: usize,
+    /// Interval between churn waves.
+    pub churn_interval: SimDuration,
+    /// Virtual duration of the run.
+    pub duration: SimDuration,
+    /// Seed for placement and source randomness.
+    pub seed: u64,
+    /// Run the mid-run fault drill (LAN outage + host crash, then heal).
+    pub fault_drill: bool,
+    /// Model per-host protocol CPUs with EDF scheduling.
+    pub cpus: bool,
+    /// Record the network-layer trace (determinism runs only; costly).
+    pub record_trace: bool,
+}
+
+impl ScaleParams {
+    /// The benchmark size: hundreds of hosts, thousands of ST streams.
+    pub fn full() -> Self {
+        ScaleParams {
+            lans: 20,
+            hosts_per_lan: 14,
+            fast_every: 4,
+            voice_per_lan: 100,
+            bulk_per_lan: 6,
+            rpc_per_lan: 4,
+            cross_fraction: 0.06,
+            churn_per_wave: 20,
+            churn_interval: SimDuration::from_millis(250),
+            duration: SimDuration::from_secs(2),
+            seed: 10,
+            fault_drill: true,
+            cpus: true,
+            record_trace: false,
+        }
+    }
+
+    /// Mid-size run for the `check_bench.sh` regression gate (~seconds).
+    pub fn bench() -> Self {
+        ScaleParams {
+            lans: 8,
+            hosts_per_lan: 8,
+            voice_per_lan: 24,
+            bulk_per_lan: 4,
+            rpc_per_lan: 2,
+            churn_per_wave: 8,
+            ..ScaleParams::full()
+        }
+    }
+
+    /// Scaled-down CI size with trace recording, for the golden
+    /// determinism test.
+    pub fn ci() -> Self {
+        ScaleParams {
+            lans: 3,
+            hosts_per_lan: 4,
+            fast_every: 2,
+            voice_per_lan: 6,
+            bulk_per_lan: 2,
+            rpc_per_lan: 1,
+            cross_fraction: 0.25,
+            churn_per_wave: 3,
+            churn_interval: SimDuration::from_millis(200),
+            duration: SimDuration::from_secs(1),
+            seed: 10,
+            fault_drill: true,
+            cpus: true,
+            record_trace: true,
+        }
+    }
+
+    /// Total hosts this topology will have (LAN hosts + gateways).
+    pub fn total_hosts(&self) -> usize {
+        self.lans * (self.hosts_per_lan + 1)
+    }
+}
+
+/// Everything a scale run produces. All fields except `wall_secs` (and the
+/// rates derived from it) are deterministic for a given [`ScaleParams`].
+#[derive(Debug)]
+pub struct ScaleOutcome {
+    /// Hosts in the topology.
+    pub hosts: usize,
+    /// Sessions opened successfully (voice + bulk + churn; RPC excluded —
+    /// RKOM rides cached channels, not per-call streams).
+    pub streams_opened: u64,
+    /// Session opens refused (admission or routing).
+    pub open_failed: u64,
+    /// Engine events executed.
+    pub events: u64,
+    /// ST messages delivered to ports (registry `st.deliver`).
+    pub messages: u64,
+    /// Voice frames delivered on time, as a fraction of frames sent.
+    pub voice_on_time: f64,
+    /// RPC calls completed.
+    pub rpc_completed: u64,
+    /// Bulk payload bytes delivered.
+    pub bulk_delivered: u64,
+    /// Virtual seconds simulated.
+    pub sim_secs: f64,
+    /// Wall-clock seconds the run loop took (not deterministic).
+    pub wall_secs: f64,
+    /// Peak interface transmit-queue depth, bytes, across all hosts.
+    pub peak_queue_bytes: u64,
+    /// RMS cache misses (each one is a fresh network-RMS creation — the
+    /// churn the short-lived cross-site sessions are there to cause).
+    pub cache_misses: u64,
+    /// RMS cache evictions (idle slots LRU-evicted beyond the limit).
+    pub cache_evictions: u64,
+    /// Faults injected by the drill.
+    pub faults_injected: u64,
+    /// Full metric-registry dump (JSON lines, deterministic ordering).
+    pub registry_dump: String,
+    /// Network-layer trace dump (empty unless `record_trace`).
+    pub trace_dump: String,
+}
+
+impl ScaleOutcome {
+    /// Engine events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Delivered messages per wall-clock second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.messages as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-run JSON object for `BENCH_scale.json` / `check_bench.sh`.
+    pub fn to_json(&self, label: &str, config: &str) -> String {
+        format!(
+            "{{\"label\":\"{label}\",\"config\":\"{config}\",\
+             \"hosts\":{},\"streams_opened\":{},\"open_failed\":{},\
+             \"events\":{},\"messages\":{},\"sim_secs\":{:.3},\
+             \"wall_secs\":{:.3},\"events_per_sec\":{:.0},\
+             \"msgs_per_sec\":{:.0},\"peak_queue_bytes\":{},\
+             \"cache_misses\":{},\"cache_evictions\":{},\"faults_injected\":{}}}",
+            self.hosts,
+            self.streams_opened,
+            self.open_failed,
+            self.events,
+            self.messages,
+            self.sim_secs,
+            self.wall_secs,
+            self.events_per_sec(),
+            self.msgs_per_sec(),
+            self.peak_queue_bytes,
+            self.cache_misses,
+            self.cache_evictions,
+            self.faults_injected,
+        )
+    }
+
+    /// The deterministic portion, for byte-identical replay comparison.
+    pub fn determinism_digest(&self) -> String {
+        format!(
+            "streams={} failed={} events={} messages={} sim_secs={:.9} \
+             peak_queue={} misses={} evictions={} faults={}\n\
+             --- registry ---\n{}--- trace ---\n{}",
+            self.streams_opened,
+            self.open_failed,
+            self.events,
+            self.messages,
+            self.sim_secs,
+            self.peak_queue_bytes,
+            self.cache_misses,
+            self.cache_evictions,
+            self.faults_injected,
+            self.registry_dump,
+            self.trace_dump,
+        )
+    }
+}
+
+/// Event sink that renders every observability event into a shared string
+/// buffer — the byte-comparable "trace" of a determinism run.
+struct SharedTraceSink {
+    out: Rc<RefCell<String>>,
+}
+
+impl dash_sim::obs::ObsSink for SharedTraceSink {
+    fn on_event(&mut self, time: SimTime, event: &dash_sim::obs::ObsEvent) {
+        use std::fmt::Write;
+        let _ = writeln!(
+            self.out.borrow_mut(),
+            "{} {} {:?}",
+            time.as_nanos(),
+            event.name(),
+            event
+        );
+    }
+}
+
+/// A voice spec whose delay budget survives the WAN path (cf.
+/// fig1_layering: the point is admission and load, not LAN deadlines).
+fn wan_voice(duration: SimDuration) -> MediaSpec {
+    let mut spec = MediaSpec::voice(duration);
+    spec.delay_budget = SimDuration::from_millis(150);
+    spec.profile.delay =
+        DelayBound::best_effort_with(SimDuration::from_millis(150), SimDuration::from_micros(10));
+    spec
+}
+
+struct Population {
+    voice: Vec<Rc<RefCell<MediaStats>>>,
+    bulk: Vec<Rc<RefCell<BulkStats>>>,
+    rpc: Vec<Rc<RefCell<RpcStats>>>,
+    churn: Rc<RefCell<Vec<Rc<RefCell<MediaStats>>>>>,
+}
+
+/// Build the topology, load the population, run for `params.duration`
+/// virtual seconds, and collect the outcome.
+pub fn run_scale(params: &ScaleParams) -> ScaleOutcome {
+    let mut rng = dash_sim::rng::Rng::new(params.seed);
+
+    // Topology: `lans` edge LANs, each with a gateway onto the WAN.
+    let mut tb = TopologyBuilder::new();
+    tb.seed(params.seed ^ 0x5ca1e);
+    let wan = tb.network(NetworkSpec::long_haul("wan"));
+    let mut lan_ids = Vec::new();
+    let mut lan_hosts: Vec<Vec<HostId>> = Vec::new();
+    for l in 0..params.lans {
+        let spec = if params.fast_every > 0 && l % params.fast_every == params.fast_every - 1 {
+            NetworkSpec::fast_lan(format!("fast-{l}"))
+        } else {
+            NetworkSpec::ethernet(format!("lan-{l}"))
+        };
+        let net = tb.network(spec);
+        lan_ids.push(net);
+        let mut hosts = Vec::new();
+        for _ in 0..params.hosts_per_lan {
+            hosts.push(tb.host_on(net));
+        }
+        tb.gateway(net, wan);
+        lan_hosts.push(hosts);
+    }
+    let mut builder = StackBuilder::new(tb.build()).obs(true);
+    if params.cpus {
+        builder = builder.cpus(SchedPolicy::Edf, SimDuration::from_micros(5));
+    }
+    let trace_buf: Rc<RefCell<String>> = Rc::new(RefCell::new(String::new()));
+    if params.record_trace {
+        builder = builder.obs_sink(SharedTraceSink {
+            out: Rc::clone(&trace_buf),
+        });
+    }
+    let mut sim = Sim::new(builder.build());
+    let all_hosts: Vec<HostId> = lan_hosts.iter().flatten().copied().collect();
+    let taps = Dispatcher::install(&mut sim, &all_hosts);
+
+    let mut pop = Population {
+        voice: Vec::new(),
+        bulk: Vec::new(),
+        rpc: Vec::new(),
+        churn: Rc::new(RefCell::new(Vec::new())),
+    };
+
+    // Long-lived voice: mostly intra-LAN, a slice crossing the WAN (that
+    // slice is where capacity admission starts binding).
+    for l in 0..params.lans {
+        for v in 0..params.voice_per_lan {
+            let src = lan_hosts[l][v % params.hosts_per_lan];
+            let cross = rng.chance(params.cross_fraction);
+            let (dst, spec) = if cross && params.lans > 1 {
+                let ol = (l + 1 + rng.below(params.lans as u64 - 1) as usize) % params.lans;
+                let dst = lan_hosts[ol][rng.below(params.hosts_per_lan as u64) as usize];
+                (dst, wan_voice(params.duration))
+            } else {
+                let mut d = (v + 1 + rng.below(params.hosts_per_lan as u64 - 1) as usize)
+                    % params.hosts_per_lan;
+                if lan_hosts[l][d] == src {
+                    d = (d + 1) % params.hosts_per_lan;
+                }
+                (lan_hosts[l][d], MediaSpec::voice(params.duration))
+            };
+            let stats = start_media(&mut sim, &taps, src, dst, spec, rng.next_u64());
+            pop.voice.push(stats);
+        }
+        for b in 0..params.bulk_per_lan {
+            let src = lan_hosts[l][b % params.hosts_per_lan];
+            let dst = lan_hosts[l][(b + params.hosts_per_lan / 2) % params.hosts_per_lan];
+            let stats = start_bulk(
+                &mut sim,
+                &taps,
+                src,
+                dst,
+                256 * 1024,
+                4 * 1024,
+                StreamProfile::bulk(),
+            );
+            pop.bulk.push(stats);
+        }
+        for r in 0..params.rpc_per_lan {
+            let client = lan_hosts[l][r % params.hosts_per_lan];
+            let server = lan_hosts[(l + 1) % params.lans][r % params.hosts_per_lan];
+            let spec = RpcSpec {
+                rate: 40.0,
+                duration: params.duration,
+                ..RpcSpec::default()
+            };
+            let stats = start_rkom_rpc(&mut sim, client, server, spec, rng.next_u64());
+            pop.rpc.push(stats);
+        }
+    }
+
+    // Churn waves: short-lived cross-site sessions between rotating pairs.
+    // Each wave creates control channels and data RMSs to fresh peers, so
+    // the subtransport's per-peer cache fills and evicts (§4.2 caching).
+    if params.churn_per_wave > 0 {
+        schedule_churn_wave(
+            &mut sim,
+            &taps,
+            lan_hosts.clone(),
+            params.clone(),
+            Rc::clone(&pop.churn),
+            rng.fork(0xc4u64),
+            0,
+        );
+    }
+
+    // Mid-run fault drill: one LAN goes dark and a host crashes; both heal
+    // well before the run ends so recovery is part of the measurement.
+    let mut faults = 0u64;
+    if params.fault_drill {
+        let half = SimTime::ZERO.saturating_add(SimDuration::from_nanos(
+            params.duration.as_nanos() / 2,
+        ));
+        let heal = half.saturating_add(SimDuration::from_millis(150));
+        let dark_lan = lan_ids[params.lans / 2];
+        let victim = lan_hosts[0][params.hosts_per_lan - 1];
+        let plan = FaultPlan::new()
+            .at(half, FaultKind::NetworkDown { network: dark_lan.0 })
+            .at(half, FaultKind::HostCrash { host: victim.0 })
+            .at(heal, FaultKind::NetworkUp { network: dark_lan.0 })
+            .at(heal, FaultKind::HostRestart { host: victim.0 });
+        faults = plan.events.len() as u64;
+        schedule_fault_plan(&mut sim, &plan);
+    }
+
+    // Run to a fixed virtual horizon (duration + drain grace) so the
+    // outcome is a deterministic function of the parameters.
+    let started = Instant::now();
+    let horizon = SimTime::ZERO
+        .saturating_add(params.duration)
+        .saturating_add(SimDuration::from_millis(500));
+    sim.run_until(horizon);
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    collect_outcome(&mut sim, &pop, params, faults, wall_secs, trace_buf)
+}
+
+fn schedule_churn_wave(
+    sim: &mut Sim<Stack>,
+    taps: &Dispatcher,
+    lan_hosts: Vec<Vec<HostId>>,
+    params: ScaleParams,
+    sink: Rc<RefCell<Vec<Rc<RefCell<MediaStats>>>>>,
+    mut rng: dash_sim::rng::Rng,
+    wave: usize,
+) {
+    let end = SimTime::ZERO.saturating_add(params.duration);
+    if sim
+        .now()
+        .saturating_add(params.churn_interval)
+        .saturating_add(SimDuration::from_millis(300))
+        >= end
+    {
+        return;
+    }
+    let taps = taps.clone();
+    let interval = params.churn_interval;
+    sim.schedule_in(interval, move |sim| {
+        for c in 0..params.churn_per_wave {
+            // Rotate source LAN and peer with the wave so each wave talks
+            // to fresh peers — that is what churns the RMS cache.
+            let l = (wave * 3 + c) % params.lans;
+            let ol = (l + 1 + (wave + c) % params.lans.max(2).saturating_sub(1)) % params.lans;
+            let src = lan_hosts[l][(wave + c) % params.hosts_per_lan];
+            let dst = lan_hosts[ol][(wave * 2 + c) % params.hosts_per_lan];
+            if src == dst {
+                continue;
+            }
+            let mut spec = wan_voice(SimDuration::from_millis(200));
+            // Tiny capacity so dozens of short sessions fit the WAN.
+            spec.interval = SimDuration::from_millis(50);
+            spec.profile.capacity = 4 * 1024;
+            let stats = start_media(sim, &taps, src, dst, spec, rng.next_u64());
+            sink.borrow_mut().push(stats);
+        }
+        schedule_churn_wave(sim, &taps, lan_hosts, params, sink, rng, wave + 1);
+    });
+}
+
+fn collect_outcome(
+    sim: &mut Sim<Stack>,
+    pop: &Population,
+    params: &ScaleParams,
+    faults_injected: u64,
+    wall_secs: f64,
+    trace_buf: Rc<RefCell<String>>,
+) -> ScaleOutcome {
+    let mut streams_opened = 0u64;
+    let mut open_failed = 0u64;
+    let mut voice_sent = 0u64;
+    let mut voice_on_time = 0u64;
+    let churn = pop.churn.borrow();
+    for v in pop.voice.iter().chain(churn.iter()) {
+        let s = v.borrow();
+        if s.failed {
+            open_failed += 1;
+        } else {
+            streams_opened += 1;
+        }
+        voice_sent += s.sent;
+        voice_on_time += s.received.saturating_sub(s.late) .min(s.sent);
+    }
+    let mut bulk_delivered = 0u64;
+    for b in &pop.bulk {
+        let s = b.borrow();
+        if s.failed && s.delivered_bytes == 0 {
+            open_failed += 1;
+        } else {
+            streams_opened += 1;
+        }
+        bulk_delivered += s.delivered_bytes;
+    }
+    let rpc_completed: u64 = pop.rpc.iter().map(|r| r.borrow().completed).sum();
+
+    let peak_queue_bytes = sim
+        .state
+        .net
+        .hosts
+        .iter()
+        .flat_map(|h| h.ifaces.iter())
+        .map(|i| i.stats.max_queued_bytes)
+        .max()
+        .unwrap_or(0);
+
+    let registry = &mut sim.state.net.obs.registry;
+    let messages = registry.counter_value("st.deliver");
+    let cache_misses = registry.counter_value("st.cache_miss");
+    let cache_evictions = registry.counter_value("st.cache_eviction");
+    let registry_dump = registry.to_json_lines();
+    let trace_dump = trace_buf.borrow().clone();
+
+    ScaleOutcome {
+        hosts: params.total_hosts(),
+        streams_opened,
+        open_failed,
+        events: sim.events_processed(),
+        messages,
+        voice_on_time: if voice_sent == 0 {
+            0.0
+        } else {
+            voice_on_time as f64 / voice_sent as f64
+        },
+        rpc_completed,
+        bulk_delivered,
+        sim_secs: sim.now().as_secs_f64(),
+        wall_secs,
+        peak_queue_bytes,
+        cache_misses,
+        cache_evictions,
+        faults_injected,
+        registry_dump,
+        trace_dump,
+    }
+}
+
+/// e10_scale — scaling shape at increasing stream populations.
+///
+/// Claim: delivered throughput scales ~linearly with the offered stream
+/// population until capacity admission binds (WAN-crossing sessions start
+/// being refused), after which refusals grow instead of load.
+pub fn e10_scale() -> Table {
+    let mut t = Table::new(
+        "e10_scale",
+        "macro-workload: mixed voice/bulk/RPC over many LANs + WAN",
+        "throughput scales ~linearly with streams until capacity admission binds",
+    );
+    t.columns(&[
+        "streams offered",
+        "opened",
+        "refused",
+        "msgs delivered",
+        "voice on-time",
+        "events",
+        "peak queue",
+    ]);
+    for scale in [1usize, 2, 4] {
+        let mut p = ScaleParams::ci();
+        p.record_trace = false;
+        p.fault_drill = false;
+        p.lans = 4;
+        p.hosts_per_lan = 5;
+        p.voice_per_lan = 6 * scale;
+        p.bulk_per_lan = 2;
+        p.rpc_per_lan = 1;
+        p.cross_fraction = 0.35;
+        p.churn_per_wave = 0;
+        let offered = p.lans * (p.voice_per_lan + p.bulk_per_lan);
+        let o = run_scale(&p);
+        t.row(vec![
+            offered.to_string(),
+            o.streams_opened.to_string(),
+            o.open_failed.to_string(),
+            o.messages.to_string(),
+            pct(o.voice_on_time),
+            o.events.to_string(),
+            format!("{} B", f(o.peak_queue_bytes as f64)),
+        ]);
+    }
+    t.note("refusals are WAN admission at work: offered load beyond the long-haul capacity is rejected, not queued");
+    t.note("full-size numbers (hundreds of hosts, thousands of streams) live in BENCH_scale.json via the e10_scale binary");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_scale_run_is_deterministic_and_loaded() {
+        let p = ScaleParams::ci();
+        let a = run_scale(&p);
+        assert!(a.streams_opened > 20, "opened {}", a.streams_opened);
+        assert!(a.messages > 500, "messages {}", a.messages);
+        assert!(a.faults_injected == 4);
+        assert!(
+            a.cache_misses > 10,
+            "churn should create fresh RMSs (misses {})",
+            a.cache_misses
+        );
+        let b = run_scale(&p);
+        assert_eq!(a.determinism_digest(), b.determinism_digest());
+    }
+
+    #[test]
+    fn scale_outcome_json_shape() {
+        let mut p = ScaleParams::ci();
+        p.record_trace = false;
+        p.churn_per_wave = 0;
+        p.fault_drill = false;
+        p.duration = SimDuration::from_millis(300);
+        let o = run_scale(&p);
+        let j = o.to_json("test", "ci");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"events_per_sec\""));
+        assert!(j.contains("\"config\":\"ci\""));
+    }
+}

@@ -1,0 +1,83 @@
+//! Golden determinism gate for the e10 scale workload.
+//!
+//! Runs the scaled-down CI size of `e10_scale` twice in-process and
+//! demands byte-identical outcomes: the network-layer trace, the full
+//! metric-registry dump, and every deterministic scalar (event count,
+//! message count, peak queue depth). This is the safety net that licenses
+//! refactors of the event engine's internals — any change to event
+//! ordering, timer semantics, or metric accounting shows up here as a
+//! byte-level diff long before it corrupts an experiment.
+
+use dash_bench::e_scale::{run_scale, ScaleParams};
+
+/// The full CI scenario (faults, churn, CPUs, trace recording) twice.
+#[test]
+fn e10_ci_replay_is_byte_identical() {
+    let params = ScaleParams::ci();
+    let first = run_scale(&params);
+    let second = run_scale(&params);
+
+    // The workload actually exercised the stack: real traffic, real
+    // control-plane churn, real faults. A silent no-op run would make the
+    // byte-compare below vacuous.
+    assert!(
+        first.streams_opened > 20,
+        "CI scenario too small: {} streams",
+        first.streams_opened
+    );
+    assert!(first.messages > 500, "only {} messages", first.messages);
+    assert!(first.events > 10_000, "only {} events", first.events);
+    assert_eq!(first.faults_injected, 4);
+    assert!(
+        !first.trace_dump.is_empty(),
+        "CI size must record the network trace"
+    );
+
+    assert_eq!(
+        first.events, second.events,
+        "event counts diverged between identical runs"
+    );
+    assert_eq!(
+        first.registry_dump, second.registry_dump,
+        "metric registry dumps diverged between identical runs"
+    );
+    assert_eq!(
+        first.trace_dump, second.trace_dump,
+        "network traces diverged between identical runs"
+    );
+    assert_eq!(
+        first.determinism_digest(),
+        second.determinism_digest(),
+        "determinism digest diverged"
+    );
+}
+
+/// Different seeds must actually change the run (the digest is sensitive
+/// to what happens, not a constant).
+#[test]
+fn e10_ci_digest_depends_on_seed() {
+    let mut a = ScaleParams::ci();
+    a.record_trace = false; // digest sensitivity is visible in the registry alone
+    let mut b = a.clone();
+    b.seed = a.seed + 1;
+    let ra = run_scale(&a);
+    let rb = run_scale(&b);
+    assert_ne!(
+        ra.determinism_digest(),
+        rb.determinism_digest(),
+        "changing the seed must change the outcome"
+    );
+}
+
+/// The fault drill is part of the determinism envelope: with it disabled
+/// the run still replays byte-identically, so any nondeterminism found by
+/// the main test is attributable to the drill (and vice versa).
+#[test]
+fn e10_ci_without_drill_also_replays() {
+    let mut params = ScaleParams::ci();
+    params.fault_drill = false;
+    params.churn_per_wave = 2;
+    let first = run_scale(&params);
+    let second = run_scale(&params);
+    assert_eq!(first.determinism_digest(), second.determinism_digest());
+}
