@@ -75,7 +75,8 @@ pub fn start_bulk(
             return stats;
         }
     };
-    // Receiver: count, consume, finish.
+    // Receiver: count, consume, finish. The endpoints are known here, so
+    // the handlers capture them instead of scanning every host per event.
     let st2 = Rc::clone(&stats);
     taps.register(session, move |sim, ev| match ev {
         SessionEvent::Delivered { msg, .. } => {
@@ -89,55 +90,18 @@ pub fn start_bulk(
             };
             // Disk-speed sink: consume immediately so receiver flow
             // control never throttles this workload.
-            let host = receiver_of(sim, session);
-            if let Some(host) = host {
-                stream::consume(sim, host, session, msg.len() as u64);
-            }
+            stream::consume(sim, dst, session, msg.len() as u64);
             let _ = done;
         }
-        SessionEvent::Opened => {
-            // Kick the sender pump.
-            let host = sender_of(sim, session);
-            if let Some(host) = host {
-                pump_bulk(sim, host, session, Rc::clone(&st2), chunk);
-            }
-        }
-        SessionEvent::Drained => {
-            let host = sender_of(sim, session);
-            if let Some(host) = host {
-                pump_bulk(sim, host, session, Rc::clone(&st2), chunk);
-            }
+        SessionEvent::Opened | SessionEvent::Drained => {
+            // Kick (or resume) the sender pump.
+            pump_bulk(sim, src, session, Rc::clone(&st2), chunk);
         }
         SessionEvent::Ended => {
             st2.borrow_mut().failed = true;
         }
     });
     stats
-}
-
-fn sender_of(sim: &Sim<Stack>, session: u64) -> Option<HostId> {
-    // Scan hosts for the Tx endpoint (sessions are few; fine for apps).
-    for h in 0..sim.state.net.hosts.len() as u32 {
-        let host = HostId(h);
-        if let Some(s) = sim.state.stream.session(host, session) {
-            if s.role == stream::StreamRole::Tx {
-                return Some(host);
-            }
-        }
-    }
-    None
-}
-
-fn receiver_of(sim: &Sim<Stack>, session: u64) -> Option<HostId> {
-    for h in 0..sim.state.net.hosts.len() as u32 {
-        let host = HostId(h);
-        if let Some(s) = sim.state.stream.session(host, session) {
-            if s.role == stream::StreamRole::Rx {
-                return Some(host);
-            }
-        }
-    }
-    None
 }
 
 /// Offer chunks until the port refuses or everything is queued; resumes on

@@ -5,7 +5,7 @@
 //! install a [`Dispatcher`] once and register per-session handlers with it.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use rms_core::hash::DetHashMap;
 use std::rc::Rc;
 
 use dash_net::ids::HostId;
@@ -40,7 +40,7 @@ type Handler = Box<dyn FnMut(&mut Sim<Stack>, SessionEvent)>;
 /// A session-keyed dispatcher covering a set of hosts.
 #[derive(Clone, Default)]
 pub struct Dispatcher {
-    handlers: Rc<RefCell<HashMap<u64, Handler>>>,
+    handlers: Rc<RefCell<DetHashMap<u64, Handler>>>,
 }
 
 impl std::fmt::Debug for Dispatcher {

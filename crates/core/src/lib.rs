@@ -62,6 +62,7 @@ pub mod bandwidth;
 pub mod compat;
 pub mod delay;
 pub mod error;
+pub mod hash;
 pub mod message;
 pub mod params;
 pub mod port;
@@ -69,8 +70,9 @@ pub mod port;
 pub use compat::{is_compatible, negotiate, RmsRequest, ServiceTable};
 pub use delay::{DelayBound, DelayBoundKind, StatisticalSpec};
 pub use error::{FailReason, RejectReason, RmsError};
+pub use hash::{DetHashMap, DetHashSet, DetHasher};
 pub use message::{Label, Message};
 pub use params::{
-    Authentication, BitErrorRate, Privacy, Reliability, RmsParams, SecurityParams,
+    Authentication, BitErrorRate, Privacy, Reliability, RmsParams, SecurityParams, SharedParams,
 };
 pub use port::{DeliveryInfo, Port};

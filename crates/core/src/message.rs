@@ -74,9 +74,15 @@ impl Message {
     }
 
     /// A zero-filled message of `len` bytes — the standard synthetic
-    /// workload body.
+    /// workload body. Bodies up to 64 KB borrow a static zero page (no
+    /// allocation, lives in `.bss`); larger ones fall back to a `Vec`.
     pub fn zeroes(len: usize) -> Self {
-        Message::new(vec![0u8; len])
+        static ZERO_PAGE: [u8; 64 * 1024] = [0u8; 64 * 1024];
+        if len <= ZERO_PAGE.len() {
+            Message::new(Bytes::from_static(&ZERO_PAGE[..len]))
+        } else {
+            Message::new(vec![0u8; len])
+        }
     }
 
     /// The payload bytes.

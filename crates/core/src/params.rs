@@ -213,7 +213,20 @@ pub struct RmsParams {
     pub error_rate: BitErrorRate,
 }
 
+/// Shared, immutable handle to a negotiated parameter set.
+///
+/// Parameters are fixed at RMS creation time and consulted on every packet
+/// thereafter; storing one shared allocation in endpoint state, hop
+/// reservations, and control packets makes the per-packet `clone()` a
+/// reference-count bump instead of a struct copy.
+pub type SharedParams = std::sync::Arc<RmsParams>;
+
 impl RmsParams {
+    /// Wrap this parameter set in a [`SharedParams`] handle.
+    pub fn shared(self) -> SharedParams {
+        SharedParams::new(self)
+    }
+
     /// Start building a parameter set with the given capacity and maximum
     /// message size.
     ///

@@ -5,7 +5,7 @@ use dash_security::cipher::Key;
 use dash_security::suite::MechanismPlan;
 use dash_sim::time::SimTime;
 use rms_core::message::Label;
-use rms_core::params::RmsParams;
+use rms_core::params::SharedParams;
 
 use crate::ids::{CreateToken, HostId, NetRmsId};
 
@@ -60,7 +60,7 @@ pub enum PacketKind {
         /// The RMS id allocated by the sender side.
         rms: NetRmsId,
         /// The negotiated parameters being reserved.
-        params: RmsParams,
+        params: SharedParams,
         /// Networks traversed so far (for failure notification).
         path: Vec<crate::ids::NetworkId>,
         /// Set when this request answers a receiver-side create (invite).
@@ -95,7 +95,7 @@ pub enum PacketKind {
         /// Creator's correlation token (echoed through the whole exchange).
         token: CreateToken,
         /// Parameters the receiver-creator wants.
-        params: RmsParams,
+        params: SharedParams,
     },
     /// Teardown, routed sender → receiver; hops release reservations.
     Release {

@@ -141,7 +141,7 @@ pub fn create_rms<W: NetWorld>(
         .path(creator, peer)
         .ok_or(RmsError::CreationRejected(RejectReason::NoRoute))?;
     let table = combined_service_table(&sim.state, &path);
-    let params = negotiate(&table, request)?;
+    let params = negotiate(&table, request)?.shared();
     let caps = combined_capabilities(&sim.state, &path);
     let (plan, _effective_ber) = select_mechanisms(&params, &caps);
 
@@ -195,7 +195,7 @@ pub fn create_rms_as_receiver<W: NetWorld>(
         .path(peer, creator)
         .ok_or(RmsError::CreationRejected(RejectReason::NoRoute))?;
     let table = combined_service_table(&sim.state, &path);
-    let params = negotiate(&table, request)?;
+    let params = negotiate(&table, request)?.shared();
 
     let token = sim.state.net().alloc_token();
     sim.state.net().host_mut(creator).invites.insert(
@@ -887,7 +887,20 @@ fn forward<W: NetWorld>(sim: &mut Sim<W>, host: HostId, mut packet: Packet) {
 }
 
 fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
-    let (token, rms, params, mut path, invite) = match packet.kind.clone() {
+    // Take the packet apart by value: the kind's params and path move out
+    // once instead of being cloned just to destructure.
+    let Packet {
+        src,
+        dst,
+        kind,
+        deadline,
+        sent_at,
+        corrupted,
+        hops,
+        reliable,
+        next_plan,
+    } = packet;
+    let (token, rms, params, mut path, invite) = match kind {
         PacketKind::CreateReq {
             token,
             rms,
@@ -897,9 +910,9 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
         } => (token, rms, params, path, invite),
         _ => unreachable!(),
     };
-    let (plan, key) = packet.next_plan.unwrap_or((MechanismPlan::NONE, Key(0)));
+    let (plan, key) = next_plan.unwrap_or((MechanismPlan::NONE, Key(0)));
 
-    if packet.dst == host {
+    if dst == host {
         // Receiver endpoint. Idempotent: a retry of an already-accepted
         // request just re-acks.
         let is_new = !sim.state.net_ref().host(host).rms.contains_key(&rms);
@@ -907,7 +920,7 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
             let endpoint = NetRms::new(
                 rms,
                 RmsRole::Receiver,
-                packet.src,
+                src,
                 params.clone(),
                 plan,
                 key,
@@ -918,7 +931,7 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
         let now = sim.now();
         let ack = Packet {
             src: host,
-            dst: packet.src,
+            dst: src,
             kind: PacketKind::CreateAck {
                 token,
                 rms,
@@ -947,7 +960,7 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
                 host,
                 NetRmsEvent::InboundCreated {
                     rms,
-                    peer: packet.src,
+                    peer: src,
                     params,
                     invite,
                 },
@@ -960,7 +973,7 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
     let now = sim.now();
     let verdict = {
         let net = sim.state.net();
-        match net.host(host).routes.get(&packet.dst).copied() {
+        match net.host(host).routes.get(&dst).copied() {
             None => Err(NakReason::NoRoute),
             Some(route) => {
                 let h = net.host_mut(host);
@@ -993,17 +1006,24 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
         Ok(route) => {
             let network = sim.state.net_ref().host(host).ifaces[route.iface].network;
             path.push(network);
-            let mut fwd = packet;
-            fwd.hops += 1;
-            fwd.kind = PacketKind::CreateReq {
-                token,
-                rms,
-                params,
-                path,
-                invite,
-            };
-            fwd.next_plan = Some((plan, key));
-            if fwd.hops <= sim.state.net_ref().config.ttl {
+            if hops < sim.state.net_ref().config.ttl {
+                let fwd = Packet {
+                    src,
+                    dst,
+                    kind: PacketKind::CreateReq {
+                        token,
+                        rms,
+                        params,
+                        path,
+                        invite,
+                    },
+                    deadline,
+                    sent_at,
+                    corrupted,
+                    hops: hops + 1,
+                    reliable,
+                    next_plan: Some((plan, key)),
+                };
                 route_and_enqueue(sim, host, fwd);
             } else {
                 sim.state.net().stats.ttl_drops.incr();
@@ -1012,7 +1032,7 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
         Err(reason) => {
             let nak = Packet {
                 src: host,
-                dst: packet.src,
+                dst: src,
                 kind: PacketKind::CreateNak {
                     token,
                     rms,
@@ -1032,13 +1052,12 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
 }
 
 fn handle_create_nak<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
-    let (token, rms, reason, _invite) = match packet.kind.clone() {
+    // All interesting fields are `Copy`; match by reference so the packet
+    // stays whole for the forwarding case below.
+    let (token, rms, reason) = match &packet.kind {
         PacketKind::CreateNak {
-            token,
-            rms,
-            reason,
-            invite,
-        } => (token, rms, reason, invite),
+            token, rms, reason, ..
+        } => (*token, *rms, *reason),
         _ => unreachable!(),
     };
     // Every hop holding a reservation for this stream releases it.
@@ -1089,13 +1108,11 @@ fn handle_release<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
 }
 
 fn handle_create_ack<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
-    let (token, rms, path, _invite) = match packet.kind.clone() {
+    // The ack is consumed here; move the path out instead of cloning it.
+    let (token, rms, path) = match packet.kind {
         PacketKind::CreateAck {
-            token,
-            rms,
-            path,
-            invite,
-        } => (token, rms, path, invite),
+            token, rms, path, ..
+        } => (token, rms, path),
         _ => unreachable!(),
     };
     let pending = match sim.state.net().host_mut(host).pending.remove(&token) {
@@ -1134,7 +1151,8 @@ fn handle_create_ack<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
 }
 
 fn handle_invite<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
-    let (token, params) = match packet.kind.clone() {
+    let inviter = packet.src;
+    let (token, params) = match packet.kind {
         PacketKind::Invite { token, params } => (token, params),
         _ => unreachable!(),
     };
@@ -1149,7 +1167,6 @@ fn handle_invite<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
     if already {
         return;
     }
-    let inviter = packet.src;
     let Some(path) = sim.state.net_ref().path(host, inviter) else {
         return;
     };

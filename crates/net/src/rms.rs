@@ -8,7 +8,7 @@ use dash_security::suite::MechanismPlan;
 use dash_sim::stats::{Counter, Histogram};
 use dash_sim::time::SimTime;
 use rms_core::message::Label;
-use rms_core::params::RmsParams;
+use rms_core::params::SharedParams;
 
 use crate::ids::{HostId, NetRmsId, NetworkId};
 
@@ -73,8 +73,8 @@ pub struct NetRms {
     pub role: RmsRole,
     /// The other endpoint.
     pub peer: HostId,
-    /// Negotiated parameters.
-    pub params: RmsParams,
+    /// Negotiated parameters (shared with reservations and control state).
+    pub params: SharedParams,
     /// Security mechanisms selected at creation (§2.5).
     pub plan: MechanismPlan,
     /// Stream key for encryption/MAC (distributed during creation; a real
@@ -108,7 +108,7 @@ impl NetRms {
         id: NetRmsId,
         role: RmsRole,
         peer: HostId,
-        params: RmsParams,
+        params: SharedParams,
         plan: MechanismPlan,
         key: Key,
         path: Vec<NetworkId>,
@@ -155,7 +155,10 @@ mod tests {
             NetRmsId(1),
             role,
             HostId(2),
-            RmsParams::builder(10_000, 1_000).build().unwrap(),
+            rms_core::params::RmsParams::builder(10_000, 1_000)
+                .build()
+                .unwrap()
+                .shared(),
             MechanismPlan::NONE,
             Key(1),
             vec![NetworkId(0)],

@@ -7,7 +7,7 @@
 //! top without this crate knowing about it (paper Figure 1's
 //! network-independent / network-dependent interface).
 
-use std::collections::HashMap;
+use rms_core::hash::DetHashMap;
 
 use bytes::Bytes;
 use dash_sim::engine::{Sim, TimerHandle};
@@ -18,7 +18,7 @@ use dash_sim::time::{SimDuration, SimTime};
 use dash_sim::trace::Trace;
 use rms_core::error::{FailReason, RejectReason};
 use rms_core::message::Message;
-use rms_core::params::RmsParams;
+use rms_core::params::SharedParams;
 use rms_core::port::DeliveryInfo;
 
 use dash_security::cipher::Key;
@@ -101,7 +101,7 @@ pub struct PendingCreate {
     /// Data-receiver host (peer of the sender).
     pub peer: HostId,
     /// Negotiated parameters being requested along the path.
-    pub params: RmsParams,
+    pub params: SharedParams,
     /// Attempts so far.
     pub attempts: u32,
     /// Retry timer.
@@ -120,7 +120,7 @@ pub struct PendingInvite {
     /// The data-sender host being invited.
     pub peer: HostId,
     /// Parameters requested.
-    pub params: RmsParams,
+    pub params: SharedParams,
     /// Retry timer.
     pub timer: Option<TimerHandle>,
     /// Attempts so far.
@@ -135,16 +135,16 @@ pub struct NetHost {
     /// Attached interfaces.
     pub ifaces: Vec<Iface>,
     /// Static routes: destination → (interface, next hop).
-    pub routes: HashMap<HostId, Route>,
+    pub routes: DetHashMap<HostId, Route>,
     /// Live RMS endpoints (both roles).
-    pub rms: HashMap<NetRmsId, NetRms>,
+    pub rms: DetHashMap<NetRmsId, NetRms>,
     /// Reservations held at this host for streams passing through it:
     /// RMS → (outbound interface index, reserved parameters).
-    pub reservations: HashMap<NetRmsId, (usize, RmsParams)>,
+    pub reservations: DetHashMap<NetRmsId, (usize, SharedParams)>,
     /// Creation attempts initiated here.
-    pub pending: HashMap<CreateToken, PendingCreate>,
+    pub pending: DetHashMap<CreateToken, PendingCreate>,
     /// Invites initiated here (receiver-side creates).
-    pub invites: HashMap<CreateToken, PendingInvite>,
+    pub invites: DetHashMap<CreateToken, PendingInvite>,
     /// When this host's CPU becomes free (used by the default FIFO CPU
     /// model of [`NetWorld::charge_cpu`]).
     pub cpu_free_at: SimTime,
@@ -309,7 +309,7 @@ pub enum NetRmsEvent {
         /// The new stream.
         rms: NetRmsId,
         /// Its negotiated parameters.
-        params: RmsParams,
+        params: SharedParams,
     },
     /// A creation initiated here failed.
     CreateFailed {
@@ -326,7 +326,7 @@ pub enum NetRmsEvent {
         /// The sending peer.
         peer: HostId,
         /// Negotiated parameters.
-        params: RmsParams,
+        params: SharedParams,
         /// Our invite token, when this answers a receiver-side create.
         invite: Option<CreateToken>,
     },
@@ -338,7 +338,7 @@ pub enum NetRmsEvent {
         /// The receiving peer (the inviter).
         peer: HostId,
         /// Negotiated parameters.
-        params: RmsParams,
+        params: SharedParams,
     },
     /// An invite we sent was refused or timed out.
     InviteFailed {

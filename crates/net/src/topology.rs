@@ -7,7 +7,9 @@
 //! (fewest hops; ties broken toward lower-numbered neighbours for
 //! determinism).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use rms_core::hash::DetHashMap;
 
 use rms_core::admission::ResourceLedger;
 
@@ -125,11 +127,11 @@ impl TopologyBuilder {
             state.hosts.push(NetHost {
                 id,
                 ifaces,
-                routes: HashMap::new(),
-                rms: HashMap::new(),
-                reservations: HashMap::new(),
-                pending: HashMap::new(),
-                invites: HashMap::new(),
+                routes: Default::default(),
+                rms: Default::default(),
+                reservations: Default::default(),
+                pending: Default::default(),
+                invites: Default::default(),
                 cpu_free_at: dash_sim::time::SimTime::ZERO,
                 up: true,
             });
@@ -190,7 +192,7 @@ pub fn compute_routes(state: &mut NetState) {
                 }
             }
         }
-        let routes: HashMap<HostId, Route> = first_hop
+        let routes: DetHashMap<HostId, Route> = first_hop
             .iter()
             .enumerate()
             .filter_map(|(dst, hop)| {

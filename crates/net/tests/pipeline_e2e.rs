@@ -539,3 +539,33 @@ fn deadline_clamping_keeps_transmission_order() {
     let seqs: Vec<u64> = sim.state.deliveries.iter().map(|d| d.3.seq).collect();
     assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
 }
+
+#[test]
+fn create_interns_one_params_allocation_along_the_whole_path() {
+    let (net, a, b, g1, g2) = dumbbell();
+    let mut sim = Sim::new(World::new(net));
+    let rms = establish(&mut sim, a, b, basic_params());
+    let sender_params = sim.state.net.host(a).rms[&rms].params.clone();
+    // Both endpoints and every hop reservation hold the *same* allocation:
+    // the creation handshake moves one shared handle along the path instead
+    // of copying the parameter struct at each hop.
+    assert!(std::sync::Arc::ptr_eq(
+        &sender_params,
+        &sim.state.net.host(b).rms[&rms].params
+    ));
+    for hop in [a, g1, g2] {
+        let (_, reserved) = &sim.state.net.host(hop).reservations[&rms];
+        assert!(
+            std::sync::Arc::ptr_eq(reserved, &sender_params),
+            "hop {hop:?} holds a separate params copy"
+        );
+    }
+    // The receiver endpoint has no outbound reservation of its own.
+    assert!(!sim.state.net.host(b).reservations.contains_key(&rms));
+    // Hop-by-hop forwarding still records the full three-network path and
+    // the ack echoes it back to the sender unchanged.
+    let sender_path = &sim.state.net.host(a).rms[&rms].path;
+    let receiver_path = &sim.state.net.host(b).rms[&rms].path;
+    assert_eq!(sender_path, receiver_path);
+    assert_eq!(sender_path.len(), 3);
+}

@@ -65,9 +65,35 @@ impl<S> std::fmt::Debug for Job<S> {
 }
 
 struct ReadyJob<S> {
+    /// Scheduling key, computed from the policy at submit time: the ready
+    /// queue is a min-heap on `(key, seq)`, so picking the next job is
+    /// O(log n) instead of a linear scan. The unique `seq` tie-break keeps
+    /// the order identical to the old scan (and deterministic).
+    key: u64,
     arrival: SimTime,
     seq: u64,
     job: Job<S>,
+}
+
+impl<S> PartialEq for ReadyJob<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<S> Eq for ReadyJob<S> {}
+
+impl<S> PartialOrd for ReadyJob<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S> Ord for ReadyJob<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we want the smallest key.
+        (other.key, other.seq).cmp(&(self.key, self.seq))
+    }
 }
 
 struct Running<S> {
@@ -100,7 +126,7 @@ pub struct CpuStats {
 pub struct Cpu<S> {
     policy: SchedPolicy,
     context_switch: SimDuration,
-    ready: Vec<ReadyJob<S>>,
+    ready: std::collections::BinaryHeap<ReadyJob<S>>,
     running: Option<Running<S>>,
     current_stream: Option<u64>,
     seq: u64,
@@ -124,7 +150,7 @@ impl<S: 'static> Cpu<S> {
         Cpu {
             policy,
             context_switch,
-            ready: Vec::new(),
+            ready: std::collections::BinaryHeap::new(),
             running: None,
             current_stream: None,
             seq: 0,
@@ -152,34 +178,18 @@ impl<S: 'static> Cpu<S> {
         std::mem::take(&mut self.stats)
     }
 
-    fn pick_next(&mut self) -> Option<ReadyJob<S>> {
-        if self.ready.is_empty() {
-            return None;
+    /// The heap key a job sorts by under this CPU's policy (ties broken by
+    /// submission order via `seq`).
+    fn sched_key(&self, job: &Job<S>) -> u64 {
+        match self.policy {
+            SchedPolicy::Edf => job.deadline.as_nanos(),
+            SchedPolicy::Fifo => 0,
+            SchedPolicy::Priority => job.priority as u64,
         }
-        let idx = match self.policy {
-            SchedPolicy::Edf => self
-                .ready
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, r)| (r.job.deadline, r.seq))
-                .map(|(i, _)| i)
-                .expect("non-empty"),
-            SchedPolicy::Fifo => self
-                .ready
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, r)| r.seq)
-                .map(|(i, _)| i)
-                .expect("non-empty"),
-            SchedPolicy::Priority => self
-                .ready
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, r)| (r.job.priority, r.seq))
-                .map(|(i, _)| i)
-                .expect("non-empty"),
-        };
-        Some(self.ready.swap_remove(idx))
+    }
+
+    fn pick_next(&mut self) -> Option<ReadyJob<S>> {
+        self.ready.pop()
     }
 }
 
@@ -192,7 +202,9 @@ pub fn submit<S: 'static>(sim: &mut Sim<S>, acc: CpuAccessor<S>, key: u64, job: 
     let cpu = acc(&mut sim.state, key);
     let seq = cpu.seq;
     cpu.seq += 1;
+    let sched_key = cpu.sched_key(&job);
     cpu.ready.push(ReadyJob {
+        key: sched_key,
         arrival: now,
         seq,
         job,

@@ -1,10 +1,24 @@
 //! The discrete-event engine.
 //!
 //! [`Sim<S>`] owns a virtual clock, a priority queue of pending events, and
-//! an application-defined world state `S`. Events are boxed closures that
-//! receive `&mut Sim<S>` — they can mutate the world, read the clock, and
-//! schedule further events. Ties in time are broken by submission order, so
-//! a run is fully deterministic.
+//! an application-defined world state `S`. Events are one-shot closures
+//! that receive `&mut Sim<S>` — they can mutate the world, read the clock,
+//! and schedule further events. Ties in time are broken by submission
+//! order, so a run is fully deterministic.
+//!
+//! # Queue representation
+//!
+//! Actions live in a slot-reusing slab; the binary heap orders small
+//! `Copy` keys (time, submission seq, slot, generation) instead of the
+//! boxed closures themselves, so heap sift operations move 24-byte
+//! entries rather than fat owner structs. Cancellation goes through a
+//! shared, non-generic [`CancelBoard`]: a [`TimerHandle`] marks its slot
+//! dirty without needing `&mut Sim`, and the engine drains dirty slots at
+//! the next scheduling boundary — dropping the cancelled closure (and
+//! whatever it captured) eagerly instead of carrying a tombstone until its
+//! due time. Generation counters make stale heap entries for reused slots
+//! harmless, and the heap compacts itself when dead entries outnumber
+//! live ones.
 //!
 //! ```
 //! use dash_sim::engine::Sim;
@@ -18,7 +32,7 @@
 //! assert_eq!(sim.now().as_nanos(), 2_000_000);
 //! ```
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
@@ -28,48 +42,98 @@ use crate::time::{SimDuration, SimTime};
 /// A scheduled action: a one-shot closure run at its scheduled instant.
 pub type Event<S> = Box<dyn FnOnce(&mut Sim<S>)>;
 
-struct Entry<S> {
+/// The heap key for one scheduled action. `Copy` and small by design:
+/// sifting moves these, never the closures.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Entry {
     time: SimTime,
     seq: u64,
-    action: Event<S>,
+    slot: u32,
+    gen: u32,
 }
 
-impl<S> PartialEq for Entry<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<S> Eq for Entry<S> {}
-impl<S> PartialOrd for Entry<S> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<S> Ord for Entry<S> {
+impl Ord for Entry {
     // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops first.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.time, other.seq).cmp(&(self.time, self.seq))
     }
 }
 
+/// Shared cancellation state, deliberately non-generic so [`TimerHandle`]
+/// can live in structs that know nothing about the world type `S`.
+///
+/// Each slot carries a generation; a handle only acts when its remembered
+/// generation matches, so handles outliving their timer (fired, or slot
+/// reused) degrade to no-ops. Slots cancelled since the last drain are on
+/// the dirty list for the engine to reap.
+#[derive(Debug, Default)]
+struct CancelBoard {
+    gens: Vec<u32>,
+    cancelled: Vec<bool>,
+    dirty: Vec<u32>,
+}
+
+impl CancelBoard {
+    fn grow_to(&mut self, slots: usize) {
+        if self.gens.len() < slots {
+            self.gens.resize(slots, 0);
+            self.cancelled.resize(slots, false);
+        }
+    }
+}
+
 /// Handle to a scheduled event that may be cancelled before it fires.
 ///
-/// Cancellation is cooperative: the entry stays in the queue but becomes a
-/// no-op when popped. Dropping the handle does *not* cancel the event.
-#[derive(Debug, Clone)]
+/// Cancelling drops the pending closure at the engine's next scheduling
+/// boundary (its captures are released eagerly; the heap entry dies
+/// silently). Dropping the handle does *not* cancel the event; cancelling
+/// after the event fired is a harmless no-op.
+#[derive(Clone)]
 pub struct TimerHandle {
-    cancelled: Rc<Cell<bool>>,
+    board: Rc<RefCell<CancelBoard>>,
+    slot: u32,
+    gen: u32,
+    /// Remembers a cancel request even after the timer fired (the board's
+    /// slot may have been reused by then), so `cancel` → `is_cancelled`
+    /// always observes the request on this handle and its later clones.
+    requested: Cell<bool>,
+}
+
+impl std::fmt::Debug for TimerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerHandle")
+            .field("slot", &self.slot)
+            .field("gen", &self.gen)
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
 }
 
 impl TimerHandle {
     /// Cancel the associated event. Idempotent.
     pub fn cancel(&self) {
-        self.cancelled.set(true);
+        self.requested.set(true);
+        let mut board = self.board.borrow_mut();
+        let slot = self.slot as usize;
+        if board.gens[slot] == self.gen && !board.cancelled[slot] {
+            board.cancelled[slot] = true;
+            board.dirty.push(self.slot);
+        }
     }
 
     /// True if [`cancel`](Self::cancel) has been called.
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.get()
+        if self.requested.get() {
+            return true;
+        }
+        let board = self.board.borrow();
+        let slot = self.slot as usize;
+        board.gens[slot] == self.gen && board.cancelled[slot]
     }
 }
 
@@ -77,7 +141,13 @@ impl TimerHandle {
 pub struct Sim<S> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Entry<S>>,
+    queue: BinaryHeap<Entry>,
+    /// Slot-indexed storage for pending closures; `None` is a vacant slot.
+    actions: Vec<Option<Event<S>>>,
+    free: Vec<u32>,
+    board: Rc<RefCell<CancelBoard>>,
+    /// Pending live events (scheduled, not yet fired or reaped).
+    live: usize,
     processed: u64,
     /// The simulated world. Public by design: event closures and the layer
     /// crates built on this engine address the world through accessor traits
@@ -89,7 +159,7 @@ impl<S: std::fmt::Debug> std::fmt::Debug for Sim<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("pending", &self.live)
             .field("processed", &self.processed)
             .field("state", &self.state)
             .finish()
@@ -103,6 +173,10 @@ impl<S> Sim<S> {
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
+            actions: Vec::new(),
+            free: Vec::new(),
+            board: Rc::new(RefCell::new(CancelBoard::default())),
+            live: 0,
             processed: 0,
             state,
         }
@@ -118,14 +192,71 @@ impl<S> Sim<S> {
         self.processed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (cancelled timers stop counting once
+    /// the engine reaps them at the next scheduling boundary).
     pub fn events_pending(&self) -> usize {
-        self.queue.len()
+        self.live
     }
 
-    /// The time of the next pending event, if any.
+    /// The time of the next pending event, if any. Timers cancelled since
+    /// the engine last ran may still be reported until they are reaped.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.queue.peek().map(|e| e.time)
+    }
+
+    /// Claim a slot for `action`, returning `(slot, gen)`.
+    fn alloc_slot(&mut self, action: Event<S>) -> (u32, u32) {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.actions.len() as u32;
+                self.actions.push(None);
+                self.board.borrow_mut().grow_to(self.actions.len());
+                s
+            }
+        };
+        self.actions[slot as usize] = Some(action);
+        self.live += 1;
+        let gen = self.board.borrow().gens[slot as usize];
+        (slot, gen)
+    }
+
+    /// Release `slot` after its action fired or was reaped.
+    fn release_slot(&mut self, slot: u32) {
+        let mut board = self.board.borrow_mut();
+        board.gens[slot as usize] = board.gens[slot as usize].wrapping_add(1);
+        board.cancelled[slot as usize] = false;
+        drop(board);
+        self.free.push(slot);
+    }
+
+    /// Drop the closures of every timer cancelled since the last drain.
+    /// Their heap entries stay behind but are invalidated by the slot's
+    /// generation bump; compaction sweeps them out when they pile up.
+    fn reap_cancelled(&mut self) {
+        loop {
+            let slot = match self.board.borrow_mut().dirty.pop() {
+                Some(s) => s,
+                None => break,
+            };
+            if let Some(action) = self.actions[slot as usize].take() {
+                drop(action);
+                self.live -= 1;
+                self.release_slot(slot);
+            }
+        }
+        // A heap mostly full of dead entries costs every subsequent push
+        // and pop; rebuild it from the survivors once they are a minority.
+        if self.queue.len() > 64 && self.queue.len() > 2 * self.live {
+            let board = self.board.borrow();
+            let retained: Vec<Entry> = self
+                .queue
+                .drain()
+                .filter(|e| board.gens[e.slot as usize] == e.gen)
+                .collect();
+            drop(board);
+            self.queue = BinaryHeap::from(retained);
+        }
     }
 
     /// Schedule `action` to run at absolute time `at`.
@@ -142,10 +273,12 @@ impl<S> Sim<S> {
         );
         let seq = self.seq;
         self.seq += 1;
+        let (slot, gen) = self.alloc_slot(Box::new(action));
         self.queue.push(Entry {
             time: at,
             seq,
-            action: Box::new(action),
+            slot,
+            gen,
         });
     }
 
@@ -160,24 +293,54 @@ impl<S> Sim<S> {
         after: SimDuration,
         action: impl FnOnce(&mut Sim<S>) + 'static,
     ) -> TimerHandle {
-        let cancelled = Rc::new(Cell::new(false));
-        let flag = Rc::clone(&cancelled);
-        self.schedule_in(after, move |sim| {
-            if !flag.get() {
-                action(sim);
-            }
+        let at = self.now.saturating_add(after);
+        assert!(at >= self.now, "timer overflow");
+        let seq = self.seq;
+        self.seq += 1;
+        let (slot, gen) = self.alloc_slot(Box::new(action));
+        self.queue.push(Entry {
+            time: at,
+            seq,
+            slot,
+            gen,
         });
-        TimerHandle { cancelled }
+        TimerHandle {
+            board: Rc::clone(&self.board),
+            slot,
+            gen,
+            requested: Cell::new(false),
+        }
     }
 
-    /// Run the next event, if any. Returns `false` when the queue is empty.
+    /// Pop heap entries until one refers to a live action; returns it with
+    /// its closure, already detached from the slab.
+    fn pop_live(&mut self) -> Option<(SimTime, Event<S>)> {
+        self.reap_cancelled();
+        loop {
+            let entry = self.queue.pop()?;
+            // Stale entries (cancelled and reaped, slot possibly reused)
+            // fail the generation check and die silently here.
+            if self.board.borrow().gens[entry.slot as usize] != entry.gen {
+                continue;
+            }
+            let action = self.actions[entry.slot as usize]
+                .take()
+                .expect("live generation implies a pending action");
+            self.live -= 1;
+            self.release_slot(entry.slot);
+            return Some((entry.time, action));
+        }
+    }
+
+    /// Run the next live event, if any. Returns `false` when no live event
+    /// remains. Cancelled timers neither run nor count.
     pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
-            Some(entry) => {
-                debug_assert!(entry.time >= self.now);
-                self.now = entry.time;
+        match self.pop_live() {
+            Some((time, action)) => {
+                debug_assert!(time >= self.now);
+                self.now = time;
                 self.processed += 1;
-                (entry.action)(self);
+                action(self);
                 true
             }
             None => false,
@@ -192,18 +355,27 @@ impl<S> Sim<S> {
     /// Run every event scheduled at or before `until`, then set the clock to
     /// `until` (even if no event fired exactly then).
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(t) = self.peek_time() {
-            if t > until {
-                break;
+        loop {
+            self.reap_cancelled();
+            match self.queue.peek() {
+                Some(e) if e.time <= until => {
+                    // Dead heads are removed (not executed) by pop_live
+                    // inside step; live heads at or before `until` run.
+                    if self.board.borrow().gens[e.slot as usize] != e.gen {
+                        self.queue.pop();
+                        continue;
+                    }
+                    self.step();
+                }
+                _ => break,
             }
-            self.step();
         }
         if until > self.now {
             self.now = until;
         }
     }
 
-    /// Run at most `max_events` events; returns how many actually ran.
+    /// Run at most `max_events` live events; returns how many actually ran.
     pub fn run_bounded(&mut self, max_events: u64) -> u64 {
         let mut n = 0;
         while n < max_events && self.step() {
@@ -296,5 +468,61 @@ mod tests {
         assert_eq!(sim.run_bounded(3), 3);
         assert_eq!(sim.state, 3);
         assert_eq!(sim.run_bounded(100), 2);
+    }
+
+    #[test]
+    fn cancelled_timer_is_reaped_and_slot_reuse_is_safe() {
+        let mut sim = Sim::new(Vec::new());
+        // Schedule far-future timers, cancel them, then reuse their slots
+        // with near-term events. The stale heap entries must neither fire
+        // the new closures early nor fire at all.
+        let handles: Vec<TimerHandle> = (0..8)
+            .map(|i| {
+                sim.schedule_timer(SimDuration::from_millis(100 + i), move |s| {
+                    s.state.push(1000 + i)
+                })
+            })
+            .collect();
+        for h in &handles {
+            h.cancel();
+        }
+        for i in 0..8u64 {
+            sim.schedule_in(SimDuration::from_millis(i), move |s| s.state.push(i));
+        }
+        // Cancelled timers no longer count once the engine reaps them.
+        sim.step();
+        assert_eq!(sim.events_pending(), 7);
+        sim.run();
+        assert_eq!(sim.state, (0..8).collect::<Vec<_>>());
+        assert_eq!(sim.events_processed(), 8);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop_and_observable() {
+        let mut sim = Sim::new(0u64);
+        let h = sim.schedule_timer(SimDuration::from_nanos(1), |s| s.state += 1);
+        sim.run();
+        assert_eq!(sim.state, 1);
+        assert!(!h.is_cancelled());
+        h.cancel(); // slot already retired: harmless
+        assert!(h.is_cancelled());
+        sim.schedule_in(SimDuration::from_nanos(1), |s| s.state += 10);
+        sim.run();
+        assert_eq!(sim.state, 11);
+    }
+
+    #[test]
+    fn heap_compacts_when_dead_entries_dominate() {
+        let mut sim = Sim::new(0u64);
+        let handles: Vec<TimerHandle> = (0..500)
+            .map(|_| sim.schedule_timer(SimDuration::from_secs(10), |s| s.state += 1))
+            .collect();
+        for h in &handles {
+            h.cancel();
+        }
+        sim.schedule_in(SimDuration::from_nanos(1), |s| s.state += 100);
+        sim.run();
+        assert_eq!(sim.state, 100);
+        assert_eq!(sim.events_pending(), 0);
     }
 }

@@ -455,49 +455,99 @@ pub enum ObsEvent {
     },
 }
 
+/// Every distinct event counter name, indexed by [`ObsEvent::fast_index`].
+/// The registry keeps these counts in a plain array so the per-event fast
+/// path is an indexed increment — no map lookup, no allocation.
+pub const EVENT_NAMES: [&str; 38] = [
+    "net.admission_admitted",
+    "net.admission_rejected",
+    "net.iface_enqueue",
+    "net.iface_dequeue",
+    "net.iface_drop",
+    "net.send",
+    "net.recv",
+    "net.packet_sent",
+    "net.packet_delivered",
+    "st.send",
+    "st.deliver",
+    "st.msg_fragmented",
+    "st.reassembled",
+    "st.coalesced",
+    "st.flush",
+    "st.cache_hit",
+    "st.cache_miss",
+    "st.cache_eviction",
+    "st.net_msg_sent",
+    "st.fast_ack_sent",
+    "st.control_created",
+    "st.hello_sent",
+    "st.create_requested",
+    "stream.send",
+    "stream.deliver",
+    "stream.ack_sent",
+    "stream.sender_blocked",
+    "stream.retries_exhausted",
+    "rkom.call",
+    "rkom.completed",
+    "tcp.retransmit",
+    "fault.injected",
+    "net.network_failed",
+    "net.network_restored",
+    "net.host_crashed",
+    "net.host_restarted",
+    "st.failover_started",
+    "st.failover_completed",
+];
+
 impl ObsEvent {
+    /// This event's slot in [`EVENT_NAMES`] (and in the registry's fast
+    /// counter array).
+    pub fn fast_index(&self) -> usize {
+        match self {
+            ObsEvent::AdmissionDecision { admitted: true, .. } => 0,
+            ObsEvent::AdmissionDecision { admitted: false, .. } => 1,
+            ObsEvent::IfaceEnqueue { .. } => 2,
+            ObsEvent::IfaceDequeue { .. } => 3,
+            ObsEvent::IfaceDrop { .. } => 4,
+            ObsEvent::NetSend { .. } => 5,
+            ObsEvent::NetRecv { .. } => 6,
+            ObsEvent::NetPacketSent { .. } => 7,
+            ObsEvent::NetPacketDelivered { .. } => 8,
+            ObsEvent::StSend { .. } => 9,
+            ObsEvent::StDeliver { .. } => 10,
+            ObsEvent::Fragment { .. } => 11,
+            ObsEvent::Reassemble { .. } => 12,
+            ObsEvent::PiggybackCoalesce { .. } => 13,
+            ObsEvent::PiggybackFlush { .. } => 14,
+            ObsEvent::CacheHit { .. } => 15,
+            ObsEvent::CacheMiss { .. } => 16,
+            ObsEvent::CacheEvict { .. } => 17,
+            ObsEvent::StNetMsg { .. } => 18,
+            ObsEvent::FastAckSent { .. } => 19,
+            ObsEvent::ControlCreated { .. } => 20,
+            ObsEvent::HelloSent { .. } => 21,
+            ObsEvent::CreateRequested { .. } => 22,
+            ObsEvent::TransportSend { .. } => 23,
+            ObsEvent::StreamDeliver { .. } => 24,
+            ObsEvent::StreamAck { .. } => 25,
+            ObsEvent::StreamBlocked { .. } => 26,
+            ObsEvent::StreamRetriesExhausted { .. } => 27,
+            ObsEvent::RkomSend { .. } => 28,
+            ObsEvent::RkomDeliver { .. } => 29,
+            ObsEvent::TcpRetransmit { .. } => 30,
+            ObsEvent::FaultInjected { .. } => 31,
+            ObsEvent::NetworkFailed { .. } => 32,
+            ObsEvent::NetworkRestored { .. } => 33,
+            ObsEvent::HostCrashed { .. } => 34,
+            ObsEvent::HostRestarted { .. } => 35,
+            ObsEvent::FailoverStarted { .. } => 36,
+            ObsEvent::FailoverCompleted { .. } => 37,
+        }
+    }
+
     /// The registry counter this event increments (also the JSON `name`).
     pub fn name(&self) -> &'static str {
-        match self {
-            ObsEvent::AdmissionDecision { admitted: true, .. } => "net.admission_admitted",
-            ObsEvent::AdmissionDecision { admitted: false, .. } => "net.admission_rejected",
-            ObsEvent::IfaceEnqueue { .. } => "net.iface_enqueue",
-            ObsEvent::IfaceDequeue { .. } => "net.iface_dequeue",
-            ObsEvent::IfaceDrop { .. } => "net.iface_drop",
-            ObsEvent::NetSend { .. } => "net.send",
-            ObsEvent::NetRecv { .. } => "net.recv",
-            ObsEvent::NetPacketSent { .. } => "net.packet_sent",
-            ObsEvent::NetPacketDelivered { .. } => "net.packet_delivered",
-            ObsEvent::StSend { .. } => "st.send",
-            ObsEvent::StDeliver { .. } => "st.deliver",
-            ObsEvent::Fragment { .. } => "st.msg_fragmented",
-            ObsEvent::Reassemble { .. } => "st.reassembled",
-            ObsEvent::PiggybackCoalesce { .. } => "st.coalesced",
-            ObsEvent::PiggybackFlush { .. } => "st.flush",
-            ObsEvent::CacheHit { .. } => "st.cache_hit",
-            ObsEvent::CacheMiss { .. } => "st.cache_miss",
-            ObsEvent::CacheEvict { .. } => "st.cache_eviction",
-            ObsEvent::StNetMsg { .. } => "st.net_msg_sent",
-            ObsEvent::FastAckSent { .. } => "st.fast_ack_sent",
-            ObsEvent::ControlCreated { .. } => "st.control_created",
-            ObsEvent::HelloSent { .. } => "st.hello_sent",
-            ObsEvent::CreateRequested { .. } => "st.create_requested",
-            ObsEvent::TransportSend { .. } => "stream.send",
-            ObsEvent::StreamDeliver { .. } => "stream.deliver",
-            ObsEvent::StreamAck { .. } => "stream.ack_sent",
-            ObsEvent::StreamBlocked { .. } => "stream.sender_blocked",
-            ObsEvent::StreamRetriesExhausted { .. } => "stream.retries_exhausted",
-            ObsEvent::RkomSend { .. } => "rkom.call",
-            ObsEvent::RkomDeliver { .. } => "rkom.completed",
-            ObsEvent::TcpRetransmit { .. } => "tcp.retransmit",
-            ObsEvent::FaultInjected { .. } => "fault.injected",
-            ObsEvent::NetworkFailed { .. } => "net.network_failed",
-            ObsEvent::NetworkRestored { .. } => "net.network_restored",
-            ObsEvent::HostCrashed { .. } => "net.host_crashed",
-            ObsEvent::HostRestarted { .. } => "net.host_restarted",
-            ObsEvent::FailoverStarted { .. } => "st.failover_started",
-            ObsEvent::FailoverCompleted { .. } => "st.failover_completed",
-        }
+        EVENT_NAMES[self.fast_index()]
     }
 
     /// The lifecycle stage this event timestamps, when it carries a span.
@@ -520,14 +570,98 @@ impl ObsEvent {
 // Metric registry
 // ---------------------------------------------------------------------------
 
-/// Named counters, gauges, and histograms. Keys are `String` so callers may
-/// register dynamic per-stream metrics; iteration order is deterministic
-/// (sorted by name) for stable export.
-#[derive(Debug, Default)]
+/// Counters [`MetricRegistry::apply`] bumps *beyond* the per-event name,
+/// slot-indexed by the `D_*` constants below.
+const DERIVED_NAMES: [&str; 13] = [
+    "st.fragment_sent",
+    "st.flush_timer",
+    "st.flush_overflow",
+    "st.flush_conflict",
+    "st.flush_fragment",
+    "st.flush_close",
+    "st.bundle_sent",
+    "st.msg_bundled",
+    "st.msg_alone",
+    "st.net_bytes_sent",
+    "st.late_delivery",
+    "tcp.segments_retransmitted",
+    "st.failover_streams",
+];
+const D_FRAGMENT_SENT: usize = 0;
+const D_FLUSH_TIMER: usize = 1;
+const D_FLUSH_OVERFLOW: usize = 2;
+const D_FLUSH_CONFLICT: usize = 3;
+const D_FLUSH_FRAGMENT: usize = 4;
+const D_FLUSH_CLOSE: usize = 5;
+const D_BUNDLE_SENT: usize = 6;
+const D_MSG_BUNDLED: usize = 7;
+const D_MSG_ALONE: usize = 8;
+const D_NET_BYTES_SENT: usize = 9;
+const D_LATE_DELIVERY: usize = 10;
+const D_TCP_SEGMENTS: usize = 11;
+const D_FAILOVER_STREAMS: usize = 12;
+
+/// Histograms fed from the event/span hot paths, slot-indexed. The
+/// `span.stage.*` block is laid out in [`Stage`] declaration order so a
+/// stage's slot is `H_STAGE_BASE + stage as usize`.
+const FAST_HIST_NAMES: [&str; 12] = [
+    "net.iface_queue_depth",
+    "span.e2e",
+    "span.st",
+    "span.net",
+    "span.stage.transport",
+    "span.stage.st_tx",
+    "span.stage.net_tx",
+    "span.stage.queue",
+    "span.stage.wire",
+    "span.stage.st_rx",
+    "span.stage.delivered",
+    "fault.recovery_latency",
+];
+const H_IFACE_QUEUE_DEPTH: usize = 0;
+const H_SPAN_E2E: usize = 1;
+const H_SPAN_ST: usize = 2;
+const H_SPAN_NET: usize = 3;
+const H_STAGE_BASE: usize = 4;
+const H_RECOVERY_LATENCY: usize = 11;
+
+/// Named counters, gauges, and histograms. Every metric the event stream
+/// itself produces lives in a fixed slot-indexed array, so the per-event
+/// path is an indexed add — no name hashing, no map walk, and (beyond the
+/// first sighting of a fault kind or late RMS) no allocation. Dynamic
+/// caller-registered metrics still live in `String`-keyed maps. Lookup by
+/// name routes to whichever storage owns it, and iteration merges them all
+/// sorted by name, so readers and the JSON export cannot tell the
+/// difference.
+#[derive(Debug)]
 pub struct MetricRegistry {
+    event_counts: [Counter; EVENT_NAMES.len()],
+    derived_counts: [Counter; DERIVED_NAMES.len()],
+    /// Per-RMS late counters keyed by st_rms; the `st.late.<rms>` name is
+    /// formatted once, on first sighting.
+    late_by_rms: BTreeMap<u64, (String, Counter)>,
+    /// Per-kind fault counters keyed by kind; the `fault.<kind>` name is
+    /// formatted once, on first sighting.
+    fault_by_kind: BTreeMap<String, (String, Counter)>,
+    fast_hists: [Histogram; FAST_HIST_NAMES.len()],
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+}
+
+impl Default for MetricRegistry {
+    fn default() -> Self {
+        MetricRegistry {
+            event_counts: [Counter::new(); EVENT_NAMES.len()],
+            derived_counts: [Counter::new(); DERIVED_NAMES.len()],
+            late_by_rms: BTreeMap::new(),
+            fault_by_kind: BTreeMap::new(),
+            fast_hists: std::array::from_fn(|_| Histogram::new()),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
 }
 
 impl MetricRegistry {
@@ -536,8 +670,30 @@ impl MetricRegistry {
         MetricRegistry::default()
     }
 
-    /// The counter named `name`, created on first use.
+    /// The counter named `name`, created on first use. Names owned by the
+    /// fast arrays resolve to their slots, so this stays interchangeable
+    /// with the counters [`MetricRegistry::apply`] feeds.
     pub fn counter(&mut self, name: &str) -> &mut Counter {
+        if let Some(i) = EVENT_NAMES.iter().position(|n| *n == name) {
+            return &mut self.event_counts[i];
+        }
+        if let Some(i) = DERIVED_NAMES.iter().position(|n| *n == name) {
+            return &mut self.derived_counts[i];
+        }
+        if let Some(rms) = name.strip_prefix("st.late.").and_then(|s| s.parse::<u64>().ok()) {
+            return &mut self
+                .late_by_rms
+                .entry(rms)
+                .or_insert_with(|| (name.to_string(), Counter::new()))
+                .1;
+        }
+        if let Some(kind) = name.strip_prefix("fault.") {
+            if !self.fault_by_kind.contains_key(kind) {
+                self.fault_by_kind
+                    .insert(kind.to_string(), (name.to_string(), Counter::new()));
+            }
+            return &mut self.fault_by_kind.get_mut(kind).expect("just inserted").1;
+        }
         if !self.counters.contains_key(name) {
             self.counters.insert(name.to_string(), Counter::default());
         }
@@ -546,12 +702,29 @@ impl MetricRegistry {
 
     /// Current value of a counter (0 if it was never touched).
     pub fn counter_value(&self, name: &str) -> u64 {
+        if let Some(i) = EVENT_NAMES.iter().position(|n| *n == name) {
+            return self.event_counts[i].get();
+        }
+        if let Some(i) = DERIVED_NAMES.iter().position(|n| *n == name) {
+            return self.derived_counts[i].get();
+        }
+        if let Some(rms) = name.strip_prefix("st.late.").and_then(|s| s.parse::<u64>().ok()) {
+            return self.late_by_rms.get(&rms).map(|e| e.1.get()).unwrap_or(0);
+        }
+        if let Some(kind) = name.strip_prefix("fault.") {
+            return self.fault_by_kind.get(kind).map(|e| e.1.get()).unwrap_or(0);
+        }
         self.counters.get(name).map(|c| c.get()).unwrap_or(0)
     }
 
-    /// Set the gauge named `name`.
+    /// Set the gauge named `name`. Updates in place; the key is only
+    /// allocated the first time a name is seen.
     pub fn gauge_set(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_string(), value);
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
     }
 
     /// Current value of a gauge, if set.
@@ -562,6 +735,9 @@ impl MetricRegistry {
     /// The histogram named `name`, created on first use. Mutable access
     /// also serves reads: quantiles sort the backing sample in place.
     pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        if let Some(i) = FAST_HIST_NAMES.iter().position(|n| *n == name) {
+            return &mut self.fast_hists[i];
+        }
         if !self.histograms.contains_key(name) {
             self.histograms.insert(name.to_string(), Histogram::default());
         }
@@ -570,12 +746,37 @@ impl MetricRegistry {
 
     /// True if a histogram named `name` has recorded samples.
     pub fn has_histogram(&self, name: &str) -> bool {
+        if let Some(i) = FAST_HIST_NAMES.iter().position(|n| *n == name) {
+            return self.fast_hists[i].count() > 0;
+        }
         self.histograms.get(name).map(|h| h.count() > 0).unwrap_or(false)
     }
 
-    /// All counters, sorted by name.
+    /// All counters, sorted by name. Fast-array slots that were never
+    /// touched are omitted, matching the old on-first-use map behaviour.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+        let mut all: Vec<(&str, u64)> = Vec::new();
+        for (i, c) in self.event_counts.iter().enumerate() {
+            if c.get() > 0 {
+                all.push((EVENT_NAMES[i], c.get()));
+            }
+        }
+        for (i, c) in self.derived_counts.iter().enumerate() {
+            if c.get() > 0 {
+                all.push((DERIVED_NAMES[i], c.get()));
+            }
+        }
+        for e in self.late_by_rms.values() {
+            all.push((e.0.as_str(), e.1.get()));
+        }
+        for e in self.fault_by_kind.values() {
+            all.push((e.0.as_str(), e.1.get()));
+        }
+        for (k, v) in self.counters.iter() {
+            all.push((k.as_str(), v.get()));
+        }
+        all.sort_unstable();
+        all.into_iter()
     }
 
     /// All gauges, sorted by name.
@@ -583,19 +784,26 @@ impl MetricRegistry {
         self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
-    /// Names of all histograms, sorted.
+    /// Names of all histograms with samples, sorted.
     pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
-        self.histograms.keys().map(|k| k.as_str())
+        let mut names: Vec<&str> = FAST_HIST_NAMES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.fast_hists[*i].count() > 0)
+            .map(|(_, n)| *n)
+            .collect();
+        names.extend(self.histograms.keys().map(|k| k.as_str()));
+        names.sort_unstable();
+        names.into_iter()
     }
 
     /// Dump every metric as one JSON object per line (counters, gauges,
-    /// then histogram summaries with quantiles).
+    /// then histogram summaries with quantiles), each group sorted by name.
     pub fn to_json_lines(&mut self) -> String {
         let mut out = String::new();
-        for (name, v) in self.counters.iter() {
+        for (name, v) in self.counters() {
             out.push_str(&format!(
-                "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{}}}\n",
-                v.get()
+                "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}\n"
             ));
         }
         for (name, v) in self.gauges.iter() {
@@ -603,7 +811,17 @@ impl MetricRegistry {
                 "{{\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{v}}}\n"
             ));
         }
-        for (name, h) in self.histograms.iter_mut() {
+        let mut hists: Vec<(&str, &mut Histogram)> = self
+            .fast_hists
+            .iter_mut()
+            .enumerate()
+            .map(|(i, h)| (FAST_HIST_NAMES[i], h))
+            .collect();
+        for (k, h) in self.histograms.iter_mut() {
+            hists.push((k.as_str(), h));
+        }
+        hists.sort_unstable_by_key(|(n, _)| *n);
+        for (name, h) in hists {
             if h.count() == 0 {
                 continue;
             }
@@ -617,9 +835,11 @@ impl MetricRegistry {
         out
     }
 
-    /// Record the registry-side effects of one event.
+    /// Record the registry-side effects of one event. Pure slot arithmetic:
+    /// the only allocations left are the first sighting of a fault kind or
+    /// a late RMS, and the first write to each gauge name.
     fn apply(&mut self, event: &ObsEvent) {
-        self.counter(event.name()).incr();
+        self.event_counts[event.fast_index()].incr();
         match event {
             ObsEvent::IfaceEnqueue {
                 queued_packets,
@@ -628,44 +848,53 @@ impl MetricRegistry {
             } => {
                 self.gauge_set("net.iface_queue_packets", *queued_packets as f64);
                 self.gauge_set("net.iface_queue_bytes", *queued_bytes as f64);
-                self.histogram("net.iface_queue_depth").record(*queued_packets as f64);
+                self.fast_hists[H_IFACE_QUEUE_DEPTH].record(*queued_packets as f64);
             }
             ObsEvent::Fragment { count, .. } => {
-                self.counter("st.fragment_sent").add(*count as u64);
+                self.derived_counts[D_FRAGMENT_SENT].add(*count as u64);
             }
             ObsEvent::PiggybackFlush { frames, reason, .. } => {
-                match reason {
-                    FlushReason::Timer => self.counter("st.flush_timer").incr(),
-                    FlushReason::Overflow => self.counter("st.flush_overflow").incr(),
-                    FlushReason::Conflict => self.counter("st.flush_conflict").incr(),
-                    FlushReason::Fragment => self.counter("st.flush_fragment").incr(),
-                    FlushReason::Close => self.counter("st.flush_close").incr(),
-                }
+                let slot = match reason {
+                    FlushReason::Timer => D_FLUSH_TIMER,
+                    FlushReason::Overflow => D_FLUSH_OVERFLOW,
+                    FlushReason::Conflict => D_FLUSH_CONFLICT,
+                    FlushReason::Fragment => D_FLUSH_FRAGMENT,
+                    FlushReason::Close => D_FLUSH_CLOSE,
+                };
+                self.derived_counts[slot].incr();
                 if *frames > 1 {
-                    self.counter("st.bundle_sent").incr();
-                    self.counter("st.msg_bundled").add(*frames as u64);
+                    self.derived_counts[D_BUNDLE_SENT].incr();
+                    self.derived_counts[D_MSG_BUNDLED].add(*frames as u64);
                 } else {
-                    self.counter("st.msg_alone").incr();
+                    self.derived_counts[D_MSG_ALONE].incr();
                 }
             }
             ObsEvent::StNetMsg { bytes, .. } => {
-                self.counter("st.net_bytes_sent").add(*bytes);
+                self.derived_counts[D_NET_BYTES_SENT].add(*bytes);
             }
             ObsEvent::StDeliver { late, st_rms, .. } if *late => {
-                self.counter("st.late_delivery").incr();
-                self.counter(&format!("st.late.{st_rms}")).incr();
+                self.derived_counts[D_LATE_DELIVERY].incr();
+                self.late_by_rms
+                    .entry(*st_rms)
+                    .or_insert_with(|| (format!("st.late.{st_rms}"), Counter::new()))
+                    .1
+                    .incr();
             }
             ObsEvent::TcpRetransmit { segments, .. } => {
-                self.counter("tcp.segments_retransmitted").add(*segments);
+                self.derived_counts[D_TCP_SEGMENTS].add(*segments);
             }
             ObsEvent::FaultInjected { kind } => {
-                self.counter(&format!("fault.{kind}")).incr();
+                if !self.fault_by_kind.contains_key(*kind) {
+                    self.fault_by_kind
+                        .insert((*kind).to_string(), (format!("fault.{kind}"), Counter::new()));
+                }
+                self.fault_by_kind.get_mut(*kind).expect("just inserted").1.incr();
             }
             ObsEvent::FailoverStarted { streams, .. } => {
-                self.counter("st.failover_streams").add(u64::from(*streams));
+                self.derived_counts[D_FAILOVER_STREAMS].add(u64::from(*streams));
             }
             ObsEvent::FailoverCompleted { latency_s, .. } => {
-                self.histogram("fault.recovery_latency").record(*latency_s);
+                self.fast_hists[H_RECOVERY_LATENCY].record(*latency_s);
             }
             _ => {}
         }
@@ -1007,19 +1236,21 @@ impl Obs {
     }
 
     /// Feed a completed span into the latency histograms and the sink.
+    /// All target histograms live in fixed registry slots, so closing a
+    /// span performs no name formatting or map walks.
     fn finish_span(&mut self, record: &SpanRecord) {
         let reg = &mut self.registry;
-        reg.histogram("span.e2e").record(record.e2e().as_secs_f64());
+        reg.fast_hists[H_SPAN_E2E].record(record.e2e().as_secs_f64());
         if let Some(d) = record.between(Stage::StSend, Stage::StDeliver) {
-            reg.histogram("span.st").record(d.as_secs_f64());
+            reg.fast_hists[H_SPAN_ST].record(d.as_secs_f64());
         }
         if let Some(d) = record.between(Stage::NetSend, Stage::NetRecv) {
-            reg.histogram("span.net").record(d.as_secs_f64());
+            reg.fast_hists[H_SPAN_NET].record(d.as_secs_f64());
         }
         for pair in record.stages.windows(2) {
             let (stage, t0) = pair[0];
             let (_, t1) = pair[1];
-            reg.histogram(&format!("span.stage.{}", stage.interval()))
+            reg.fast_hists[H_STAGE_BASE + stage as usize]
                 .record(t1.saturating_since(t0).as_secs_f64());
         }
         if let Some(sink) = self.sink.as_mut() {
@@ -1071,6 +1302,77 @@ mod tests {
         assert_eq!(obs.registry.counter_value("st.cache_hit"), 2);
         assert_eq!(obs.registry.counter_value("st.msg_fragmented"), 1);
         assert_eq!(obs.registry.counter_value("st.fragment_sent"), 5);
+    }
+
+    /// The fast-slot layout invariants `apply`/`finish_span` index by.
+    #[test]
+    fn fast_slot_tables_are_consistent() {
+        // No duplicate names anywhere across the fast tables.
+        let mut all: Vec<&str> = EVENT_NAMES
+            .iter()
+            .chain(DERIVED_NAMES.iter())
+            .chain(FAST_HIST_NAMES.iter())
+            .copied()
+            .collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "duplicate name across fast tables");
+
+        // The span.stage block is laid out in Stage declaration order.
+        for stage in [
+            Stage::TransportSend,
+            Stage::StSend,
+            Stage::NetSend,
+            Stage::IfaceEnqueue,
+            Stage::WireTx,
+            Stage::NetRecv,
+            Stage::StDeliver,
+        ] {
+            assert_eq!(
+                FAST_HIST_NAMES[H_STAGE_BASE + stage as usize],
+                format!("span.stage.{}", stage.interval()),
+            );
+        }
+        assert_eq!(FAST_HIST_NAMES[H_RECOVERY_LATENCY], "fault.recovery_latency");
+    }
+
+    /// Name lookups route to the same cells the event stream feeds, for
+    /// every storage class (event slot, derived slot, fault kind, late RMS).
+    #[test]
+    fn counter_lookup_routes_to_fast_slots() {
+        let mut obs = Obs::new();
+        obs.enable();
+        obs.emit(SimTime::ZERO, ObsEvent::FaultInjected { kind: "partition" });
+        obs.emit(
+            SimTime::ZERO,
+            ObsEvent::StDeliver {
+                host: 1,
+                st_rms: 7,
+                seq: 0,
+                bytes: 10,
+                late: true,
+                span: None,
+            },
+        );
+        let reg = &mut obs.registry;
+        assert_eq!(reg.counter_value("fault.injected"), 1); // event slot
+        assert_eq!(reg.counter_value("fault.partition"), 1); // per-kind slot
+        assert_eq!(reg.counter_value("st.late_delivery"), 1); // derived slot
+        assert_eq!(reg.counter_value("st.late.7"), 1); // per-RMS slot
+        // &mut access reaches the same cells.
+        reg.counter("fault.partition").incr();
+        reg.counter("st.late.7").incr();
+        assert_eq!(reg.counter_value("fault.partition"), 2);
+        assert_eq!(reg.counter_value("st.late.7"), 2);
+        // The merged iterator exports them all, sorted by name.
+        let names: Vec<&str> = reg.counters().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        for want in ["fault.injected", "fault.partition", "st.deliver", "st.late.7", "st.late_delivery"] {
+            assert!(names.contains(&want), "missing {want}");
+        }
     }
 
     #[test]

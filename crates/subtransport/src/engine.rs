@@ -17,7 +17,7 @@ use rms_core::compat::{negotiate, RmsRequest, ServiceTable};
 use rms_core::delay::DelayBoundKind;
 use rms_core::error::{FailReason, RejectReason, RmsError};
 use rms_core::message::Message;
-use rms_core::params::RmsParams;
+use rms_core::params::{RmsParams, SharedParams};
 use rms_core::port::DeliveryInfo;
 
 use dash_security::mac;
@@ -117,7 +117,7 @@ pub fn create<W: StWorld>(
         token,
         StPending {
             peer,
-            params: params.clone(),
+            params: params.clone().shared(),
             fast_ack,
         },
     );
@@ -470,7 +470,7 @@ fn dispatch_send<W: StWorld>(
     peer: HostId,
     slot: u32,
     st_rms: StRmsId,
-    st_params: RmsParams,
+    st_params: SharedParams,
     fast_ack: bool,
     seq: u64,
     msg: Message,
@@ -998,7 +998,7 @@ fn assign_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, st_rms: StRmsId) -> b
     }
     let (slack_fixed, slack_per_byte) = stage_slack(&sim.state);
     let cfg_capacity = sim.state.st_ref().config.data_capacity_default;
-    let mut net_desired = st_params.clone();
+    let mut net_desired = (*st_params).clone();
     // Capacity headroom invites future multiplexing (§4.2) — but for
     // deterministic streams headroom is a real bandwidth reservation, so
     // request exactly what the stream needs.
@@ -1031,7 +1031,7 @@ fn assign_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, st_rms: StRmsId) -> b
                     // multiplex matching; Created{params} replaces them with
                     // the negotiated actuals and spills streams if the
                     // grant came back smaller.
-                    params: request.desired.clone(),
+                    params: request.desired.clone().shared(),
                     assigned: vec![st_rms],
                     assigned_capacity: st_params.capacity,
                     queue: PiggybackQueue::new(),
@@ -1266,6 +1266,7 @@ fn handle_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, net_rms: NetRmsId, ms
                 return;
             }
             let st_rms = sim.state.st().alloc_st_rms();
+            let params = params.shared();
             let stream = new_stream(st_rms, peer, StRole::Receiver, params.clone(), fast_ack);
             sim.state.st().host_mut(host).streams.insert(st_rms, stream);
             send_ctrl(sim, host, peer, ControlMsg::StCreateAck { token, st_rms });
@@ -1331,7 +1332,7 @@ fn handle_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, net_rms: NetRmsId, ms
     }
 }
 
-fn new_stream(id: StRmsId, peer: HostId, role: StRole, params: RmsParams, fast_ack: bool) -> StStream {
+fn new_stream(id: StRmsId, peer: HostId, role: StRole, params: SharedParams, fast_ack: bool) -> StStream {
     StStream {
         id,
         peer,
@@ -1636,7 +1637,9 @@ pub fn on_net_event<W: StWorld>(sim: &mut Sim<W>, host: HostId, event: &NetRmsEv
                                 let sth = sim.state.st().host_mut(host);
                                 match sth.streams.get_mut(&st_rms) {
                                     Some(s) => (s.pending_token.take(), s.params.clone()),
-                                    None => (None, RmsParams::builder(1, 1).build().expect("valid")),
+                                    None => {
+                                        (None, RmsParams::builder(1, 1).build().expect("valid").shared())
+                                    }
                                 }
                             };
                             if let Some(token) = token {

@@ -7,7 +7,7 @@
 //! RMS's, and to arrange for 'fast acknowledgement' of messages sent on ST
 //! RMS's."
 
-use std::collections::HashMap;
+use rms_core::hash::DetHashMap;
 
 use dash_net::ids::{CreateToken, HostId, NetRmsId};
 use dash_security::cipher::Key;
@@ -18,7 +18,7 @@ use dash_sim::time::{SimDuration, SimTime};
 use rms_core::delay::DelayBound;
 use rms_core::error::{FailReason, RejectReason};
 use rms_core::message::Message;
-use rms_core::params::{Reliability, RmsParams};
+use rms_core::params::{Reliability, RmsParams, SharedParams};
 use rms_core::port::DeliveryInfo;
 
 use crate::frag::Reassembly;
@@ -118,7 +118,7 @@ pub struct DataOut {
     pub token: Option<CreateToken>,
     /// Network-level parameters (requested while creating; actual once
     /// ready).
-    pub params: RmsParams,
+    pub params: SharedParams,
     /// ST RMSs multiplexed onto this network RMS (§4.2).
     pub assigned: Vec<StRmsId>,
     /// Sum of assigned ST RMS capacities (must stay ≤ `params.capacity`).
@@ -151,7 +151,7 @@ pub struct PeerState {
     /// Timer failing queued creates if authentication stalls.
     pub auth_timer: Option<TimerHandle>,
     /// Data slots (keyed by slot id).
-    pub data: HashMap<u32, DataOut>,
+    pub data: DetHashMap<u32, DataOut>,
     /// Next data slot id.
     pub next_slot: u32,
 }
@@ -166,7 +166,7 @@ pub struct StStream {
     /// Our role.
     pub role: StRole,
     /// ST-level parameters.
-    pub params: RmsParams,
+    pub params: SharedParams,
     /// Whether data frames request fast acknowledgements (§3.2).
     pub fast_ack: bool,
     /// Sender: the data slot this stream is multiplexed onto.
@@ -217,7 +217,7 @@ pub struct StPending {
     /// Data receiver.
     pub peer: HostId,
     /// Negotiated ST-level parameters.
-    pub params: RmsParams,
+    pub params: SharedParams,
     /// Fast-ack option.
     pub fast_ack: bool,
 }
@@ -275,15 +275,15 @@ pub struct StStats {
 #[derive(Debug, Default)]
 pub struct StHost {
     /// Peer connection state.
-    pub peers: HashMap<HostId, PeerState>,
+    pub peers: DetHashMap<HostId, PeerState>,
     /// Live streams, both roles.
-    pub streams: HashMap<StRmsId, StStream>,
+    pub streams: DetHashMap<StRmsId, StStream>,
     /// Purpose of in-flight network creates.
-    pub net_pending: HashMap<CreateToken, NetPurpose>,
+    pub net_pending: DetHashMap<CreateToken, NetPurpose>,
     /// Known network RMS usages.
-    pub by_net: HashMap<NetRmsId, NetUse>,
+    pub by_net: DetHashMap<NetRmsId, NetUse>,
     /// ST creations in flight.
-    pub pending: HashMap<StToken, StPending>,
+    pub pending: DetHashMap<StToken, StPending>,
     /// Statistics.
     pub stats: StStats,
 }
@@ -297,7 +297,7 @@ pub struct StState {
     pub hosts: Vec<StHost>,
     /// Out-of-band pair keys for control-channel authentication (a stand-in
     /// for the key-distribution protocol of Anderson et al. 1987, ref \[2\]).
-    pub auth_keys: HashMap<(u32, u32), Key>,
+    pub auth_keys: DetHashMap<(u32, u32), Key>,
     next_st_rms: u64,
     next_token: u64,
     nonce_seed: u64,
@@ -309,7 +309,7 @@ impl StState {
         StState {
             config,
             hosts: (0..n_hosts).map(|_| StHost::default()).collect(),
-            auth_keys: HashMap::new(),
+            auth_keys: Default::default(),
             next_st_rms: 1,
             next_token: 1,
             nonce_seed: 0x5eed,
@@ -405,7 +405,7 @@ pub enum StEvent {
         /// The new stream.
         st_rms: StRmsId,
         /// Its ST-level parameters.
-        params: RmsParams,
+        params: SharedParams,
     },
     /// A creation initiated here failed.
     CreateFailed {
@@ -421,7 +421,7 @@ pub enum StEvent {
         /// The sending peer.
         peer: HostId,
         /// ST-level parameters.
-        params: RmsParams,
+        params: SharedParams,
         /// Whether its frames will request fast acks.
         fast_ack: bool,
     },

@@ -294,4 +294,93 @@ mod tests {
         w.update_consumed(1_000_000);
         assert_eq!(w.available(), 100);
     }
+
+    #[test]
+    fn zero_window_stalls_and_resumes() {
+        // Fill the advertised buffer exactly: the window goes to zero and
+        // every nonzero send must stall until a consume update reopens it.
+        let mut w = ReceiverWindow::new(300);
+        w.record_send(300);
+        assert_eq!(w.available(), 0);
+        assert!(!w.may_send(1));
+        // A zero-byte probe is always admissible on a zero window.
+        assert!(w.may_send(0));
+        // A consume update of a single byte resumes exactly one byte.
+        w.update_consumed(1);
+        assert_eq!(w.available(), 1);
+        assert!(w.may_send(1));
+        assert!(!w.may_send(2));
+        w.record_send(1);
+        assert_eq!(w.available(), 0);
+        // Full drain reopens the whole buffer.
+        w.update_consumed(301);
+        assert_eq!(w.available(), 300);
+    }
+
+    #[test]
+    fn zero_capacity_receiver_window_never_opens() {
+        // A receiver advertising no buffer at all: permanent stall for any
+        // payload, without underflow on spurious updates.
+        let mut w = ReceiverWindow::new(0);
+        assert!(!w.may_send(1));
+        w.update_consumed(50);
+        assert!(!w.may_send(1));
+        assert_eq!(w.available(), 0);
+    }
+
+    #[test]
+    fn rate_limiter_admits_exactly_capacity_and_releases_on_the_boundary() {
+        // A = 10ms, B = 0 -> period exactly 10ms.
+        let mut rl = RateLimiter::new(&params(1000, 10, 0));
+        // One send of exactly C bytes is admissible...
+        assert!(rl.may_send(t(0), 1000));
+        rl.record_send(t(0), 1000);
+        // ...and one more byte is not, right up to the period boundary.
+        assert!(!rl.may_send(t(0), 1));
+        assert!(!rl.may_send(t(9), 1));
+        // At exactly t0 + period the window expires (>=, not >): the full
+        // budget is available again in the same instant.
+        assert_eq!(rl.next_release(t(9)), Some(t(10)));
+        assert!(rl.may_send(t(10), 1000));
+        assert_eq!(rl.in_window(), 0);
+    }
+
+    #[test]
+    fn ack_window_admits_exactly_capacity() {
+        let mut w = AckWindow::new(1000);
+        w.record_send(0, 999);
+        // The last byte of capacity is admissible, the byte after is not.
+        assert!(w.may_send(1));
+        w.record_send(1, 1);
+        assert!(!w.may_send(1));
+        assert!(w.may_send(0));
+        assert_eq!(w.outstanding(), 1000);
+    }
+
+    #[test]
+    fn window_update_racing_stream_end_is_harmless() {
+        // A stream tears down while its last window update / ack is still
+        // in flight. The sender-side structures must absorb late and
+        // duplicate updates after the final send without underflow.
+        let mut aw = AckWindow::new(500);
+        aw.record_send(7, 200);
+        aw.record_send(8, 300);
+        // Peer acks everything (cumulative, possibly beyond the last seq it
+        // actually saw) as it closes.
+        assert_eq!(aw.ack_through(u64::MAX), 500);
+        assert!(aw.is_idle());
+        // The duplicate of that final ack arrives after the stream ended.
+        assert_eq!(aw.ack_through(u64::MAX), 0);
+        assert!(aw.is_idle());
+        assert!(aw.may_send(500));
+
+        let mut rw = ReceiverWindow::new(400);
+        rw.record_send(400);
+        // Final consume update races the close: clamped to bytes sent.
+        rw.update_consumed(u64::MAX);
+        assert_eq!(rw.available(), 400);
+        // A stale pre-close update arriving afterwards cannot regress it.
+        rw.update_consumed(10);
+        assert_eq!(rw.available(), 400);
+    }
 }

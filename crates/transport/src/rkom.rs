@@ -11,7 +11,7 @@
 //! cache at the server, released by a reply acknowledgement on the
 //! high-delay RMS.
 
-use std::collections::HashMap;
+use rms_core::hash::DetHashMap;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dash_net::ids::HostId;
@@ -250,13 +250,13 @@ pub struct RkomStats {
 /// Per-host RKOM state.
 #[derive(Default)]
 pub struct RkomHost {
-    channels: HashMap<HostId, Channel>,
-    services: HashMap<u16, Option<Handler>>,
-    calls: HashMap<u64, Call>,
-    call_cbs: HashMap<u64, CallCallback>,
-    reply_cache: HashMap<(HostId, u64), Bytes>,
-    owned: HashMap<StRmsId, HostId>,
-    tokens: HashMap<StToken, (HostId, Lane)>,
+    channels: DetHashMap<HostId, Channel>,
+    services: DetHashMap<u16, Option<Handler>>,
+    calls: DetHashMap<u64, Call>,
+    call_cbs: DetHashMap<u64, CallCallback>,
+    reply_cache: DetHashMap<(HostId, u64), Bytes>,
+    owned: DetHashMap<StRmsId, HostId>,
+    tokens: DetHashMap<StToken, (HostId, Lane)>,
     /// Statistics.
     pub stats: RkomStats,
 }

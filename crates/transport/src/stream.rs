@@ -20,7 +20,9 @@
 //! Reliability is go-back-N: the receiver accepts only in-order sequence
 //! numbers; the sender retransmits everything unacknowledged on timeout.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use rms_core::hash::DetHashMap;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dash_net::ids::HostId;
@@ -453,9 +455,9 @@ pub(crate) type StreamTap = Box<dyn FnMut(&mut Sim<Stack>, StreamEvent)>;
 /// Per-host stream-protocol state.
 #[derive(Default)]
 pub struct StreamHost {
-    sessions: HashMap<u64, Session>,
-    by_st: HashMap<StRmsId, u64>,
-    tokens: HashMap<StToken, (u64, StreamLane)>,
+    sessions: DetHashMap<u64, Session>,
+    by_st: DetHashMap<StRmsId, u64>,
+    tokens: DetHashMap<StToken, (u64, StreamLane)>,
     tap: Option<StreamTap>,
 }
 

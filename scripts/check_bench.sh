@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Compare a fresh e10_scale bench run against the committed baseline in
+# BENCH_scale.json. Wall-clock on shared CI machines is noisy, so this is
+# a collapse detector, not a regression gate: it FAILS only when fresh
+# events/sec drops below MIN_RATIO (default 0.30) of the baseline, and
+# merely WARNS outside the ±WARN_BAND (default 30%) band.
+#
+#   scripts/check_bench.sh            # bench config (sub-second run)
+#   MIN_RATIO=0.5 scripts/check_bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CONFIG="${CONFIG:-bench}"
+MIN_RATIO="${MIN_RATIO:-0.30}"
+WARN_BAND="${WARN_BAND:-0.30}"
+BASELINE_FILE="BENCH_scale.json"
+
+if [[ ! -f "$BASELINE_FILE" ]]; then
+    echo "check_bench: no $BASELINE_FILE baseline; nothing to compare" >&2
+    exit 0
+fi
+
+fresh_json="$(mktemp)"
+trap 'rm -f "$fresh_json"' EXIT
+cargo run --release -q -p dash-bench --bin e10_scale -- "--$CONFIG" --label fresh --json "$fresh_json"
+
+python3 - "$BASELINE_FILE" "$fresh_json" "$CONFIG" "$MIN_RATIO" "$WARN_BAND" <<'EOF'
+import json, sys
+
+baseline_file, fresh_file, config, min_ratio, warn_band = sys.argv[1:6]
+min_ratio, warn_band = float(min_ratio), float(warn_band)
+
+doc = json.load(open(baseline_file))
+runs = [r for r in doc["runs"] if r.get("config") == config]
+if not runs:
+    print(f"check_bench: no committed '{config}' baseline entry; skipping")
+    sys.exit(0)
+# The newest committed entry for this config is the baseline.
+base = runs[-1]
+fresh = json.load(open(fresh_file))
+
+b, f = base["events_per_sec"], fresh["events_per_sec"]
+ratio = f / b if b else float("inf")
+print(f"check_bench[{config}]: baseline {b} ev/s ({base['label']}), "
+      f"fresh {f:.0f} ev/s, ratio {ratio:.2f}")
+
+# Event *counts* are deterministic; a drift there is a real behavior
+# change, not noise, and always fails.
+if fresh["events"] != base["events"]:
+    print(f"check_bench: FAIL — event count changed "
+          f"{base['events']} -> {fresh['events']} (workload drifted)")
+    sys.exit(1)
+
+if ratio < min_ratio:
+    print(f"check_bench: FAIL — throughput collapsed below "
+          f"{min_ratio:.2f}x baseline")
+    sys.exit(1)
+if ratio < 1 - warn_band or ratio > 1 + warn_band:
+    print(f"check_bench: WARN — outside the ±{warn_band:.0%} band "
+          f"(machine noise or a real change; not failing)")
+print("check_bench: OK")
+EOF

@@ -20,4 +20,10 @@ fi
 
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Benches compile + run as tests (criterion --test mode), then the e10
+# macro-workload is compared against the committed BENCH_scale.json
+# baseline (fails only on collapse; see scripts/check_bench.sh).
+cargo bench -p dash-bench -- --test
+scripts/check_bench.sh
+
 echo "verify: OK"
