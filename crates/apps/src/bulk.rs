@@ -154,8 +154,8 @@ pub fn run_until_complete(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
+    use dash_transport::stack::StackBuilder;
 
     #[test]
     fn bulk_completes_on_lan() {

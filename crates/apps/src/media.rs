@@ -186,8 +186,8 @@ fn schedule_frame(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
+    use dash_transport::stack::StackBuilder;
 
     #[test]
     fn voice_on_quiet_lan_is_on_time() {

@@ -64,9 +64,12 @@ pub fn start_rkom_rpc(
 ) -> Rc<RefCell<RpcStats>> {
     let stats = Rc::new(RefCell::new(RpcStats::default()));
     let reply_bytes = spec.reply_bytes;
-    rkom::register_service(&mut sim.state, server, ECHO_SERVICE, move |_sim, _c, _req| {
-        Bytes::from(vec![0u8; reply_bytes])
-    });
+    rkom::register_service(
+        &mut sim.state,
+        server,
+        ECHO_SERVICE,
+        move |_sim, _c, _req| Bytes::from(vec![0u8; reply_bytes]),
+    );
     let end = sim.now().saturating_add(spec.duration);
     let rng = Rng::new(seed);
     schedule_call(sim, client, server, spec, end, rng, Rc::clone(&stats));
@@ -188,8 +191,8 @@ pub fn run_tcp_rpc(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
+    use dash_transport::stack::StackBuilder;
 
     #[test]
     fn rkom_rpc_workload_completes() {
@@ -212,6 +215,10 @@ mod tests {
         let stats = run_tcp_rpc(&mut sim, a, b, 80, 20, 64, 256);
         sim.run();
         let s = stats.borrow();
-        assert_eq!(s.completed, 20, "issued={} completed={}", s.issued, s.completed);
+        assert_eq!(
+            s.completed, 20,
+            "issued={} completed={}",
+            s.issued, s.completed
+        );
     }
 }

@@ -4,8 +4,8 @@
 //! sessions (several voice calls, a window system next to a bulk transfer)
 //! install a [`Dispatcher`] once and register per-session handlers with it.
 
-use std::cell::RefCell;
 use rms_core::hash::DetHashMap;
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use dash_net::ids::HostId;
@@ -112,9 +112,9 @@ impl Dispatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dash_net::topology::two_hosts_ethernet;
     use dash_transport::stack::StackBuilder;
     use dash_transport::stream;
-    use dash_net::topology::two_hosts_ethernet;
     use dash_transport::stream::StreamProfile;
 
     #[test]

@@ -178,22 +178,15 @@ fn schedule_event(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dash_transport::stack::StackBuilder;
     use dash_net::topology::two_hosts_ethernet;
+    use dash_transport::stack::StackBuilder;
 
     #[test]
     fn interactive_loop_on_lan_is_snappy() {
         let (net, user, app) = two_hosts_ethernet();
         let mut sim = Sim::new(StackBuilder::new(net).build());
         let taps = Dispatcher::install(&mut sim, &[user, app]);
-        let stats = start_window_system(
-            &mut sim,
-            &taps,
-            user,
-            app,
-            WindowSpec::default(),
-            21,
-        );
+        let stats = start_window_system(&mut sim, &taps, user, app, WindowSpec::default(), 21);
         sim.run();
         let s = stats.borrow();
         assert!(!s.failed);

@@ -343,7 +343,9 @@ pub fn connect<W: TcpWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, port: 
         let config = st.config.clone();
         let conn = new_conn(id, peer, local_port, port, TcpStateKind::SynSent, &config);
         st.host_mut(host).conns.insert(id, conn);
-        st.host_mut(host).by_tuple.insert((peer, local_port, port), id);
+        st.host_mut(host)
+            .by_tuple
+            .insert((peer, local_port, port), id);
         (id, local_port)
     };
     send_segment(
@@ -412,41 +414,41 @@ fn send_segment<W: TcpWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, seg: 
 fn pump<W: TcpWorld>(sim: &mut Sim<W>, host: HostId, conn: u64) {
     let now = sim.now();
     while let Some((peer, seg)) = {
-            let config_mss = sim.state.tcp_ref().config.mss;
-            let st = sim.state.tcp();
-            let Some(c) = st.conn_mut(host, conn) else {
-                return;
-            };
-            if c.state != TcpStateKind::Established || c.send_buf.is_empty() {
+        let config_mss = sim.state.tcp_ref().config.mss;
+        let st = sim.state.tcp();
+        let Some(c) = st.conn_mut(host, conn) else {
+            return;
+        };
+        if c.state != TcpStateKind::Established || c.send_buf.is_empty() {
+            None
+        } else {
+            let window = c.cwnd.min(c.peer_window);
+            let in_flight = c.in_flight();
+            if in_flight >= window {
                 None
             } else {
-                let window = c.cwnd.min(c.peer_window);
-                let in_flight = c.in_flight();
-                if in_flight >= window {
-                    None
-                } else {
-                    let budget = (window - in_flight).min(config_mss) as usize;
-                    let take = budget.min(c.send_buf.len());
-                    let payload = c.send_buf.split_to(take).freeze();
-                    let seq = c.snd_nxt;
-                    c.snd_nxt += take as u64;
-                    c.retx_copy.extend_from_slice(&payload);
-                    c.stats.segments_sent.incr();
-                    c.sent_at.insert(seq, now);
-                    Some((
-                        c.peer,
-                        Segment {
-                            src_port: c.local_port,
-                            dst_port: c.remote_port,
-                            seq,
-                            ack: c.rcv_nxt,
-                            flags: FLAG_ACK,
-                            window: 0,
-                            payload,
-                        },
-                    ))
-                }
+                let budget = (window - in_flight).min(config_mss) as usize;
+                let take = budget.min(c.send_buf.len());
+                let payload = c.send_buf.split_to(take).freeze();
+                let seq = c.snd_nxt;
+                c.snd_nxt += take as u64;
+                c.retx_copy.extend_from_slice(&payload);
+                c.stats.segments_sent.incr();
+                c.sent_at.insert(seq, now);
+                Some((
+                    c.peer,
+                    Segment {
+                        src_port: c.local_port,
+                        dst_port: c.remote_port,
+                        seq,
+                        ack: c.rcv_nxt,
+                        flags: FLAG_ACK,
+                        window: 0,
+                        payload,
+                    },
+                ))
             }
+        }
     } {
         send_segment(sim, host, peer, seg);
     }
@@ -514,7 +516,9 @@ fn on_rto<W: TcpWorld>(sim: &mut Sim<W>, host: HostId, conn: u64) {
                 let unsent = c.snd_nxt - una;
                 // Prepend the in-flight bytes back onto the send buffer by
                 // reconstructing from the retransmission copy we keep.
-                Some(RtoAction::Rewind { rewind_bytes: unsent })
+                Some(RtoAction::Rewind {
+                    rewind_bytes: unsent,
+                })
             }
             _ => None,
         }
@@ -628,7 +632,12 @@ pub fn on_datagram<W: TcpWorld>(
         None => {
             // SYN to a listener?
             if seg.flags & FLAG_SYN != 0
-                && sim.state.tcp_ref().host(host).listeners.contains_key(&seg.dst_port)
+                && sim
+                    .state
+                    .tcp_ref()
+                    .host(host)
+                    .listeners
+                    .contains_key(&seg.dst_port)
             {
                 let conn_id = {
                     let st = sim.state.tcp();
@@ -664,7 +673,14 @@ pub fn on_datagram<W: TcpWorld>(
                         payload: Bytes::new(),
                     },
                 );
-                W::tcp_event(sim, host, TcpEvent::Accepted { conn: conn_id, peer: src });
+                W::tcp_event(
+                    sim,
+                    host,
+                    TcpEvent::Accepted {
+                        conn: conn_id,
+                        peer: src,
+                    },
+                );
             }
         }
     }
@@ -686,7 +702,9 @@ fn on_segment<W: TcpWorld>(sim: &mut Sim<W>, host: HostId, conn: u64, seg: Segme
             return;
         }
         // Handshake completion.
-        if c.state == TcpStateKind::SynSent && seg.flags & FLAG_SYN != 0 && seg.flags & FLAG_ACK != 0
+        if c.state == TcpStateKind::SynSent
+            && seg.flags & FLAG_SYN != 0
+            && seg.flags & FLAG_ACK != 0
         {
             c.state = TcpStateKind::Established;
             c.peer_window = seg.window;

@@ -5,12 +5,13 @@
 use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-use dash_net::iface::{Iface, QueueDiscipline};
 use dash_net::ids::{HostId, NetRmsId, NetworkId};
+use dash_net::iface::{Iface, QueueDiscipline};
 use dash_net::packet::{DataPacket, Packet, PacketKind};
 use dash_security::checksum::Algorithm;
 use dash_security::cipher::{encrypt, Key};
 use dash_security::mac;
+use dash_sim::time::SimDuration;
 use dash_sim::time::SimTime;
 use dash_subtransport::ids::StRmsId;
 use dash_subtransport::piggyback::{PendingEntry, PiggybackQueue};
@@ -18,7 +19,6 @@ use dash_subtransport::wire::{data_frame_len, decode, encode, DataFrame, Frame};
 use rms_core::admission::ResourceLedger;
 use rms_core::delay::DelayBound;
 use rms_core::params::RmsParams;
-use dash_sim::time::SimDuration;
 
 fn bench_checksums(c: &mut Criterion) {
     let data = vec![0xa5u8; 1500];
@@ -61,8 +61,12 @@ fn bench_wire(c: &mut Criterion) {
     let encoded = encode(&frame);
     let mut g = c.benchmark_group("st-wire-512B");
     g.throughput(Throughput::Bytes(encoded.len() as u64));
-    g.bench_function("encode", |b| b.iter(|| black_box(encode(black_box(&frame)))));
-    g.bench_function("decode", |b| b.iter(|| black_box(decode(black_box(&encoded)).unwrap())));
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(encode(black_box(&frame))))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(decode(black_box(&encoded)).unwrap()))
+    });
     g.finish();
 }
 
@@ -120,6 +124,8 @@ fn bench_iface_queue(c: &mut Criterion) {
                     hops: 0,
                     reliable: false,
                     next_plan: None,
+                    source_route: None,
+                    next_hop: None,
                 };
                 iface.enqueue(SimTime::ZERO, p);
             }

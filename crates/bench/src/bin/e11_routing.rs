@@ -1,0 +1,89 @@
+//! Run the e11 QoS-routing macro-workload and emit its event counts.
+//!
+//! ```text
+//! cargo run -p dash-bench --release --bin e11_routing                 # full size
+//! cargo run -p dash-bench --release --bin e11_routing -- --bench     # gate size
+//! cargo run -p dash-bench --release --bin e11_routing -- --ci        # CI size
+//! cargo run -p dash-bench --release --bin e11_routing -- --json out.json --label after
+//! ```
+//!
+//! Both topologies (dumbbell-with-backup and the 3×3 mesh) run at the
+//! chosen size; the JSON object written with `--json PATH` (or to
+//! stdout) nests one sub-object per topology — the shape
+//! `BENCH_routing.json` stores and `scripts/check_bench.sh` compares.
+//! Human-readable summaries go to stderr.
+
+use dash_bench::e_routing::{run_routing, RoutingParams, RoutingTopo};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = "full";
+    let mut label = String::from("run");
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ci" => config = "ci",
+            "--bench" => config = "bench",
+            "--full" => config = "full",
+            "--label" => {
+                i += 1;
+                label = args.get(i).cloned().unwrap_or_default();
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let base = match config {
+        "ci" => RoutingParams::ci(),
+        "bench" => RoutingParams::bench(),
+        _ => RoutingParams::full(),
+    };
+
+    let mut scenario_json = Vec::new();
+    for topo in [RoutingTopo::DumbbellBackup, RoutingTopo::Mesh3x3] {
+        let mut params = base.clone();
+        params.topo = topo;
+        params.record_trace = false;
+        let name = match topo {
+            RoutingTopo::DumbbellBackup => "dumbbell",
+            RoutingTopo::Mesh3x3 => "mesh",
+        };
+        let o = run_routing(&params);
+        eprintln!(
+            "e11_routing [{config}/{name}]: {} hosts, {} events in {:.2} s wall \
+             ({:.0} events/s), {} opened, {} refused, {} alt wins, {} floods, \
+             {} recomputes, {} failovers, {} msgs",
+            o.hosts,
+            o.events,
+            o.wall_secs,
+            o.events_per_sec(),
+            o.streams_opened,
+            o.open_failed,
+            o.alternate_wins,
+            o.floods,
+            o.recomputes,
+            o.recoveries,
+            o.messages,
+        );
+        scenario_json.push(format!("\"{name}\":{}", o.to_json()));
+    }
+    let json = format!(
+        "{{\"label\":\"{label}\",\"config\":\"{config}\",{}}}",
+        scenario_json.join(",")
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write json");
+            eprintln!("e11_routing: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -211,12 +211,19 @@ pub fn e8_congestion() -> Table {
             drops.to_string(),
             sim.state.net.stats.quenches_sent.get().to_string(),
             format!("{} B/s", f(total)),
-            per_flow.iter().map(|x| f(*x)).collect::<Vec<_>>().join(" / "),
+            per_flow
+                .iter()
+                .map(|x| f(*x))
+                .collect::<Vec<_>>()
+                .join(" / "),
         ]);
     }
 
     // Scenarios B and C: TCP flows with and without quench reaction.
-    for (name, reacts) in [("TCP + quench reaction", true), ("TCP ignoring quench", false)] {
+    for (name, reacts) in [
+        ("TCP + quench reaction", true),
+        ("TCP ignoring quench", false),
+    ] {
         let (mut sim, senders, receivers, g1) = build();
         sim.state.tcp.config.quench_reacts = reacts;
         sim.state.tcp.config.rto = SimDuration::from_millis(500);
@@ -276,7 +283,11 @@ pub fn e8_congestion() -> Table {
             drops.to_string(),
             sim.state.net.stats.quenches_sent.get().to_string(),
             format!("{} B/s", f(total)),
-            per_flow.iter().map(|x| f(*x)).collect::<Vec<_>>().join(" / "),
+            per_flow
+                .iter()
+                .map(|x| f(*x))
+                .collect::<Vec<_>>()
+                .join(" / "),
         ]);
     }
     t.note("bottleneck: 400 kb/s WAN behind a gateway with 16 KB transmit buffers; RMS flows move 24 KB each, TCP flows 96 KB each");

@@ -40,7 +40,12 @@ pub fn e5_capacity() -> Table {
         "measured",
         "ratio",
     ]);
-    for (capacity, fixed_ms) in [(8 * 1024u64, 100u64), (8 * 1024, 400), (32 * 1024, 100), (64 * 1024, 400)] {
+    for (capacity, fixed_ms) in [
+        (8 * 1024u64, 100u64),
+        (8 * 1024, 400),
+        (32 * 1024, 100),
+        (64 * 1024, 400),
+    ] {
         let mut b = TopologyBuilder::new();
         let n = b.network(NetworkSpec::ethernet("lan"));
         let ha = b.host_on(n);
@@ -145,14 +150,7 @@ pub fn e6_admission() -> Table {
         "admission control per delay-bound type, and what load does to deadlines",
         "§2.3: deterministic requests are rejected when worst-case demands exceed free resources; best-effort is never rejected but misses deadlines under overload",
     );
-    t.columns(&[
-        "kind",
-        "requested",
-        "admitted",
-        "delivered",
-        "late",
-        "lost",
-    ]);
+    t.columns(&["kind", "requested", "admitted", "delivered", "late", "lost"]);
 
     for kind in ["deterministic", "statistical", "best-effort"] {
         let mut b = TopologyBuilder::new();
@@ -169,7 +167,9 @@ pub fn e6_admission() -> Table {
         let requested = 16u64;
         let delay_kind = |k: &str| match k {
             "deterministic" => DelayBoundKind::Deterministic,
-            "statistical" => DelayBoundKind::Statistical(StatisticalSpec::new(160_000.0, 2.0, 0.95)),
+            "statistical" => {
+                DelayBoundKind::Statistical(StatisticalSpec::new(160_000.0, 2.0, 0.95))
+            }
             _ => DelayBoundKind::BestEffort,
         };
         let params = RmsParams {
@@ -219,7 +219,11 @@ pub fn e6_admission() -> Table {
             requested.to_string(),
             admitted.to_string(),
             delivered.to_string(),
-            if delivered > 0 { pct(late as f64 / delivered as f64) } else { "-".into() },
+            if delivered > 0 {
+                pct(late as f64 / delivered as f64)
+            } else {
+                "-".into()
+            },
             lost.to_string(),
         ]);
         let _ = Bytes::new();

@@ -389,16 +389,25 @@ pub fn run_scale(params: &ScaleParams) -> ScaleOutcome {
     // well before the run ends so recovery is part of the measurement.
     let mut faults = 0u64;
     if params.fault_drill {
-        let half = SimTime::ZERO.saturating_add(SimDuration::from_nanos(
-            params.duration.as_nanos() / 2,
-        ));
+        let half =
+            SimTime::ZERO.saturating_add(SimDuration::from_nanos(params.duration.as_nanos() / 2));
         let heal = half.saturating_add(SimDuration::from_millis(150));
         let dark_lan = lan_ids[params.lans / 2];
         let victim = lan_hosts[0][params.hosts_per_lan - 1];
         let plan = FaultPlan::new()
-            .at(half, FaultKind::NetworkDown { network: dark_lan.0 })
+            .at(
+                half,
+                FaultKind::NetworkDown {
+                    network: dark_lan.0,
+                },
+            )
             .at(half, FaultKind::HostCrash { host: victim.0 })
-            .at(heal, FaultKind::NetworkUp { network: dark_lan.0 })
+            .at(
+                heal,
+                FaultKind::NetworkUp {
+                    network: dark_lan.0,
+                },
+            )
             .at(heal, FaultKind::HostRestart { host: victim.0 });
         faults = plan.events.len() as u64;
         schedule_fault_plan(&mut sim, &plan);
@@ -479,7 +488,7 @@ fn collect_outcome(
             streams_opened += 1;
         }
         voice_sent += s.sent;
-        voice_on_time += s.received.saturating_sub(s.late) .min(s.sent);
+        voice_on_time += s.received.saturating_sub(s.late).min(s.sent);
     }
     let mut bulk_delivered = 0u64;
     for b in &pop.bulk {

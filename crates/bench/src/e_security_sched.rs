@@ -115,7 +115,9 @@ pub fn e1_security() -> Table {
                 req_name.into(),
                 plan.encrypt.to_string(),
                 plan.mac.to_string(),
-                plan.checksum.map(|a| format!("{a:?}")).unwrap_or("-".into()),
+                plan.checksum
+                    .map(|a| format!("{a:?}"))
+                    .unwrap_or("-".into()),
                 format!("{}us", f(cost)),
                 format!("{} B/s", f(goodput)),
                 secs(busy),
@@ -143,9 +145,19 @@ pub fn e2_scheduling() -> Table {
         "bulk goodput",
     ]);
     for (cpu_name, policy, disc_name, discipline) in [
-        ("edf", SchedPolicy::Edf, "deadline", QueueDiscipline::Deadline),
+        (
+            "edf",
+            SchedPolicy::Edf,
+            "deadline",
+            QueueDiscipline::Deadline,
+        ),
         ("fifo", SchedPolicy::Fifo, "fifo", QueueDiscipline::Fifo),
-        ("priority", SchedPolicy::Priority, "fifo", QueueDiscipline::Fifo),
+        (
+            "priority",
+            SchedPolicy::Priority,
+            "fifo",
+            QueueDiscipline::Fifo,
+        ),
     ] {
         let mut b = TopologyBuilder::new();
         let n = b.network(NetworkSpec::ethernet("lan"));
@@ -165,10 +177,7 @@ pub fn e2_scheduling() -> Table {
         };
         b.config(net_config);
         let st_config = StConfig {
-            st_cpu: CostModel::new(
-                SimDuration::from_micros(40),
-                SimDuration::from_nanos(150),
-            ),
+            st_cpu: CostModel::new(SimDuration::from_micros(40), SimDuration::from_nanos(150)),
             ..StConfig::default()
         };
         let stack = StackBuilder::new(b.build())
@@ -179,7 +188,14 @@ pub fn e2_scheduling() -> Table {
         let taps = Dispatcher::install(&mut sim, &[ha, hb]);
 
         // Competing workloads on the same host pair.
-        let voice = start_media(&mut sim, &taps, ha, hb, MediaSpec::voice(SimDuration::from_secs(2)), 5);
+        let voice = start_media(
+            &mut sim,
+            &taps,
+            ha,
+            hb,
+            MediaSpec::voice(SimDuration::from_secs(2)),
+            5,
+        );
         let bulk = start_bulk(
             &mut sim,
             &taps,

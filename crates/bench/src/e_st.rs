@@ -48,7 +48,12 @@ pub fn e3_caching() -> Table {
             cache_idle_limit: idle_limit,
             ..StConfig::default()
         };
-        let mut sim = Sim::new(StackBuilder::new(b.build()).st_config(config).obs(true).build());
+        let mut sim = Sim::new(
+            StackBuilder::new(b.build())
+                .st_config(config)
+                .obs(true)
+                .build(),
+        );
 
         // Track creation latency through the app tap (tokens of direct ST
         // creates are unclaimed by transports and reach the tap).
@@ -243,7 +248,12 @@ pub fn e9_piggyback() -> Table {
         let n = b.network(NetworkSpec::ethernet("lan"));
         let ha = b.host_on(n);
         let hb = b.host_on(n);
-        let mut sim = Sim::new(StackBuilder::new(b.build()).st_config(config).obs(true).build());
+        let mut sim = Sim::new(
+            StackBuilder::new(b.build())
+                .st_config(config)
+                .obs(true)
+                .build(),
+        );
         let taps = Dispatcher::install(&mut sim, &[ha, hb]);
         let profile = StreamProfile {
             capacity: 8 * 1024,

@@ -15,9 +15,9 @@ use dash_sim::time::SimDuration;
 use dash_sim::Sim;
 use dash_subtransport::st::StConfig;
 use dash_transport::flow::CapacityEnforcement;
+use dash_transport::rkom;
 use dash_transport::stack::{Stack, StackBuilder};
 use dash_transport::stream::{self, StreamProfile};
-use dash_transport::rkom;
 use rms_core::delay::DelayBound;
 use rms_core::message::Message;
 
@@ -28,7 +28,11 @@ fn lan_stack() -> (Sim<Stack>, dash_net::HostId, dash_net::HostId) {
     let n = b.network(NetworkSpec::ethernet("lan"));
     let a = b.host_on(n);
     let c = b.host_on(n);
-    (Sim::new(StackBuilder::new(b.build()).obs(true).build()), a, c)
+    (
+        Sim::new(StackBuilder::new(b.build()).obs(true).build()),
+        a,
+        c,
+    )
 }
 
 /// fig1_layering — the same upper stack runs unchanged over different
@@ -78,7 +82,15 @@ pub fn fig1_layering() -> Table {
             );
         }
         let voice = start_media(&mut sim, &taps, a, b, vspec, 41);
-        let bulk = start_bulk(&mut sim, &taps, a, b, 128 * 1024, 4 * 1024, StreamProfile::bulk());
+        let bulk = start_bulk(
+            &mut sim,
+            &taps,
+            a,
+            b,
+            128 * 1024,
+            4 * 1024,
+            StreamProfile::bulk(),
+        );
         let done = run_until_complete(&mut sim, &bulk, SimDuration::from_secs(20));
         sim.run();
         let v = voice.borrow();
@@ -106,10 +118,17 @@ pub fn fig2_architecture() -> Table {
     let l2 = Rc::clone(&latency);
     rkom::register_service(&mut sim.state, b, 9, |_s, _c, req| req);
     let t0 = sim.now();
-    rkom::call(&mut sim, a, b, 9, bytes::Bytes::from_static(b"walk"), move |sim, res| {
-        assert!(res.is_ok());
-        *l2.borrow_mut() = sim.now().saturating_since(t0).as_secs_f64();
-    });
+    rkom::call(
+        &mut sim,
+        a,
+        b,
+        9,
+        bytes::Bytes::from_static(b"walk"),
+        move |sim, res| {
+            assert!(res.is_ok());
+            *l2.borrow_mut() = sim.now().saturating_since(t0).as_secs_f64();
+        },
+    );
     sim.run();
     // One stream message.
     let session = stream::open(&mut sim, a, b, StreamProfile::default()).unwrap();
@@ -133,15 +152,51 @@ pub fn fig2_architecture() -> Table {
     // Every count below comes from the cross-layer metric registry fed by
     // typed ObsEvents (dash_sim::obs), not from layer-private counters.
     let reg = &sim.state.net.obs.registry;
-    t.row(vec!["transport/RKOM".into(), "call round-trip latency".into(), secs(*latency.borrow())]);
-    t.row(vec!["transport/stream".into(), "messages delivered".into(), got.borrow().to_string()]);
-    t.row(vec!["subtransport".into(), "control channels created".into(), reg.counter_value("st.control_created").to_string()]);
-    t.row(vec!["subtransport".into(), "hello handshakes sent".into(), reg.counter_value("st.hello_sent").to_string()]);
-    t.row(vec!["subtransport".into(), "ST RMS creates requested".into(), reg.counter_value("st.create_requested").to_string()]);
-    t.row(vec!["subtransport".into(), "data network RMSs created".into(), reg.counter_value("st.cache_miss").to_string()]);
-    t.row(vec!["subtransport".into(), "net messages sent".into(), reg.counter_value("st.net_msg_sent").to_string()]);
-    t.row(vec!["network".into(), "packets sent".into(), reg.counter_value("net.packet_sent").to_string()]);
-    t.row(vec!["network".into(), "packets delivered".into(), reg.counter_value("net.packet_delivered").to_string()]);
+    t.row(vec![
+        "transport/RKOM".into(),
+        "call round-trip latency".into(),
+        secs(*latency.borrow()),
+    ]);
+    t.row(vec![
+        "transport/stream".into(),
+        "messages delivered".into(),
+        got.borrow().to_string(),
+    ]);
+    t.row(vec![
+        "subtransport".into(),
+        "control channels created".into(),
+        reg.counter_value("st.control_created").to_string(),
+    ]);
+    t.row(vec![
+        "subtransport".into(),
+        "hello handshakes sent".into(),
+        reg.counter_value("st.hello_sent").to_string(),
+    ]);
+    t.row(vec![
+        "subtransport".into(),
+        "ST RMS creates requested".into(),
+        reg.counter_value("st.create_requested").to_string(),
+    ]);
+    t.row(vec![
+        "subtransport".into(),
+        "data network RMSs created".into(),
+        reg.counter_value("st.cache_miss").to_string(),
+    ]);
+    t.row(vec![
+        "subtransport".into(),
+        "net messages sent".into(),
+        reg.counter_value("st.net_msg_sent").to_string(),
+    ]);
+    t.row(vec![
+        "network".into(),
+        "packets sent".into(),
+        reg.counter_value("net.packet_sent").to_string(),
+    ]);
+    t.row(vec![
+        "network".into(),
+        "packets delivered".into(),
+        reg.counter_value("net.packet_delivered").to_string(),
+    ]);
     t
 }
 
@@ -258,13 +313,19 @@ fn fig3_run() -> (Table, String) {
         let _ = stream::send(&mut sim, a, session, Message::zeroes(400));
         sim.run_until(sim.now() + SimDuration::from_millis(2));
     }
-    dash_net::fault::apply_fault(&mut sim, &dash_sim::FaultKind::NetworkDown { network: carrier.0 });
+    dash_net::fault::apply_fault(
+        &mut sim,
+        &dash_sim::FaultKind::NetworkDown { network: carrier.0 },
+    );
     for _ in 0..5 {
         let _ = stream::send(&mut sim, a, session, Message::zeroes(400));
         sim.run_until(sim.now() + SimDuration::from_millis(2));
     }
     sim.run();
-    dash_net::fault::apply_fault(&mut sim, &dash_sim::FaultKind::NetworkUp { network: carrier.0 });
+    dash_net::fault::apply_fault(
+        &mut sim,
+        &dash_sim::FaultKind::NetworkUp { network: carrier.0 },
+    );
     sim.run();
 
     let reg = &mut sim.state.net.obs.registry;
@@ -276,10 +337,26 @@ fn fig3_run() -> (Table, String) {
         "an upper-level RMS's delay bound is divided among stages; each stage's measured delay fits its budget",
     );
     t.columns(&["stage", "budget (bound)", "measured mean"]);
-    t.row(vec!["network RMS".into(), secs(net_bound.as_secs_f64()), secs(net_mean)]);
-    t.row(vec!["ST RMS (adds queueing+cpu)".into(), secs(st_bound.as_secs_f64()), secs(st_mean)]);
-    t.row(vec!["span end-to-end".into(), secs(st_bound.as_secs_f64()), secs(e2e_mean)]);
-    t.row(vec!["client-observed".into(), secs(st_bound.as_secs_f64()), secs(app_mean)]);
+    t.row(vec![
+        "network RMS".into(),
+        secs(net_bound.as_secs_f64()),
+        secs(net_mean),
+    ]);
+    t.row(vec![
+        "ST RMS (adds queueing+cpu)".into(),
+        secs(st_bound.as_secs_f64()),
+        secs(st_mean),
+    ]);
+    t.row(vec![
+        "span end-to-end".into(),
+        secs(st_bound.as_secs_f64()),
+        secs(e2e_mean),
+    ]);
+    t.row(vec![
+        "client-observed".into(),
+        secs(st_bound.as_secs_f64()),
+        secs(app_mean),
+    ]);
     // Per-stage budget table: consecutive span intervals. Stage names come
     // from Stage::interval(); each row is the latency from that stage to
     // the next one the message passed through.
@@ -293,7 +370,11 @@ fn fig3_run() -> (Table, String) {
     ] {
         let name = format!("span.stage.{interval}");
         if reg.has_histogram(&name) {
-            t.row(vec![label.into(), "-".into(), secs(reg.histogram(&name).mean())]);
+            t.row(vec![
+                label.into(),
+                "-".into(),
+                secs(reg.histogram(&name).mean()),
+            ]);
         }
     }
     t.note(format!(

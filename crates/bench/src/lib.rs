@@ -12,6 +12,7 @@
 
 pub mod e_baseline;
 pub mod e_capacity;
+pub mod e_routing;
 pub mod e_scale;
 pub mod e_security_sched;
 pub mod e_st;
@@ -41,6 +42,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("e8_congestion", e_baseline::e8_congestion),
         ("e9_piggyback", e_st::e9_piggyback),
         ("e10_scale", e_scale::e10_scale),
+        ("e11_routing", e_routing::e11_routing),
     ]
 }
 

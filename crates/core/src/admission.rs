@@ -97,6 +97,21 @@ impl ResourceLedger {
         self.statistical_load_bps
     }
 
+    /// Residual deterministic admission headroom, bytes/s: how much more
+    /// implied bandwidth this resource could still reserve before the
+    /// deterministic share is exhausted. This is what link-state
+    /// advertisements sample so remote hosts can rank alternate paths by
+    /// their chance of admitting a new RMS.
+    pub fn headroom_bps(&self) -> f64 {
+        (self.capacity_bps * self.deterministic_share - self.reserved_bps).max(0.0)
+    }
+
+    /// Residual buffer headroom, bytes: capacity left before buffer
+    /// reservations are exhausted.
+    pub fn headroom_buffer(&self) -> u64 {
+        self.buffer_bytes.saturating_sub(self.reserved_buffer)
+    }
+
     /// Total average utilization (deterministic + statistical) in `[0, ∞)`.
     pub fn utilization(&self) -> f64 {
         (self.reserved_bps + self.statistical_load_bps) / self.capacity_bps
@@ -166,7 +181,10 @@ impl ResourceLedger {
         // maximum-length message: P(delay > t) ≈ ρ·exp(-(μ-λ)·t / m).
         let m = params.max_message_size.max(1) as f64;
         let rho = lambda / mu;
-        let t = params.delay.bound_for(params.max_message_size).as_secs_f64();
+        let t = params
+            .delay
+            .bound_for(params.max_message_size)
+            .as_secs_f64();
         let p_exceed = rho * (-(mu - lambda) * t / m).exp();
         let p_allowed = 1.0 - spec.delay_probability;
         if p_exceed > p_allowed {
@@ -224,6 +242,23 @@ mod tests {
             .error_rate(BitErrorRate::new(1e-5).unwrap())
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn headroom_tracks_reservations() {
+        // 1 MB/s link, 90% reservable, 10 KB of buffer.
+        let mut ledger = ResourceLedger::new(1e6, 10_000);
+        assert_eq!(ledger.headroom_bps(), 0.9e6);
+        assert_eq!(ledger.headroom_buffer(), 10_000);
+        // C = 100_000, D = 1s -> 1e5 B/s implied bandwidth... but buffer
+        // limits first: use a small C.
+        let p = det_params(1_000, 1_000, 1_000);
+        assert!(ledger.admit(&p).is_admitted());
+        assert_eq!(ledger.headroom_bps(), 0.9e6 - 1_000.0);
+        assert_eq!(ledger.headroom_buffer(), 9_000);
+        ledger.release(&p);
+        assert_eq!(ledger.headroom_bps(), 0.9e6);
+        assert_eq!(ledger.headroom_buffer(), 10_000);
     }
 
     #[test]
@@ -313,7 +348,9 @@ mod tests {
     fn deterministic_and_statistical_interact() {
         let mut ledger = ResourceLedger::new(1e6, 10_000_000);
         // Deterministic traffic takes 5e5 B/s...
-        assert!(ledger.admit(&det_params(500_000, 1_000, 1_000)).is_admitted());
+        assert!(ledger
+            .admit(&det_params(500_000, 1_000, 1_000))
+            .is_admitted());
         // ...leaving 5e5 of μ; 6e5 statistical load must now be refused.
         assert!(!ledger.admit(&stat_params(6e5, 100, 0.9)).is_admitted());
         assert!(ledger.admit(&stat_params(3e5, 100, 0.5)).is_admitted());

@@ -19,7 +19,10 @@ use crate::params::RmsParams;
 /// means capacity never accumulates — effectively unbounded, but we report 0
 /// to flag the degenerate configuration).
 pub fn implied_bandwidth(params: &RmsParams) -> f64 {
-    let d = params.delay.bound_for(params.max_message_size).as_secs_f64();
+    let d = params
+        .delay
+        .bound_for(params.max_message_size)
+        .as_secs_f64();
     if d <= 0.0 {
         0.0
     } else {
@@ -109,10 +112,7 @@ mod tests {
         // B = 1us/byte, A = 0: D(1000) = 1ms. C = 2000 -> window of 2 msgs.
         let p = params(2_000, 1_000, 0, 1_000);
         assert_eq!(window_messages(&p, 1_000), 2);
-        assert_eq!(
-            send_interval_for(&p, 1_000),
-            SimDuration::from_micros(500)
-        );
+        assert_eq!(send_interval_for(&p, 1_000), SimDuration::from_micros(500));
     }
 
     #[test]

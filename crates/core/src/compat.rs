@@ -83,7 +83,10 @@ impl fmt::Display for RequestError {
         match self {
             RequestError::Invalid(e) => write!(f, "invalid parameter set: {e}"),
             RequestError::DesiredWeakerThanAcceptable => {
-                write!(f, "desired parameters are not compatible with the acceptable floor")
+                write!(
+                    f,
+                    "desired parameters are not compatible with the acceptable floor"
+                )
             }
         }
     }
@@ -161,7 +164,11 @@ impl ServiceTable {
     }
 
     /// Limits for an exact combination, if supported.
-    pub fn limits(&self, reliability: Reliability, security: SecurityParams) -> Option<&PerfLimits> {
+    pub fn limits(
+        &self,
+        reliability: Reliability,
+        security: SecurityParams,
+    ) -> Option<&PerfLimits> {
         self.entries
             .iter()
             .find(|(r, s, _)| *r == reliability && *s == security)
@@ -189,10 +196,16 @@ impl fmt::Display for NegotiationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NegotiationError::UnsupportedCombination => {
-                write!(f, "no supported reliability/security combination covers the request")
+                write!(
+                    f,
+                    "no supported reliability/security combination covers the request"
+                )
             }
             NegotiationError::PerformanceUnreachable => {
-                write!(f, "supported combinations cannot reach the acceptable performance floor")
+                write!(
+                    f,
+                    "supported combinations cannot reach the acceptable performance floor"
+                )
             }
         }
     }
@@ -249,9 +262,7 @@ pub fn negotiate(
             // floor; statistical specs carry the desired description.
             match (limits.max_kind_strength, &want.delay.kind) {
                 (1, DelayBoundKind::Deterministic) => {
-                    DelayBoundKind::Statistical(crate::delay::StatisticalSpec::new(
-                        0.0, 1.0, 1.0,
-                    ))
+                    DelayBoundKind::Statistical(crate::delay::StatisticalSpec::new(0.0, 1.0, 1.0))
                 }
                 (0, _) => DelayBoundKind::BestEffort,
                 (_, k) => *k,
@@ -374,7 +385,11 @@ mod tests {
     #[test]
     fn negotiate_exact_combination() {
         let mut table = ServiceTable::new();
-        table.support(Reliability::Unreliable, SecurityParams::NONE, generous_limits());
+        table.support(
+            Reliability::Unreliable,
+            SecurityParams::NONE,
+            generous_limits(),
+        );
         let req = RmsRequest::exact(base_params());
         let actual = negotiate(&table, &req).unwrap();
         assert!(is_compatible(&actual, &req.acceptable));
@@ -385,7 +400,11 @@ mod tests {
     #[test]
     fn negotiate_rejects_unsupported_security() {
         let mut table = ServiceTable::new();
-        table.support(Reliability::Unreliable, SecurityParams::NONE, generous_limits());
+        table.support(
+            Reliability::Unreliable,
+            SecurityParams::NONE,
+            generous_limits(),
+        );
         let mut p = base_params();
         p.security = SecurityParams::FULL;
         let req = RmsRequest::exact(p);
@@ -411,8 +430,16 @@ mod tests {
     #[test]
     fn negotiate_prefers_exact_combination_over_extra_security() {
         let mut table = ServiceTable::new();
-        table.support(Reliability::Unreliable, SecurityParams::NONE, generous_limits());
-        table.support(Reliability::Unreliable, SecurityParams::FULL, generous_limits());
+        table.support(
+            Reliability::Unreliable,
+            SecurityParams::NONE,
+            generous_limits(),
+        );
+        table.support(
+            Reliability::Unreliable,
+            SecurityParams::FULL,
+            generous_limits(),
+        );
         let req = RmsRequest::exact(base_params());
         let actual = negotiate(&table, &req).unwrap();
         assert_eq!(actual.security, SecurityParams::NONE);
@@ -423,7 +450,11 @@ mod tests {
         // Provider only offers a fully secure service; an insecure request
         // still succeeds because FULL includes NONE.
         let mut table = ServiceTable::new();
-        table.support(Reliability::Unreliable, SecurityParams::FULL, generous_limits());
+        table.support(
+            Reliability::Unreliable,
+            SecurityParams::FULL,
+            generous_limits(),
+        );
         let req = RmsRequest::exact(base_params());
         let actual = negotiate(&table, &req).unwrap();
         assert_eq!(actual.security, SecurityParams::FULL);

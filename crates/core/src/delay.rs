@@ -137,7 +137,8 @@ impl DelayBound {
 
     /// The bound for a message of `size` bytes: `A + B·size`, saturating.
     pub fn bound_for(&self, size: u64) -> SimDuration {
-        self.fixed.saturating_add(self.per_byte.saturating_mul(size))
+        self.fixed
+            .saturating_add(self.per_byte.saturating_mul(size))
     }
 
     /// True iff this bound satisfies a request for `requested`: `A` and `B`
@@ -161,10 +162,7 @@ mod tests {
     fn bound_for_is_affine() {
         let d = DelayBound::deterministic(ms(10), SimDuration::from_nanos(1_000));
         assert_eq!(d.bound_for(0), ms(10));
-        assert_eq!(
-            d.bound_for(1_000_000),
-            ms(10) + SimDuration::from_secs(1)
-        );
+        assert_eq!(d.bound_for(1_000_000), ms(10) + SimDuration::from_secs(1));
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl fmt::Display for RmsError {
         match self {
             RmsError::CreationRejected(r) => write!(f, "RMS creation rejected: {r}"),
             RmsError::MessageTooLarge { size, limit } => {
-                write!(f, "message of {size} bytes exceeds maximum message size {limit}")
+                write!(
+                    f,
+                    "message of {size} bytes exceeds maximum message size {limit}"
+                )
             }
             RmsError::InvalidParams(e) => write!(f, "invalid parameters: {e}"),
             RmsError::Failed(r) => write!(f, "RMS failed: {r}"),

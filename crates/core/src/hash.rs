@@ -127,7 +127,11 @@ mod tests {
         for id in 0u64..128 {
             low7.insert(hash_of(&id) & 0x7f);
         }
-        assert!(low7.len() > 70, "only {} distinct low-7-bit values", low7.len());
+        assert!(
+            low7.len() > 70,
+            "only {} distinct low-7-bit values",
+            low7.len()
+        );
     }
 
     #[test]

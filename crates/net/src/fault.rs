@@ -16,8 +16,8 @@ use rms_core::error::FailReason;
 
 use crate::ids::{HostId, NetRmsId, NetworkId};
 use crate::pipeline::{fail_network, restore_network, start_tx};
+use crate::routing;
 use crate::state::{NetRmsEvent, NetWorld};
-use crate::topology::compute_routes;
 
 /// Schedule every event of `plan` against the simulation. Events fire at
 /// their recorded times in plan order (ties broken by scheduling sequence,
@@ -42,9 +42,18 @@ pub fn apply_fault<W: NetWorld>(sim: &mut Sim<W>, kind: &FaultKind) {
     match kind {
         FaultKind::NetworkDown { network } => fail_network(sim, NetworkId(*network)),
         FaultKind::NetworkUp { network } => restore_network(sim, NetworkId(*network)),
-        FaultKind::Partition { a, b } => sim.state.net().partition(HostId(*a), HostId(*b)),
+        FaultKind::Partition { a, b } => {
+            sim.state.net().partition(HostId(*a), HostId(*b));
+            // Partitions filter the wire, not the graph (SPF ignores
+            // them), but a re-flood refreshes the headroom picture so
+            // constrained selection reacts.
+            routing::flood_from(sim, HostId(*a));
+            routing::flood_from(sim, HostId(*b));
+        }
         FaultKind::HealPartition { a, b } => {
             sim.state.net().heal_partition(HostId(*a), HostId(*b));
+            routing::flood_from(sim, HostId(*a));
+            routing::flood_from(sim, HostId(*b));
         }
         FaultKind::BurstLossStart { network, model } => {
             sim.state.net().network_mut(NetworkId(*network)).burst = Some(model.clone());
@@ -88,8 +97,9 @@ pub fn stall_iface<W: NetWorld>(
 
 /// Crash `host`: its transmit queues are discarded, its creation attempts
 /// and invites are abandoned (timers cancelled), every local RMS endpoint
-/// fails with [`FailReason::ResourcesRevoked`], and routes are recomputed
-/// so it is no longer used as transit. Idempotent.
+/// fails with [`FailReason::ResourcesRevoked`], and routing tables are
+/// marked dirty so the crashed host is no longer used as transit (its
+/// neighbours re-flood to spread the word). Idempotent.
 pub fn crash_host<W: NetWorld>(sim: &mut Sim<W>, host: HostId) {
     let now = sim.now();
     let mut failures: Vec<NetRmsId> = Vec::new();
@@ -124,10 +134,27 @@ pub fn crash_host<W: NetWorld>(sim: &mut Sim<W>, host: HostId) {
         // `rms` is a HashMap: sort the notifications for deterministic
         // replay.
         failures.sort();
-        compute_routes(net);
+        routing::mark_routes_dirty(net, now);
         if net.obs.is_active() {
             net.obs.emit(now, ObsEvent::HostCrashed { host: host.0 });
         }
+    }
+    // The crashed host's up neighbours witnessed the failure: they
+    // re-flood (ascending host order for deterministic replay).
+    let witnesses: Vec<HostId> = {
+        let net = sim.state.net_ref();
+        let mut seen = std::collections::BTreeSet::new();
+        for iface in &net.host(host).ifaces {
+            for peer in &net.network(iface.network).attached {
+                if *peer != host && net.host(*peer).up {
+                    seen.insert(*peer);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    };
+    for w in witnesses {
+        routing::flood_from(sim, w);
     }
     for rms in failures {
         W::rms_event(
@@ -142,18 +169,21 @@ pub fn crash_host<W: NetWorld>(sim: &mut Sim<W>, host: HostId) {
 }
 
 /// Bring a crashed host back. Its protocol state starts empty (RMSs lost
-/// in the crash stay failed); routing may use it as transit again.
-/// Idempotent.
+/// in the crash stay failed); routing may use it as transit again once it
+/// re-announces itself by flooding fresh link state. Idempotent.
 pub fn restart_host<W: NetWorld>(sim: &mut Sim<W>, host: HostId) {
     let now = sim.now();
-    let net = sim.state.net();
-    let h = net.host_mut(host);
-    if h.up {
-        return;
+    {
+        let net = sim.state.net();
+        let h = net.host_mut(host);
+        if h.up {
+            return;
+        }
+        h.up = true;
+        routing::mark_routes_dirty(net, now);
+        if net.obs.is_active() {
+            net.obs.emit(now, ObsEvent::HostRestarted { host: host.0 });
+        }
     }
-    h.up = true;
-    compute_routes(net);
-    if net.obs.is_active() {
-        net.obs.emit(now, ObsEvent::HostRestarted { host: host.0 });
-    }
+    routing::flood_from(sim, host);
 }

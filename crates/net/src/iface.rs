@@ -235,6 +235,8 @@ mod tests {
             hops: 0,
             reliable: false,
             next_plan: None,
+            source_route: None,
+            next_hop: None,
         }
     }
 
@@ -249,6 +251,8 @@ mod tests {
             hops: 0,
             reliable: true,
             next_plan: None,
+            source_route: None,
+            next_hop: None,
         }
     }
 
@@ -289,7 +293,12 @@ mod tests {
     #[test]
     fn byte_limit_drops_data_but_not_control() {
         let limit = packet(0, 100).wire_bytes() + 10;
-        let mut iface = Iface::new(NetworkId(0), QueueDiscipline::Deadline, ledger(), Some(limit));
+        let mut iface = Iface::new(
+            NetworkId(0),
+            QueueDiscipline::Deadline,
+            ledger(),
+            Some(limit),
+        );
         assert!(iface.enqueue(SimTime::ZERO, packet(0, 100)));
         assert!(!iface.enqueue(SimTime::ZERO, packet(0, 100)));
         assert_eq!(iface.stats.overflow_drops.get(), 1);

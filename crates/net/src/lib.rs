@@ -8,7 +8,10 @@
 //!   stochastic wire (loss, bit errors, optional link-level ARQ).
 //! - [`iface`]: interfaces whose transmit queues are ordered by RMS
 //!   transmission deadline (§4.1) with a FIFO baseline mode.
-//! - [`topology`]: hosts, gateways, internetworks, BFS routing.
+//! - [`topology`]: hosts, gateways, internetworks, route seeding.
+//! - [`routing`]: the distributed QoS routing subsystem — link-state
+//!   dissemination, constrained k-alternate path selection, and
+//!   admission-aware re-routing with event-driven reconvergence.
 //! - [`rms`] + [`pipeline`]: the network-RMS protocol — path-wide parameter
 //!   negotiation (§2.4), hop-by-hop deterministic/statistical admission
 //!   control (§2.3), security mechanism selection (§2.5), sequenced
@@ -52,12 +55,13 @@
 //! ```
 
 pub mod fault;
-pub mod iface;
 pub mod ids;
+pub mod iface;
 pub mod network;
 pub mod packet;
 pub mod pipeline;
 pub mod rms;
+pub mod routing;
 pub mod state;
 pub mod topology;
 
@@ -70,6 +74,7 @@ pub mod prelude {
         close_rms, create_rms, create_rms_as_receiver, fail_network, restore_network,
         send_datagram, send_on_rms,
     };
+    pub use crate::routing::{flood_from, AltPath, CandidatePath, LinkStateAd, Lsdb};
     pub use crate::state::{NetConfig, NetRmsEvent, NetState, NetWorld};
     pub use crate::topology::TopologyBuilder;
 }

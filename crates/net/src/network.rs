@@ -412,7 +412,10 @@ mod tests {
         let p_small = spec.packet_loss_probability(REF_LOSS_BYTES / 4);
         let p_large = spec.packet_loss_probability(REF_LOSS_BYTES * 4);
         assert!((p_ref - 0.1).abs() < 1e-12, "reference calibration {p_ref}");
-        assert!(p_small < p_ref && p_ref < p_large, "{p_small} {p_ref} {p_large}");
+        assert!(
+            p_small < p_ref && p_ref < p_large,
+            "{p_small} {p_ref} {p_large}"
+        );
         // Independent per-byte loss: quadrupling the size compounds the
         // survival probability, not the loss probability.
         assert!((1.0 - p_large - (1.0 - p_ref).powi(4)).abs() < 1e-12);
@@ -433,7 +436,10 @@ mod tests {
         net.burst = Some(GilbertElliott::new(1.0, 0.0, 0.0, 1.0));
         let mut rng = Rng::new(11);
         for _ in 0..50 {
-            assert_eq!(net.sample_traversal(&mut rng, 512, false), WireOutcome::Lost);
+            assert_eq!(
+                net.sample_traversal(&mut rng, 512, false),
+                WireOutcome::Lost
+            );
         }
         // Clearing the burst restores the (perfect) i.i.d. process.
         net.burst = None;

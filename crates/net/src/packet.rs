@@ -7,7 +7,38 @@ use dash_sim::time::SimTime;
 use rms_core::message::Label;
 use rms_core::params::SharedParams;
 
-use crate::ids::{CreateToken, HostId, NetRmsId};
+use crate::ids::{CreateToken, HostId, NetRmsId, NetworkId};
+use crate::routing::lsdb::LinkStateAd;
+
+/// An explicit hop-by-hop route pinned into a packet by the creator (or by
+/// a replying hop, for the reverse direction). RMS establishment uses this
+/// to steer `CreateReq`/`CreateAck`/`CreateNak` along a *chosen* alternate
+/// path rather than whatever each hop's table happens to say, so admission
+/// walks exactly the path the route computation admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceRoute {
+    /// Remaining-and-past hops, ending with the final destination. The
+    /// originating host is *not* listed. `hops[i]` is reached by crossing
+    /// `networks[i]`.
+    pub hops: Vec<HostId>,
+    /// `networks[i]` connects `hops[i-1]` (or the originator, for `i == 0`)
+    /// to `hops[i]`. Same length as `hops`.
+    pub networks: Vec<NetworkId>,
+    /// Index of the hop the packet is currently traveling toward.
+    pub next: usize,
+}
+
+impl SourceRoute {
+    /// The network the packet must cross next, if any hops remain.
+    pub fn next_network(&self) -> Option<NetworkId> {
+        self.networks.get(self.next).copied()
+    }
+
+    /// The host the packet must be handed to next, if any hops remain.
+    pub fn next_hop(&self) -> Option<HostId> {
+        self.hops.get(self.next).copied()
+    }
+}
 
 /// Base header size (addresses, kind, seq, deadline field) charged to every
 /// packet, in bytes. Security mechanisms add their own overhead on top.
@@ -110,6 +141,18 @@ pub enum PacketKind {
         /// Payload bytes.
         payload: Bytes,
     },
+    /// A link-state advertisement flooded by the routing subsystem
+    /// (`crate::routing`). Control-plane: overflow-exempt and sent with
+    /// link ARQ like every other control packet.
+    LinkStateAd {
+        /// The advertisement being disseminated.
+        ad: LinkStateAd,
+        /// The network this copy was transmitted on. Receivers re-flood on
+        /// every *other* live interface (split horizon): everyone attached
+        /// to `via` was already sent a copy by the same transmitter, which
+        /// keeps flood cost linear in attachments instead of quadratic.
+        via: NetworkId,
+    },
     /// ICMP-source-quench-style congestion signal (RFC 792/896), sent by a
     /// gateway to a datagram source on buffer overflow. The paper contrasts
     /// RMS capacity with exactly this "ad hoc and often ineffective"
@@ -147,12 +190,24 @@ pub struct Packet {
     /// system would run a key-exchange protocol here; carrying it on the
     /// handshake keeps the simulation honest about *who knows the key*.)
     pub next_plan: Option<(MechanismPlan, Key)>,
+    /// Explicit route chosen by the routing subsystem for RMS establishment
+    /// packets; hops forward along it instead of consulting their tables.
+    pub source_route: Option<SourceRoute>,
+    /// The neighbour this packet was queued toward, frozen at enqueue time
+    /// so a route change between enqueue and transmission-finish cannot
+    /// deliver it to a host that is not even on the transmitting network.
+    /// Metadata, not wire bytes.
+    pub next_hop: Option<HostId>,
 }
 
 impl Packet {
     /// Total bytes this packet occupies on the wire.
     pub fn wire_bytes(&self) -> u64 {
-        BASE_HEADER_BYTES + self.kind_bytes()
+        let route = self
+            .source_route
+            .as_ref()
+            .map_or(0, |sr| 4 * sr.hops.len() as u64);
+        BASE_HEADER_BYTES + route + self.kind_bytes()
     }
 
     fn kind_bytes(&self) -> u64 {
@@ -180,6 +235,7 @@ impl Packet {
             PacketKind::Invite { .. } => 64,
             PacketKind::Release { .. } => 8,
             PacketKind::Raw { payload, .. } => 2 + payload.len() as u64,
+            PacketKind::LinkStateAd { ad, .. } => 16 + 20 * ad.links.len() as u64,
             PacketKind::Quench { .. } => 8,
         }
     }
@@ -222,6 +278,8 @@ mod tests {
             hops: 0,
             reliable: false,
             next_plan: None,
+            source_route: None,
+            next_hop: None,
         }
     }
 

@@ -8,7 +8,7 @@
 use bytes::Bytes;
 use dash_security::cipher::{decrypt, encrypt, Key};
 use dash_security::mac;
-use dash_security::suite::{select_mechanisms, MechanismPlan, NetworkCapabilities};
+use dash_security::suite::{MechanismPlan, NetworkCapabilities};
 use dash_sim::engine::Sim;
 use dash_sim::obs::ObsEvent;
 use dash_sim::time::{SimDuration, SimTime};
@@ -20,10 +20,10 @@ use rms_core::port::DeliveryInfo;
 
 use crate::ids::{CreateToken, HostId, NetRmsId, NetworkId};
 use crate::network::WireOutcome;
-use crate::packet::{DataPacket, NakReason, Packet, PacketKind};
+use crate::packet::{DataPacket, NakReason, Packet, PacketKind, SourceRoute};
 use crate::rms::{Buffered, NetRms, RmsRole, REORDER_FAIL_THRESHOLD};
-use crate::state::{NetRmsEvent, NetState, NetWorld, PendingCreate, PendingInvite};
-use crate::topology::compute_routes;
+use crate::routing;
+use crate::state::{NetRmsEvent, NetState, NetWorld, PendingCreate, PendingInvite, Route};
 
 // ---------------------------------------------------------------------------
 // Path-wide negotiation helpers
@@ -37,7 +37,15 @@ pub fn combined_service_table<W: NetWorld>(
     state: &W,
     path: &[(HostId, usize, NetworkId, HostId)],
 ) -> ServiceTable {
-    let net = state.net_ref();
+    combined_service_table_on(state.net_ref(), path)
+}
+
+/// [`combined_service_table`] against a bare [`NetState`] (used by the
+/// routing subsystem, which negotiates per candidate path).
+pub fn combined_service_table_on(
+    net: &NetState,
+    path: &[(HostId, usize, NetworkId, HostId)],
+) -> ServiceTable {
     let mut out = ServiceTable::new();
     if path.is_empty() {
         return out;
@@ -83,7 +91,14 @@ pub fn combined_capabilities<W: NetWorld>(
     state: &W,
     path: &[(HostId, usize, NetworkId, HostId)],
 ) -> NetworkCapabilities {
-    let net = state.net_ref();
+    combined_capabilities_on(state.net_ref(), path)
+}
+
+/// [`combined_capabilities`] against a bare [`NetState`].
+pub fn combined_capabilities_on(
+    net: &NetState,
+    path: &[(HostId, usize, NetworkId, HostId)],
+) -> NetworkCapabilities {
     let mut caps = NetworkCapabilities {
         trusted: true,
         link_encryption: true,
@@ -117,15 +132,19 @@ fn nak_to_reject(reason: NakReason) -> RejectReason {
 // ---------------------------------------------------------------------------
 
 /// Create a network RMS from `creator` (the data **sender**) to `peer` (the
-/// data receiver). Negotiation runs against the combined service table of
-/// the routed path (§2.4); admission control then reserves hop by hop as
-/// the `CreateReq` travels (§2.3). The result arrives asynchronously as a
+/// data receiver). The routing subsystem resolves up to
+/// [`routing::K_ALTERNATES`] loop-free candidate paths, each negotiated
+/// against its own combined service table (§2.4); admission control then
+/// reserves hop by hop as the `CreateReq` travels the chosen path (§2.3),
+/// and a NAK makes the creator fall back to the next alternate instead of
+/// failing outright. The result arrives asynchronously as a
 /// [`NetRmsEvent::Created`] / [`NetRmsEvent::CreateFailed`] carrying the
 /// returned token.
 ///
 /// # Errors
 ///
-/// Fails synchronously if there is no route or negotiation cannot succeed.
+/// Fails synchronously if there is no route or negotiation cannot succeed
+/// on any candidate path.
 pub fn create_rms<W: NetWorld>(
     sim: &mut Sim<W>,
     creator: HostId,
@@ -135,31 +154,30 @@ pub fn create_rms<W: NetWorld>(
     if creator == peer {
         return Err(RmsError::CreationRejected(RejectReason::NoRoute));
     }
-    let path = sim
-        .state
-        .net_ref()
-        .path(creator, peer)
-        .ok_or(RmsError::CreationRejected(RejectReason::NoRoute))?;
-    let table = combined_service_table(&sim.state, &path);
-    let params = negotiate(&table, request)?.shared();
-    let caps = combined_capabilities(&sim.state, &path);
-    let (plan, _effective_ber) = select_mechanisms(&params, &caps);
+    let alternates = routing::candidate_paths(sim.state.net_ref(), creator, peer, request)?;
 
     let net = sim.state.net();
     let token = net.alloc_token();
     let rms = net.alloc_rms_id();
     let key = Key(net.rng.next_u64());
+    let route_gen = net.route_generation;
+    let first = &alternates[0];
+    let (params, plan) = (first.params.clone(), first.plan);
     net.host_mut(creator).pending.insert(
         token,
         PendingCreate {
             rms,
             peer,
-            params: params.clone(),
+            params,
             attempts: 0,
             timer: None,
             invite: None,
             plan,
             key,
+            request: request.clone(),
+            alternates,
+            alt_idx: 0,
+            route_gen,
         },
     );
     // Deferred so the caller records the returned token before any
@@ -248,6 +266,8 @@ fn start_invite_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: C
         hops: 0,
         reliable: true,
         next_plan: None,
+        source_route: None,
+        next_hop: None,
     };
     route_and_enqueue(sim, creator, packet);
     let timer = sim.schedule_timer(timeout, move |sim| {
@@ -264,7 +284,7 @@ fn start_invite_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: C
 
 fn start_create_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: CreateToken) {
     let now = sim.now();
-    let (rms, peer, params, invite, attempts, timeout, retries, plan, key) = {
+    let (rms, peer, invite, attempts, timeout, retries) = {
         let net = sim.state.net();
         let timeout = net.config.create_timeout;
         let retries = net.config.create_retries;
@@ -273,17 +293,7 @@ fn start_create_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: C
             None => return,
         };
         p.attempts += 1;
-        (
-            p.rms,
-            p.peer,
-            p.params.clone(),
-            p.invite,
-            p.attempts,
-            timeout,
-            retries,
-            p.plan,
-            p.key,
-        )
+        (p.rms, p.peer, p.invite, p.attempts, timeout, retries)
     };
     if attempts > retries {
         // Give up: clean any partial reservations and report.
@@ -300,86 +310,160 @@ fn start_create_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: C
         return;
     }
 
-    // Reserve on our own outbound interface (hop 0), idempotently.
-    let first_net = {
-        let net = sim.state.net();
-        let route = match net.host(creator).routes.get(&peer).copied() {
-            Some(r) => r,
-            None => {
-                net.host_mut(creator).pending.remove(&token);
-                W::rms_event(
-                    sim,
-                    creator,
-                    NetRmsEvent::CreateFailed {
-                        token,
-                        reason: RejectReason::NoRoute,
-                    },
-                );
+    // A retry timer may fire after the topology changed under us (network
+    // death, host crash): candidate paths captured at create time can then
+    // name dead first hops. Detect staleness via the route generation and
+    // re-resolve alternates from the original request instead of blindly
+    // resending into a black hole.
+    let stale = {
+        let net = sim.state.net_ref();
+        net.host(creator)
+            .pending
+            .get(&token)
+            .is_some_and(|p| p.route_gen != net.route_generation)
+    };
+    if stale {
+        {
+            let net = sim.state.net();
+            if let Some((iface, params)) = net.host_mut(creator).reservations.remove(&rms) {
+                net.host_mut(creator).ifaces[iface].ledger.release(&params);
+            }
+            net.host_mut(creator).rms_next.remove(&rms);
+        }
+        let request = match sim.state.net_ref().host(creator).pending.get(&token) {
+            Some(p) => p.request.clone(),
+            None => return,
+        };
+        match routing::candidate_paths(sim.state.net_ref(), creator, peer, &request) {
+            Ok(candidates) => {
+                let gen = sim.state.net_ref().route_generation;
+                let net = sim.state.net();
+                if let Some(p) = net.host_mut(creator).pending.get_mut(&token) {
+                    p.params = candidates[0].params.clone();
+                    p.plan = candidates[0].plan;
+                    p.alternates = candidates;
+                    p.alt_idx = 0;
+                    p.route_gen = gen;
+                }
+            }
+            Err(err) => {
+                sim.state.net().host_mut(creator).pending.remove(&token);
+                let reason = match err {
+                    RmsError::CreationRejected(r) => r,
+                    _ => RejectReason::NoRoute,
+                };
+                W::rms_event(sim, creator, NetRmsEvent::CreateFailed { token, reason });
                 return;
             }
-        };
-        // Routes are recomputed on network failure, but a retry timer may
-        // still fire with a route over a network that died meanwhile:
-        // admission refuses new RMSs on down media outright.
-        let first_net_id = net.host(creator).ifaces[route.iface].network;
-        if net.network(first_net_id).down {
-            net.host_mut(creator).pending.remove(&token);
-            W::rms_event(
-                sim,
-                creator,
-                NetRmsEvent::CreateFailed {
-                    token,
-                    reason: RejectReason::NoRoute,
-                },
-            );
-            return;
         }
+    }
+
+    // Walk the alternates from the current cursor: reserve on our own
+    // outbound interface (hop 0), idempotently, advancing past candidates
+    // whose first hop is down or refuses admission.
+    let mut admission_detail: Option<String> = None;
+    let chosen = loop {
+        let (first_net_id, first_hop, params, plan) = {
+            let net = sim.state.net_ref();
+            let p = match net.host(creator).pending.get(&token) {
+                Some(p) => p,
+                None => return,
+            };
+            match p.alternates.get(p.alt_idx) {
+                Some(c) => (c.networks[0], c.hops[0], c.params.clone(), c.plan),
+                None => break None,
+            }
+        };
+        let net = sim.state.net();
+        if net.network(first_net_id).down {
+            if let Some((iface, params)) = net.host_mut(creator).reservations.remove(&rms) {
+                net.host_mut(creator).ifaces[iface].ledger.release(&params);
+            }
+            net.host_mut(creator).rms_next.remove(&rms);
+            if let Some(p) = net.host_mut(creator).pending.get_mut(&token) {
+                p.alt_idx += 1;
+            }
+            continue;
+        }
+        let iface = match net.host(creator).iface_on(first_net_id) {
+            Some(i) => i,
+            None => {
+                if let Some(p) = net.host_mut(creator).pending.get_mut(&token) {
+                    p.alt_idx += 1;
+                }
+                continue;
+            }
+        };
         let host = net.host_mut(creator);
         if !host.reservations.contains_key(&rms) {
-            let admitted = host.ifaces[route.iface].ledger.admit(&params);
-            if !admitted.is_admitted() {
-                host.pending.remove(&token);
+            let admitted = host.ifaces[iface].ledger.admit(&params);
+            let ok = admitted.is_admitted();
+            if sim.state.net().obs.is_active() {
+                sim.state.net().obs.emit(
+                    now,
+                    ObsEvent::AdmissionDecision {
+                        host: creator.0,
+                        admitted: ok,
+                    },
+                );
+            }
+            if !ok {
                 let detail = match admitted {
                     rms_core::admission::Admission::Denied { detail } => detail,
                     rms_core::admission::Admission::Admitted => unreachable!(),
                 };
-                let net = sim.state.net();
-                if net.obs.is_active() {
-                    net.obs.emit(
-                        now,
-                        ObsEvent::AdmissionDecision {
-                            host: creator.0,
-                            admitted: false,
-                        },
-                    );
+                admission_detail = Some(detail);
+                if let Some(p) = sim.state.net().host_mut(creator).pending.get_mut(&token) {
+                    p.alt_idx += 1;
                 }
-                W::rms_event(
-                    sim,
-                    creator,
-                    NetRmsEvent::CreateFailed {
-                        token,
-                        reason: RejectReason::AdmissionDenied { detail },
-                    },
-                );
-                return;
+                continue;
             }
-            let net = sim.state.net();
-            if net.obs.is_active() {
-                net.obs.emit(
-                    now,
-                    ObsEvent::AdmissionDecision {
-                        host: creator.0,
-                        admitted: true,
-                    },
-                );
-            }
-            net.host_mut(creator)
+            sim.state
+                .net()
+                .host_mut(creator)
                 .reservations
-                .insert(rms, (route.iface, params.clone()));
+                .insert(rms, (iface, params.clone()));
         }
-        sim.state.net().host(creator).ifaces[route.iface].network
+        let net = sim.state.net();
+        net.host_mut(creator).rms_next.insert(
+            rms,
+            Route {
+                iface,
+                next_hop: first_hop,
+            },
+        );
+        if let Some(p) = net.host_mut(creator).pending.get_mut(&token) {
+            p.params = params.clone();
+            p.plan = plan;
+        }
+        break Some((first_net_id, params, plan));
+    };
+    let Some((first_net, params, plan)) = chosen else {
+        sim.state.net().host_mut(creator).pending.remove(&token);
+        let reason = match admission_detail {
+            Some(detail) => RejectReason::AdmissionDenied { detail },
+            None => RejectReason::NoRoute,
+        };
+        W::rms_event(sim, creator, NetRmsEvent::CreateFailed { token, reason });
+        return;
     };
 
+    let (key, source_route) = {
+        let net = sim.state.net_ref();
+        let p = match net.host(creator).pending.get(&token) {
+            Some(p) => p,
+            None => return,
+        };
+        let c = &p.alternates[p.alt_idx];
+        (
+            p.key,
+            SourceRoute {
+                hops: c.hops.clone(),
+                networks: c.networks.clone(),
+                next: 0,
+            },
+        )
+    };
     let packet = Packet {
         src: creator,
         dst: peer,
@@ -396,6 +480,8 @@ fn start_create_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: C
         hops: 0,
         reliable: true,
         next_plan: Some((plan, key)),
+        source_route: Some(source_route),
+        next_hop: None,
     };
     route_and_enqueue(sim, creator, packet);
     let timer = sim.schedule_timer(timeout, move |sim| {
@@ -415,13 +501,15 @@ fn release_local_and_send_release<W: NetWorld>(
     peer: HostId,
 ) {
     let now = sim.now();
-    {
+    let pin = {
         let net = sim.state.net();
+        let pin = net.host_mut(host).rms_next.remove(&rms);
         if let Some((iface, params)) = net.host_mut(host).reservations.remove(&rms) {
             net.host_mut(host).ifaces[iface].ledger.release(&params);
         }
-    }
-    let packet = Packet {
+        pin
+    };
+    let mut packet = Packet {
         src: host,
         dst: peer,
         kind: PacketKind::Release { rms },
@@ -431,13 +519,30 @@ fn release_local_and_send_release<W: NetWorld>(
         hops: 0,
         reliable: true,
         next_plan: None,
+        source_route: None,
+        next_hop: None,
     };
-    route_and_enqueue(sim, host, packet);
+    // Tear down along the pinned path when we still have it, so the
+    // release follows the reservations it is undoing even after routes
+    // moved elsewhere.
+    match pin {
+        Some(route) => {
+            packet.next_hop = Some(route.next_hop);
+            enqueue_on(sim, host, route.iface, packet);
+        }
+        None => {
+            route_and_enqueue(sim, host, packet);
+        }
+    }
 }
 
 /// Close an RMS from its sender side: releases reservations along the path
 /// and notifies the receiver ([`NetRmsEvent::Closed`] at the peer).
-pub fn close_rms<W: NetWorld>(sim: &mut Sim<W>, host: HostId, rms: NetRmsId) -> Result<(), RmsError> {
+pub fn close_rms<W: NetWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    rms: NetRmsId,
+) -> Result<(), RmsError> {
     let peer = {
         let net = sim.state.net();
         let state = net
@@ -605,6 +710,8 @@ pub fn send_on_rms<W: NetWorld>(
                 hops: 0,
                 reliable: params.reliability == Reliability::Reliable,
                 next_plan: None,
+                source_route: None,
+                next_hop: None,
             };
             route_and_enqueue(sim, host, packet);
         }),
@@ -632,6 +739,8 @@ pub fn send_datagram<W: NetWorld>(
         hops: 0,
         reliable: false,
         next_plan: None,
+        source_route: None,
+        next_hop: None,
     };
     route_and_enqueue(sim, host, packet);
 }
@@ -644,7 +753,12 @@ pub fn send_datagram<W: NetWorld>(
 /// starting the transmitter if idle. Loopback destinations deliver
 /// immediately. Returns `false` if the packet was dropped (no route or
 /// queue overflow).
-pub fn route_and_enqueue<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) -> bool {
+///
+/// Resolution order: a pinned [`SourceRoute`] (creation traffic) wins, then
+/// the per-RMS next-hop pin established at admission time (data and
+/// release follow their reservations), then the host's first-hop table —
+/// recomputed on demand if reconvergence marked it dirty.
+pub fn route_and_enqueue<W: NetWorld>(sim: &mut Sim<W>, host: HostId, mut packet: Packet) -> bool {
     let now = sim.now();
     if !sim.state.net_ref().host(host).up {
         // A crashed host originates and forwards nothing.
@@ -656,15 +770,55 @@ pub fn route_and_enqueue<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Pa
         sim.schedule_in(SimDuration::ZERO, move |sim| on_arrival(sim, host, packet));
         return true;
     }
-    let (accepted, iface_idx, quench) = {
-        let net = sim.state.net();
-        let route = match net.host(host).routes.get(&packet.dst).copied() {
-            Some(r) => r,
-            None => {
-                net.stats.no_route_drops.incr();
-                return false;
+    let route = if let Some(sr) = packet.source_route.as_ref() {
+        let net = sim.state.net_ref();
+        sr.next_network()
+            .and_then(|n| net.host(host).iface_on(n))
+            .zip(sr.next_hop())
+            .map(|(iface, next_hop)| Route { iface, next_hop })
+    } else {
+        let pinned = match &packet.kind {
+            PacketKind::Data(d) => sim.state.net_ref().host(host).rms_next.get(&d.rms).copied(),
+            PacketKind::Release { rms } => {
+                sim.state.net_ref().host(host).rms_next.get(rms).copied()
             }
+            _ => None,
         };
+        pinned.or_else(|| {
+            routing::ensure_host_routes(sim.state.net(), now, host);
+            sim.state
+                .net_ref()
+                .host(host)
+                .routes
+                .get(&packet.dst)
+                .copied()
+        })
+    };
+    let route = match route {
+        Some(r) => r,
+        None => {
+            sim.state.net().stats.no_route_drops.incr();
+            return false;
+        }
+    };
+    // Freeze the next hop now: by the time the transmitter finishes, the
+    // routing table may point somewhere not even on this network.
+    packet.next_hop = Some(route.next_hop);
+    enqueue_on(sim, host, route.iface, packet)
+}
+
+/// Enqueue `packet` on `host`'s interface `iface_idx` (no route lookup —
+/// the caller resolved, pinned, or flooded). Handles stats, observability,
+/// overflow quench, and kicks the transmitter. Returns `false` on overflow.
+pub(crate) fn enqueue_on<W: NetWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    iface_idx: usize,
+    packet: Packet,
+) -> bool {
+    let now = sim.now();
+    let (accepted, quench) = {
+        let net = sim.state.net();
         net.stats.packets_sent.incr();
         let is_raw = matches!(packet.kind, PacketKind::Raw { .. });
         let src = packet.src;
@@ -674,17 +828,17 @@ pub fn route_and_enqueue<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Pa
         };
         let dst = packet.dst;
         let span = packet.span();
-        let ok = net.host_mut(host).ifaces[route.iface].enqueue(now, packet);
+        let ok = net.host_mut(host).ifaces[iface_idx].enqueue(now, packet);
         if net.obs.is_active() {
             net.obs.emit(now, ObsEvent::NetPacketSent { host: host.0 });
             if ok {
-                let iface = &net.host(host).ifaces[route.iface];
+                let iface = &net.host(host).ifaces[iface_idx];
                 let (queued_packets, queued_bytes) = (iface.queued_packets(), iface.queued_bytes());
                 net.obs.emit(
                     now,
                     ObsEvent::IfaceEnqueue {
                         host: host.0,
-                        iface: route.iface,
+                        iface: iface_idx,
                         span,
                         queued_packets,
                         queued_bytes,
@@ -695,18 +849,18 @@ pub fn route_and_enqueue<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Pa
                     now,
                     ObsEvent::IfaceDrop {
                         host: host.0,
-                        iface: route.iface,
+                        iface: iface_idx,
                     },
                 );
             }
         }
         if !ok {
             net.stats.overflow_drops.incr();
-            let quench = (is_raw && net.config.quench_enabled && src != host)
-                .then_some((src, proto, dst));
-            (false, route.iface, quench)
+            let quench =
+                (is_raw && net.config.quench_enabled && src != host).then_some((src, proto, dst));
+            (false, quench)
         } else {
-            (true, route.iface, None)
+            (true, None)
         }
     };
     if let Some((to, proto, dropped_dst)) = quench {
@@ -737,6 +891,8 @@ fn send_quench<W: NetWorld>(
         hops: 0,
         reliable: false,
         next_plan: None,
+        source_route: None,
+        next_hop: None,
     };
     route_and_enqueue(sim, host, packet);
 }
@@ -794,7 +950,9 @@ fn finish_tx<W: NetWorld>(
     // Wire effects.
     let (outcome, next_hop) = {
         let net = sim.state.net();
-        let next_hop = net.host(host).routes.get(&packet.dst).map(|r| r.next_hop);
+        // Frozen at enqueue time: re-resolving from the routing table here
+        // could name a host that is not even attached to this network.
+        let next_hop = packet.next_hop;
         // Record what an eavesdropper on this network sees.
         if let PacketKind::Data(d) = &packet.kind {
             let payload = d.payload.clone();
@@ -851,6 +1009,7 @@ pub fn on_arrival<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
         return;
     }
     match &packet.kind {
+        PacketKind::LinkStateAd { .. } => routing::handle_lsa(sim, host, packet),
         PacketKind::CreateReq { .. } => handle_create_req(sim, host, packet),
         PacketKind::CreateNak { .. } => handle_create_nak(sim, host, packet),
         PacketKind::Release { .. } => handle_release(sim, host, packet),
@@ -883,7 +1042,32 @@ fn forward<W: NetWorld>(sim: &mut Sim<W>, host: HostId, mut packet: Packet) {
         sim.state.net().stats.ttl_drops.incr();
         return;
     }
+    // A source-routed packet arriving here finished the hop it was
+    // traveling; advance the cursor to the next leg.
+    if let Some(sr) = packet.source_route.as_mut() {
+        sr.next += 1;
+    }
     route_and_enqueue(sim, host, packet);
+}
+
+/// Build the reverse of `sr` as seen from the host at `sr.hops[at_index]`
+/// (or, for the receiver endpoint, the final hop): the path back to
+/// `creator` over exactly the networks the request traveled, so ACKs and
+/// NAKs retrace the reservations they confirm or undo.
+fn reverse_route(sr: &SourceRoute, at_index: usize, creator: HostId) -> SourceRoute {
+    let mut hops = Vec::with_capacity(at_index + 1);
+    let mut networks = Vec::with_capacity(at_index + 1);
+    for j in (0..at_index).rev() {
+        hops.push(sr.hops[j]);
+        networks.push(sr.networks[j + 1]);
+    }
+    hops.push(creator);
+    networks.push(sr.networks[0]);
+    SourceRoute {
+        hops,
+        networks,
+        next: 0,
+    }
 }
 
 fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
@@ -899,6 +1083,8 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
         hops,
         reliable,
         next_plan,
+        source_route,
+        next_hop: _,
     } = packet;
     let (token, rms, params, mut path, invite) = match kind {
         PacketKind::CreateReq {
@@ -929,6 +1115,11 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
             sim.state.net().host_mut(host).rms.insert(rms, endpoint);
         }
         let now = sim.now();
+        // Retrace the request's own path so the confirmation cannot be
+        // detoured by a concurrent route change.
+        let back = source_route
+            .as_ref()
+            .map(|sr| reverse_route(sr, sr.next, src));
         let ack = Packet {
             src: host,
             dst: src,
@@ -944,6 +1135,8 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
             hops: 0,
             reliable: true,
             next_plan: None,
+            source_route: back,
+            next_hop: None,
         };
         route_and_enqueue(sim, host, ack);
         if is_new {
@@ -969,11 +1162,31 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
         return;
     }
 
-    // Intermediate hop: reserve on the outbound interface and forward.
+    // Intermediate hop: reserve on the outbound interface named by the
+    // creator's source route (falling back to the local table for legacy
+    // un-routed requests) and forward.
     let now = sim.now();
     let verdict = {
         let net = sim.state.net();
-        match net.host(host).routes.get(&dst).copied() {
+        let next = match source_route.as_ref() {
+            Some(sr) => {
+                // The creator pinned the path; the next leg must exist,
+                // be up, and be reachable from one of our interfaces.
+                let next_idx = sr.next + 1;
+                match (sr.networks.get(next_idx), sr.hops.get(next_idx)) {
+                    (Some(&n), Some(&h)) if !net.network(n).down => net
+                        .host(host)
+                        .iface_on(n)
+                        .map(|iface| Route { iface, next_hop: h }),
+                    _ => None,
+                }
+            }
+            None => {
+                routing::ensure_host_routes(net, now, host);
+                net.host(host).routes.get(&dst).copied()
+            }
+        };
+        match next {
             None => Err(NakReason::NoRoute),
             Some(route) => {
                 let h = net.host_mut(host);
@@ -1004,9 +1217,17 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
     };
     match verdict {
         Ok(route) => {
-            let network = sim.state.net_ref().host(host).ifaces[route.iface].network;
+            let net = sim.state.net();
+            // Pin this stream's forwarding so data and teardown follow the
+            // reservation even after reconvergence moves the table.
+            net.host_mut(host).rms_next.insert(rms, route);
+            let network = net.host(host).ifaces[route.iface].network;
             path.push(network);
             if hops < sim.state.net_ref().config.ttl {
+                let fwd_route = source_route.map(|mut sr| {
+                    sr.next += 1;
+                    sr
+                });
                 let fwd = Packet {
                     src,
                     dst,
@@ -1023,6 +1244,8 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
                     hops: hops + 1,
                     reliable,
                     next_plan: Some((plan, key)),
+                    source_route: fwd_route,
+                    next_hop: None,
                 };
                 route_and_enqueue(sim, host, fwd);
             } else {
@@ -1030,6 +1253,18 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
             }
         }
         Err(reason) => {
+            // Our own partial state must not outlive the refusal: a retry
+            // may have reserved here on an earlier attempt.
+            {
+                let net = sim.state.net();
+                if let Some((iface, params)) = net.host_mut(host).reservations.remove(&rms) {
+                    net.host_mut(host).ifaces[iface].ledger.release(&params);
+                }
+                net.host_mut(host).rms_next.remove(&rms);
+            }
+            let back = source_route
+                .as_ref()
+                .map(|sr| reverse_route(sr, sr.next, src));
             let nak = Packet {
                 src: host,
                 dst: src,
@@ -1045,6 +1280,8 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
                 hops: 0,
                 reliable: true,
                 next_plan: None,
+                source_route: back,
+                next_hop: None,
             };
             route_and_enqueue(sim, host, nak);
         }
@@ -1060,18 +1297,46 @@ fn handle_create_nak<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
         } => (*token, *rms, *reason),
         _ => unreachable!(),
     };
-    // Every hop holding a reservation for this stream releases it.
+    // Every hop holding a reservation for this stream releases it (and
+    // drops its forwarding pin).
     {
         let net = sim.state.net();
         if let Some((iface, params)) = net.host_mut(host).reservations.remove(&rms) {
             net.host_mut(host).ifaces[iface].ledger.release(&params);
         }
+        net.host_mut(host).rms_next.remove(&rms);
     }
     if packet.dst != host {
         forward(sim, host, packet);
         return;
     }
-    // At the creator: report failure.
+    // At the creator: walk to the next alternate if the refusal is the kind
+    // another path might not repeat (admission pressure, a dead hop);
+    // otherwise report failure.
+    let retryable = matches!(reason, NakReason::Admission | NakReason::NoRoute);
+    if retryable {
+        let advanced = {
+            let net = sim.state.net();
+            match net.host_mut(host).pending.get_mut(&token) {
+                Some(p) if p.alt_idx + 1 < p.alternates.len() => {
+                    p.alt_idx += 1;
+                    p.attempts = 0;
+                    let c = &p.alternates[p.alt_idx];
+                    p.params = c.params.clone();
+                    p.plan = c.plan;
+                    if let Some(t) = p.timer.take() {
+                        t.cancel();
+                    }
+                    true
+                }
+                _ => false,
+            }
+        };
+        if advanced {
+            start_create_attempt(sim, host, token);
+            return;
+        }
+    }
     if let Some(p) = sim.state.net().host_mut(host).pending.remove(&token) {
         if let Some(t) = p.timer {
             t.cancel();
@@ -1087,19 +1352,37 @@ fn handle_create_nak<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
     }
 }
 
-fn handle_release<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
+fn handle_release<W: NetWorld>(sim: &mut Sim<W>, host: HostId, mut packet: Packet) {
     let rms = match packet.kind {
         PacketKind::Release { rms } => rms,
         _ => unreachable!(),
     };
-    {
+    // Capture the forwarding pin before tearing down: the release must
+    // chase the reservations along the path they were made on.
+    let pin = {
         let net = sim.state.net();
+        let pin = net.host_mut(host).rms_next.remove(&rms);
         if let Some((iface, params)) = net.host_mut(host).reservations.remove(&rms) {
             net.host_mut(host).ifaces[iface].ledger.release(&params);
         }
-    }
+        pin
+    };
     if packet.dst != host {
-        forward(sim, host, packet);
+        packet.hops += 1;
+        let ttl = sim.state.net_ref().config.ttl;
+        if packet.hops > ttl {
+            sim.state.net().stats.ttl_drops.incr();
+            return;
+        }
+        match pin {
+            Some(route) => {
+                packet.next_hop = Some(route.next_hop);
+                enqueue_on(sim, host, route.iface, packet);
+            }
+            None => {
+                route_and_enqueue(sim, host, packet);
+            }
+        }
         return;
     }
     if sim.state.net().host_mut(host).rms.remove(&rms).is_some() {
@@ -1121,6 +1404,25 @@ fn handle_create_ack<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
     };
     if let Some(t) = pending.timer {
         t.cancel();
+    }
+    // Record when a fallback path (not the shortest candidate) carried the
+    // establishment to completion.
+    if pending
+        .alternates
+        .get(pending.alt_idx)
+        .is_some_and(|c| !c.is_primary)
+    {
+        let now = sim.now();
+        let net = sim.state.net();
+        if net.obs.is_active() {
+            net.obs.emit(
+                now,
+                ObsEvent::RoutingAlternateWin {
+                    host: host.0,
+                    alternate: pending.alt_idx as u32,
+                },
+            );
+        }
     }
     // The plan and key were chosen at request time and carried to the
     // receiver; adopt the same ones here.
@@ -1167,15 +1469,21 @@ fn handle_invite<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
     if already {
         return;
     }
-    let Some(path) = sim.state.net_ref().path(host, inviter) else {
+    // Resolve candidates for the data direction (us -> inviter); a
+    // fresh negotiation per path keeps each alternate's parameters honest.
+    let request = RmsRequest::exact((*params).clone());
+    let Ok(alternates) = routing::candidate_paths(sim.state.net_ref(), host, inviter, &request)
+    else {
+        // No viable path back: let the inviter's own retry/timeout decide.
         return;
     };
-    let caps = combined_capabilities(&sim.state, &path);
-    let (plan, _) = select_mechanisms(&params, &caps);
     let net = sim.state.net();
     let local_token = net.alloc_token();
     let rms = net.alloc_rms_id();
     let key = Key(net.rng.next_u64());
+    let route_gen = net.route_generation;
+    let first = &alternates[0];
+    let (params, plan) = (first.params.clone(), first.plan);
     net.host_mut(host).pending.insert(
         local_token,
         PendingCreate {
@@ -1187,6 +1495,10 @@ fn handle_invite<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet) {
             invite: Some(token),
             plan,
             key,
+            request,
+            alternates,
+            alt_idx: 0,
+            route_gen,
         },
     );
     start_create_attempt(sim, host, local_token);
@@ -1434,6 +1746,11 @@ fn deliver_data<W: NetWorld>(
 /// every RMS whose path traverses it fails with
 /// [`FailReason::NetworkDown`] (§2 property 3: "clients are notified of an
 /// RMS failure").
+///
+/// Reconvergence is event-driven and scoped: tables are only marked dirty
+/// (lazily recomputed at first use) and the hosts that witnessed the
+/// failure — those attached to the dead network — re-flood their link
+/// state so the rest of the internetwork learns the new headroom picture.
 pub fn fail_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
     let now = sim.now();
     let mut failures: Vec<(HostId, NetRmsId)> = Vec::new();
@@ -1454,11 +1771,25 @@ pub fn fail_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
         // `NetHost::rms` is a HashMap: sort so notification order (and thus
         // everything downstream of it) is identical across runs of a seed.
         failures.sort_by_key(|(h, r)| (h.0, r.0));
-        compute_routes(net);
+        routing::mark_routes_dirty(net, now);
         if net.obs.is_active() {
             net.obs
                 .emit(now, ObsEvent::NetworkFailed { network: network.0 });
         }
+    }
+    // Scoped re-flood from the failure's witnesses (`attached` is in build
+    // order, ascending, so flood order is deterministic).
+    let witnesses: Vec<HostId> = {
+        let net = sim.state.net_ref();
+        net.network(network)
+            .attached
+            .iter()
+            .copied()
+            .filter(|h| net.host(*h).up)
+            .collect()
+    };
+    for h in witnesses {
+        routing::flood_from(sim, h);
     }
     for (host, rms) in failures {
         W::rms_event(
@@ -1475,7 +1806,9 @@ pub fn fail_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
 
 /// Restore a failed network. Existing RMSs stay failed (clients must create
 /// new ones, §4.4); new creations will succeed again. Upper layers hear
-/// about the recovery through [`NetWorld::network_event`].
+/// about the recovery through [`NetWorld::network_event`]. Like
+/// [`fail_network`], reconvergence is scoped: dirty tables plus a re-flood
+/// from the restored network's attached hosts.
 pub fn restore_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
     let now = sim.now();
     {
@@ -1484,11 +1817,23 @@ pub fn restore_network<W: NetWorld>(sim: &mut Sim<W>, network: NetworkId) {
             return;
         }
         net.network_mut(network).down = false;
-        compute_routes(net);
+        routing::mark_routes_dirty(net, now);
         if net.obs.is_active() {
             net.obs
                 .emit(now, ObsEvent::NetworkRestored { network: network.0 });
         }
+    }
+    let witnesses: Vec<HostId> = {
+        let net = sim.state.net_ref();
+        net.network(network)
+            .attached
+            .iter()
+            .copied()
+            .filter(|h| net.host(*h).up)
+            .collect()
+    };
+    for h in witnesses {
+        routing::flood_from(sim, h);
     }
     W::network_event(sim, network, true);
 }

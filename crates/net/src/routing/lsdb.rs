@@ -1,0 +1,145 @@
+//! Link-state advertisements and the per-host link-state database.
+//!
+//! Every host periodically (event-driven, not timed: on fault events and
+//! topology changes) floods a [`LinkStateAd`] describing its interfaces:
+//! the attached network, its static delay figures, its capacity, and the
+//! *residual admission headroom* sampled from the interface's
+//! [`rms_core::admission::ResourceLedger`]. Each host accumulates the ads
+//! it has seen in an [`Lsdb`]; sequence numbers make installation
+//! idempotent and flood-safe (a host re-floods a given `(origin, seq)` at
+//! most once), and a generation counter lets dependent computations detect
+//! staleness cheaply.
+
+use std::collections::BTreeMap;
+
+use dash_sim::time::{SimDuration, SimTime};
+
+use crate::ids::{HostId, NetworkId};
+
+/// What one host advertises about one of its interfaces. Entries appear in
+/// interface order, so a link's position in [`LinkStateAd::links`] is the
+/// advertiser's interface index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkInfo {
+    /// The attached network.
+    pub network: NetworkId,
+    /// Whether the network was up when the ad was stamped. Informational:
+    /// path computation reads the *live* availability flags (the simulator
+    /// models instantaneous link-layer failure detection) while the QoS
+    /// attributes below genuinely disseminate by flooding.
+    pub up: bool,
+    /// The network's one-way propagation delay (the `A` of `A + B·size`).
+    pub fixed_delay: SimDuration,
+    /// Serialization delay per byte (the `B` of `A + B·size`).
+    pub per_byte_delay: SimDuration,
+    /// Nominal capacity, bits per second.
+    pub capacity_bps: f64,
+    /// Residual deterministic admission headroom on the advertiser's
+    /// interface, bytes per second (see
+    /// [`rms_core::admission::ResourceLedger::headroom_bps`]).
+    pub headroom_bps: f64,
+    /// Residual buffer headroom on the advertiser's interface, bytes.
+    pub headroom_buffer: u64,
+}
+
+/// A flooded link-state advertisement: one host's view of its own links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkStateAd {
+    /// The advertising host.
+    pub origin: HostId,
+    /// Monotone per-origin sequence number; newer wins, equal is a duplicate.
+    pub seq: u64,
+    /// Simulation time the origin built this ad (drives the reconvergence
+    /// latency metric — never wall-clock).
+    pub stamped_at: SimTime,
+    /// One entry per interface, in interface order.
+    pub links: Vec<LinkInfo>,
+}
+
+/// A host's accumulated link-state database.
+#[derive(Debug, Clone, Default)]
+pub struct Lsdb {
+    entries: BTreeMap<HostId, LinkStateAd>,
+    generation: u64,
+}
+
+impl Lsdb {
+    /// Install `ad` if it is newer than what we hold for its origin.
+    /// Returns `true` (and bumps the generation) iff the database changed —
+    /// the caller's cue to recompute routes and re-flood.
+    pub fn install(&mut self, ad: LinkStateAd) -> bool {
+        match self.entries.get(&ad.origin) {
+            Some(have) if have.seq >= ad.seq => false,
+            _ => {
+                self.entries.insert(ad.origin, ad);
+                self.generation += 1;
+                true
+            }
+        }
+    }
+
+    /// The ad we hold for `origin`, if any.
+    pub fn get(&self, origin: HostId) -> Option<&LinkStateAd> {
+        self.entries.get(&origin)
+    }
+
+    /// All held ads, in ascending origin order (deterministic).
+    pub fn entries(&self) -> impl Iterator<Item = (&HostId, &LinkStateAd)> {
+        self.entries.iter()
+    }
+
+    /// Monotone change counter: bumped on every successful install.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of distinct origins known.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no ads have been installed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ad(origin: u32, seq: u64) -> LinkStateAd {
+        LinkStateAd {
+            origin: HostId(origin),
+            seq,
+            stamped_at: SimTime::ZERO,
+            links: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn newer_sequence_wins_and_bumps_generation() {
+        let mut db = Lsdb::default();
+        assert!(db.install(ad(1, 1)));
+        assert_eq!(db.generation(), 1);
+        // Duplicate and stale ads are rejected without a generation bump.
+        assert!(!db.install(ad(1, 1)));
+        assert!(!db.install(ad(1, 0)));
+        assert_eq!(db.generation(), 1);
+        assert!(db.install(ad(1, 2)));
+        assert_eq!(db.generation(), 2);
+        assert_eq!(db.get(HostId(1)).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn entries_iterate_in_origin_order() {
+        let mut db = Lsdb::default();
+        db.install(ad(3, 1));
+        db.install(ad(0, 1));
+        db.install(ad(2, 1));
+        let origins: Vec<u32> = db.entries().map(|(h, _)| h.0).collect();
+        assert_eq!(origins, vec![0, 2, 3]);
+        assert_eq!(db.len(), 3);
+        assert!(!db.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic route computation over a link-state database.
+//!
+//! Two computations share the LSDB's adjacency view:
+//!
+//! - [`primary_routes`]: shortest-hop first-hop table by BFS, reproducing
+//!   the determinism rules of the original build-time computation exactly
+//!   (neighbour lists sorted `(peer, iface)`, first visit wins) — this is
+//!   what datagrams and non-pinned traffic follow.
+//! - [`k_paths`]: up to `k` loop-free alternate paths by a best-first
+//!   search ordered by `(length, hop sequence, network sequence)` — the
+//!   ISSUE's "path length, then lowest HostId sequence" tie-break — used by
+//!   RMS establishment to walk admission-aware alternates.
+//!
+//! Topology (who is attached to what) comes from the LSDB; *availability*
+//! (network down, host crashed) is read from the live state, modelling
+//! instantaneous link-layer failure detection, while the QoS attributes
+//! carried in the ads (headroom, delay, capacity) are only as fresh as the
+//! last flood that reached the computing host.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use rms_core::hash::DetHashMap;
+
+use super::lsdb::Lsdb;
+use crate::ids::{HostId, NetworkId};
+use crate::state::{NetState, Route};
+
+/// Maximum number of alternate paths computed per destination.
+pub const K_ALTERNATES: usize = 3;
+
+/// Safety valve on the best-first search: total partial paths popped.
+const EXPANSION_CAP: usize = 20_000;
+
+/// A loop-free candidate path produced by [`k_paths`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AltPath {
+    /// Hops after the source, ending with the destination.
+    pub hops: Vec<HostId>,
+    /// `networks[i]` carries the packet to `hops[i]`; same length as `hops`.
+    pub networks: Vec<NetworkId>,
+    /// The smallest advertised deterministic admission headroom along the
+    /// path, bytes per second (stale by up to one flood interval).
+    pub min_headroom_bps: f64,
+}
+
+/// Per-network attachment lists derived from the LSDB. Origins iterate in
+/// ascending order, so each list is ascending by host id.
+fn attachment_map(lsdb: &Lsdb) -> BTreeMap<NetworkId, Vec<HostId>> {
+    let mut map: BTreeMap<NetworkId, Vec<HostId>> = BTreeMap::new();
+    for (origin, ad) in lsdb.entries() {
+        for link in &ad.links {
+            map.entry(link.network).or_default().push(*origin);
+        }
+    }
+    map
+}
+
+/// Shortest-hop first-hop table from `src`, computed over `src`'s LSDB.
+///
+/// Determinism contract: identical to the original global BFS — neighbour
+/// lists are `(peer, iface)`-sorted, ties resolve to the first visit, down
+/// networks contribute no edges, and crashed hosts are reachable but never
+/// expanded as transit.
+pub fn primary_routes(state: &NetState, src: HostId) -> DetHashMap<HostId, Route> {
+    let lsdb = &state.host(src).lsdb;
+    let attached = attachment_map(lsdb);
+    let n_hosts = state.hosts.len();
+    // neighbours[h] = [(neighbour, iface index of h used to reach it)]
+    let mut neighbours: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_hosts];
+    for (origin, ad) in lsdb.entries() {
+        let h = origin.0 as usize;
+        if h >= n_hosts {
+            continue;
+        }
+        for (idx, link) in ad.links.iter().enumerate() {
+            if state.network(link.network).down {
+                continue;
+            }
+            if let Some(peers) = attached.get(&link.network) {
+                for peer in peers {
+                    if peer.0 as usize != h {
+                        neighbours[h].push((peer.0 as usize, idx));
+                    }
+                }
+            }
+        }
+        // Deterministic exploration order.
+        neighbours[h].sort_unstable();
+    }
+    let src = src.0 as usize;
+    let mut first_hop: Vec<Option<(usize, usize)>> = vec![None; n_hosts]; // (next, iface)
+    let mut visited = vec![false; n_hosts];
+    let mut queue = VecDeque::new();
+    visited[src] = true;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        // Crashed hosts do not forward (or originate): reachable as a
+        // destination, but never expanded.
+        if !state.hosts[u].up {
+            continue;
+        }
+        for &(v, iface) in &neighbours[u] {
+            if !visited[v] {
+                visited[v] = true;
+                first_hop[v] = if u == src {
+                    Some((v, iface))
+                } else {
+                    first_hop[u]
+                };
+                queue.push_back(v);
+            }
+        }
+    }
+    first_hop
+        .iter()
+        .enumerate()
+        .filter_map(|(dst, hop)| {
+            hop.map(|(next, iface)| {
+                (
+                    HostId(dst as u32),
+                    Route {
+                        iface,
+                        next_hop: HostId(next as u32),
+                    },
+                )
+            })
+        })
+        .collect()
+}
+
+/// Up to `k` loop-free paths from `src` to `dst`, best-first in
+/// `(length, hops, networks)` order so the result sequence is byte-stable
+/// across runs. Returns an empty vector when `dst` is unreachable.
+pub fn k_paths(state: &NetState, src: HostId, dst: HostId, k: usize) -> Vec<AltPath> {
+    if src == dst || k == 0 {
+        return Vec::new();
+    }
+    let lsdb = &state.host(src).lsdb;
+    let attached = attachment_map(lsdb);
+    let ttl = state.config.ttl as usize;
+    // Min-heap on (len, hops, networks): BinaryHeap is a max-heap, so the
+    // key is wrapped in `Reverse`.
+    type Frontier = (usize, Vec<HostId>, Vec<NetworkId>);
+    let mut heap: BinaryHeap<Reverse<Frontier>> = BinaryHeap::new();
+    heap.push(Reverse((0, Vec::new(), Vec::new())));
+    let mut visits: DetHashMap<HostId, usize> = DetHashMap::default();
+    let mut out = Vec::new();
+    let mut pops = 0usize;
+    while let Some(Reverse((len, hops, networks))) = heap.pop() {
+        pops += 1;
+        if pops > EXPANSION_CAP {
+            break;
+        }
+        let tail = hops.last().copied().unwrap_or(src);
+        if tail == dst {
+            out.push(make_alt(lsdb, src, hops, networks));
+            if out.len() >= k {
+                break;
+            }
+            continue;
+        }
+        // Classic k-shortest pruning: expand each node at most k times.
+        let seen = visits.entry(tail).or_insert(0);
+        if *seen >= k {
+            continue;
+        }
+        *seen += 1;
+        if len >= ttl {
+            continue;
+        }
+        // Crashed hosts can terminate a path but never transit one.
+        if tail != src && !state.host(tail).up {
+            continue;
+        }
+        let Some(ad) = lsdb.get(tail) else { continue };
+        for link in &ad.links {
+            if state.network(link.network).down {
+                continue;
+            }
+            let Some(peers) = attached.get(&link.network) else {
+                continue;
+            };
+            for &peer in peers {
+                if peer == tail || peer == src || hops.contains(&peer) {
+                    continue;
+                }
+                if peer != dst && !state.host(peer).up {
+                    continue;
+                }
+                let mut next_hops = hops.clone();
+                next_hops.push(peer);
+                let mut next_nets = networks.clone();
+                next_nets.push(link.network);
+                heap.push(Reverse((len + 1, next_hops, next_nets)));
+            }
+        }
+    }
+    out
+}
+
+fn make_alt(lsdb: &Lsdb, src: HostId, hops: Vec<HostId>, networks: Vec<NetworkId>) -> AltPath {
+    let mut min_headroom = f64::INFINITY;
+    let mut from = src;
+    for (i, n) in networks.iter().enumerate() {
+        if let Some(link) = lsdb
+            .get(from)
+            .and_then(|ad| ad.links.iter().find(|l| l.network == *n))
+        {
+            min_headroom = min_headroom.min(link.headroom_bps);
+        }
+        from = hops[i];
+    }
+    AltPath {
+        hops,
+        networks,
+        min_headroom_bps: if min_headroom.is_finite() {
+            min_headroom
+        } else {
+            0.0
+        },
+    }
+}

@@ -16,6 +16,7 @@ use dash_sim::rng::Rng;
 use dash_sim::stats::Counter;
 use dash_sim::time::{SimDuration, SimTime};
 use dash_sim::trace::Trace;
+use rms_core::compat::RmsRequest;
 use rms_core::error::{FailReason, RejectReason};
 use rms_core::message::Message;
 use rms_core::params::SharedParams;
@@ -25,10 +26,11 @@ use dash_security::cipher::Key;
 use dash_security::cost::CostModel;
 use dash_security::suite::MechanismPlan;
 
-use crate::iface::{Iface, QueueDiscipline};
 use crate::ids::{CreateToken, HostId, NetRmsId, NetworkId};
+use crate::iface::{Iface, QueueDiscipline};
 use crate::network::Network;
 use crate::rms::NetRms;
+use crate::routing::{CandidatePath, Lsdb};
 
 /// Global configuration of the network layer.
 #[derive(Debug, Clone)]
@@ -56,10 +58,7 @@ impl Default for NetConfig {
             create_retries: 3,
             discipline: QueueDiscipline::Deadline,
             ttl: 16,
-            per_packet_cpu: CostModel::new(
-                SimDuration::from_micros(5),
-                SimDuration::from_nanos(1),
-            ),
+            per_packet_cpu: CostModel::new(SimDuration::from_micros(5), SimDuration::from_nanos(1)),
             quench_enabled: true,
         }
     }
@@ -112,6 +111,16 @@ pub struct PendingCreate {
     pub plan: MechanismPlan,
     /// Stream key the receiver was given on the request.
     pub key: Key,
+    /// The original request, kept so a retry can re-resolve candidate
+    /// paths after a fault-driven reconvergence.
+    pub request: RmsRequest,
+    /// Ordered alternate paths resolved by the routing subsystem.
+    pub alternates: Vec<CandidatePath>,
+    /// Index of the alternate currently being attempted.
+    pub alt_idx: usize,
+    /// [`NetState::route_generation`] at resolution time: a mismatch on
+    /// retry means the topology changed and the alternates are stale.
+    pub route_gen: u64,
 }
 
 /// An invite (receiver-side create) awaiting the peer's sender-side create.
@@ -134,8 +143,22 @@ pub struct NetHost {
     pub id: HostId,
     /// Attached interfaces.
     pub ifaces: Vec<Iface>,
-    /// Static routes: destination → (interface, next hop).
+    /// First-hop routes: destination → (interface, next hop). Recomputed
+    /// from the LSDB whenever `routes_dirty_since` is set (see
+    /// [`crate::routing::ensure_host_routes`]).
     pub routes: DetHashMap<HostId, Route>,
+    /// This host's link-state database (one ad per known origin).
+    pub lsdb: Lsdb,
+    /// Sequence number of the last link-state ad this host originated.
+    pub lsa_seq: u64,
+    /// When set, `routes` may no longer reflect the LSDB / availability
+    /// flags; the value is the earliest trigger time (used to measure
+    /// reconvergence latency when the table is lazily rebuilt).
+    pub routes_dirty_since: Option<SimTime>,
+    /// Pinned next hops for RMSs established through this host: data and
+    /// teardown follow the path admission actually reserved, not whatever
+    /// the current table says.
+    pub rms_next: DetHashMap<NetRmsId, Route>,
     /// Live RMS endpoints (both roles).
     pub rms: DetHashMap<NetRmsId, NetRms>,
     /// Reservations held at this host for streams passing through it:
@@ -183,6 +206,10 @@ pub struct NetState {
     /// hosts is silently dropped on every network hop. Keys are normalized
     /// `(min, max)` id pairs; a `BTreeSet` keeps iteration deterministic.
     pub partitions: std::collections::BTreeSet<(u32, u32)>,
+    /// Bumped by every fault-driven reconvergence
+    /// ([`crate::routing::mark_routes_dirty`]); pending creation attempts
+    /// compare against it to detect stale candidate paths.
+    pub route_generation: u64,
     next_rms: u64,
     next_token: u64,
 }
@@ -200,6 +227,7 @@ impl NetState {
             obs: Obs::new(),
             stats: NetStats::default(),
             partitions: std::collections::BTreeSet::new(),
+            route_generation: 0,
             next_rms: 1,
             next_token: 1,
         }
@@ -280,12 +308,26 @@ impl NetState {
 
     /// The hop-by-hop path from `src` to `dst` as `(hop host, iface index,
     /// network, next hop)` tuples, or `None` if unroutable.
-    pub fn path(&self, src: HostId, dst: HostId) -> Option<Vec<(HostId, usize, NetworkId, HostId)>> {
+    ///
+    /// Stale-safe: a hop whose table was marked dirty by the routing layer
+    /// is consulted through an ad-hoc recomputation (not cached — this
+    /// method takes `&self`), so callers holding only shared access (e.g.
+    /// ST negotiation) always see reconverged routes.
+    pub fn path(
+        &self,
+        src: HostId,
+        dst: HostId,
+    ) -> Option<Vec<(HostId, usize, NetworkId, HostId)>> {
         let mut here = src;
         let mut out = Vec::new();
         let mut hops = 0;
         while here != dst {
-            let route = *self.host(here).routes.get(&dst)?;
+            let host = self.host(here);
+            let route = if host.routes_dirty_since.is_some() {
+                *crate::routing::primary_routes(self, here).get(&dst)?
+            } else {
+                *host.routes.get(&dst)?
+            };
             let network = self.host(here).ifaces[route.iface].network;
             out.push((here, route.iface, network, route.next_hop));
             here = route.next_hop;
@@ -446,7 +488,11 @@ pub fn fifo_charge_cpu<W: NetWorld>(
 ) {
     let now = sim.now();
     let h = sim.state.net().host_mut(host);
-    let start = if h.cpu_free_at > now { h.cpu_free_at } else { now };
+    let start = if h.cpu_free_at > now {
+        h.cpu_free_at
+    } else {
+        now
+    };
     let finish = start.saturating_add(cost);
     h.cpu_free_at = finish;
     if finish <= now {

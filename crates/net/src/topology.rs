@@ -3,20 +3,18 @@
 //!
 //! An internetwork is a bipartite graph of hosts and networks; a host
 //! attached to two networks is a gateway that store-and-forwards with
-//! deadline queueing (§2.5). Routes are computed once at build time by BFS
-//! (fewest hops; ties broken toward lower-numbered neighbours for
-//! determinism).
-
-use std::collections::VecDeque;
-
-use rms_core::hash::DetHashMap;
+//! deadline queueing (§2.5). At build time every host's link-state
+//! database is seeded and its first-hop table computed by the routing
+//! subsystem's deterministic BFS (fewest hops; ties broken toward
+//! lower-numbered neighbours); thereafter [`crate::routing`] keeps tables
+//! converged event-drivenly.
 
 use rms_core::admission::ResourceLedger;
 
-use crate::iface::Iface;
 use crate::ids::{HostId, NetworkId};
+use crate::iface::Iface;
 use crate::network::{Network, NetworkSpec};
-use crate::state::{NetConfig, NetHost, NetState, Route};
+use crate::state::{NetConfig, NetHost, NetState};
 
 /// Builder for a [`NetState`] (C-BUILDER).
 #[derive(Debug, Default)]
@@ -128,6 +126,10 @@ impl TopologyBuilder {
                 id,
                 ifaces,
                 routes: Default::default(),
+                lsdb: Default::default(),
+                lsa_seq: 0,
+                routes_dirty_since: None,
+                rms_next: Default::default(),
                 rms: Default::default(),
                 reservations: Default::default(),
                 pending: Default::default(),
@@ -141,73 +143,23 @@ impl TopologyBuilder {
     }
 }
 
-/// (Re)compute all-pairs shortest-hop routes.
+/// (Re)compute all-pairs shortest-hop routes: seed every LSDB with a fresh
+/// ad from every host, then rebuild each host's first-hop table eagerly.
 ///
 /// Fault-aware: down networks carry no edges, and crashed hosts are never
 /// used as transit (they can still be a destination — packets addressed to
-/// them die on arrival instead). Called again by
-/// [`crate::pipeline::fail_network`] / [`crate::pipeline::restore_network`]
-/// so later creates route around dead media.
+/// them die on arrival instead). This is the build-time (and full-rebuild)
+/// path; live fault events use the scoped, event-driven reconvergence of
+/// [`crate::routing`] instead.
 pub fn compute_routes(state: &mut NetState) {
-    let n_hosts = state.hosts.len();
-    // neighbours[h] = [(neighbour, iface index of h used to reach it)]
-    let mut neighbours: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_hosts];
-    for (h, host) in state.hosts.iter().enumerate() {
-        for (idx, iface) in host.ifaces.iter().enumerate() {
-            let network = &state.networks[iface.network.0 as usize];
-            if network.down {
-                continue;
-            }
-            for peer in &network.attached {
-                if peer.0 as usize != h {
-                    neighbours[h].push((peer.0 as usize, idx));
-                }
-            }
-        }
-        // Deterministic exploration order.
-        neighbours[h].sort();
-    }
-    for src in 0..n_hosts {
-        // BFS from src, recording for each destination the first hop.
-        let mut first_hop: Vec<Option<(usize, usize)>> = vec![None; n_hosts]; // (next, iface)
-        let mut visited = vec![false; n_hosts];
-        let mut queue = VecDeque::new();
-        visited[src] = true;
-        queue.push_back(src);
-        while let Some(u) = queue.pop_front() {
-            // Crashed hosts do not forward (or originate): reachable as a
-            // destination, but never expanded.
-            if !state.hosts[u].up {
-                continue;
-            }
-            for &(v, iface) in &neighbours[u] {
-                if !visited[v] {
-                    visited[v] = true;
-                    first_hop[v] = if u == src {
-                        Some((v, iface))
-                    } else {
-                        first_hop[u]
-                    };
-                    queue.push_back(v);
-                }
-            }
-        }
-        let routes: DetHashMap<HostId, Route> = first_hop
-            .iter()
-            .enumerate()
-            .filter_map(|(dst, hop)| {
-                hop.map(|(next, iface)| {
-                    (
-                        HostId(dst as u32),
-                        Route {
-                            iface,
-                            next_hop: HostId(next as u32),
-                        },
-                    )
-                })
-            })
-            .collect();
-        state.hosts[src].routes = routes;
+    crate::routing::seed_lsdbs(state);
+    state.route_generation += 1;
+    for h in 0..state.hosts.len() {
+        let id = HostId(h as u32);
+        let routes = crate::routing::primary_routes(state, id);
+        let host = &mut state.hosts[h];
+        host.routes = routes;
+        host.routes_dirty_since = None;
     }
 }
 

@@ -193,7 +193,10 @@ fn control_packets_exempt_from_overflow_under_datagram_flood() {
     let drops = sim.state.net.host(a).ifaces[0].stats.overflow_drops.get();
     assert!(drops > 0, "flood must overflow the data queue");
     assert!(
-        sim.state.created.iter().any(|(h, t, _)| *h == a && *t == token),
+        sim.state
+            .created
+            .iter()
+            .any(|(h, t, _)| *h == a && *t == token),
         "handshake must complete despite the flooded queue: {:?}",
         sim.state.create_failed
     );
@@ -203,13 +206,13 @@ fn control_packets_exempt_from_overflow_under_datagram_flood() {
 fn partition_blocks_traffic_until_healed() {
     let (net, a, b) = two_hosts_ethernet();
     let mut sim = Sim::new(World::new(net));
-    apply_fault(
-        &mut sim,
-        &FaultKind::Partition { a: a.0, b: b.0 },
-    );
+    apply_fault(&mut sim, &FaultKind::Partition { a: a.0, b: b.0 });
     send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"blocked"));
     sim.run();
-    assert!(sim.state.datagrams.is_empty(), "partition must drop traffic");
+    assert!(
+        sim.state.datagrams.is_empty(),
+        "partition must drop traffic"
+    );
 
     apply_fault(&mut sim, &FaultKind::HealPartition { a: a.0, b: b.0 });
     send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"through"));
@@ -228,18 +231,15 @@ fn burst_loss_model_overrides_wire_and_clears() {
     let mut sim = Sim::new(World::new(net));
     // A channel that loses everything in either state.
     let model = GilbertElliott::new(1.0, 0.0, 1.0, 1.0);
-    apply_fault(
-        &mut sim,
-        &FaultKind::BurstLossStart {
-            network: 0,
-            model,
-        },
-    );
+    apply_fault(&mut sim, &FaultKind::BurstLossStart { network: 0, model });
     for _ in 0..5 {
         send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"x"));
     }
     sim.run();
-    assert!(sim.state.datagrams.is_empty(), "burst-bad channel loses all");
+    assert!(
+        sim.state.datagrams.is_empty(),
+        "burst-bad channel loses all"
+    );
 
     apply_fault(&mut sim, &FaultKind::BurstLossEnd { network: 0 });
     send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"y"));
@@ -315,6 +315,64 @@ fn crashed_host_is_not_used_as_transit() {
     );
     restart_host(&mut sim, g);
     assert!(sim.state.net.path(a, b).is_some());
+}
+
+/// A dumbbell with a disjoint backup path: `a` and `b` sit on fast LANs
+/// joined by two parallel WAN gateway pairs. Returns
+/// `(state, a, b, primary_wan, backup_wan)`.
+fn dumbbell_with_backup() -> (NetState, HostId, HostId, NetworkId, NetworkId) {
+    let mut builder = TopologyBuilder::new();
+    let lan_a = builder.network(NetworkSpec::fast_lan("lan-a"));
+    let wan_p = builder.network(NetworkSpec::long_haul("wan-primary"));
+    let wan_b = builder.network(NetworkSpec::long_haul("wan-backup"));
+    let lan_b = builder.network(NetworkSpec::fast_lan("lan-b"));
+    let a = builder.host_on(lan_a);
+    let _g1 = builder.gateway(lan_a, wan_p); // primary pair: lower ids win ties
+    let _g2 = builder.gateway(wan_p, lan_b);
+    let _g3 = builder.gateway(lan_a, wan_b);
+    let _g4 = builder.gateway(wan_b, lan_b);
+    let b = builder.host_on(lan_b);
+    (builder.build(), a, b, wan_p, wan_b)
+}
+
+#[test]
+fn stale_route_retry_reroutes_over_backup_path() {
+    // Regression: a create whose first attempt was swallowed by a network
+    // death used to have its retry timer consult the (now stale) route it
+    // captured at create time and fail with NoRoute. The retry must notice
+    // the route-generation bump, re-resolve its candidates, and establish
+    // over the surviving backup path.
+    let (net, a, b, wan_p, _wan_b) = dumbbell_with_backup();
+    let mut sim = Sim::new(World::new(net));
+    let token = create_rms(&mut sim, a, b, &RmsRequest::exact(basic_params())).unwrap();
+
+    // The first CreateReq needs ~30 ms of WAN propagation; kill the
+    // primary WAN while the handshake is crossing it.
+    sim.run_until(sim.now().saturating_add(SimDuration::from_millis(5)));
+    fail_network(&mut sim, wan_p);
+    sim.run();
+
+    assert!(
+        sim.state
+            .created
+            .iter()
+            .any(|(h, t, _)| *h == a && *t == token),
+        "retry must re-route over the backup WAN: {:?}",
+        sim.state.create_failed
+    );
+    assert!(
+        sim.state.create_failed.is_empty(),
+        "no NoRoute from the stale retry: {:?}",
+        sim.state.create_failed
+    );
+    // Reconvergence is lazy: tables rebuild at first use. Table-routed
+    // traffic (a datagram) forces the rebuild and lands on the backup.
+    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"rerouted"));
+    sim.run();
+    assert_eq!(sim.state.datagrams.len(), 1);
+    let reg = &mut sim.state.net.obs.registry;
+    assert!(reg.counter("routing.floods").get() > 0, "scoped re-flood");
+    assert!(reg.counter("routing.recompute").get() > 0, "lazy recompute");
 }
 
 #[test]

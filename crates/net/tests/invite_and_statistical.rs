@@ -81,8 +81,14 @@ fn receiver_side_invite_creates_a_working_stream() {
     let params = RmsParams::builder(32 * 1024, 1024).build().unwrap();
     create_rms_as_receiver(&mut sim, b, a, &RmsRequest::exact(params)).unwrap();
     sim.run();
-    assert_eq!(sim.state.ev.inbound_with_invite, 1, "b's endpoint answers the invite");
-    assert_eq!(sim.state.ev.sender_by_invite, 1, "a owns a sender it did not request");
+    assert_eq!(
+        sim.state.ev.inbound_with_invite, 1,
+        "b's endpoint answers the invite"
+    );
+    assert_eq!(
+        sim.state.ev.sender_by_invite, 1,
+        "a owns a sender it did not request"
+    );
     // a's new sender endpoint can carry traffic to b.
     let rms = *sim
         .state

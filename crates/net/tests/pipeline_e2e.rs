@@ -144,7 +144,10 @@ fn oversized_message_is_rejected() {
     let err = send_on_rms(&mut sim, a, rms, Message::zeroes(2000), None, None).unwrap_err();
     assert!(matches!(
         err,
-        rms_core::RmsError::MessageTooLarge { size: 2000, limit: 1024 }
+        rms_core::RmsError::MessageTooLarge {
+            size: 2000,
+            limit: 1024
+        }
     ));
 }
 
@@ -191,12 +194,17 @@ fn deterministic_admission_exhausts_and_releases() {
     // Third is denied at the creator's own interface.
     let t3 = create_rms(&mut sim, a, b, &RmsRequest::exact(params.clone())).unwrap();
     settle(&mut sim);
-    let failed = sim
-        .state
-        .events
-        .iter()
-        .any(|(h, e)| *h == a && e.contains("CreateFailed") && e.contains(&format!("{t3:?}").replace("CreateToken", "")) || e.contains("AdmissionDenied"));
-    assert!(failed, "third stream should be denied: {:?}", sim.state.events);
+    let failed = sim.state.events.iter().any(|(h, e)| {
+        *h == a
+            && e.contains("CreateFailed")
+            && e.contains(&format!("{t3:?}").replace("CreateToken", ""))
+            || e.contains("AdmissionDenied")
+    });
+    assert!(
+        failed,
+        "third stream should be denied: {:?}",
+        sim.state.events
+    );
     // Closing one frees capacity for a new stream.
     close_rms(&mut sim, a, r1).unwrap();
     settle(&mut sim);
@@ -271,11 +279,9 @@ fn receiver_side_creation_via_invite() {
     let token = create_rms_as_receiver(&mut sim, b, a, &RmsRequest::exact(basic_params())).unwrap();
     settle(&mut sim);
     // b got an inbound endpoint answering the invite.
-    assert!(sim
-        .state
-        .events
-        .iter()
-        .any(|(h, e)| *h == b && e.contains("InboundCreated") && e.contains(&format!("{token:?}"))));
+    assert!(sim.state.events.iter().any(|(h, e)| *h == b
+        && e.contains("InboundCreated")
+        && e.contains(&format!("{token:?}"))));
     // a got a sender endpoint by invite.
     assert!(sim
         .state
@@ -469,8 +475,15 @@ fn corruption_detected_when_error_rate_needs_checksum() {
         .unwrap();
     let rms = establish(&mut sim, a, c, params);
     for i in 0..300u32 {
-        send_on_rms(&mut sim, a, rms, Message::new(vec![(i % 256) as u8; 500]), None, None)
-            .unwrap();
+        send_on_rms(
+            &mut sim,
+            a,
+            rms,
+            Message::new(vec![(i % 256) as u8; 500]),
+            None,
+            None,
+        )
+        .unwrap();
     }
     sim.run();
     let stats = &sim.state.net.host(c).rms[&rms].stats;
@@ -505,11 +518,22 @@ fn corruption_delivered_when_client_tolerates_errors() {
         .unwrap();
     let rms = establish(&mut sim, a, c, params);
     for _ in 0..300 {
-        send_on_rms(&mut sim, a, rms, Message::new(vec![0xAAu8; 500]), None, None).unwrap();
+        send_on_rms(
+            &mut sim,
+            a,
+            rms,
+            Message::new(vec![0xAAu8; 500]),
+            None,
+            None,
+        )
+        .unwrap();
     }
     sim.run();
     let stats = &sim.state.net.host(c).rms[&rms].stats;
-    assert!(stats.corrupt_delivered.get() > 0, "no checksum -> corrupt bytes delivered");
+    assert!(
+        stats.corrupt_delivered.get() > 0,
+        "no checksum -> corrupt bytes delivered"
+    );
     assert_eq!(stats.corrupt_dropped.get(), 0);
 }
 

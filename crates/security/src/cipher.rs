@@ -38,7 +38,10 @@ fn keystream_byte(state: &mut u64) -> u8 {
 /// original bytes ([`decrypt`] is an alias).
 pub fn encrypt(key: Key, nonce: u64, data: &[u8]) -> Bytes {
     let mut state = key.derive(nonce).0;
-    let out: Vec<u8> = data.iter().map(|&b| b ^ keystream_byte(&mut state)).collect();
+    let out: Vec<u8> = data
+        .iter()
+        .map(|&b| b ^ keystream_byte(&mut state))
+        .collect();
     Bytes::from(out)
 }
 

@@ -90,7 +90,10 @@ impl MechanismPlan {
 /// Choose the cheapest software mechanisms that realize `params` over a
 /// network with `caps` (§2.5). Also returns the *effective* bit error rate
 /// the combination can guarantee.
-pub fn select_mechanisms(params: &RmsParams, caps: &NetworkCapabilities) -> (MechanismPlan, BitErrorRate) {
+pub fn select_mechanisms(
+    params: &RmsParams,
+    caps: &NetworkCapabilities,
+) -> (MechanismPlan, BitErrorRate) {
     let mut plan = MechanismPlan::NONE;
 
     // Privacy (§2.5 cases 1–3).

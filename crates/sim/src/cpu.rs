@@ -284,13 +284,7 @@ mod tests {
         })
     }
 
-    fn job(
-        tag: u32,
-        deadline_ms: u64,
-        priority: u8,
-        stream: u64,
-        cost_us: u64,
-    ) -> Job<World> {
+    fn job(tag: u32, deadline_ms: u64, priority: u8, stream: u64, cost_us: u64) -> Job<World> {
         Job {
             deadline: SimTime::from_nanos(deadline_ms * 1_000_000),
             priority,

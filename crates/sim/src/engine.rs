@@ -12,7 +12,7 @@
 //! `Copy` keys (time, submission seq, slot, generation) instead of the
 //! boxed closures themselves, so heap sift operations move 24-byte
 //! entries rather than fat owner structs. Cancellation goes through a
-//! shared, non-generic [`CancelBoard`]: a [`TimerHandle`] marks its slot
+//! shared, non-generic `CancelBoard`: a [`TimerHandle`] marks its slot
 //! dirty without needing `&mut Sim`, and the engine drains dirty slots at
 //! the next scheduling boundary — dropping the cancelled closure (and
 //! whatever it captured) eagerly instead of carrying a tombstone until its

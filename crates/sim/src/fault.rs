@@ -451,9 +451,17 @@ mod tests {
             .events
             .iter()
             .rev()
-            .find(|e| matches!(e.kind, FaultKind::NetworkDown { .. } | FaultKind::NetworkUp { .. }))
+            .find(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::NetworkDown { .. } | FaultKind::NetworkUp { .. }
+                )
+            })
             .unwrap();
-        assert!(matches!(last_state_change.kind, FaultKind::NetworkUp { network: 3 }));
+        assert!(matches!(
+            last_state_change.kind,
+            FaultKind::NetworkUp { network: 3 }
+        ));
         // Sorted by time.
         assert!(plan.events.windows(2).all(|w| w[0].at <= w[1].at));
     }

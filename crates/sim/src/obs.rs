@@ -453,12 +453,37 @@ pub enum ObsEvent {
         /// `fault.recovery_latency` histogram).
         latency_s: f64,
     },
+    /// A host originated a link-state flood (routing subsystem): its
+    /// interfaces' delay/capacity/headroom advertisement starts spreading.
+    RoutingFlood {
+        /// The originating host.
+        origin: u32,
+        /// The advertisement's sequence number at the origin.
+        seq: u64,
+    },
+    /// A host recomputed its route table from its link-state database.
+    RoutingRecompute {
+        /// The recomputing host.
+        host: u32,
+        /// Seconds from the triggering change (fault or advertisement
+        /// origination) to this recompute, in simulated time (also recorded
+        /// in the `routing.recompute_latency` histogram).
+        latency_s: f64,
+    },
+    /// An RMS was established over a non-primary alternate path (the
+    /// shortest path refused it, a fallback admitted it).
+    RoutingAlternateWin {
+        /// The creating host.
+        host: u32,
+        /// Index of the winning candidate in the creator's alternate list.
+        alternate: u32,
+    },
 }
 
 /// Every distinct event counter name, indexed by [`ObsEvent::fast_index`].
 /// The registry keeps these counts in a plain array so the per-event fast
 /// path is an indexed increment — no map lookup, no allocation.
-pub const EVENT_NAMES: [&str; 38] = [
+pub const EVENT_NAMES: [&str; 41] = [
     "net.admission_admitted",
     "net.admission_rejected",
     "net.iface_enqueue",
@@ -497,6 +522,9 @@ pub const EVENT_NAMES: [&str; 38] = [
     "net.host_restarted",
     "st.failover_started",
     "st.failover_completed",
+    "routing.floods",
+    "routing.recompute",
+    "routing.alternate_wins",
 ];
 
 impl ObsEvent {
@@ -505,7 +533,9 @@ impl ObsEvent {
     pub fn fast_index(&self) -> usize {
         match self {
             ObsEvent::AdmissionDecision { admitted: true, .. } => 0,
-            ObsEvent::AdmissionDecision { admitted: false, .. } => 1,
+            ObsEvent::AdmissionDecision {
+                admitted: false, ..
+            } => 1,
             ObsEvent::IfaceEnqueue { .. } => 2,
             ObsEvent::IfaceDequeue { .. } => 3,
             ObsEvent::IfaceDrop { .. } => 4,
@@ -542,6 +572,9 @@ impl ObsEvent {
             ObsEvent::HostRestarted { .. } => 35,
             ObsEvent::FailoverStarted { .. } => 36,
             ObsEvent::FailoverCompleted { .. } => 37,
+            ObsEvent::RoutingFlood { .. } => 38,
+            ObsEvent::RoutingRecompute { .. } => 39,
+            ObsEvent::RoutingAlternateWin { .. } => 40,
         }
     }
 
@@ -604,7 +637,7 @@ const D_FAILOVER_STREAMS: usize = 12;
 /// Histograms fed from the event/span hot paths, slot-indexed. The
 /// `span.stage.*` block is laid out in [`Stage`] declaration order so a
 /// stage's slot is `H_STAGE_BASE + stage as usize`.
-const FAST_HIST_NAMES: [&str; 12] = [
+const FAST_HIST_NAMES: [&str; 13] = [
     "net.iface_queue_depth",
     "span.e2e",
     "span.st",
@@ -617,6 +650,7 @@ const FAST_HIST_NAMES: [&str; 12] = [
     "span.stage.st_rx",
     "span.stage.delivered",
     "fault.recovery_latency",
+    "routing.recompute_latency",
 ];
 const H_IFACE_QUEUE_DEPTH: usize = 0;
 const H_SPAN_E2E: usize = 1;
@@ -624,6 +658,7 @@ const H_SPAN_ST: usize = 2;
 const H_SPAN_NET: usize = 3;
 const H_STAGE_BASE: usize = 4;
 const H_RECOVERY_LATENCY: usize = 11;
+const H_ROUTING_RECOMPUTE: usize = 12;
 
 /// Named counters, gauges, and histograms. Every metric the event stream
 /// itself produces lives in a fixed slot-indexed array, so the per-event
@@ -672,7 +707,7 @@ impl MetricRegistry {
 
     /// The counter named `name`, created on first use. Names owned by the
     /// fast arrays resolve to their slots, so this stays interchangeable
-    /// with the counters [`MetricRegistry::apply`] feeds.
+    /// with the counters `MetricRegistry::apply` feeds.
     pub fn counter(&mut self, name: &str) -> &mut Counter {
         if let Some(i) = EVENT_NAMES.iter().position(|n| *n == name) {
             return &mut self.event_counts[i];
@@ -680,7 +715,10 @@ impl MetricRegistry {
         if let Some(i) = DERIVED_NAMES.iter().position(|n| *n == name) {
             return &mut self.derived_counts[i];
         }
-        if let Some(rms) = name.strip_prefix("st.late.").and_then(|s| s.parse::<u64>().ok()) {
+        if let Some(rms) = name
+            .strip_prefix("st.late.")
+            .and_then(|s| s.parse::<u64>().ok())
+        {
             return &mut self
                 .late_by_rms
                 .entry(rms)
@@ -708,7 +746,10 @@ impl MetricRegistry {
         if let Some(i) = DERIVED_NAMES.iter().position(|n| *n == name) {
             return self.derived_counts[i].get();
         }
-        if let Some(rms) = name.strip_prefix("st.late.").and_then(|s| s.parse::<u64>().ok()) {
+        if let Some(rms) = name
+            .strip_prefix("st.late.")
+            .and_then(|s| s.parse::<u64>().ok())
+        {
             return self.late_by_rms.get(&rms).map(|e| e.1.get()).unwrap_or(0);
         }
         if let Some(kind) = name.strip_prefix("fault.") {
@@ -739,7 +780,8 @@ impl MetricRegistry {
             return &mut self.fast_hists[i];
         }
         if !self.histograms.contains_key(name) {
-            self.histograms.insert(name.to_string(), Histogram::default());
+            self.histograms
+                .insert(name.to_string(), Histogram::default());
         }
         self.histograms.get_mut(name).expect("just inserted")
     }
@@ -749,7 +791,10 @@ impl MetricRegistry {
         if let Some(i) = FAST_HIST_NAMES.iter().position(|n| *n == name) {
             return self.fast_hists[i].count() > 0;
         }
-        self.histograms.get(name).map(|h| h.count() > 0).unwrap_or(false)
+        self.histograms
+            .get(name)
+            .map(|h| h.count() > 0)
+            .unwrap_or(false)
     }
 
     /// All counters, sorted by name. Fast-array slots that were never
@@ -885,16 +930,25 @@ impl MetricRegistry {
             }
             ObsEvent::FaultInjected { kind } => {
                 if !self.fault_by_kind.contains_key(*kind) {
-                    self.fault_by_kind
-                        .insert((*kind).to_string(), (format!("fault.{kind}"), Counter::new()));
+                    self.fault_by_kind.insert(
+                        (*kind).to_string(),
+                        (format!("fault.{kind}"), Counter::new()),
+                    );
                 }
-                self.fault_by_kind.get_mut(*kind).expect("just inserted").1.incr();
+                self.fault_by_kind
+                    .get_mut(*kind)
+                    .expect("just inserted")
+                    .1
+                    .incr();
             }
             ObsEvent::FailoverStarted { streams, .. } => {
                 self.derived_counts[D_FAILOVER_STREAMS].add(u64::from(*streams));
             }
             ObsEvent::FailoverCompleted { latency_s, .. } => {
                 self.fast_hists[H_RECOVERY_LATENCY].record(*latency_s);
+            }
+            ObsEvent::RoutingRecompute { latency_s, .. } => {
+                self.fast_hists[H_ROUTING_RECOMPUTE].record(*latency_s);
             }
             _ => {}
         }
@@ -922,7 +976,10 @@ pub struct SpanRecord {
 impl SpanRecord {
     /// When `stage` was first observed, if it was.
     pub fn stage_time(&self, stage: Stage) -> Option<SimTime> {
-        self.stages.iter().find(|(s, _)| *s == stage).map(|(_, t)| *t)
+        self.stages
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, t)| *t)
     }
 
     /// Elapsed time between two observed stages (`None` if either is
@@ -966,7 +1023,10 @@ impl SpanTracker {
         stream: u64,
         seq: u64,
     ) -> Option<SpanRecord> {
-        let entry = self.open.entry(span).or_insert_with(|| OpenSpan { stages: Vec::new() });
+        let entry = self
+            .open
+            .entry(span)
+            .or_insert_with(|| OpenSpan { stages: Vec::new() });
         if !entry.stages.iter().any(|(s, _)| *s == stage) {
             entry.stages.push((stage, time));
         }
@@ -1092,7 +1152,8 @@ impl TraceSink {
 
 impl ObsSink for TraceSink {
     fn on_event(&mut self, time: SimTime, event: &ObsEvent) {
-        self.trace.record(time, event.name(), || format!("{event:?}"));
+        self.trace
+            .record(time, event.name(), || format!("{event:?}"));
     }
 
     fn on_span(&mut self, record: &SpanRecord) {
@@ -1334,7 +1395,10 @@ mod tests {
                 format!("span.stage.{}", stage.interval()),
             );
         }
-        assert_eq!(FAST_HIST_NAMES[H_RECOVERY_LATENCY], "fault.recovery_latency");
+        assert_eq!(
+            FAST_HIST_NAMES[H_RECOVERY_LATENCY],
+            "fault.recovery_latency"
+        );
     }
 
     /// Name lookups route to the same cells the event stream feeds, for
@@ -1360,7 +1424,7 @@ mod tests {
         assert_eq!(reg.counter_value("fault.partition"), 1); // per-kind slot
         assert_eq!(reg.counter_value("st.late_delivery"), 1); // derived slot
         assert_eq!(reg.counter_value("st.late.7"), 1); // per-RMS slot
-        // &mut access reaches the same cells.
+                                                       // &mut access reaches the same cells.
         reg.counter("fault.partition").incr();
         reg.counter("st.late.7").incr();
         assert_eq!(reg.counter_value("fault.partition"), 2);
@@ -1370,7 +1434,13 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
-        for want in ["fault.injected", "fault.partition", "st.deliver", "st.late.7", "st.late_delivery"] {
+        for want in [
+            "fault.injected",
+            "fault.partition",
+            "st.deliver",
+            "st.late.7",
+            "st.late_delivery",
+        ] {
             assert!(names.contains(&want), "missing {want}");
         }
     }

@@ -226,11 +226,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, other: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(other.0)
-                .expect("SimDuration underflow"),
-        )
+        SimDuration(self.0.checked_sub(other.0).expect("SimDuration underflow"))
     }
 }
 
@@ -330,7 +326,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::MAX.saturating_add(SimDuration::from_secs(1)),
             SimDuration::MAX

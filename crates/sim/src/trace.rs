@@ -64,7 +64,12 @@ impl Trace {
 
     /// Record an event if tracing is enabled. The message closure is only
     /// evaluated when recording, keeping disabled tracing nearly free.
-    pub fn record(&mut self, time: SimTime, subsystem: &'static str, message: impl FnOnce() -> String) {
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        subsystem: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
         if !self.enabled {
             return;
         }

@@ -38,9 +38,13 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u64..5_000).prop_map(|delta_ns| Op::Schedule { delta_ns }),
         // A coarse grid of timestamps so same-instant ties are common.
-        (0u64..8).prop_map(|slot| Op::Schedule { delta_ns: slot * 100 }),
+        (0u64..8).prop_map(|slot| Op::Schedule {
+            delta_ns: slot * 100
+        }),
         (0u64..5_000).prop_map(|delta_ns| Op::Timer { delta_ns }),
-        (0u64..8).prop_map(|slot| Op::Timer { delta_ns: slot * 100 }),
+        (0u64..8).prop_map(|slot| Op::Timer {
+            delta_ns: slot * 100
+        }),
         (0usize..64).prop_map(|k| Op::Cancel { k }),
         (1usize..5).prop_map(|n| Op::Step { n }),
     ]
@@ -172,9 +176,9 @@ fn same_timestamp_ties_fire_in_submission_order_among_survivors() {
 #[test]
 fn cancel_after_fire_is_a_harmless_noop() {
     let ops = vec![
-        Op::Timer { delta_ns: 0 }, // id 0
-        Op::Step { n: 1 },         // fires id 0
-        Op::Cancel { k: 0 },       // cancel after the fact
+        Op::Timer { delta_ns: 0 },     // id 0
+        Op::Step { n: 1 },             // fires id 0
+        Op::Cancel { k: 0 },           // cancel after the fact
         Op::Schedule { delta_ns: 10 }, // id 1 still runs
     ];
     let (engine, model) = run_script(&ops);

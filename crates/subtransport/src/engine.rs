@@ -28,9 +28,7 @@ use crate::piggyback::{PendingEntry, PiggybackQueue, PushOutcome};
 use crate::st::{
     DataOut, NetPurpose, NetUse, PeerState, StEvent, StPending, StRole, StStream, StWorld,
 };
-use crate::wire::{
-    data_frame_len, decode, encode, ControlMsg, DataFrame, Frame,
-};
+use crate::wire::{data_frame_len, decode, encode, ControlMsg, DataFrame, Frame};
 
 const NAK_REASON_LIMITS: u8 = 1;
 
@@ -220,12 +218,7 @@ fn recompute_slot_capacity<W: StWorld>(
 // ---------------------------------------------------------------------------
 
 fn peer_state<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId) -> &mut PeerState {
-    sim.state
-        .st()
-        .host_mut(host)
-        .peers
-        .entry(peer)
-        .or_default()
+    sim.state.st().host_mut(host).peers.entry(peer).or_default()
 }
 
 fn ensure_control<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId) {
@@ -303,10 +296,14 @@ fn fail_queued_creates<W: StWorld>(
     for msg in queued {
         if let ControlMsg::StCreateReq { token, .. } = msg {
             sim.state.st().host_mut(host).pending.remove(&token);
-            W::st_event(sim, host, StEvent::CreateFailed {
-                token,
-                reason: reason.clone(),
-            });
+            W::st_event(
+                sim,
+                host,
+                StEvent::CreateFailed {
+                    token,
+                    reason: reason.clone(),
+                },
+            );
         }
     }
 }
@@ -338,9 +335,7 @@ fn send_hello<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId) {
     let key = sim.state.st_ref().pair_key(host, peer);
     let nonce = sim.state.st().alloc_nonce();
     peer_state(sim, host, peer).my_nonce = nonce;
-    let tag = key
-        .map(|k| mac::sign(k, nonce, b"hello").0)
-        .unwrap_or(0);
+    let tag = key.map(|k| mac::sign(k, nonce, b"hello").0).unwrap_or(0);
     sim.state.st().host_mut(host).stats.hellos_sent.incr();
     {
         let now = sim.now();
@@ -391,7 +386,10 @@ pub fn send<W: StWorld>(
     let now = sim.now();
     let (peer, slot, st_params, fast_ack, seq) = {
         let sth = sim.state.st().host_mut(host);
-        let stream = sth.streams.get_mut(&st_rms).ok_or(RmsError::UnknownStream)?;
+        let stream = sth
+            .streams
+            .get_mut(&st_rms)
+            .ok_or(RmsError::UnknownStream)?;
         if stream.role != StRole::Sender {
             return Err(RmsError::WrongDirection);
         }
@@ -457,7 +455,9 @@ pub fn send<W: StWorld>(
         cpu_deadline,
         st_rms.0,
         Box::new(move |sim| {
-            dispatch_send(sim, host, peer, slot, st_rms, st_params, fast_ack, seq, msg, now);
+            dispatch_send(
+                sim, host, peer, slot, st_rms, st_params, fast_ack, seq, msg, now,
+            );
         }),
     );
     Ok(seq)
@@ -587,8 +587,7 @@ fn dispatch_send<W: StWorld>(
     };
     push_with_flush(sim, host, peer, slot, entry, net_mms);
     {
-        let pending =
-            with_slot_queue(sim, host, peer, slot, |q| q.len()).unwrap_or(0);
+        let pending = with_slot_queue(sim, host, peer, slot, |q| q.len()).unwrap_or(0);
         let net = sim.state.net();
         if net.obs.is_active() {
             net.obs.emit(
@@ -644,7 +643,9 @@ fn push_with_flush<W: StWorld>(
     net_mms: u64,
 ) {
     let now = sim.now();
-    let outcome = with_slot_queue(sim, host, peer, slot, |q| q.try_push(entry.clone(), net_mms));
+    let outcome = with_slot_queue(sim, host, peer, slot, |q| {
+        q.try_push(entry.clone(), net_mms)
+    });
     match outcome {
         Some(PushOutcome::Queued { flush_at }) => {
             if flush_at <= now {
@@ -773,7 +774,13 @@ enum FlushCause {
     Close,
 }
 
-fn flush_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, slot: u32, cause: FlushCause) {
+fn flush_slot<W: StWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    peer: HostId,
+    slot: u32,
+    cause: FlushCause,
+) {
     let (bundle, net_rms) = {
         let st = sim.state.st();
         let Some(d) = st
@@ -858,7 +865,15 @@ fn flush_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, slot: u3
         }
     }
     let payload = bundle.encode();
-    send_net(sim, host, net_rms, payload, deadline, earliest_sent, bundle_span);
+    send_net(
+        sim,
+        host,
+        net_rms,
+        payload,
+        deadline,
+        earliest_sent,
+        bundle_span,
+    );
 }
 
 fn send_net<W: StWorld>(
@@ -1039,7 +1054,8 @@ fn assign_slot<W: StWorld>(sim: &mut Sim<W>, host: HostId, st_rms: StRmsId) -> b
                     last_used: SimTime::ZERO,
                 },
             );
-            sth.net_pending.insert(token, NetPurpose::DataOut(peer, slot));
+            sth.net_pending
+                .insert(token, NetPurpose::DataOut(peer, slot));
             if let Some(s) = sth.streams.get_mut(&st_rms) {
                 s.slot = Some(slot);
             }
@@ -1147,7 +1163,12 @@ pub fn on_net_deliver<W: StWorld>(
             }
         }
         Frame::FastAck { st_rms, seq } => {
-            sim.state.st().host_mut(host).stats.fast_acks_received.incr();
+            sim.state
+                .st()
+                .host_mut(host)
+                .stats
+                .fast_acks_received
+                .incr();
             let known = sim
                 .state
                 .st_ref()
@@ -1184,7 +1205,11 @@ fn handle_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, net_rms: NetRmsId, ms
         .entry(net_rms)
         .or_insert(NetUse::ControlIn(peer));
     match msg {
-        ControlMsg::Hello { host: claimed, nonce, tag } => {
+        ControlMsg::Hello {
+            host: claimed,
+            nonce,
+            tag,
+        } => {
             let require_auth = sim.state.st_ref().config.require_auth;
             let key = sim.state.st_ref().pair_key(host, peer);
             let ok = if require_auth {
@@ -1214,7 +1239,11 @@ fn handle_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, net_rms: NetRmsId, ms
                 },
             );
         }
-        ControlMsg::HelloAck { host: claimed, nonce, tag } => {
+        ControlMsg::HelloAck {
+            host: claimed,
+            nonce,
+            tag,
+        } => {
             let require_auth = sim.state.st_ref().config.require_auth;
             let key = sim.state.st_ref().pair_key(host, peer);
             let my_nonce = peer_state(sim, host, peer).my_nonce;
@@ -1222,9 +1251,7 @@ fn handle_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, net_rms: NetRmsId, ms
                 claimed == peer.0
                     && nonce == my_nonce
                     && key
-                        .map(|k| {
-                            mac::verify(k, nonce.wrapping_add(1), b"hello-ack", mac::Tag(tag))
-                        })
+                        .map(|k| mac::verify(k, nonce.wrapping_add(1), b"hello-ack", mac::Tag(tag)))
                         .unwrap_or(false)
             } else {
                 claimed == peer.0
@@ -1312,7 +1339,14 @@ fn handle_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, net_rms: NetRmsId, ms
             }
         }
         ControlMsg::StCreateNak { token, reason: _ } => {
-            if sim.state.st().host_mut(host).pending.remove(&token).is_some() {
+            if sim
+                .state
+                .st()
+                .host_mut(host)
+                .pending
+                .remove(&token)
+                .is_some()
+            {
                 W::st_event(
                     sim,
                     host,
@@ -1332,7 +1366,13 @@ fn handle_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, net_rms: NetRmsId, ms
     }
 }
 
-fn new_stream(id: StRmsId, peer: HostId, role: StRole, params: SharedParams, fast_ack: bool) -> StStream {
+fn new_stream(
+    id: StRmsId,
+    peer: HostId,
+    role: StRole,
+    params: SharedParams,
+    fast_ack: bool,
+) -> StStream {
     StStream {
         id,
         peer,
@@ -1570,24 +1610,18 @@ pub fn on_net_event<W: StWorld>(sim: &mut Sim<W>, host: HostId, event: &NetRmsEv
                     let (ready_streams, spilled) = {
                         let sth = sim.state.st().host_mut(host);
                         sth.by_net.insert(*rms, NetUse::DataOut(peer, slot));
-                        let mut assigned = match sth
-                            .peers
-                            .get_mut(&peer)
-                            .and_then(|p| p.data.get_mut(&slot))
-                        {
-                            Some(d) => {
-                                d.net_rms = Some(*rms);
-                                d.token = None;
-                                d.params = params.clone();
-                                d.assigned.clone()
-                            }
-                            None => Vec::new(),
-                        };
+                        let mut assigned =
+                            match sth.peers.get_mut(&peer).and_then(|p| p.data.get_mut(&slot)) {
+                                Some(d) => {
+                                    d.net_rms = Some(*rms);
+                                    d.token = None;
+                                    d.params = params.clone();
+                                    d.assigned.clone()
+                                }
+                                None => Vec::new(),
+                            };
                         let cap_of = |sth: &crate::st::StHost, sid: &StRmsId| {
-                            sth.streams
-                                .get(sid)
-                                .map(|s| s.params.capacity)
-                                .unwrap_or(0)
+                            sth.streams.get(sid).map(|s| s.params.capacity).unwrap_or(0)
                         };
                         let mut sum: u64 = assigned.iter().map(|sid| cap_of(sth, sid)).sum();
                         let mut spilled = Vec::new();
@@ -1596,10 +1630,8 @@ pub fn on_net_event<W: StWorld>(sim: &mut Sim<W>, host: HostId, event: &NetRmsEv
                             sum -= cap_of(sth, &victim);
                             spilled.push(victim);
                         }
-                        if let Some(d) = sth
-                            .peers
-                            .get_mut(&peer)
-                            .and_then(|p| p.data.get_mut(&slot))
+                        if let Some(d) =
+                            sth.peers.get_mut(&peer).and_then(|p| p.data.get_mut(&slot))
                         {
                             d.assigned = assigned.clone();
                             d.assigned_capacity = sum;
@@ -1637,9 +1669,10 @@ pub fn on_net_event<W: StWorld>(sim: &mut Sim<W>, host: HostId, event: &NetRmsEv
                                 let sth = sim.state.st().host_mut(host);
                                 match sth.streams.get_mut(&st_rms) {
                                     Some(s) => (s.pending_token.take(), s.params.clone()),
-                                    None => {
-                                        (None, RmsParams::builder(1, 1).build().expect("valid").shared())
-                                    }
+                                    None => (
+                                        None,
+                                        RmsParams::builder(1, 1).build().expect("valid").shared(),
+                                    ),
                                 }
                             };
                             if let Some(token) = token {
@@ -1768,10 +1801,13 @@ fn handle_net_failure<W: StWorld>(
         Some(NetUse::DataOut(peer, slot)) => {
             // Failover (§4.2): the carrier died, but the ST streams on it
             // are still live contracts with their clients. Detach them and
-            // re-run admission over whatever routes remain — a cached or
-            // fresh network RMS on an alternate network keeps the stream
-            // alive, and only when re-admission fails does the client see
-            // a typed failure (via assign_slot / CreateFailed).
+            // re-run admission over whatever routes remain — a cached
+            // network RMS on an alternate network, or a fresh creation
+            // whose `dash_net::routing` candidate walk re-homes the path
+            // across the surviving k-alternates (admission NAKs on one
+            // alternate fall through to the next). Only when every
+            // alternate is exhausted does the client see a typed failure
+            // (via assign_slot / CreateFailed).
             let now = sim.now();
             let victims: Vec<StRmsId> = {
                 let sth = sim.state.st().host_mut(host);

@@ -197,7 +197,9 @@ mod tests {
     use crate::ids::StRmsId;
 
     fn frames(seq: u64, n_frags: u32, frag_len: usize) -> Vec<DataFrame> {
-        let total: Vec<u8> = (0..(n_frags as usize * frag_len)).map(|i| (i % 251) as u8).collect();
+        let total: Vec<u8> = (0..(n_frags as usize * frag_len))
+            .map(|i| (i % 251) as u8)
+            .collect();
         fragment(
             StRmsId(1),
             seq,
@@ -226,7 +228,17 @@ mod tests {
     #[test]
     fn fragment_uneven_tail() {
         let payload = Bytes::from(vec![1u8; 250]);
-        let fs = fragment(StRmsId(1), 0, &payload, 100, SimTime::ZERO, false, None, None, None);
+        let fs = fragment(
+            StRmsId(1),
+            0,
+            &payload,
+            100,
+            SimTime::ZERO,
+            false,
+            None,
+            None,
+            None,
+        );
         assert_eq!(fs.len(), 3);
         assert_eq!(fs[2].payload.len(), 50);
     }
@@ -249,7 +261,17 @@ mod tests {
     #[test]
     fn single_fragment_message_completes_immediately() {
         let payload = Bytes::from(vec![9u8; 10]);
-        let fs = fragment(StRmsId(1), 3, &payload, 100, SimTime::ZERO, true, None, None, None);
+        let fs = fragment(
+            StRmsId(1),
+            3,
+            &payload,
+            100,
+            SimTime::ZERO,
+            true,
+            None,
+            None,
+            None,
+        );
         assert_eq!(fs.len(), 1);
         let mut r = Reassembly::new();
         let done = r.push(fs[0].clone()).unwrap();
@@ -296,7 +318,17 @@ mod tests {
     #[test]
     fn fast_ack_only_on_last_fragment() {
         let payload = Bytes::from(vec![0u8; 300]);
-        let fs = fragment(StRmsId(1), 0, &payload, 100, SimTime::ZERO, true, None, None, None);
+        let fs = fragment(
+            StRmsId(1),
+            0,
+            &payload,
+            100,
+            SimTime::ZERO,
+            true,
+            None,
+            None,
+            None,
+        );
         assert_eq!(fs.len(), 3);
         assert!(!fs[0].fast_ack && !fs[1].fast_ack && fs[2].fast_ack);
     }
@@ -325,7 +357,17 @@ mod tests {
 
     #[test]
     fn empty_payload_fragments_to_one() {
-        let fs = fragment(StRmsId(1), 0, &Bytes::new(), 100, SimTime::ZERO, false, None, None, None);
+        let fs = fragment(
+            StRmsId(1),
+            0,
+            &Bytes::new(),
+            100,
+            SimTime::ZERO,
+            false,
+            None,
+            None,
+            None,
+        );
         assert_eq!(fs.len(), 1);
         assert_eq!(fs[0].frag.unwrap().count, 1);
     }

@@ -464,4 +464,3 @@ pub trait StWorld: dash_net::state::NetWorld {
     /// An ST lifecycle event occurred.
     fn st_event(sim: &mut Sim<Self>, host: HostId, event: StEvent);
 }
-

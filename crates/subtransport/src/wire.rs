@@ -403,7 +403,9 @@ fn get_params(buf: &mut Bytes) -> Result<RmsParams, WireError> {
             let average_load = buf.get_f64();
             let burstiness = buf.get_f64();
             let delay_probability = buf.get_f64();
-            if !(average_load >= 0.0 && burstiness >= 1.0 && (0.0..=1.0).contains(&delay_probability))
+            if !(average_load >= 0.0
+                && burstiness >= 1.0
+                && (0.0..=1.0).contains(&delay_probability))
             {
                 return Err(WireError::Invalid("statistical spec"));
             }
@@ -417,8 +419,7 @@ fn get_params(buf: &mut Bytes) -> Result<RmsParams, WireError> {
         t => return Err(WireError::BadTag(t)),
     };
     need(buf, 8)?;
-    let error_rate =
-        BitErrorRate::new(buf.get_f64()).ok_or(WireError::Invalid("error rate"))?;
+    let error_rate = BitErrorRate::new(buf.get_f64()).ok_or(WireError::Invalid("error rate"))?;
     let params = RmsParams {
         reliability,
         security: SecurityParams {
@@ -581,7 +582,11 @@ mod tests {
 
     #[test]
     fn bundle_round_trip() {
-        let f = Frame::Bundle(vec![sample_data(0, 5), sample_data(1, 0), sample_data(2, 300)]);
+        let f = Frame::Bundle(vec![
+            sample_data(0, 5),
+            sample_data(1, 0),
+            sample_data(2, 300),
+        ]);
         assert_eq!(decode(&encode(&f)).unwrap(), f);
     }
 
@@ -611,7 +616,9 @@ mod tests {
                 token: StToken(7),
                 reason: 2,
             },
-            ControlMsg::StClose { st_rms: StRmsId(12) },
+            ControlMsg::StClose {
+                st_rms: StRmsId(12),
+            },
         ];
         for m in msgs {
             let f = Frame::Ctrl(m.clone());

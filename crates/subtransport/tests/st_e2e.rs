@@ -84,9 +84,7 @@ impl StWorld for World {
     fn st_event(sim: &mut Sim<Self>, host: HostId, event: StEvent) {
         sim.state.st_events.push((host, format!("{event:?}")));
         match event {
-            StEvent::Created { token, st_rms, .. } => {
-                sim.state.created.push((host, token, st_rms))
-            }
+            StEvent::Created { token, st_rms, .. } => sim.state.created.push((host, token, st_rms)),
             StEvent::InboundCreated { st_rms, .. } => sim.state.inbound.push((host, st_rms)),
             StEvent::FastAck { st_rms, seq } => sim.state.fast_acks.push((host, st_rms, seq)),
             _ => {}
@@ -136,7 +134,10 @@ fn control_channel_is_reused_across_streams() {
     let s2 = establish(&mut sim, a, b, &basic_request(), false);
     assert_ne!(s1, s2);
     // No new Hello handshake for the second stream.
-    assert_eq!(sim.state.st.host(a).stats.hellos_sent.get(), hellos_after_first);
+    assert_eq!(
+        sim.state.st.host(a).stats.hellos_sent.get(),
+        hellos_after_first
+    );
     assert_eq!(sim.state.st.host(a).stats.control_created.get(), 1);
 }
 
@@ -149,7 +150,11 @@ fn compatible_streams_share_one_network_rms() {
     let s2 = establish(&mut sim, a, b, &req, false);
     let stats = &sim.state.st.host(a).stats;
     assert_eq!(stats.cache_misses.get(), 1, "one data net RMS created");
-    assert_eq!(stats.cache_hits.get(), 1, "second stream multiplexed onto it");
+    assert_eq!(
+        stats.cache_hits.get(),
+        1,
+        "second stream multiplexed onto it"
+    );
     // Both streams actually work.
     engine::send(&mut sim, a, s1, Message::new(vec![1u8; 100])).unwrap();
     engine::send(&mut sim, a, s2, Message::new(vec![2u8; 100])).unwrap();
@@ -203,7 +208,10 @@ fn piggybacking_bundles_messages() {
     sim.run();
     assert_eq!(sim.state.st_deliveries.len(), 5);
     let stats = &sim.state.st.host(a).stats;
-    assert!(stats.bundles_sent.get() >= 1, "at least one bundle: {stats:?}");
+    assert!(
+        stats.bundles_sent.get() >= 1,
+        "at least one bundle: {stats:?}"
+    );
     assert!(stats.msgs_bundled.get() >= 2);
     // Delivered in order.
     for (i, d) in sim.state.st_deliveries.iter().enumerate() {
@@ -301,14 +309,16 @@ fn mismatched_keys_fail_authentication() {
     // must reject the Hello.
     while sim.state.st.host(a).stats.hellos_sent.get() == 0 && sim.step() {}
     assert_eq!(sim.state.st.host(a).stats.hellos_sent.get(), 1);
-    sim.state.st.auth_keys.insert((0, 1), dash_security::Key(222));
+    sim.state
+        .st
+        .auth_keys
+        .insert((0, 1), dash_security::Key(222));
     sim.run();
     // Authentication cannot complete; the create fails by timeout.
     assert!(
-        sim.state
-            .st_events
-            .iter()
-            .any(|(h, e)| *h == a && e.contains("CreateFailed") && e.contains("AuthenticationFailed")),
+        sim.state.st_events.iter().any(|(h, e)| *h == a
+            && e.contains("CreateFailed")
+            && e.contains("AuthenticationFailed")),
         "events: {:?}",
         sim.state.st_events
     );
@@ -360,9 +370,7 @@ fn st_offers_larger_messages_than_network_mtu() {
     // §4.3: the ST's maximum message size exceeds the network's.
     let (net, a, b) = two_hosts_ethernet();
     let mut sim = Sim::new(World::new(net, StConfig::default()));
-    let req = RmsRequest::exact(
-        RmsParams::builder(64 * 1024, 32 * 1024).build().unwrap(),
-    );
+    let req = RmsRequest::exact(RmsParams::builder(64 * 1024, 32 * 1024).build().unwrap());
     let st_rms = establish(&mut sim, a, b, &req, false);
     let body = vec![0xabu8; 32 * 1024];
     engine::send(&mut sim, a, st_rms, Message::new(body.clone())).unwrap();
@@ -434,4 +442,3 @@ fn deterministic_st_stream_gets_deterministic_net_rms() {
     sim.run();
     assert_eq!(sim.state.st_deliveries.len(), 1);
 }
-

@@ -270,7 +270,6 @@ impl std::fmt::Debug for RkomHost {
     }
 }
 
-
 /// The RKOM module's state.
 #[derive(Debug)]
 pub struct RkomState {
@@ -457,10 +456,8 @@ fn channel_request(config: &RkomConfig, fixed: SimDuration) -> RmsRequest {
     // The desired delay is aspirational ("low delay"); accept whatever the
     // path can actually do, up to the high-delay budget (§2.4: the provider
     // matches the desired parameters as closely as possible).
-    acceptable.delay = DelayBound::best_effort_with(
-        config.high_delay.max(fixed),
-        SimDuration::from_micros(20),
-    );
+    acceptable.delay =
+        DelayBound::best_effort_with(config.high_delay.max(fixed), SimDuration::from_micros(20));
     RmsRequest::new(desired, acceptable).expect("desired covers floor")
 }
 
@@ -511,7 +508,10 @@ fn ensure_channel(sim: &mut Sim<Stack>, host: HostId, peer: HostId) {
         .expect("just inserted")
         .creating = true;
     let config = sim.state.rkom.config.clone();
-    for (lane, fixed) in [(Lane::Low, config.low_delay), (Lane::High, config.high_delay)] {
+    for (lane, fixed) in [
+        (Lane::Low, config.low_delay),
+        (Lane::High, config.high_delay),
+    ] {
         match st_engine::create(sim, host, peer, &channel_request(&config, fixed), false) {
             Ok(token) => {
                 sim.state

@@ -192,22 +192,6 @@ impl StackBuilder {
 }
 
 impl Stack {
-    /// Assemble a stack over a built network state.
-    #[deprecated(note = "use `StackBuilder::new(net).st_config(..).build()`")]
-    pub fn new(net: NetState, st_config: StConfig) -> Self {
-        StackBuilder::new(net).st_config(st_config).build()
-    }
-
-    /// Model real per-host CPUs with the given scheduling policy and
-    /// context-switch cost (§4.1). Must be called before the simulation
-    /// starts.
-    #[deprecated(note = "use `StackBuilder::cpus` when assembling the stack")]
-    pub fn with_cpus(mut self, policy: SchedPolicy, context_switch: SimDuration) -> Self {
-        let n = self.net.hosts.len();
-        self.cpus = Some((0..n).map(|_| Cpu::new(policy, context_switch)).collect());
-        self
-    }
-
     /// Install the application tap receiving unclaimed deliveries/events.
     ///
     /// Part of the uniform tap family: [`Stack::on_app`],
@@ -235,18 +219,6 @@ impl Stack {
         tap: impl FnMut(&mut Sim<Stack>, StreamEvent) + 'static,
     ) {
         self.stream.host_mut(host).install_tap(Box::new(tap));
-    }
-
-    /// Install the application tap receiving unclaimed deliveries/events.
-    #[deprecated(note = "use `Stack::on_app`")]
-    pub fn set_app_tap(&mut self, tap: impl FnMut(&mut Sim<Stack>, AppEvent) + 'static) {
-        self.on_app(tap);
-    }
-
-    /// Install the tap receiving baseline TCP events.
-    #[deprecated(note = "use `Stack::on_tcp`")]
-    pub fn set_tcp_tap(&mut self, tap: impl FnMut(&mut Sim<Stack>, HostId, TcpEvent) + 'static) {
-        self.on_tcp(tap);
     }
 
     /// Deliver an [`AppEvent`] through the tap (reentrancy-safe).
@@ -439,7 +411,9 @@ mod tests {
     #[test]
     fn builder_assembles() {
         let (net, _a, _b) = two_hosts_ethernet();
-        let stack = StackBuilder::new(net).st_config(StConfig::default()).build();
+        let stack = StackBuilder::new(net)
+            .st_config(StConfig::default())
+            .build();
         assert!(stack.cpus.is_none());
         let (net, _a, _b) = two_hosts_ethernet();
         let stack = StackBuilder::new(net)
@@ -449,16 +423,6 @@ mod tests {
             .build();
         assert_eq!(stack.cpus.as_ref().unwrap().len(), 2);
         assert!(stack.net.obs.is_active());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_constructor_still_works() {
-        let (net, _a, _b) = two_hosts_ethernet();
-        let stack = Stack::new(net, StConfig::default())
-            .with_cpus(SchedPolicy::Edf, SimDuration::from_micros(5));
-        assert_eq!(stack.cpus.as_ref().unwrap().len(), 2);
-        assert!(!stack.net.obs.is_active());
     }
 
     #[test]

@@ -519,16 +519,6 @@ impl StreamHost {
     }
 }
 
-/// Install the per-host tap receiving [`StreamEvent`]s.
-#[deprecated(note = "use `Stack::on_stream`")]
-pub fn set_tap(
-    stack: &mut Stack,
-    host: HostId,
-    tap: impl FnMut(&mut Sim<Stack>, StreamEvent) + 'static,
-) {
-    stack.on_stream(host, tap);
-}
-
 fn fire(sim: &mut Sim<Stack>, host: HostId, event: StreamEvent) {
     if let Some(mut tap) = sim.state.stream.host_mut(host).tap.take() {
         tap(sim, event);
@@ -574,10 +564,11 @@ pub fn open(
         .sessions
         .insert(session_id, session);
     let fast_ack = profile.enforcement == CapacityEnforcement::AckBased;
-    let token = st_engine::create(sim, host, peer, &data_request(&profile), fast_ack)
-        .inspect_err(|_| {
+    let token = st_engine::create(sim, host, peer, &data_request(&profile), fast_ack).inspect_err(
+        |_| {
             sim.state.stream.host_mut(host).sessions.remove(&session_id);
-        })?;
+        },
+    )?;
     sim.state
         .stream
         .host_mut(host)
@@ -670,8 +661,13 @@ pub fn send(
         let now = sim.now();
         let net = &mut sim.state.net;
         if net.obs.is_active() {
-            net.obs
-                .emit(now, ObsEvent::StreamBlocked { host: host.0, session });
+            net.obs.emit(
+                now,
+                ObsEvent::StreamBlocked {
+                    host: host.0,
+                    session,
+                },
+            );
         }
         return Err(e);
     }
@@ -865,7 +861,10 @@ fn on_rto(sim: &mut Sim<Stack>, host: HostId, session: u64) {
             if net.obs.is_active() {
                 net.obs.emit(
                     now,
-                    ObsEvent::StreamRetriesExhausted { host: host.0, session },
+                    ObsEvent::StreamRetriesExhausted {
+                        host: host.0,
+                        session,
+                    },
                 );
             }
         }
@@ -954,12 +953,20 @@ pub fn claims_token(stack: &Stack, host: HostId, token: StToken) -> bool {
 /// Handle an ST lifecycle event addressed to the stream module.
 pub fn on_st_event(sim: &mut Sim<Stack>, host: HostId, event: StEvent) {
     match event {
-        StEvent::Created { token, st_rms, params } => {
+        StEvent::Created {
+            token,
+            st_rms,
+            params,
+        } => {
             let Some((session, lane)) = sim.state.stream.host_mut(host).tokens.remove(&token)
             else {
                 return;
             };
-            sim.state.stream.host_mut(host).by_st.insert(st_rms, session);
+            sim.state
+                .stream
+                .host_mut(host)
+                .by_st
+                .insert(st_rms, session);
             match lane {
                 StreamLane::Data => {
                     let (peer_buffer, needs_ack) = {
@@ -1115,7 +1122,11 @@ pub fn on_delivery(
             let mut s = Session::new(session, peer, StreamRole::Rx, profile);
             s.data_in = Some(st_rms);
             sim.state.stream.host_mut(host).sessions.insert(session, s);
-            sim.state.stream.host_mut(host).by_st.insert(st_rms, session);
+            sim.state
+                .stream
+                .host_mut(host)
+                .by_st
+                .insert(st_rms, session);
             if needs_ack_stream {
                 // Create the reverse acknowledgement stream (§2.5).
                 if let Ok(token) =
@@ -1136,7 +1147,11 @@ pub fn on_delivery(
             sent_at,
             payload,
         } => {
-            sim.state.stream.host_mut(host).by_st.insert(st_rms, session);
+            sim.state
+                .stream
+                .host_mut(host)
+                .by_st
+                .insert(st_rms, session);
             handle_data(sim, host, session, seq, sent_at, payload);
         }
         StreamMsg::Ack {
@@ -1144,7 +1159,11 @@ pub fn on_delivery(
             cum_seq,
             consumed,
         } => {
-            sim.state.stream.host_mut(host).by_st.insert(st_rms, session);
+            sim.state
+                .stream
+                .host_mut(host)
+                .by_st
+                .insert(st_rms, session);
             {
                 let Some(s) = sim.state.stream.session_mut(host, session) else {
                     return;
@@ -1219,9 +1238,7 @@ fn handle_data(
                 // Duplicate of something already delivered.
                 None
             }
-        } else if s.profile.receiver_fc
-            && s.pending_buffer_bytes + len > s.profile.receive_buffer
-        {
+        } else if s.profile.receiver_fc && s.pending_buffer_bytes + len > s.profile.receive_buffer {
             // Receive buffer full: drop; the sender's window should have
             // prevented this (counted to make violations visible).
             s.stats.buffer_drops.incr();
@@ -1252,10 +1269,14 @@ fn handle_data(
                 s.since_last_ack += 1;
             }
             if sim.state.net.obs.is_active() {
-                sim.state
-                    .net
-                    .obs
-                    .emit(now, ObsEvent::StreamDeliver { host: host.0, session, seq });
+                sim.state.net.obs.emit(
+                    now,
+                    ObsEvent::StreamDeliver {
+                        host: host.0,
+                        session,
+                        seq,
+                    },
+                );
             }
             let msg = Message::new(payload);
             fire(
@@ -1351,8 +1372,13 @@ fn send_ack(sim: &mut Sim<Stack>, host: HostId, session: u64, force: bool) {
         let now = sim.now();
         let net = &mut sim.state.net;
         if net.obs.is_active() {
-            net.obs
-                .emit(now, ObsEvent::StreamAck { host: host.0, session });
+            net.obs.emit(
+                now,
+                ObsEvent::StreamAck {
+                    host: host.0,
+                    session,
+                },
+            );
         }
     }
     match target {

@@ -46,12 +46,7 @@ fn handshake_and_transfer() {
     sim.run();
     // The server's connection received everything, in order.
     let (server_conn, _) = log.borrow().accepted[0];
-    let got = sim
-        .state
-        .tcp
-        .conn_mut(b, server_conn)
-        .unwrap()
-        .read();
+    let got = sim.state.tcp.conn_mut(b, server_conn).unwrap().read();
     assert_eq!(got.as_ref(), &body[..]);
     let stats = &sim.state.tcp.conn(b, server_conn).unwrap().stats;
     assert_eq!(stats.bytes_delivered.get(), 10_000);

@@ -36,9 +36,16 @@ fn rkom_echo_round_trip() {
     });
     let result = Rc::new(RefCell::new(None));
     let r2 = Rc::clone(&result);
-    rkom::call(&mut sim, a, b, 1, Bytes::from_static(b"hello"), move |_sim, res| {
-        *r2.borrow_mut() = Some(res);
-    });
+    rkom::call(
+        &mut sim,
+        a,
+        b,
+        1,
+        Bytes::from_static(b"hello"),
+        move |_sim, res| {
+            *r2.borrow_mut() = Some(res);
+        },
+    );
     sim.run();
     let got = result.borrow_mut().take().expect("call completed");
     assert_eq!(got.unwrap().as_ref(), b"echo:hello");
@@ -106,15 +113,25 @@ fn rkom_retransmits_over_lossy_network() {
     let done = Rc::new(RefCell::new(0u32));
     for _ in 0..20 {
         let d = Rc::clone(&done);
-        rkom::call(&mut sim, h_a, h_b, 1, Bytes::from_static(b"ping"), move |_s, res| {
-            if res.is_ok() {
-                *d.borrow_mut() += 1;
-            }
-        });
+        rkom::call(
+            &mut sim,
+            h_a,
+            h_b,
+            1,
+            Bytes::from_static(b"ping"),
+            move |_s, res| {
+                if res.is_ok() {
+                    *d.borrow_mut() += 1;
+                }
+            },
+        );
     }
     sim.run();
     let completed = *done.borrow();
-    assert!(completed >= 18, "most calls should complete, got {completed}");
+    assert!(
+        completed >= 18,
+        "most calls should complete, got {completed}"
+    );
     let stats = &sim.state.rkom.host(h_a).stats;
     assert!(
         stats.retransmissions.get() > 0,
@@ -140,10 +157,17 @@ fn rkom_at_most_once_under_duplicates() {
     });
     let ok = Rc::new(RefCell::new(false));
     let ok2 = Rc::clone(&ok);
-    rkom::call(&mut sim, a, b, 1, Bytes::from_static(b"op"), move |_s, res| {
-        assert!(res.is_ok());
-        *ok2.borrow_mut() = true;
-    });
+    rkom::call(
+        &mut sim,
+        a,
+        b,
+        1,
+        Bytes::from_static(b"op"),
+        move |_s, res| {
+            assert!(res.is_ok());
+            *ok2.borrow_mut() = true;
+        },
+    );
     sim.run();
     assert!(*ok.borrow());
     assert_eq!(*executions.borrow(), 1, "at-most-once violated");
@@ -170,7 +194,9 @@ fn collect_taps(sim: &mut Sim<Stack>, hosts: &[dash_net::HostId]) -> Rc<RefCell<
     for &h in hosts {
         let st = Rc::clone(&state);
         sim.state.on_stream(h, move |_sim, ev| match ev {
-            StreamEvent::Delivered { session, msg, seq, .. } => {
+            StreamEvent::Delivered {
+                session, msg, seq, ..
+            } => {
                 st.borrow_mut().delivered.push((session, seq, msg.len()));
             }
             StreamEvent::Opened { session } => st.borrow_mut().opened.push(session),
@@ -229,7 +255,10 @@ fn reliable_stream_survives_loss() {
     let seqs: Vec<u64> = ev.delivered.iter().map(|d| d.1).collect();
     assert_eq!(seqs, (0..50).collect::<Vec<u64>>());
     let s = sim.state.stream.session(a, session).unwrap();
-    assert!(s.stats.retransmitted.get() > 0, "loss must force retransmission");
+    assert!(
+        s.stats.retransmitted.get() > 0,
+        "loss must force retransmission"
+    );
 }
 
 #[test]

@@ -12,13 +12,13 @@
 use dash::apps::bulk::start_bulk;
 use dash::apps::taps::Dispatcher;
 use dash::baseline::tcp;
+use dash::core::delay::DelayBound;
 use dash::net::topology::TopologyBuilder;
 use dash::net::{HostId, NetworkSpec};
 use dash::sim::{Sim, SimDuration};
 use dash::transport::flow::CapacityEnforcement;
 use dash::transport::stack::{Stack, StackBuilder};
 use dash::transport::stream::StreamProfile;
-use dash::core::delay::DelayBound;
 
 fn build() -> (Sim<Stack>, Vec<HostId>, Vec<HostId>, HostId) {
     let mut b = TopologyBuilder::new();

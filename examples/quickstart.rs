@@ -26,7 +26,10 @@ fn main() {
     let received = Rc::new(RefCell::new(Vec::new()));
     let r2 = Rc::clone(&received);
     sim.state.on_stream(bob, move |_sim, ev| {
-        if let StreamEvent::Delivered { msg, seq, delay, .. } = ev {
+        if let StreamEvent::Delivered {
+            msg, seq, delay, ..
+        } = ev
+        {
             println!("bob: message #{seq} ({} bytes) after {delay}", msg.len());
             r2.borrow_mut().push(msg);
         }

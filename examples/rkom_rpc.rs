@@ -28,27 +28,38 @@ fn main() {
     // A toy key-value store: "set k v" / "get k".
     let store: Rc<RefCell<HashMap<String, String>>> = Rc::new(RefCell::new(HashMap::new()));
     let st = Rc::clone(&store);
-    rkom::register_service(&mut sim.state, server, KV_SERVICE, move |_sim, _client, req| {
-        let text = String::from_utf8_lossy(&req).to_string();
-        let mut parts = text.splitn(3, ' ');
-        let reply = match (parts.next(), parts.next(), parts.next()) {
-            (Some("set"), Some(k), Some(v)) => {
-                st.borrow_mut().insert(k.into(), v.into());
-                "ok".to_string()
-            }
-            (Some("get"), Some(k), _) => st
-                .borrow()
-                .get(k)
-                .cloned()
-                .unwrap_or_else(|| "<missing>".into()),
-            _ => "error".into(),
-        };
-        Bytes::from(reply)
-    });
+    rkom::register_service(
+        &mut sim.state,
+        server,
+        KV_SERVICE,
+        move |_sim, _client, req| {
+            let text = String::from_utf8_lossy(&req).to_string();
+            let mut parts = text.splitn(3, ' ');
+            let reply = match (parts.next(), parts.next(), parts.next()) {
+                (Some("set"), Some(k), Some(v)) => {
+                    st.borrow_mut().insert(k.into(), v.into());
+                    "ok".to_string()
+                }
+                (Some("get"), Some(k), _) => st
+                    .borrow()
+                    .get(k)
+                    .cloned()
+                    .unwrap_or_else(|| "<missing>".into()),
+                _ => "error".into(),
+            };
+            Bytes::from(reply)
+        },
+    );
 
     // Issue calls; each completion triggers the next.
     let results = Rc::new(RefCell::new(Vec::new()));
-    for cmd in ["set color blue", "set answer 42", "get color", "get answer", "get nothing"] {
+    for cmd in [
+        "set color blue",
+        "set answer 42",
+        "get color",
+        "get answer",
+        "get nothing",
+    ] {
         let r = Rc::clone(&results);
         let started = sim.now();
         rkom::call(

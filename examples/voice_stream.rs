@@ -24,9 +24,24 @@ fn main() {
     let taps = Dispatcher::install(&mut sim, &[a, b]);
 
     // A two-second call...
-    let voice = start_media(&mut sim, &taps, a, b, MediaSpec::voice(SimDuration::from_secs(2)), 7);
+    let voice = start_media(
+        &mut sim,
+        &taps,
+        a,
+        b,
+        MediaSpec::voice(SimDuration::from_secs(2)),
+        7,
+    );
     // ...competing with a 768 KB transfer.
-    let bulk = start_bulk(&mut sim, &taps, a, b, 768 * 1024, 8 * 1024, StreamProfile::bulk());
+    let bulk = start_bulk(
+        &mut sim,
+        &taps,
+        a,
+        b,
+        768 * 1024,
+        8 * 1024,
+        StreamProfile::bulk(),
+    );
     let done = run_until_complete(&mut sim, &bulk, SimDuration::from_secs(5));
     sim.run_until(sim.now() + SimDuration::from_secs(1));
 
@@ -44,5 +59,8 @@ fn main() {
         "bulk: complete={done}, goodput {:.0} KB/s",
         bk.goodput().unwrap_or(0.0) / 1024.0
     );
-    assert!(v.on_time_fraction() > 0.9, "deadline queueing should protect voice");
+    assert!(
+        v.on_time_fraction() > 0.9,
+        "deadline queueing should protect voice"
+    );
 }

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Compare a fresh e10_scale bench run against the committed baseline in
-# BENCH_scale.json. Wall-clock on shared CI machines is noisy, so this is
-# a collapse detector, not a regression gate: it FAILS only when fresh
-# events/sec drops below MIN_RATIO (default 0.30) of the baseline, and
-# merely WARNS outside the ±WARN_BAND (default 30%) band.
+# Compare fresh bench runs against the committed baselines.
 #
-#   scripts/check_bench.sh            # bench config (sub-second run)
+# e10_scale vs BENCH_scale.json: wall-clock on shared CI machines is
+# noisy, so this is a collapse detector, not a regression gate — it
+# FAILS only when fresh events/sec drops below MIN_RATIO (default 0.30)
+# of the baseline, and merely WARNS outside the ±WARN_BAND (default
+# 30%) band. Deterministic event *counts* must match exactly.
+#
+# e11_routing vs BENCH_routing.json: the routing subsystem's observable
+# work (engine events, link-state floods, route recomputations,
+# alternate-path wins) is deterministic per topology, so those counts
+# are gated exactly — any drift is a behaviour change, not noise.
+#
+#   scripts/check_bench.sh            # bench config (sub-second runs)
 #   MIN_RATIO=0.5 scripts/check_bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,6 +21,7 @@ CONFIG="${CONFIG:-bench}"
 MIN_RATIO="${MIN_RATIO:-0.30}"
 WARN_BAND="${WARN_BAND:-0.30}"
 BASELINE_FILE="BENCH_scale.json"
+ROUTING_BASELINE_FILE="BENCH_routing.json"
 
 if [[ ! -f "$BASELINE_FILE" ]]; then
     echo "check_bench: no $BASELINE_FILE baseline; nothing to compare" >&2
@@ -59,4 +67,46 @@ if ratio < 1 - warn_band or ratio > 1 + warn_band:
     print(f"check_bench: WARN — outside the ±{warn_band:.0%} band "
           f"(machine noise or a real change; not failing)")
 print("check_bench: OK")
+EOF
+
+# --- e11_routing: exact reconvergence event-count gate ------------------
+if [[ ! -f "$ROUTING_BASELINE_FILE" ]]; then
+    echo "check_bench: no $ROUTING_BASELINE_FILE baseline; skipping routing gate" >&2
+    exit 0
+fi
+
+fresh_routing="$(mktemp)"
+trap 'rm -f "$fresh_json" "$fresh_routing"' EXIT
+cargo run --release -q -p dash-bench --bin e11_routing -- "--$CONFIG" --label fresh --json "$fresh_routing"
+
+python3 - "$ROUTING_BASELINE_FILE" "$fresh_routing" "$CONFIG" <<'EOF'
+import json, sys
+
+baseline_file, fresh_file, config = sys.argv[1:4]
+doc = json.load(open(baseline_file))
+runs = [r for r in doc["runs"] if r.get("config") == config]
+if not runs:
+    print(f"check_bench: no committed '{config}' routing baseline; skipping")
+    sys.exit(0)
+base = runs[-1]
+fresh = json.load(open(fresh_file))
+
+# Everything the routing subsystem *does* is deterministic: the flood
+# fan-out, the lazy recomputations, which establishment wins on which
+# alternate. Any count drift is a real behaviour change and fails.
+GATED = ("events", "floods", "recomputes", "alternate_wins",
+         "recoveries", "streams_opened", "open_failed")
+ok = True
+for topo in ("dumbbell", "mesh"):
+    b, f = base[topo], fresh[topo]
+    drift = [(k, b[k], f[k]) for k in GATED if b[k] != f[k]]
+    if drift:
+        ok = False
+        for k, bv, fv in drift:
+            print(f"check_bench[routing/{topo}]: FAIL — {k} drifted {bv} -> {fv}")
+    else:
+        print(f"check_bench[routing/{topo}]: OK — events {f['events']}, "
+              f"floods {f['floods']}, recomputes {f['recomputes']}, "
+              f"alt wins {f['alternate_wins']}")
+sys.exit(0 if ok else 1)
 EOF

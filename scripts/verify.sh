@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Full verification: release build, workspace tests, the seeded chaos
-# suite, and clippy with warnings promoted to errors. Run from anywhere
-# inside the repo.
+# Full verification: formatting, release build, workspace tests, the
+# seeded chaos suite, clippy and rustdoc with warnings promoted to
+# errors. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo build --release
 cargo test -q
 cargo test --workspace -q
@@ -19,6 +20,7 @@ if ! cargo test --test chaos -q; then
 fi
 
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 # Benches compile + run as tests (criterion --test mode), then the e10
 # macro-workload is compared against the committed BENCH_scale.json

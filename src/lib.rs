@@ -27,8 +27,8 @@ pub use rms_core as core;
 pub mod prelude {
     pub use dash_net::fault::{apply_fault, crash_host, restart_host, schedule_fault_plan};
     pub use dash_net::ids::{HostId, NetRmsId, NetworkId};
-    pub use dash_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, GilbertElliott};
     pub use dash_sim::engine::Sim;
+    pub use dash_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, GilbertElliott};
     pub use dash_sim::obs::{
         JsonLinesSink, MetricRegistry, Obs, ObsEvent, ObsSink, SpanRecord, Stage,
     };

@@ -67,8 +67,7 @@ fn run_chaos(seed: u64) -> ChaosRun {
 
     let trace: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
     let delivered: Rc<RefCell<BTreeMap<u64, Vec<u64>>>> = Rc::new(RefCell::new(BTreeMap::new()));
-    let failed_typed: Rc<RefCell<BTreeMap<u64, String>>> =
-        Rc::new(RefCell::new(BTreeMap::new()));
+    let failed_typed: Rc<RefCell<BTreeMap<u64, String>>> = Rc::new(RefCell::new(BTreeMap::new()));
     for host in [a, b] {
         let trace = Rc::clone(&trace);
         let delivered = Rc::clone(&delivered);
@@ -77,10 +76,15 @@ fn run_chaos(seed: u64) -> ChaosRun {
             let now = sim.now().as_nanos();
             match ev {
                 StreamEvent::Opened { session } => {
-                    trace.borrow_mut().push(format!("{now} h{} open {session}", host.0));
+                    trace
+                        .borrow_mut()
+                        .push(format!("{now} h{} open {session}", host.0));
                 }
                 StreamEvent::Delivered {
-                    session, msg, seq, delay,
+                    session,
+                    msg,
+                    seq,
+                    delay,
                 } => {
                     trace.borrow_mut().push(format!(
                         "{now} h{} dlv {session} #{seq} {}B {:?}",
@@ -99,7 +103,9 @@ fn run_chaos(seed: u64) -> ChaosRun {
                     }
                 }
                 StreamEvent::OpenFailed { session, .. } => {
-                    trace.borrow_mut().push(format!("{now} h{} openfail {session}", host.0));
+                    trace
+                        .borrow_mut()
+                        .push(format!("{now} h{} openfail {session}", host.0));
                     failed.borrow_mut().insert(session, "open failed".into());
                 }
                 StreamEvent::Drained { .. } | StreamEvent::Incoming { .. } => {}
@@ -128,9 +134,8 @@ fn run_chaos(seed: u64) -> ChaosRun {
             let trace = Rc::clone(&trace);
             let failed = Rc::clone(&failed_typed);
             // Stagger streams so sends interleave with the fault window.
-            let at = SimTime::ZERO.saturating_add(SimDuration::from_millis(
-                20 + k as u64 * 7 + i * 40,
-            ));
+            let at =
+                SimTime::ZERO.saturating_add(SimDuration::from_millis(20 + k as u64 * 7 + i * 40));
             sim.schedule_at(at, move |sim| {
                 match stream::send(sim, a, session, Message::zeroes(256)) {
                     Ok(()) => *accepted.borrow_mut().get_mut(&session).unwrap() += 1,
@@ -207,12 +212,7 @@ fn check_invariants(seed: u64, run: &ChaosRun) {
 #[test]
 fn stream_fails_over_to_alternate_network_mid_transfer() {
     let (net, a, b) = dual_homed(7);
-    let mut sim = Sim::new(
-        StackBuilder::new(net)
-            .obs(true)
-            .retain_spans(true)
-            .build(),
-    );
+    let mut sim = Sim::new(StackBuilder::new(net).obs(true).retain_spans(true).build());
     let got: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
     let ended: Rc<RefCell<Vec<EndReason>>> = Rc::new(RefCell::new(Vec::new()));
     {
@@ -233,7 +233,15 @@ fn stream_fails_over_to_alternate_network_mid_transfer() {
     sim.run();
 
     // Which network carries the established stream? Fail exactly that one.
-    let carrier = sim.state.net.host(a).rms.values().next().expect("rms up").path[0];
+    let carrier = sim
+        .state
+        .net
+        .host(a)
+        .rms
+        .values()
+        .next()
+        .expect("rms up")
+        .path[0];
 
     let n = 30u64;
     let base = sim.now();
@@ -252,7 +260,11 @@ fn stream_fails_over_to_alternate_network_mid_transfer() {
 
     // Every message arrived exactly once, in order, despite the dead net.
     assert_eq!(*got.borrow(), (0..n).collect::<Vec<_>>());
-    assert!(ended.borrow().is_empty(), "stream must survive: {:?}", ended.borrow());
+    assert!(
+        ended.borrow().is_empty(),
+        "stream must survive: {:?}",
+        ended.borrow()
+    );
 
     // The failover is visible in the metric registry.
     let reg = &mut sim.state.net.obs.registry;
@@ -277,7 +289,12 @@ fn stream_fails_over_to_alternate_network_mid_transfer() {
             .windows(2)
             .map(|p| p[1].1.saturating_since(p[0].1))
             .fold(SimDuration::ZERO, |acc, d| acc + d);
-        assert_eq!(sum, span.e2e(), "span {}: stage latencies telescope", span.span);
+        assert_eq!(
+            sum,
+            span.e2e(),
+            "span {}: stage latencies telescope",
+            span.span
+        );
     }
 }
 
@@ -312,10 +329,8 @@ fn host_crash_yields_typed_end_not_a_stall() {
     assert!(processed < EVENT_BOUND);
     let ends = ends.borrow();
     assert!(
-        ends.iter().any(|r| matches!(
-            r,
-            EndReason::ChannelFailed(_) | EndReason::RetriesExhausted
-        )),
+        ends.iter()
+            .any(|r| matches!(r, EndReason::ChannelFailed(_) | EndReason::RetriesExhausted)),
         "sender must see a typed end, got {ends:?}"
     );
 }

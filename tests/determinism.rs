@@ -1,13 +1,14 @@
-//! Golden determinism gate for the e10 scale workload.
+//! Golden determinism gate for the e10 scale and e11 routing workloads.
 //!
-//! Runs the scaled-down CI size of `e10_scale` twice in-process and
-//! demands byte-identical outcomes: the network-layer trace, the full
+//! Runs the scaled-down CI sizes twice in-process and demands
+//! byte-identical outcomes: the network-layer trace, the full
 //! metric-registry dump, and every deterministic scalar (event count,
 //! message count, peak queue depth). This is the safety net that licenses
 //! refactors of the event engine's internals — any change to event
 //! ordering, timer semantics, or metric accounting shows up here as a
 //! byte-level diff long before it corrupts an experiment.
 
+use dash_bench::e_routing::{run_routing, RoutingParams};
 use dash_bench::e_scale::{run_scale, ScaleParams};
 
 /// The full CI scenario (faults, churn, CPUs, trace recording) twice.
@@ -79,5 +80,53 @@ fn e10_ci_without_drill_also_replays() {
     params.churn_per_wave = 2;
     let first = run_scale(&params);
     let second = run_scale(&params);
+    assert_eq!(first.determinism_digest(), second.determinism_digest());
+}
+
+/// Routing-churn golden: the e11 dumbbell scenario — link-state floods,
+/// admission NAKs falling back across alternates, a mid-run corridor
+/// outage with lazy reconvergence and subtransport failover — replays
+/// byte-identically, trace and registry included. This pins down the
+/// whole event-driven reconvergence path (flood ordering, LSDB updates,
+/// route-generation staleness checks) at the trace level.
+#[test]
+fn e11_routing_churn_replay_is_byte_identical() {
+    let params = RoutingParams::ci();
+    let first = run_routing(&params);
+    let second = run_routing(&params);
+
+    // The scenario exercised what it claims to: establishment fell back
+    // to an alternate, the outage triggered floods and recomputations,
+    // and streams re-homed (failovers recorded recovery latency).
+    assert!(first.streams_opened > 5, "{} streams", first.streams_opened);
+    assert!(first.alternate_wins >= 1, "no alternate wins");
+    assert!(first.floods > 0, "no link-state floods");
+    assert!(first.recomputes > 0, "no route recomputations");
+    assert!(first.recoveries > 0, "no subtransport failovers");
+    assert!(
+        !first.trace_dump.is_empty(),
+        "CI size must record the trace"
+    );
+
+    assert_eq!(first.events, second.events, "event counts diverged");
+    assert_eq!(
+        first.registry_dump, second.registry_dump,
+        "metric registry dumps diverged between identical runs"
+    );
+    assert_eq!(
+        first.trace_dump, second.trace_dump,
+        "traces diverged between identical runs"
+    );
+    assert_eq!(first.determinism_digest(), second.determinism_digest());
+}
+
+/// Same replay guarantee on the 3×3 mesh: reconvergence around the mesh
+/// centre's outage is deterministic too.
+#[test]
+fn e11_mesh_replay_is_byte_identical() {
+    let params = RoutingParams::ci().on_mesh();
+    let first = run_routing(&params);
+    let second = run_routing(&params);
+    assert!(first.floods > 0 && first.recomputes > 0);
     assert_eq!(first.determinism_digest(), second.determinism_digest());
 }

@@ -21,24 +21,45 @@ use dash::transport::stream::StreamProfile;
 #[test]
 fn every_workload_coexists_on_one_lan() {
     let (net, a, b) = two_hosts_ethernet();
-    let stack =
-        StackBuilder::new(net)
+    let stack = StackBuilder::new(net)
         .cpus(SchedPolicy::Edf, SimDuration::from_micros(5))
         .build();
     let mut sim = Sim::new(stack);
     let taps = Dispatcher::install(&mut sim, &[a, b]);
 
-    let voice = start_media(&mut sim, &taps, a, b, MediaSpec::voice(SimDuration::from_secs(1)), 3);
+    let voice = start_media(
+        &mut sim,
+        &taps,
+        a,
+        b,
+        MediaSpec::voice(SimDuration::from_secs(1)),
+        3,
+    );
     let window = start_window_system(&mut sim, &taps, a, b, WindowSpec::default(), 5);
-    let bulk = start_bulk(&mut sim, &taps, a, b, 256 * 1024, 4 * 1024, StreamProfile::bulk());
+    let bulk = start_bulk(
+        &mut sim,
+        &taps,
+        a,
+        b,
+        256 * 1024,
+        4 * 1024,
+        StreamProfile::bulk(),
+    );
     let echoed = Rc::new(RefCell::new(0u32));
     rkom::register_service(&mut sim.state, b, 1, |_s, _c, req| req);
     for _ in 0..10 {
         let e = Rc::clone(&echoed);
-        rkom::call(&mut sim, a, b, 1, Bytes::from_static(b"x"), move |_s, res| {
-            assert!(res.is_ok());
-            *e.borrow_mut() += 1;
-        });
+        rkom::call(
+            &mut sim,
+            a,
+            b,
+            1,
+            Bytes::from_static(b"x"),
+            move |_s, res| {
+                assert!(res.is_ok());
+                *e.borrow_mut() += 1;
+            },
+        );
     }
     let bulk_done = run_until_complete(&mut sim, &bulk, SimDuration::from_secs(10));
     sim.run_until(sim.now() + SimDuration::from_secs(2));
@@ -46,7 +67,11 @@ fn every_workload_coexists_on_one_lan() {
     assert!(bulk_done, "bulk: {:?}", bulk.borrow());
     assert_eq!(*echoed.borrow(), 10);
     let v = voice.borrow();
-    assert!(v.on_time_fraction() > 0.9, "voice on-time {:?}", v.on_time_fraction());
+    assert!(
+        v.on_time_fraction() > 0.9,
+        "voice on-time {:?}",
+        v.on_time_fraction()
+    );
     let w = window.borrow();
     assert!(w.updates_received > 0);
     assert_eq!(w.late_interactions, 0);
@@ -58,7 +83,15 @@ fn stack_survives_network_failure_and_reestablishes() {
     let mut sim = Sim::new(StackBuilder::new(net).build());
     let taps = Dispatcher::install(&mut sim, &[a, b]);
 
-    let bulk = start_bulk(&mut sim, &taps, a, b, 64 * 1024, 2 * 1024, StreamProfile::bulk());
+    let bulk = start_bulk(
+        &mut sim,
+        &taps,
+        a,
+        b,
+        64 * 1024,
+        2 * 1024,
+        StreamProfile::bulk(),
+    );
     sim.run_until(sim.now() + SimDuration::from_millis(500));
     // The WAN dies mid-transfer.
     fail_network(&mut sim, NetworkId(1));
@@ -68,7 +101,15 @@ fn stack_survives_network_failure_and_reestablishes() {
     // The network comes back; a fresh session works (clients must create
     // new RMSs after failure, §4.4).
     dash::net::pipeline::restore_network(&mut sim, NetworkId(1));
-    let retry = start_bulk(&mut sim, &taps, a, b, 64 * 1024, 2 * 1024, StreamProfile::bulk());
+    let retry = start_bulk(
+        &mut sim,
+        &taps,
+        a,
+        b,
+        64 * 1024,
+        2 * 1024,
+        StreamProfile::bulk(),
+    );
     let done = run_until_complete(&mut sim, &retry, SimDuration::from_secs(30));
     assert!(done, "retry transfer should complete: {:?}", retry.borrow());
 }
@@ -79,7 +120,14 @@ fn deterministic_runs_are_reproducible() {
         let (net, a, b) = two_hosts_ethernet();
         let mut sim = Sim::new(StackBuilder::new(net).build());
         let taps = Dispatcher::install(&mut sim, &[a, b]);
-        let voice = start_media(&mut sim, &taps, a, b, MediaSpec::voice(SimDuration::from_secs(1)), 9);
+        let voice = start_media(
+            &mut sim,
+            &taps,
+            a,
+            b,
+            MediaSpec::voice(SimDuration::from_secs(1)),
+            9,
+        );
         sim.run();
         let v = voice.borrow();
         (v.sent, v.received, sim.events_processed())
@@ -122,12 +170,17 @@ fn secure_stream_on_untrusted_internetwork() {
 
     assert_eq!(got.borrow().len(), 1);
     assert_eq!(got.borrow()[0].payload().as_ref(), &secret[..]);
-    let taps = sim.state.net.network(NetworkId(0)).wiretap.as_ref().unwrap();
+    let taps = sim
+        .state
+        .net
+        .network(NetworkId(0))
+        .wiretap
+        .as_ref()
+        .unwrap();
     assert!(!taps.is_empty());
     assert!(
-        taps.iter().all(|t| !t
-            .windows(secret.len())
-            .any(|w| w == &secret[..])),
+        taps.iter()
+            .all(|t| !t.windows(secret.len()).any(|w| w == &secret[..])),
         "plaintext must never appear on the wire"
     );
 }

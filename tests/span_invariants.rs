@@ -7,11 +7,11 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use dash::core::{RmsParams, RmsRequest};
 use dash::net::topology::two_hosts_ethernet;
 use dash::prelude::*;
 use dash::subtransport::engine as st_engine;
 use dash::subtransport::st::StEvent;
-use dash::core::{RmsParams, RmsRequest};
 
 /// Canonical pipeline order; every span's stage sequence must be a
 /// subsequence of this.

@@ -56,7 +56,10 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        assert!(begin <= finish && finish <= self.len(), "slice out of bounds");
+        assert!(
+            begin <= finish && finish <= self.len(),
+            "slice out of bounds"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + begin,

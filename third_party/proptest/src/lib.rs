@@ -2,7 +2,7 @@
 //!
 //! The build container cannot reach crates.io, so this crate provides the
 //! small slice of the `proptest` API the workspace's property tests use:
-//! the [`Strategy`] trait (ranges, tuples, [`prelude::Just`], `prop_map`,
+//! the `Strategy` trait (ranges, tuples, [`prelude::Just`], `prop_map`,
 //! [`collection::vec`], `any::<T>()`, `prop_oneof!`) and the `proptest!` /
 //! `prop_assert!` macros. Generation is a deterministic splitmix64 stream,
 //! so failures reproduce exactly; there is no shrinking. Swap the path
@@ -243,7 +243,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// Strategy for `Vec<T>` with a length drawn from `len` (see [`vec`]).
+    /// Strategy for `Vec<T>` with a length drawn from `len` (see [`vec()`](vec())).
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,
