@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use dash_net::ids::HostId;
 use dash_net::pipeline as net;
 use dash_net::state::NetWorld;
@@ -26,6 +26,7 @@ use dash_sim::engine::{Sim, TimerHandle};
 use dash_sim::obs::ObsEvent;
 use dash_sim::stats::{Counter, Histogram};
 use dash_sim::time::{SimDuration, SimTime};
+use rms_core::wire::WireMsg;
 
 /// The datagram protocol number used by this TCP-like transport.
 pub const TCP_PROTO: u16 = 6;
@@ -73,8 +74,10 @@ struct Segment {
     payload: Bytes,
 }
 
-fn encode_segment(s: &Segment) -> Bytes {
-    let mut b = BytesMut::with_capacity(32 + s.payload.len());
+/// Encode as a scatter-gather wire body: a 33-byte owned header chunk
+/// plus the payload's shared view (never copied).
+fn encode_segment(s: &Segment) -> WireMsg {
+    let mut b = BytesMut::with_capacity(33);
     b.put_u16(s.src_port);
     b.put_u16(s.dst_port);
     b.put_u64(s.seq);
@@ -82,25 +85,20 @@ fn encode_segment(s: &Segment) -> Bytes {
     b.put_u8(s.flags);
     b.put_u64(s.window);
     b.put_u32(s.payload.len() as u32);
-    b.put_slice(&s.payload);
-    b.freeze()
+    let mut out = WireMsg::from_bytes(b.freeze());
+    out.push(s.payload.clone());
+    out
 }
 
-fn decode_segment(bytes: &Bytes) -> Option<Segment> {
-    let mut b = bytes.clone();
-    if b.remaining() < 2 + 2 + 8 + 8 + 1 + 8 + 4 {
-        return None;
-    }
-    let src_port = b.get_u16();
-    let dst_port = b.get_u16();
-    let seq = b.get_u64();
-    let ack = b.get_u64();
-    let flags = b.get_u8();
-    let window = b.get_u64();
-    let len = b.get_u32() as usize;
-    if b.remaining() < len {
-        return None;
-    }
+fn decode_segment(wire: &WireMsg) -> Option<Segment> {
+    let mut b = wire.cursor();
+    let src_port = b.get_u16().ok()?;
+    let dst_port = b.get_u16().ok()?;
+    let seq = b.get_u64().ok()?;
+    let ack = b.get_u64().ok()?;
+    let flags = b.get_u8().ok()?;
+    let window = b.get_u64().ok()?;
+    let len = b.get_u32().ok()? as usize;
     Some(Segment {
         src_port,
         dst_port,
@@ -108,7 +106,7 @@ fn decode_segment(bytes: &Bytes) -> Option<Segment> {
         ack,
         flags,
         window,
-        payload: b.split_to(len),
+        payload: b.take_bytes(len).ok()?,
     })
 }
 
@@ -619,7 +617,7 @@ pub fn on_datagram<W: TcpWorld>(
     sim: &mut Sim<W>,
     host: HostId,
     src: HostId,
-    payload: Bytes,
+    payload: WireMsg,
     _sent_at: SimTime,
 ) {
     let Some(seg) = decode_segment(&payload) else {
@@ -848,6 +846,6 @@ mod tests {
 
     #[test]
     fn decode_rejects_short() {
-        assert!(decode_segment(&Bytes::from_static(b"xx")).is_none());
+        assert!(decode_segment(&WireMsg::from_bytes(Bytes::from_static(b"xx"))).is_none());
     }
 }

@@ -15,10 +15,11 @@ use dash_sim::time::SimDuration;
 use dash_sim::time::SimTime;
 use dash_subtransport::ids::StRmsId;
 use dash_subtransport::piggyback::{PendingEntry, PiggybackQueue};
-use dash_subtransport::wire::{data_frame_len, decode, encode, DataFrame, Frame};
+use dash_subtransport::wire::{decode, encode, DataFrame, Frame};
 use rms_core::admission::ResourceLedger;
 use rms_core::delay::DelayBound;
 use rms_core::params::RmsParams;
+use rms_core::wire::WireMsg;
 
 fn bench_checksums(c: &mut Criterion) {
     let data = vec![0xa5u8; 1500];
@@ -56,7 +57,7 @@ fn bench_wire(c: &mut Criterion) {
         source: None,
         target: None,
         span: None,
-        payload: Bytes::from(vec![1u8; 512]),
+        payload: WireMsg::from(vec![1u8; 512]),
     });
     let encoded = encode(&frame);
     let mut g = c.benchmark_group("st-wire-512B");
@@ -84,11 +85,13 @@ fn bench_piggyback(c: &mut Criterion) {
                     source: None,
                     target: None,
                     span: None,
-                    payload: Bytes::from_static(&[0u8; 64]),
+                    payload: WireMsg::from_bytes(Bytes::from_static(&[0u8; 64])),
                 };
                 let e = PendingEntry {
-                    encoded_len: data_frame_len(64, false, false, false, false),
-                    frame,
+                    wire: encode(&Frame::Data(frame)),
+                    st_rms: StRmsId(i % 4),
+                    sent_at: SimTime::ZERO,
+                    span: None,
                     min_deadline: SimTime::ZERO,
                     max_deadline: SimTime::from_nanos(1_000_000),
                 };
@@ -111,7 +114,7 @@ fn bench_iface_queue(c: &mut Criterion) {
                     kind: PacketKind::Data(DataPacket {
                         rms: NetRmsId(1),
                         seq: i,
-                        payload: Bytes::from_static(&[0u8; 128]),
+                        payload: WireMsg::from_bytes(Bytes::from_static(&[0u8; 128])),
                         source: None,
                         target: None,
                         mac: None,

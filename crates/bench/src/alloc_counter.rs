@@ -1,0 +1,45 @@
+//! A counting global allocator for the macro-workload binaries.
+//!
+//! The scatter-gather wire path is justified by allocations saved, so the
+//! e10/e11 binaries count every heap allocation made during the run and
+//! report `allocs_per_event` next to the throughput numbers. The counter
+//! wraps [`System`] and only bumps an atomic on the alloc/realloc paths;
+//! deallocation is free. Binaries opt in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: dash_bench::alloc_counter::CountingAlloc = CountingAlloc;
+//! ```
+//!
+//! and read a before/after delta via [`alloc_count`].
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Heap allocations observed so far (monotonic; diff two reads).
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// [`System`] plus an allocation counter.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; the only addition is a
+// relaxed atomic increment, which cannot violate allocator invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

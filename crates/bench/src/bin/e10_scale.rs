@@ -11,7 +11,11 @@
 //! object (the shape `BENCH_scale.json` stores and `check_bench.sh`
 //! compares) is written to PATH, otherwise to stdout.
 
+use dash_bench::alloc_counter::{alloc_count, CountingAlloc};
 use dash_bench::e_scale::{run_scale, ScaleParams};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,14 +56,18 @@ fn main() {
         params.lans * (params.voice_per_lan + params.bulk_per_lan),
         params.duration.as_secs_f64(),
     );
-    let o = run_scale(&params);
+    let allocs_before = alloc_count();
+    let mut o = run_scale(&params);
+    o.allocs = alloc_count() - allocs_before;
     eprintln!(
-        "e10_scale [{config}]: {} events in {:.2} s wall ({:.0} events/s, {:.0} msgs/s), \
-         {} streams opened, {} refused, {} msgs, peak queue {} B, {} cache misses",
+        "e10_scale [{config}]: {} events in {:.2} s wall ({:.0} events/s, {:.0} msgs/s, \
+         {:.2} allocs/event), {} streams opened, {} refused, {} msgs, peak queue {} B, \
+         {} cache misses",
         o.events,
         o.wall_secs,
         o.events_per_sec(),
         o.msgs_per_sec(),
+        o.allocs_per_event(),
         o.streams_opened,
         o.open_failed,
         o.messages,

@@ -13,7 +13,11 @@
 //! `BENCH_routing.json` stores and `scripts/check_bench.sh` compares.
 //! Human-readable summaries go to stderr.
 
+use dash_bench::alloc_counter::{alloc_count, CountingAlloc};
 use dash_bench::e_routing::{run_routing, RoutingParams, RoutingTopo};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,15 +60,18 @@ fn main() {
             RoutingTopo::DumbbellBackup => "dumbbell",
             RoutingTopo::Mesh3x3 => "mesh",
         };
-        let o = run_routing(&params);
+        let allocs_before = alloc_count();
+        let mut o = run_routing(&params);
+        o.allocs = alloc_count() - allocs_before;
         eprintln!(
             "e11_routing [{config}/{name}]: {} hosts, {} events in {:.2} s wall \
-             ({:.0} events/s), {} opened, {} refused, {} alt wins, {} floods, \
-             {} recomputes, {} failovers, {} msgs",
+             ({:.0} events/s, {:.2} allocs/event), {} opened, {} refused, {} alt wins, \
+             {} floods, {} recomputes, {} failovers, {} msgs",
             o.hosts,
             o.events,
             o.wall_secs,
             o.events_per_sec(),
+            o.allocs_per_event(),
             o.streams_opened,
             o.open_failed,
             o.alternate_wins,

@@ -176,9 +176,23 @@ pub struct RoutingOutcome {
     pub registry_dump: String,
     /// Observability trace (empty unless `record_trace`).
     pub trace_dump: String,
+    /// Heap allocations made during the run. Zero unless the caller runs
+    /// under a counting allocator and fills it in (the e11 binary does);
+    /// excluded from [`Self::determinism_digest`] because the count is a
+    /// property of the build, not of the simulated world.
+    pub allocs: u64,
 }
 
 impl RoutingOutcome {
+    /// Heap allocations per engine event (0 when not measured).
+    pub fn allocs_per_event(&self) -> f64 {
+        if self.events > 0 {
+            self.allocs as f64 / self.events as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Engine events per wall-clock second.
     pub fn events_per_sec(&self) -> f64 {
         if self.wall_secs > 0.0 {
@@ -195,7 +209,7 @@ impl RoutingOutcome {
              \"events\":{},\"messages\":{},\"floods\":{},\"recomputes\":{},\
              \"alternate_wins\":{},\"recoveries\":{},\"faults_injected\":{},\
              \"sim_secs\":{:.3},\"wall_secs\":{:.3},\"events_per_sec\":{:.0},\
-             \"peak_queue_bytes\":{}}}",
+             \"allocs_per_event\":{:.3},\"peak_queue_bytes\":{}}}",
             self.hosts,
             self.streams_opened,
             self.open_failed,
@@ -209,6 +223,7 @@ impl RoutingOutcome {
             self.sim_secs,
             self.wall_secs,
             self.events_per_sec(),
+            self.allocs_per_event(),
             self.peak_queue_bytes,
         )
     }
@@ -512,6 +527,7 @@ pub fn run_routing(params: &RoutingParams) -> RoutingOutcome {
         peak_queue_bytes,
         registry_dump,
         trace_dump,
+        allocs: 0,
     }
 }
 
@@ -572,8 +588,8 @@ fn schedule_probe(
     sim.schedule_in(interval, move |sim| {
         let a = sites[0][0];
         let b = *sites[sites.len() - 1].last().unwrap();
-        send_datagram(sim, a, b, 0x90e1, Bytes::from_static(b"probe"));
-        send_datagram(sim, b, a, 0x90e1, Bytes::from_static(b"probe"));
+        send_datagram(sim, a, b, 0x90e1, Bytes::from_static(b"probe").into());
+        send_datagram(sim, b, a, 0x90e1, Bytes::from_static(b"probe").into());
         schedule_probe(sim, sites, interval, duration);
     });
 }

@@ -172,9 +172,23 @@ pub struct ScaleOutcome {
     pub registry_dump: String,
     /// Network-layer trace dump (empty unless `record_trace`).
     pub trace_dump: String,
+    /// Heap allocations made during the run. Zero unless the caller runs
+    /// under a counting allocator and fills it in (the e10 binary does);
+    /// excluded from [`Self::determinism_digest`] because the count is a
+    /// property of the build, not of the simulated world.
+    pub allocs: u64,
 }
 
 impl ScaleOutcome {
+    /// Heap allocations per engine event (0 when not measured).
+    pub fn allocs_per_event(&self) -> f64 {
+        if self.events > 0 {
+            self.allocs as f64 / self.events as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Engine events per wall-clock second.
     pub fn events_per_sec(&self) -> f64 {
         if self.wall_secs > 0.0 {
@@ -200,7 +214,8 @@ impl ScaleOutcome {
              \"hosts\":{},\"streams_opened\":{},\"open_failed\":{},\
              \"events\":{},\"messages\":{},\"sim_secs\":{:.3},\
              \"wall_secs\":{:.3},\"events_per_sec\":{:.0},\
-             \"msgs_per_sec\":{:.0},\"peak_queue_bytes\":{},\
+             \"msgs_per_sec\":{:.0},\"allocs_per_event\":{:.3},\
+             \"peak_queue_bytes\":{},\
              \"cache_misses\":{},\"cache_evictions\":{},\"faults_injected\":{}}}",
             self.hosts,
             self.streams_opened,
@@ -211,6 +226,7 @@ impl ScaleOutcome {
             self.wall_secs,
             self.events_per_sec(),
             self.msgs_per_sec(),
+            self.allocs_per_event(),
             self.peak_queue_bytes,
             self.cache_misses,
             self.cache_evictions,
@@ -540,6 +556,7 @@ fn collect_outcome(
         faults_injected,
         registry_dump,
         trace_dump,
+        allocs: 0,
     }
 }
 

@@ -10,6 +10,7 @@
 //! paper predicts (who wins, what gets eliminated, where behaviour
 //! degrades).
 
+pub mod alloc_counter;
 pub mod e_baseline;
 pub mod e_capacity;
 pub mod e_routing;

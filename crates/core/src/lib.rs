@@ -13,6 +13,8 @@
 //! - [`compat`]: the compatibility relation and desired/acceptable
 //!   negotiation, plus provider [`compat::ServiceTable`]s (§2.4, §3.1).
 //! - [`message`]: untyped, labelled messages (§2).
+//! - [`wire`]: scatter-gather encoded messages ([`wire::WireMsg`]) and
+//!   the zero-copy decode cursor ([`wire::WireCursor`]).
 //! - [`port`]: passive receiver ports; delivery = enqueue (§2).
 //! - [`bandwidth`]: the `C/D` bandwidth identity (§2.2).
 //! - [`admission`]: deterministic and statistical admission tests (§2.3).
@@ -66,6 +68,7 @@ pub mod hash;
 pub mod message;
 pub mod params;
 pub mod port;
+pub mod wire;
 
 pub use compat::{is_compatible, negotiate, RmsRequest, ServiceTable};
 pub use delay::{DelayBound, DelayBoundKind, StatisticalSpec};
@@ -76,3 +79,4 @@ pub use params::{
     Authentication, BitErrorRate, Privacy, Reliability, RmsParams, SecurityParams, SharedParams,
 };
 pub use port::{DeliveryInfo, Port};
+pub use wire::{WireCursor, WireMsg};

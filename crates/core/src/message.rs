@@ -7,6 +7,8 @@ use std::fmt;
 
 use bytes::Bytes;
 
+use crate::wire::WireMsg;
+
 /// An opaque identity label for a sender or receiver (§2). In DASH these
 /// name processes/ports; the numeric value is assigned by the naming layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -20,8 +22,10 @@ impl fmt::Display for Label {
 
 /// An RMS message: an untyped byte array with optional source/target labels.
 ///
-/// Payloads are reference-counted ([`Bytes`]) so retransmission and
-/// piggybacking never copy message bodies.
+/// The body is a scatter-gather [`WireMsg`] — an ordered list of
+/// reference-counted [`Bytes`] segments — so protocol layers can wrap
+/// headers around a payload, retransmit, piggyback, fragment and
+/// reassemble without ever copying message bytes.
 #[derive(Debug, Clone)]
 pub struct Message {
     /// Optional label identifying the sender (verified when the RMS is
@@ -35,7 +39,7 @@ pub struct Message {
     /// observability sink is active. Excluded from equality: a delivered
     /// copy compares equal to the original even though it acquired a span.
     pub span: Option<u64>,
-    payload: Bytes,
+    payload: WireMsg,
 }
 
 impl PartialEq for Message {
@@ -49,11 +53,17 @@ impl Eq for Message {}
 impl Message {
     /// A message with the given payload and no labels.
     pub fn new(payload: impl Into<Bytes>) -> Self {
+        Message::from_wire(WireMsg::from_bytes(payload))
+    }
+
+    /// A message wrapping an already scatter-gathered body, with no
+    /// labels. This is the zero-copy constructor protocol layers use.
+    pub fn from_wire(payload: WireMsg) -> Self {
         Message {
             source: None,
             target: None,
             span: None,
-            payload: payload.into(),
+            payload,
         }
     }
 
@@ -63,7 +73,7 @@ impl Message {
             source: Some(source),
             target: Some(target),
             span: None,
-            payload: payload.into(),
+            payload: WireMsg::from_bytes(payload),
         }
     }
 
@@ -74,8 +84,9 @@ impl Message {
     }
 
     /// A zero-filled message of `len` bytes — the standard synthetic
-    /// workload body. Bodies up to 64 KB borrow a static zero page (no
-    /// allocation, lives in `.bss`); larger ones fall back to a `Vec`.
+    /// workload body. Bodies up to 64 KB view a static zero page through
+    /// the same `Bytes::from_static` zero-allocation path real payloads
+    /// take; larger ones fall back to a `Vec`.
     pub fn zeroes(len: usize) -> Self {
         static ZERO_PAGE: [u8; 64 * 1024] = [0u8; 64 * 1024];
         if len <= ZERO_PAGE.len() {
@@ -85,9 +96,22 @@ impl Message {
         }
     }
 
-    /// The payload bytes.
-    pub fn payload(&self) -> &Bytes {
+    /// The payload as one cheap [`Bytes`] handle. Free when the body is
+    /// a single segment (every app-level message); flattens multi-segment
+    /// bodies. Protocol layers on the hot path should use [`Message::wire`]
+    /// instead and decode the segments in place.
+    pub fn payload(&self) -> Bytes {
+        self.payload.contiguous()
+    }
+
+    /// The scatter-gather body, for zero-copy cursor decode.
+    pub fn wire(&self) -> &WireMsg {
         &self.payload
+    }
+
+    /// Consume the message, returning the scatter-gather body.
+    pub fn into_wire(self) -> WireMsg {
+        self.payload
     }
 
     /// Payload length in bytes.
@@ -102,7 +126,8 @@ impl Message {
 
     /// Split the payload into chunks of at most `chunk` bytes, preserving
     /// order. Used by the subtransport layer's fragmentation (§4.3). The
-    /// labels are carried on every fragment. An empty message yields one
+    /// labels are carried on every fragment; the chunks are zero-copy
+    /// views of this message's segments. An empty message yields one
     /// empty fragment.
     ///
     /// # Panics
@@ -113,17 +138,18 @@ impl Message {
         if self.payload.is_empty() {
             return vec![self.clone()];
         }
-        let mut out = Vec::with_capacity(self.payload.len().div_ceil(chunk));
-        let mut rest = self.payload.clone();
-        while !rest.is_empty() {
-            let take = rest.len().min(chunk);
-            let part = rest.split_to(take);
+        let len = self.payload.len();
+        let mut out = Vec::with_capacity(len.div_ceil(chunk));
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
             out.push(Message {
                 source: self.source,
                 target: self.target,
                 span: self.span,
-                payload: part,
+                payload: self.payload.slice(start, end),
             });
+            start = end;
         }
         out
     }
@@ -155,6 +181,17 @@ mod tests {
     }
 
     #[test]
+    fn payload_handle_is_zero_copy_for_single_segment() {
+        let body = Bytes::from(vec![5u8; 64]);
+        let m = Message::new(body.clone());
+        // The handle is a view of the same buffer, not a copy.
+        assert_eq!(m.payload().as_ptr(), body.as_ptr());
+        // And so is the wire body.
+        assert_eq!(m.wire().seg_count(), 1);
+        assert_eq!(m.into_wire().contiguous().as_ptr(), body.as_ptr());
+    }
+
+    #[test]
     fn split_into_preserves_bytes_and_labels() {
         let m = Message::labelled(Label(7), Label(8), (0u8..10).collect::<Vec<_>>());
         let parts = m.split_into(4);
@@ -162,10 +199,7 @@ mod tests {
         assert_eq!(parts[0].len(), 4);
         assert_eq!(parts[1].len(), 4);
         assert_eq!(parts[2].len(), 2);
-        let rejoined: Vec<u8> = parts
-            .iter()
-            .flat_map(|p| p.payload().iter().copied())
-            .collect();
+        let rejoined: Vec<u8> = parts.iter().flat_map(|p| p.payload().to_vec()).collect();
         assert_eq!(rejoined, (0u8..10).collect::<Vec<_>>());
         assert!(parts.iter().all(|p| p.source == Some(Label(7))));
     }

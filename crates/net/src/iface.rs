@@ -209,7 +209,7 @@ mod tests {
     use super::*;
     use crate::ids::{HostId, NetRmsId};
     use crate::packet::{DataPacket, PacketKind};
-    use bytes::Bytes;
+    use rms_core::wire::WireMsg;
 
     fn ledger() -> ResourceLedger {
         ResourceLedger::new(10e6 / 8.0, 1 << 20)
@@ -222,7 +222,7 @@ mod tests {
             kind: PacketKind::Data(DataPacket {
                 rms: NetRmsId(0),
                 seq: 0,
-                payload: Bytes::from(vec![0u8; len]),
+                payload: WireMsg::from(vec![0u8; len]),
                 source: None,
                 target: None,
                 mac: None,

@@ -1,11 +1,11 @@
 //! Packets: what travels on the simulated wire.
 
-use bytes::Bytes;
 use dash_security::cipher::Key;
 use dash_security::suite::MechanismPlan;
 use dash_sim::time::SimTime;
 use rms_core::message::Label;
 use rms_core::params::SharedParams;
+use rms_core::wire::WireMsg;
 
 use crate::ids::{CreateToken, HostId, NetRmsId, NetworkId};
 use crate::routing::lsdb::LinkStateAd;
@@ -62,8 +62,9 @@ pub struct DataPacket {
     pub rms: NetRmsId,
     /// Sender-assigned sequence number on that RMS.
     pub seq: u64,
-    /// Payload bytes (possibly ciphertext).
-    pub payload: Bytes,
+    /// Payload segments (possibly ciphertext). Scatter-gather: the views
+    /// are shared with the sender's buffers, never copied per hop.
+    pub payload: WireMsg,
     /// Optional source label (§2: authenticated streams verify it).
     pub source: Option<Label>,
     /// Optional target label.
@@ -138,8 +139,8 @@ pub enum PacketKind {
     Raw {
         /// Demultiplexing tag for the upper layer.
         proto: u16,
-        /// Payload bytes.
-        payload: Bytes,
+        /// Payload segments (scatter-gather, shared with the sender).
+        payload: WireMsg,
     },
     /// A link-state advertisement flooded by the routing subsystem
     /// (`crate::routing`). Control-plane: overflow-exempt and sent with
@@ -265,7 +266,7 @@ mod tests {
             kind: PacketKind::Data(DataPacket {
                 rms: NetRmsId(1),
                 seq: 0,
-                payload: Bytes::from(vec![0u8; payload_len]),
+                payload: WireMsg::from(vec![0u8; payload_len]),
                 source: None,
                 target: None,
                 mac: None,
@@ -309,7 +310,7 @@ mod tests {
         assert!(p.is_control());
         p.kind = PacketKind::Raw {
             proto: 7,
-            payload: Bytes::new(),
+            payload: WireMsg::new(),
         };
         assert!(!p.is_control());
     }

@@ -5,7 +5,6 @@
 //! subtransport layer (and test harnesses) stack on top without this crate
 //! knowing their shape.
 
-use bytes::Bytes;
 use dash_security::cipher::{decrypt, encrypt, Key};
 use dash_security::mac;
 use dash_security::suite::{MechanismPlan, NetworkCapabilities};
@@ -17,6 +16,7 @@ use rms_core::error::{FailReason, RejectReason, RmsError};
 use rms_core::message::Message;
 use rms_core::params::{BitErrorRate, Reliability};
 use rms_core::port::DeliveryInfo;
+use rms_core::wire::WireMsg;
 
 use crate::ids::{CreateToken, HostId, NetRmsId, NetworkId};
 use crate::network::WireOutcome;
@@ -681,16 +681,22 @@ pub fn send_on_rms<W: NetWorld>(
                     _ => return,
                 }
             }
+            let source = msg.source;
+            let target = msg.target;
+            let span = msg.span;
+            // Secured paths flatten the body once for the byte-stream
+            // transforms; the common unsecured path forwards the sender's
+            // segments untouched.
             let payload = if plan.encrypt {
-                encrypt(key, seq, msg.payload())
+                WireMsg::from_bytes(encrypt(key, seq, &msg.payload()))
             } else {
-                msg.payload().clone()
+                msg.into_wire()
             };
             let tag = plan.mac.then(|| {
-                let context = seq ^ msg.source.map(|l| l.0).unwrap_or(0).rotate_left(17);
-                mac::sign(key, context, &payload).0
+                let context = seq ^ source.map(|l| l.0).unwrap_or(0).rotate_left(17);
+                mac::sign(key, context, &payload.contiguous()).0
             });
-            let checksum = plan.checksum.map(|alg| alg.compute(&payload));
+            let checksum = plan.checksum.map(|alg| alg.compute(&payload.contiguous()));
             let packet = Packet {
                 src: host,
                 dst: peer,
@@ -698,11 +704,11 @@ pub fn send_on_rms<W: NetWorld>(
                     rms,
                     seq,
                     payload,
-                    source: msg.source,
-                    target: msg.target,
+                    source,
+                    target,
                     mac: tag,
                     checksum,
-                    span: msg.span,
+                    span,
                 }),
                 deadline,
                 sent_at,
@@ -726,7 +732,7 @@ pub fn send_datagram<W: NetWorld>(
     host: HostId,
     dst: HostId,
     proto: u16,
-    payload: Bytes,
+    payload: WireMsg,
 ) {
     let now = sim.now();
     let packet = Packet {
@@ -953,11 +959,15 @@ fn finish_tx<W: NetWorld>(
         // Frozen at enqueue time: re-resolving from the routing table here
         // could name a host that is not even attached to this network.
         let next_hop = packet.next_hop;
-        // Record what an eavesdropper on this network sees.
-        if let PacketKind::Data(d) = &packet.kind {
-            let payload = d.payload.clone();
-            if let Some(tap) = net.network_mut(network_id).wiretap.as_mut() {
-                tap.push(payload);
+        // Record what an eavesdropper on this network sees (flattened:
+        // the wire carries a byte stream, not our segment bookkeeping).
+        // Only pay for the flatten when a tap is actually installed.
+        if net.network(network_id).wiretap.is_some() {
+            if let PacketKind::Data(d) = &packet.kind {
+                let payload = d.payload.contiguous();
+                if let Some(tap) = net.network_mut(network_id).wiretap.as_mut() {
+                    tap.push(payload);
+                }
             }
         }
         let bytes = packet.wire_bytes();
@@ -1604,19 +1614,21 @@ fn deliver_data<W: NetWorld>(
                 return;
             }
             // Visible, deterministic corruption of the delivered bytes.
-            let mut v = payload.to_vec();
+            let mut v = payload.contiguous().to_vec();
             if let Some(b) = v.first_mut() {
                 *b ^= 0xff;
             }
-            payload = Bytes::from(v);
+            payload = WireMsg::from(v);
             state.stats.corrupt_delivered.incr();
         } else {
-            // Authentication: verify tag and source label (§2.1).
+            // Authentication: verify tag and source label (§2.1). The
+            // byte-stream transforms flatten once; unsecured streams (the
+            // common case) never take these branches.
             if plan.mac {
                 let context = data.seq ^ data.source.map(|l| l.0).unwrap_or(0).rotate_left(17);
                 let ok = data
                     .mac
-                    .map(|m| mac::verify(key, context, &payload, mac::Tag(m)))
+                    .map(|m| mac::verify(key, context, &payload.contiguous(), mac::Tag(m)))
                     .unwrap_or(false);
                 if !ok {
                     state.stats.corrupt_dropped.incr();
@@ -1624,7 +1636,7 @@ fn deliver_data<W: NetWorld>(
                 }
             }
             if let (Some(alg), Some(sum)) = (plan.checksum, data.checksum) {
-                if !alg.verify(&payload, sum) {
+                if !alg.verify(&payload.contiguous(), sum) {
                     state.stats.corrupt_dropped.incr();
                     state.stats.lost.incr();
                     return;
@@ -1632,7 +1644,7 @@ fn deliver_data<W: NetWorld>(
             }
         }
         if plan.encrypt {
-            payload = decrypt(key, data.seq, &payload);
+            payload = WireMsg::from_bytes(decrypt(key, data.seq, &payload.contiguous()));
         }
 
         // Ordering (§2 property 2: delivered in sequence).
@@ -1642,8 +1654,8 @@ fn deliver_data<W: NetWorld>(
             return;
         }
         let expected = state.last_delivered.map_or(0, |l| l + 1);
-        let mk_msg = |payload: Bytes| {
-            let mut m = Message::new(payload);
+        let mk_msg = |payload: WireMsg| {
+            let mut m = Message::from_wire(payload);
             m.source = data.source;
             m.target = data.target;
             m.span = data.span;
@@ -1657,7 +1669,7 @@ fn deliver_data<W: NetWorld>(
                 while let Some(next) = state.last_delivered.map(|l| l + 1) {
                     match state.reorder.remove(&next) {
                         Some(b) => {
-                            let mut m = Message::new(b.payload);
+                            let mut m = Message::from_wire(b.payload);
                             m.source = b.source;
                             m.target = b.target;
                             m.span = b.span;

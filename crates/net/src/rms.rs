@@ -2,13 +2,13 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
 use dash_security::cipher::Key;
 use dash_security::suite::MechanismPlan;
 use dash_sim::stats::{Counter, Histogram};
 use dash_sim::time::SimTime;
 use rms_core::message::Label;
 use rms_core::params::SharedParams;
+use rms_core::wire::WireMsg;
 
 use crate::ids::{HostId, NetRmsId, NetworkId};
 
@@ -47,8 +47,8 @@ pub struct RmsStats {
 /// A buffered out-of-order arrival on a reliable stream.
 #[derive(Debug)]
 pub struct Buffered {
-    /// Decrypted payload.
-    pub payload: Bytes,
+    /// Decrypted payload (scatter-gather, shared with the arrival path).
+    pub payload: WireMsg,
     /// Source label.
     pub source: Option<Label>,
     /// Target label.

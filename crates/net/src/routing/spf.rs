@@ -32,6 +32,66 @@ pub const K_ALTERNATES: usize = 3;
 /// Safety valve on the best-first search: total partial paths popped.
 const EXPANSION_CAP: usize = 20_000;
 
+/// Hop budget the frontier stores inline. Matches the default TTL, so the
+/// best-first search below allocates nothing per expansion in the common
+/// case; longer TTLs spill to a heap Vec (same inline-then-spill shape as
+/// `WireMsg`'s segment list).
+const INLINE_HOPS: usize = 16;
+
+/// An id sequence (hops or networks) held inline up to [`INLINE_HOPS`].
+/// Ordering is lexicographic over the raw ids — identical to the
+/// `Vec<HostId>` / `Vec<NetworkId>` ordering the search was specified
+/// with, so replacing the Vecs cannot change which paths are found.
+#[derive(Clone, PartialEq, Eq)]
+enum IdPath {
+    Inline { len: u8, buf: [u32; INLINE_HOPS] },
+    Spilled(Vec<u32>),
+}
+
+impl IdPath {
+    const EMPTY: IdPath = IdPath::Inline {
+        len: 0,
+        buf: [0; INLINE_HOPS],
+    };
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            IdPath::Inline { len, buf } => &buf[..*len as usize],
+            IdPath::Spilled(v) => v,
+        }
+    }
+
+    /// A copy of `self` with `id` appended; stays inline while it fits.
+    fn pushed(&self, id: u32) -> IdPath {
+        match self {
+            IdPath::Inline { len, buf } if (*len as usize) < INLINE_HOPS => {
+                let mut buf = *buf;
+                buf[*len as usize] = id;
+                IdPath::Inline { len: len + 1, buf }
+            }
+            _ => {
+                let s = self.as_slice();
+                let mut v = Vec::with_capacity(s.len() + 1);
+                v.extend_from_slice(s);
+                v.push(id);
+                IdPath::Spilled(v)
+            }
+        }
+    }
+}
+
+impl Ord for IdPath {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl PartialOrd for IdPath {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// A loop-free candidate path produced by [`k_paths`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct AltPath {
@@ -140,10 +200,12 @@ pub fn k_paths(state: &NetState, src: HostId, dst: HostId, k: usize) -> Vec<AltP
     let attached = attachment_map(lsdb);
     let ttl = state.config.ttl as usize;
     // Min-heap on (len, hops, networks): BinaryHeap is a max-heap, so the
-    // key is wrapped in `Reverse`.
-    type Frontier = (usize, Vec<HostId>, Vec<NetworkId>);
+    // key is wrapped in `Reverse`. Paths are inline-array `IdPath`s, so a
+    // frontier expansion allocates nothing until a path outgrows the TTL
+    // default.
+    type Frontier = (usize, IdPath, IdPath);
     let mut heap: BinaryHeap<Reverse<Frontier>> = BinaryHeap::new();
-    heap.push(Reverse((0, Vec::new(), Vec::new())));
+    heap.push(Reverse((0, IdPath::EMPTY, IdPath::EMPTY)));
     let mut visits: DetHashMap<HostId, usize> = DetHashMap::default();
     let mut out = Vec::new();
     let mut pops = 0usize;
@@ -152,8 +214,10 @@ pub fn k_paths(state: &NetState, src: HostId, dst: HostId, k: usize) -> Vec<AltP
         if pops > EXPANSION_CAP {
             break;
         }
-        let tail = hops.last().copied().unwrap_or(src);
+        let tail = hops.as_slice().last().map(|h| HostId(*h)).unwrap_or(src);
         if tail == dst {
+            let hops = hops.as_slice().iter().map(|h| HostId(*h)).collect();
+            let networks = networks.as_slice().iter().map(|n| NetworkId(*n)).collect();
             out.push(make_alt(lsdb, src, hops, networks));
             if out.len() >= k {
                 break;
@@ -182,17 +246,17 @@ pub fn k_paths(state: &NetState, src: HostId, dst: HostId, k: usize) -> Vec<AltP
                 continue;
             };
             for &peer in peers {
-                if peer == tail || peer == src || hops.contains(&peer) {
+                if peer == tail || peer == src || hops.as_slice().contains(&peer.0) {
                     continue;
                 }
                 if peer != dst && !state.host(peer).up {
                     continue;
                 }
-                let mut next_hops = hops.clone();
-                next_hops.push(peer);
-                let mut next_nets = networks.clone();
-                next_nets.push(link.network);
-                heap.push(Reverse((len + 1, next_hops, next_nets)));
+                heap.push(Reverse((
+                    len + 1,
+                    hops.pushed(peer.0),
+                    networks.pushed(link.network.0),
+                )));
             }
         }
     }

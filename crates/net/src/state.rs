@@ -9,7 +9,6 @@
 
 use rms_core::hash::DetHashMap;
 
-use bytes::Bytes;
 use dash_sim::engine::{Sim, TimerHandle};
 use dash_sim::obs::Obs;
 use dash_sim::rng::Rng;
@@ -21,6 +20,7 @@ use rms_core::error::{FailReason, RejectReason};
 use rms_core::message::Message;
 use rms_core::params::SharedParams;
 use rms_core::port::DeliveryInfo;
+use rms_core::wire::WireMsg;
 
 use dash_security::cipher::Key;
 use dash_security::cost::CostModel;
@@ -453,7 +453,7 @@ pub trait NetWorld: Sized + 'static {
         host: HostId,
         src: HostId,
         proto: u16,
-        payload: Bytes,
+        payload: WireMsg,
         sent_at: SimTime,
     ) {
         let _ = (sim, host, src, proto, payload, sent_at);

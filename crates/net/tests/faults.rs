@@ -17,6 +17,7 @@ use rms_core::error::{FailReason, RejectReason};
 use rms_core::message::Message;
 use rms_core::params::RmsParams;
 use rms_core::port::DeliveryInfo;
+use rms_core::wire::WireMsg;
 use rms_core::RmsRequest;
 
 /// A recording world.
@@ -26,7 +27,7 @@ struct World {
     created: Vec<(HostId, CreateToken, NetRmsId)>,
     create_failed: Vec<(HostId, CreateToken, RejectReason)>,
     failed: Vec<(HostId, NetRmsId, FailReason)>,
-    datagrams: Vec<(HostId, u16, Bytes, SimTime)>,
+    datagrams: Vec<(HostId, u16, WireMsg, SimTime)>,
     network_events: Vec<(NetworkId, bool)>,
 }
 
@@ -76,7 +77,7 @@ impl NetWorld for World {
         host: HostId,
         _src: HostId,
         proto: u16,
-        payload: Bytes,
+        payload: WireMsg,
         sent_at: SimTime,
     ) {
         sim.state.datagrams.push((host, proto, payload, sent_at));
@@ -185,7 +186,7 @@ fn control_packets_exempt_from_overflow_under_datagram_flood() {
 
     // Flood: far more raw bytes than the 4 KiB limit, all enqueued now.
     for _ in 0..32 {
-        send_datagram(&mut sim, a, c, 9, Bytes::from(vec![0u8; 1024]));
+        send_datagram(&mut sim, a, c, 9, Bytes::from(vec![0u8; 1024]).into());
     }
     let token = create_rms(&mut sim, a, c, &RmsRequest::exact(basic_params())).unwrap();
     sim.run();
@@ -207,7 +208,7 @@ fn partition_blocks_traffic_until_healed() {
     let (net, a, b) = two_hosts_ethernet();
     let mut sim = Sim::new(World::new(net));
     apply_fault(&mut sim, &FaultKind::Partition { a: a.0, b: b.0 });
-    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"blocked"));
+    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"blocked").into());
     sim.run();
     assert!(
         sim.state.datagrams.is_empty(),
@@ -215,10 +216,10 @@ fn partition_blocks_traffic_until_healed() {
     );
 
     apply_fault(&mut sim, &FaultKind::HealPartition { a: a.0, b: b.0 });
-    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"through"));
+    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"through").into());
     sim.run();
     assert_eq!(sim.state.datagrams.len(), 1);
-    assert_eq!(sim.state.datagrams[0].2.as_ref(), b"through");
+    assert_eq!(sim.state.datagrams[0].2.contiguous().as_ref(), b"through");
     // Fault applications were counted by kind.
     let reg = &mut sim.state.net.obs.registry;
     assert_eq!(reg.counter("fault.partition").get(), 1);
@@ -233,7 +234,7 @@ fn burst_loss_model_overrides_wire_and_clears() {
     let model = GilbertElliott::new(1.0, 0.0, 1.0, 1.0);
     apply_fault(&mut sim, &FaultKind::BurstLossStart { network: 0, model });
     for _ in 0..5 {
-        send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"x"));
+        send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"x").into());
     }
     sim.run();
     assert!(
@@ -242,7 +243,7 @@ fn burst_loss_model_overrides_wire_and_clears() {
     );
 
     apply_fault(&mut sim, &FaultKind::BurstLossEnd { network: 0 });
-    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"y"));
+    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"y").into());
     sim.run();
     assert_eq!(sim.state.datagrams.len(), 1);
 }
@@ -254,7 +255,7 @@ fn iface_stall_delays_but_does_not_drop() {
     let stall = SimDuration::from_millis(50);
     let stalled_until = sim.now().saturating_add(stall);
     stall_iface(&mut sim, a, NetworkId(0), stall);
-    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"late"));
+    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"late").into());
     sim.run();
     assert_eq!(sim.state.datagrams.len(), 1, "stall must not drop packets");
     assert!(
@@ -367,7 +368,7 @@ fn stale_route_retry_reroutes_over_backup_path() {
     );
     // Reconvergence is lazy: tables rebuild at first use. Table-routed
     // traffic (a datagram) forces the rebuild and lands on the backup.
-    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"rerouted"));
+    send_datagram(&mut sim, a, b, 7, Bytes::from_static(b"rerouted").into());
     sim.run();
     assert_eq!(sim.state.datagrams.len(), 1);
     let reg = &mut sim.state.net.obs.registry;

@@ -17,6 +17,7 @@ use rms_core::error::FailReason;
 use rms_core::message::{Label, Message};
 use rms_core::params::{BitErrorRate, Reliability, RmsParams, SecurityParams};
 use rms_core::port::DeliveryInfo;
+use rms_core::wire::WireMsg;
 use rms_core::RmsRequest;
 
 /// A recording world: every delivery and event is logged.
@@ -27,7 +28,7 @@ struct World {
     created: Vec<(HostId, CreateToken, NetRmsId)>,
     inbound: Vec<(HostId, NetRmsId)>,
     failed: Vec<(HostId, NetRmsId, FailReason)>,
-    datagrams: Vec<(HostId, u16, Bytes)>,
+    datagrams: Vec<(HostId, u16, WireMsg)>,
     quenches: Vec<HostId>,
 }
 
@@ -76,7 +77,7 @@ impl NetWorld for World {
         host: HostId,
         _src: HostId,
         proto: u16,
-        payload: Bytes,
+        payload: WireMsg,
         _sent_at: SimTime,
     ) {
         sim.state.datagrams.push((host, proto, payload));
@@ -366,11 +367,11 @@ fn authenticated_stream_preserves_source_label() {
 fn datagrams_flow_without_any_rms() {
     let (net, a, b, _, _) = dumbbell();
     let mut sim = Sim::new(World::new(net));
-    send_datagram(&mut sim, a, b, 42, Bytes::from_static(b"hello"));
+    send_datagram(&mut sim, a, b, 42, Bytes::from_static(b"hello").into());
     settle(&mut sim);
     assert_eq!(sim.state.datagrams.len(), 1);
     assert_eq!(sim.state.datagrams[0].1, 42);
-    assert_eq!(sim.state.datagrams[0].2.as_ref(), b"hello");
+    assert_eq!(sim.state.datagrams[0].2.contiguous().as_ref(), b"hello");
 }
 
 #[test]
@@ -393,7 +394,7 @@ fn gateway_overflow_triggers_source_quench() {
     // the 64 kb/s WAN hop at the gateway becomes the overflowing bottleneck.
     for i in 0..100u64 {
         sim.schedule_in(SimDuration::from_millis(i), move |sim| {
-            send_datagram(sim, a, c, 7, Bytes::from(vec![0u8; 1_000]));
+            send_datagram(sim, a, c, 7, Bytes::from(vec![0u8; 1_000]).into());
         });
     }
     sim.run();

@@ -6,7 +6,6 @@
 //! [`dash_net::state::NetWorld`] implementation must forward network
 //! deliveries and events here via [`on_net_deliver`] / [`on_net_event`].
 
-use bytes::Bytes;
 use dash_net::ids::{HostId, NetRmsId, NetworkId};
 use dash_net::pipeline as net;
 use dash_net::state::NetRmsEvent;
@@ -19,6 +18,7 @@ use rms_core::error::{FailReason, RejectReason, RmsError};
 use rms_core::message::Message;
 use rms_core::params::{RmsParams, SharedParams};
 use rms_core::port::DeliveryInfo;
+use rms_core::wire::WireMsg;
 
 use dash_security::mac;
 
@@ -28,7 +28,7 @@ use crate::piggyback::{PendingEntry, PiggybackQueue, PushOutcome};
 use crate::st::{
     DataOut, NetPurpose, NetUse, PeerState, StEvent, StPending, StRole, StStream, StWorld,
 };
-use crate::wire::{data_frame_len, decode, encode, ControlMsg, DataFrame, Frame};
+use crate::wire::{decode, encode, ControlMsg, DataFrame, Frame};
 
 const NAK_REASON_LIMITS: u8 = 1;
 
@@ -317,7 +317,7 @@ fn emit_ctrl<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, msg: Cont
     };
     let payload = encode(&Frame::Ctrl(msg));
     let now = sim.now();
-    let _ = net::send_on_rms(sim, host, rms, Message::new(payload), Some(now), None);
+    let _ = net::send_on_rms(sim, host, rms, Message::from_wire(payload), Some(now), None);
 }
 
 /// Emit a pre-authentication frame (Hello/HelloAck) if the channel exists,
@@ -494,28 +494,46 @@ fn dispatch_send<W: StWorld>(
         }
     };
     let len = msg.len() as u64;
-    let has_src = msg.source.is_some();
-    let has_tgt = msg.target.is_some();
-    let has_span = msg.span.is_some();
-    let frame_len = data_frame_len(len, false, has_src, has_tgt, has_span);
+    let source = msg.source;
+    let target = msg.target;
+    let span = msg.span;
+    let payload_wire = msg.into_wire();
     let net_mms = net_params.max_message_size;
+
+    // Encode the unfragmented frame up front (payload segments are shared,
+    // not copied); its wire length — the single size authority — decides
+    // between the whole-message and fragmentation paths.
+    let wire = encode(&Frame::Data(DataFrame {
+        st_rms,
+        seq,
+        frag: None,
+        sent_at,
+        fast_ack,
+        source,
+        target,
+        span,
+        payload: payload_wire.clone(),
+    }));
+    let frame_len = wire.len() as u64;
 
     if frame_len > net_mms {
         // Fragmentation path (§4.3): never piggybacked; flush the queue
         // first so per-stream ordering survives.
         flush_slot(sim, host, peer, slot, FlushCause::Fragment);
-        let header = data_frame_len(0, true, has_src, has_tgt, has_span);
+        // Per-fragment header: the whole-message header plus the 8 bytes
+        // the frag flag adds (index + count).
+        let header = (frame_len - len) + 8;
         let chunk = (net_mms.saturating_sub(header)).max(1) as usize;
         let frames = fragment(
             st_rms,
             seq,
-            msg.payload(),
+            &payload_wire,
             chunk,
             sent_at,
             fast_ack,
-            msg.source,
-            msg.target,
-            msg.span,
+            source,
+            target,
+            span,
         );
         let max_deadline = tx_max_deadline(now, &st_params, &net_params, len);
         let deadline = clamp_stream_deadline(sim, host, st_rms, max_deadline);
@@ -535,37 +553,25 @@ fn dispatch_send<W: StWorld>(
                         st_rms: st_rms.0,
                         seq,
                         count,
-                        span: msg.span,
+                        span,
                     },
                 );
             }
         }
         for f in frames {
             let payload = encode(&Frame::Data(f));
-            send_net(sim, host, net_rms, payload, deadline, sent_at, msg.span);
+            send_net(sim, host, net_rms, payload, deadline, sent_at, span);
         }
         touch_slot(sim, host, peer, slot, now);
         return;
     }
 
-    let frame = DataFrame {
-        st_rms,
-        seq,
-        frag: None,
-        sent_at,
-        fast_ack,
-        source: msg.source,
-        target: msg.target,
-        span: msg.span,
-        payload: msg.payload().clone(),
-    };
     let max_deadline = tx_max_deadline(now, &st_params, &net_params, len);
     let piggyback = sim.state.st_ref().config.piggyback;
     if !piggyback {
         let deadline = clamp_stream_deadline(sim, host, st_rms, max_deadline);
         sim.state.st().host_mut(host).stats.msgs_alone.incr();
-        let payload = encode(&Frame::Data(frame));
-        send_net(sim, host, net_rms, payload, deadline, sent_at, msg.span);
+        send_net(sim, host, net_rms, wire, deadline, sent_at, span);
         touch_slot(sim, host, peer, slot, now);
         return;
     }
@@ -580,8 +586,10 @@ fn dispatch_send<W: StWorld>(
         .map(|s| s.last_tx_deadline)
         .unwrap_or(SimTime::ZERO);
     let entry = PendingEntry {
-        encoded_len: data_frame_len(len, false, has_src, has_tgt, has_span),
-        frame,
+        wire,
+        st_rms,
+        sent_at,
+        span,
         min_deadline,
         max_deadline,
     };
@@ -808,9 +816,9 @@ fn flush_slot<W: StWorld>(
             FlushCause::Conflict => stats.flushes_conflict.incr(),
             FlushCause::Fragment | FlushCause::Close => {}
         }
-        if bundle.frames.len() > 1 {
+        if bundle.entries.len() > 1 {
             stats.bundles_sent.incr();
-            stats.msgs_bundled.add(bundle.frames.len() as u64);
+            stats.msgs_bundled.add(bundle.entries.len() as u64);
         } else {
             stats.msgs_alone.incr();
         }
@@ -818,21 +826,21 @@ fn flush_slot<W: StWorld>(
     let deadline = bundle.deadline;
     // The bundle's deadline becomes each component stream's actual
     // transmission deadline (ordering floor for their next messages).
-    let streams: Vec<StRmsId> = bundle.frames.iter().map(|f| f.st_rms).collect();
+    let streams: Vec<StRmsId> = bundle.entries.iter().map(|e| e.st_rms).collect();
     let earliest_sent = bundle
-        .frames
+        .entries
         .iter()
-        .map(|f| f.sent_at)
+        .map(|e| e.sent_at)
         .min()
         .unwrap_or_else(|| sim.now());
     // The network-layer leg of a bundle is attributed to the span of its
     // oldest frame; the other frames' spans skip the net stages and close
     // at delivery.
     let bundle_span = bundle
-        .frames
+        .entries
         .iter()
-        .min_by_key(|f| f.sent_at)
-        .and_then(|f| f.span);
+        .min_by_key(|e| e.sent_at)
+        .and_then(|e| e.span);
     {
         let sth = sim.state.st().host_mut(host);
         for s in streams {
@@ -842,7 +850,7 @@ fn flush_slot<W: StWorld>(
         }
     }
     {
-        let frames = bundle.frames.len();
+        let frames = bundle.entries.len();
         let now = sim.now();
         let net = sim.state.net();
         if net.obs.is_active() {
@@ -880,7 +888,7 @@ fn send_net<W: StWorld>(
     sim: &mut Sim<W>,
     host: HostId,
     net_rms: NetRmsId,
-    payload: Bytes,
+    payload: WireMsg,
     deadline: SimTime,
     sent_at: SimTime,
     span: Option<u64>,
@@ -906,7 +914,7 @@ fn send_net<W: StWorld>(
             );
         }
     }
-    let mut msg = Message::new(payload);
+    let mut msg = Message::from_wire(payload);
     msg.span = span;
     let _ = net::send_on_rms(sim, host, net_rms, msg, Some(deadline), Some(sent_at));
 }
@@ -1147,7 +1155,7 @@ pub fn on_net_deliver<W: StWorld>(
     msg: Message,
     _info: DeliveryInfo,
 ) {
-    let frame = match decode(msg.payload()) {
+    let frame = match decode(msg.wire()) {
         Ok(f) => f,
         Err(_) => {
             sim.state.st().host_mut(host).stats.garbage_frames.incr();
@@ -1460,14 +1468,14 @@ fn deliver_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, d: Dat
         };
         if was_frag {
             stream.reassembly.push(d).map(|r| {
-                let mut m = Message::new(r.payload);
+                let mut m = Message::from_wire(r.payload);
                 m.source = r.source;
                 m.target = r.target;
                 m.span = r.span;
                 (m, r.seq, r.sent_at, r.fast_ack)
             })
         } else {
-            let mut m = Message::new(d.payload);
+            let mut m = Message::from_wire(d.payload);
             m.source = d.source;
             m.target = d.target;
             m.span = d.span;
@@ -1543,7 +1551,7 @@ fn deliver_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, d: Dat
             }
             let payload = encode(&Frame::FastAck { st_rms, seq });
             let now = sim.now();
-            let _ = net::send_on_rms(sim, host, rms, Message::new(payload), Some(now), None);
+            let _ = net::send_on_rms(sim, host, rms, Message::from_wire(payload), Some(now), None);
         }
     }
     let info = DeliveryInfo {

@@ -8,10 +8,16 @@
 //! The network RMS delivers in sequence, so fragments of one message arrive
 //! in index order; a gap simply means loss, detected when the next
 //! message's fragment shows up.
+//!
+//! Both directions are zero-copy: [`fragment`] slices the message body
+//! into segment views, and [`Reassembly`] concatenates the arriving
+//! views back into one [`WireMsg`] — adjacent slices of the same buffer
+//! coalesce, so a reassembled message recovers the sender's original
+//! payload view instead of a fresh copy.
 
-use bytes::{Bytes, BytesMut};
 use dash_sim::time::SimTime;
 use rms_core::message::Label;
+use rms_core::wire::WireMsg;
 
 use crate::wire::{DataFrame, FragInfo};
 
@@ -20,8 +26,8 @@ use crate::wire::{DataFrame, FragInfo};
 pub struct Reassembled {
     /// Message sequence number (shared by its fragments).
     pub seq: u64,
-    /// Concatenated payload.
-    pub payload: Bytes,
+    /// Concatenated payload (segment views of the fragments, no copy).
+    pub payload: WireMsg,
     /// Original client send time.
     pub sent_at: SimTime,
     /// Source label from the fragments.
@@ -39,7 +45,7 @@ struct Partial {
     seq: u64,
     count: u32,
     next_index: u32,
-    buf: BytesMut,
+    buf: WireMsg,
     sent_at: SimTime,
     source: Option<Label>,
     target: Option<Label>,
@@ -92,12 +98,10 @@ impl Reassembly {
                     self.fragments_dropped += 1;
                     return None;
                 }
-                let mut buf = BytesMut::with_capacity(frame.payload.len() * count as usize);
-                buf.extend_from_slice(&frame.payload);
                 if count == 1 {
                     return Some(Reassembled {
                         seq: frame.seq,
-                        payload: buf.freeze(),
+                        payload: frame.payload,
                         sent_at: frame.sent_at,
                         source: frame.source,
                         target: frame.target,
@@ -109,7 +113,7 @@ impl Reassembly {
                     seq: frame.seq,
                     count,
                     next_index: 1,
-                    buf,
+                    buf: frame.payload,
                     sent_at: frame.sent_at,
                     source: frame.source,
                     target: frame.target,
@@ -127,7 +131,7 @@ impl Reassembly {
                     self.partial = None;
                     return None;
                 }
-                p.buf.extend_from_slice(&frame.payload);
+                p.buf.append(&frame.payload);
                 // The fast-ack request rides on the last fragment (§3.2);
                 // adopt it whenever any fragment carries it.
                 p.fast_ack |= frame.fast_ack;
@@ -137,7 +141,7 @@ impl Reassembly {
                     let done = self.partial.take().expect("just matched");
                     return Some(Reassembled {
                         seq: done.seq,
-                        payload: done.buf.freeze(),
+                        payload: done.buf,
                         sent_at: done.sent_at,
                         source: done.source,
                         target: done.target,
@@ -152,6 +156,8 @@ impl Reassembly {
 }
 
 /// Split a payload into fragment frames of at most `chunk` payload bytes.
+/// Each fragment's payload is a zero-copy sub-view of `payload`'s
+/// segments.
 ///
 /// # Panics
 ///
@@ -160,7 +166,7 @@ impl Reassembly {
 pub fn fragment(
     st_rms: crate::ids::StRmsId,
     seq: u64,
-    payload: &Bytes,
+    payload: &WireMsg,
     chunk: usize,
     sent_at: SimTime,
     fast_ack: bool,
@@ -185,7 +191,7 @@ pub fn fragment(
             source,
             target,
             span,
-            payload: payload.slice(start..end),
+            payload: payload.slice(start, end),
         });
     }
     out
@@ -195,6 +201,7 @@ pub fn fragment(
 mod tests {
     use super::*;
     use crate::ids::StRmsId;
+    use bytes::Bytes;
 
     fn frames(seq: u64, n_frags: u32, frag_len: usize) -> Vec<DataFrame> {
         let total: Vec<u8> = (0..(n_frags as usize * frag_len))
@@ -203,7 +210,7 @@ mod tests {
         fragment(
             StRmsId(1),
             seq,
-            &Bytes::from(total),
+            &WireMsg::from(total),
             frag_len,
             SimTime::from_nanos(5),
             false,
@@ -227,7 +234,7 @@ mod tests {
 
     #[test]
     fn fragment_uneven_tail() {
-        let payload = Bytes::from(vec![1u8; 250]);
+        let payload = WireMsg::from(vec![1u8; 250]);
         let fs = fragment(
             StRmsId(1),
             0,
@@ -246,21 +253,49 @@ mod tests {
     #[test]
     fn reassembly_round_trip() {
         let fs = frames(7, 3, 64);
-        let expected: Vec<u8> = fs.iter().flat_map(|f| f.payload.iter().copied()).collect();
+        let expected: Vec<u8> = fs
+            .iter()
+            .flat_map(|f| f.payload.contiguous().to_vec())
+            .collect();
         let mut r = Reassembly::new();
         assert!(r.push(fs[0].clone()).is_none());
         assert!(r.has_partial());
         assert!(r.push(fs[1].clone()).is_none());
         let done = r.push(fs[2].clone()).expect("complete");
         assert_eq!(done.seq, 7);
-        assert_eq!(done.payload.as_ref(), &expected[..]);
+        assert_eq!(done.payload.contiguous().as_ref(), &expected[..]);
         assert!(!r.has_partial());
         assert_eq!(r.partials_discarded, 0);
     }
 
     #[test]
+    fn reassembly_recovers_original_view_without_copying() {
+        let body = Bytes::from((0u8..=255).collect::<Vec<u8>>());
+        let fs = fragment(
+            StRmsId(1),
+            0,
+            &WireMsg::from_bytes(body.clone()),
+            100,
+            SimTime::ZERO,
+            false,
+            None,
+            None,
+            None,
+        );
+        assert_eq!(fs.len(), 3);
+        let mut r = Reassembly::new();
+        r.push(fs[0].clone());
+        r.push(fs[1].clone());
+        let done = r.push(fs[2].clone()).unwrap();
+        // Adjacent fragment views coalesce back into the original buffer:
+        // one segment, pointer-identical to the sender's payload.
+        assert_eq!(done.payload.seg_count(), 1);
+        assert_eq!(done.payload.contiguous().as_ptr(), body.as_ptr());
+    }
+
+    #[test]
     fn single_fragment_message_completes_immediately() {
-        let payload = Bytes::from(vec![9u8; 10]);
+        let payload = WireMsg::from(vec![9u8; 10]);
         let fs = fragment(
             StRmsId(1),
             3,
@@ -317,7 +352,7 @@ mod tests {
 
     #[test]
     fn fast_ack_only_on_last_fragment() {
-        let payload = Bytes::from(vec![0u8; 300]);
+        let payload = WireMsg::from(vec![0u8; 300]);
         let fs = fragment(
             StRmsId(1),
             0,
@@ -335,7 +370,7 @@ mod tests {
 
     #[test]
     fn labels_survive_reassembly() {
-        let payload = Bytes::from(vec![0u8; 200]);
+        let payload = WireMsg::from(vec![0u8; 200]);
         let fs = fragment(
             StRmsId(1),
             0,
@@ -360,7 +395,7 @@ mod tests {
         let fs = fragment(
             StRmsId(1),
             0,
-            &Bytes::new(),
+            &WireMsg::new(),
             100,
             SimTime::ZERO,
             false,

@@ -14,6 +14,11 @@
 //!   or when it overflows, with the flush deadline passed to the network
 //!   layer.
 //!
+//! Entries are queued *pre-encoded*: each holds the scatter-gather
+//! [`WireMsg`] its frame encoded to, so a flush concatenates segment
+//! lists (plus a 3-byte bundle header) instead of re-encoding — and
+//! `wire.len()` is the entry's size, with no parallel size bookkeeping.
+//!
 //! **Interpretation note** (garbled sentence in the source scan, recorded
 //! in DESIGN.md): we take the queue's *maximum* transmission deadline to be
 //! the **earliest** component maximum — flushing any later would make that
@@ -23,20 +28,30 @@
 //! before the queue's minimum cannot join (no single deadline would serve
 //! both); the queue is flushed first.
 
+use bytes::{BufMut, BytesMut};
 use dash_sim::time::SimTime;
+use rms_core::wire::WireMsg;
 
-use crate::wire::{encode, DataFrame, Frame};
+use crate::ids::StRmsId;
 
-/// Overhead bytes of a bundle wrapper (tag + count).
+/// Overhead bytes of a bundle wrapper (tag + count). Pinned against the
+/// encoder by `bundle_overhead_matches_encoder` in `wire`'s tests.
 pub const BUNDLE_OVERHEAD: u64 = 3;
 
-/// One message waiting in a piggybacking queue.
+const TAG_BUNDLE: u8 = 2;
+
+/// One message waiting in a piggybacking queue, already encoded.
 #[derive(Debug, Clone)]
 pub struct PendingEntry {
-    /// The encoded-ready data frame.
-    pub frame: DataFrame,
-    /// Its encoded size in bytes.
-    pub encoded_len: u64,
+    /// The frame, encoded and ready to transmit (`wire.len()` is its
+    /// exact on-wire size).
+    pub wire: WireMsg,
+    /// The ST RMS the frame belongs to (flush bookkeeping).
+    pub st_rms: StRmsId,
+    /// The client send time carried in the frame.
+    pub sent_at: SimTime,
+    /// Observability span id carried in the frame, if any.
+    pub span: Option<u64>,
     /// Ordering floor: the previous message's actual transmission deadline
     /// on the same ST RMS.
     pub min_deadline: SimTime,
@@ -108,10 +123,11 @@ impl PiggybackQueue {
     /// Try to append `entry`, keeping the bundle within
     /// `max_bundle_bytes`.
     pub fn try_push(&mut self, entry: PendingEntry, max_bundle_bytes: u64) -> PushOutcome {
+        let entry_len = entry.wire.len() as u64;
         let projected = if self.entries.is_empty() {
-            entry.encoded_len
+            entry_len
         } else {
-            BUNDLE_OVERHEAD + self.encoded_bytes + entry.encoded_len
+            BUNDLE_OVERHEAD + self.encoded_bytes + entry_len
         };
         if projected > max_bundle_bytes {
             return PushOutcome::WouldOverflow;
@@ -121,13 +137,13 @@ impl PiggybackQueue {
                 return PushOutcome::DeadlineConflict;
             }
         }
-        self.encoded_bytes += entry.encoded_len;
+        self.encoded_bytes += entry_len;
         self.entries.push(entry);
         let flush_at = self.max_deadline().expect("non-empty");
         PushOutcome::Queued { flush_at }
     }
 
-    /// Flush: take every queued message. Returns the frames (in arrival
+    /// Flush: take every queued message. Returns the entries (in arrival
     /// order), the network transmission deadline to pass down (the queue's
     /// maximum, clamped to its minimum), and the per-stream actual deadline
     /// each component message is considered to have had.
@@ -140,18 +156,16 @@ impl PiggybackQueue {
         let deadline = if max_d < min_d { min_d } else { max_d };
         let entries = std::mem::take(&mut self.entries);
         self.encoded_bytes = 0;
-        Some(FlushedBundle {
-            frames: entries.into_iter().map(|e| e.frame).collect(),
-            deadline,
-        })
+        Some(FlushedBundle { entries, deadline })
     }
 }
 
 /// The result of flushing a queue.
 #[derive(Debug)]
 pub struct FlushedBundle {
-    /// Component frames, in arrival order.
-    pub frames: Vec<DataFrame>,
+    /// Component entries, in arrival order, each carrying its pre-encoded
+    /// frame.
+    pub entries: Vec<PendingEntry>,
     /// The single transmission deadline the bundle gets at the network
     /// layer — also the actual transmission deadline of every component
     /// (feeding the next messages' minimum-deadline floors).
@@ -159,23 +173,29 @@ pub struct FlushedBundle {
 }
 
 impl FlushedBundle {
-    /// Encode as a single network payload ([`Frame::Data`] when only one
-    /// message was queued; [`Frame::Bundle`] otherwise).
-    pub fn encode(mut self) -> bytes::Bytes {
-        if self.frames.len() == 1 {
-            encode(&Frame::Data(self.frames.remove(0)))
-        } else {
-            encode(&Frame::Bundle(self.frames))
+    /// Assemble the single network payload: the lone entry's frame as-is,
+    /// or a 3-byte bundle header followed by every entry's segments. No
+    /// frame is re-encoded and no payload byte is copied.
+    pub fn encode(mut self) -> WireMsg {
+        if self.entries.len() == 1 {
+            return self.entries.remove(0).wire;
         }
+        let mut hdr = BytesMut::with_capacity(BUNDLE_OVERHEAD as usize);
+        hdr.put_u8(TAG_BUNDLE);
+        hdr.put_u16(self.entries.len() as u16);
+        let mut out = WireMsg::from_bytes(hdr.freeze());
+        for e in &self.entries {
+            out.append(&e.wire);
+        }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::StRmsId;
-    use crate::wire::{data_frame_len, decode};
-    use bytes::Bytes;
+    use crate::wire::{decode, encode, DataFrame, Frame};
+    use rms_core::wire::WireMsg;
 
     fn entry(stream: u64, len: usize, min_ns: u64, max_ns: u64) -> PendingEntry {
         let frame = DataFrame {
@@ -187,12 +207,36 @@ mod tests {
             source: None,
             target: None,
             span: None,
-            payload: Bytes::from(vec![0u8; len]),
+            payload: WireMsg::from(vec![0u8; len]),
         };
         PendingEntry {
-            encoded_len: data_frame_len(len as u64, false, false, false, false),
-            frame,
+            wire: encode(&Frame::Data(frame)),
+            st_rms: StRmsId(stream),
+            sent_at: SimTime::ZERO,
+            span: None,
             min_deadline: SimTime::from_nanos(min_ns),
+            max_deadline: SimTime::from_nanos(max_ns),
+        }
+    }
+
+    fn entry_with_seq(stream: u64, seq: u64, max_ns: u64) -> PendingEntry {
+        let frame = DataFrame {
+            st_rms: StRmsId(stream),
+            seq,
+            frag: None,
+            sent_at: SimTime::ZERO,
+            fast_ack: false,
+            source: None,
+            target: None,
+            span: None,
+            payload: WireMsg::from(vec![0u8; 10]),
+        };
+        PendingEntry {
+            wire: encode(&Frame::Data(frame)),
+            st_rms: StRmsId(stream),
+            sent_at: SimTime::ZERO,
+            span: None,
+            min_deadline: SimTime::ZERO,
             max_deadline: SimTime::from_nanos(max_ns),
         }
     }
@@ -220,7 +264,7 @@ mod tests {
     fn overflow_is_reported() {
         let mut q = PiggybackQueue::new();
         let e = entry(1, 400, 0, 1_000);
-        let budget = e.encoded_len + 10; // fits one, not two
+        let budget = e.wire.len() as u64 + 10; // fits one, not two
         assert!(matches!(
             q.try_push(e.clone(), budget),
             PushOutcome::Queued { .. }
@@ -257,9 +301,7 @@ mod tests {
     fn flush_many_encodes_as_bundle_in_arrival_order() {
         let mut q = PiggybackQueue::new();
         for i in 0..3u64 {
-            let mut e = entry(i, 10, 0, 1_000 + i);
-            e.frame.seq = i;
-            q.try_push(e, 10_000);
+            q.try_push(entry_with_seq(i, i, 1_000 + i), 10_000);
         }
         let payload = q.flush().unwrap().encode();
         match decode(&payload).unwrap() {
@@ -267,10 +309,46 @@ mod tests {
                 assert_eq!(frames.len(), 3);
                 for (i, f) in frames.iter().enumerate() {
                     assert_eq!(f.st_rms, StRmsId(i as u64));
+                    assert_eq!(f.seq, i as u64);
                 }
             }
             other => panic!("expected bundle, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flush_bundle_matches_wire_encoder_bytes() {
+        // The flush-time concatenation must produce byte-identical output
+        // to encoding a Frame::Bundle of the same frames.
+        let frames: Vec<DataFrame> = (0..3u64)
+            .map(|i| DataFrame {
+                st_rms: StRmsId(i),
+                seq: i,
+                frag: None,
+                sent_at: SimTime::from_nanos(40 + i),
+                fast_ack: i == 1,
+                source: None,
+                target: None,
+                span: None,
+                payload: WireMsg::from(vec![i as u8; 16]),
+            })
+            .collect();
+        let mut q = PiggybackQueue::new();
+        for f in &frames {
+            let e = PendingEntry {
+                wire: encode(&Frame::Data(f.clone())),
+                st_rms: f.st_rms,
+                sent_at: f.sent_at,
+                span: f.span,
+                min_deadline: SimTime::ZERO,
+                max_deadline: SimTime::from_nanos(1_000),
+            };
+            q.try_push(e, 100_000);
+        }
+        let flushed = q.flush().unwrap().encode();
+        let reference = encode(&Frame::Bundle(frames));
+        assert_eq!(flushed.contiguous(), reference.contiguous());
+        assert_eq!(flushed.len(), reference.len());
     }
 
     #[test]
@@ -288,7 +366,7 @@ mod tests {
         let mut q = PiggybackQueue::new();
         assert_eq!(q.bundle_bytes(), 0);
         let e = entry(1, 10, 0, 1_000);
-        let one = e.encoded_len;
+        let one = e.wire.len() as u64;
         q.try_push(e.clone(), 10_000);
         assert_eq!(q.bundle_bytes(), one);
         q.try_push(e, 10_000);

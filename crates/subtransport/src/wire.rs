@@ -5,14 +5,23 @@
 //! layering honest: piggybacked bundles (§4.2) really are one network
 //! message whose size is the sum of its parts, and fragment headers (§4.3)
 //! really cost bytes.
+//!
+//! Frames encode to scatter-gather [`WireMsg`]s: the fixed-size header
+//! fields go into one small owned chunk and payload bytes ride along as
+//! zero-copy segment views — a message body is never copied on encode.
+//! Decode walks a [`WireCursor`] over the shared segments and hands the
+//! payload back as views of the sender's buffer. [`WireMsg::len`] on the
+//! encoder's output is the single source of truth for frame sizes; there
+//! is no parallel size computation to drift out of sync with `put_data`.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, BytesMut};
 use dash_sim::time::{SimDuration, SimTime};
 use rms_core::delay::{DelayBound, DelayBoundKind, StatisticalSpec};
 use rms_core::message::Label;
 use rms_core::params::{
     Authentication, BitErrorRate, Privacy, Reliability, RmsParams, SecurityParams,
 };
+use rms_core::wire::{Truncated, WireCursor, WireMsg};
 
 use crate::ids::{StRmsId, StToken};
 
@@ -38,6 +47,12 @@ impl std::fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+impl From<Truncated> for WireError {
+    fn from(_: Truncated) -> Self {
+        WireError::Truncated
+    }
+}
 
 /// Fragment position within a fragmented ST message (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,8 +85,9 @@ pub struct DataFrame {
     /// on the wire only when set (adds 8 bytes); `None` whenever
     /// observability is off, keeping the baseline wire format unchanged.
     pub span: Option<u64>,
-    /// Payload bytes.
-    pub payload: Bytes,
+    /// Payload bytes (scatter-gather; fragments are views of the original
+    /// message body).
+    pub payload: WireMsg,
 }
 
 /// Control messages carried on the per-peer control channel (§3.2).
@@ -162,26 +178,9 @@ const FLAG_SOURCE: u8 = 4;
 const FLAG_TARGET: u8 = 8;
 const FLAG_SPAN: u8 = 16;
 
-/// Bytes of header a plain (unlabelled, unfragmented) data frame adds on
-/// top of its payload.
-pub const DATA_FRAME_HEADER: u64 = 1 + 8 + 8 + 1 + 8 + 4;
-
-/// Size in bytes of `frame` once encoded.
-pub fn encoded_len(frame: &Frame) -> u64 {
-    encode(frame).len() as u64
-}
-
-/// Size a [`DataFrame`] will occupy, computed without encoding.
-pub fn data_frame_len(payload_len: u64, frag: bool, source: bool, target: bool, span: bool) -> u64 {
-    DATA_FRAME_HEADER
-        + payload_len
-        + if frag { 8 } else { 0 }
-        + if source { 8 } else { 0 }
-        + if target { 8 } else { 0 }
-        + if span { 8 } else { 0 }
-}
-
-fn put_data(buf: &mut BytesMut, d: &DataFrame) {
+/// Write `d`'s header fields — everything up to and including the payload
+/// length prefix, but not the payload itself — into `buf`.
+fn put_data_header(buf: &mut BytesMut, d: &DataFrame) {
     buf.put_u8(TAG_DATA);
     buf.put_u64(d.st_rms.0);
     buf.put_u64(d.seq);
@@ -217,7 +216,6 @@ fn put_data(buf: &mut BytesMut, d: &DataFrame) {
         buf.put_u64(sp);
     }
     buf.put_u32(d.payload.len() as u32);
-    buf.put_slice(&d.payload);
 }
 
 fn put_params(buf: &mut BytesMut, p: &RmsParams) {
@@ -292,45 +290,62 @@ fn put_ctrl(buf: &mut BytesMut, c: &ControlMsg) {
     }
 }
 
-/// Encode a frame to bytes.
-pub fn encode(frame: &Frame) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+/// Encode a frame as a scatter-gather [`WireMsg`]: header fields in one
+/// owned chunk (bundles share a single header arena), payload bytes as
+/// zero-copy segment views. `encode(f).len()` is the frame's exact wire
+/// size.
+pub fn encode(frame: &Frame) -> WireMsg {
     match frame {
-        Frame::Data(d) => put_data(&mut buf, d),
+        Frame::Data(d) => {
+            let mut buf = BytesMut::with_capacity(64);
+            put_data_header(&mut buf, d);
+            let mut out = WireMsg::from_bytes(buf.freeze());
+            out.append(&d.payload);
+            out
+        }
         Frame::Bundle(frames) => {
+            // All headers go into one arena; the frame payloads are
+            // interleaved between zero-copy slices of it.
+            let mut buf = BytesMut::with_capacity(16 + 48 * frames.len());
             buf.put_u8(TAG_BUNDLE);
             buf.put_u16(frames.len() as u16);
+            let mut cuts = Vec::with_capacity(frames.len());
             for d in frames {
-                put_data(&mut buf, d);
+                put_data_header(&mut buf, d);
+                cuts.push(buf.len());
             }
+            let arena = buf.freeze();
+            let mut out = WireMsg::new();
+            let mut prev = 0;
+            for (d, cut) in frames.iter().zip(cuts) {
+                out.push(arena.slice(prev..cut));
+                out.append(&d.payload);
+                prev = cut;
+            }
+            out
         }
-        Frame::Ctrl(c) => put_ctrl(&mut buf, c),
+        Frame::Ctrl(c) => {
+            let mut buf = BytesMut::with_capacity(64);
+            put_ctrl(&mut buf, c);
+            WireMsg::from_bytes(buf.freeze())
+        }
         Frame::FastAck { st_rms, seq } => {
+            let mut buf = BytesMut::with_capacity(17);
             buf.put_u8(TAG_FASTACK);
             buf.put_u64(st_rms.0);
             buf.put_u64(*seq);
+            WireMsg::from_bytes(buf.freeze())
         }
     }
-    buf.freeze()
 }
 
-fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
-    if buf.remaining() < n {
-        Err(WireError::Truncated)
-    } else {
-        Ok(())
-    }
-}
-
-fn get_data(buf: &mut Bytes) -> Result<DataFrame, WireError> {
-    need(buf, 8 + 8 + 1)?;
-    let st_rms = StRmsId(buf.get_u64());
-    let seq = buf.get_u64();
-    let flags = buf.get_u8();
+fn get_data(c: &mut WireCursor<'_>) -> Result<DataFrame, WireError> {
+    let st_rms = StRmsId(c.get_u64()?);
+    let seq = c.get_u64()?;
+    let flags = c.get_u8()?;
     let frag = if flags & FLAG_FRAG != 0 {
-        need(buf, 8)?;
-        let index = buf.get_u32();
-        let count = buf.get_u32();
+        let index = c.get_u32()?;
+        let count = c.get_u32()?;
         if count == 0 || index >= count {
             return Err(WireError::Invalid("fragment index/count"));
         }
@@ -338,30 +353,24 @@ fn get_data(buf: &mut Bytes) -> Result<DataFrame, WireError> {
     } else {
         None
     };
-    need(buf, 8)?;
-    let sent_at = SimTime::from_nanos(buf.get_u64());
+    let sent_at = SimTime::from_nanos(c.get_u64()?);
     let source = if flags & FLAG_SOURCE != 0 {
-        need(buf, 8)?;
-        Some(Label(buf.get_u64()))
+        Some(Label(c.get_u64()?))
     } else {
         None
     };
     let target = if flags & FLAG_TARGET != 0 {
-        need(buf, 8)?;
-        Some(Label(buf.get_u64()))
+        Some(Label(c.get_u64()?))
     } else {
         None
     };
     let span = if flags & FLAG_SPAN != 0 {
-        need(buf, 8)?;
-        Some(buf.get_u64())
+        Some(c.get_u64()?)
     } else {
         None
     };
-    need(buf, 4)?;
-    let len = buf.get_u32() as usize;
-    need(buf, len)?;
-    let payload = buf.split_to(len);
+    let len = c.get_u32()? as usize;
+    let payload = c.take_wire(len)?;
     Ok(DataFrame {
         st_rms,
         seq,
@@ -375,34 +384,32 @@ fn get_data(buf: &mut Bytes) -> Result<DataFrame, WireError> {
     })
 }
 
-fn get_params(buf: &mut Bytes) -> Result<RmsParams, WireError> {
-    need(buf, 3 + 8 + 8 + 8 + 8 + 1)?;
-    let reliability = match buf.get_u8() {
+fn get_params(c: &mut WireCursor<'_>) -> Result<RmsParams, WireError> {
+    let reliability = match c.get_u8()? {
         0 => Reliability::Unreliable,
         1 => Reliability::Reliable,
         t => return Err(WireError::BadTag(t)),
     };
-    let authentication = match buf.get_u8() {
+    let authentication = match c.get_u8()? {
         0 => Authentication::Unauthenticated,
         1 => Authentication::Authenticated,
         t => return Err(WireError::BadTag(t)),
     };
-    let privacy = match buf.get_u8() {
+    let privacy = match c.get_u8()? {
         0 => Privacy::Open,
         1 => Privacy::Private,
         t => return Err(WireError::BadTag(t)),
     };
-    let capacity = buf.get_u64();
-    let max_message_size = buf.get_u64();
-    let fixed = SimDuration::from_nanos(buf.get_u64());
-    let per_byte = SimDuration::from_nanos(buf.get_u64());
-    let kind = match buf.get_u8() {
+    let capacity = c.get_u64()?;
+    let max_message_size = c.get_u64()?;
+    let fixed = SimDuration::from_nanos(c.get_u64()?);
+    let per_byte = SimDuration::from_nanos(c.get_u64()?);
+    let kind = match c.get_u8()? {
         0 => DelayBoundKind::BestEffort,
         1 => {
-            need(buf, 24)?;
-            let average_load = buf.get_f64();
-            let burstiness = buf.get_f64();
-            let delay_probability = buf.get_f64();
+            let average_load = c.get_f64()?;
+            let burstiness = c.get_f64()?;
+            let delay_probability = c.get_f64()?;
             if !(average_load >= 0.0
                 && burstiness >= 1.0
                 && (0.0..=1.0).contains(&delay_probability))
@@ -418,8 +425,7 @@ fn get_params(buf: &mut Bytes) -> Result<RmsParams, WireError> {
         2 => DelayBoundKind::Deterministic,
         t => return Err(WireError::BadTag(t)),
     };
-    need(buf, 8)?;
-    let error_rate = BitErrorRate::new(buf.get_f64()).ok_or(WireError::Invalid("error rate"))?;
+    let error_rate = BitErrorRate::new(c.get_f64()?).ok_or(WireError::Invalid("error rate"))?;
     let params = RmsParams {
         reliability,
         security: SecurityParams {
@@ -441,92 +447,70 @@ fn get_params(buf: &mut Bytes) -> Result<RmsParams, WireError> {
     Ok(params)
 }
 
-fn get_ctrl(buf: &mut Bytes) -> Result<ControlMsg, WireError> {
-    need(buf, 1)?;
-    match buf.get_u8() {
-        CTRL_HELLO => {
-            need(buf, 4 + 8 + 8)?;
-            Ok(ControlMsg::Hello {
-                host: buf.get_u32(),
-                nonce: buf.get_u64(),
-                tag: buf.get_u64(),
-            })
-        }
-        CTRL_HELLO_ACK => {
-            need(buf, 4 + 8 + 8)?;
-            Ok(ControlMsg::HelloAck {
-                host: buf.get_u32(),
-                nonce: buf.get_u64(),
-                tag: buf.get_u64(),
-            })
-        }
+fn get_ctrl(c: &mut WireCursor<'_>) -> Result<ControlMsg, WireError> {
+    match c.get_u8()? {
+        CTRL_HELLO => Ok(ControlMsg::Hello {
+            host: c.get_u32()?,
+            nonce: c.get_u64()?,
+            tag: c.get_u64()?,
+        }),
+        CTRL_HELLO_ACK => Ok(ControlMsg::HelloAck {
+            host: c.get_u32()?,
+            nonce: c.get_u64()?,
+            tag: c.get_u64()?,
+        }),
         CTRL_CREATE_REQ => {
-            need(buf, 9)?;
-            let token = StToken(buf.get_u64());
-            let fast_ack = buf.get_u8() != 0;
-            let params = get_params(buf)?;
+            let token = StToken(c.get_u64()?);
+            let fast_ack = c.get_u8()? != 0;
+            let params = get_params(c)?;
             Ok(ControlMsg::StCreateReq {
                 token,
                 params,
                 fast_ack,
             })
         }
-        CTRL_CREATE_ACK => {
-            need(buf, 16)?;
-            Ok(ControlMsg::StCreateAck {
-                token: StToken(buf.get_u64()),
-                st_rms: StRmsId(buf.get_u64()),
-            })
-        }
-        CTRL_CREATE_NAK => {
-            need(buf, 9)?;
-            Ok(ControlMsg::StCreateNak {
-                token: StToken(buf.get_u64()),
-                reason: buf.get_u8(),
-            })
-        }
-        CTRL_CLOSE => {
-            need(buf, 8)?;
-            Ok(ControlMsg::StClose {
-                st_rms: StRmsId(buf.get_u64()),
-            })
-        }
+        CTRL_CREATE_ACK => Ok(ControlMsg::StCreateAck {
+            token: StToken(c.get_u64()?),
+            st_rms: StRmsId(c.get_u64()?),
+        }),
+        CTRL_CREATE_NAK => Ok(ControlMsg::StCreateNak {
+            token: StToken(c.get_u64()?),
+            reason: c.get_u8()?,
+        }),
+        CTRL_CLOSE => Ok(ControlMsg::StClose {
+            st_rms: StRmsId(c.get_u64()?),
+        }),
         t => Err(WireError::BadTag(t)),
     }
 }
 
-/// Decode one frame from `bytes`.
+/// Decode one frame from a wire message, slicing its shared segments —
+/// payload bytes are handed back as zero-copy views, never copied.
 ///
 /// # Errors
 ///
 /// [`WireError`] on truncation, unknown tags, or invalid fields.
-pub fn decode(bytes: &Bytes) -> Result<Frame, WireError> {
-    let mut buf = bytes.clone();
-    need(&buf, 1)?;
-    match buf.get_u8() {
-        TAG_DATA => Ok(Frame::Data(get_data(&mut buf)?)),
+pub fn decode(msg: &WireMsg) -> Result<Frame, WireError> {
+    let mut c = msg.cursor();
+    match c.get_u8()? {
+        TAG_DATA => Ok(Frame::Data(get_data(&mut c)?)),
         TAG_BUNDLE => {
-            need(&buf, 2)?;
-            let count = buf.get_u16() as usize;
+            let count = c.get_u16()? as usize;
             let mut frames = Vec::with_capacity(count);
             for _ in 0..count {
-                need(&buf, 1)?;
-                let tag = buf.get_u8();
+                let tag = c.get_u8()?;
                 if tag != TAG_DATA {
                     return Err(WireError::BadTag(tag));
                 }
-                frames.push(get_data(&mut buf)?);
+                frames.push(get_data(&mut c)?);
             }
             Ok(Frame::Bundle(frames))
         }
-        TAG_CTRL => Ok(Frame::Ctrl(get_ctrl(&mut buf)?)),
-        TAG_FASTACK => {
-            need(&buf, 16)?;
-            Ok(Frame::FastAck {
-                st_rms: StRmsId(buf.get_u64()),
-                seq: buf.get_u64(),
-            })
-        }
+        TAG_CTRL => Ok(Frame::Ctrl(get_ctrl(&mut c)?)),
+        TAG_FASTACK => Ok(Frame::FastAck {
+            st_rms: StRmsId(c.get_u64()?),
+            seq: c.get_u64()?,
+        }),
         t => Err(WireError::BadTag(t)),
     }
 }
@@ -534,6 +518,7 @@ pub fn decode(bytes: &Bytes) -> Result<Frame, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     fn sample_data(seq: u64, len: usize) -> DataFrame {
         DataFrame {
@@ -545,7 +530,7 @@ mod tests {
             source: None,
             target: None,
             span: None,
-            payload: Bytes::from(vec![7u8; len]),
+            payload: WireMsg::from(vec![7u8; len]),
         }
     }
 
@@ -591,6 +576,34 @@ mod tests {
     }
 
     #[test]
+    fn encode_and_decode_never_copy_payload_bytes() {
+        let body = Bytes::from(vec![9u8; 256]);
+        let mut d = sample_data(4, 0);
+        d.payload = WireMsg::from_bytes(body.clone());
+        let enc = encode(&Frame::Data(d));
+        // The encoded message's payload segment *is* the caller's buffer.
+        assert!(enc.segments().any(|s| s.as_ptr() == body.as_ptr()));
+        // And decode hands the same buffer back.
+        let Frame::Data(out) = decode(&enc).unwrap() else {
+            panic!("expected data frame");
+        };
+        assert_eq!(out.payload.contiguous().as_ptr(), body.as_ptr());
+    }
+
+    #[test]
+    fn bundle_headers_share_one_arena() {
+        let f = Frame::Bundle(vec![sample_data(0, 64), sample_data(1, 64)]);
+        let enc = encode(&f);
+        // [hdr0, payload0, hdr1, payload1]: both header chunks are slices
+        // of one arena allocation, adjacent payloads stay distinct.
+        let segs: Vec<_> = enc.segments().collect();
+        assert_eq!(segs.len(), 4);
+        let arena_base = segs[0].as_ptr();
+        let hdr1 = segs[2].as_ptr();
+        assert_eq!(unsafe { arena_base.add(segs[0].len()) }, hdr1);
+    }
+
+    #[test]
     fn ctrl_round_trips() {
         let msgs = vec![
             ControlMsg::Hello {
@@ -621,8 +634,8 @@ mod tests {
             },
         ];
         for m in msgs {
-            let f = Frame::Ctrl(m.clone());
-            assert_eq!(decode(&encode(&f)).unwrap(), f, "failed for {m:?}");
+            let f = Frame::Ctrl(m);
+            assert_eq!(decode(&encode(&f)).unwrap(), f, "failed for {f:?}");
         }
     }
 
@@ -652,14 +665,14 @@ mod tests {
         let f = Frame::Data(sample_data(1, 50));
         let enc = encode(&f);
         for cut in [0, 1, 5, enc.len() - 1] {
-            let partial = enc.slice(0..cut);
+            let partial = enc.slice(0, cut);
             assert!(decode(&partial).is_err(), "cut at {cut} should fail");
         }
     }
 
     #[test]
     fn bad_tag_fails() {
-        let b = Bytes::from_static(&[200, 0, 0]);
+        let b = WireMsg::from_bytes(Bytes::from_static(&[200, 0, 0]));
         assert_eq!(decode(&b), Err(WireError::BadTag(200)));
     }
 
@@ -672,7 +685,11 @@ mod tests {
     }
 
     #[test]
-    fn data_frame_len_matches_encoding() {
+    fn encoded_len_is_header_plus_options_plus_payload() {
+        // WireMsg::len() on the encoder output is the size authority; pin
+        // the layout arithmetic so accidental format drift is loud. Base
+        // header: tag + st_rms + seq + flags + sent_at + payload length
+        // prefix = 30 bytes; frag/source/target/span add 8 bytes each.
         for (len, frag, src, tgt, span) in [
             (0usize, false, false, false, false),
             (100, true, false, false, false),
@@ -693,10 +710,10 @@ mod tests {
             if span {
                 d.span = Some(9);
             }
-            let enc = encode(&Frame::Data(d));
+            let expected = 30 + len + [frag, src, tgt, span].iter().filter(|&&b| b).count() * 8;
             assert_eq!(
-                enc.len() as u64,
-                data_frame_len(len as u64, frag, src, tgt, span),
+                encode(&Frame::Data(d)).len(),
+                expected,
                 "mismatch for len={len} frag={frag} src={src} tgt={tgt} span={span}"
             );
         }

@@ -385,7 +385,7 @@ fn send_datagram_payload_roundtrip_not_affected_by_st() {
     let (net, a, b) = two_hosts_ethernet();
     let mut sim = Sim::new(World::new(net, StConfig::default()));
     let _st_rms = establish(&mut sim, a, b, &basic_request(), false);
-    dash_net::pipeline::send_datagram(&mut sim, a, b, 9, Bytes::from_static(b"raw"));
+    dash_net::pipeline::send_datagram(&mut sim, a, b, 9, Bytes::from_static(b"raw").into());
     sim.run();
     // Raw datagrams use the default no-op handler; nothing crashes, ST
     // deliveries unaffected.

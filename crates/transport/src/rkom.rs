@@ -13,7 +13,7 @@
 
 use rms_core::hash::DetHashMap;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use dash_net::ids::HostId;
 use dash_sim::engine::{Sim, TimerHandle};
 use dash_sim::obs::ObsEvent;
@@ -26,6 +26,7 @@ use rms_core::delay::DelayBound;
 use rms_core::message::Message;
 use rms_core::params::RmsParams;
 use rms_core::port::DeliveryInfo;
+use rms_core::wire::WireMsg;
 use rms_core::{RmsError, RmsRequest};
 
 use crate::stack::{Stack, MAGIC_RKOM};
@@ -108,7 +109,9 @@ enum RkomMsg {
     },
 }
 
-fn encode_msg(m: &RkomMsg) -> Bytes {
+/// Encode into a scatter-gather wire body: one owned header chunk plus
+/// the caller's payload handle shared as a segment (no copy).
+fn encode_msg(m: &RkomMsg) -> WireMsg {
     let mut b = BytesMut::with_capacity(32);
     b.put_u8(MAGIC_RKOM);
     match m {
@@ -121,7 +124,9 @@ fn encode_msg(m: &RkomMsg) -> Bytes {
             b.put_u64(*call);
             b.put_u16(*service);
             b.put_u32(payload.len() as u32);
-            b.put_slice(payload);
+            let mut out = WireMsg::from_bytes(b.freeze());
+            out.push(payload.clone());
+            return out;
         }
         RkomMsg::Reply {
             call,
@@ -132,60 +137,47 @@ fn encode_msg(m: &RkomMsg) -> Bytes {
             b.put_u64(*call);
             b.put_u8(*status);
             b.put_u32(payload.len() as u32);
-            b.put_slice(payload);
+            let mut out = WireMsg::from_bytes(b.freeze());
+            out.push(payload.clone());
+            return out;
         }
         RkomMsg::ReplyAck { call } => {
             b.put_u8(KIND_REPLY_ACK);
             b.put_u64(*call);
         }
     }
-    b.freeze()
+    WireMsg::from_bytes(b.freeze())
 }
 
-fn decode_msg(bytes: &Bytes) -> Option<RkomMsg> {
-    let mut b = bytes.clone();
-    if b.remaining() < 2 || b.get_u8() != MAGIC_RKOM {
+fn decode_msg(wire: &WireMsg) -> Option<RkomMsg> {
+    let mut b = wire.cursor();
+    if b.get_u8().ok()? != MAGIC_RKOM {
         return None;
     }
-    match b.get_u8() {
+    match b.get_u8().ok()? {
         KIND_REQUEST => {
-            if b.remaining() < 14 {
-                return None;
-            }
-            let call = b.get_u64();
-            let service = b.get_u16();
-            let len = b.get_u32() as usize;
-            if b.remaining() < len {
-                return None;
-            }
+            let call = b.get_u64().ok()?;
+            let service = b.get_u16().ok()?;
+            let len = b.get_u32().ok()? as usize;
             Some(RkomMsg::Request {
                 call,
                 service,
-                payload: b.split_to(len),
+                payload: b.take_bytes(len).ok()?,
             })
         }
         KIND_REPLY => {
-            if b.remaining() < 13 {
-                return None;
-            }
-            let call = b.get_u64();
-            let status = b.get_u8();
-            let len = b.get_u32() as usize;
-            if b.remaining() < len {
-                return None;
-            }
+            let call = b.get_u64().ok()?;
+            let status = b.get_u8().ok()?;
+            let len = b.get_u32().ok()? as usize;
             Some(RkomMsg::Reply {
                 call,
                 status,
-                payload: b.split_to(len),
+                payload: b.take_bytes(len).ok()?,
             })
         }
-        KIND_REPLY_ACK => {
-            if b.remaining() < 8 {
-                return None;
-            }
-            Some(RkomMsg::ReplyAck { call: b.get_u64() })
-        }
+        KIND_REPLY_ACK => Some(RkomMsg::ReplyAck {
+            call: b.get_u64().ok()?,
+        }),
         _ => None,
     }
 }
@@ -204,7 +196,7 @@ struct Channel {
     high_out: Option<StRmsId>,
     creating: bool,
     /// Encoded messages waiting for the channel (lane, bytes).
-    waiting: Vec<(Lane, Bytes)>,
+    waiting: Vec<(Lane, WireMsg)>,
 }
 
 impl Channel {
@@ -254,7 +246,7 @@ pub struct RkomHost {
     services: DetHashMap<u16, Option<Handler>>,
     calls: DetHashMap<u64, Call>,
     call_cbs: DetHashMap<u64, CallCallback>,
-    reply_cache: DetHashMap<(HostId, u64), Bytes>,
+    reply_cache: DetHashMap<(HostId, u64), WireMsg>,
     owned: DetHashMap<StRmsId, HostId>,
     tokens: DetHashMap<StToken, (HostId, Lane)>,
     /// Statistics.
@@ -461,7 +453,7 @@ fn channel_request(config: &RkomConfig, fixed: SimDuration) -> RmsRequest {
     RmsRequest::new(desired, acceptable).expect("desired covers floor")
 }
 
-fn send_on_channel(sim: &mut Sim<Stack>, host: HostId, peer: HostId, lane: Lane, bytes: Bytes) {
+fn send_on_channel(sim: &mut Sim<Stack>, host: HostId, peer: HostId, lane: Lane, bytes: WireMsg) {
     ensure_channel(sim, host, peer);
     let target = {
         let ch = sim
@@ -482,7 +474,7 @@ fn send_on_channel(sim: &mut Sim<Stack>, host: HostId, peer: HostId, lane: Lane,
         }
     };
     if let Some(st_rms) = target {
-        let _ = st_engine::send(sim, host, st_rms, Message::new(bytes));
+        let _ = st_engine::send(sim, host, st_rms, Message::from_wire(bytes));
     }
 }
 
@@ -625,7 +617,7 @@ pub fn on_delivery(
     msg: Message,
     _info: DeliveryInfo,
 ) {
-    let Some(decoded) = decode_msg(msg.payload()) else {
+    let Some(decoded) = decode_msg(msg.wire()) else {
         return;
     };
     // Claim the inbound stream and learn the peer from the ST layer.
@@ -803,9 +795,18 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(decode_msg(&Bytes::from_static(b"")), None);
-        assert_eq!(decode_msg(&Bytes::from_static(b"\x00\x01")), None);
-        assert_eq!(decode_msg(&Bytes::from_static(&[MAGIC_RKOM, 99])), None);
+        assert_eq!(
+            decode_msg(&WireMsg::from_bytes(Bytes::from_static(b""))),
+            None
+        );
+        assert_eq!(
+            decode_msg(&WireMsg::from_bytes(Bytes::from_static(b"\x00\x01"))),
+            None
+        );
+        assert_eq!(
+            decode_msg(&WireMsg::from_bytes(Bytes::from_static(&[MAGIC_RKOM, 99]))),
+            None
+        );
         // Truncated payload length.
         let mut b = BytesMut::new();
         b.put_u8(MAGIC_RKOM);
@@ -813,6 +814,6 @@ mod tests {
         b.put_u64(1);
         b.put_u16(1);
         b.put_u32(100); // claims 100 bytes, none follow
-        assert_eq!(decode_msg(&b.freeze()), None);
+        assert_eq!(decode_msg(&WireMsg::from_bytes(b.freeze())), None);
     }
 }

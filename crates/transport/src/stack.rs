@@ -11,7 +11,6 @@
 //! owned by a transport protocol and not starting with a reserved magic
 //! byte are handed to the application tap.
 
-use bytes::Bytes;
 use dash_baseline::tcp::{self, TcpEvent, TcpState, TcpWorld, TCP_PROTO};
 use dash_net::ids::{HostId, NetRmsId, NetworkId};
 use dash_net::state::{fifo_charge_cpu, NetRmsEvent, NetState, NetWorld};
@@ -23,6 +22,7 @@ use dash_subtransport::ids::StRmsId;
 use dash_subtransport::st::{StConfig, StEvent, StState, StWorld};
 use rms_core::message::Message;
 use rms_core::port::DeliveryInfo;
+use rms_core::wire::WireMsg;
 
 use dash_sim::obs::ObsSink;
 
@@ -297,7 +297,7 @@ impl NetWorld for Stack {
         host: HostId,
         src: HostId,
         proto: u16,
-        payload: Bytes,
+        payload: WireMsg,
         sent_at: SimTime,
     ) {
         if proto == TCP_PROTO {
@@ -347,12 +347,13 @@ impl StWorld for Stack {
         // Owned streams route to their protocol; unknown streams are
         // claimed by magic byte.
         if rkom::owns(&sim.state, host, st_rms)
-            || msg.payload().first() == Some(&MAGIC_RKOM) && !stream::owns(&sim.state, host, st_rms)
+            || msg.wire().first_byte() == Some(MAGIC_RKOM)
+                && !stream::owns(&sim.state, host, st_rms)
         {
             rkom::on_delivery(sim, host, st_rms, msg, info);
             return;
         }
-        if stream::owns(&sim.state, host, st_rms) || msg.payload().first() == Some(&MAGIC_STREAM) {
+        if stream::owns(&sim.state, host, st_rms) || msg.wire().first_byte() == Some(MAGIC_STREAM) {
             stream::on_delivery(sim, host, st_rms, msg, info);
             return;
         }

@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 
 use rms_core::hash::DetHashMap;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, BytesMut};
 use dash_net::ids::HostId;
 use dash_sim::engine::{Sim, TimerHandle};
 use dash_sim::obs::ObsEvent;
@@ -38,6 +38,7 @@ use rms_core::error::{FailReason, RmsError};
 use rms_core::message::Message;
 use rms_core::params::RmsParams;
 use rms_core::port::DeliveryInfo;
+use rms_core::wire::WireMsg;
 use rms_core::RmsRequest;
 
 use crate::flow::{AckWindow, CapacityEnforcement, RateLimiter, ReceiverWindow};
@@ -218,7 +219,7 @@ enum StreamMsg {
         session: u64,
         seq: u64,
         sent_at: SimTime,
-        payload: Bytes,
+        payload: WireMsg,
     },
     Ack {
         session: u64,
@@ -227,7 +228,10 @@ enum StreamMsg {
     },
 }
 
-fn encode_msg(m: &StreamMsg) -> Bytes {
+/// Encode into a scatter-gather wire body: one small owned header chunk,
+/// followed (for `Data`) by the payload's segments shared as-is — the
+/// payload bytes are never copied.
+fn encode_msg(m: &StreamMsg) -> WireMsg {
     let mut b = BytesMut::with_capacity(32);
     b.put_u8(MAGIC_STREAM);
     match m {
@@ -254,7 +258,9 @@ fn encode_msg(m: &StreamMsg) -> Bytes {
             b.put_u64(*seq);
             b.put_u64(sent_at.as_nanos());
             b.put_u32(payload.len() as u32);
-            b.put_slice(payload);
+            let mut out = WireMsg::from_bytes(b.freeze());
+            out.append(payload);
+            return out;
         }
         StreamMsg::Ack {
             session,
@@ -267,23 +273,22 @@ fn encode_msg(m: &StreamMsg) -> Bytes {
             b.put_u64(*consumed);
         }
     }
-    b.freeze()
+    WireMsg::from_bytes(b.freeze())
 }
 
-fn decode_msg(bytes: &Bytes) -> Option<StreamMsg> {
-    let mut b = bytes.clone();
-    if b.remaining() < 2 || b.get_u8() != MAGIC_STREAM {
+/// Cursor-decode a scatter-gather body; `Data` payloads are sliced out of
+/// the shared segments, not copied.
+fn decode_msg(wire: &WireMsg) -> Option<StreamMsg> {
+    let mut b = wire.cursor();
+    if b.get_u8().ok()? != MAGIC_STREAM {
         return None;
     }
-    match b.get_u8() {
+    match b.get_u8().ok()? {
         KIND_HELLO => {
-            if b.remaining() < 25 {
-                return None;
-            }
-            let session = b.get_u64();
-            let needs_ack_stream = b.get_u8() != 0;
-            let receive_buffer = b.get_u64();
-            let raw = b.get_u64();
+            let session = b.get_u64().ok()?;
+            let needs_ack_stream = b.get_u8().ok()? != 0;
+            let receive_buffer = b.get_u64().ok()?;
+            let raw = b.get_u64().ok()?;
             Some(StreamMsg::Hello {
                 session,
                 needs_ack_stream,
@@ -292,30 +297,21 @@ fn decode_msg(bytes: &Bytes) -> Option<StreamMsg> {
             })
         }
         KIND_DATA => {
-            if b.remaining() < 28 {
-                return None;
-            }
-            let session = b.get_u64();
-            let seq = b.get_u64();
-            let sent_at = SimTime::from_nanos(b.get_u64());
-            let len = b.get_u32() as usize;
-            if b.remaining() < len {
-                return None;
-            }
+            let session = b.get_u64().ok()?;
+            let seq = b.get_u64().ok()?;
+            let sent_at = SimTime::from_nanos(b.get_u64().ok()?);
+            let len = b.get_u32().ok()? as usize;
             Some(StreamMsg::Data {
                 session,
                 seq,
                 sent_at,
-                payload: b.split_to(len),
+                payload: b.take_wire(len).ok()?,
             })
         }
         KIND_ACK => {
-            if b.remaining() < 24 {
-                return None;
-            }
-            let session = b.get_u64();
-            let raw = b.get_u64();
-            let consumed = b.get_u64();
+            let session = b.get_u64().ok()?;
+            let raw = b.get_u64().ok()?;
+            let consumed = b.get_u64().ok()?;
             Some(StreamMsg::Ack {
                 session,
                 cum_seq: (raw != u64::MAX).then_some(raw),
@@ -394,7 +390,7 @@ pub struct Session {
     consumed_total: u64,
     since_last_ack: u32,
     ack_timer: Option<TimerHandle>,
-    pending_acks: Vec<Bytes>,
+    pending_acks: Vec<WireMsg>,
 }
 
 impl std::fmt::Debug for Session {
@@ -752,10 +748,10 @@ fn pump(sim: &mut Sim<Stack>, host: HostId, session: u64) {
             session,
             seq,
             sent_at: now,
-            payload: msg.payload().clone(),
+            payload: msg.wire().clone(),
         });
         let len = msg.len() as u64;
-        let mut wire = Message::new(bytes);
+        let mut wire = Message::from_wire(bytes);
         {
             // Open the lifecycle span here so it records the TransportSend
             // stage ahead of StSend (the ST engine adopts an existing span
@@ -883,9 +879,9 @@ fn on_rto(sim: &mut Sim<Stack>, host: HostId, session: u64) {
         session,
         seq,
         sent_at,
-        payload: msg.payload().clone(),
+        payload: msg.wire().clone(),
     });
-    let _ = st_engine::send(sim, host, st_rms, Message::new(bytes));
+    let _ = st_engine::send(sim, host, st_rms, Message::from_wire(bytes));
     ensure_rto(sim, host, session);
 }
 
@@ -913,9 +909,9 @@ fn retransmit_head(sim: &mut Sim<Stack>, host: HostId, session: u64) {
             session,
             seq,
             sent_at,
-            payload: msg.payload().clone(),
+            payload: msg.wire().clone(),
         });
-        let _ = st_engine::send(sim, host, st_rms, Message::new(bytes));
+        let _ = st_engine::send(sim, host, st_rms, Message::from_wire(bytes));
     }
     ensure_rto(sim, host, session);
 }
@@ -993,7 +989,7 @@ pub fn on_st_event(sim: &mut Sim<Stack>, host: HostId, event: StEvent) {
                         receive_buffer: peer_buffer,
                         ack_is_for: None,
                     });
-                    let _ = st_engine::send(sim, host, st_rms, Message::new(hello));
+                    let _ = st_engine::send(sim, host, st_rms, Message::from_wire(hello));
                     fire(sim, host, StreamEvent::Opened { session });
                     pump(sim, host, session);
                 }
@@ -1006,7 +1002,7 @@ pub fn on_st_event(sim: &mut Sim<Stack>, host: HostId, event: StEvent) {
                         std::mem::take(&mut s.pending_acks)
                     };
                     for bytes in pending {
-                        let _ = st_engine::send(sim, host, st_rms, Message::new(bytes));
+                        let _ = st_engine::send(sim, host, st_rms, Message::from_wire(bytes));
                     }
                 }
             }
@@ -1086,7 +1082,7 @@ pub fn on_delivery(
     msg: Message,
     _info: DeliveryInfo,
 ) {
-    let Some(decoded) = decode_msg(msg.payload()) else {
+    let Some(decoded) = decode_msg(msg.wire()) else {
         return;
     };
     match decoded {
@@ -1210,7 +1206,7 @@ fn handle_data(
     session: u64,
     seq: u64,
     sent_at: SimTime,
-    payload: Bytes,
+    payload: WireMsg,
 ) {
     let now = sim.now();
     let deliver = {
@@ -1278,7 +1274,7 @@ fn handle_data(
                     },
                 );
             }
-            let msg = Message::new(payload);
+            let msg = Message::from_wire(payload);
             fire(
                 sim,
                 host,
@@ -1397,9 +1393,9 @@ fn send_ack(sim: &mut Sim<Stack>, host: HostId, session: u64, force: bool) {
                     receive_buffer: 0,
                     ack_is_for: Some(tx_session),
                 });
-                let _ = st_engine::send(sim, host, st_rms, Message::new(hello));
+                let _ = st_engine::send(sim, host, st_rms, Message::from_wire(hello));
             }
-            let _ = st_engine::send(sim, host, st_rms, Message::new(bytes));
+            let _ = st_engine::send(sim, host, st_rms, Message::from_wire(bytes));
         }
         None => {
             // Ack stream not ready yet: hold the ack.
@@ -1436,7 +1432,7 @@ mod tests {
                 session: 5,
                 seq: 9,
                 sent_at: SimTime::from_nanos(77),
-                payload: Bytes::from_static(b"body"),
+                payload: WireMsg::from_bytes(bytes::Bytes::from_static(b"body")),
             },
             StreamMsg::Ack {
                 session: 5,
@@ -1456,8 +1452,17 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(decode_msg(&Bytes::from_static(b"xy")), None);
-        assert_eq!(decode_msg(&Bytes::from_static(&[MAGIC_STREAM, 9])), None);
+        assert_eq!(
+            decode_msg(&WireMsg::from_bytes(bytes::Bytes::from_static(b"xy"))),
+            None
+        );
+        assert_eq!(
+            decode_msg(&WireMsg::from_bytes(bytes::Bytes::from_static(&[
+                MAGIC_STREAM,
+                9
+            ]))),
+            None
+        );
     }
 
     #[test]

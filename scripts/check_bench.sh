@@ -12,6 +12,11 @@
 # alternate-path wins) is deterministic per topology, so those counts
 # are gated exactly — any drift is a behaviour change, not noise.
 #
+# Both gates also compare allocations per engine event (deterministic —
+# counted by the binaries' counting allocator): a fresh value more than
+# ALLOC_SLACK above the committed baseline fails. Collapse-only: getting
+# *better* never fails, and baselines that predate the field are skipped.
+#
 #   scripts/check_bench.sh            # bench config (sub-second runs)
 #   MIN_RATIO=0.5 scripts/check_bench.sh
 set -euo pipefail
@@ -20,6 +25,7 @@ cd "$(dirname "$0")/.."
 CONFIG="${CONFIG:-bench}"
 MIN_RATIO="${MIN_RATIO:-0.30}"
 WARN_BAND="${WARN_BAND:-0.30}"
+ALLOC_SLACK="${ALLOC_SLACK:-1.10}"
 BASELINE_FILE="BENCH_scale.json"
 ROUTING_BASELINE_FILE="BENCH_routing.json"
 
@@ -32,11 +38,11 @@ fresh_json="$(mktemp)"
 trap 'rm -f "$fresh_json"' EXIT
 cargo run --release -q -p dash-bench --bin e10_scale -- "--$CONFIG" --label fresh --json "$fresh_json"
 
-python3 - "$BASELINE_FILE" "$fresh_json" "$CONFIG" "$MIN_RATIO" "$WARN_BAND" <<'EOF'
+python3 - "$BASELINE_FILE" "$fresh_json" "$CONFIG" "$MIN_RATIO" "$WARN_BAND" "$ALLOC_SLACK" <<'EOF'
 import json, sys
 
-baseline_file, fresh_file, config, min_ratio, warn_band = sys.argv[1:6]
-min_ratio, warn_band = float(min_ratio), float(warn_band)
+baseline_file, fresh_file, config, min_ratio, warn_band, alloc_slack = sys.argv[1:7]
+min_ratio, warn_band, alloc_slack = float(min_ratio), float(warn_band), float(alloc_slack)
 
 doc = json.load(open(baseline_file))
 runs = [r for r in doc["runs"] if r.get("config") == config]
@@ -66,6 +72,19 @@ if ratio < min_ratio:
 if ratio < 1 - warn_band or ratio > 1 + warn_band:
     print(f"check_bench: WARN — outside the ±{warn_band:.0%} band "
           f"(machine noise or a real change; not failing)")
+
+# Allocations per event are deterministic, so a regression here is a real
+# code change. Collapse-only gate: fail only above baseline*slack; skip
+# baselines committed before the field existed.
+ba, fa = base.get("allocs_per_event"), fresh.get("allocs_per_event")
+if ba is None:
+    print("check_bench: baseline predates allocs_per_event; skipping alloc gate")
+else:
+    print(f"check_bench[{config}]: allocs/event baseline {ba}, fresh {fa}")
+    if fa > ba * alloc_slack:
+        print(f"check_bench: FAIL — allocs/event regressed beyond "
+              f"{alloc_slack:.2f}x baseline")
+        sys.exit(1)
 print("check_bench: OK")
 EOF
 
@@ -79,10 +98,11 @@ fresh_routing="$(mktemp)"
 trap 'rm -f "$fresh_json" "$fresh_routing"' EXIT
 cargo run --release -q -p dash-bench --bin e11_routing -- "--$CONFIG" --label fresh --json "$fresh_routing"
 
-python3 - "$ROUTING_BASELINE_FILE" "$fresh_routing" "$CONFIG" <<'EOF'
+python3 - "$ROUTING_BASELINE_FILE" "$fresh_routing" "$CONFIG" "$ALLOC_SLACK" <<'EOF'
 import json, sys
 
-baseline_file, fresh_file, config = sys.argv[1:4]
+baseline_file, fresh_file, config, alloc_slack = sys.argv[1:5]
+alloc_slack = float(alloc_slack)
 doc = json.load(open(baseline_file))
 runs = [r for r in doc["runs"] if r.get("config") == config]
 if not runs:
@@ -108,5 +128,17 @@ for topo in ("dumbbell", "mesh"):
         print(f"check_bench[routing/{topo}]: OK — events {f['events']}, "
               f"floods {f['floods']}, recomputes {f['recomputes']}, "
               f"alt wins {f['alternate_wins']}")
+    # Same collapse-only alloc gate as e10 (see above), per topology.
+    ba, fa = b.get("allocs_per_event"), f.get("allocs_per_event")
+    if ba is None:
+        print(f"check_bench[routing/{topo}]: baseline predates "
+              f"allocs_per_event; skipping alloc gate")
+    elif fa > ba * alloc_slack:
+        ok = False
+        print(f"check_bench[routing/{topo}]: FAIL — allocs/event "
+              f"regressed {ba} -> {fa} (> {alloc_slack:.2f}x)")
+    else:
+        print(f"check_bench[routing/{topo}]: allocs/event {fa} "
+              f"(baseline {ba})")
 sys.exit(0 if ok else 1)
 EOF

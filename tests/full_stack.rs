@@ -186,6 +186,45 @@ fn secure_stream_on_untrusted_internetwork() {
 }
 
 #[test]
+fn unfragmented_payload_is_delivered_without_copying() {
+    // The scatter-gather wire path must forward the app's payload bytes by
+    // reference all the way down through ST framing, the net pipeline, and
+    // back up through decode: the delivered handle views the very
+    // allocation the sender handed in.
+    let mut b = TopologyBuilder::new();
+    let lan = b.network(NetworkSpec::ethernet("lan"));
+    let a = b.host_on(lan);
+    let c = b.host_on(lan);
+    let mut sim = Sim::new(StackBuilder::new(b.build()).build());
+
+    use dash::subtransport::engine as st;
+    use rms_core::{Message, RmsParams, RmsRequest};
+    let params = RmsParams::builder(32 * 1024, 4096).build().unwrap();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let g = Rc::clone(&got);
+    sim.state.on_app(move |_sim, ev| {
+        if let dash::transport::stack::AppEvent::StDeliver { msg, .. } = ev {
+            g.borrow_mut().push(msg);
+        }
+    });
+    let _tok = st::create(&mut sim, a, c, &RmsRequest::exact(params), false).unwrap();
+    sim.run();
+    let st_rms = *sim.state.st.host(a).streams.keys().next().unwrap();
+    let body = Bytes::from(vec![0xABu8; 1024]);
+    st::send(&mut sim, a, st_rms, Message::new(body.clone())).unwrap();
+    sim.run();
+
+    assert_eq!(got.borrow().len(), 1);
+    let delivered = got.borrow()[0].payload();
+    assert_eq!(delivered.as_ref(), body.as_ref());
+    assert_eq!(
+        delivered.as_ptr(),
+        body.as_ptr(),
+        "payload was copied somewhere on the wire path"
+    );
+}
+
+#[test]
 fn admission_control_limits_deterministic_load_end_to_end() {
     use dash::net::pipeline::create_rms;
     use rms_core::{DelayBound, RmsParams, RmsRequest};

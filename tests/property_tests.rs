@@ -6,12 +6,64 @@ use bytes::Bytes;
 use dash::core::compat::{is_compatible, negotiate, PerfLimits, RmsRequest, ServiceTable};
 use dash::core::delay::{DelayBound, DelayBoundKind, StatisticalSpec};
 use dash::core::params::{BitErrorRate, Reliability, RmsParams, SecurityParams};
+use dash::core::wire::WireMsg;
 use dash::sim::time::{SimDuration, SimTime};
 use dash::subtransport::frag::{fragment, Reassembly};
 use dash::subtransport::ids::StRmsId;
 use dash::subtransport::piggyback::{PendingEntry, PiggybackQueue, PushOutcome};
 use dash::subtransport::wire::{self, DataFrame, Frame};
+
+/// Pull the sequence number back out of a pre-encoded pending entry.
+fn decoded_seq(w: &WireMsg) -> u64 {
+    match wire::decode(w).expect("entries hold valid frames") {
+        Frame::Data(d) => d.seq,
+        other => panic!("unexpected frame {other:?}"),
+    }
+}
+use dash::subtransport::ids::StToken;
+use dash::subtransport::wire::ControlMsg;
 use dash::transport::flow::{AckWindow, RateLimiter, ReceiverWindow};
+
+/// Ethernet MTU used by the repo's topology helpers
+/// (`NetworkSpec::ethernet`): the interesting payload boundaries for the
+/// scatter-gather codec sit on either side of it.
+const MTU: usize = 1536;
+
+fn boundary_size() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        Just(MTU - 1),
+        Just(MTU),
+        Just(MTU + 1),
+        Just(64usize * 1024),
+    ]
+}
+
+fn arb_ctrl() -> impl Strategy<Value = ControlMsg> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(host, nonce, tag)| ControlMsg::Hello { host, nonce, tag }),
+        (any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(host, nonce, tag)| ControlMsg::HelloAck { host, nonce, tag }),
+        (any::<u64>(), arb_params(), any::<bool>()).prop_map(|(t, params, fast_ack)| {
+            ControlMsg::StCreateReq {
+                token: StToken(t),
+                params,
+                fast_ack,
+            }
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(t, s)| ControlMsg::StCreateAck {
+            token: StToken(t),
+            st_rms: StRmsId(s),
+        }),
+        (any::<u64>(), any::<u8>()).prop_map(|(t, reason)| ControlMsg::StCreateNak {
+            token: StToken(t),
+            reason,
+        }),
+        any::<u64>().prop_map(|s| ControlMsg::StClose { st_rms: StRmsId(s) }),
+    ]
+}
 
 fn arb_security() -> impl Strategy<Value = SecurityParams> {
     prop_oneof![
@@ -120,10 +172,47 @@ proptest! {
             source: None,
             target: None,
             span: None,
-            payload: Bytes::from(payload),
+            payload: WireMsg::from(payload),
         });
         let decoded = wire::decode(&wire::encode(&frame)).expect("round trip");
         prop_assert_eq!(decoded, frame);
+    }
+
+    /// Data, Ctrl, and Bundle frames all round-trip through the
+    /// scatter-gather codec at the MTU boundary payload sizes
+    /// (0, 1, MTU-1, MTU, MTU+1, 64K).
+    #[test]
+    fn wire_codec_round_trips_at_boundary_sizes(
+        size in boundary_size(),
+        seq in any::<u64>(),
+        fill in any::<u8>(),
+        ctrl in arb_ctrl(),
+        bundle_sizes in proptest::collection::vec(boundary_size(), 1..4),
+    ) {
+        let data = |sz: usize, seq: u64| DataFrame {
+            st_rms: StRmsId(9),
+            seq,
+            frag: None,
+            sent_at: SimTime::from_nanos(41),
+            fast_ack: false,
+            source: None,
+            target: None,
+            span: None,
+            payload: WireMsg::from(vec![fill; sz]),
+        };
+        let bundle: Vec<DataFrame> = bundle_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, sz)| data(*sz, i as u64))
+            .collect();
+        for frame in [
+            Frame::Data(data(size, seq)),
+            Frame::Ctrl(ctrl.clone()),
+            Frame::Bundle(bundle),
+        ] {
+            let decoded = wire::decode(&wire::encode(&frame)).expect("round trip");
+            prop_assert_eq!(decoded, frame);
+        }
     }
 
     /// Truncating an encoded frame never panics and never yields a frame.
@@ -141,12 +230,12 @@ proptest! {
             source: None,
             target: None,
             span: None,
-            payload: Bytes::from(payload),
+            payload: WireMsg::from(payload),
         });
         let enc = wire::encode(&frame);
         let cut = ((enc.len() as f64) * cut_fraction) as usize;
         if cut < enc.len() {
-            prop_assert!(wire::decode(&enc.slice(0..cut)).is_err());
+            prop_assert!(wire::decode(&enc.slice(0, cut)).is_err());
         }
     }
 
@@ -156,7 +245,7 @@ proptest! {
         payload in proptest::collection::vec(any::<u8>(), 1..8192),
         chunk in 1usize..2048,
     ) {
-        let bytes = Bytes::from(payload.clone());
+        let bytes = WireMsg::from_bytes(Bytes::from(payload.clone()));
         let frames = fragment(StRmsId(1), 3, &bytes, chunk, SimTime::ZERO, false, None, None, None);
         let mut r = Reassembly::new();
         let mut out = None;
@@ -164,7 +253,7 @@ proptest! {
             out = r.push(f);
         }
         let done = out.expect("last fragment completes");
-        prop_assert_eq!(done.payload.as_ref(), &payload[..]);
+        prop_assert_eq!(done.payload.contiguous().as_ref(), &payload[..]);
         prop_assert_eq!(done.seq, 3);
     }
 
@@ -188,11 +277,13 @@ proptest! {
                 source: None,
                 target: None,
                 span: None,
-                payload: Bytes::from(vec![0u8; *len as usize]),
+                payload: WireMsg::from(vec![0u8; *len as usize]),
             };
             let entry = PendingEntry {
-                encoded_len: wire::data_frame_len(*len, false, false, false, false),
-                frame,
+                wire: wire::encode(&Frame::Data(frame)),
+                st_rms: StRmsId(1),
+                sent_at: SimTime::ZERO,
+                span: None,
                 min_deadline: SimTime::ZERO,
                 max_deadline: SimTime::from_nanos(1_000_000),
             };
@@ -201,7 +292,7 @@ proptest! {
                 PushOutcome::Queued { .. } => {}
                 PushOutcome::WouldOverflow | PushOutcome::DeadlineConflict => {
                     if let Some(bundle) = q.flush() {
-                        flushed.extend(bundle.frames.iter().map(|f| f.seq));
+                        flushed.extend(bundle.entries.iter().map(|e| decoded_seq(&e.wire)));
                     }
                     // After a flush the entry must fit (entries are smaller
                     // than any budget we generate).
@@ -214,7 +305,7 @@ proptest! {
             prop_assert!(q.bundle_bytes() <= budget.max(500));
         }
         if let Some(bundle) = q.flush() {
-            flushed.extend(bundle.frames.iter().map(|f| f.seq));
+            flushed.extend(bundle.entries.iter().map(|e| decoded_seq(&e.wire)));
         }
         prop_assert_eq!(flushed.len() as u64, pushed);
         prop_assert!(flushed.windows(2).all(|w| w[0] < w[1]), "order preserved");

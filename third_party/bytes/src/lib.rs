@@ -2,32 +2,62 @@
 //!
 //! The build container has no network access to crates.io, so the
 //! workspace vendors the slice of the `bytes` API it actually uses:
-//! cheaply cloneable immutable [`Bytes`] (an `Arc`'d buffer plus a view
+//! cheaply cloneable immutable [`Bytes`] (a shared buffer plus a view
 //! range), growable [`BytesMut`], and the big-endian cursor traits
 //! [`Buf`]/[`BufMut`]. Semantics match the real crate for this subset;
 //! swap the path dependency back to crates.io to drop the shim.
+//!
+//! One extension beyond the real crate's API: [`Bytes::merge_contiguous`]
+//! rejoins two views of the same backing buffer without copying. The
+//! workspace's scatter-gather wire layer uses it to coalesce adjacent
+//! payload slices (e.g. fragments being reassembled) back into a single
+//! zero-copy view.
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage of a [`Bytes`] view: a shared heap buffer or a
+/// borrowed `'static` slice (the latter costs no allocation, so
+/// `Bytes::new()` and `Bytes::from_static` are free).
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<Vec<u8>>),
+    Static(&'static [u8]),
+}
+
 /// A cheaply cloneable, contiguous, immutable byte buffer.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<Vec<u8>>,
+    repr: Repr,
     start: usize,
     end: usize,
 }
 
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+            start: 0,
+            end: 0,
+        }
+    }
+}
+
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer (no allocation).
     pub fn new() -> Self {
         Bytes::default()
     }
 
-    /// A buffer viewing a static slice (copied; the shim keeps one
-    /// representation for simplicity).
+    /// A buffer viewing a static slice without copying or allocating —
+    /// the same code path real payloads take, just with a `'static`
+    /// backing store.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes::from(bytes.to_vec())
+        Bytes {
+            repr: Repr::Static(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
     }
 
     /// Length of the view in bytes.
@@ -61,7 +91,7 @@ impl Bytes {
             "slice out of bounds"
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            repr: self.repr.clone(),
             start: self.start + begin,
             end: self.start + finish,
         }
@@ -79,12 +109,42 @@ impl Bytes {
         self.start += at;
         head
     }
+
+    /// Rejoin two views that are adjacent windows of the same backing
+    /// buffer into one view, without copying. Returns `None` when the
+    /// views have different backings or are not exactly adjacent
+    /// (`a` must end where `b` starts). Empty views join with anything.
+    pub fn merge_contiguous(a: &Bytes, b: &Bytes) -> Option<Bytes> {
+        if a.is_empty() {
+            return Some(b.clone());
+        }
+        if b.is_empty() {
+            return Some(a.clone());
+        }
+        let same_backing = match (&a.repr, &b.repr) {
+            (Repr::Shared(x), Repr::Shared(y)) => Arc::ptr_eq(x, y),
+            (Repr::Static(x), Repr::Static(y)) => std::ptr::eq(x.as_ptr(), y.as_ptr()),
+            _ => false,
+        };
+        if same_backing && a.end == b.start {
+            Some(Bytes {
+                repr: a.repr.clone(),
+                start: a.start,
+                end: b.end,
+            })
+        } else {
+            None
+        }
+    }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.repr {
+            Repr::Shared(data) => &data[self.start..self.end],
+            Repr::Static(data) => &data[self.start..self.end],
+        }
     }
 }
 
@@ -98,7 +158,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
         let end = data.len();
         Bytes {
-            data: Arc::new(data),
+            repr: Repr::Shared(Arc::new(data)),
             start: 0,
             end,
         }
@@ -107,7 +167,7 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<&'static [u8]> for Bytes {
     fn from(data: &'static [u8]) -> Self {
-        Bytes::from(data.to_vec())
+        Bytes::from_static(data)
     }
 }
 
@@ -119,7 +179,7 @@ impl From<String> for Bytes {
 
 impl From<&'static str> for Bytes {
     fn from(data: &'static str) -> Self {
-        Bytes::from(data.as_bytes().to_vec())
+        Bytes::from_static(data.as_bytes())
     }
 }
 
@@ -381,6 +441,40 @@ mod tests {
         let head = b.split_to(2);
         assert_eq!(head.as_ref(), &[1, 2]);
         assert_eq!(b.as_ref(), &[3, 4]);
+    }
+
+    #[test]
+    fn from_static_is_zero_copy() {
+        static PAGE: [u8; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+        let a = Bytes::from_static(&PAGE);
+        let b = Bytes::from_static(&PAGE);
+        // Both views point straight at the static storage.
+        assert_eq!(a.as_ptr(), PAGE.as_ptr());
+        assert_eq!(b.as_ptr(), PAGE.as_ptr());
+        assert_eq!(a.slice(2..5).as_ref(), &[3, 4, 5]);
+        let mut c = a.clone();
+        assert_eq!(c.split_to(3).as_ref(), &[1, 2, 3]);
+        assert_eq!(c.as_ref(), &[4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn merge_contiguous_rejoins_adjacent_views() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5, 6]);
+        let head = b.slice(0..3);
+        let tail = b.slice(3..6);
+        let joined = Bytes::merge_contiguous(&head, &tail).expect("adjacent");
+        assert_eq!(joined, b);
+        assert_eq!(joined.as_ptr(), b.as_ptr());
+        // Out of order or gapped views do not join.
+        assert!(Bytes::merge_contiguous(&tail, &head).is_none());
+        let gapped = b.slice(4..6);
+        assert!(Bytes::merge_contiguous(&head, &gapped).is_none());
+        // Different backings do not join.
+        let other = Bytes::from(vec![7, 8]);
+        assert!(Bytes::merge_contiguous(&head, &other).is_none());
+        // Empty views join with anything.
+        assert_eq!(Bytes::merge_contiguous(&Bytes::new(), &tail).unwrap(), tail);
+        assert_eq!(Bytes::merge_contiguous(&head, &Bytes::new()).unwrap(), head);
     }
 
     #[test]
