@@ -5,7 +5,13 @@
 //! cargo run -p dash-bench --release --bin e10_scale -- --bench     # gate size
 //! cargo run -p dash-bench --release --bin e10_scale -- --ci        # CI size
 //! cargo run -p dash-bench --release --bin e10_scale -- --json out.json --label after
+//! cargo run -p dash-bench --release --bin e10_scale -- --ci --oracle  # semantic-oracle gate
 //! ```
+//!
+//! `--oracle` attaches the dash-check semantic oracle to the run and exits
+//! non-zero if any invariant is violated. Use it in a separate invocation
+//! from baseline-compared runs: the oracle's bookkeeping allocates, which
+//! would skew `allocs_per_event`.
 //!
 //! The human-readable summary goes to stderr; with `--json PATH` one JSON
 //! object (the shape `BENCH_scale.json` stores and `check_bench.sh`
@@ -22,12 +28,14 @@ fn main() {
     let mut config = "full";
     let mut label = String::from("run");
     let mut json_path: Option<String> = None;
+    let mut oracle = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--ci" => config = "ci",
             "--bench" => config = "bench",
             "--full" => config = "full",
+            "--oracle" => oracle = true,
             "--label" => {
                 i += 1;
                 label = args.get(i).cloned().unwrap_or_default();
@@ -49,6 +57,7 @@ fn main() {
         _ => ScaleParams::full(),
     };
     params.record_trace = false;
+    params.oracle = oracle;
 
     eprintln!(
         "e10_scale [{config}]: {} hosts, ~{} long-lived streams, {} s virtual ...",
@@ -81,5 +90,18 @@ fn main() {
             eprintln!("e10_scale: wrote {path}");
         }
         None => println!("{json}"),
+    }
+    if oracle {
+        if o.oracle_violations > 0 {
+            eprintln!(
+                "e10_scale: ORACLE FAILED — {} violation(s):",
+                o.oracle_violations
+            );
+            for line in &o.oracle_detail {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("e10_scale: oracle clean (0 violations)");
     }
 }

@@ -5,7 +5,13 @@
 //! cargo run -p dash-bench --release --bin e11_routing -- --bench     # gate size
 //! cargo run -p dash-bench --release --bin e11_routing -- --ci        # CI size
 //! cargo run -p dash-bench --release --bin e11_routing -- --json out.json --label after
+//! cargo run -p dash-bench --release --bin e11_routing -- --ci --oracle  # semantic-oracle gate
 //! ```
+//!
+//! `--oracle` attaches the dash-check semantic oracle to both topology
+//! runs and exits non-zero if any invariant is violated. Keep it out of
+//! baseline-compared runs: the oracle's bookkeeping allocates, which
+//! would skew `allocs_per_event`.
 //!
 //! Both topologies (dumbbell-with-backup and the 3×3 mesh) run at the
 //! chosen size; the JSON object written with `--json PATH` (or to
@@ -24,12 +30,14 @@ fn main() {
     let mut config = "full";
     let mut label = String::from("run");
     let mut json_path: Option<String> = None;
+    let mut oracle = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--ci" => config = "ci",
             "--bench" => config = "bench",
             "--full" => config = "full",
+            "--oracle" => oracle = true,
             "--label" => {
                 i += 1;
                 label = args.get(i).cloned().unwrap_or_default();
@@ -52,10 +60,12 @@ fn main() {
     };
 
     let mut scenario_json = Vec::new();
+    let mut total_violations = 0u64;
     for topo in [RoutingTopo::DumbbellBackup, RoutingTopo::Mesh3x3] {
         let mut params = base.clone();
         params.topo = topo;
         params.record_trace = false;
+        params.oracle = oracle;
         let name = match topo {
             RoutingTopo::DumbbellBackup => "dumbbell",
             RoutingTopo::Mesh3x3 => "mesh",
@@ -80,6 +90,16 @@ fn main() {
             o.recoveries,
             o.messages,
         );
+        if o.oracle_violations > 0 {
+            eprintln!(
+                "e11_routing [{config}/{name}]: ORACLE FAILED — {} violation(s):",
+                o.oracle_violations
+            );
+            for line in &o.oracle_detail {
+                eprintln!("  {line}");
+            }
+        }
+        total_violations += o.oracle_violations;
         scenario_json.push(format!("\"{name}\":{}", o.to_json()));
     }
     let json = format!(
@@ -92,5 +112,11 @@ fn main() {
             eprintln!("e11_routing: wrote {path}");
         }
         None => println!("{json}"),
+    }
+    if oracle {
+        if total_violations > 0 {
+            std::process::exit(1);
+        }
+        eprintln!("e11_routing: oracle clean (0 violations)");
     }
 }

@@ -87,6 +87,10 @@ pub struct RoutingParams {
     pub fault_drill: bool,
     /// Record the observability trace (determinism runs only; costly).
     pub record_trace: bool,
+    /// Attach the dash-check semantic oracle and report its violation
+    /// count. Off for baseline-compared runs: the oracle's bookkeeping
+    /// allocates, which would skew `allocs_per_event`.
+    pub oracle: bool,
 }
 
 impl RoutingParams {
@@ -104,6 +108,7 @@ impl RoutingParams {
             seed: 11,
             fault_drill: true,
             record_trace: false,
+            oracle: false,
         }
     }
 
@@ -181,6 +186,12 @@ pub struct RoutingOutcome {
     /// excluded from [`Self::determinism_digest`] because the count is a
     /// property of the build, not of the simulated world.
     pub allocs: u64,
+    /// Semantic-oracle violations (0 when the oracle is off — and, the
+    /// gate asserts, when it is on).
+    pub oracle_violations: u64,
+    /// Human-readable description of each violation, for diagnosis.
+    /// Empty on a clean run; not part of the digest or JSON.
+    pub oracle_detail: Vec<String>,
 }
 
 impl RoutingOutcome {
@@ -209,7 +220,8 @@ impl RoutingOutcome {
              \"events\":{},\"messages\":{},\"floods\":{},\"recomputes\":{},\
              \"alternate_wins\":{},\"recoveries\":{},\"faults_injected\":{},\
              \"sim_secs\":{:.3},\"wall_secs\":{:.3},\"events_per_sec\":{:.0},\
-             \"allocs_per_event\":{:.3},\"peak_queue_bytes\":{}}}",
+             \"allocs_per_event\":{:.3},\"peak_queue_bytes\":{},\
+             \"oracle_violations\":{}}}",
             self.hosts,
             self.streams_opened,
             self.open_failed,
@@ -225,6 +237,7 @@ impl RoutingOutcome {
             self.events_per_sec(),
             self.allocs_per_event(),
             self.peak_queue_bytes,
+            self.oracle_violations,
         )
     }
 
@@ -383,6 +396,21 @@ pub fn run_routing(params: &RoutingParams) -> RoutingOutcome {
         });
     }
     let mut sim = Sim::new(builder.build());
+    // Completion is off (horizon-cut run); det-delay stays on — the
+    // outage drill's first fault event self-excuses the backlog that
+    // drains late across the failover.
+    let oracle_handle = if params.oracle {
+        let (sink, handle) = dash_check::oracle(dash_check::OracleConfig {
+            check_completion: false,
+            check_det_delay: true,
+            // Unreliable media streams legitimately skip lost messages.
+            check_fifo_gaps: false,
+        });
+        sim.state.net.obs.add_boxed_sink(Box::new(sink));
+        Some(handle)
+    } else {
+        None
+    };
     let all_hosts: Vec<HostId> = topo.sites.iter().flatten().copied().collect();
     let taps = Dispatcher::install(&mut sim, &all_hosts);
 
@@ -528,6 +556,15 @@ pub fn run_routing(params: &RoutingParams) -> RoutingOutcome {
         registry_dump,
         trace_dump,
         allocs: 0,
+        oracle_violations: oracle_handle
+            .as_ref()
+            .map_or(0, |h| h.violations().len() as u64),
+        oracle_detail: oracle_handle.as_ref().map_or_else(Vec::new, |h| {
+            h.violations()
+                .iter()
+                .map(|v| format!("[{}] t={} {}", v.invariant, v.at.as_nanos(), v.detail))
+                .collect()
+        }),
     }
 }
 

@@ -71,6 +71,10 @@ pub struct ScaleParams {
     pub cpus: bool,
     /// Record the network-layer trace (determinism runs only; costly).
     pub record_trace: bool,
+    /// Attach the dash-check semantic oracle and report its violation
+    /// count. Off for baseline-compared runs: the oracle's bookkeeping
+    /// allocates, which would skew `allocs_per_event`.
+    pub oracle: bool,
 }
 
 impl ScaleParams {
@@ -91,6 +95,7 @@ impl ScaleParams {
             fault_drill: true,
             cpus: true,
             record_trace: false,
+            oracle: false,
         }
     }
 
@@ -125,6 +130,7 @@ impl ScaleParams {
             fault_drill: true,
             cpus: true,
             record_trace: true,
+            oracle: false,
         }
     }
 
@@ -177,6 +183,12 @@ pub struct ScaleOutcome {
     /// excluded from [`Self::determinism_digest`] because the count is a
     /// property of the build, not of the simulated world.
     pub allocs: u64,
+    /// Semantic-oracle violations (0 when the oracle is off — and, the
+    /// gate asserts, when it is on).
+    pub oracle_violations: u64,
+    /// Human-readable description of each violation, for diagnosis.
+    /// Empty on a clean run; not part of the digest or JSON.
+    pub oracle_detail: Vec<String>,
 }
 
 impl ScaleOutcome {
@@ -216,7 +228,8 @@ impl ScaleOutcome {
              \"wall_secs\":{:.3},\"events_per_sec\":{:.0},\
              \"msgs_per_sec\":{:.0},\"allocs_per_event\":{:.3},\
              \"peak_queue_bytes\":{},\
-             \"cache_misses\":{},\"cache_evictions\":{},\"faults_injected\":{}}}",
+             \"cache_misses\":{},\"cache_evictions\":{},\"faults_injected\":{},\
+             \"oracle_violations\":{}}}",
             self.hosts,
             self.streams_opened,
             self.open_failed,
@@ -231,6 +244,7 @@ impl ScaleOutcome {
             self.cache_misses,
             self.cache_evictions,
             self.faults_injected,
+            self.oracle_violations,
         )
     }
 
@@ -328,6 +342,20 @@ pub fn run_scale(params: &ScaleParams) -> ScaleOutcome {
         });
     }
     let mut sim = Sim::new(builder.build());
+    // Completion is off (the run is horizon-cut, traffic is legitimately
+    // in flight at the end); det-delay stays on, faults self-excuse.
+    let oracle_handle = if params.oracle {
+        let (sink, handle) = dash_check::oracle(dash_check::OracleConfig {
+            check_completion: false,
+            check_det_delay: true,
+            // Unreliable media streams legitimately skip lost messages.
+            check_fifo_gaps: false,
+        });
+        sim.state.net.obs.add_boxed_sink(Box::new(sink));
+        Some(handle)
+    } else {
+        None
+    };
     let all_hosts: Vec<HostId> = lan_hosts.iter().flatten().copied().collect();
     let taps = Dispatcher::install(&mut sim, &all_hosts);
 
@@ -438,7 +466,16 @@ pub fn run_scale(params: &ScaleParams) -> ScaleOutcome {
     sim.run_until(horizon);
     let wall_secs = started.elapsed().as_secs_f64();
 
-    collect_outcome(&mut sim, &pop, params, faults, wall_secs, trace_buf)
+    let mut outcome = collect_outcome(&mut sim, &pop, params, faults, wall_secs, trace_buf);
+    if let Some(handle) = oracle_handle {
+        let violations = handle.violations();
+        outcome.oracle_violations = violations.len() as u64;
+        outcome.oracle_detail = violations
+            .iter()
+            .map(|v| format!("[{}] t={} {}", v.invariant, v.at.as_nanos(), v.detail))
+            .collect();
+    }
+    outcome
 }
 
 fn schedule_churn_wave(
@@ -557,6 +594,8 @@ fn collect_outcome(
         registry_dump,
         trace_dump,
         allocs: 0,
+        oracle_violations: 0,
+        oracle_detail: Vec::new(),
     }
 }
 

@@ -1,0 +1,205 @@
+//! Replay files: a tiny line-oriented text format storing a [`Scenario`]
+//! so a shrunk repro can live in the tree and `cargo test` can re-run it
+//! byte-identically forever.
+//!
+//! ```text
+//! dash-check replay v1
+//! seed 13
+//! force_admission true
+//! jitter 0 0
+//! fault_seed none
+//! op 120 open 200000 det
+//! op 300 send 2 1024
+//! ```
+//!
+//! The format is deliberately dumb: one `key value` pair per line, ops
+//! in schedule order. [`parse`] ∘ [`to_text`] is the identity (tested),
+//! and parsing is strict — an unknown line is an error, not a warning,
+//! because a replay that silently drops part of its scenario would
+//! "pass" without testing anything.
+
+use crate::explore::{Op, OpKind, Scenario};
+
+/// Format version header; bump on any incompatible change.
+const HEADER: &str = "dash-check replay v1";
+
+/// Serialize a scenario to replay text.
+pub fn to_text(s: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("seed {}\n", s.seed));
+    out.push_str(&format!("force_admission {}\n", s.force_admission));
+    out.push_str(&format!("jitter {} {}\n", s.jitter_seed, s.jitter_max_us));
+    match s.fault_seed {
+        Some(fs) => out.push_str(&format!("fault_seed {fs}\n")),
+        None => out.push_str("fault_seed none\n"),
+    }
+    for op in &s.ops {
+        match op.kind {
+            OpKind::Open { capacity, det } => {
+                let class = if det { "det" } else { "stat" };
+                out.push_str(&format!("op {} open {} {}\n", op.at_ms, capacity, class));
+            }
+            OpKind::Send { stream, bytes } => {
+                out.push_str(&format!("op {} send {} {}\n", op.at_ms, stream, bytes));
+            }
+        }
+    }
+    out
+}
+
+fn err(line_no: usize, msg: impl Into<String>) -> String {
+    format!("replay line {}: {}", line_no + 1, msg.into())
+}
+
+/// Parse replay text back into a scenario.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed line.
+pub fn parse(text: &str) -> Result<Scenario, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        other => {
+            return Err(format!(
+                "missing header {HEADER:?}, got {:?}",
+                other.map(|(_, l)| l).unwrap_or("")
+            ))
+        }
+    }
+
+    let mut scenario = Scenario {
+        seed: 0,
+        ops: Vec::new(),
+        fault_seed: None,
+        jitter_seed: 0,
+        jitter_max_us: 0,
+        force_admission: false,
+    };
+    for (no, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["seed", v] => {
+                scenario.seed = v.parse().map_err(|e| err(no, format!("seed: {e}")))?;
+            }
+            ["force_admission", v] => {
+                scenario.force_admission = v
+                    .parse()
+                    .map_err(|e| err(no, format!("force_admission: {e}")))?;
+            }
+            ["jitter", seed, max_us] => {
+                scenario.jitter_seed = seed
+                    .parse()
+                    .map_err(|e| err(no, format!("jitter seed: {e}")))?;
+                scenario.jitter_max_us = max_us
+                    .parse()
+                    .map_err(|e| err(no, format!("jitter max: {e}")))?;
+            }
+            ["fault_seed", "none"] => scenario.fault_seed = None,
+            ["fault_seed", v] => {
+                scenario.fault_seed =
+                    Some(v.parse().map_err(|e| err(no, format!("fault_seed: {e}")))?);
+            }
+            ["op", at_ms, "open", capacity, class] => {
+                let det = match *class {
+                    "det" => true,
+                    "stat" => false,
+                    other => return Err(err(no, format!("unknown delay class {other:?}"))),
+                };
+                scenario.ops.push(Op {
+                    at_ms: at_ms.parse().map_err(|e| err(no, format!("at_ms: {e}")))?,
+                    kind: OpKind::Open {
+                        capacity: capacity
+                            .parse()
+                            .map_err(|e| err(no, format!("capacity: {e}")))?,
+                        det,
+                    },
+                });
+            }
+            ["op", at_ms, "send", stream, bytes] => {
+                scenario.ops.push(Op {
+                    at_ms: at_ms.parse().map_err(|e| err(no, format!("at_ms: {e}")))?,
+                    kind: OpKind::Send {
+                        stream: stream
+                            .parse()
+                            .map_err(|e| err(no, format!("stream: {e}")))?,
+                        bytes: bytes.parse().map_err(|e| err(no, format!("bytes: {e}")))?,
+                    },
+                });
+            }
+            _ => return Err(err(no, format!("unrecognized line {line:?}"))),
+        }
+    }
+    Ok(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            seed: 13,
+            ops: vec![
+                Op {
+                    at_ms: 120,
+                    kind: OpKind::Open {
+                        capacity: 200_000,
+                        det: true,
+                    },
+                },
+                Op {
+                    at_ms: 300,
+                    kind: OpKind::Send {
+                        stream: 2,
+                        bytes: 1024,
+                    },
+                },
+            ],
+            fault_seed: Some(7),
+            jitter_seed: 5,
+            jitter_max_us: 50,
+            force_admission: true,
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let s = sample();
+        let text = to_text(&s);
+        assert_eq!(parse(&text).unwrap(), s);
+        // And a healthy-network variant.
+        let s2 = Scenario {
+            fault_seed: None,
+            ..s
+        };
+        assert_eq!(parse(&to_text(&s2)).unwrap(), s2);
+    }
+
+    #[test]
+    fn text_is_stable() {
+        let expected = "dash-check replay v1\n\
+                        seed 13\n\
+                        force_admission true\n\
+                        jitter 5 50\n\
+                        fault_seed 7\n\
+                        op 120 open 200000 det\n\
+                        op 300 send 2 1024\n";
+        assert_eq!(to_text(&sample()), expected);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored_but_junk_is_not() {
+        let ok = "dash-check replay v1\n\n# a comment\nseed 4\n";
+        assert_eq!(parse(ok).unwrap().seed, 4);
+        assert!(parse("dash-check replay v1\nbogus line\n").is_err());
+        assert!(parse("not a replay\n").is_err());
+        assert!(parse("dash-check replay v1\nop 1 open 10 fancy\n").is_err());
+    }
+}

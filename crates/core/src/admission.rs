@@ -117,6 +117,32 @@ impl ResourceLedger {
         (self.reserved_bps + self.statistical_load_bps) / self.capacity_bps
     }
 
+    /// The deterministic reservation budget (capacity × share), bytes/s.
+    /// Exposed so emission sites can annotate admission events with the
+    /// invariant an external oracle checks: `reserved_bps() <=`
+    /// `deterministic_budget_bps()` at all times.
+    pub fn deterministic_budget_bps(&self) -> f64 {
+        self.capacity_bps * self.deterministic_share
+    }
+
+    /// Record a reservation *without* any capacity check. This exists only
+    /// as a fault-seeding hook for the dash-check oracle (gated behind
+    /// `NetConfig::debug_force_admission`): it deliberately lets the ledger
+    /// oversubscribe so the checker can prove it notices.
+    pub fn force_admit(&mut self, params: &RmsParams) -> Admission {
+        match &params.delay.kind {
+            DelayBoundKind::Deterministic => {
+                self.reserved_bps += implied_bandwidth(params);
+                self.reserved_buffer += params.capacity;
+            }
+            DelayBoundKind::Statistical(spec) => {
+                self.statistical_load_bps += spec.average_load;
+            }
+            DelayBoundKind::BestEffort => {}
+        }
+        Admission::Admitted
+    }
+
     /// Test (and on success record) a new RMS against this resource.
     pub fn admit(&mut self, params: &RmsParams) -> Admission {
         match &params.delay.kind {
@@ -311,6 +337,18 @@ mod tests {
         ledger.release(&p);
         assert_eq!(ledger.reserved_bps(), before - implied_bandwidth(&p));
         assert_eq!(ledger.reserved_buffer(), 0);
+    }
+
+    #[test]
+    fn force_admit_oversubscribes_visibly() {
+        // The fault-seeding hook must skip the checks but still record the
+        // reservation, so the oversubscription is observable in the ledger.
+        let mut ledger = ResourceLedger::new(1e6, u64::MAX);
+        let p = det_params(2_000_000, 1_000, 1_000); // 2e6 B/s > 9e5 budget
+        assert!(!ledger.admit(&p).is_admitted());
+        assert!(ledger.force_admit(&p).is_admitted());
+        assert!(ledger.reserved_bps() > ledger.deterministic_budget_bps());
+        assert_eq!(ledger.deterministic_budget_bps(), 0.9e6);
     }
 
     #[test]

@@ -398,6 +398,32 @@ mod tests {
     }
 
     #[test]
+    fn push_never_coalesces_across_backings() {
+        // Two distinct allocations whose contents would concatenate
+        // seamlessly — coalescing keys on the backing buffer, not on the
+        // bytes, so these must stay separate segments. (A cross-backing
+        // merge would silently alias unrelated buffers and was the bug
+        // class `merge_contiguous`'s identity check exists to prevent.)
+        let a = seg(&[1, 2, 3]);
+        let b = seg(&[4, 5, 6]);
+        let mut m = WireMsg::new();
+        m.push(a.slice(0..3));
+        m.push(b.slice(0..3));
+        assert_eq!(m.seg_count(), 2);
+        assert_eq!(m.contiguous().as_ref(), &[1, 2, 3, 4, 5, 6]);
+        let segs: Vec<&Bytes> = m.segments().collect();
+        assert_eq!(segs[0].as_ptr(), a.as_ptr());
+        assert_eq!(segs[1].as_ptr(), b.as_ptr());
+
+        // Same backing but non-adjacent views must not join either.
+        let mut g = WireMsg::new();
+        g.push(a.slice(0..1));
+        g.push(a.slice(2..3));
+        assert_eq!(g.seg_count(), 2);
+        assert_eq!(g.contiguous().as_ref(), &[1, 3]);
+    }
+
+    #[test]
     fn contiguous_is_zero_copy_for_single_segment() {
         let b = seg(&[9, 8, 7]);
         let m = WireMsg::from_bytes(b.clone());

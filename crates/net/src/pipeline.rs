@@ -394,16 +394,26 @@ fn start_create_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: C
                 continue;
             }
         };
+        let force = net.config.debug_force_admission;
         let host = net.host_mut(creator);
         if !host.reservations.contains_key(&rms) {
-            let admitted = host.ifaces[iface].ledger.admit(&params);
+            let ledger = &mut host.ifaces[iface].ledger;
+            let admitted = if force {
+                ledger.force_admit(&params)
+            } else {
+                ledger.admit(&params)
+            };
             let ok = admitted.is_admitted();
+            let (reserved_bps, budget_bps) =
+                (ledger.reserved_bps(), ledger.deterministic_budget_bps());
             if sim.state.net().obs.is_active() {
                 sim.state.net().obs.emit(
                     now,
                     ObsEvent::AdmissionDecision {
                         host: creator.0,
                         admitted: ok,
+                        reserved_bps,
+                        budget_bps,
                     },
                 );
             }
@@ -464,6 +474,20 @@ fn start_create_attempt<W: NetWorld>(sim: &mut Sim<W>, creator: HostId, token: C
             },
         )
     };
+    if sim.state.net().obs.is_active() {
+        // Announce the pinned source route (creator first) so an external
+        // oracle can check the chosen alternate is loop-free.
+        let mut hops: Vec<u32> = Vec::with_capacity(source_route.hops.len() + 1);
+        hops.push(creator.0);
+        hops.extend(source_route.hops.iter().map(|h| h.0));
+        sim.state.net().obs.emit(
+            now,
+            ObsEvent::RoutingPathPinned {
+                host: creator.0,
+                hops,
+            },
+        );
+    }
     let packet = Packet {
         src: creator,
         dst: peer,
@@ -1199,12 +1223,20 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
         match next {
             None => Err(NakReason::NoRoute),
             Some(route) => {
+                let force = net.config.debug_force_admission;
                 let h = net.host_mut(host);
                 if h.reservations.contains_key(&rms) {
                     Ok(route)
                 } else {
-                    let admitted = h.ifaces[route.iface].ledger.admit(&params);
+                    let ledger = &mut h.ifaces[route.iface].ledger;
+                    let admitted = if force {
+                        ledger.force_admit(&params)
+                    } else {
+                        ledger.admit(&params)
+                    };
                     let ok = admitted.is_admitted();
+                    let (reserved_bps, budget_bps) =
+                        (ledger.reserved_bps(), ledger.deterministic_budget_bps());
                     let verdict = if ok {
                         h.reservations.insert(rms, (route.iface, params.clone()));
                         Ok(route)
@@ -1217,6 +1249,8 @@ fn handle_create_req<W: NetWorld>(sim: &mut Sim<W>, host: HostId, packet: Packet
                             ObsEvent::AdmissionDecision {
                                 host: host.0,
                                 admitted: ok,
+                                reserved_bps,
+                                budget_bps,
                             },
                         );
                     }

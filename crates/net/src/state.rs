@@ -49,6 +49,12 @@ pub struct NetConfig {
     /// When true, gateways send source-quench packets on datagram overflow
     /// drops (the RFC 792/896 baseline behaviour, §4.4).
     pub quench_enabled: bool,
+    /// Fault-seeding hook for the dash-check oracle: when true, interface
+    /// ledgers record reservations without any capacity check
+    /// ([`rms_core::admission::ResourceLedger::force_admit`]), so admission
+    /// can oversubscribe — a deliberate §2.3 violation the semantic oracle
+    /// must catch. Never enable outside verification runs.
+    pub debug_force_admission: bool,
 }
 
 impl Default for NetConfig {
@@ -60,6 +66,7 @@ impl Default for NetConfig {
             ttl: 16,
             per_packet_cpu: CostModel::new(SimDuration::from_micros(5), SimDuration::from_nanos(1)),
             quench_enabled: true,
+            debug_force_admission: false,
         }
     }
 }

@@ -149,6 +149,12 @@ pub struct Sim<S> {
     /// Pending live events (scheduled, not yet fired or reaped).
     live: usize,
     processed: u64,
+    /// Schedule-jitter seed (see [`Sim::set_schedule_jitter`]).
+    jitter_seed: u64,
+    /// Maximum additive jitter in nanoseconds; 0 disables jitter entirely
+    /// (the default — ordinary runs are bit-identical to a jitterless
+    /// engine).
+    jitter_max_ns: u64,
     /// The simulated world. Public by design: event closures and the layer
     /// crates built on this engine address the world through accessor traits
     /// on `S`.
@@ -178,8 +184,42 @@ impl<S> Sim<S> {
             board: Rc::new(RefCell::new(CancelBoard::default())),
             live: 0,
             processed: 0,
+            jitter_seed: 0,
+            jitter_max_ns: 0,
             state,
         }
+    }
+
+    /// Enable deterministic schedule jitter: every subsequently scheduled
+    /// event is delayed by `hash(seed, submission_seq) % (max + 1)`
+    /// nanoseconds. Jitter is *additive only* (events never move earlier,
+    /// so `schedule_at`'s not-in-the-past invariant is preserved) and a
+    /// pure function of `(seed, seq)`, so a jittered run replays exactly
+    /// from its seed. `max = 0` turns jitter off.
+    ///
+    /// This is a testing hook: state-space exploration (dash-check)
+    /// perturbs timer interleavings with it to surface orderings a single
+    /// canonical schedule would never exercise.
+    pub fn set_schedule_jitter(&mut self, seed: u64, max: SimDuration) {
+        self.jitter_seed = seed;
+        self.jitter_max_ns = max.as_nanos();
+    }
+
+    /// The additive jitter for the event about to take submission number
+    /// `seq`, as a duration.
+    fn jitter_for(&self, seq: u64) -> SimDuration {
+        if self.jitter_max_ns == 0 {
+            return SimDuration::ZERO;
+        }
+        // splitmix64 over (seed, seq): cheap, stateless, well mixed.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimDuration::from_nanos(z % (self.jitter_max_ns + 1))
     }
 
     /// The current simulated instant.
@@ -273,6 +313,7 @@ impl<S> Sim<S> {
         );
         let seq = self.seq;
         self.seq += 1;
+        let at = at.saturating_add(self.jitter_for(seq));
         let (slot, gen) = self.alloc_slot(Box::new(action));
         self.queue.push(Entry {
             time: at,
@@ -297,6 +338,7 @@ impl<S> Sim<S> {
         assert!(at >= self.now, "timer overflow");
         let seq = self.seq;
         self.seq += 1;
+        let at = at.saturating_add(self.jitter_for(seq));
         let (slot, gen) = self.alloc_slot(Box::new(action));
         self.queue.push(Entry {
             time: at,
@@ -509,6 +551,35 @@ mod tests {
         sim.schedule_in(SimDuration::from_nanos(1), |s| s.state += 10);
         sim.run();
         assert_eq!(sim.state, 11);
+    }
+
+    #[test]
+    fn schedule_jitter_is_deterministic_additive_and_off_by_default() {
+        let order = |jitter: Option<u64>| {
+            let mut sim = Sim::new(Vec::new());
+            if let Some(seed) = jitter {
+                sim.set_schedule_jitter(seed, SimDuration::from_micros(50));
+            }
+            for i in 0..16u64 {
+                sim.schedule_in(SimDuration::from_micros(10), move |s| s.state.push(i));
+            }
+            sim.run();
+            (sim.state.clone(), sim.now())
+        };
+        // Same seed → identical schedule (jitter is a pure function of
+        // (seed, seq)); different seed → a different interleaving.
+        let (a, ta) = order(Some(7));
+        let (b, tb) = order(Some(7));
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+        let (c, _) = order(Some(8));
+        assert_ne!(a, c, "distinct seeds should permute differently");
+        // Additive only: nothing fires before its requested time.
+        assert!(ta >= SimTime::from_nanos(10_000));
+        // Off by default: submission order is preserved exactly.
+        let (plain, t0) = order(None);
+        assert_eq!(plain, (0..16).collect::<Vec<_>>());
+        assert_eq!(t0, SimTime::from_nanos(10_000));
     }
 
     #[test]

@@ -140,6 +140,13 @@ pub enum ObsEvent {
         host: u32,
         /// Whether the reservation was admitted.
         admitted: bool,
+        /// Deterministic bandwidth reserved at the ledger *after* the
+        /// decision, in bytes/sec. Lets an external oracle check the §2.3
+        /// invariant (reservations never exceed the deterministic budget)
+        /// without reaching into the ledger.
+        reserved_bps: f64,
+        /// The ledger's deterministic budget (capacity × share), bytes/sec.
+        budget_bps: f64,
     },
     /// A packet joined an interface transmit queue.
     IfaceEnqueue {
@@ -238,6 +245,10 @@ pub enum ObsEvent {
         bytes: u64,
         /// Whether delivery exceeded the negotiated delay bound.
         late: bool,
+        /// Whether the stream's delay bound is deterministic class — a
+        /// late deterministic delivery is a contract violation (§2.2), a
+        /// late statistical one is merely a tail sample.
+        det: bool,
         /// The message's span.
         span: Option<u64>,
     },
@@ -478,12 +489,40 @@ pub enum ObsEvent {
         /// Index of the winning candidate in the creator's alternate list.
         alternate: u32,
     },
+    /// A stream session ended (close or typed failure). Together with
+    /// [`ObsEvent::TransportSend`] / [`ObsEvent::StreamDeliver`] this lets
+    /// an external oracle check exactly-once-or-typed-failure delivery.
+    StreamEnd {
+        /// The host observing the end.
+        host: u32,
+        /// Stream session id.
+        session: u64,
+        /// True for a typed failure (retries exhausted, channel failed),
+        /// false for an orderly close.
+        failed: bool,
+    },
+    /// A stream open failed before the session was established.
+    StreamOpenFailed {
+        /// The opening host.
+        host: u32,
+        /// The session id the open would have used.
+        session: u64,
+    },
+    /// An RMS creation pinned its source route: the exact host sequence
+    /// packets will traverse. Lets an external oracle check that chosen
+    /// alternates are loop-free.
+    RoutingPathPinned {
+        /// The creating host.
+        host: u32,
+        /// The full hop sequence, source first, destination last.
+        hops: Vec<u32>,
+    },
 }
 
 /// Every distinct event counter name, indexed by [`ObsEvent::fast_index`].
 /// The registry keeps these counts in a plain array so the per-event fast
 /// path is an indexed increment — no map lookup, no allocation.
-pub const EVENT_NAMES: [&str; 41] = [
+pub const EVENT_NAMES: [&str; 44] = [
     "net.admission_admitted",
     "net.admission_rejected",
     "net.iface_enqueue",
@@ -525,6 +564,9 @@ pub const EVENT_NAMES: [&str; 41] = [
     "routing.floods",
     "routing.recompute",
     "routing.alternate_wins",
+    "stream.end",
+    "stream.open_failed",
+    "net.path_pinned",
 ];
 
 impl ObsEvent {
@@ -575,6 +617,9 @@ impl ObsEvent {
             ObsEvent::RoutingFlood { .. } => 38,
             ObsEvent::RoutingRecompute { .. } => 39,
             ObsEvent::RoutingAlternateWin { .. } => 40,
+            ObsEvent::StreamEnd { .. } => 41,
+            ObsEvent::StreamOpenFailed { .. } => 42,
+            ObsEvent::RoutingPathPinned { .. } => 43,
         }
     }
 
@@ -1166,6 +1211,41 @@ impl ObsSink for TraceSink {
     }
 }
 
+/// Fans the stream out to several sinks in installation order. Built
+/// implicitly by [`Obs::add_boxed_sink`] so an online checker (e.g. the
+/// dash-check oracle) can observe a run without displacing the sink a
+/// bench or test already installed.
+#[derive(Default)]
+pub struct TeeSink {
+    sinks: Vec<Box<dyn ObsSink>>,
+}
+
+impl TeeSink {
+    /// An empty tee (a no-op sink until sinks are pushed).
+    pub fn new() -> Self {
+        TeeSink::default()
+    }
+
+    /// Append a sink; it sees every event/span after the existing ones.
+    pub fn push(&mut self, sink: Box<dyn ObsSink>) {
+        self.sinks.push(sink);
+    }
+}
+
+impl ObsSink for TeeSink {
+    fn on_event(&mut self, time: SimTime, event: &ObsEvent) {
+        for s in self.sinks.iter_mut() {
+            s.on_event(time, event);
+        }
+    }
+
+    fn on_span(&mut self, record: &SpanRecord) {
+        for s in self.sinks.iter_mut() {
+            s.on_span(record);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The observability hub
 // ---------------------------------------------------------------------------
@@ -1230,6 +1310,21 @@ impl Obs {
     pub fn set_boxed_sink(&mut self, sink: Box<dyn ObsSink>) {
         self.sink = Some(sink);
         self.active = true;
+    }
+
+    /// Install an *additional* sink without displacing an existing one:
+    /// the current sink (if any) and the new one are wrapped in a
+    /// [`TeeSink`]. Activates emission.
+    pub fn add_boxed_sink(&mut self, sink: Box<dyn ObsSink>) {
+        match self.sink.take() {
+            None => self.set_boxed_sink(sink),
+            Some(existing) => {
+                let mut tee = TeeSink::new();
+                tee.push(existing);
+                tee.push(sink);
+                self.set_boxed_sink(Box::new(tee));
+            }
+        }
     }
 
     /// Remove the sink (emission stays on if it was on).
@@ -1331,6 +1426,7 @@ mod tests {
             seq: 4,
             bytes: 10,
             late: false,
+            det: false,
             span: Some(span),
         }
     }
@@ -1416,6 +1512,7 @@ mod tests {
                 seq: 0,
                 bytes: 10,
                 late: true,
+                det: false,
                 span: None,
             },
         );

@@ -1486,7 +1486,7 @@ fn deliver_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, d: Dat
         return;
     };
     // Stats + lateness.
-    let late = {
+    let (late, det) = {
         let sth = sim.state.st().host_mut(host);
         if let Some(stream) = sth.streams.get_mut(&st_rms) {
             stream.delivered.incr();
@@ -1497,9 +1497,13 @@ fn deliver_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, d: Dat
             if late {
                 stream.late.incr();
             }
-            late
+            let det = matches!(
+                stream.params.delay.kind,
+                rms_core::delay::DelayBoundKind::Deterministic
+            );
+            (late, det)
         } else {
-            false
+            (false, false)
         }
     };
     {
@@ -1526,6 +1530,7 @@ fn deliver_data<W: StWorld>(sim: &mut Sim<W>, host: HostId, peer: HostId, d: Dat
                     seq,
                     bytes: msg.len() as u64,
                     late,
+                    det,
                     span: msg.span,
                 },
             );

@@ -294,6 +294,46 @@ mod tests {
     }
 
     #[test]
+    fn retransmitted_middle_fragment_round_trips_byte_identically() {
+        // A retransmitted fragment arrives as a fresh serialization — a
+        // different backing buffer than the sender's original payload
+        // view. Reassembly must concatenate it by value, not assume the
+        // neighbours share a backing: the middle segment cannot coalesce
+        // with either side, but the payload must still be byte-identical
+        // to the original message.
+        let body = Bytes::from((0u8..=255).collect::<Vec<u8>>());
+        let fs = fragment(
+            StRmsId(1),
+            9,
+            &WireMsg::from_bytes(body.clone()),
+            100,
+            SimTime::ZERO,
+            false,
+            None,
+            None,
+            None,
+        );
+        assert_eq!(fs.len(), 3);
+        let mut retx = fs[1].clone();
+        retx.payload = WireMsg::from(fs[1].payload.contiguous().to_vec());
+
+        let mut r = Reassembly::new();
+        assert!(r.push(fs[0].clone()).is_none());
+        assert!(r.push(retx).is_none());
+        let done = r.push(fs[2].clone()).expect("complete");
+        assert_eq!(done.payload.contiguous().as_ref(), body.as_ref());
+        // No cross-backing coalescing: head / retransmitted middle / tail
+        // stay three segments, and the outer two still view the original
+        // buffer.
+        assert_eq!(done.payload.seg_count(), 3);
+        let segs: Vec<&Bytes> = done.payload.segments().collect();
+        assert_eq!(segs[0].as_ptr(), body.as_ptr());
+        assert_eq!(segs[2].as_ptr(), body.slice(200..256).as_ptr());
+        assert_eq!(r.partials_discarded, 0);
+        assert_eq!(r.fragments_dropped, 0);
+    }
+
+    #[test]
     fn single_fragment_message_completes_immediately() {
         let payload = WireMsg::from(vec![9u8; 10]);
         let fs = fragment(

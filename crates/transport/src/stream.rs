@@ -862,6 +862,14 @@ fn on_rto(sim: &mut Sim<Stack>, host: HostId, session: u64) {
                         session,
                     },
                 );
+                net.obs.emit(
+                    now,
+                    ObsEvent::StreamEnd {
+                        host: host.0,
+                        session,
+                        failed: true,
+                    },
+                );
             }
         }
         fire(
@@ -1017,6 +1025,19 @@ pub fn on_st_event(sim: &mut Sim<Stack>, host: HostId, event: StEvent) {
                     eprintln!("stream open failed host={host:?} session={session}: {reason:?}");
                 }
                 sim.state.stream.host_mut(host).sessions.remove(&session);
+                {
+                    let now = sim.now();
+                    let net = &mut sim.state.net;
+                    if net.obs.is_active() {
+                        net.obs.emit(
+                            now,
+                            ObsEvent::StreamOpenFailed {
+                                host: host.0,
+                                session,
+                            },
+                        );
+                    }
+                }
                 fire(
                     sim,
                     host,
@@ -1070,6 +1091,20 @@ fn end_by_st(sim: &mut Sim<Stack>, host: HostId, st_rms: StRmsId, reason: EndRea
         }
     };
     if existed {
+        {
+            let now = sim.now();
+            let net = &mut sim.state.net;
+            if net.obs.is_active() {
+                net.obs.emit(
+                    now,
+                    ObsEvent::StreamEnd {
+                        host: host.0,
+                        session,
+                        failed: !matches!(reason, EndReason::Closed),
+                    },
+                );
+            }
+        }
         fire(sim, host, StreamEvent::Ended { session, reason });
     }
 }

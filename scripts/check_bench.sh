@@ -88,6 +88,14 @@ else:
 print("check_bench: OK")
 EOF
 
+# --- e10 semantic-oracle gate -------------------------------------------
+# A separate invocation from the baseline-compared run above: the oracle's
+# bookkeeping allocates, which would skew allocs_per_event. The binary
+# exits non-zero on any invariant violation (set -e stops us here), and
+# its JSON carries "oracle_violations":0 on success.
+echo "check_bench[oracle]: e10_scale --ci --oracle"
+cargo run --release -q -p dash-bench --bin e10_scale -- --ci --oracle --label oracle >/dev/null
+
 # --- e11_routing: exact reconvergence event-count gate ------------------
 if [[ ! -f "$ROUTING_BASELINE_FILE" ]]; then
     echo "check_bench: no $ROUTING_BASELINE_FILE baseline; skipping routing gate" >&2

@@ -19,6 +19,18 @@ if ! cargo test --test chaos -q; then
     exit 1
 fi
 
+# Exploration smoke (dash-check): fixed-seed coverage-guided search on
+# the healthy stack must find nothing, and the stored shrunk repro must
+# replay byte-identically. Both are deterministic; the box is a wedge
+# guard, not a noise allowance.
+if ! timeout 30 cargo test --test explore -q -- \
+        exploration_smoke_passes_clean_on_healthy_stack \
+        stored_repro_replays_byte_identically; then
+    echo "verify: exploration smoke FAILED (or exceeded its 30 s box) —" >&2
+    echo "verify: reproduce with cargo test --test explore -- --nocapture" >&2
+    exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -5,6 +5,7 @@
 
 pub use dash_apps as apps;
 pub use dash_baseline as baseline;
+pub use dash_check as check;
 pub use dash_net as net;
 pub use dash_security as security;
 pub use dash_sim as sim;

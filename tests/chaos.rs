@@ -13,31 +13,18 @@
 //! 3. **Deterministic replay.** The same seed produces the identical
 //!    event trace, byte for byte.
 
+mod common;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use common::{assert_replays, dual_homed};
 use dash::net::fault::schedule_fault_plan;
 use dash::net::pipeline::fail_network;
-use dash::net::state::NetState;
-use dash::net::topology::TopologyBuilder;
-use dash::net::NetworkSpec;
 use dash::prelude::*;
 use dash::sim::{ChaosConfig, FaultPlan, Rng};
 use dash::transport::stream::{self, EndReason};
-
-/// Two hosts, each attached to two independent ethernets — the alternate
-/// network is what makes ST-level failover possible.
-fn dual_homed(seed: u64) -> (NetState, HostId, HostId) {
-    let mut b = TopologyBuilder::new();
-    let n0 = b.network(NetworkSpec::ethernet("primary"));
-    let n1 = b.network(NetworkSpec::ethernet("backup"));
-    let a = b.host();
-    let c = b.host();
-    b.attach(a, n0).attach(a, n1).attach(c, n0).attach(c, n1);
-    b.seed(seed);
-    (b.build(), a, c)
-}
 
 /// Everything one chaos run produced.
 struct ChaosRun {
@@ -342,15 +329,12 @@ fn seeded_chaos_upholds_invariants_and_replays_identically() {
     let mut delivered_total = 0usize;
     let mut failed_total = 0usize;
     for seed in 0..28u64 {
-        let first = run_chaos(seed);
-        check_invariants(seed, &first);
-        let second = run_chaos(seed);
-        assert_eq!(
-            first.trace, second.trace,
-            "seed {seed}: replay diverged (processed {} vs {})",
-            first.processed, second.processed
+        let first = assert_replays(
+            &format!("chaos seed {seed}"),
+            || run_chaos(seed),
+            |r| (r.trace.clone(), r.processed),
         );
-        assert_eq!(first.processed, second.processed);
+        check_invariants(seed, &first);
         delivered_total += first.delivered.values().map(Vec::len).sum::<usize>();
         failed_total += first.failed_typed.len();
     }

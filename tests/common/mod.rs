@@ -1,0 +1,43 @@
+//! Helpers shared across the integration-test suite.
+//!
+//! Each `tests/*.rs` file is its own crate, so these are pulled in with
+//! `mod common;` — items unused by one test binary are dead code there,
+//! hence the allows.
+
+use std::fmt::Debug;
+
+use dash::net::state::NetState;
+use dash::net::topology::TopologyBuilder;
+use dash::net::NetworkSpec;
+use dash::prelude::*;
+
+/// Two hosts, each attached to two independent ethernets — the alternate
+/// network is what makes ST-level failover possible. The workhorse
+/// topology of the chaos and exploration suites.
+#[allow(dead_code)]
+pub fn dual_homed(seed: u64) -> (NetState, HostId, HostId) {
+    let mut b = TopologyBuilder::new();
+    let n0 = b.network(NetworkSpec::ethernet("primary"));
+    let n1 = b.network(NetworkSpec::ethernet("backup"));
+    let a = b.host();
+    let c = b.host();
+    b.attach(a, n0).attach(a, n1).attach(c, n0).attach(c, n1);
+    b.seed(seed);
+    (b.build(), a, c)
+}
+
+/// Deterministic-replay assertion: execute `run` twice and require the
+/// `key` projection of both runs to match exactly. Returns the first run
+/// for further checks. `key` selects the deterministic portion of the
+/// outcome (wall-clock readings must stay out of it).
+#[allow(dead_code)]
+pub fn assert_replays<T, K>(label: &str, mut run: impl FnMut() -> T, key: impl Fn(&T) -> K) -> T
+where
+    K: PartialEq + Debug,
+{
+    let first = run();
+    let second = run();
+    let (ka, kb) = (key(&first), key(&second));
+    assert_eq!(ka, kb, "{label}: replay diverged between identical runs");
+    first
+}

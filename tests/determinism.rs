@@ -8,19 +8,23 @@
 //! ordering, timer semantics, or metric accounting shows up here as a
 //! byte-level diff long before it corrupts an experiment.
 
+mod common;
+
+use common::assert_replays;
 use dash_bench::e_routing::{run_routing, RoutingParams};
 use dash_bench::e_scale::{run_scale, ScaleParams};
 
 /// The full CI scenario (faults, churn, CPUs, trace recording) twice.
+/// The digest covers every deterministic scalar plus the full registry
+/// and trace dumps, so digest equality is byte-identity of the run.
 #[test]
 fn e10_ci_replay_is_byte_identical() {
     let params = ScaleParams::ci();
-    let first = run_scale(&params);
-    let second = run_scale(&params);
+    let first = assert_replays("e10 ci", || run_scale(&params), |o| o.determinism_digest());
 
     // The workload actually exercised the stack: real traffic, real
     // control-plane churn, real faults. A silent no-op run would make the
-    // byte-compare below vacuous.
+    // byte-compare above vacuous.
     assert!(
         first.streams_opened > 20,
         "CI scenario too small: {} streams",
@@ -32,24 +36,6 @@ fn e10_ci_replay_is_byte_identical() {
     assert!(
         !first.trace_dump.is_empty(),
         "CI size must record the network trace"
-    );
-
-    assert_eq!(
-        first.events, second.events,
-        "event counts diverged between identical runs"
-    );
-    assert_eq!(
-        first.registry_dump, second.registry_dump,
-        "metric registry dumps diverged between identical runs"
-    );
-    assert_eq!(
-        first.trace_dump, second.trace_dump,
-        "network traces diverged between identical runs"
-    );
-    assert_eq!(
-        first.determinism_digest(),
-        second.determinism_digest(),
-        "determinism digest diverged"
     );
 }
 
@@ -78,9 +64,11 @@ fn e10_ci_without_drill_also_replays() {
     let mut params = ScaleParams::ci();
     params.fault_drill = false;
     params.churn_per_wave = 2;
-    let first = run_scale(&params);
-    let second = run_scale(&params);
-    assert_eq!(first.determinism_digest(), second.determinism_digest());
+    assert_replays(
+        "e10 ci without drill",
+        || run_scale(&params),
+        |o| o.determinism_digest(),
+    );
 }
 
 /// Routing-churn golden: the e11 dumbbell scenario — link-state floods,
@@ -92,8 +80,11 @@ fn e10_ci_without_drill_also_replays() {
 #[test]
 fn e11_routing_churn_replay_is_byte_identical() {
     let params = RoutingParams::ci();
-    let first = run_routing(&params);
-    let second = run_routing(&params);
+    let first = assert_replays(
+        "e11 dumbbell",
+        || run_routing(&params),
+        |o| o.determinism_digest(),
+    );
 
     // The scenario exercised what it claims to: establishment fell back
     // to an alternate, the outage triggered floods and recomputations,
@@ -107,17 +98,6 @@ fn e11_routing_churn_replay_is_byte_identical() {
         !first.trace_dump.is_empty(),
         "CI size must record the trace"
     );
-
-    assert_eq!(first.events, second.events, "event counts diverged");
-    assert_eq!(
-        first.registry_dump, second.registry_dump,
-        "metric registry dumps diverged between identical runs"
-    );
-    assert_eq!(
-        first.trace_dump, second.trace_dump,
-        "traces diverged between identical runs"
-    );
-    assert_eq!(first.determinism_digest(), second.determinism_digest());
 }
 
 /// Same replay guarantee on the 3×3 mesh: reconvergence around the mesh
@@ -125,8 +105,10 @@ fn e11_routing_churn_replay_is_byte_identical() {
 #[test]
 fn e11_mesh_replay_is_byte_identical() {
     let params = RoutingParams::ci().on_mesh();
-    let first = run_routing(&params);
-    let second = run_routing(&params);
+    let first = assert_replays(
+        "e11 mesh",
+        || run_routing(&params),
+        |o| o.determinism_digest(),
+    );
     assert!(first.floods > 0 && first.recomputes > 0);
-    assert_eq!(first.determinism_digest(), second.determinism_digest());
 }
