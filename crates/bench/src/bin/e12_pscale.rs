@@ -1,0 +1,166 @@
+//! Run the e12 parallel-scale macro-workload and emit shard-scaling
+//! numbers.
+//!
+//! ```text
+//! cargo run -p dash-bench --release --bin e12_pscale                  # bench scan: 1/2/4/8 shards
+//! cargo run -p dash-bench --release --bin e12_pscale -- --ci          # CI scan: 1/2/4 shards
+//! cargo run -p dash-bench --release --bin e12_pscale -- --shards 4    # one shard count
+//! cargo run -p dash-bench --release --bin e12_pscale -- --json out.json --label after
+//! cargo run -p dash-bench --release --bin e12_pscale -- --ci --oracle # semantic oracle on the merged stream
+//! ```
+//!
+//! A scan runs the identical workload at each shard count, asserts the
+//! merged determinism digests are byte-identical (exiting non-zero on
+//! divergence — this is the executor's core contract), and records the
+//! wall-clock speedup of each run relative to the 1-shard run. The JSON
+//! document (the shape `BENCH_pscale.json` stores and `check_bench.sh`
+//! compares) carries one entry per shard count plus the machine's core
+//! count, so perf floors can be applied only where the hardware can
+//! express them.
+
+use dash_bench::alloc_counter::{alloc_count, CountingAlloc};
+use dash_bench::e_pscale::{run_pscale, PscaleParams};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = "bench";
+    let mut label = String::from("run");
+    let mut json_path: Option<String> = None;
+    let mut oracle = false;
+    let mut shards_arg: Option<u32> = None;
+    let mut hashed = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ci" => config = "ci",
+            "--bench" => config = "bench",
+            "--routing-ci" => config = "routing-ci",
+            "--oracle" => oracle = true,
+            "--hashed" => hashed = true,
+            "--shards" => {
+                i += 1;
+                shards_arg = args.get(i).and_then(|s| s.parse().ok());
+                if shards_arg.is_none() {
+                    eprintln!("--shards needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            "--label" => {
+                i += 1;
+                label = args.get(i).cloned().unwrap_or_default();
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let base = match config {
+        "ci" => PscaleParams::ci(),
+        "routing-ci" => PscaleParams::routing_ci(),
+        _ => PscaleParams::bench(),
+    };
+    let scan: Vec<u32> = match shards_arg {
+        Some(s) => vec![s],
+        None if config == "bench" => vec![1, 2, 4, 8],
+        None => vec![1, 2, 4],
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "e12_pscale [{config}]: {} hosts (LPs), shards {scan:?}, {cores} cores, {} s virtual",
+        base.total_hosts(),
+        (base.duration.as_nanos() + base.grace.as_nanos()) as f64 / 1e9,
+    );
+
+    let mut entries = Vec::new();
+    let mut serial_wall: Option<f64> = None;
+    let mut reference: Option<(String, u64)> = None;
+    let mut diverged = false;
+    for &shards in &scan {
+        let mut params = base.clone();
+        params.shards = shards;
+        params.record_trace = false;
+        params.oracle = oracle;
+        params.lan_aligned = !hashed;
+        let allocs_before = alloc_count();
+        let mut o = run_pscale(&params);
+        o.allocs = alloc_count() - allocs_before;
+        if shards == 1 {
+            serial_wall = Some(o.wall_secs);
+        }
+        o.speedup = match serial_wall {
+            Some(s) if o.wall_secs > 0.0 => s / o.wall_secs,
+            _ => 0.0,
+        };
+        let digest = o.determinism_digest();
+        match &reference {
+            None => reference = Some((digest, o.events)),
+            Some((r, ev)) => {
+                if *r != digest {
+                    eprintln!(
+                        "e12_pscale: DIVERGED at {shards} shards — events {} vs {} at {} shards, \
+                         digests differ",
+                        o.events, ev, scan[0],
+                    );
+                    diverged = true;
+                }
+            }
+        }
+        eprintln!(
+            "e12_pscale [{config}] shards={shards}: {} events in {:.2} s wall \
+             ({:.0} events/s, speedup {:.2}x, {:.2} allocs/event), {} opened, {} refused, \
+             {} msgs, {} rpc, voice on-time {:.1}%, digest {}",
+            o.events,
+            o.wall_secs,
+            o.events_per_sec(),
+            o.speedup,
+            o.allocs_per_event(),
+            o.streams_opened,
+            o.open_failed,
+            o.messages,
+            o.rpc_completed,
+            o.voice_on_time() * 100.0,
+            o.digest_hash(),
+        );
+        if oracle && o.oracle_violations > 0 {
+            eprintln!(
+                "e12_pscale: ORACLE FAILED at {shards} shards — {} violation(s):",
+                o.oracle_violations
+            );
+            for line in &o.oracle_detail {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+        entries.push(o.to_json(&label, config));
+    }
+    let doc = format!(
+        "{{\n \"experiment\": \"e12_pscale\",\n \"cores\": {cores},\n \"runs\": [\n  {}\n ]\n}}",
+        entries.join(",\n  ")
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{doc}\n")).expect("write json");
+            eprintln!("e12_pscale: wrote {path}");
+        }
+        None => println!("{doc}"),
+    }
+    if diverged {
+        eprintln!("e12_pscale: FAIL — shard counts disagree; the parallel executor is broken");
+        std::process::exit(1);
+    }
+    if oracle {
+        eprintln!("e12_pscale: oracle clean (0 violations) at every shard count");
+    }
+    eprintln!("e12_pscale: all shard counts byte-identical");
+}

@@ -1,0 +1,1328 @@
+//! e12_pscale — the e10 macro-workload on the conservative parallel
+//! executor (`dash::par`).
+//!
+//! The same internetwork-of-LANs scenario as `e_scale`, rebuilt on the
+//! logical-process model: every host is an LP (a full replica world whose
+//! protocol state only populates for its owner), hosts are grouped onto
+//! worker threads by a [`dash_par::ShardPlan`], and every inter-host
+//! interaction rides a timestamped wire envelope exchanged at epoch
+//! barriers. The run at `P` shards merges — by `(time, host, emission
+//! index)` — to byte-identical traces, metric registries, and scalar
+//! outcomes as the run at 1 shard; [`PscaleOutcome::determinism_digest`]
+//! is the enforced equality.
+//!
+//! Three sizes serve three masters, mirroring e10:
+//! - [`PscaleParams::bench`] — the `BENCH_pscale.json` size, driven by
+//!   the `e12_pscale` binary at 1/2/4/8 shards with measured speedup;
+//! - [`PscaleParams::ci`] — trace-recording size for the golden
+//!   determinism tests (`tests/determinism.rs`);
+//! - [`PscaleParams::micro`] — a seconds-scale hashed-placement size
+//!   (hashed placement splits LANs across shards, shrinking the epoch to
+//!   the LAN wire delay — correct but thousands of barriers, so the
+//!   workload must be tiny).
+//!
+//! Note the reference point: the serial baseline here is the *same LP
+//! machinery at one shard*, not the legacy single-world engine of e10.
+//! The single-world engine interleaves all hosts through one RNG, one id
+//! well, and one event heap, so its byte-level schedule is a different
+//! (equally valid) sample of the same model; the parallel contract is
+//! partition-independence, enforced from `ShardPlan` up.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use dash_net::fault::schedule_fault_plan;
+use dash_net::ids::{HostId, NetworkId};
+use dash_net::shard::WireEnvelope;
+use dash_net::state::NetState;
+use dash_net::topology::TopologyBuilder;
+use dash_net::NetworkSpec;
+use dash_par::{
+    cross_shard_lookahead, local_lookahead, merge_traces, run_sharded, Lp, ParConfig, ShardPlan,
+    StackLp,
+};
+use dash_sim::cpu::SchedPolicy;
+use dash_sim::fault::{FaultKind, FaultPlan};
+use dash_sim::obs::{MetricRegistry, ObsEvent, ObsSink};
+use dash_sim::rng::Rng;
+use dash_sim::time::{SimDuration, SimTime};
+use dash_sim::Sim;
+use dash_transport::rkom;
+use dash_transport::stack::{Stack, StackBuilder};
+use dash_transport::stream::{self, StreamEvent, StreamProfile};
+use rms_core::delay::DelayBound;
+use rms_core::message::Message;
+use rms_core::wire::WireMsg;
+
+use crate::table::Table;
+
+// ---------------------------------------------------------------------------
+// Parameters
+// ---------------------------------------------------------------------------
+
+/// Knobs for one parallel-scale run. Everything except `wall_secs` (and
+/// the speedup derived from it) is a deterministic function of these.
+#[derive(Debug, Clone)]
+pub struct PscaleParams {
+    /// Edge LANs hanging off the WAN backbone.
+    pub lans: usize,
+    /// Hosts per LAN (the LAN's gateway is extra). Must be at least 2.
+    pub hosts_per_lan: usize,
+    /// Every k-th LAN is a 100 Mb/s fast LAN instead of 10 Mb/s Ethernet.
+    pub fast_every: usize,
+    /// Long-lived voice sessions originating per LAN.
+    pub voice_per_lan: usize,
+    /// Bulk transfers per LAN.
+    pub bulk_per_lan: usize,
+    /// RPC client/server pairs per LAN (cross-LAN over the WAN).
+    pub rpc_per_lan: usize,
+    /// Fraction of voice sessions that cross the WAN.
+    pub cross_fraction: f64,
+    /// Short-lived sessions opened per churn wave (RMS cache churn).
+    pub churn_per_wave: usize,
+    /// Interval between churn waves.
+    pub churn_interval: SimDuration,
+    /// Total payload bytes per bulk transfer (4 KiB chunks).
+    pub bulk_bytes: u64,
+    /// Virtual duration of the run.
+    pub duration: SimDuration,
+    /// Drain grace after `duration` (the horizon is their sum).
+    pub grace: SimDuration,
+    /// Seed for placement and source randomness.
+    pub seed: u64,
+    /// Run the mid-run fault drill (see [`PscaleParams::wan_outage`]).
+    pub fault_drill: bool,
+    /// Drill variant: take the WAN backbone down instead of one LAN +
+    /// one host. With [`PscaleParams::backup_wan`] this exercises the
+    /// routing subsystem's alternate-path failover across shard
+    /// boundaries (the e11-flavored golden).
+    pub wan_outage: bool,
+    /// Add a second long-haul network bridging LAN 0 to the WAN, so a
+    /// WAN outage has an alternate path to fail over to.
+    pub backup_wan: bool,
+    /// Model per-host protocol CPUs with EDF scheduling.
+    pub cpus: bool,
+    /// Record the per-LP observability trace (determinism runs; costly).
+    pub record_trace: bool,
+    /// Capture per-LP ObsEvent streams, merge them, and feed the merged
+    /// stream to the dash-check semantic oracle offline.
+    pub oracle: bool,
+    /// Worker threads (shards).
+    pub shards: u32,
+    /// Keep each LAN (hosts + gateway) on one shard, so only the WAN
+    /// spans shards and the epoch is the WAN propagation delay. With
+    /// `false` hosts are hash-placed and the epoch shrinks to the LAN
+    /// wire delay — correct, but orders of magnitude more barriers.
+    pub lan_aligned: bool,
+}
+
+impl PscaleParams {
+    /// The `BENCH_pscale.json` size: run by the `e12_pscale` binary at
+    /// 1/2/4/8 shards with measured speedup.
+    pub fn bench() -> Self {
+        PscaleParams {
+            lans: 8,
+            hosts_per_lan: 8,
+            fast_every: 4,
+            voice_per_lan: 24,
+            bulk_per_lan: 4,
+            rpc_per_lan: 2,
+            cross_fraction: 0.06,
+            churn_per_wave: 8,
+            churn_interval: SimDuration::from_millis(250),
+            bulk_bytes: 128 * 1024,
+            duration: SimDuration::from_secs(2),
+            grace: SimDuration::from_millis(500),
+            seed: 10,
+            fault_drill: true,
+            wan_outage: false,
+            backup_wan: false,
+            cpus: true,
+            record_trace: false,
+            oracle: false,
+            shards: 1,
+            lan_aligned: true,
+        }
+    }
+
+    /// Scaled-down CI size with trace recording, for the golden
+    /// determinism tests.
+    pub fn ci() -> Self {
+        PscaleParams {
+            lans: 3,
+            hosts_per_lan: 4,
+            fast_every: 2,
+            voice_per_lan: 6,
+            bulk_per_lan: 2,
+            rpc_per_lan: 1,
+            cross_fraction: 0.25,
+            churn_per_wave: 3,
+            churn_interval: SimDuration::from_millis(200),
+            bulk_bytes: 64 * 1024,
+            duration: SimDuration::from_secs(1),
+            grace: SimDuration::from_millis(500),
+            seed: 10,
+            record_trace: true,
+            ..PscaleParams::bench()
+        }
+    }
+
+    /// The e11-flavored CI variant: a backup long-haul path plus a
+    /// mid-run WAN outage, so link-state floods, route recomputations,
+    /// and the failover all cross shard boundaries.
+    pub fn routing_ci() -> Self {
+        PscaleParams {
+            wan_outage: true,
+            backup_wan: true,
+            ..PscaleParams::ci()
+        }
+    }
+
+    /// A seconds-scale size for hashed (LAN-splitting) placement, whose
+    /// epochs are bounded by the LAN wire delay.
+    pub fn micro() -> Self {
+        PscaleParams {
+            lans: 2,
+            hosts_per_lan: 3,
+            fast_every: 0,
+            voice_per_lan: 3,
+            bulk_per_lan: 1,
+            rpc_per_lan: 1,
+            cross_fraction: 0.5,
+            churn_per_wave: 0,
+            bulk_bytes: 16 * 1024,
+            duration: SimDuration::from_millis(60),
+            grace: SimDuration::from_millis(90),
+            fault_drill: false,
+            lan_aligned: false,
+            ..PscaleParams::ci()
+        }
+    }
+
+    /// Total hosts in the topology (LAN hosts + per-LAN gateways +
+    /// the two backup-WAN bridge gateways when enabled).
+    pub fn total_hosts(&self) -> usize {
+        self.lans * (self.hosts_per_lan + 1) + if self.backup_wan { 2 } else { 0 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Traffic classes and the flow plan
+// ---------------------------------------------------------------------------
+
+/// Traffic class, carried as the first payload byte of every stream
+/// message (`tag = class index + 1`) so the receiving LP can classify a
+/// delivery with zero session-level coordination with the sender LP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Intra-LAN voice: 160 B frames every 20 ms, 40 ms budget.
+    Voice = 0,
+    /// WAN-crossing voice: same pacing, 150 ms budget.
+    WanVoice = 1,
+    /// Reliable bulk: 4 KiB chunks, pumped until sender flow control
+    /// pushes back, resumed on `Drained`.
+    Bulk = 2,
+    /// Short-lived churn sessions (RMS cache pressure), 150 ms budget.
+    Churn = 3,
+}
+
+const CLASSES: usize = 4;
+
+impl Class {
+    fn from_tag(tag: u8) -> Option<Class> {
+        match tag {
+            1 => Some(Class::Voice),
+            2 => Some(Class::WanVoice),
+            3 => Some(Class::Bulk),
+            4 => Some(Class::Churn),
+            _ => None,
+        }
+    }
+
+    /// Lateness budget for deliveries of this class.
+    fn budget(self) -> SimDuration {
+        match self {
+            Class::Voice => SimDuration::from_millis(40),
+            Class::WanVoice | Class::Churn => SimDuration::from_millis(150),
+            Class::Bulk => SimDuration::from_millis(500),
+        }
+    }
+
+    fn profile(self) -> StreamProfile {
+        match self {
+            Class::Voice => StreamProfile::voice(),
+            Class::WanVoice => wan_voice_profile(),
+            Class::Bulk => StreamProfile::bulk(),
+            Class::Churn => {
+                let mut p = wan_voice_profile();
+                // Tiny capacity so dozens of short sessions fit the WAN.
+                p.capacity = 4 * 1024;
+                p
+            }
+        }
+    }
+}
+
+/// A voice profile whose delay budget survives the WAN path.
+fn wan_voice_profile() -> StreamProfile {
+    let mut p = StreamProfile::voice();
+    p.delay =
+        DelayBound::best_effort_with(SimDuration::from_millis(150), SimDuration::from_micros(10));
+    p
+}
+
+/// Build a class-tagged payload: one static tag byte, then a static zero
+/// body — the same zero-allocation scatter-gather path real payloads take.
+fn tagged(class: Class, len: u64) -> Message {
+    const TAGS: [u8; CLASSES] = [1, 2, 3, 4];
+    static ZERO: [u8; 8192] = [0u8; 8192];
+    let i = class as usize;
+    let mut w = WireMsg::from_bytes(Bytes::from_static(&TAGS[i..i + 1]));
+    if len > 1 {
+        w.push(Bytes::from_static(&ZERO[..(len - 1).min(8192) as usize]));
+    }
+    Message::from_wire(w)
+}
+
+const VOICE_INTERVAL: SimDuration = SimDuration::from_millis(20);
+const BULK_CHUNK: u64 = 4 * 1024;
+const RPC_INTERVAL: SimDuration = SimDuration::from_millis(25);
+
+/// One planned stream flow. The plan is a pure function of the
+/// parameters, so every LP computes the identical plan and acts only on
+/// the flows it owns an endpoint of.
+#[derive(Debug, Clone)]
+struct Flow {
+    class: Class,
+    src: HostId,
+    dst: HostId,
+    /// Open time, as an offset from the run start.
+    start: SimDuration,
+    /// Messages to send.
+    count: u64,
+    /// Pacing interval; zero means "pump until flow control pushes back".
+    interval: SimDuration,
+    /// Payload length per message, including the tag byte.
+    len: u64,
+}
+
+/// One planned RPC pairing: `calls` echo calls at `interval` pacing.
+#[derive(Debug, Clone, Copy)]
+struct RpcFlow {
+    client: HostId,
+    server: HostId,
+    service: u16,
+    calls: u64,
+    interval: SimDuration,
+    start: SimDuration,
+}
+
+/// Compute the full traffic plan. Mirrors e10's population: mostly
+/// intra-LAN voice with a WAN-crossing slice, intra-LAN bulk, cross-LAN
+/// RPC, and churn waves of short-lived WAN sessions.
+fn plan_population(p: &PscaleParams, lan_hosts: &[Vec<HostId>]) -> (Vec<Flow>, Vec<RpcFlow>) {
+    assert!(p.hosts_per_lan >= 2, "need at least 2 hosts per LAN");
+    let mut rng = Rng::new(p.seed);
+    let mut flows = Vec::new();
+    let mut rpcs = Vec::new();
+    let hpl = p.hosts_per_lan;
+    let voice_count = (p.duration.as_nanos() / VOICE_INTERVAL.as_nanos()).max(1);
+    for l in 0..p.lans {
+        for v in 0..p.voice_per_lan {
+            let src = lan_hosts[l][v % hpl];
+            let cross = rng.chance(p.cross_fraction);
+            let (dst, class) = if cross && p.lans > 1 {
+                let ol = (l + 1 + rng.below(p.lans as u64 - 1) as usize) % p.lans;
+                (
+                    lan_hosts[ol][rng.below(hpl as u64) as usize],
+                    Class::WanVoice,
+                )
+            } else {
+                let mut d = (v + 1 + rng.below(hpl as u64 - 1) as usize) % hpl;
+                if lan_hosts[l][d] == src {
+                    d = (d + 1) % hpl;
+                }
+                (lan_hosts[l][d], Class::Voice)
+            };
+            if dst == src {
+                continue;
+            }
+            flows.push(Flow {
+                class,
+                src,
+                dst,
+                // Small stagger spreads the t=0 admission burst.
+                start: SimDuration::from_micros((v as u64 % 32) * 125),
+                count: voice_count,
+                interval: VOICE_INTERVAL,
+                len: 160,
+            });
+        }
+        for b in 0..p.bulk_per_lan {
+            let src = lan_hosts[l][b % hpl];
+            let dst = lan_hosts[l][(b + hpl / 2) % hpl];
+            if src == dst {
+                continue;
+            }
+            flows.push(Flow {
+                class: Class::Bulk,
+                src,
+                dst,
+                start: SimDuration::from_millis(1),
+                count: p.bulk_bytes.div_ceil(BULK_CHUNK),
+                interval: SimDuration::ZERO,
+                len: BULK_CHUNK,
+            });
+        }
+        for r in 0..p.rpc_per_lan {
+            let client = lan_hosts[l][r % hpl];
+            let server = lan_hosts[(l + 1) % p.lans][r % hpl];
+            if client == server {
+                continue;
+            }
+            rpcs.push(RpcFlow {
+                client,
+                server,
+                service: (100 + l * p.rpc_per_lan + r) as u16,
+                calls: (p.duration.as_nanos() / RPC_INTERVAL.as_nanos()).max(1),
+                interval: RPC_INTERVAL,
+                start: SimDuration::from_millis(2),
+            });
+        }
+    }
+    // Churn waves: short-lived cross-site sessions between rotating
+    // pairs, fully precomputed (e10 schedules them recursively; the
+    // formulas are the same).
+    if p.churn_per_wave > 0 {
+        let end = p.duration.as_nanos();
+        let mut w = 0usize;
+        loop {
+            let t = p.churn_interval.as_nanos() * (w as u64 + 1);
+            if t + SimDuration::from_millis(300).as_nanos() >= end {
+                break;
+            }
+            for c in 0..p.churn_per_wave {
+                let l = (w * 3 + c) % p.lans;
+                let ol = (l + 1 + (w + c) % p.lans.max(2).saturating_sub(1)) % p.lans;
+                let src = lan_hosts[l][(w + c) % hpl];
+                let dst = lan_hosts[ol][(w * 2 + c) % hpl];
+                if src == dst {
+                    continue;
+                }
+                flows.push(Flow {
+                    class: Class::Churn,
+                    src,
+                    dst,
+                    start: SimDuration::from_nanos(t),
+                    count: 4,
+                    interval: SimDuration::from_millis(50),
+                    len: 160,
+                });
+            }
+            w += 1;
+        }
+    }
+    (flows, rpcs)
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+/// Host/network ids of one built topology — identical in every replica,
+/// because every LP runs the same builder program.
+struct Topo {
+    lan_hosts: Vec<Vec<HostId>>,
+    lan_ids: Vec<NetworkId>,
+    gateways: Vec<HostId>,
+    wan: NetworkId,
+    /// Backup-WAN bridge gateways (empty unless `backup_wan`).
+    extra: Vec<HostId>,
+}
+
+fn build_topo(p: &PscaleParams) -> (NetState, Topo) {
+    let mut tb = TopologyBuilder::new();
+    tb.seed(p.seed ^ 0x5ca1e);
+    let wan = tb.network(NetworkSpec::long_haul("wan"));
+    let mut lan_ids = Vec::new();
+    let mut lan_hosts = Vec::new();
+    let mut gateways = Vec::new();
+    for l in 0..p.lans {
+        let spec = if p.fast_every > 0 && l % p.fast_every == p.fast_every - 1 {
+            NetworkSpec::fast_lan(format!("fast-{l}"))
+        } else {
+            NetworkSpec::ethernet(format!("lan-{l}"))
+        };
+        let net = tb.network(spec);
+        lan_ids.push(net);
+        let mut hosts = Vec::new();
+        for _ in 0..p.hosts_per_lan {
+            hosts.push(tb.host_on(net));
+        }
+        gateways.push(tb.gateway(net, wan));
+        lan_hosts.push(hosts);
+    }
+    let mut extra = Vec::new();
+    if p.backup_wan {
+        // A second long-haul path from LAN 0 to the backbone, so a WAN
+        // outage has somewhere to fail over to.
+        let wan2 = tb.network(NetworkSpec::long_haul("wan2"));
+        extra.push(tb.gateway(lan_ids[0], wan2));
+        extra.push(tb.gateway(wan, wan2));
+    }
+    (
+        tb.build(),
+        Topo {
+            lan_hosts,
+            lan_ids,
+            gateways,
+            wan,
+            extra,
+        },
+    )
+}
+
+fn make_fault_plan(p: &PscaleParams, topo: &Topo) -> FaultPlan {
+    let half = SimTime::ZERO.saturating_add(SimDuration::from_nanos(p.duration.as_nanos() / 2));
+    let heal = half.saturating_add(SimDuration::from_millis(150));
+    if p.wan_outage {
+        FaultPlan::new()
+            .at(
+                half,
+                FaultKind::NetworkDown {
+                    network: topo.wan.0,
+                },
+            )
+            .at(
+                heal,
+                FaultKind::NetworkUp {
+                    network: topo.wan.0,
+                },
+            )
+    } else {
+        let dark_lan = topo.lan_ids[p.lans / 2];
+        let victim = topo.lan_hosts[0][p.hosts_per_lan - 1];
+        FaultPlan::new()
+            .at(
+                half,
+                FaultKind::NetworkDown {
+                    network: dark_lan.0,
+                },
+            )
+            .at(half, FaultKind::HostCrash { host: victim.0 })
+            .at(
+                heal,
+                FaultKind::NetworkUp {
+                    network: dark_lan.0,
+                },
+            )
+            .at(heal, FaultKind::HostRestart { host: victim.0 })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-LP driver
+// ---------------------------------------------------------------------------
+
+/// Per-LP accounting, split by traffic class. Tx-side fields populate in
+/// the LPs owning flow sources, rx-side fields in the LPs owning flow
+/// destinations; the merged outcome sums them all.
+#[derive(Debug, Default, Clone)]
+struct Acct {
+    opened: u64,
+    failed: u64,
+    sent: [u64; CLASSES],
+    received: [u64; CLASSES],
+    late: [u64; CLASSES],
+    bytes: [u64; CLASSES],
+    /// Paced messages refused by sender flow control and dropped (voice
+    /// semantics: the frame is lost at the source, not retried).
+    source_drops: u64,
+    rpc_completed: u64,
+    rpc_failed: u64,
+    /// Tx session -> pacing state (BTreeMap for deterministic debug
+    /// output; lookups only, never iterated).
+    tx: BTreeMap<u64, TxState>,
+}
+
+#[derive(Debug, Clone)]
+struct TxState {
+    class: Class,
+    remaining: u64,
+    interval: SimDuration,
+    len: u64,
+}
+
+/// Event sink rendering every observability event into the per-LP trace
+/// buffer (merged by `(time, host, index)` into the run trace).
+struct TraceSink {
+    out: Rc<RefCell<String>>,
+}
+
+impl ObsSink for TraceSink {
+    fn on_event(&mut self, time: SimTime, event: &ObsEvent) {
+        use std::fmt::Write;
+        let _ = writeln!(
+            self.out.borrow_mut(),
+            "{} {} {:?}",
+            time.as_nanos(),
+            event.name(),
+            event
+        );
+    }
+}
+
+/// Event sink capturing typed events for the offline oracle feed.
+struct CaptureSink {
+    out: Rc<RefCell<Vec<(u64, ObsEvent)>>>,
+}
+
+impl ObsSink for CaptureSink {
+    fn on_event(&mut self, time: SimTime, event: &ObsEvent) {
+        self.out.borrow_mut().push((time.as_nanos(), event.clone()));
+    }
+}
+
+fn on_stream_event(sim: &mut Sim<Stack>, host: HostId, ev: StreamEvent, acct: &Rc<RefCell<Acct>>) {
+    match ev {
+        StreamEvent::Opened { session } => {
+            let pacing = {
+                let mut a = acct.borrow_mut();
+                a.tx.get(&session).map(|t| t.interval).inspect(|_| {
+                    a.opened += 1;
+                })
+            };
+            match pacing {
+                Some(iv) if iv.is_zero() => pump_bulk(sim, host, session, acct),
+                Some(_) => pace(sim, host, session, Rc::clone(acct)),
+                None => {}
+            }
+        }
+        StreamEvent::OpenFailed { session, .. } => {
+            let mut a = acct.borrow_mut();
+            if a.tx.remove(&session).is_some() {
+                a.failed += 1;
+            }
+        }
+        StreamEvent::Drained { session } => {
+            let bulk = acct
+                .borrow()
+                .tx
+                .get(&session)
+                .is_some_and(|t| t.interval.is_zero());
+            if bulk {
+                pump_bulk(sim, host, session, acct);
+            }
+        }
+        StreamEvent::Delivered { msg, delay, .. } => {
+            let Some(class) = msg.wire().first_byte().and_then(Class::from_tag) else {
+                return;
+            };
+            let mut a = acct.borrow_mut();
+            a.received[class as usize] += 1;
+            a.bytes[class as usize] += msg.len() as u64;
+            if delay > class.budget() {
+                a.late[class as usize] += 1;
+            }
+        }
+        StreamEvent::Ended { session, .. } => {
+            acct.borrow_mut().tx.remove(&session);
+        }
+        StreamEvent::Incoming { .. } => {}
+    }
+}
+
+/// Paced sender (voice/churn): one message per interval; a refusal drops
+/// the frame at the source, it is never retried.
+fn pace(sim: &mut Sim<Stack>, host: HostId, session: u64, acct: Rc<RefCell<Acct>>) {
+    let step = {
+        let mut a = acct.borrow_mut();
+        a.tx.get_mut(&session).map(|t| {
+            t.remaining = t.remaining.saturating_sub(1);
+            (t.class, t.len, t.interval, t.remaining > 0)
+        })
+    };
+    let Some((class, len, interval, more)) = step else {
+        return;
+    };
+    acct.borrow_mut().sent[class as usize] += 1;
+    if stream::send(sim, host, session, tagged(class, len)).is_err() {
+        acct.borrow_mut().source_drops += 1;
+    }
+    if more {
+        let a = Rc::clone(&acct);
+        sim.schedule_in(interval, move |sim| pace(sim, host, session, a));
+    }
+}
+
+/// Bulk sender: pump chunks until the send port refuses; `Drained`
+/// resumes the pump.
+fn pump_bulk(sim: &mut Sim<Stack>, host: HostId, session: u64, acct: &Rc<RefCell<Acct>>) {
+    loop {
+        let step = {
+            let a = acct.borrow();
+            match a.tx.get(&session) {
+                Some(t) if t.remaining > 0 => Some((t.class, t.len)),
+                _ => None,
+            }
+        };
+        let Some((class, len)) = step else { return };
+        if stream::send(sim, host, session, tagged(class, len)).is_err() {
+            return;
+        }
+        let mut a = acct.borrow_mut();
+        a.sent[class as usize] += 1;
+        if let Some(t) = a.tx.get_mut(&session) {
+            t.remaining -= 1;
+        }
+    }
+}
+
+fn rpc_tick(sim: &mut Sim<Stack>, r: RpcFlow, n: u64, acct: Rc<RefCell<Acct>>) {
+    if n >= r.calls {
+        return;
+    }
+    let a = Rc::clone(&acct);
+    rkom::call(
+        sim,
+        r.client,
+        r.server,
+        r.service,
+        Bytes::from_static(b"ping"),
+        move |_sim, res| {
+            let mut acct = a.borrow_mut();
+            match res {
+                Ok(_) => acct.rpc_completed += 1,
+                Err(_) => acct.rpc_failed += 1,
+            }
+        },
+    );
+    sim.schedule_in(r.interval, move |sim| rpc_tick(sim, r, n + 1, acct));
+}
+
+/// The LP the executor drives: the stack replica plus the harness's
+/// shared accounting handles (extracted by `finish` on the same thread).
+struct PscaleLp {
+    lp: StackLp,
+    acct: Rc<RefCell<Acct>>,
+    trace: Rc<RefCell<String>>,
+    obs: Rc<RefCell<Vec<(u64, ObsEvent)>>>,
+}
+
+impl Lp for PscaleLp {
+    type Env = WireEnvelope;
+
+    fn host(&self) -> u32 {
+        self.lp.host()
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.lp.next_event_time()
+    }
+
+    fn run_until_horizon(&mut self, horizon: SimTime) {
+        self.lp.run_until_horizon(horizon);
+    }
+
+    fn drain_outbox(&mut self, sink: &mut Vec<WireEnvelope>) {
+        self.lp.drain_outbox(sink);
+    }
+
+    fn dst_of(env: &WireEnvelope) -> u32 {
+        <StackLp as Lp>::dst_of(env)
+    }
+
+    fn inject(&mut self, env: WireEnvelope) {
+        self.lp.inject(env);
+    }
+}
+
+/// Build host `h`'s logical process: the full replica world, the stream
+/// tap on the owned host, and the owned slice of the traffic plan.
+fn build_lp(
+    p: &PscaleParams,
+    flows: &[Flow],
+    rpcs: &[RpcFlow],
+    fault_plan: &FaultPlan,
+    host: u32,
+) -> PscaleLp {
+    let owner = HostId(host);
+    let trace = Rc::new(RefCell::new(String::new()));
+    let obs = Rc::new(RefCell::new(Vec::new()));
+    let (net, _topo) = build_topo(p);
+    let mut builder = StackBuilder::new(net).obs(true);
+    if p.cpus {
+        builder = builder.cpus(SchedPolicy::Edf, SimDuration::from_micros(5));
+    }
+    if p.record_trace {
+        builder = builder.obs_sink(TraceSink {
+            out: Rc::clone(&trace),
+        });
+    }
+    let mut sim = Sim::new(builder.build());
+    if p.oracle {
+        sim.state.net.obs.add_boxed_sink(Box::new(CaptureSink {
+            out: Rc::clone(&obs),
+        }));
+    }
+
+    let acct = Rc::new(RefCell::new(Acct::default()));
+    {
+        let a = Rc::clone(&acct);
+        sim.state
+            .on_stream(owner, move |sim, ev| on_stream_event(sim, owner, ev, &a));
+    }
+    for f in flows.iter().filter(|f| f.src == owner) {
+        let f = f.clone();
+        let a = Rc::clone(&acct);
+        sim.schedule_in(f.start, move |sim| {
+            match stream::open(sim, f.src, f.dst, f.class.profile()) {
+                Ok(session) => {
+                    a.borrow_mut().tx.insert(
+                        session,
+                        TxState {
+                            class: f.class,
+                            remaining: f.count,
+                            interval: f.interval,
+                            len: f.len,
+                        },
+                    );
+                }
+                Err(_) => a.borrow_mut().failed += 1,
+            }
+        });
+    }
+    for r in rpcs {
+        if r.server == owner {
+            rkom::register_service(&mut sim.state, owner, r.service, |_sim, _peer, payload| {
+                payload
+            });
+        }
+        if r.client == owner {
+            let r = *r;
+            let a = Rc::clone(&acct);
+            sim.schedule_in(r.start, move |sim| rpc_tick(sim, r, 0, a));
+        }
+    }
+    // The fault plan is replicated: every LP applies it to its replica at
+    // the same times, so routing and admission see the same world; the
+    // ownership guard in `flood_from` keeps packet-originating side
+    // effects (witness floods) to the owning LP.
+    if p.fault_drill {
+        schedule_fault_plan(&mut sim, fault_plan);
+    }
+    PscaleLp {
+        lp: StackLp::new(sim, owner, p.seed),
+        acct,
+        trace,
+        obs,
+    }
+}
+
+/// What one LP contributes to the merged outcome.
+struct LpOut {
+    host: u32,
+    acct: Acct,
+    events: u64,
+    peak_queue: u64,
+    registry: MetricRegistry,
+    trace: String,
+    obs: Vec<(u64, ObsEvent)>,
+}
+
+fn finish_lp(plp: PscaleLp) -> LpOut {
+    let host = plp.lp.host();
+    let mut sim = plp.lp.sim;
+    let peak_queue = sim
+        .state
+        .net
+        .hosts
+        .iter()
+        .flat_map(|h| h.ifaces.iter())
+        .map(|i| i.stats.max_queued_bytes)
+        .max()
+        .unwrap_or(0);
+    LpOut {
+        host,
+        acct: plp.acct.borrow().clone(),
+        events: sim.events_processed(),
+        peak_queue,
+        registry: std::mem::take(&mut sim.state.net.obs.registry),
+        trace: plp.trace.borrow().clone(),
+        obs: std::mem::take(&mut plp.obs.borrow_mut()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The outcome
+// ---------------------------------------------------------------------------
+
+/// Everything a parallel-scale run produces, merged across LPs. All
+/// fields except `wall_secs`, `allocs`, `speedup`, and `cores` are
+/// deterministic for a given [`PscaleParams`] — *including* the shard
+/// count, which is the whole point.
+#[derive(Debug)]
+pub struct PscaleOutcome {
+    /// Hosts (= logical processes) in the topology.
+    pub hosts: usize,
+    /// Worker threads this run used.
+    pub shards: u32,
+    /// CPU cores available on the measuring machine (speedup context).
+    pub cores: usize,
+    /// Sessions opened successfully, summed over source LPs.
+    pub streams_opened: u64,
+    /// Session opens refused (admission, routing, or faults).
+    pub open_failed: u64,
+    /// Engine events executed, summed over LPs.
+    pub events: u64,
+    /// ST messages delivered to ports (merged registry `st.deliver`).
+    pub messages: u64,
+    /// Per-class messages sent (source-side accounting).
+    pub sent: [u64; CLASSES],
+    /// Per-class messages delivered (destination-side accounting).
+    pub received: [u64; CLASSES],
+    /// Per-class deliveries past the class budget.
+    pub late: [u64; CLASSES],
+    /// Per-class delivered payload bytes.
+    pub bytes: [u64; CLASSES],
+    /// Paced frames dropped at the source by sender flow control.
+    pub source_drops: u64,
+    /// RPC calls completed / failed.
+    pub rpc_completed: u64,
+    /// RPC calls that returned an error.
+    pub rpc_failed: u64,
+    /// Virtual seconds simulated (the horizon).
+    pub sim_secs: f64,
+    /// Wall-clock seconds of `run_sharded` (not deterministic).
+    pub wall_secs: f64,
+    /// Peak interface transmit-queue depth, bytes, across all LPs.
+    pub peak_queue_bytes: u64,
+    /// RMS cache misses (merged registry).
+    pub cache_misses: u64,
+    /// RMS cache evictions (merged registry).
+    pub cache_evictions: u64,
+    /// Fault events in the drill plan (each LP applies all of them).
+    pub faults_injected: u64,
+    /// Merged metric-registry dump (JSON lines, host-ascending merge).
+    pub registry_dump: String,
+    /// Merged observability trace (empty unless `record_trace`).
+    pub trace_dump: String,
+    /// Heap allocations during the run; filled by the binary's counting
+    /// allocator. At 1 shard this is deterministic; at P shards mailbox
+    /// growth order makes it wobble slightly, so it is excluded from the
+    /// digest and gated with slack.
+    pub allocs: u64,
+    /// Wall-clock speedup vs the 1-shard run; filled by scan drivers.
+    pub speedup: f64,
+    /// Semantic-oracle violations over the merged event stream.
+    pub oracle_violations: u64,
+    /// Human-readable violation descriptions (not part of the digest).
+    pub oracle_detail: Vec<String>,
+}
+
+impl PscaleOutcome {
+    /// Voice-class on-time fraction (voice + WAN voice + churn).
+    pub fn voice_on_time(&self) -> f64 {
+        let idx = [
+            Class::Voice as usize,
+            Class::WanVoice as usize,
+            Class::Churn as usize,
+        ];
+        let sent: u64 = idx.iter().map(|&i| self.sent[i]).sum();
+        let good: u64 = idx
+            .iter()
+            .map(|&i| {
+                self.received[i]
+                    .saturating_sub(self.late[i])
+                    .min(self.sent[i])
+            })
+            .sum();
+        if sent == 0 {
+            0.0
+        } else {
+            good as f64 / sent as f64
+        }
+    }
+
+    /// Bulk payload bytes delivered.
+    pub fn bulk_delivered(&self) -> u64 {
+        self.bytes[Class::Bulk as usize]
+    }
+
+    /// Heap allocations per engine event (0 when not measured).
+    pub fn allocs_per_event(&self) -> f64 {
+        if self.events > 0 {
+            self.allocs as f64 / self.events as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Engine events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The deterministic portion, byte-identical across shard counts and
+    /// placements (the tentpole's enforced equality).
+    pub fn determinism_digest(&self) -> String {
+        format!(
+            "opened={} failed={} events={} messages={} sent={:?} received={:?} \
+             late={:?} bytes={:?} drops={} rpc={}/{} sim_secs={:.9} peak_queue={} \
+             misses={} evictions={} faults={}\n\
+             --- registry ---\n{}--- trace ---\n{}",
+            self.streams_opened,
+            self.open_failed,
+            self.events,
+            self.messages,
+            self.sent,
+            self.received,
+            self.late,
+            self.bytes,
+            self.source_drops,
+            self.rpc_completed,
+            self.rpc_failed,
+            self.sim_secs,
+            self.peak_queue_bytes,
+            self.cache_misses,
+            self.cache_evictions,
+            self.faults_injected,
+            self.registry_dump,
+            self.trace_dump,
+        )
+    }
+
+    /// FNV-1a of the digest, for cheap cross-run comparison in JSON.
+    pub fn digest_hash(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.determinism_digest().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// One-run JSON object for `BENCH_pscale.json` / `check_bench.sh`.
+    pub fn to_json(&self, label: &str, config: &str) -> String {
+        format!(
+            "{{\"label\":\"{label}\",\"config\":\"{config}\",\
+             \"shards\":{},\"cores\":{},\"hosts\":{},\
+             \"streams_opened\":{},\"open_failed\":{},\
+             \"events\":{},\"messages\":{},\"rpc_completed\":{},\
+             \"voice_on_time\":{:.4},\"bulk_delivered\":{},\
+             \"sim_secs\":{:.3},\"wall_secs\":{:.3},\
+             \"events_per_sec\":{:.0},\"allocs_per_event\":{:.3},\
+             \"speedup\":{:.3},\"peak_queue_bytes\":{},\
+             \"cache_misses\":{},\"cache_evictions\":{},\
+             \"faults_injected\":{},\"oracle_violations\":{},\
+             \"digest_hash\":\"{}\"}}",
+            self.shards,
+            self.cores,
+            self.hosts,
+            self.streams_opened,
+            self.open_failed,
+            self.events,
+            self.messages,
+            self.rpc_completed,
+            self.voice_on_time(),
+            self.bulk_delivered(),
+            self.sim_secs,
+            self.wall_secs,
+            self.events_per_sec(),
+            self.allocs_per_event(),
+            self.speedup,
+            self.peak_queue_bytes,
+            self.cache_misses,
+            self.cache_evictions,
+            self.faults_injected,
+            self.oracle_violations,
+            self.digest_hash(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The run
+// ---------------------------------------------------------------------------
+
+/// Build the shard plan, run every host's LP to the horizon on
+/// `params.shards` workers, and merge the outcome.
+pub fn run_pscale(params: &PscaleParams) -> PscaleOutcome {
+    let (proto, topo) = build_topo(params);
+    let hosts_total = proto.hosts.len() as u32;
+    let plan = if params.lan_aligned {
+        let groups: Vec<Vec<u32>> = topo
+            .lan_hosts
+            .iter()
+            .zip(&topo.gateways)
+            .enumerate()
+            .map(|(l, (hs, g))| {
+                let mut group: Vec<u32> = hs.iter().map(|h| h.0).collect();
+                group.push(g.0);
+                // Keep the backup-WAN bridges with LAN 0, so no LAN ever
+                // spans shards and the epoch stays at the WAN delay.
+                if l == 0 {
+                    group.extend(topo.extra.iter().map(|h| h.0));
+                }
+                group
+            })
+            .collect();
+        ShardPlan::grouped(hosts_total, params.shards, &groups)
+    } else {
+        ShardPlan::hashed(hosts_total, params.shards)
+    };
+    let cfg = ParConfig {
+        horizon: SimTime::ZERO
+            .saturating_add(params.duration)
+            .saturating_add(params.grace),
+        cross_lookahead: cross_shard_lookahead(&proto, &plan),
+        local_lookahead: local_lookahead(&proto),
+    };
+    let (flows, rpcs) = plan_population(params, &topo.lan_hosts);
+    let fault_plan = make_fault_plan(params, &topo);
+    let faults = if params.fault_drill {
+        fault_plan.events.len() as u64
+    } else {
+        0
+    };
+
+    let started = Instant::now();
+    let outs = run_sharded(
+        &plan,
+        &cfg,
+        |h| build_lp(params, &flows, &rpcs, &fault_plan, h),
+        finish_lp,
+    );
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    merge_outcome(params, outs, faults, wall_secs, cfg.horizon)
+}
+
+fn merge_outcome(
+    params: &PscaleParams,
+    outs: Vec<LpOut>,
+    faults_injected: u64,
+    wall_secs: f64,
+    horizon: SimTime,
+) -> PscaleOutcome {
+    // `run_sharded` returns results indexed by host; the merge order
+    // (host ascending) is therefore fixed regardless of the plan.
+    let mut registry = MetricRegistry::new();
+    let mut events = 0u64;
+    let mut peak_queue = 0u64;
+    let mut acct = Acct::default();
+    for o in &outs {
+        registry.merge_from(&o.registry);
+        events += o.events;
+        peak_queue = peak_queue.max(o.peak_queue);
+        acct.opened += o.acct.opened;
+        acct.failed += o.acct.failed;
+        acct.source_drops += o.acct.source_drops;
+        acct.rpc_completed += o.acct.rpc_completed;
+        acct.rpc_failed += o.acct.rpc_failed;
+        for c in 0..CLASSES {
+            acct.sent[c] += o.acct.sent[c];
+            acct.received[c] += o.acct.received[c];
+            acct.late[c] += o.acct.late[c];
+            acct.bytes[c] += o.acct.bytes[c];
+        }
+    }
+    let trace_parts: Vec<(u32, String)> = outs.iter().map(|o| (o.host, o.trace.clone())).collect();
+    let trace_dump = merge_traces(&trace_parts);
+
+    let (oracle_violations, oracle_detail) = if params.oracle {
+        feed_oracle(&outs)
+    } else {
+        (0, Vec::new())
+    };
+
+    let messages = registry.counter_value("st.deliver");
+    let cache_misses = registry.counter_value("st.cache_miss");
+    let cache_evictions = registry.counter_value("st.cache_eviction");
+    let registry_dump = registry.to_json_lines();
+
+    PscaleOutcome {
+        hosts: outs.len(),
+        shards: params.shards,
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        streams_opened: acct.opened,
+        open_failed: acct.failed,
+        events,
+        messages,
+        sent: acct.sent,
+        received: acct.received,
+        late: acct.late,
+        bytes: acct.bytes,
+        source_drops: acct.source_drops,
+        rpc_completed: acct.rpc_completed,
+        rpc_failed: acct.rpc_failed,
+        sim_secs: horizon.as_secs_f64(),
+        wall_secs,
+        peak_queue_bytes: peak_queue,
+        cache_misses,
+        cache_evictions,
+        faults_injected,
+        registry_dump,
+        trace_dump,
+        allocs: 0,
+        speedup: 0.0,
+        oracle_violations,
+        oracle_detail,
+    }
+}
+
+/// Merge the per-LP typed event streams by `(time, host, index)` — the
+/// same total order as the trace merge — and replay the merged stream
+/// through the dash-check semantic oracle.
+fn feed_oracle(outs: &[LpOut]) -> (u64, Vec<String>) {
+    let mut all: Vec<(u64, u32, usize, &ObsEvent)> = Vec::new();
+    for o in outs {
+        for (idx, (t, e)) in o.obs.iter().enumerate() {
+            all.push((*t, o.host, idx, e));
+        }
+    }
+    all.sort_by_key(|a| (a.0, a.1, a.2));
+    // Completion is off (horizon-cut run, traffic legitimately in
+    // flight); det-delay stays on; unreliable media legitimately skips
+    // lost messages, so FIFO-gap checking is off. Same config as e10.
+    let (mut sink, handle) = dash_check::oracle(dash_check::OracleConfig {
+        check_completion: false,
+        check_det_delay: true,
+        check_fifo_gaps: false,
+    });
+    for (t, _, _, e) in &all {
+        sink.on_event(SimTime::ZERO.saturating_add(SimDuration::from_nanos(*t)), e);
+    }
+    let violations = handle.violations();
+    let detail = violations
+        .iter()
+        .map(|v| format!("[{}] t={} {}", v.invariant, v.at.as_nanos(), v.detail))
+        .collect();
+    (violations.len() as u64, detail)
+}
+
+// ---------------------------------------------------------------------------
+// The experiment table
+// ---------------------------------------------------------------------------
+
+/// e12_pscale — shard-count invariance of the parallel executor.
+///
+/// Claim: the merged outcome of the conservative parallel run is
+/// byte-identical from 1 shard to P shards; threads change wall-clock
+/// only.
+pub fn e12_pscale() -> Table {
+    let mut t = Table::new(
+        "e12_pscale",
+        "e10 macro-workload on the conservative parallel executor",
+        "P-shard runs merge byte-identical to the 1-shard run; threads change wall-clock only",
+    );
+    t.columns(&[
+        "shards",
+        "events",
+        "msgs",
+        "opened",
+        "refused",
+        "digest vs 1 shard",
+        "wall s",
+    ]);
+    let mut reference: Option<String> = None;
+    for shards in [1u32, 2, 4] {
+        let mut p = PscaleParams::ci();
+        p.shards = shards;
+        let o = run_pscale(&p);
+        let digest = o.determinism_digest();
+        let verdict = match &reference {
+            None => {
+                reference = Some(digest);
+                "reference".to_string()
+            }
+            Some(r) if *r == digest => "identical".to_string(),
+            Some(_) => "DIVERGED".to_string(),
+        };
+        t.row(vec![
+            shards.to_string(),
+            o.events.to_string(),
+            o.messages.to_string(),
+            o.streams_opened.to_string(),
+            o.open_failed.to_string(),
+            verdict,
+            format!("{:.2}", o.wall_secs),
+        ]);
+    }
+    t.note("serial reference = the same LP machinery at 1 shard; the legacy single-world engine is a different (equally valid) schedule of the same model");
+    t.note(
+        "bench-size numbers at 1/2/4/8 shards live in BENCH_pscale.json via the e12_pscale binary",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_shards_merge_identical_to_one() {
+        let mut p = PscaleParams::ci();
+        p.shards = 1;
+        let a = run_pscale(&p);
+        assert!(a.streams_opened > 15, "opened {}", a.streams_opened);
+        assert!(a.messages > 500, "messages {}", a.messages);
+        assert_eq!(a.faults_injected, 4);
+        assert!(a.rpc_completed > 10, "rpc {}", a.rpc_completed);
+        p.shards = 2;
+        let b = run_pscale(&p);
+        assert_eq!(a.determinism_digest(), b.determinism_digest());
+    }
+
+    #[test]
+    fn hashed_placement_matches_aligned() {
+        // Hashed placement splits LANs across shards, shrinking epochs
+        // to the LAN wire delay — tiny workload, same digest.
+        let mut p = PscaleParams::micro();
+        p.shards = 1;
+        let a = run_pscale(&p);
+        assert!(a.messages > 20, "messages {}", a.messages);
+        p.shards = 3;
+        let b = run_pscale(&p);
+        assert_eq!(a.determinism_digest(), b.determinism_digest());
+        p.shards = 3;
+        p.lan_aligned = true;
+        let c = run_pscale(&p);
+        assert_eq!(a.determinism_digest(), c.determinism_digest());
+    }
+
+    #[test]
+    fn oracle_is_clean_on_the_merged_stream() {
+        let mut p = PscaleParams::ci();
+        p.record_trace = false;
+        p.oracle = true;
+        p.shards = 2;
+        let o = run_pscale(&p);
+        assert_eq!(
+            o.oracle_violations, 0,
+            "oracle violations: {:?}",
+            o.oracle_detail
+        );
+    }
+
+    #[test]
+    fn json_shape_carries_the_parallel_fields() {
+        let mut p = PscaleParams::micro();
+        p.shards = 2;
+        let o = run_pscale(&p);
+        let j = o.to_json("test", "micro");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"shards\":2"));
+        assert!(j.contains("\"digest_hash\":\""));
+        assert!(j.contains("\"speedup\":"));
+    }
+}

@@ -13,6 +13,7 @@
 pub mod alloc_counter;
 pub mod e_baseline;
 pub mod e_capacity;
+pub mod e_pscale;
 pub mod e_routing;
 pub mod e_scale;
 pub mod e_security_sched;
@@ -44,6 +45,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("e9_piggyback", e_st::e9_piggyback),
         ("e10_scale", e_scale::e10_scale),
         ("e11_routing", e_routing::e11_routing),
+        ("e12_pscale", e_pscale::e12_pscale),
     ]
 }
 

@@ -62,6 +62,7 @@ pub mod packet;
 pub mod pipeline;
 pub mod rms;
 pub mod routing;
+pub mod shard;
 pub mod state;
 pub mod topology;
 

@@ -1019,16 +1019,51 @@ fn finish_tx<W: NetWorld>(
             sim.state.net().stats.wire_drops.incr();
         }
         (WireOutcome::Delivered { delay }, Some(next)) => {
-            sim.schedule_in(delay, move |sim| on_arrival(sim, next, packet));
+            deliver_or_divert(sim, host, next, delay, packet);
         }
         (WireOutcome::Corrupted { delay }, Some(next)) => {
             packet.corrupted = true;
-            sim.schedule_in(delay, move |sim| on_arrival(sim, next, packet));
+            deliver_or_divert(sim, host, next, delay, packet);
         }
     }
     // Free the transmitter and continue with the queue.
     sim.state.net().host_mut(host).ifaces[iface_idx].set_busy(false);
     start_tx(sim, host, iface_idx);
+}
+
+/// Hand a surviving packet to its next hop: scheduled locally in serial
+/// execution, diverted into the shard outbox as a [`crate::shard::WireEnvelope`]
+/// when `next` belongs to another logical process. Wire effects (delay,
+/// corruption, ARQ) were already applied by the transmitting side, so the
+/// envelope carries a finished traversal — the receiving LP just runs
+/// [`on_arrival`] at `deliver_at`.
+fn deliver_or_divert<W: NetWorld>(
+    sim: &mut Sim<W>,
+    host: HostId,
+    next: HostId,
+    delay: SimDuration,
+    packet: Packet,
+) {
+    if sim.state.net().owns(next) {
+        sim.schedule_in(delay, move |sim| on_arrival(sim, next, packet));
+        return;
+    }
+    let deliver_at = sim.now().saturating_add(delay);
+    let shard = sim
+        .state
+        .net()
+        .shard
+        .as_mut()
+        .expect("unowned next hop implies LP mode");
+    let seq = shard.out_seq;
+    shard.out_seq += 1;
+    shard.outbox.push(crate::shard::WireEnvelope {
+        deliver_at,
+        src: host,
+        seq,
+        dst: next,
+        packet,
+    });
 }
 
 // ---------------------------------------------------------------------------

@@ -169,6 +169,14 @@ pub fn flood_from<W: NetWorld>(sim: &mut Sim<W>, origin: HostId) {
     let now = sim.now();
     let ad = {
         let net = sim.state.net();
+        // Under the parallel executor every replica applies the same
+        // fault plan locally, so the witness loops in fail/restore would
+        // flood from every attached host in every replica. Only the
+        // owning logical process may *originate* packets for a host; the
+        // other replicas learn of the flood when its LSA envelopes arrive.
+        if !net.owns(origin) {
+            return;
+        }
         if !net.host(origin).up {
             return;
         }

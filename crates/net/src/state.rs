@@ -217,6 +217,10 @@ pub struct NetState {
     /// ([`crate::routing::mark_routes_dirty`]); pending creation attempts
     /// compare against it to detect stale candidate paths.
     pub route_generation: u64,
+    /// Logical-process context when this world runs as one shard replica
+    /// of a parallel run (`None` in ordinary serial execution). Boxed:
+    /// the serial hot path pays one pointer, not an outbox.
+    pub shard: Option<Box<crate::shard::ShardCtx>>,
     next_rms: u64,
     next_token: u64,
 }
@@ -235,8 +239,61 @@ impl NetState {
             stats: NetStats::default(),
             partitions: std::collections::BTreeSet::new(),
             route_generation: 0,
+            shard: None,
             next_rms: 1,
             next_token: 1,
+        }
+    }
+
+    /// Whether this world executes protocol activity for `host`.
+    ///
+    /// Always true in serial execution; under the parallel executor each
+    /// replica owns exactly one host and everything else is reached over
+    /// wire envelopes (see [`crate::shard`]).
+    #[inline]
+    pub fn owns(&self, host: HostId) -> bool {
+        match &self.shard {
+            None => true,
+            Some(s) => s.owner == host,
+        }
+    }
+
+    /// Switch this world into logical-process mode as `owner`'s replica.
+    ///
+    /// Three things must stop depending on global, cross-host execution
+    /// order for a partitioned run to merge byte-identically:
+    ///
+    /// * the wire RNG — re-seeded as a pure function of `(root_seed,
+    ///   owner)`, so each host's draw stream is the same no matter which
+    ///   other hosts' draws would have interleaved in a shared world;
+    /// * id allocation — rebased to the disjoint namespace
+    ///   `(owner + 1) << 40`, so RMS ids and tokens minted independently
+    ///   on different shards never collide;
+    /// * wire delivery — [`crate::pipeline`] diverts transmissions toward
+    ///   unowned hosts into the shard outbox instead of scheduling them.
+    pub fn enable_lp_mode(&mut self, owner: HostId, root_seed: u64) {
+        self.shard = Some(Box::new(crate::shard::ShardCtx {
+            owner,
+            outbox: Vec::new(),
+            out_seq: 0,
+        }));
+        self.rng = Rng::new(root_seed).fork(owner.0 as u64);
+        self.set_id_namespace((owner.0 as u64 + 1) << 40);
+    }
+
+    /// Rebase RMS-id and token allocation to start at `base`
+    /// (see [`NetState::enable_lp_mode`]).
+    pub fn set_id_namespace(&mut self, base: u64) {
+        self.next_rms = base;
+        self.next_token = base;
+    }
+
+    /// Drain the wire envelopes diverted toward other logical processes
+    /// since the last call. Empty (and allocation-free) in serial mode.
+    pub fn take_outbox(&mut self) -> Vec<crate::shard::WireEnvelope> {
+        match &mut self.shard {
+            Some(s) if !s.outbox.is_empty() => std::mem::take(&mut s.outbox),
+            _ => Vec::new(),
         }
     }
 

@@ -1,0 +1,134 @@
+//! Host-to-shard placement.
+//!
+//! A [`ShardPlan`] is a pure function from host id to shard index, fixed
+//! before the run. The default is a deterministic multiply-shift hash;
+//! workloads whose topology has cheap cut edges (e.g. LANs joined by a
+//! slow WAN) should override placement so only the high-latency networks
+//! span shards — the executor's epoch length is the minimum wire delay
+//! of any *spanning* network, so an aligned placement buys thousand-fold
+//! longer epochs. Placement never changes results, only wall-clock: the
+//! merged run is byte-identical under every plan (enforced by test).
+
+/// Which worker thread owns each host's logical process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: u32,
+    placement: Vec<u32>,
+}
+
+/// Fibonacci multiply-shift: deterministic, well-mixed, dependency-free.
+fn spread(host: u32) -> u64 {
+    (host as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
+}
+
+impl ShardPlan {
+    /// Place `hosts` hosts on `shards` shards by deterministic hash of
+    /// the host id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn hashed(hosts: u32, shards: u32) -> Self {
+        assert!(shards > 0, "a plan needs at least one shard");
+        ShardPlan {
+            shards,
+            placement: (0..hosts)
+                .map(|h| (spread(h) % shards as u64) as u32)
+                .collect(),
+        }
+    }
+
+    /// Explicit placement map: `placement[host] = shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or any entry names a shard out of range.
+    pub fn from_placement(shards: u32, placement: Vec<u32>) -> Self {
+        assert!(shards > 0, "a plan needs at least one shard");
+        assert!(
+            placement.iter().all(|&s| s < shards),
+            "placement names a shard out of range"
+        );
+        ShardPlan { shards, placement }
+    }
+
+    /// Group-aligned placement: hosts listed in `groups[g]` go to shard
+    /// `g % shards` (so co-grouped hosts — a LAN and its gateway — always
+    /// share a shard); hosts in no group fall back to the hash.
+    pub fn grouped(hosts: u32, shards: u32, groups: &[Vec<u32>]) -> Self {
+        let mut plan = ShardPlan::hashed(hosts, shards);
+        for (g, members) in groups.iter().enumerate() {
+            for &h in members {
+                plan.placement[h as usize] = (g % shards as usize) as u32;
+            }
+        }
+        plan
+    }
+
+    /// Number of shards (worker threads).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Number of hosts (logical processes).
+    pub fn hosts(&self) -> u32 {
+        self.placement.len() as u32
+    }
+
+    /// The shard owning `host`'s logical process.
+    #[inline]
+    pub fn shard_of(&self, host: u32) -> u32 {
+        self.placement[host as usize]
+    }
+
+    /// The hosts placed on `shard`, ascending.
+    pub fn hosts_on(&self, shard: u32) -> impl Iterator<Item = u32> + '_ {
+        self.placement
+            .iter()
+            .enumerate()
+            .filter(move |(_, &s)| s == shard)
+            .map(|(h, _)| h as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashed_is_deterministic_and_total() {
+        let a = ShardPlan::hashed(100, 4);
+        let b = ShardPlan::hashed(100, 4);
+        assert_eq!(a, b);
+        let mut counts = [0u32; 4];
+        for h in 0..100 {
+            counts[a.shard_of(h) as usize] += 1;
+        }
+        // Reasonably balanced: no shard empty, none hogging.
+        assert!(counts.iter().all(|&c| c >= 10), "lopsided: {counts:?}");
+    }
+
+    #[test]
+    fn grouped_keeps_groups_together() {
+        let groups = vec![vec![0, 1, 2, 9], vec![3, 4, 5], vec![6, 7, 8]];
+        let plan = ShardPlan::grouped(10, 2, &groups);
+        assert_eq!(plan.shard_of(0), plan.shard_of(9));
+        assert_eq!(plan.shard_of(3), plan.shard_of(5));
+        assert_eq!(plan.shard_of(0), 0);
+        assert_eq!(plan.shard_of(3), 1);
+        assert_eq!(plan.shard_of(6), 0); // group 2 wraps onto shard 0
+    }
+
+    #[test]
+    fn hosts_on_partitions_the_host_set() {
+        let plan = ShardPlan::hashed(37, 5);
+        let mut seen = [false; 37];
+        for s in 0..5 {
+            for h in plan.hosts_on(s) {
+                assert!(!seen[h as usize]);
+                seen[h as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -42,6 +42,24 @@ use crate::time::{SimDuration, SimTime};
 /// A scheduled action: a one-shot closure run at its scheduled instant.
 pub type Event<S> = Box<dyn FnOnce(&mut Sim<S>)>;
 
+/// Tie-break keys for [`Sim::schedule_arrival`] live above this bound;
+/// locally scheduled events use submission sequence numbers far below it.
+pub const ARRIVAL_KEY_BASE: u64 = 1 << 63;
+
+/// Bits of `arrival_key` reserved for the per-source sequence number.
+const ARRIVAL_SEQ_BITS: u32 = 40;
+
+/// The canonical tie-break key for a cross-engine arrival: orders
+/// co-timed arrivals by `(source host, per-source seq)` and after every
+/// co-timed local event. The per-source seq is masked to 40 bits —
+/// ample for any run, and keeping the source host in the high bits is
+/// what makes the order injection-independent.
+pub fn arrival_key(src_host: u32, src_seq: u64) -> u64 {
+    ARRIVAL_KEY_BASE
+        | ((src_host as u64) << ARRIVAL_SEQ_BITS)
+        | (src_seq & ((1 << ARRIVAL_SEQ_BITS) - 1))
+}
+
 /// The heap key for one scheduled action. `Copy` and small by design:
 /// sifting moves these, never the closures.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -244,6 +262,25 @@ impl<S> Sim<S> {
         self.queue.peek().map(|e| e.time)
     }
 
+    /// The time of the earliest *live* event, if any.
+    ///
+    /// Unlike [`Sim::peek_time`] this reaps cancelled timers and discards
+    /// stale heap heads first, so the answer is exact. The parallel
+    /// executor uses it to compute lookahead windows, where a dead head
+    /// would shrink an epoch for no reason (harmless) or, worse, hold the
+    /// global minimum at a time that never fires (livelock).
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.reap_cancelled();
+        loop {
+            let e = *self.queue.peek()?;
+            if self.board.borrow().gens[e.slot as usize] != e.gen {
+                self.queue.pop();
+                continue;
+            }
+            return Some(e.time);
+        }
+    }
+
     /// Claim a slot for `action`, returning `(slot, gen)`.
     fn alloc_slot(&mut self, action: Event<S>) -> (u32, u32) {
         let slot = match self.free.pop() {
@@ -354,6 +391,43 @@ impl<S> Sim<S> {
         }
     }
 
+    /// Schedule a cross-engine arrival at `at`, tie-broken by an explicit
+    /// `key` instead of a submission sequence number.
+    ///
+    /// The parallel executor injects envelopes from *other* engines with
+    /// this: the key (see [`arrival_key`]) has the top bit set, so at
+    /// equal times locally scheduled events (whose sequence numbers stay
+    /// far below `1 << 63`) always run first, and co-timed arrivals order
+    /// by `(source host, per-source seq)` — a total order that depends
+    /// only on what was sent, never on when or in which batch the
+    /// envelope was injected. No submission seq is consumed and no
+    /// schedule jitter is applied, so injection leaves the local event
+    /// stream byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_arrival(
+        &mut self,
+        at: SimTime,
+        key: u64,
+        action: impl FnOnce(&mut Sim<S>) + 'static,
+    ) {
+        assert!(
+            at >= self.now,
+            "cannot schedule arrival in the past: {at} < now {}",
+            self.now
+        );
+        debug_assert!(key >= ARRIVAL_KEY_BASE, "arrival keys must set the top bit");
+        let (slot, gen) = self.alloc_slot(Box::new(action));
+        self.queue.push(Entry {
+            time: at,
+            seq: key,
+            slot,
+            gen,
+        });
+    }
+
     /// Pop heap entries until one refers to a live action; returns it with
     /// its closure, already detached from the slab.
     fn pop_live(&mut self) -> Option<(SimTime, Event<S>)> {
@@ -414,6 +488,33 @@ impl<S> Sim<S> {
         }
         if until > self.now {
             self.now = until;
+        }
+    }
+
+    /// Run every live event strictly *before* `horizon`, then set the
+    /// clock to `horizon`.
+    ///
+    /// This is the epoch step of the conservative parallel executor
+    /// (`dash::par`): the bound is exclusive — an event at exactly
+    /// `horizon` stays pending — so cross-engine arrivals timed
+    /// `>= horizon` may still be injected afterwards (via
+    /// [`Sim::schedule_arrival`]) without ever scheduling into the past.
+    pub fn run_until_horizon(&mut self, horizon: SimTime) {
+        loop {
+            self.reap_cancelled();
+            match self.queue.peek() {
+                Some(e) if e.time < horizon => {
+                    if self.board.borrow().gens[e.slot as usize] != e.gen {
+                        self.queue.pop();
+                        continue;
+                    }
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if horizon > self.now {
+            self.now = horizon;
         }
     }
 
@@ -595,5 +696,68 @@ mod tests {
         sim.run();
         assert_eq!(sim.state, 100);
         assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn run_until_horizon_is_exclusive() {
+        let mut sim = Sim::new(Vec::new());
+        let t = SimTime::from_nanos(1_000);
+        sim.schedule_at(t, |s| s.state.push("at"));
+        sim.schedule_at(SimTime::from_nanos(999), |s| s.state.push("before"));
+        sim.run_until_horizon(t);
+        assert_eq!(sim.state, vec!["before"]);
+        assert_eq!(sim.now(), t, "the clock still advances to the horizon");
+        // The event at exactly the horizon is pending, not lost.
+        sim.run_until_horizon(SimTime::from_nanos(1_001));
+        assert_eq!(sim.state, vec!["before", "at"]);
+    }
+
+    #[test]
+    fn next_event_time_skips_dead_heads() {
+        let mut sim = Sim::new(0u64);
+        let h = sim.schedule_timer(SimDuration::from_nanos(10), |s| s.state += 1);
+        sim.schedule_in(SimDuration::from_nanos(20), |s| s.state += 2);
+        h.cancel();
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_nanos(20)));
+    }
+
+    /// The load-bearing property of keyed arrivals: at equal times, pop
+    /// order is `(local events) < (arrivals by (src, seq))` regardless of
+    /// the order or batching in which the arrivals were injected.
+    #[test]
+    fn keyed_arrivals_order_canonically() {
+        let t = SimTime::from_nanos(500);
+        let run = |inject_order: &[(u32, u64)]| {
+            let mut sim = Sim::new(Vec::new());
+            sim.schedule_at(t, |s| s.state.push((u32::MAX, 0)));
+            for &(src, seq) in inject_order {
+                sim.schedule_arrival(t, arrival_key(src, seq), move |s| {
+                    s.state.push((src, seq));
+                });
+            }
+            sim.run();
+            sim.state
+        };
+        let a = run(&[(2, 0), (1, 1), (1, 0)]);
+        let b = run(&[(1, 0), (1, 1), (2, 0)]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(u32::MAX, 0), (1, 0), (1, 1), (2, 0)]);
+    }
+
+    /// Injection never consumes a submission seq or jitter draw, so the
+    /// local schedule is byte-identical with or without arrivals mixed in.
+    #[test]
+    fn arrivals_leave_local_seq_stream_untouched() {
+        let local = |with_arrival: bool| {
+            let mut sim = Sim::new(Vec::new());
+            sim.schedule_in(SimDuration::from_nanos(10), |s| s.state.push(1));
+            if with_arrival {
+                sim.schedule_arrival(SimTime::from_nanos(5), arrival_key(3, 0), |_| {});
+            }
+            sim.schedule_in(SimDuration::from_nanos(10), |s| s.state.push(2));
+            sim.run();
+            sim.state
+        };
+        assert_eq!(local(false), local(true));
     }
 }

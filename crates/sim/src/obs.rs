@@ -925,6 +925,53 @@ impl MetricRegistry {
         out
     }
 
+    /// Fold `other` into this registry, deterministically.
+    ///
+    /// The parallel executor keeps one registry per logical process and
+    /// merges them in canonical (host-id) order after the run: counters
+    /// add, gauges take the later write (so the highest-id process wins —
+    /// a fixed rule, not a race), and histograms concatenate their sample
+    /// vectors in merge order. Merging the shard-local registries of a
+    /// P-way run therefore yields byte-identical [`Self::to_json_lines`]
+    /// output to the 1-way run of the same scenario.
+    pub fn merge_from(&mut self, other: &MetricRegistry) {
+        for (mine, theirs) in self.event_counts.iter_mut().zip(&other.event_counts) {
+            mine.add(theirs.get());
+        }
+        for (mine, theirs) in self.derived_counts.iter_mut().zip(&other.derived_counts) {
+            mine.add(theirs.get());
+        }
+        for (rms, (name, c)) in &other.late_by_rms {
+            self.late_by_rms
+                .entry(*rms)
+                .or_insert_with(|| (name.clone(), Counter::new()))
+                .1
+                .add(c.get());
+        }
+        for (kind, (name, c)) in &other.fault_by_kind {
+            self.fault_by_kind
+                .entry(kind.clone())
+                .or_insert_with(|| (name.clone(), Counter::new()))
+                .1
+                .add(c.get());
+        }
+        for (mine, theirs) in self.fast_hists.iter_mut().zip(&other.fast_hists) {
+            mine.merge_from(theirs);
+        }
+        for (name, c) in &other.counters {
+            self.counters.entry(name.clone()).or_default().add(c.get());
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge_from(h);
+        }
+    }
+
     /// Record the registry-side effects of one event. Pure slot arithmetic:
     /// the only allocations left are the first sighting of a fault kind or
     /// a late RMS, and the first write to each gauge name.
@@ -1353,6 +1400,15 @@ impl Obs {
     /// Open spans discarded because the tracker was full.
     pub fn spans_dropped(&self) -> u64 {
         self.tracker.dropped
+    }
+
+    /// Rebase span-id allocation to start at `base`.
+    ///
+    /// The parallel executor gives each logical process a disjoint id
+    /// namespace (`(host + 1) << 40`), so span ids minted independently
+    /// on different shards never collide when their event streams merge.
+    pub fn set_span_namespace(&mut self, base: u64) {
+        self.next_span = base;
     }
 
     /// Allocate a fresh span id, or `None` while inactive — so an idle run

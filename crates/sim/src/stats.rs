@@ -182,6 +182,26 @@ impl Histogram {
         self.quantile(1.0)
     }
 
+    /// The raw samples, in their current internal order (record order
+    /// until the first quantile query sorts them in place).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Append every sample of `other`, in `other`'s current order.
+    ///
+    /// Used by the parallel executor's deterministic registry merge:
+    /// shard-local histograms concatenate in canonical shard order, so
+    /// the merged sample vector — and every statistic derived from it —
+    /// is a pure function of the run, not of thread scheduling.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Fraction of samples strictly greater than `threshold`.
     pub fn fraction_above(&self, threshold: f64) -> f64 {
         if self.samples.is_empty() {

@@ -22,7 +22,7 @@ use rms_core::wire::WireMsg;
 
 use dash_security::mac;
 
-use crate::frag::{fragment, Reassembly};
+use crate::frag::{fragment, FragSpec, Reassembly};
 use crate::ids::{StRmsId, StToken};
 use crate::piggyback::{PendingEntry, PiggybackQueue, PushOutcome};
 use crate::st::{
@@ -456,16 +456,27 @@ pub fn send<W: StWorld>(
         st_rms.0,
         Box::new(move |sim| {
             dispatch_send(
-                sim, host, peer, slot, st_rms, st_params, fast_ack, seq, msg, now,
+                sim,
+                SendJob {
+                    host,
+                    peer,
+                    slot,
+                    st_rms,
+                    st_params,
+                    fast_ack,
+                    seq,
+                    msg,
+                    sent_at: now,
+                },
             );
         }),
     );
     Ok(seq)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn dispatch_send<W: StWorld>(
-    sim: &mut Sim<W>,
+/// Everything `send` resolves before the CPU charge that the deferred
+/// dispatch needs again once the protocol processor gets to it.
+struct SendJob {
     host: HostId,
     peer: HostId,
     slot: u32,
@@ -475,7 +486,20 @@ fn dispatch_send<W: StWorld>(
     seq: u64,
     msg: Message,
     sent_at: SimTime,
-) {
+}
+
+fn dispatch_send<W: StWorld>(sim: &mut Sim<W>, job: SendJob) {
+    let SendJob {
+        host,
+        peer,
+        slot,
+        st_rms,
+        st_params,
+        fast_ack,
+        seq,
+        msg,
+        sent_at,
+    } = job;
     let now = sim.now();
     // The slot (and its network parameters) may have vanished meanwhile.
     let (net_params, net_rms) = {
@@ -525,15 +549,17 @@ fn dispatch_send<W: StWorld>(
         let header = (frame_len - len) + 8;
         let chunk = (net_mms.saturating_sub(header)).max(1) as usize;
         let frames = fragment(
-            st_rms,
-            seq,
+            &FragSpec {
+                st_rms,
+                seq,
+                sent_at,
+                fast_ack,
+                source,
+                target,
+                span,
+            },
             &payload_wire,
             chunk,
-            sent_at,
-            fast_ack,
-            source,
-            target,
-            span,
         );
         let max_deadline = tx_max_deadline(now, &st_params, &net_params, len);
         let deadline = clamp_stream_deadline(sim, host, st_rms, max_deadline);

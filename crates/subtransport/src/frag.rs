@@ -155,6 +155,28 @@ impl Reassembly {
     }
 }
 
+/// The per-message frame fields every fragment of one message shares —
+/// a [`DataFrame`] minus the per-fragment `frag` index and `payload`
+/// view, which [`fragment`] fills in.
+#[derive(Debug, Clone, Copy)]
+pub struct FragSpec {
+    /// The ST stream the message belongs to.
+    pub st_rms: crate::ids::StRmsId,
+    /// The message's per-stream sequence number.
+    pub seq: u64,
+    /// The sender-side `send` call time.
+    pub sent_at: SimTime,
+    /// Fast-ack request; rides only the last fragment, where delivery
+    /// completes.
+    pub fast_ack: bool,
+    /// Sender identity label.
+    pub source: Option<Label>,
+    /// Receiver identity label.
+    pub target: Option<Label>,
+    /// Observability span carried end to end.
+    pub span: Option<u64>,
+}
+
 /// Split a payload into fragment frames of at most `chunk` payload bytes.
 /// Each fragment's payload is a zero-copy sub-view of `payload`'s
 /// segments.
@@ -162,18 +184,7 @@ impl Reassembly {
 /// # Panics
 ///
 /// Panics if `chunk == 0`.
-#[allow(clippy::too_many_arguments)] // mirrors the DataFrame field set
-pub fn fragment(
-    st_rms: crate::ids::StRmsId,
-    seq: u64,
-    payload: &WireMsg,
-    chunk: usize,
-    sent_at: SimTime,
-    fast_ack: bool,
-    source: Option<Label>,
-    target: Option<Label>,
-    span: Option<u64>,
-) -> Vec<DataFrame> {
+pub fn fragment(spec: &FragSpec, payload: &WireMsg, chunk: usize) -> Vec<DataFrame> {
     assert!(chunk > 0, "fragment chunk must be positive");
     let count = payload.len().div_ceil(chunk).max(1) as u32;
     let mut out = Vec::with_capacity(count as usize);
@@ -181,16 +192,16 @@ pub fn fragment(
         let start = i as usize * chunk;
         let end = (start + chunk).min(payload.len());
         out.push(DataFrame {
-            st_rms,
-            seq,
+            st_rms: spec.st_rms,
+            seq: spec.seq,
             frag: Some(FragInfo { index: i, count }),
-            sent_at,
+            sent_at: spec.sent_at,
             // Only the last fragment asks for the ack: delivery completes
             // there.
-            fast_ack: fast_ack && i + 1 == count,
-            source,
-            target,
-            span,
+            fast_ack: spec.fast_ack && i + 1 == count,
+            source: spec.source,
+            target: spec.target,
+            span: spec.span,
             payload: payload.slice(start, end),
         });
     }
@@ -203,20 +214,29 @@ mod tests {
     use crate::ids::StRmsId;
     use bytes::Bytes;
 
+    fn spec(seq: u64) -> FragSpec {
+        FragSpec {
+            st_rms: StRmsId(1),
+            seq,
+            sent_at: SimTime::ZERO,
+            fast_ack: false,
+            source: None,
+            target: None,
+            span: None,
+        }
+    }
+
     fn frames(seq: u64, n_frags: u32, frag_len: usize) -> Vec<DataFrame> {
         let total: Vec<u8> = (0..(n_frags as usize * frag_len))
             .map(|i| (i % 251) as u8)
             .collect();
         fragment(
-            StRmsId(1),
-            seq,
+            &FragSpec {
+                sent_at: SimTime::from_nanos(5),
+                ..spec(seq)
+            },
             &WireMsg::from(total),
             frag_len,
-            SimTime::from_nanos(5),
-            false,
-            None,
-            None,
-            None,
         )
     }
 
@@ -235,17 +255,7 @@ mod tests {
     #[test]
     fn fragment_uneven_tail() {
         let payload = WireMsg::from(vec![1u8; 250]);
-        let fs = fragment(
-            StRmsId(1),
-            0,
-            &payload,
-            100,
-            SimTime::ZERO,
-            false,
-            None,
-            None,
-            None,
-        );
+        let fs = fragment(&spec(0), &payload, 100);
         assert_eq!(fs.len(), 3);
         assert_eq!(fs[2].payload.len(), 50);
     }
@@ -271,17 +281,7 @@ mod tests {
     #[test]
     fn reassembly_recovers_original_view_without_copying() {
         let body = Bytes::from((0u8..=255).collect::<Vec<u8>>());
-        let fs = fragment(
-            StRmsId(1),
-            0,
-            &WireMsg::from_bytes(body.clone()),
-            100,
-            SimTime::ZERO,
-            false,
-            None,
-            None,
-            None,
-        );
+        let fs = fragment(&spec(0), &WireMsg::from_bytes(body.clone()), 100);
         assert_eq!(fs.len(), 3);
         let mut r = Reassembly::new();
         r.push(fs[0].clone());
@@ -302,17 +302,7 @@ mod tests {
         // with either side, but the payload must still be byte-identical
         // to the original message.
         let body = Bytes::from((0u8..=255).collect::<Vec<u8>>());
-        let fs = fragment(
-            StRmsId(1),
-            9,
-            &WireMsg::from_bytes(body.clone()),
-            100,
-            SimTime::ZERO,
-            false,
-            None,
-            None,
-            None,
-        );
+        let fs = fragment(&spec(9), &WireMsg::from_bytes(body.clone()), 100);
         assert_eq!(fs.len(), 3);
         let mut retx = fs[1].clone();
         retx.payload = WireMsg::from(fs[1].payload.contiguous().to_vec());
@@ -337,15 +327,12 @@ mod tests {
     fn single_fragment_message_completes_immediately() {
         let payload = WireMsg::from(vec![9u8; 10]);
         let fs = fragment(
-            StRmsId(1),
-            3,
+            &FragSpec {
+                fast_ack: true,
+                ..spec(3)
+            },
             &payload,
             100,
-            SimTime::ZERO,
-            true,
-            None,
-            None,
-            None,
         );
         assert_eq!(fs.len(), 1);
         let mut r = Reassembly::new();
@@ -394,15 +381,12 @@ mod tests {
     fn fast_ack_only_on_last_fragment() {
         let payload = WireMsg::from(vec![0u8; 300]);
         let fs = fragment(
-            StRmsId(1),
-            0,
+            &FragSpec {
+                fast_ack: true,
+                ..spec(0)
+            },
             &payload,
             100,
-            SimTime::ZERO,
-            true,
-            None,
-            None,
-            None,
         );
         assert_eq!(fs.len(), 3);
         assert!(!fs[0].fast_ack && !fs[1].fast_ack && fs[2].fast_ack);
@@ -412,15 +396,14 @@ mod tests {
     fn labels_survive_reassembly() {
         let payload = WireMsg::from(vec![0u8; 200]);
         let fs = fragment(
-            StRmsId(1),
-            0,
+            &FragSpec {
+                sent_at: SimTime::from_nanos(42),
+                source: Some(Label(5)),
+                target: Some(Label(6)),
+                ..spec(0)
+            },
             &payload,
             100,
-            SimTime::from_nanos(42),
-            false,
-            Some(Label(5)),
-            Some(Label(6)),
-            None,
         );
         let mut r = Reassembly::new();
         r.push(fs[0].clone());
@@ -432,17 +415,7 @@ mod tests {
 
     #[test]
     fn empty_payload_fragments_to_one() {
-        let fs = fragment(
-            StRmsId(1),
-            0,
-            &WireMsg::new(),
-            100,
-            SimTime::ZERO,
-            false,
-            None,
-            None,
-            None,
-        );
+        let fs = fragment(&spec(0), &WireMsg::new(), 100);
         assert_eq!(fs.len(), 1);
         assert_eq!(fs[0].frag.unwrap().count, 1);
     }

@@ -362,6 +362,16 @@ impl StState {
         &mut self.hosts[id.0 as usize]
     }
 
+    /// Rebase ST RMS-id and token allocation to start at `base`.
+    ///
+    /// The parallel executor gives each logical process the disjoint
+    /// namespace `(owner + 1) << 40`, so ids minted independently on
+    /// different shards never collide when their streams interact.
+    pub fn set_id_namespace(&mut self, base: u64) {
+        self.next_st_rms = base;
+        self.next_token = base;
+    }
+
     /// Allocate a globally unique ST RMS id.
     pub fn alloc_st_rms(&mut self) -> StRmsId {
         let id = StRmsId(self.next_st_rms);

@@ -281,6 +281,13 @@ impl RkomState {
         }
     }
 
+    /// Rebase call-id allocation to start at `base` (disjoint per
+    /// logical process under the parallel executor; see
+    /// [`crate::stack::Stack::enable_lp_mode`]).
+    pub fn set_id_namespace(&mut self, base: u64) {
+        self.next_call = base;
+    }
+
     /// Access a host's RKOM state.
     pub fn host(&self, id: HostId) -> &RkomHost {
         &self.hosts[id.0 as usize]

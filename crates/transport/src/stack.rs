@@ -221,6 +221,25 @@ impl Stack {
         self.stream.host_mut(host).install_tap(Box::new(tap));
     }
 
+    /// Switch this world into logical-process mode as `owner`'s replica
+    /// for the conservative parallel executor (`dash::par`).
+    ///
+    /// Must be called on a freshly built stack, before any events run.
+    /// It re-seeds the wire RNG as a pure function of `(root_seed,
+    /// owner)` and rebases every global id counter (network RMS ids and
+    /// tokens, ST RMS ids and tokens, stream sessions, RKOM calls, obs
+    /// span ids) to the disjoint namespace `(owner + 1) << 40`, so ids
+    /// minted independently by different logical processes never collide
+    /// when their packets and event streams meet.
+    pub fn enable_lp_mode(&mut self, owner: HostId, root_seed: u64) {
+        let base = (owner.0 as u64 + 1) << 40;
+        self.net.enable_lp_mode(owner, root_seed);
+        self.net.obs.set_span_namespace(base);
+        self.st.set_id_namespace(base);
+        self.stream.set_id_namespace(base);
+        self.rkom.set_id_namespace(base);
+    }
+
     /// Deliver an [`AppEvent`] through the tap (reentrancy-safe).
     pub fn fire_app_event(sim: &mut Sim<Stack>, event: AppEvent) {
         if let Some(mut tap) = sim.state.app_tap.take() {

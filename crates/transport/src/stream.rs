@@ -487,6 +487,13 @@ impl StreamState {
         }
     }
 
+    /// Rebase session-id allocation to start at `base` (disjoint per
+    /// logical process under the parallel executor; see
+    /// [`crate::stack::Stack::enable_lp_mode`]).
+    pub fn set_id_namespace(&mut self, base: u64) {
+        self.next_session = base;
+    }
+
     /// Access a host's sessions.
     pub fn host(&self, id: HostId) -> &StreamHost {
         &self.hosts[id.0 as usize]

@@ -150,3 +150,98 @@ for topo in ("dumbbell", "mesh"):
               f"(baseline {ba})")
 sys.exit(0 if ok else 1)
 EOF
+
+# --- e12_pscale: parallel-executor equivalence + scaling gate -----------
+# The executor's contract is absolute (every shard count produces the
+# same events and the same determinism digest — the binary itself exits
+# non-zero on divergence), so those are gated unconditionally. The
+# *speedup* floor is physics, not correctness: it only applies when the
+# machine actually has the cores to express it, and is skipped (loudly)
+# on smaller machines such as 1-core CI runners.
+PSCALE_BASELINE_FILE="BENCH_pscale.json"
+PSCALE_MIN_SPEEDUP="${PSCALE_MIN_SPEEDUP:-1.3}"
+
+if [[ ! -f "$PSCALE_BASELINE_FILE" ]]; then
+    echo "check_bench: no $PSCALE_BASELINE_FILE baseline; skipping pscale gate" >&2
+    exit 0
+fi
+
+fresh_pscale="$(mktemp)"
+trap 'rm -f "$fresh_json" "$fresh_routing" "$fresh_pscale"' EXIT
+cargo run --release -q -p dash-bench --bin e12_pscale -- "--$CONFIG" --label fresh --json "$fresh_pscale"
+
+python3 - "$PSCALE_BASELINE_FILE" "$fresh_pscale" "$CONFIG" "$ALLOC_SLACK" "$PSCALE_MIN_SPEEDUP" <<'EOF'
+import json, sys
+
+baseline_file, fresh_file, config, alloc_slack, min_speedup = sys.argv[1:6]
+alloc_slack, min_speedup = float(alloc_slack), float(min_speedup)
+
+base_doc = json.load(open(baseline_file))
+fresh_doc = json.load(open(fresh_file))
+base_runs = [r for r in base_doc["runs"] if r.get("config") == config]
+fresh_runs = [r for r in fresh_doc["runs"] if r.get("config") == config]
+if not base_runs:
+    print(f"check_bench: no committed '{config}' pscale baseline; skipping")
+    sys.exit(0)
+
+ok = True
+
+# 1. All fresh shard counts must agree with each other: same events,
+#    same digest. (The binary already enforces this; re-check the JSON.)
+digests = {(r["events"], r["digest_hash"]) for r in fresh_runs}
+if len(digests) != 1:
+    ok = False
+    print(f"check_bench[pscale]: FAIL — shard counts disagree: {sorted(digests)}")
+else:
+    ev, dig = digests.pop()
+    print(f"check_bench[pscale]: {len(fresh_runs)} shard counts agree — "
+          f"events {ev}, digest {dig}")
+
+# 2. The fresh serial run must exactly reproduce the committed workload
+#    (deterministic counts; drift = behaviour change, never noise).
+base1 = next(r for r in base_runs if r["shards"] == 1)
+fresh1 = next(r for r in fresh_runs if r["shards"] == 1)
+GATED = ("events", "messages", "streams_opened", "open_failed",
+         "rpc_completed", "faults_injected", "oracle_violations")
+drift = [(k, base1[k], fresh1[k]) for k in GATED if base1[k] != fresh1[k]]
+for k, bv, fv in drift:
+    ok = False
+    print(f"check_bench[pscale]: FAIL — {k} drifted {bv} -> {fv}")
+
+# 3. allocs/event is deterministic at 1 shard only (mailbox growth order
+#    wobbles it at P>1); same collapse-only gate as e10.
+ba, fa = base1.get("allocs_per_event"), fresh1.get("allocs_per_event")
+if ba is None:
+    print("check_bench[pscale]: baseline predates allocs_per_event; skipping alloc gate")
+elif fa > ba * alloc_slack:
+    ok = False
+    print(f"check_bench[pscale]: FAIL — allocs/event regressed "
+          f"{ba} -> {fa} (> {alloc_slack:.2f}x)")
+else:
+    print(f"check_bench[pscale]: allocs/event {fa} (baseline {ba})")
+
+# 4. Speedup floor at 4 shards — only meaningful with >= 4 real cores.
+cores = fresh_doc.get("cores", 1)
+fresh4 = next((r for r in fresh_runs if r["shards"] == 4), None)
+if fresh4 is None:
+    print("check_bench[pscale]: no 4-shard entry; skipping speedup gate")
+elif cores < 4:
+    print(f"check_bench[pscale]: {cores} core(s) — speedup floor needs >= 4, "
+          f"skipping (measured {fresh4['speedup']:.2f}x at 4 shards)")
+elif fresh4["speedup"] < min_speedup:
+    ok = False
+    print(f"check_bench[pscale]: FAIL — speedup {fresh4['speedup']:.2f}x at "
+          f"4 shards on {cores} cores (floor {min_speedup:.2f}x)")
+else:
+    print(f"check_bench[pscale]: speedup {fresh4['speedup']:.2f}x at 4 shards "
+          f"on {cores} cores (floor {min_speedup:.2f}x)")
+
+sys.exit(0 if ok else 1)
+EOF
+
+# --- e12 semantic-oracle gate -------------------------------------------
+# Separate invocation for the same reason as e10: oracle bookkeeping
+# would skew allocs_per_event. Exits non-zero on any violation.
+echo "check_bench[oracle]: e12_pscale --ci --oracle"
+cargo run --release -q -p dash-bench --bin e12_pscale -- --ci --oracle --label oracle >/dev/null
+echo "check_bench[pscale]: oracle clean at 1/2/4 shards"

@@ -31,6 +31,20 @@ if ! timeout 30 cargo test --test explore -q -- \
     exit 1
 fi
 
+# Parallel-executor smoke: the conservative executor's unit tests, then
+# a time-boxed 2-shard run of the e12 CI workload with the semantic
+# oracle attached (exits non-zero on any violation of the merged event
+# stream). Shard-vs-serial digest equality is enforced separately by
+# tests/determinism.rs above and by check_bench.sh's full scan below.
+cargo test -q -p dash-par
+if ! timeout 120 cargo run --release -q -p dash-bench --bin e12_pscale -- \
+        --ci --shards 2 --oracle --label smoke >/dev/null; then
+    echo "verify: e12 2-shard smoke FAILED (oracle violation or exceeded" >&2
+    echo "verify: its 120 s box) — reproduce with"                        >&2
+    echo "verify:   cargo run -p dash-bench --bin e12_pscale -- --ci --shards 2 --oracle" >&2
+    exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -7,6 +7,7 @@ pub use dash_apps as apps;
 pub use dash_baseline as baseline;
 pub use dash_check as check;
 pub use dash_net as net;
+pub use dash_par as par;
 pub use dash_security as security;
 pub use dash_sim as sim;
 pub use dash_subtransport as subtransport;
@@ -28,6 +29,7 @@ pub use rms_core as core;
 pub mod prelude {
     pub use dash_net::fault::{apply_fault, crash_host, restart_host, schedule_fault_plan};
     pub use dash_net::ids::{HostId, NetRmsId, NetworkId};
+    pub use dash_par::{run_sharded, ParConfig, ShardPlan, StackLp};
     pub use dash_sim::engine::Sim;
     pub use dash_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, GilbertElliott};
     pub use dash_sim::obs::{

@@ -11,6 +11,7 @@
 mod common;
 
 use common::assert_replays;
+use dash_bench::e_pscale::{run_pscale, PscaleParams};
 use dash_bench::e_routing::{run_routing, RoutingParams};
 use dash_bench::e_scale::{run_scale, ScaleParams};
 
@@ -111,4 +112,65 @@ fn e11_mesh_replay_is_byte_identical() {
         |o| o.determinism_digest(),
     );
     assert!(first.floods > 0 && first.recomputes > 0);
+}
+
+/// Run the e12 workload at each shard count and demand the merged
+/// digests (trace dump, registry dump, every deterministic scalar) are
+/// byte-identical. The 1-shard run is the serial reference; equality at
+/// 2 and 4 shards is the parallel executor's core contract.
+fn pscale_digests(mut params: PscaleParams) -> dash_bench::e_pscale::PscaleOutcome {
+    params.shards = 1;
+    let serial = run_pscale(&params);
+    let reference = serial.determinism_digest();
+    for shards in [2, 4] {
+        params.shards = shards;
+        let par = run_pscale(&params);
+        assert_eq!(
+            reference,
+            par.determinism_digest(),
+            "e12 diverged at {shards} shards (serial {} vs parallel {} events)",
+            serial.events,
+            par.events,
+        );
+    }
+    serial
+}
+
+/// e10-flavoured golden: the scaled multi-LAN workload (voice pacing,
+/// bulk flow control, RKOM calls, churn waves, the mid-run fault drill —
+/// whose dark LAN and victim crash cross shard boundaries at 2 and 4
+/// shards) produces byte-identical traces at shards = 1, 2, 4.
+#[test]
+fn e12_scale_workload_identical_at_1_2_4_shards() {
+    let first = pscale_digests(PscaleParams::ci());
+    assert!(
+        first.streams_opened > 15,
+        "{} streams",
+        first.streams_opened
+    );
+    assert!(first.messages > 500, "only {} messages", first.messages);
+    assert_eq!(first.faults_injected, 4, "the drill must actually run");
+    assert!(first.rpc_completed > 10, "only {} rpc", first.rpc_completed);
+    assert!(
+        !first.trace_dump.is_empty(),
+        "CI size must record the network trace"
+    );
+}
+
+/// e11-flavoured golden: the WAN-outage variant (primary corridor goes
+/// dark mid-run, traffic re-homes over the backup WAN path) replays
+/// byte-identically at shards = 1, 2, 4 — reconvergence is deterministic
+/// under partitioning too.
+#[test]
+fn e12_routing_workload_identical_at_1_2_4_shards() {
+    let first = pscale_digests(PscaleParams::routing_ci());
+    assert!(
+        first.streams_opened > 15,
+        "{} streams",
+        first.streams_opened
+    );
+    assert!(
+        first.faults_injected > 0,
+        "the WAN outage must actually fire"
+    );
 }

@@ -8,7 +8,7 @@ use dash::core::delay::{DelayBound, DelayBoundKind, StatisticalSpec};
 use dash::core::params::{BitErrorRate, Reliability, RmsParams, SecurityParams};
 use dash::core::wire::WireMsg;
 use dash::sim::time::{SimDuration, SimTime};
-use dash::subtransport::frag::{fragment, Reassembly};
+use dash::subtransport::frag::{fragment, FragSpec, Reassembly};
 use dash::subtransport::ids::StRmsId;
 use dash::subtransport::piggyback::{PendingEntry, PiggybackQueue, PushOutcome};
 use dash::subtransport::wire::{self, DataFrame, Frame};
@@ -246,7 +246,16 @@ proptest! {
         chunk in 1usize..2048,
     ) {
         let bytes = WireMsg::from_bytes(Bytes::from(payload.clone()));
-        let frames = fragment(StRmsId(1), 3, &bytes, chunk, SimTime::ZERO, false, None, None, None);
+        let spec = FragSpec {
+            st_rms: StRmsId(1),
+            seq: 3,
+            sent_at: SimTime::ZERO,
+            fast_ack: false,
+            source: None,
+            target: None,
+            span: None,
+        };
+        let frames = fragment(&spec, &bytes, chunk);
         let mut r = Reassembly::new();
         let mut out = None;
         for f in frames {
