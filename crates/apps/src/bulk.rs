@@ -16,6 +16,8 @@ use crate::taps::{Dispatcher, SessionEvent};
 /// A bulk transfer in progress / completed.
 #[derive(Debug)]
 pub struct BulkStats {
+    /// The stream session carrying the transfer (0 if open failed).
+    pub session: u64,
     /// Total payload bytes to move.
     pub total_bytes: u64,
     /// Bytes offered to the send port so far.
@@ -61,6 +63,7 @@ pub fn start_bulk(
     profile: StreamProfile,
 ) -> Rc<RefCell<BulkStats>> {
     let stats = Rc::new(RefCell::new(BulkStats {
+        session: 0,
         total_bytes,
         offered_bytes: 0,
         delivered_bytes: 0,
@@ -75,6 +78,7 @@ pub fn start_bulk(
             return stats;
         }
     };
+    stats.borrow_mut().session = session;
     // Receiver: count, consume, finish. The endpoints are known here, so
     // the handlers capture them instead of scanning every host per event.
     let st2 = Rc::clone(&stats);

@@ -1,0 +1,120 @@
+//! Run the e13 macro-workload on the real-time backend and emit its
+//! wall-clock numbers.
+//!
+//! ```text
+//! cargo run -p dash-bench --release --bin e13_rt                   # bench size (~2.5 s wall)
+//! cargo run -p dash-bench --release --bin e13_rt -- --ci           # CI smoke (~1.5 s wall)
+//! cargo run -p dash-bench --release --bin e13_rt -- --loss 20      # 2% best-effort loss
+//! cargo run -p dash-bench --release --bin e13_rt -- --json out.json --label after
+//! ```
+//!
+//! The run is *paced*: virtual time maps 1:1 onto the wall clock, so the
+//! binary costs about `duration + grace` of real time. Exit is non-zero
+//! when the semantic oracle reports any violation or the run hits the
+//! wall-clock backstop instead of stopping cleanly — those are the two
+//! gate-worthy facts of a real-time run. Event/message counts are *not*
+//! deterministic here (real carriage timing feeds back into the
+//! schedule); `check_bench.sh` holds them to a generous band against the
+//! committed `BENCH_rt.json` baseline.
+
+use dash_bench::e_rt::{run_rt_scale, RtParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = "bench";
+    let mut label = String::from("run");
+    let mut json_path: Option<String> = None;
+    let mut loss: Option<u32> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ci" => config = "ci",
+            "--bench" => config = "bench",
+            "--loss" => {
+                i += 1;
+                loss = args.get(i).and_then(|s| s.parse().ok());
+                if loss.is_none() {
+                    eprintln!("--loss needs a per-mille integer (e.g. 20 = 2%)");
+                    std::process::exit(2);
+                }
+            }
+            "--label" => {
+                i += 1;
+                label = args.get(i).cloned().unwrap_or_default();
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mut params = match config {
+        "ci" => RtParams::ci(),
+        _ => RtParams::bench(),
+    };
+    if let Some(l) = loss {
+        params.loss_per_mille = l;
+    }
+    eprintln!(
+        "e13_rt [{config}]: {} hosts, {:.1} s virtual paced onto the wall clock, loss {}‰",
+        params.total_hosts(),
+        (params.duration.as_nanos() + params.grace.as_nanos()) as f64 / 1e9,
+        params.loss_per_mille,
+    );
+
+    let o = run_rt_scale(&params);
+    eprintln!(
+        "e13_rt [{config}]: {} events in {:.2} s wall ({:.2} s virtual), {} msgs \
+         ({:.0}/s), {} opened, {} failed, voice on-time {:.1}%, {} rpc, \
+         {} misses (rate {:.4}, max lag {:.2} ms), carried {}/{} dropped {}, stop {}",
+        o.events,
+        o.wall_secs,
+        o.sim_secs,
+        o.messages,
+        o.msgs_per_sec(),
+        o.streams_opened,
+        o.open_failed,
+        o.voice_on_time * 100.0,
+        o.rpc_completed,
+        o.deadline_misses,
+        o.miss_rate(),
+        o.max_lag_ms,
+        o.injected,
+        o.transmitted,
+        o.substrate_dropped,
+        o.stop,
+    );
+
+    let doc = format!(
+        "{{\n \"experiment\": \"e13_rt\",\n \"runs\": [\n  {}\n ]\n}}",
+        o.to_json(&label, config)
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{doc}\n")).expect("write json");
+            eprintln!("e13_rt: wrote {path}");
+        }
+        None => println!("{doc}"),
+    }
+
+    if o.oracle_violations > 0 {
+        eprintln!(
+            "e13_rt: ORACLE FAILED — {} violation(s):",
+            o.oracle_violations
+        );
+        for line in &o.oracle_detail {
+            eprintln!("  {line}");
+        }
+        std::process::exit(1);
+    }
+    if !o.clean_stop() {
+        eprintln!("e13_rt: FAIL — hit the wall-clock backstop with work outstanding");
+        std::process::exit(1);
+    }
+    eprintln!("e13_rt: oracle clean, stop {}", o.stop);
+}

@@ -1,0 +1,484 @@
+//! e13_rt — the macro-workload at wall-clock speed on the real-time
+//! backend.
+//!
+//! Every other experiment runs the stack as a discrete-event simulation:
+//! virtual seconds cost whatever the event queue costs. e13 runs a
+//! scaled-down e10-style mixed voice/bulk/RKOM population through
+//! `dash-rt` instead — the *same* protocol crates, paced by the
+//! [`Monotonic`] driver and carried by the threaded [`MemDatagram`]
+//! substrate — so a second of traffic takes a second of your life and
+//! timer lateness is real, measured lateness.
+//!
+//! What the numbers mean shifts accordingly. `events` and `messages` are
+//! no longer deterministic (real carriage timing feeds back into arrival
+//! times), so the regression gate in `scripts/check_bench.sh` holds them
+//! to a generous band rather than exact equality, and gates what *is*
+//! invariant: the semantic oracle at zero violations and a clean stop
+//! (never the wall-clock backstop). Wall-clock speed is reported, never
+//! gated — the run is paced, so "throughput" is the workload's offered
+//! rate, not the machine's limit.
+
+use std::time::Duration;
+
+use dash_apps::bulk::{start_bulk, BulkStats};
+use dash_apps::media::{start_media, MediaSpec, MediaStats};
+use dash_apps::rpc::{start_rkom_rpc, RpcSpec, RpcStats};
+use dash_apps::taps::Dispatcher;
+use dash_net::topology::TopologyBuilder;
+use dash_net::{HostId, NetworkSpec};
+use dash_rt::{run_rt, MemConfig, MemDatagram, Monotonic, RtOptions, StopReason};
+use dash_sim::cpu::SchedPolicy;
+use dash_sim::time::{SimDuration, SimTime};
+use dash_sim::Sim;
+use dash_transport::stack::StackBuilder;
+use dash_transport::stream::StreamProfile;
+use rms_core::delay::DelayBound;
+
+use crate::table::{pct, Table};
+
+/// Knobs for one real-time run. Unlike [`crate::e_scale::ScaleParams`],
+/// the outcome is *not* a deterministic function of these: the monotonic
+/// driver and the substrate's carrier thread put real scheduling on the
+/// critical path by design.
+#[derive(Debug, Clone)]
+pub struct RtParams {
+    /// Edge LANs hanging off the WAN backbone.
+    pub lans: usize,
+    /// Hosts per LAN (the LAN's gateway is extra).
+    pub hosts_per_lan: usize,
+    /// Long-lived voice sessions originating per LAN.
+    pub voice_per_lan: usize,
+    /// Bulk transfers per LAN.
+    pub bulk_per_lan: usize,
+    /// RPC client/server pairs per LAN (cross-LAN over the WAN).
+    pub rpc_per_lan: usize,
+    /// Fraction of voice sessions that cross the WAN.
+    pub cross_fraction: f64,
+    /// Payload of each bulk transfer.
+    pub bulk_bytes: u64,
+    /// Virtual duration of the run — and, paced 1:1, roughly its wall
+    /// duration too.
+    pub duration: SimDuration,
+    /// Drain grace past `duration` before the horizon cut.
+    pub grace: SimDuration,
+    /// Seed for placement randomness and the substrate's loss hash.
+    pub seed: u64,
+    /// Substrate loss applied to best-effort carriage, per mille.
+    pub loss_per_mille: u32,
+    /// Wall lag beyond which a stepped event counts as a deadline miss.
+    pub miss_slack: Duration,
+    /// Hard wall box; hitting it is a failure ([`StopReason::WallBox`]).
+    pub max_wall: Duration,
+}
+
+impl RtParams {
+    /// CI smoke size: ~1.5 s of wall time, a dozen streams.
+    pub fn ci() -> Self {
+        RtParams {
+            lans: 2,
+            hosts_per_lan: 3,
+            voice_per_lan: 2,
+            bulk_per_lan: 1,
+            rpc_per_lan: 1,
+            cross_fraction: 0.25,
+            bulk_bytes: 64 * 1024,
+            duration: SimDuration::from_secs(1),
+            grace: SimDuration::from_millis(500),
+            seed: 13,
+            loss_per_mille: 0,
+            miss_slack: Duration::from_millis(5),
+            max_wall: Duration::from_secs(60),
+        }
+    }
+
+    /// Bench size: ~2.5 s of wall time, a few dozen streams.
+    pub fn bench() -> Self {
+        RtParams {
+            lans: 3,
+            hosts_per_lan: 4,
+            voice_per_lan: 4,
+            bulk_per_lan: 2,
+            rpc_per_lan: 2,
+            bulk_bytes: 128 * 1024,
+            duration: SimDuration::from_secs(2),
+            ..RtParams::ci()
+        }
+    }
+
+    /// Total hosts this topology will have (LAN hosts + gateways).
+    pub fn total_hosts(&self) -> usize {
+        self.lans * (self.hosts_per_lan + 1)
+    }
+}
+
+/// Everything a real-time run produces. Wall-clock fields are the point
+/// here, not an afterthought; only the oracle verdict and the stop reason
+/// are gate-worthy.
+#[derive(Debug)]
+pub struct RtOutcome {
+    /// Hosts in the topology.
+    pub hosts: usize,
+    /// Sessions opened successfully (voice + bulk).
+    pub streams_opened: u64,
+    /// Session opens refused or failed outright.
+    pub open_failed: u64,
+    /// Events stepped by the real-time scheduler.
+    pub events: u64,
+    /// ST messages delivered to ports (registry `st.deliver`).
+    pub messages: u64,
+    /// Voice frames delivered on time, as a fraction of frames sent.
+    pub voice_on_time: f64,
+    /// RPC calls completed.
+    pub rpc_completed: u64,
+    /// Bulk payload bytes delivered.
+    pub bulk_delivered: u64,
+    /// Virtual seconds reached.
+    pub sim_secs: f64,
+    /// Wall seconds the run took (≈ `sim_secs`: the run is paced).
+    pub wall_secs: f64,
+    /// Events stepped later than the miss slack.
+    pub deadline_misses: u64,
+    /// Largest wall lag on any stepped event, milliseconds.
+    pub max_lag_ms: f64,
+    /// Envelopes handed to the substrate.
+    pub transmitted: u64,
+    /// Envelopes carried to completion and injected.
+    pub injected: u64,
+    /// Envelopes the substrate dropped (loss model + overflow).
+    pub substrate_dropped: u64,
+    /// Loss setting the run used, per mille.
+    pub loss_per_mille: u32,
+    /// Why the run stopped (`"horizon"`, `"quiesced"`, or `"wallbox"`).
+    pub stop: &'static str,
+    /// Semantic-oracle violations (the gate holds this at zero).
+    pub oracle_violations: u64,
+    /// Human-readable description of each violation.
+    pub oracle_detail: Vec<String>,
+}
+
+impl RtOutcome {
+    /// Deadline misses as a fraction of stepped events.
+    pub fn miss_rate(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.events as f64
+        }
+    }
+
+    /// Delivered messages per wall second (≈ offered rate: paced run).
+    pub fn msgs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.messages as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the run ended the way a healthy run ends.
+    pub fn clean_stop(&self) -> bool {
+        self.stop != "wallbox"
+    }
+
+    /// One-run JSON object for `BENCH_rt.json` / `check_bench.sh`.
+    pub fn to_json(&self, label: &str, config: &str) -> String {
+        format!(
+            "{{\"label\":\"{label}\",\"config\":\"{config}\",\
+             \"hosts\":{},\"streams_opened\":{},\"open_failed\":{},\
+             \"events\":{},\"messages\":{},\"sim_secs\":{:.3},\
+             \"wall_secs\":{:.3},\"msgs_per_sec\":{:.0},\
+             \"voice_on_time\":{:.3},\"rpc_completed\":{},\
+             \"bulk_delivered\":{},\"deadline_misses\":{},\
+             \"miss_rate\":{:.4},\"max_lag_ms\":{:.3},\
+             \"transmitted\":{},\"injected\":{},\"substrate_dropped\":{},\
+             \"loss_per_mille\":{},\"stop\":\"{}\",\"oracle_violations\":{}}}",
+            self.hosts,
+            self.streams_opened,
+            self.open_failed,
+            self.events,
+            self.messages,
+            self.sim_secs,
+            self.wall_secs,
+            self.msgs_per_sec(),
+            self.voice_on_time,
+            self.rpc_completed,
+            self.bulk_delivered,
+            self.deadline_misses,
+            self.miss_rate(),
+            self.max_lag_ms,
+            self.transmitted,
+            self.injected,
+            self.substrate_dropped,
+            self.loss_per_mille,
+            self.stop,
+            self.oracle_violations,
+        )
+    }
+}
+
+/// A voice spec whose delay budget survives the WAN path (as in e10).
+fn wan_voice(duration: SimDuration) -> MediaSpec {
+    let mut spec = MediaSpec::voice(duration);
+    spec.delay_budget = SimDuration::from_millis(150);
+    spec.profile.delay =
+        DelayBound::best_effort_with(SimDuration::from_millis(150), SimDuration::from_micros(10));
+    spec
+}
+
+/// Build the e10-style topology and population (no churn, no fault
+/// drill), then run it on the real-time backend: wall pacing via
+/// [`Monotonic`], carriage via [`MemDatagram`].
+pub fn run_rt_scale(params: &RtParams) -> RtOutcome {
+    let mut rng = dash_sim::rng::Rng::new(params.seed);
+
+    let mut tb = TopologyBuilder::new();
+    tb.seed(params.seed ^ 0x5ca1e);
+    let wan = tb.network(NetworkSpec::long_haul("wan"));
+    let mut lan_hosts: Vec<Vec<HostId>> = Vec::new();
+    for l in 0..params.lans {
+        let spec = if l % 2 == 1 {
+            NetworkSpec::fast_lan(format!("fast-{l}"))
+        } else {
+            NetworkSpec::ethernet(format!("lan-{l}"))
+        };
+        let net = tb.network(spec);
+        let mut hosts = Vec::new();
+        for _ in 0..params.hosts_per_lan {
+            hosts.push(tb.host_on(net));
+        }
+        tb.gateway(net, wan);
+        lan_hosts.push(hosts);
+    }
+    let builder = StackBuilder::new(tb.build())
+        .obs(true)
+        .cpus(SchedPolicy::Edf, SimDuration::from_micros(5));
+    let mut sim = Sim::new(builder.build());
+
+    // Completion off (horizon-cut run), det-delay off (wall lag feeds
+    // real carriage timing back into arrival times), FIFO-gap off
+    // (unreliable media legitimately skips lost frames).
+    let (sink, oracle_handle) = dash_check::oracle(dash_check::OracleConfig {
+        check_completion: false,
+        check_det_delay: false,
+        check_fifo_gaps: false,
+    });
+    sim.state.net.obs.add_boxed_sink(Box::new(sink));
+
+    let all_hosts: Vec<HostId> = lan_hosts.iter().flatten().copied().collect();
+    let taps = Dispatcher::install(&mut sim, &all_hosts);
+
+    let mut voice: Vec<std::rc::Rc<std::cell::RefCell<MediaStats>>> = Vec::new();
+    let mut bulk: Vec<std::rc::Rc<std::cell::RefCell<BulkStats>>> = Vec::new();
+    let mut rpc: Vec<std::rc::Rc<std::cell::RefCell<RpcStats>>> = Vec::new();
+    for l in 0..params.lans {
+        for v in 0..params.voice_per_lan {
+            let src = lan_hosts[l][v % params.hosts_per_lan];
+            let cross = rng.chance(params.cross_fraction);
+            let (dst, spec) = if cross && params.lans > 1 {
+                let ol = (l + 1 + rng.below(params.lans as u64 - 1) as usize) % params.lans;
+                let dst = lan_hosts[ol][rng.below(params.hosts_per_lan as u64) as usize];
+                (dst, wan_voice(params.duration))
+            } else {
+                let mut d = (v + 1 + rng.below(params.hosts_per_lan as u64 - 1) as usize)
+                    % params.hosts_per_lan;
+                if lan_hosts[l][d] == src {
+                    d = (d + 1) % params.hosts_per_lan;
+                }
+                (lan_hosts[l][d], MediaSpec::voice(params.duration))
+            };
+            voice.push(start_media(&mut sim, &taps, src, dst, spec, rng.next_u64()));
+        }
+        for b in 0..params.bulk_per_lan {
+            let src = lan_hosts[l][b % params.hosts_per_lan];
+            let dst = lan_hosts[l][(b + params.hosts_per_lan / 2) % params.hosts_per_lan];
+            bulk.push(start_bulk(
+                &mut sim,
+                &taps,
+                src,
+                dst,
+                params.bulk_bytes,
+                4 * 1024,
+                StreamProfile::bulk(),
+            ));
+        }
+        for r in 0..params.rpc_per_lan {
+            let client = lan_hosts[l][r % params.hosts_per_lan];
+            let server = lan_hosts[(l + 1) % params.lans][r % params.hosts_per_lan];
+            let spec = RpcSpec {
+                rate: 40.0,
+                duration: params.duration,
+                ..RpcSpec::default()
+            };
+            rpc.push(start_rkom_rpc(
+                &mut sim,
+                client,
+                server,
+                spec,
+                rng.next_u64(),
+            ));
+        }
+    }
+
+    // The real-time leg: every wire hop crosses the substrate from t=0,
+    // establishment included (control-plane carriage is lossless by the
+    // reliability contract — see `Substrate::transmit`).
+    sim.state.net.enable_wire_divert();
+    let mut driver = Monotonic::start();
+    let mut substrate = MemDatagram::new(MemConfig {
+        loss_per_mille: params.loss_per_mille,
+        seed: params.seed,
+        ..MemConfig::default()
+    });
+    let horizon = SimTime::ZERO
+        .saturating_add(params.duration)
+        .saturating_add(params.grace);
+    let report = run_rt(
+        &mut sim,
+        &mut driver,
+        &mut substrate,
+        &RtOptions {
+            horizon: Some(horizon),
+            max_wall: Some(params.max_wall),
+            miss_slack: params.miss_slack,
+            ..RtOptions::default()
+        },
+    );
+    oracle_handle.finish(sim.now());
+
+    let mut streams_opened = 0u64;
+    let mut open_failed = 0u64;
+    let mut voice_sent = 0u64;
+    let mut voice_on_time = 0u64;
+    for v in &voice {
+        let s = v.borrow();
+        if s.failed {
+            open_failed += 1;
+        } else {
+            streams_opened += 1;
+        }
+        voice_sent += s.sent;
+        voice_on_time += s.received.saturating_sub(s.late).min(s.sent);
+    }
+    let mut bulk_delivered = 0u64;
+    for b in &bulk {
+        let s = b.borrow();
+        if s.failed && s.delivered_bytes == 0 {
+            open_failed += 1;
+        } else {
+            streams_opened += 1;
+        }
+        bulk_delivered += s.delivered_bytes;
+    }
+    let rpc_completed: u64 = rpc.iter().map(|r| r.borrow().completed).sum();
+    let messages = sim.state.net.obs.registry.counter_value("st.deliver");
+    let violations = oracle_handle.violations();
+
+    RtOutcome {
+        hosts: params.total_hosts(),
+        streams_opened,
+        open_failed,
+        events: report.events,
+        messages,
+        voice_on_time: if voice_sent == 0 {
+            0.0
+        } else {
+            voice_on_time as f64 / voice_sent as f64
+        },
+        rpc_completed,
+        bulk_delivered,
+        sim_secs: sim.now().as_secs_f64(),
+        wall_secs: report.wall.as_secs_f64(),
+        deadline_misses: report.deadline_misses,
+        max_lag_ms: report.max_lag.as_secs_f64() * 1e3,
+        transmitted: report.transmitted,
+        injected: report.injected,
+        substrate_dropped: report.substrate_dropped,
+        loss_per_mille: params.loss_per_mille,
+        stop: match report.stop {
+            StopReason::Quiesced => "quiesced",
+            StopReason::Horizon => "horizon",
+            StopReason::WallBox => "wallbox",
+        },
+        oracle_violations: violations.len() as u64,
+        oracle_detail: violations
+            .iter()
+            .map(|v| format!("[{}] t={} {}", v.invariant, v.at.as_nanos(), v.detail))
+            .collect(),
+    }
+}
+
+/// e13_rt — the stack on wall-clock time.
+///
+/// Claim: the unchanged protocol stack runs in real time on `dash-rt`
+/// with the oracle clean, voice mostly on time, and — with substrate loss
+/// injected — drops demonstrably exercised and still zero violations.
+pub fn e13_rt() -> Table {
+    let mut t = Table::new(
+        "e13_rt",
+        "macro-workload on the real-time backend (wall pacing + datagram substrate)",
+        "the unchanged stack runs at wall-clock speed: oracle clean, lateness measured not hidden",
+    );
+    t.columns(&[
+        "loss",
+        "wall s",
+        "sim s",
+        "msgs",
+        "voice on-time",
+        "misses",
+        "dropped",
+        "stop",
+        "oracle",
+    ]);
+    for loss in [0u32, 20] {
+        let mut p = RtParams::ci();
+        p.loss_per_mille = loss;
+        let o = run_rt_scale(&p);
+        t.row(vec![
+            format!("{:.1}%", loss as f64 / 10.0),
+            format!("{:.2}", o.wall_secs),
+            format!("{:.2}", o.sim_secs),
+            o.messages.to_string(),
+            pct(o.voice_on_time),
+            o.deadline_misses.to_string(),
+            o.substrate_dropped.to_string(),
+            o.stop.to_string(),
+            if o.oracle_violations == 0 {
+                "clean".into()
+            } else {
+                format!("{} VIOLATIONS", o.oracle_violations)
+            },
+        ]);
+    }
+    t.note("wall ≈ sim by construction: the monotonic driver paces events, so this table costs real seconds");
+    t.note("loss touches only best-effort carriage (reliability contract); control plane and reliable RMSs cross lossless");
+    t.note("regression numbers live in BENCH_rt.json via the e13_rt binary; check_bench.sh gates oracle + stop, bands the counts");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One tiny paced run: clean stop, oracle clean, traffic real. Kept
+    /// small — this test costs ~0.7 s of wall time by design.
+    #[test]
+    fn rt_ci_run_is_clean() {
+        let mut p = RtParams::ci();
+        p.lans = 2;
+        p.hosts_per_lan = 2;
+        p.voice_per_lan = 1;
+        p.bulk_per_lan = 1;
+        p.rpc_per_lan = 1;
+        p.bulk_bytes = 16 * 1024;
+        p.duration = SimDuration::from_millis(400);
+        p.grace = SimDuration::from_millis(200);
+        let o = run_rt_scale(&p);
+        assert!(o.clean_stop(), "stop {}", o.stop);
+        assert_eq!(o.oracle_violations, 0, "{:?}", o.oracle_detail);
+        assert!(o.messages > 0, "no traffic delivered");
+        assert!(o.transmitted > 0 && o.injected > 0);
+        assert!(o.wall_secs >= 0.4, "paced run finished impossibly fast");
+        let j = o.to_json("test", "ci");
+        assert!(j.contains("\"stop\":\"") && j.contains("\"oracle_violations\":"));
+    }
+}

@@ -15,6 +15,7 @@ pub mod e_baseline;
 pub mod e_capacity;
 pub mod e_pscale;
 pub mod e_routing;
+pub mod e_rt;
 pub mod e_scale;
 pub mod e_security_sched;
 pub mod e_st;
@@ -46,6 +47,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("e10_scale", e_scale::e10_scale),
         ("e11_routing", e_routing::e11_routing),
         ("e12_pscale", e_pscale::e12_pscale),
+        ("e13_rt", e_rt::e13_rt),
     ]
 }
 

@@ -1033,10 +1033,11 @@ fn finish_tx<W: NetWorld>(
 
 /// Hand a surviving packet to its next hop: scheduled locally in serial
 /// execution, diverted into the shard outbox as a [`crate::shard::WireEnvelope`]
-/// when `next` belongs to another logical process. Wire effects (delay,
-/// corruption, ARQ) were already applied by the transmitting side, so the
-/// envelope carries a finished traversal — the receiving LP just runs
-/// [`on_arrival`] at `deliver_at`.
+/// when `next` belongs to another logical process or when the world runs
+/// in wire-divert mode (an external substrate carries its packets). Wire
+/// effects (delay, corruption, ARQ) were already applied by the
+/// transmitting side, so the envelope carries a finished traversal — the
+/// receiving side just runs [`on_arrival`] at `deliver_at`.
 fn deliver_or_divert<W: NetWorld>(
     sim: &mut Sim<W>,
     host: HostId,
@@ -1044,7 +1045,7 @@ fn deliver_or_divert<W: NetWorld>(
     delay: SimDuration,
     packet: Packet,
 ) {
-    if sim.state.net().owns(next) {
+    if sim.state.net().wire_is_local(next) {
         sim.schedule_in(delay, move |sim| on_arrival(sim, next, packet));
         return;
     }
@@ -1054,7 +1055,7 @@ fn deliver_or_divert<W: NetWorld>(
         .net()
         .shard
         .as_mut()
-        .expect("unowned next hop implies LP mode");
+        .expect("diverted next hop implies a shard context");
     let seq = shard.out_seq;
     shard.out_seq += 1;
     shard.outbox.push(crate::shard::WireEnvelope {

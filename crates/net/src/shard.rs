@@ -49,15 +49,50 @@ impl WireEnvelope {
     }
 }
 
-/// Logical-process context: present only when a world runs under the
-/// parallel executor (see [`crate::state::NetState::enable_lp_mode`]).
+/// Which hosts' protocol activity a diverted world executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ownership {
+    /// One host's replica: the parallel executor's LP mode. Everything
+    /// toward other hosts leaves through the outbox.
+    Host(HostId),
+    /// All hosts, but every wire hop still leaves through the outbox —
+    /// the real-time backend's substrate mode, where an external carriage
+    /// layer (`dash-rt`'s `Substrate`) owns packet delivery.
+    AllDivertWire,
+}
+
+/// Diversion context: present when wire deliveries leave the world
+/// through the outbox instead of being scheduled locally — either because
+/// the world is one LP of a parallel run
+/// ([`crate::state::NetState::enable_lp_mode`]) or because an external
+/// substrate carries its packets
+/// ([`crate::state::NetState::enable_wire_divert`]).
 #[derive(Debug)]
 pub struct ShardCtx {
-    /// The one host whose protocol activity this replica executes.
-    pub owner: HostId,
-    /// Wire deliveries toward other LPs, accumulated since the last
+    /// Whose protocol activity this world executes.
+    pub owner: Ownership,
+    /// Wire deliveries diverted off-world, accumulated since the last
     /// [`crate::state::NetState::take_outbox`].
     pub outbox: Vec<WireEnvelope>,
     /// Next per-source envelope sequence number.
     pub out_seq: u64,
+}
+
+impl ShardCtx {
+    /// Whether this world executes protocol activity for `host`.
+    pub fn owns(&self, host: HostId) -> bool {
+        match self.owner {
+            Ownership::Host(h) => h == host,
+            Ownership::AllDivertWire => true,
+        }
+    }
+
+    /// Whether a wire hop toward `next` stays inside this world (is
+    /// scheduled as a local event) rather than leaving via the outbox.
+    pub fn wire_is_local(&self, next: HostId) -> bool {
+        match self.owner {
+            Ownership::Host(h) => h == next,
+            Ownership::AllDivertWire => false,
+        }
+    }
 }

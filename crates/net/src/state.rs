@@ -254,7 +254,20 @@ impl NetState {
     pub fn owns(&self, host: HostId) -> bool {
         match &self.shard {
             None => true,
-            Some(s) => s.owner == host,
+            Some(s) => s.owns(host),
+        }
+    }
+
+    /// Whether a wire hop toward `next` is scheduled as a local event.
+    /// False means the transmitting side must divert the finished
+    /// traversal into the outbox as a [`crate::shard::WireEnvelope`] —
+    /// either toward another LP (parallel execution) or toward the
+    /// real-time substrate (wire-divert mode).
+    #[inline]
+    pub fn wire_is_local(&self, next: HostId) -> bool {
+        match &self.shard {
+            None => true,
+            Some(s) => s.wire_is_local(next),
         }
     }
 
@@ -273,12 +286,25 @@ impl NetState {
     ///   unowned hosts into the shard outbox instead of scheduling them.
     pub fn enable_lp_mode(&mut self, owner: HostId, root_seed: u64) {
         self.shard = Some(Box::new(crate::shard::ShardCtx {
-            owner,
+            owner: crate::shard::Ownership::Host(owner),
             outbox: Vec::new(),
             out_seq: 0,
         }));
         self.rng = Rng::new(root_seed).fork(owner.0 as u64);
         self.set_id_namespace((owner.0 as u64 + 1) << 40);
+    }
+
+    /// Divert every wire hop into the outbox while this world keeps
+    /// executing protocol activity for *all* hosts — the real-time
+    /// backend's substrate mode. Unlike [`NetState::enable_lp_mode`],
+    /// nothing else changes: RNG streams, id allocation, routing, and
+    /// fault application are exactly the serial world's.
+    pub fn enable_wire_divert(&mut self) {
+        self.shard = Some(Box::new(crate::shard::ShardCtx {
+            owner: crate::shard::Ownership::AllDivertWire,
+            outbox: Vec::new(),
+            out_seq: 0,
+        }));
     }
 
     /// Rebase RMS-id and token allocation to start at `base`

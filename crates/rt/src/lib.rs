@@ -1,0 +1,53 @@
+//! `dash-rt` — the real-time execution backend.
+//!
+//! The protocol crates (`dash-net`, `dash-subtransport`, `dash-transport`)
+//! know nothing about where time comes from: they schedule events on a
+//! [`Sim`](dash_sim::engine::Sim) and hand wire deliveries to whatever
+//! owns them. This crate runs that *unchanged* stack against the wall
+//! clock by swapping two seams:
+//!
+//! * **Time** — a [`TimeDriver`] decides when a pending event's moment
+//!   has come. [`VirtualDriver`] (from `dash-sim`) never waits: the run
+//!   is today's discrete-event simulation, byte-for-byte. [`Monotonic`]
+//!   maps virtual nanoseconds 1:1 onto a `std::time::Instant` anchor and
+//!   makes the scheduler wait events out, so a 20 ms voice frame cadence
+//!   is 20 ms of your life.
+//! * **Carriage** — a [`Substrate`] physically holds packets between
+//!   hosts. [`SimLinks`] is the null substrate (link delays stay modelled
+//!   in the event queue); [`MemDatagram`] is a threaded in-memory
+//!   datagram network with real queueing delay, bounded buffers, and
+//!   deterministic configurable loss, fed by
+//!   [`NetState::enable_wire_divert`](dash_net::state::NetState::enable_wire_divert).
+//!
+//! [`run_rt`] is the one loop that drains both seams through the same
+//! `pipeline::on_arrival` entry point the simulator and the parallel
+//! executor use — no forked protocol code paths — and the stack's
+//! observability (`ObsEvent` sinks, the dash-check oracle, the metrics
+//! registry) works on real executions unchanged.
+//!
+//! What survives the move to wall time and what does not:
+//!
+//! * Logical behaviour is preserved: with the same driver *or* a
+//!   loss-free substrate, the event contents, protocol decisions, and
+//!   metrics are identical to the virtual run (`tests/rt_conformance.rs`
+//!   holds the two byte-to-byte).
+//! * Wall timing is best-effort: events never run *early* (the scheduler
+//!   steps only once the driver's wait budget hits zero), but they can
+//!   run late under load. Lateness is measured, not hidden —
+//!   [`RtReport`] carries max lag and deadline misses.
+//! * Bit-determinism is not promised for `MemDatagram` runs under loss
+//!   or overload: carriage order among co-timed envelopes depends on
+//!   real scheduling. The oracle's schedule-robust invariants (delivery
+//!   integrity, FIFO per stream, completion) still hold and are enforced.
+
+pub mod driver;
+pub mod sched;
+pub mod substrate;
+
+pub use driver::Monotonic;
+pub use sched::{run_rt, RtOptions, RtReport, StopReason};
+pub use substrate::{Carried, MemConfig, MemDatagram, SimLinks, Substrate};
+
+// The other half of the time seam lives in `dash-sim`; re-export it so
+// `dash::rt` is the one stop for backend selection.
+pub use dash_sim::driver::{TimeDriver, VirtualDriver};

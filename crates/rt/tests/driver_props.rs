@@ -1,0 +1,49 @@
+//! Property tests for the monotonic time mapping: Instant ↔ SimTime must
+//! be monotone and lossless at nanosecond granularity for any virtual
+//! instant within a run horizon, or wall pacing would reorder or smear
+//! the event queue the protocols depend on.
+
+use std::time::Instant;
+
+use dash_rt::Monotonic;
+use dash_sim::time::SimTime;
+use proptest::prelude::*;
+
+/// A generous run horizon: one simulated week, in nanoseconds.
+const HORIZON_NS: u64 = 7 * 24 * 3600 * 1_000_000_000;
+
+proptest! {
+    /// wall_of then sim_of returns the exact virtual instant: the mapping
+    /// loses nothing at nanosecond granularity.
+    #[test]
+    fn mapping_round_trips_losslessly(ns in 0u64..HORIZON_NS) {
+        let d = Monotonic::anchored_at(Instant::now());
+        let t = SimTime::from_nanos(ns);
+        prop_assert_eq!(d.sim_of(d.wall_of(t)), t);
+    }
+
+    /// The mapping preserves order in both directions — strictly for
+    /// distinct instants, reflexively for equal ones.
+    #[test]
+    fn mapping_is_monotone(a in 0u64..HORIZON_NS, b in 0u64..HORIZON_NS) {
+        let d = Monotonic::anchored_at(Instant::now());
+        let (ta, tb) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
+        let (wa, wb) = (d.wall_of(ta), d.wall_of(tb));
+        prop_assert_eq!(a < b, wa < wb);
+        prop_assert_eq!(a == b, wa == wb);
+        // And back through sim_of without loss of order.
+        prop_assert_eq!(d.sim_of(wa) < d.sim_of(wb), ta < tb);
+    }
+
+    /// Distances survive the round trip: the wall separation of two
+    /// mapped instants equals their virtual separation exactly.
+    #[test]
+    fn mapping_preserves_distances(a in 0u64..HORIZON_NS, b in 0u64..HORIZON_NS) {
+        let d = Monotonic::anchored_at(Instant::now());
+        let (lo, hi) = (a.min(b), a.max(b));
+        let gap = d
+            .wall_of(SimTime::from_nanos(hi))
+            .duration_since(d.wall_of(SimTime::from_nanos(lo)));
+        prop_assert_eq!(gap.as_nanos(), (hi - lo) as u128);
+    }
+}

@@ -11,6 +11,9 @@
 //! - [`time`]: nanosecond [`time::SimTime`] / [`time::SimDuration`] newtypes.
 //! - [`engine`]: the event loop, [`engine::Sim<S>`], with closures as events
 //!   and deterministic tie-breaking.
+//! - [`driver`]: the time-source seam ([`driver::TimeDriver`]) deciding how
+//!   the queue is paced — [`driver::VirtualDriver`] here (as fast as
+//!   possible), a wall-clock `Monotonic` driver in `dash-rt`.
 //! - [`cpu`]: per-host CPU model with EDF / FIFO / priority short-term
 //!   scheduling and context-switch costs (paper §4.1).
 //! - [`rng`]: self-contained xoshiro256++ PRNG with forkable sub-streams.
@@ -33,6 +36,7 @@
 //! ```
 
 pub mod cpu;
+pub mod driver;
 pub mod engine;
 pub mod fault;
 pub mod obs;
@@ -41,6 +45,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use driver::{TimeDriver, VirtualDriver};
 pub use engine::{Event, Sim, TimerHandle};
 pub use fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, GilbertElliott};
 pub use obs::{JsonLinesSink, MetricRegistry, Obs, ObsEvent, ObsSink, SpanRecord, Stage};

@@ -444,6 +444,14 @@ impl Session {
     pub fn receive_buffer_pending(&self) -> u64 {
         self.pending_buffer_bytes
     }
+
+    /// True once this endpoint's outbound ack channel is established.
+    ///
+    /// Until then acks are parked in `pending_acks`, so a receiver that
+    /// loses data before this point cannot drive the sender's ARQ.
+    pub fn ack_ready(&self) -> bool {
+        self.ack_out.is_some()
+    }
 }
 
 pub(crate) type StreamTap = Box<dyn FnMut(&mut Sim<Stack>, StreamEvent)>;

@@ -12,7 +12,12 @@
 # alternate-path wins) is deterministic per topology, so those counts
 # are gated exactly — any drift is a behaviour change, not noise.
 #
-# Both gates also compare allocations per engine event (deterministic —
+# e13_rt vs BENCH_rt.json: the real-time backend's paced run. Counts
+# are non-deterministic (wall feedback), so they get a generous band;
+# the hard gates are the semantic oracle at zero violations and a clean
+# (non-wallbox) stop. Wall speed is reported, never gated.
+#
+# Both e10/e11 gates also compare allocations per engine event (deterministic —
 # counted by the binaries' counting allocator): a fresh value more than
 # ALLOC_SLACK above the committed baseline fails. Collapse-only: getting
 # *better* never fails, and baselines that predate the field are skipped.
@@ -245,3 +250,59 @@ EOF
 echo "check_bench[oracle]: e12_pscale --ci --oracle"
 cargo run --release -q -p dash-bench --bin e12_pscale -- --ci --oracle --label oracle >/dev/null
 echo "check_bench[pscale]: oracle clean at 1/2/4 shards"
+
+# --- e13_rt: real-time backend gate -------------------------------------
+# A paced run: virtual time maps 1:1 onto the wall clock, so the CI size
+# is used regardless of $CONFIG (a bigger config only costs more real
+# seconds, it measures nothing new here). Counts are NOT deterministic —
+# real carriage timing feeds back into the schedule — so events/messages
+# are held to a generous band, not equality. What IS gated hard: the
+# semantic oracle at zero violations and a clean stop (quiesced or
+# horizon, never the wall-clock backstop). Wall-clock speed and the
+# deadline-miss rate are reported, never gated: machine load moves them.
+RT_BASELINE_FILE="BENCH_rt.json"
+RT_BAND_LO="${RT_BAND_LO:-0.5}"
+RT_BAND_HI="${RT_BAND_HI:-2.0}"
+
+if [[ ! -f "$RT_BASELINE_FILE" ]]; then
+    echo "check_bench: no $RT_BASELINE_FILE baseline; skipping rt gate" >&2
+    exit 0
+fi
+
+fresh_rt="$(mktemp)"
+trap 'rm -f "$fresh_json" "$fresh_routing" "$fresh_pscale" "$fresh_rt"' EXIT
+cargo run --release -q -p dash-bench --bin e13_rt -- --ci --label fresh --json "$fresh_rt"
+
+python3 - "$RT_BASELINE_FILE" "$fresh_rt" "$RT_BAND_LO" "$RT_BAND_HI" <<'EOF'
+import json, sys
+
+baseline_file, fresh_file, lo, hi = sys.argv[1:5]
+lo, hi = float(lo), float(hi)
+runs = [r for r in json.load(open(baseline_file))["runs"] if r.get("config") == "ci"]
+if not runs:
+    print("check_bench[rt]: no committed 'ci' rt baseline; skipping")
+    sys.exit(0)
+base = runs[-1]
+fresh = json.load(open(fresh_file))["runs"][0]
+
+ok = True
+if fresh["oracle_violations"] != 0:
+    ok = False
+    print(f"check_bench[rt]: FAIL — {fresh['oracle_violations']} oracle violation(s)")
+if fresh["stop"] == "wallbox":
+    ok = False
+    print("check_bench[rt]: FAIL — hit the wall-clock backstop with work outstanding")
+for k in ("events", "messages"):
+    b, f = base[k], fresh[k]
+    ratio = f / b if b else float("inf")
+    if not (lo <= ratio <= hi):
+        ok = False
+        print(f"check_bench[rt]: FAIL — {k} {b} -> {f} "
+              f"(ratio {ratio:.2f} outside [{lo}, {hi}])")
+    else:
+        print(f"check_bench[rt]: {k} {f} (baseline {b}, ratio {ratio:.2f})")
+print(f"check_bench[rt]: stop {fresh['stop']}, oracle clean, "
+      f"{fresh['wall_secs']:.2f} s wall for {fresh['sim_secs']:.2f} s virtual, "
+      f"miss rate {fresh['miss_rate']:.4f} (reported, not gated)")
+sys.exit(0 if ok else 1)
+EOF

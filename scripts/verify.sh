@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
 # Full verification: formatting, release build, workspace tests, the
-# seeded chaos suite, clippy and rustdoc with warnings promoted to
-# errors. Run from anywhere inside the repo.
+# seeded chaos suite, the real-time backend suite, clippy and rustdoc
+# with warnings promoted to errors. Run from anywhere inside the repo.
+#
+# Time boxes only ever cover *execution*, never compilation: every boxed
+# binary is built beforehand, so a cold target directory (or a busy CI
+# machine paging the compiler) cannot eat a box and fail a run that
+# never even started. Boxes are env-tunable for slower machines:
+#   EXPLORE_BOX=60 PSCALE_BOX=240 RT_BOX=180 scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+EXPLORE_BOX="${EXPLORE_BOX:-30}"
+PSCALE_BOX="${PSCALE_BOX:-120}"
+RT_BOX="${RT_BOX:-90}"
 
 cargo fmt --all -- --check
 cargo build --release
@@ -22,11 +32,13 @@ fi
 # Exploration smoke (dash-check): fixed-seed coverage-guided search on
 # the healthy stack must find nothing, and the stored shrunk repro must
 # replay byte-identically. Both are deterministic; the box is a wedge
-# guard, not a noise allowance.
-if ! timeout 30 cargo test --test explore -q -- \
+# guard, not a noise allowance. Build first so the box times the search,
+# not the compiler.
+cargo test --test explore -q --no-run
+if ! timeout "$EXPLORE_BOX" cargo test --test explore -q -- \
         exploration_smoke_passes_clean_on_healthy_stack \
         stored_repro_replays_byte_identically; then
-    echo "verify: exploration smoke FAILED (or exceeded its 30 s box) —" >&2
+    echo "verify: exploration smoke FAILED (or exceeded its ${EXPLORE_BOX} s box) —" >&2
     echo "verify: reproduce with cargo test --test explore -- --nocapture" >&2
     exit 1
 fi
@@ -36,12 +48,32 @@ fi
 # oracle attached (exits non-zero on any violation of the merged event
 # stream). Shard-vs-serial digest equality is enforced separately by
 # tests/determinism.rs above and by check_bench.sh's full scan below.
+# The bench binaries are built up front for the same box-vs-compiler
+# reason, and because a 2-shard run needs both worker threads live
+# within the box — compilation stalls used to show up as spurious
+# "wedged executor" timeouts.
 cargo test -q -p dash-par
-if ! timeout 120 cargo run --release -q -p dash-bench --bin e12_pscale -- \
+cargo build --release -q -p dash-bench
+if ! timeout "$PSCALE_BOX" cargo run --release -q -p dash-bench --bin e12_pscale -- \
         --ci --shards 2 --oracle --label smoke >/dev/null; then
     echo "verify: e12 2-shard smoke FAILED (oracle violation or exceeded" >&2
-    echo "verify: its 120 s box) — reproduce with"                        >&2
+    echo "verify: its ${PSCALE_BOX} s box) — reproduce with"              >&2
     echo "verify:   cargo run -p dash-bench --bin e12_pscale -- --ci --shards 2 --oracle" >&2
+    exit 1
+fi
+
+# Real-time backend: the dash-rt unit/property tests plus the sim-vs-rt
+# conformance suite, then a time-boxed paced run of the e13 CI workload
+# (exits non-zero on any oracle violation or a wall-box stop). The run
+# itself is paced — ~1.5 s of wall time by design — so the box guards
+# against a wedged scheduler, not against slowness.
+cargo test -q -p dash-rt
+cargo test --release --test rt_conformance -q
+if ! timeout "$RT_BOX" cargo run --release -q -p dash-bench --bin e13_rt -- \
+        --ci --label smoke >/dev/null; then
+    echo "verify: e13 real-time smoke FAILED (oracle violation, wall-box" >&2
+    echo "verify: stop, or exceeded its ${RT_BOX} s box) — reproduce with" >&2
+    echo "verify:   cargo run -p dash-bench --bin e13_rt -- --ci" >&2
     exit 1
 fi
 
@@ -50,7 +82,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 # Benches compile + run as tests (criterion --test mode), then the e10
 # macro-workload is compared against the committed BENCH_scale.json
-# baseline (fails only on collapse; see scripts/check_bench.sh).
+# baseline (fails only on collapse; see scripts/check_bench.sh), and the
+# e13 real-time run against BENCH_rt.json (oracle + stop gated, counts
+# banded — wall-clock speed is reported, never gated: the run is paced).
 cargo bench -p dash-bench -- --test
 scripts/check_bench.sh
 

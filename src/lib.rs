@@ -8,6 +8,7 @@ pub use dash_baseline as baseline;
 pub use dash_check as check;
 pub use dash_net as net;
 pub use dash_par as par;
+pub use dash_rt as rt;
 pub use dash_security as security;
 pub use dash_sim as sim;
 pub use dash_subtransport as subtransport;
@@ -30,6 +31,8 @@ pub mod prelude {
     pub use dash_net::fault::{apply_fault, crash_host, restart_host, schedule_fault_plan};
     pub use dash_net::ids::{HostId, NetRmsId, NetworkId};
     pub use dash_par::{run_sharded, ParConfig, ShardPlan, StackLp};
+    pub use dash_rt::{run_rt, MemConfig, MemDatagram, Monotonic, RtOptions, SimLinks};
+    pub use dash_sim::driver::{TimeDriver, VirtualDriver};
     pub use dash_sim::engine::Sim;
     pub use dash_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, GilbertElliott};
     pub use dash_sim::obs::{
